@@ -1,0 +1,60 @@
+//! E10 — Monte-Carlo vs exact cross-validation, and simulator throughput.
+//!
+//! For the flagship systems, sampled estimates of `µ(ϕ@α | α)` must
+//! bracket the exact value within the 99% Wilson interval at increasing
+//! sample sizes; the throughput benchmarks measure trials/second.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use pak_bench::{criterion, print_report, Row};
+use pak_num::Rational;
+use pak_protocol::messaging::LossyMessagingModel;
+use pak_sim::estimate::estimate_constraint;
+use pak_sim::Simulator;
+use pak_systems::firing_squad::{FiringSquad, ALICE, BOB, FIRE_A, FIRE_B};
+
+fn report() {
+    let mut rows = Vec::new();
+    for n in [1_000u64, 10_000, 100_000] {
+        let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+        let est = estimate_constraint::<_, Rational>(&model, n, n, ALICE, FIRE_A, |t, time| {
+            t.does(ALICE, FIRE_A, time) && t.does(BOB, FIRE_B, time)
+        });
+        let (lo, hi) = est.proportion.wilson(2.576);
+        rows.push(Row::claim(
+            &format!("FS: exact 0.99 ∈ 99% CI at N = {n} ([{lo:.4}, {hi:.4}])"),
+            true,
+            est.proportion.contains(0.99, 2.576),
+        ));
+    }
+    print_report("E10: Monte-Carlo cross-validation", &rows);
+}
+
+fn benches(c: &mut Criterion) {
+    let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+    let model64 = LossyMessagingModel::new(FiringSquad::new(0.1f64, 0.5, 2), 0.1f64);
+
+    let mut group = c.benchmark_group("e10/throughput");
+    for n in [100u64, 1_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("sample_fs_rational", n), &n, |b, &n| {
+            let mut sim = Simulator::<_, Rational>::new(&model, 1);
+            b.iter(|| sim.sample_each(n, |t| {
+                black_box(t.len());
+            }))
+        });
+        group.bench_with_input(BenchmarkId::new("sample_fs_f64", n), &n, |b, &n| {
+            let mut sim = Simulator::<_, f64>::new(&model64, 1);
+            b.iter(|| sim.sample_each(n, |t| {
+                black_box(t.len());
+            }))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

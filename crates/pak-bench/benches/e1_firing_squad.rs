@@ -1,0 +1,87 @@
+//! E1 — Example 1: the relaxed firing squad.
+//!
+//! Paper claims reproduced here (all from §1, §3, §7, §8):
+//!
+//! * `µ(ϕ_both@fire_A | fire_A) = 0.99 ≥ 0.95`;
+//! * Alice's beliefs when firing are `{1, 0, 0.99}`;
+//! * the 0.95 threshold is met on measure `0.991` of firing runs;
+//! * the §8 refrain-on-No refinement lifts the guarantee to `0.99899`.
+
+use criterion::{black_box, Criterion};
+use pak_bench::{criterion, print_report, Row};
+use pak_num::Rational;
+use pak_systems::firing_squad::{FiringSquad, FsSystem};
+
+fn report() {
+    let analysis = FiringSquad::paper().build_pps().analyze();
+    let improved = FiringSquad::improved().build_pps().analyze();
+    let beliefs: Vec<String> = analysis
+        .belief_distribution()
+        .iter()
+        .map(|(b, _)| b.to_string())
+        .collect();
+    print_report(
+        "E1: Example 1 — relaxed firing squad (loss 0.1, go ~ B(1/2))",
+        &[
+            Row::exact(
+                "µ(ϕ_both@fire_A | fire_A)",
+                "99/100",
+                analysis.constraint_probability(),
+            ),
+            Row::claim(
+                "spec µ ≥ 0.95 satisfied",
+                true,
+                analysis.satisfies_constraint(&Rational::from_ratio(19, 20)),
+            ),
+            Row::exact(
+                "µ(β_A ≥ 0.95 | fire_A)",
+                "991/1000",
+                analysis.threshold_measure(&Rational::from_ratio(19, 20)),
+            ),
+            Row::exact("Alice's belief values when firing", "0, 99/100, 1", beliefs.join(", ")),
+            Row::exact(
+                "E[β_A(ϕ_both)@fire_A | fire_A] (= µ, Thm 6.2)",
+                "99/100",
+                analysis.expected_belief(),
+            ),
+            Row::exact(
+                "§8 improved µ(ϕ_both@fire_A | fire_A)",
+                "990/991",
+                improved.constraint_probability(),
+            ),
+            Row::approx(
+                "§8 improved, decimal",
+                0.99899,
+                improved.constraint_probability().to_f64(),
+                1e-5,
+            ),
+        ],
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("e1/unfold_fs_exact", |b| {
+        b.iter(|| black_box(FiringSquad::paper().build_pps()))
+    });
+    c.bench_function("e1/unfold_fs_f64", |b| {
+        let fs = FiringSquad::new(0.1f64, 0.5, 2);
+        b.iter(|| black_box(fs.build_pps()))
+    });
+    let sys = FiringSquad::paper().build_pps();
+    c.bench_function("e1/analyze_exact", |b| {
+        b.iter(|| black_box(sys.analyze()))
+    });
+    c.bench_function("e1/threshold_measure", |b| {
+        let a = sys.analyze();
+        let p = Rational::from_ratio(19, 20);
+        b.iter(|| black_box(a.threshold_measure(&p)))
+    });
+    let _ = FsSystem::<Rational>::phi_both();
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! E2 — Figure 1: both counterexamples.
+//!
+//! §4: with `ψ = ¬does_i(α)`, the belief is ½ at every acting point yet
+//! `µ(ψ@α | α) = 0` — meeting the threshold is not sufficient without
+//! local-state independence.
+//!
+//! §6: with `ϕ = does_i(α)`, `µ(ϕ@α | α) = 1` but `E[β@α | α] = ½` — the
+//! expectation equality also needs independence.
+
+use criterion::{black_box, Criterion};
+use pak_bench::{criterion, print_report, Row};
+use pak_core::belief::ActionAnalysis;
+use pak_core::independence::check_local_state_independence;
+use pak_core::theorems::check_expectation;
+use pak_num::Rational;
+use pak_systems::figure1::{figure1, phi, psi, AGENT_I, ALPHA};
+
+fn report() {
+    let pps = figure1::<Rational>();
+    let suff = ActionAnalysis::new(&pps, AGENT_I, ALPHA, &psi()).unwrap();
+    let exp = check_expectation(&pps, AGENT_I, ALPHA, &phi()).unwrap();
+    let lsi_psi = check_local_state_independence(&pps, &psi(), AGENT_I, ALPHA);
+
+    print_report(
+        "E2: Figure 1 — counterexamples without local-state independence",
+        &[
+            Row::exact("β_i(ψ) at every α-point", "1/2", suff.min_belief_when_acting().unwrap()),
+            Row::exact("µ(ψ@α | α)", "0", suff.constraint_probability()),
+            Row::claim("ψ local-state independent of α", false, lsi_psi.independent),
+            Row::exact("µ(ϕ@α | α) for ϕ = does(α)", "1", &exp.lhs),
+            Row::exact("E[β_i(ϕ)@α | α]", "1/2", &exp.rhs),
+            Row::claim("Theorem 6.2 equality (must fail here)", false, exp.equal),
+            Row::claim("Theorem 6.2 implication still sound", true, exp.implication_holds()),
+        ],
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("e2/build_figure1", |b| {
+        b.iter(|| black_box(figure1::<Rational>()))
+    });
+    let pps = figure1::<Rational>();
+    c.bench_function("e2/lsi_check", |b| {
+        b.iter(|| black_box(check_local_state_independence(&pps, &psi(), AGENT_I, ALPHA)))
+    });
+    c.bench_function("e2/expectation_check", |b| {
+        b.iter(|| black_box(check_expectation(&pps, AGENT_I, ALPHA, &phi()).unwrap()))
+    });
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,63 @@
+//! E3 — Theorem 5.2 / Figure 2: the threshold-met measure has no positive
+//! lower bound.
+//!
+//! For each `(p, ε)` in the sweep, the witness `Tˆ(p, ε)` must satisfy the
+//! constraint at exactly `p` while meeting the threshold only on measure
+//! `ε`, with the merged-state belief at exactly `(p − ε)/(1 − ε)`.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use pak_bench::{criterion, print_report, Row};
+use pak_num::Rational;
+use pak_systems::threshold::ThresholdConstruction;
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::from_ratio(n, d)
+}
+
+fn report() {
+    let mut rows = Vec::new();
+    for (p, eps) in [
+        (r(3, 4), r(1, 4)),
+        (r(3, 4), r(1, 100)),
+        (r(3, 4), r(1, 10_000)),
+        (r(99, 100), r(1, 1000)),
+        (r(1, 2), r(1, 1_000_000)),
+    ] {
+        let t = ThresholdConstruction::new(p.clone(), eps.clone());
+        let claims = t.verify();
+        rows.push(Row::exact(
+            &format!("µ(ϕ@α|α) in Tˆ({p}, {eps})"),
+            &p.to_string(),
+            &claims.constraint_probability,
+        ));
+        rows.push(Row::exact(
+            &format!("µ(β ≥ {p} | α) in Tˆ({p}, {eps})"),
+            &eps.to_string(),
+            &claims.threshold_met_measure,
+        ));
+        rows.push(Row::exact(
+            &format!("merged belief (p−ε)/(1−ε) in Tˆ({p}, {eps})"),
+            &claims.expected_merged_belief.to_string(),
+            &claims.merged_belief,
+        ));
+    }
+    print_report("E3: Theorem 5.2 — arbitrarily rare threshold meeting", &rows);
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3");
+    for denom in [10i64, 1000, 100_000] {
+        group.bench_with_input(BenchmarkId::new("verify", denom), &denom, |b, &d| {
+            let t = ThresholdConstruction::new(r(3, 4), r(1, d));
+            b.iter(|| black_box(t.verify()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

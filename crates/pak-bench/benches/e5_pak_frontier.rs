@@ -1,0 +1,91 @@
+//! E5 — Theorem 7.1 / Corollary 7.2: the PAK tradeoff and its frontier.
+//!
+//! Reproduces the paper's closing §7 computation (`µ ≥ 0.99 ⇒ believe
+//! ≥ 0.9 with probability ≥ 0.9` on Example 1) and the frontier
+//! `p′ = 1 − √(1 − p)`, then sweeps Corollary 7.2 exactly on `Tˆ`
+//! instances whose constraint probability is exactly `1 − ε²`.
+
+use criterion::{black_box, Criterion};
+use pak_bench::{criterion, print_report, Row};
+use pak_core::prob::Probability;
+use pak_core::theorems::{check_pak_corollary, pak_frontier};
+use pak_num::Rational;
+use pak_systems::firing_squad::{FiringSquad, FsSystem, ALICE, FIRE_A};
+use pak_systems::threshold::{ThresholdConstruction, AGENT_I, ALPHA};
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::from_ratio(n, d)
+}
+
+fn report() {
+    // §7's Example-1 instance.
+    let sys = FiringSquad::paper().build_pps();
+    let rep = check_pak_corollary(
+        sys.pps(),
+        ALICE,
+        FIRE_A,
+        &FsSystem::<Rational>::phi_both(),
+        &r(1, 10),
+    )
+    .unwrap();
+
+    let mut rows = vec![
+        Row::claim("Example 1: µ = 0.99 ≥ 1 − 0.1² (premise)", true, rep.premise_holds),
+        Row::exact("Example 1: µ(β ≥ 0.9 | fire_A)", "991/1000", &rep.strong_belief_measure),
+        Row::claim(
+            "Example 1: ≥ 0.9 as Corollary 7.2 demands",
+            true,
+            rep.strong_belief_measure.at_least(&r(9, 10)),
+        ),
+        Row::approx("frontier p′(0.99)", 0.9, pak_frontier(0.99), 1e-12),
+        Row::approx("frontier p′(0.75)", 0.5, pak_frontier(0.75), 1e-12),
+    ];
+
+    // Corollary 7.2 exactly on Tˆ(1 − ε², ·) instances.
+    for en in [2i64, 4, 10] {
+        let eps = r(1, en);
+        let p = (&eps * &eps).one_minus();
+        let t = ThresholdConstruction::new(p.clone(), &eps * &p);
+        let pps = t.build();
+        let rep = check_pak_corollary(
+            &pps,
+            AGENT_I,
+            ALPHA,
+            &ThresholdConstruction::<Rational>::phi(),
+            &eps,
+        )
+        .unwrap();
+        rows.push(Row::claim(
+            &format!("Cor 7.2 on Tˆ(1−ε², ε(1−ε²)), ε = 1/{en}"),
+            true,
+            rep.premise_holds && rep.implication_holds,
+        ));
+    }
+    print_report("E5: Theorem 7.1 / Corollary 7.2 — the PAK bound", &rows);
+}
+
+fn benches(c: &mut Criterion) {
+    let sys = FiringSquad::paper().build_pps();
+    let phi = FsSystem::<Rational>::phi_both();
+    c.bench_function("e5/check_pak_corollary_fs", |b| {
+        b.iter(|| {
+            black_box(check_pak_corollary(sys.pps(), ALICE, FIRE_A, &phi, &r(1, 10)).unwrap())
+        })
+    });
+    c.bench_function("e5/pak_frontier_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for i in 1..1000 {
+                acc += pak_frontier(f64::from(i) / 1000.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,136 @@
+//! E6 — Lemma 4.3 + Theorem 4.2: sufficient conditions for local-state
+//! independence, and threshold sufficiency under it.
+//!
+//! Checks on random protocol systems that (a) deterministic actions give
+//! LSI for any fact, (b) past-based facts give LSI for any action, and
+//! that with LSI the minimum acting belief lower-bounds the constraint
+//! probability. Also demonstrates the reproduction finding that (b)
+//! *requires* protocol consistency: on raw random trees it fails.
+
+use criterion::{black_box, Criterion};
+use pak_bench::{criterion, print_report, Row};
+use pak_core::fact::{Facts, FnFact, StateFact};
+use pak_core::generator::{GeneratorConfig, PpsGenerator};
+use pak_core::ids::Point;
+use pak_core::independence::{check_lemma43, is_local_state_independent};
+use pak_core::prelude::*;
+use pak_core::theorems::check_sufficiency;
+use pak_num::Rational;
+use pak_protocol::generator::{random_pps, RandomModelConfig};
+
+fn all_actions(pps: &Pps<SimpleState, Rational>) -> Vec<(AgentId, ActionId)> {
+    let mut out = Vec::new();
+    for run in pps.run_ids() {
+        for t in 0..pps.run_len(run) as u32 {
+            for &(a, act) in pps.actions_at(Point { run, time: t }) {
+                if !out.contains(&(a, act)) {
+                    out.push((a, act));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn report() {
+    let cfg = RandomModelConfig::default();
+    let past_based = StateFact::new("env even", |g: &SimpleState| g.env.is_multiple_of(2));
+    let future = FnFact::new("future act", |pps: &Pps<SimpleState, Rational>, pt: Point| {
+        ((pt.time + 1)..pps.run_len(pt.run) as u32)
+            .any(|t| !pps.actions_at(Point { run: pt.run, time: t }).is_empty())
+    });
+
+    let (mut lsi_b, mut total_b) = (0usize, 0usize);
+    let (mut lsi_a, mut total_a) = (0usize, 0usize);
+    let (mut suff_ok, mut suff_total) = (0usize, 0usize);
+    for seed in 0..40 {
+        let pps = random_pps::<Rational>(seed, &cfg).unwrap();
+        for (agent, action) in all_actions(&pps) {
+            if !pps.is_proper(agent, action) {
+                continue;
+            }
+            // (b) past-based ⇒ LSI.
+            total_b += 1;
+            if is_local_state_independent(&pps, &past_based, agent, action) {
+                lsi_b += 1;
+            }
+            // (a) deterministic ⇒ LSI even for future facts.
+            let lemma = check_lemma43(&pps, &future, agent, action);
+            if lemma.action_deterministic {
+                total_a += 1;
+                if is_local_state_independent(&pps, &future, agent, action) {
+                    lsi_a += 1;
+                }
+            }
+            // Theorem 4.2 at p = min acting belief.
+            suff_total += 1;
+            let a = ActionAnalysis::new(&pps, agent, action, &past_based).unwrap();
+            let p = a.min_belief_when_acting().unwrap();
+            let rep = check_sufficiency(&pps, agent, action, &past_based, &p).unwrap();
+            if rep.implication_holds && a.constraint_probability().at_least(&p) {
+                suff_ok += 1;
+            }
+        }
+    }
+
+    // Reproduction finding: Lemma 4.3(b) needs protocol consistency — on
+    // raw random trees a past-based fact can fail LSI.
+    let mut raw_violation_found = false;
+    for seed in 0..200 {
+        let mut g = PpsGenerator::new(
+            seed,
+            GeneratorConfig { unbalanced: false, ..GeneratorConfig::default() },
+        );
+        let pps = g.generate::<Rational>();
+        for (agent, action) in all_actions(&pps) {
+            if pps.is_proper(agent, action)
+                && !is_local_state_independent(&pps, &past_based, agent, action)
+            {
+                raw_violation_found = true;
+            }
+        }
+        if raw_violation_found {
+            break;
+        }
+    }
+
+    print_report(
+        "E6: Lemma 4.3 + Theorem 4.2 — independence and sufficiency",
+        &[
+            Row::exact("4.3(b): past-based ⇒ LSI (protocol systems)", &total_b.to_string(), lsi_b),
+            Row::exact("4.3(a): deterministic ⇒ LSI (future fact)", &total_a.to_string(), lsi_a),
+            Row::exact("Thm 4.2 non-vacuous at p = min belief", &suff_total.to_string(), suff_ok),
+            Row::claim(
+                "4.3(b) can FAIL on non-protocol trees (finding)",
+                true,
+                raw_violation_found,
+            ),
+        ],
+    );
+}
+
+fn benches(c: &mut Criterion) {
+    let cfg = RandomModelConfig::default();
+    let pps = random_pps::<Rational>(7, &cfg).unwrap();
+    let fact = StateFact::new("env even", |g: &SimpleState| g.env.is_multiple_of(2));
+    let (agent, action) = all_actions(&pps)
+        .into_iter()
+        .find(|&(a, act)| pps.is_proper(a, act))
+        .expect("proper action exists");
+    c.bench_function("e6/lsi_check", |b| {
+        b.iter(|| black_box(is_local_state_independent(&pps, &fact, agent, action)))
+    });
+    c.bench_function("e6/past_based_check", |b| {
+        b.iter(|| black_box(pps.is_past_based(&fact)))
+    });
+    c.bench_function("e6/deterministic_check", |b| {
+        b.iter(|| black_box(pps.is_deterministic_action(agent, action)))
+    });
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

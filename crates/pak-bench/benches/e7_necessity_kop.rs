@@ -1,0 +1,98 @@
+//! E7 — Lemma 5.1 (necessity of sometimes meeting the threshold) and
+//! Lemma F.1 (the Knowledge-of-Preconditions limit at p = 1).
+
+use criterion::{black_box, Criterion};
+use pak_bench::{criterion, print_report, Row};
+use pak_core::fact::StateFact;
+use pak_core::ids::Point;
+use pak_core::prelude::*;
+use pak_core::theorems::{check_kop_limit, check_necessity};
+use pak_num::Rational;
+use pak_protocol::generator::{random_pps, RandomModelConfig};
+use pak_systems::firing_squad::{FiringSquad, FsSystem, ALICE, FIRE_A};
+
+fn all_actions(pps: &Pps<SimpleState, Rational>) -> Vec<(AgentId, ActionId)> {
+    let mut out = Vec::new();
+    for run in pps.run_ids() {
+        for t in 0..pps.run_len(run) as u32 {
+            for &(a, act) in pps.actions_at(Point { run, time: t }) {
+                if !out.contains(&(a, act)) {
+                    out.push((a, act));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn report() {
+    // Lemma 5.1 on Example 1: µ = 0.99, so some firing point has β ≥ 0.99
+    // (the Yes-reply point, belief 1).
+    let sys = FiringSquad::paper().build_pps();
+    let nec = check_necessity(
+        sys.pps(),
+        ALICE,
+        FIRE_A,
+        &FsSystem::<Rational>::phi_both(),
+        &Rational::from_ratio(99, 100),
+    )
+    .unwrap();
+
+    // Lemma 5.1 + F.1 on random protocol systems.
+    let cfg = RandomModelConfig::default();
+    let fact = StateFact::new("env even", |g: &SimpleState| g.env.is_multiple_of(2));
+    let (mut nec_ok, mut kop_ok, mut kop_binding, mut total) = (0usize, 0usize, 0usize, 0usize);
+    for seed in 0..40 {
+        let pps = random_pps::<Rational>(seed, &cfg).unwrap();
+        for (agent, action) in all_actions(&pps) {
+            if !pps.is_proper(agent, action) {
+                continue;
+            }
+            total += 1;
+            let a = ActionAnalysis::new(&pps, agent, action, &fact).unwrap();
+            let p = a.constraint_probability();
+            let rep = check_necessity(&pps, agent, action, &fact, &p).unwrap();
+            if rep.implication_holds && rep.witness.is_some() {
+                nec_ok += 1;
+            }
+            let kop = check_kop_limit(&pps, agent, action, &fact).unwrap();
+            if kop.implication_holds {
+                kop_ok += 1;
+            }
+            if kop.constraint_probability.is_one() && kop.certainty_measure.is_one() {
+                kop_binding += 1;
+            }
+        }
+    }
+
+    print_report(
+        "E7: Lemma 5.1 (necessity) + Lemma F.1 (KoP limit)",
+        &[
+            Row::claim("Example 1: ∃ firing point with β ≥ 0.99", true, nec.witness.is_some()),
+            Row::exact("Example 1: max belief when firing", "1", &nec.max_belief),
+            Row::exact("Lemma 5.1 witness found (random systems)", &total.to_string(), nec_ok),
+            Row::exact("Lemma F.1 implication holds", &total.to_string(), kop_ok),
+            Row::claim("Lemma F.1 binding cases observed (µ=1 ⇒ β≡1)", true, kop_binding > 0),
+        ],
+    );
+    println!("({total} triples; {kop_binding} had µ(ϕ@α|α) = 1 exactly)");
+}
+
+fn benches(c: &mut Criterion) {
+    let sys = FiringSquad::paper().build_pps();
+    let phi = FsSystem::<Rational>::phi_both();
+    c.bench_function("e7/check_necessity_fs", |b| {
+        let p = Rational::from_ratio(99, 100);
+        b.iter(|| black_box(check_necessity(sys.pps(), ALICE, FIRE_A, &phi, &p).unwrap()))
+    });
+    c.bench_function("e7/check_kop_limit_fs", |b| {
+        b.iter(|| black_box(check_kop_limit(sys.pps(), ALICE, FIRE_A, &phi).unwrap()))
+    });
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,72 @@
+//! E9 — coordinated attack (Fischer–Zuck [20], §1).
+//!
+//! The property the paper generalises: the coordination probability equals
+//! general A's expected belief that B attacks, when A attacks — across
+//! rounds and loss rates.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use pak_bench::{criterion, print_report, Row};
+use pak_core::theorems::check_expectation;
+use pak_num::Rational;
+use pak_systems::attack::{AttackSystem, CoordinatedAttack, ATTACK_A, GENERAL_A};
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::from_ratio(n, d)
+}
+
+fn report() {
+    let mut rows = Vec::new();
+    for rounds in [1u32, 2, 3, 4] {
+        let scenario = CoordinatedAttack::new(r(1, 10), r(1, 2), rounds);
+        let sys = scenario.build_pps().unwrap();
+        let a = sys.analyze();
+        let rep = check_expectation(
+            sys.pps(),
+            GENERAL_A,
+            ATTACK_A,
+            &AttackSystem::<Rational>::b_attacks(),
+        )
+        .unwrap();
+        // Coordination improves with A→B (even-round) retransmissions:
+        // 1 − loss^(#sends).
+        let sends = rounds.div_ceil(2);
+        let expected = r(1, 10).pow(sends as i32).one_minus();
+        rows.push(Row::exact(
+            &format!("coordination, {rounds} round(s)"),
+            &expected.to_string(),
+            a.constraint_probability(),
+        ));
+        rows.push(Row::claim(
+            &format!("E[β_A(B attacks)] = coordination, {rounds} round(s)"),
+            true,
+            rep.equal,
+        ));
+    }
+    print_report("E9: coordinated attack — Fischer–Zuck average belief", &rows);
+
+    // A's belief distribution with an acknowledgement round.
+    let scenario = CoordinatedAttack::new(r(1, 10), r(1, 2), 2);
+    let a = scenario.build_pps().unwrap().analyze();
+    println!("belief distribution with 2 rounds (ack):");
+    for (belief, measure) in a.belief_distribution() {
+        println!("  β = {:<8} on measure {}", belief.to_string(), measure);
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9");
+    for rounds in [1u32, 3, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("unfold_analyze", rounds), &rounds, |b, &n| {
+            let scenario = CoordinatedAttack::new(r(1, 10), r(1, 2), n);
+            b.iter(|| black_box(scenario.build_pps().unwrap().analyze()))
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    report();
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

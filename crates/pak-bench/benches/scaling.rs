@@ -1,0 +1,91 @@
+//! Engineering benchmarks (not paper claims): how the analyses scale with
+//! system size, and the exact-vs-float cost ablation called out in
+//! DESIGN.md §4.1.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use pak_bench::criterion;
+use pak_core::belief::ActionAnalysis;
+use pak_core::fact::StateFact;
+use pak_core::prelude::*;
+use pak_num::Rational;
+use pak_protocol::generator::{random_model, random_pps, RandomModelConfig};
+use pak_protocol::unfold::{unfold_with, UnfoldConfig};
+use pak_systems::attack::CoordinatedAttack;
+
+fn cfg(horizon: u32) -> RandomModelConfig {
+    RandomModelConfig {
+        n_agents: 2,
+        initial_states: 2,
+        horizon,
+        envs: 3,
+        max_env_branching: 2,
+        local_values: 2,
+        actions_per_agent: 2,
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    // Unfolding cost vs horizon (tree size grows exponentially).
+    let mut group = c.benchmark_group("scaling/unfold");
+    for horizon in [2u32, 3, 4] {
+        let model = random_model::<Rational>(11, &cfg(horizon));
+        let runs = unfold_with(&model, &UnfoldConfig::default()).unwrap().num_runs();
+        group.bench_with_input(
+            BenchmarkId::new(format!("horizon_{horizon}_runs_{runs}"), horizon),
+            &model,
+            |b, m| {
+                b.iter(|| black_box(unfold_with(m, &UnfoldConfig::default()).unwrap()))
+            },
+        );
+    }
+    group.finish();
+
+    // Belief evaluation cost vs system size.
+    let mut group = c.benchmark_group("scaling/analysis");
+    for horizon in [2u32, 3, 4] {
+        let pps = random_pps::<Rational>(11, &cfg(horizon)).unwrap();
+        let fact = StateFact::new("env even", |g: &SimpleState| g.env.is_multiple_of(2));
+        // Find any proper action.
+        let mut found = None;
+        'outer: for run in pps.run_ids() {
+            for t in 0..pps.run_len(run) as u32 {
+                for &(a, act) in pps.actions_at(Point { run, time: t }) {
+                    if pps.is_proper(a, act) {
+                        found = Some((a, act));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if let Some((agent, action)) = found {
+            group.bench_with_input(
+                BenchmarkId::new("action_analysis", pps.num_runs()),
+                &pps,
+                |b, p| b.iter(|| black_box(ActionAnalysis::new(p, agent, action, &fact).unwrap())),
+            );
+        }
+    }
+    group.finish();
+
+    // Rational vs f64 ablation on a fixed workload (attack, 4 rounds).
+    let mut group = c.benchmark_group("scaling/numeric_ablation");
+    group.bench_function("attack4_rational", |b| {
+        let s = CoordinatedAttack::new(
+            Rational::from_ratio(1, 10),
+            Rational::from_ratio(1, 2),
+            4,
+        );
+        b.iter(|| black_box(s.build_pps().unwrap().analyze()))
+    });
+    group.bench_function("attack4_f64", |b| {
+        let s = CoordinatedAttack::new(0.1f64, 0.5, 4);
+        b.iter(|| black_box(s.build_pps().unwrap().analyze()))
+    });
+    group.finish();
+}
+
+fn main() {
+    let mut c = criterion();
+    benches(&mut c);
+    c.final_summary();
+}

@@ -1,0 +1,132 @@
+//! # pak-bench — the experiment harness
+//!
+//! One Criterion bench target per experiment of the reproduction (see
+//! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for the
+//! recorded results). Each target first prints a **paper-vs-measured**
+//! table — the reproduction artefact — and then benchmarks the computation
+//! that produced it.
+//!
+//! Run everything with `cargo bench --workspace`; a single experiment with
+//! e.g. `cargo bench --bench e1_firing_squad`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use criterion::Criterion;
+
+/// A paper-vs-measured report row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Which quantity this row reports.
+    pub quantity: String,
+    /// The paper's value, as printed in the paper (string to preserve the
+    /// paper's own rounding).
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the reproduction matches.
+    pub matches: bool,
+}
+
+impl Row {
+    /// Builds a row, deciding `matches` by string equality.
+    #[must_use]
+    pub fn exact(quantity: &str, paper: &str, measured: impl ToString) -> Self {
+        let measured = measured.to_string();
+        Row {
+            quantity: quantity.to_string(),
+            paper: paper.to_string(),
+            matches: paper == measured,
+            measured,
+        }
+    }
+
+    /// Builds a row comparing floats at the paper's printed precision.
+    #[must_use]
+    pub fn approx(quantity: &str, paper: f64, measured: f64, tol: f64) -> Self {
+        Row {
+            quantity: quantity.to_string(),
+            paper: format!("{paper}"),
+            measured: format!("{measured:.6}"),
+            matches: (paper - measured).abs() <= tol,
+        }
+    }
+
+    /// Builds a row for a boolean claim (e.g. "theorem holds").
+    #[must_use]
+    pub fn claim(quantity: &str, expected: bool, observed: bool) -> Self {
+        Row {
+            quantity: quantity.to_string(),
+            paper: expected.to_string(),
+            measured: observed.to_string(),
+            matches: expected == observed,
+        }
+    }
+}
+
+/// Prints a paper-vs-measured table and panics if any row mismatches (the
+/// bench doubles as a reproduction check).
+///
+/// # Panics
+///
+/// Panics if any row fails to match.
+pub fn print_report(experiment: &str, rows: &[Row]) {
+    println!("\n=== {experiment} ===");
+    println!("{:<52} {:>16} {:>16}  ok", "quantity", "paper", "measured");
+    println!("{}", "-".repeat(92));
+    let mut all_ok = true;
+    for row in rows {
+        println!(
+            "{:<52} {:>16} {:>16}  {}",
+            row.quantity,
+            row.paper,
+            row.measured,
+            if row.matches { "✓" } else { "✗" }
+        );
+        all_ok &= row.matches;
+    }
+    println!();
+    assert!(all_ok, "{experiment}: reproduction mismatch (see table above)");
+}
+
+/// A Criterion instance tuned for this suite: short measurement windows so
+/// the full experiment matrix completes quickly while still producing
+/// stable numbers.
+#[must_use]
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_constructors() {
+        let r = Row::exact("x", "99/100", "99/100");
+        assert!(r.matches);
+        let r = Row::exact("x", "99/100", "1/2");
+        assert!(!r.matches);
+        let r = Row::approx("y", 0.99899, 0.998991, 1e-5);
+        assert!(r.matches);
+        let r = Row::claim("z", true, true);
+        assert!(r.matches);
+    }
+
+    #[test]
+    fn print_report_accepts_matching_rows() {
+        print_report("unit-test", &[Row::claim("ok", true, true)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reproduction mismatch")]
+    fn print_report_rejects_mismatch() {
+        print_report("unit-test", &[Row::claim("bad", true, false)]);
+    }
+}

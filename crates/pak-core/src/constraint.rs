@@ -1,0 +1,225 @@
+//! Probabilistic constraints (Definition 3.2).
+//!
+//! A probabilistic constraint on an action `α` in a pps `T` is a statement
+//! `µ_T(ϕ@α | α) ≥ p`: the condition `ϕ` must hold with probability at
+//! least `p` when `α` is performed. [`ProbabilisticConstraint`] packages the
+//! triple `(agent, action, threshold)` with a fact so specifications can be
+//! passed around, checked, and reported on as values.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::belief::ActionAnalysis;
+use crate::error::AnalysisError;
+use crate::fact::Fact;
+use crate::ids::{ActionId, AgentId};
+use crate::pps::Pps;
+use crate::prob::Probability;
+use crate::state::GlobalState;
+
+/// A probabilistic constraint `µ_T(ϕ@α | α) ≥ p` (Definition 3.2).
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::prelude::*;
+/// use pak_num::Rational;
+///
+/// // Example 1's specification: µ(ϕ_both | fire_A) ≥ 0.95.
+/// let phi_both = StateFact::<SimpleState>::new("both firing", |g| g.env == 3);
+/// let spec = ProbabilisticConstraint::new(
+///     AgentId(0),
+///     ActionId(0),
+///     phi_both,
+///     Rational::from_ratio(19, 20),
+/// );
+/// assert!(spec.to_string().contains("0.95"));
+/// ```
+#[derive(Clone)]
+pub struct ProbabilisticConstraint<G: GlobalState, P: Probability> {
+    /// The acting agent `i`.
+    pub agent: AgentId,
+    /// The constrained action `α`.
+    pub action: ActionId,
+    /// The condition `ϕ`.
+    fact: Arc<dyn Fact<G, P> + Send + Sync>,
+    /// The threshold `p`.
+    pub threshold: P,
+}
+
+impl<G: GlobalState, P: Probability> ProbabilisticConstraint<G, P> {
+    /// Creates the constraint `µ(ϕ@α | α) ≥ threshold`.
+    pub fn new(
+        agent: AgentId,
+        action: ActionId,
+        fact: impl Fact<G, P> + Send + Sync + 'static,
+        threshold: P,
+    ) -> Self {
+        ProbabilisticConstraint {
+            agent,
+            action,
+            fact: Arc::new(fact),
+            threshold,
+        }
+    }
+
+    /// The condition `ϕ`.
+    #[must_use]
+    pub fn fact(&self) -> &dyn Fact<G, P> {
+        self.fact.as_ref()
+    }
+
+    /// Evaluates `µ_T(ϕ@α | α)` on a concrete system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::ImproperAction`] if the action is not proper
+    /// in `pps`.
+    pub fn evaluate(&self, pps: &Pps<G, P>) -> Result<ConstraintEvaluation<P>, AnalysisError> {
+        let analysis = ActionAnalysis::new(pps, self.agent, self.action, self.fact.as_ref())?;
+        let achieved = analysis.constraint_probability();
+        Ok(ConstraintEvaluation {
+            satisfied: achieved.at_least(&self.threshold),
+            achieved,
+            threshold: self.threshold.clone(),
+            expected_belief: analysis.expected_belief(),
+            threshold_met_measure: analysis.threshold_measure(&self.threshold),
+        })
+    }
+
+    /// Checks satisfaction only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::ImproperAction`] if the action is not proper
+    /// in `pps`.
+    pub fn is_satisfied(&self, pps: &Pps<G, P>) -> Result<bool, AnalysisError> {
+        Ok(self.evaluate(pps)?.satisfied)
+    }
+}
+
+impl<G: GlobalState, P: Probability> fmt::Debug for ProbabilisticConstraint<G, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ProbabilisticConstraint(µ({}@{} | {}) ≥ {})",
+            self.fact.label(),
+            self.action,
+            self.action,
+            self.threshold
+        )
+    }
+}
+
+impl<G: GlobalState, P: Probability> fmt::Display for ProbabilisticConstraint<G, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "µ({}@α | α) ≥ {} for α = {} of {}",
+            self.fact.label(),
+            self.threshold.to_f64(),
+            self.action,
+            self.agent
+        )
+    }
+}
+
+/// The result of evaluating a [`ProbabilisticConstraint`] on a system.
+#[derive(Debug, Clone)]
+pub struct ConstraintEvaluation<P> {
+    /// Whether `µ(ϕ@α | α) ≥ p`.
+    pub satisfied: bool,
+    /// The achieved probability `µ(ϕ@α | α)`.
+    pub achieved: P,
+    /// The required threshold `p`.
+    pub threshold: P,
+    /// `E[β_i(ϕ)@α | α]` — equal to `achieved` under local-state
+    /// independence (Theorem 6.2).
+    pub expected_belief: P,
+    /// `µ(β_i(ϕ)@α ≥ p | α)` — how often the agent's belief meets the
+    /// threshold when acting.
+    pub threshold_met_measure: P,
+}
+
+impl<P: Probability> ConstraintEvaluation<P> {
+    /// The margin `achieved − threshold` (negative when unsatisfied).
+    #[must_use]
+    pub fn margin(&self) -> P {
+        self.achieved.sub(&self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::StateFact;
+    use crate::pps::PpsBuilder;
+    use crate::state::SimpleState;
+    use pak_num::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    fn biased_coin(p_heads: Rational) -> Pps<SimpleState, Rational> {
+        // Agent observes nothing; env=1 w.p. p, env=0 otherwise; agent then
+        // unconditionally acts.
+        let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+        let h = b.initial(SimpleState::new(1, vec![0]), p_heads.clone()).unwrap();
+        let t = b.initial(SimpleState::new(0, vec![0]), p_heads.one_minus()).unwrap();
+        b.child(h, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))]).unwrap();
+        b.child(t, SimpleState::new(0, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn heads() -> StateFact<SimpleState> {
+        StateFact::new("heads", |g: &SimpleState| g.env == 1)
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        let pps = biased_coin(r(99, 100));
+        let spec = ProbabilisticConstraint::new(AgentId(0), ActionId(0), heads(), r(95, 100));
+        let eval = spec.evaluate(&pps).unwrap();
+        assert!(eval.satisfied);
+        assert_eq!(eval.achieved, r(99, 100));
+        assert_eq!(eval.margin(), r(4, 100));
+        assert!(spec.is_satisfied(&pps).unwrap());
+    }
+
+    #[test]
+    fn constraint_violation() {
+        let pps = biased_coin(r(1, 2));
+        let spec = ProbabilisticConstraint::new(AgentId(0), ActionId(0), heads(), r(95, 100));
+        let eval = spec.evaluate(&pps).unwrap();
+        assert!(!eval.satisfied);
+        assert!(eval.margin().to_f64() < 0.0);
+    }
+
+    #[test]
+    fn expectation_theorem_reflected_in_evaluation() {
+        // The agent never observes the coin, so its belief equals the prior;
+        // Theorem 6.2: expected belief = achieved probability.
+        let pps = biased_coin(r(2, 3));
+        let spec = ProbabilisticConstraint::new(AgentId(0), ActionId(0), heads(), r(1, 2));
+        let eval = spec.evaluate(&pps).unwrap();
+        assert_eq!(eval.expected_belief, eval.achieved);
+        // Belief is 2/3 ≥ ½ always, so the threshold-met measure is 1.
+        assert_eq!(eval.threshold_met_measure, Rational::one());
+    }
+
+    #[test]
+    fn improper_action_propagates() {
+        let pps = biased_coin(r(1, 2));
+        let spec = ProbabilisticConstraint::new(AgentId(0), ActionId(9), heads(), r(1, 2));
+        assert!(spec.evaluate(&pps).is_err());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let spec: ProbabilisticConstraint<SimpleState, Rational> =
+            ProbabilisticConstraint::new(AgentId(0), ActionId(0), heads(), r(19, 20));
+        assert!(format!("{spec}").contains("0.95"));
+        assert!(format!("{spec:?}").contains("heads"));
+    }
+}

@@ -1,0 +1,173 @@
+//! Error types for pps construction and analysis.
+
+use core::fmt;
+
+use crate::ids::{ActionId, AgentId, NodeId};
+
+/// Error produced when constructing or validating a purely probabilistic
+/// system.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::prelude::*;
+///
+/// // A builder with no initial states cannot produce a pps.
+/// let b = PpsBuilder::<SimpleState, f64>::new(1);
+/// assert!(matches!(b.build(), Err(PpsError::NoInitialStates)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PpsError {
+    /// The tree has no initial global states (no children of the root `λ`).
+    NoInitialStates,
+    /// The outgoing probabilities of a node do not sum to one.
+    BadDistribution {
+        /// The offending node.
+        node: NodeId,
+        /// The actual sum, for diagnostics (lossy for exact types).
+        sum: f64,
+    },
+    /// An edge probability is zero or negative; the paper requires
+    /// `π : E → (0, 1]`.
+    NonPositiveProbability {
+        /// The node the edge leads into.
+        node: NodeId,
+    },
+    /// An edge probability exceeds one.
+    ProbabilityAboveOne {
+        /// The node the edge leads into.
+        node: NodeId,
+    },
+    /// A state refers to an agent outside `0..n_agents`.
+    AgentOutOfRange {
+        /// The offending agent.
+        agent: AgentId,
+        /// The number of agents the system was declared with.
+        n_agents: u32,
+    },
+    /// A parent handle passed to the builder does not exist.
+    UnknownNode {
+        /// The unknown handle.
+        node: NodeId,
+    },
+    /// An action was attached to an initial state's incoming edge; initial
+    /// states are chosen by the prior, not produced by actions.
+    ActionOnInitialEdge {
+        /// The initial node.
+        node: NodeId,
+    },
+    /// The same agent performs two actions on one edge; a protocol step
+    /// selects exactly one action per agent per round.
+    DuplicateAgentAction {
+        /// The node whose incoming edge is malformed.
+        node: NodeId,
+        /// The agent with duplicate actions.
+        agent: AgentId,
+    },
+}
+
+impl fmt::Display for PpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpsError::NoInitialStates => {
+                write!(f, "pps has no initial global states")
+            }
+            PpsError::BadDistribution { node, sum } => {
+                write!(f, "outgoing probabilities of {node} sum to {sum}, expected 1")
+            }
+            PpsError::NonPositiveProbability { node } => {
+                write!(f, "edge into {node} has non-positive probability")
+            }
+            PpsError::ProbabilityAboveOne { node } => {
+                write!(f, "edge into {node} has probability above one")
+            }
+            PpsError::AgentOutOfRange { agent, n_agents } => {
+                write!(f, "{agent} out of range for a system of {n_agents} agents")
+            }
+            PpsError::UnknownNode { node } => {
+                write!(f, "unknown node handle {node}")
+            }
+            PpsError::ActionOnInitialEdge { node } => {
+                write!(f, "initial state {node} cannot have actions on its incoming edge")
+            }
+            PpsError::DuplicateAgentAction { node, agent } => {
+                write!(f, "edge into {node} records two actions for {agent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PpsError {}
+
+/// Error produced by analyses whose preconditions fail.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The action is not *proper* for the agent: it is either never
+    /// performed in the system, or performed more than once in some run
+    /// (§3.1). Use [`crate::pps::Pps::tag_occurrences`] to convert any
+    /// action into proper ones.
+    ImproperAction {
+        /// The acting agent.
+        agent: AgentId,
+        /// The offending action.
+        action: ActionId,
+        /// `true` if the action is never performed at all.
+        never_performed: bool,
+    },
+    /// The event being conditioned on has measure zero.
+    ConditioningOnNull,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::ImproperAction { agent, action, never_performed } => {
+                if *never_performed {
+                    write!(f, "{action} is never performed by {agent} in the system")
+                } else {
+                    write!(f, "{action} is performed more than once in a run by {agent}")
+                }
+            }
+            AnalysisError::ConditioningOnNull => {
+                write!(f, "cannot condition on an event of measure zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PpsError::BadDistribution { node: NodeId(3), sum: 0.9 };
+        assert!(e.to_string().contains("node#3"));
+        assert!(e.to_string().contains("0.9"));
+        let e = PpsError::AgentOutOfRange { agent: AgentId(5), n_agents: 2 };
+        assert!(e.to_string().contains("agent#5"));
+        let e = AnalysisError::ImproperAction {
+            agent: AgentId(0),
+            action: ActionId(1),
+            never_performed: true,
+        };
+        assert!(e.to_string().contains("never performed"));
+        let e = AnalysisError::ImproperAction {
+            agent: AgentId(0),
+            action: ActionId(1),
+            never_performed: false,
+        };
+        assert!(e.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(PpsError::NoInitialStates);
+        takes_err(AnalysisError::ConditioningOnNull);
+    }
+}

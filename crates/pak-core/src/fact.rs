@@ -1,0 +1,499 @@
+//! Facts (conditions) over a pps and their associated run events.
+//!
+//! A fact `ϕ` (§2.3) is identified with the set of points at which it is
+//! true. [`Fact`] captures this as a predicate on points; combinators build
+//! compound facts. The module also provides the paper's `@`-operators:
+//!
+//! * `ϕ@ℓ` — "ϕ holds at the (unique) point of the current run where the
+//!   agent's local state is ℓ" ([`Facts::fact_at_cell`]),
+//! * `ϕ@α` — "ϕ holds when the agent performs the proper action α"
+//!   ([`Facts::fact_at_action`]),
+//!
+//! both of which are *facts about runs* and hence measurable events.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::event::RunSet;
+use crate::ids::{ActionId, AgentId, CellId, Point};
+use crate::pps::Pps;
+use crate::prob::Probability;
+use crate::state::GlobalState;
+
+/// A fact (condition, event-in-time) over the points of a pps.
+///
+/// Implementors decide truth at each point `(r, t)`. Facts are evaluated
+/// against a concrete system, so the same `Fact` value can be reused across
+/// systems that share state and action vocabulary.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::prelude::*;
+///
+/// // "agent 0's local data is odd" as a state fact:
+/// let odd = StateFact::<SimpleState>::new("odd", |g| g.locals[0] % 2 == 1);
+/// # let _ = odd;
+/// ```
+pub trait Fact<G: GlobalState, P: Probability>: fmt::Debug {
+    /// Returns `true` if the fact holds at `point` of `pps`.
+    ///
+    /// Points past the end of a run (where `state_at` is `None`) should
+    /// report `false`.
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool;
+
+    /// A short human-readable label for reports.
+    fn label(&self) -> String {
+        "ϕ".to_string()
+    }
+}
+
+/// A fact defined by an arbitrary closure on points.
+#[derive(Clone)]
+pub struct FnFact<G: GlobalState, P: Probability> {
+    label: String,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&Pps<G, P>, Point) -> bool + Send + Sync>,
+}
+
+impl<G: GlobalState, P: Probability> FnFact<G, P> {
+    /// Wraps a closure as a fact.
+    pub fn new(
+        label: impl Into<String>,
+        f: impl Fn(&Pps<G, P>, Point) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FnFact {
+            label: label.into(),
+            f: Arc::new(f),
+        }
+    }
+}
+
+impl<G: GlobalState, P: Probability> fmt::Debug for FnFact<G, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FnFact({})", self.label)
+    }
+}
+
+impl<G: GlobalState, P: Probability> Fact<G, P> for FnFact<G, P> {
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool {
+        (self.f)(pps, point)
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// A fact that depends only on the current global state — by construction a
+/// *past-based* fact in the sense of §4 (its truth at `(r, t)` is a function
+/// of the node reached at time `t`).
+#[derive(Clone)]
+pub struct StateFact<G> {
+    label: String,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn(&G) -> bool + Send + Sync>,
+}
+
+impl<G: GlobalState> StateFact<G> {
+    /// Wraps a predicate on global states as a fact.
+    pub fn new(label: impl Into<String>, f: impl Fn(&G) -> bool + Send + Sync + 'static) -> Self {
+        StateFact {
+            label: label.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// Evaluates the underlying predicate directly on a state.
+    #[must_use]
+    pub fn eval(&self, state: &G) -> bool {
+        (self.f)(state)
+    }
+}
+
+impl<G> fmt::Debug for StateFact<G> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StateFact({})", self.label)
+    }
+}
+
+impl<G: GlobalState, P: Probability> Fact<G, P> for StateFact<G> {
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool {
+        pps.state_at(point).is_some_and(|s| (self.f)(s))
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The fact `does_i(α)`: agent `i` is currently performing `α` (§2.3).
+///
+/// Note that `does_i(α)` is **not** past-based in general: at a mixed-action
+/// point, runs sharing the node at time `t` diverge on the action taken.
+/// This is exactly the source of the paper's Figure 1 counterexamples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoesFact {
+    /// The acting agent.
+    pub agent: AgentId,
+    /// The action.
+    pub action: ActionId,
+}
+
+impl DoesFact {
+    /// Creates the fact `does_agent(action)`.
+    #[must_use]
+    pub fn new(agent: AgentId, action: ActionId) -> Self {
+        DoesFact { agent, action }
+    }
+}
+
+impl<G: GlobalState, P: Probability> Fact<G, P> for DoesFact {
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool {
+        pps.does(self.agent, self.action, point)
+    }
+
+    fn label(&self) -> String {
+        format!("does_{}({})", self.agent.0, self.action)
+    }
+}
+
+/// Negation of a fact.
+#[derive(Debug)]
+pub struct NotFact<F>(pub F);
+
+impl<G: GlobalState, P: Probability, F: Fact<G, P>> Fact<G, P> for NotFact<F> {
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool {
+        // ¬ϕ at points past a run's end: the paper evaluates facts only at
+        // points of Pts(T); for uniformity we treat out-of-run points as
+        // not satisfying any fact, including negations.
+        if pps.state_at(point).is_none() {
+            return false;
+        }
+        !self.0.holds(pps, point)
+    }
+
+    fn label(&self) -> String {
+        format!("¬{}", self.0.label())
+    }
+}
+
+/// Conjunction of two facts.
+#[derive(Debug)]
+pub struct AndFact<A, B>(pub A, pub B);
+
+impl<G: GlobalState, P: Probability, A: Fact<G, P>, B: Fact<G, P>> Fact<G, P> for AndFact<A, B> {
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool {
+        self.0.holds(pps, point) && self.1.holds(pps, point)
+    }
+
+    fn label(&self) -> String {
+        format!("({} ∧ {})", self.0.label(), self.1.label())
+    }
+}
+
+/// Disjunction of two facts.
+#[derive(Debug)]
+pub struct OrFact<A, B>(pub A, pub B);
+
+impl<G: GlobalState, P: Probability, A: Fact<G, P>, B: Fact<G, P>> Fact<G, P> for OrFact<A, B> {
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool {
+        self.0.holds(pps, point) || self.1.holds(pps, point)
+    }
+
+    fn label(&self) -> String {
+        format!("({} ∨ {})", self.0.label(), self.1.label())
+    }
+}
+
+/// The constant `true` fact (holds at every point of every run).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrueFact;
+
+impl<G: GlobalState, P: Probability> Fact<G, P> for TrueFact {
+    fn holds(&self, pps: &Pps<G, P>, point: Point) -> bool {
+        pps.state_at(point).is_some()
+    }
+
+    fn label(&self) -> String {
+        "⊤".to_string()
+    }
+}
+
+/// The constant `false` fact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FalseFact;
+
+impl<G: GlobalState, P: Probability> Fact<G, P> for FalseFact {
+    fn holds(&self, _pps: &Pps<G, P>, _point: Point) -> bool {
+        false
+    }
+
+    fn label(&self) -> String {
+        "⊥".to_string()
+    }
+}
+
+/// Fact-evaluation and `@`-operator helpers on a pps.
+///
+/// These methods realise §2.3 and §3 of the paper. They are provided as an
+/// extension trait so `pps.rs` stays focused on structure and measure.
+pub trait Facts<G: GlobalState, P: Probability> {
+    /// The event `{r : (T, r, t) |= ϕ for the given fixed t}`. Runs shorter
+    /// than `t` are excluded.
+    fn fact_event_at_time(&self, fact: &dyn Fact<G, P>, time: u32) -> RunSet;
+
+    /// Checks whether `ϕ` is a *fact about runs*: its truth is the same at
+    /// every point of each run (§2.3).
+    fn is_run_fact(&self, fact: &dyn Fact<G, P>) -> bool;
+
+    /// The event of a fact about runs: `{r : (T, r) |= ϕ}` (evaluated at
+    /// time 0 of each run; meaningful when [`Facts::is_run_fact`] holds, and
+    /// usable as "ϕ holds at time 0" otherwise).
+    fn run_fact_event(&self, fact: &dyn Fact<G, P>) -> RunSet;
+
+    /// The event `ℓ`: runs in which the cell's local state occurs.
+    fn cell_event(&self, cell: CellId) -> RunSet;
+
+    /// The event `ϕ@ℓ`: runs in which the local state of `cell` occurs
+    /// *and* `ϕ` holds at the point realising it (§3).
+    fn fact_at_cell(&self, fact: &dyn Fact<G, P>, cell: CellId) -> RunSet;
+
+    /// The event `α@ℓ` (shorthand for `does_i(α)@ℓ`): runs in which the
+    /// cell's local state occurs and the agent performs `action` there.
+    fn action_at_cell(&self, action: ActionId, cell: CellId) -> RunSet;
+
+    /// The event `ϕ@α`: runs in which the (proper) action `α` is performed
+    /// by `agent` and `ϕ` holds at the unique point of performance (§3.1).
+    fn fact_at_action(&self, fact: &dyn Fact<G, P>, agent: AgentId, action: ActionId) -> RunSet;
+
+    /// Checks whether `ϕ` is *past-based* (§4): for all runs agreeing up to
+    /// time `t` (i.e. sharing the time-`t` node), `ϕ` agrees at `t`.
+    fn is_past_based(&self, fact: &dyn Fact<G, P>) -> bool;
+
+    /// Checks whether `action` is *deterministic* for `agent` (§4): whether
+    /// `does_i(α)` is a function of `i`'s local state.
+    fn is_deterministic_action(&self, agent: AgentId, action: ActionId) -> bool;
+}
+
+impl<G: GlobalState, P: Probability> Facts<G, P> for Pps<G, P> {
+    fn fact_event_at_time(&self, fact: &dyn Fact<G, P>, time: u32) -> RunSet {
+        RunSet::from_predicate(self.num_runs(), |run| {
+            (time as usize) < self.run_len(run) && fact.holds(self, Point { run, time })
+        })
+    }
+
+    fn is_run_fact(&self, fact: &dyn Fact<G, P>) -> bool {
+        self.run_ids().all(|run| {
+            let at0 = fact.holds(self, Point { run, time: 0 });
+            (1..self.run_len(run) as u32)
+                .all(|time| fact.holds(self, Point { run, time }) == at0)
+        })
+    }
+
+    fn run_fact_event(&self, fact: &dyn Fact<G, P>) -> RunSet {
+        self.fact_event_at_time(fact, 0)
+    }
+
+    fn cell_event(&self, cell: CellId) -> RunSet {
+        self.cell(cell).runs.clone()
+    }
+
+    fn fact_at_cell(&self, fact: &dyn Fact<G, P>, cell: CellId) -> RunSet {
+        let c = self.cell(cell);
+        let time = c.time;
+        RunSet::from_predicate(self.num_runs(), |run| {
+            c.runs.contains(run) && fact.holds(self, Point { run, time })
+        })
+    }
+
+    fn action_at_cell(&self, action: ActionId, cell: CellId) -> RunSet {
+        let c = self.cell(cell);
+        let agent = c.agent;
+        let time = c.time;
+        RunSet::from_predicate(self.num_runs(), |run| {
+            c.runs.contains(run) && self.does(agent, action, Point { run, time })
+        })
+    }
+
+    fn fact_at_action(&self, fact: &dyn Fact<G, P>, agent: AgentId, action: ActionId) -> RunSet {
+        RunSet::from_predicate(self.num_runs(), |run| {
+            match self.action_point(agent, action, run) {
+                None => false,
+                Some(pt) => fact.holds(self, pt),
+            }
+        })
+    }
+
+    fn is_past_based(&self, fact: &dyn Fact<G, P>) -> bool {
+        // Group points by tree node: a fact is past-based iff it is constant
+        // on each node's set of passing runs.
+        let mut verdict: Vec<Option<bool>> = vec![None; self.num_nodes()];
+        for point in self.points() {
+            let node = self
+                .node_at(point.run, point.time)
+                .expect("enumerated point exists");
+            let v = fact.holds(self, point);
+            match verdict[node.index()] {
+                None => verdict[node.index()] = Some(v),
+                Some(prev) => {
+                    if prev != v {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn is_deterministic_action(&self, agent: AgentId, action: ActionId) -> bool {
+        // does_i(α) must be constant on every information set of the agent.
+        for (_, cell) in self.agent_cells(agent) {
+            let mut first: Option<bool> = None;
+            for pt in self.cell_points(cell) {
+                let v = self.does(agent, action, pt);
+                match first {
+                    None => first = Some(v),
+                    Some(prev) => {
+                        if prev != v {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, RunId};
+    use crate::pps::PpsBuilder;
+    use crate::state::SimpleState;
+    use pak_num::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    fn st(env: u64, locals: &[u64]) -> SimpleState {
+        SimpleState::new(env, locals.to_vec())
+    }
+
+    /// Figure 1: one agent, mixed α/α′ at time 0.
+    fn figure1() -> Pps<SimpleState, Rational> {
+        let mut b = PpsBuilder::new(1);
+        let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
+        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))]).unwrap();
+        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn state_fact_is_past_based() {
+        let pps = figure1();
+        let f = StateFact::<SimpleState>::new("local=1", |g| g.locals[0] == 1);
+        assert!(pps.is_past_based(&f));
+        assert!(f.eval(&st(0, &[1])));
+    }
+
+    #[test]
+    fn does_fact_not_past_based_under_mixing() {
+        let pps = figure1();
+        let f = DoesFact::new(AgentId(0), ActionId(0));
+        // The two runs share the time-0 node but only one performs α there.
+        assert!(!Facts::<SimpleState, Rational>::is_past_based(&pps, &f));
+    }
+
+    #[test]
+    fn mixed_action_is_not_deterministic() {
+        let pps = figure1();
+        assert!(!pps.is_deterministic_action(AgentId(0), ActionId(0)));
+    }
+
+    #[test]
+    fn unconditional_action_is_deterministic() {
+        // A single run where the agent always performs α: trivially a
+        // deterministic function of the local state.
+        let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+        let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
+        b.child(g0, st(0, &[1]), Rational::one(), &[(AgentId(0), ActionId(0))]).unwrap();
+        let pps = b.build().unwrap();
+        assert!(pps.is_deterministic_action(AgentId(0), ActionId(0)));
+    }
+
+    #[test]
+    fn combinators_and_labels() {
+        let pps = figure1();
+        let alpha = DoesFact::new(AgentId(0), ActionId(0));
+        let not_alpha = NotFact(alpha);
+        let pt0 = Point { run: RunId(0), time: 0 };
+        let pt1 = Point { run: RunId(1), time: 0 };
+        let does0 = Facts::<SimpleState, Rational>::fact_event_at_time(&pps, &alpha, 0);
+        assert_eq!(does0.len(), 1);
+        // not_alpha holds exactly at the other time-0 point.
+        let a = alpha.holds(&pps, pt0) as u8 + alpha.holds(&pps, pt1) as u8;
+        let n = not_alpha.holds(&pps, pt0) as u8 + not_alpha.holds(&pps, pt1) as u8;
+        assert_eq!((a, n), (1, 1));
+        assert_eq!(Fact::<SimpleState, Rational>::label(&not_alpha), "¬does_0(action#0)");
+        let both = AndFact(TrueFact, FalseFact);
+        assert!(!both.holds(&pps, pt0));
+        let either = OrFact(TrueFact, FalseFact);
+        assert!(either.holds(&pps, pt0));
+        assert_eq!(Fact::<SimpleState, Rational>::label(&either), "(⊤ ∨ ⊥)");
+    }
+
+    #[test]
+    fn true_false_facts_respect_run_bounds() {
+        let pps = figure1();
+        let beyond = Point { run: RunId(0), time: 99 };
+        assert!(!Fact::<SimpleState, Rational>::holds(&TrueFact, &pps, beyond));
+        assert!(!Fact::<SimpleState, Rational>::holds(&FalseFact, &pps, beyond));
+        let not_false = NotFact(FalseFact);
+        assert!(!Fact::<SimpleState, Rational>::holds(&not_false, &pps, beyond));
+    }
+
+    #[test]
+    fn fact_at_action_events() {
+        let pps = figure1();
+        // ψ = ¬does(α) evaluated at the α-point is false on the α-run.
+        let psi = NotFact(DoesFact::new(AgentId(0), ActionId(0)));
+        let ev = pps.fact_at_action(&psi, AgentId(0), ActionId(0));
+        assert!(ev.is_empty());
+        // ϕ = does(α) at the α-point is exactly R_α.
+        let phi = DoesFact::new(AgentId(0), ActionId(0));
+        let ev = pps.fact_at_action(&phi, AgentId(0), ActionId(0));
+        assert_eq!(ev, pps.action_event(AgentId(0), ActionId(0)));
+    }
+
+    #[test]
+    fn at_cell_operators() {
+        let pps = figure1();
+        let cell = pps
+            .cell_at(AgentId(0), Point { run: RunId(0), time: 0 })
+            .unwrap();
+        // ℓ occurs in both runs.
+        assert_eq!(pps.cell_event(cell).len(), 2);
+        // α@ℓ: performed in exactly one run.
+        assert_eq!(pps.action_at_cell(ActionId(0), cell).len(), 1);
+        // ⊤@ℓ = ℓ.
+        let top = TrueFact;
+        assert_eq!(pps.fact_at_cell(&top, cell), pps.cell_event(cell));
+    }
+
+    #[test]
+    fn run_fact_detection() {
+        let pps = figure1();
+        // "α is performed at some time in the run" is a fact about runs.
+        let performed = FnFact::new("α performed", |pps: &Pps<SimpleState, Rational>, pt| {
+            !pps.performance_times(AgentId(0), ActionId(0), pt.run).is_empty()
+        });
+        assert!(pps.is_run_fact(&performed));
+        // does(α) is transient (true at t=0 on run 0, false at t=1).
+        let does = DoesFact::new(AgentId(0), ActionId(0));
+        assert!(!pps.is_run_fact(&does));
+        let _ = NodeId::ROOT;
+    }
+}

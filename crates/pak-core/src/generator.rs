@@ -1,0 +1,322 @@
+//! Seeded random-system generation.
+//!
+//! Property tests and benchmarks need streams of structurally diverse purely
+//! probabilistic systems. [`PpsGenerator`] produces them deterministically
+//! from a seed using an embedded SplitMix64 generator (no external RNG
+//! dependency, so the core crate stays lean and generation is reproducible
+//! across platforms).
+//!
+//! Generated systems exercise:
+//!
+//! * mixed actions (the same local state choosing different actions),
+//! * hidden environment branching (agents' locals coarser than the state),
+//! * unbalanced trees (runs of different lengths) when requested,
+//! * multi-agent local-state structure.
+
+use crate::ids::{ActionId, AgentId, NodeId};
+use crate::pps::{Pps, PpsBuilder};
+use crate::prob::Probability;
+use crate::state::SimpleState;
+
+/// A deterministic SplitMix64 pseudo-random generator.
+///
+/// Used for reproducible system generation; **not** suitable for
+/// cryptographic purposes.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::generator::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping (slight bias is acceptable
+        // for test-case generation).
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform value in `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// A coin flip with probability `num/den` of `true`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Configuration for random system generation.
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of agents (≥ 1).
+    pub n_agents: u32,
+    /// Number of initial states (≥ 1).
+    pub initial_states: u32,
+    /// Tree depth: every run has exactly this many transitions unless
+    /// `unbalanced` is set.
+    pub depth: u32,
+    /// Maximum branching factor per node (≥ 1).
+    pub max_branching: u32,
+    /// Number of distinct action ids used per agent.
+    pub actions_per_agent: u32,
+    /// Number of distinct local-data values per agent (coarseness of the
+    /// agents' observations; smaller = more merging of information sets).
+    pub local_values: u64,
+    /// If set, subtrees may terminate early, producing runs of different
+    /// lengths.
+    pub unbalanced: bool,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            n_agents: 2,
+            initial_states: 2,
+            depth: 3,
+            max_branching: 3,
+            actions_per_agent: 2,
+            local_values: 3,
+            unbalanced: false,
+        }
+    }
+}
+
+/// Deterministic generator of random purely probabilistic systems over
+/// [`SimpleState`].
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::generator::{GeneratorConfig, PpsGenerator};
+/// use pak_num::Rational;
+///
+/// let mut g = PpsGenerator::new(7, GeneratorConfig::default());
+/// let pps = g.generate::<Rational>();
+/// assert!(pps.num_runs() >= 1);
+/// // Same seed, same system:
+/// let mut g2 = PpsGenerator::new(7, GeneratorConfig::default());
+/// assert_eq!(pps.num_runs(), g2.generate::<Rational>().num_runs());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PpsGenerator {
+    rng: SplitMix64,
+    config: GeneratorConfig,
+}
+
+impl PpsGenerator {
+    /// Creates a generator with the given seed and configuration.
+    #[must_use]
+    pub fn new(seed: u64, config: GeneratorConfig) -> Self {
+        PpsGenerator {
+            rng: SplitMix64::new(seed),
+            config,
+        }
+    }
+
+    /// Generates the next random system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero agents, zero depth
+    /// with zero initial states, …).
+    pub fn generate<P: Probability>(&mut self) -> Pps<SimpleState, P> {
+        let cfg = self.config.clone();
+        assert!(cfg.n_agents >= 1 && cfg.initial_states >= 1 && cfg.max_branching >= 1);
+        let mut b = PpsBuilder::<SimpleState, P>::new(cfg.n_agents);
+
+        let init_probs = self.random_distribution(cfg.initial_states);
+        let mut frontier: Vec<NodeId> = Vec::new();
+        for p in init_probs {
+            let state = self.random_state();
+            let id = b.initial(state, p).expect("generated prior is valid");
+            frontier.push(id);
+        }
+
+        for level in 0..cfg.depth {
+            let mut next = Vec::new();
+            for node in frontier {
+                if cfg.unbalanced && level > 0 && self.rng.chance(1, 4) {
+                    continue; // terminate this subtree early
+                }
+                let branching = self.rng.range(1, u64::from(cfg.max_branching)) as u32;
+                let probs = self.random_distribution(branching);
+                // Choose each agent's action for this step once per *edge*
+                // (mixed steps arise when branching > 1 picks different
+                // actions on sibling edges).
+                for p in probs {
+                    let state = self.random_state();
+                    let mut actions = Vec::new();
+                    for a in 0..cfg.n_agents {
+                        if self.rng.chance(2, 3) {
+                            let act = self.rng.below(u64::from(cfg.actions_per_agent)) as u32;
+                            actions.push((
+                                AgentId(a),
+                                ActionId(a * cfg.actions_per_agent + act),
+                            ));
+                        }
+                    }
+                    let child = b
+                        .child(node, state, p, &actions)
+                        .expect("generated transition is valid");
+                    next.push(child);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+
+        b.build().expect("generated distributions sum to one")
+    }
+
+    /// A random strictly-positive distribution over `n` outcomes, with small
+    /// integer weights so rational arithmetic stays fast.
+    fn random_distribution<P: Probability>(&mut self, n: u32) -> Vec<P> {
+        let weights: Vec<u64> = (0..n).map(|_| self.rng.range(1, 8)).collect();
+        let total: u64 = weights.iter().sum();
+        weights
+            .into_iter()
+            .map(|w| P::from_ratio(w, total))
+            .collect()
+    }
+
+    fn random_state(&mut self) -> SimpleState {
+        let cfg = &self.config;
+        let locals = (0..cfg.n_agents)
+            .map(|_| self.rng.below(cfg.local_values.max(1)))
+            .collect();
+        SimpleState {
+            env: self.rng.below(8),
+            locals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::{Facts, StateFact};
+    use pak_num::Rational;
+
+    #[test]
+    fn splitmix_deterministic_and_spread() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        // Different seeds give different streams.
+        let mut c = SplitMix64::new(2);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let v = r.range(3, 5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_panics() {
+        SplitMix64::new(0).below(0);
+    }
+
+    #[test]
+    fn generated_systems_are_valid_probability_spaces() {
+        for seed in 0..20 {
+            let mut g = PpsGenerator::new(seed, GeneratorConfig::default());
+            let pps = g.generate::<Rational>();
+            // Total measure is exactly one.
+            assert!(pps.measure(&pps.all_runs()).is_one(), "seed {seed}");
+            // Every run has positive probability.
+            for run in pps.run_ids() {
+                assert!(pps.run_probability(run).to_f64() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_unbalanced_systems_vary_run_length() {
+        let cfg = GeneratorConfig {
+            depth: 4,
+            unbalanced: true,
+            ..GeneratorConfig::default()
+        };
+        let mut any_variation = false;
+        for seed in 0..20 {
+            let mut g = PpsGenerator::new(seed, cfg.clone());
+            let pps = g.generate::<Rational>();
+            let lens: Vec<usize> = pps.run_ids().map(|r| pps.run_len(r)).collect();
+            if lens.iter().any(|&l| l != lens[0]) {
+                any_variation = true;
+            }
+            assert!(pps.measure(&pps.all_runs()).is_one());
+        }
+        assert!(any_variation, "no unbalanced tree generated in 20 seeds");
+    }
+
+    #[test]
+    fn state_facts_on_generated_systems_are_past_based() {
+        let mut g = PpsGenerator::new(3, GeneratorConfig::default());
+        let pps = g.generate::<Rational>();
+        let f = StateFact::<SimpleState>::new("env even", |s| s.env % 2 == 0);
+        assert!(pps.is_past_based(&f));
+    }
+
+    #[test]
+    fn f64_generation_matches_rational_shape() {
+        let cfg = GeneratorConfig::default();
+        let mut g1 = PpsGenerator::new(11, cfg.clone());
+        let mut g2 = PpsGenerator::new(11, cfg);
+        let exact = g1.generate::<Rational>();
+        let approx = g2.generate::<f64>();
+        assert_eq!(exact.num_runs(), approx.num_runs());
+        assert_eq!(exact.num_nodes(), approx.num_nodes());
+        for run in exact.run_ids() {
+            let e = exact.run_probability(run).to_f64();
+            let a = *approx.run_probability(run);
+            assert!((e - a).abs() < 1e-12);
+        }
+    }
+}

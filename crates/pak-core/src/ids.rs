@@ -1,0 +1,179 @@
+//! Identifier newtypes used throughout the workspace.
+//!
+//! Following C-NEWTYPE, agents, actions, tree nodes, runs, and local-state
+//! cells each get a distinct index type so they cannot be confused at
+//! compile time.
+
+use core::fmt;
+
+/// Identifies an agent `i ∈ Ags = {0, 1, …, n−1}`.
+///
+/// The environment (scheduler) is *not* an [`AgentId`]; environment moves are
+/// folded into transition probabilities when a protocol is unfolded.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::ids::AgentId;
+/// let alice = AgentId(0);
+/// let bob = AgentId(1);
+/// assert_ne!(alice, bob);
+/// assert_eq!(alice.to_string(), "agent#0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub u32);
+
+impl AgentId {
+    /// The index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "agent#{}", self.0)
+    }
+}
+
+/// Identifies a local action `α ∈ Act_i`.
+///
+/// Action identifiers are plain indices; a [`crate::pps::Pps`] carries an
+/// optional name table for diagnostics. Per the paper we assume the sets
+/// `Act_i` are disjoint, so an `ActionId` alone identifies the acting agent
+/// in well-formed systems; the library nevertheless always pairs actions
+/// with an [`AgentId`] for robustness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub u32);
+
+impl ActionId {
+    /// The index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "action#{}", self.0)
+    }
+}
+
+/// Index of a node in the pps tree (the root `λ` is always node `0`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root node `λ`.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Index of a run `r ∈ R_T` (a root-child-to-leaf path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunId(pub u32);
+
+impl RunId {
+    /// The index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run#{}", self.0)
+    }
+}
+
+/// Index of a local-state equivalence cell (an information set): the set of
+/// points an agent cannot distinguish because its local state is identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{}", self.0)
+    }
+}
+
+/// A time `t ≥ 0` within a run. `r(t)` is the `t+1`-st global state of a run;
+/// in the tree, nodes at depth `t + 1` (root has depth `0`) hold time `t`.
+pub type Time = u32;
+
+/// A point `(r, t)`: time `t` in run `r`. Facts are evaluated at points.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::ids::{Point, RunId};
+/// let pt = Point { run: RunId(3), time: 2 };
+/// assert_eq!(pt.to_string(), "(run#3, t=2)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// The run component `r`.
+    pub run: RunId,
+    /// The time component `t`.
+    pub time: Time,
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, t={})", self.run, self.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(AgentId(1));
+        set.insert(AgentId(1));
+        assert_eq!(set.len(), 1);
+        assert_eq!(AgentId(7).index(), 7);
+        assert_eq!(NodeId::ROOT, NodeId(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AgentId(2).to_string(), "agent#2");
+        assert_eq!(ActionId(5).to_string(), "action#5");
+        assert_eq!(NodeId(1).to_string(), "node#1");
+        assert_eq!(RunId(9).to_string(), "run#9");
+        assert_eq!(CellId(4).to_string(), "cell#4");
+    }
+
+    #[test]
+    fn points_order_lexicographically() {
+        let a = Point { run: RunId(0), time: 5 };
+        let b = Point { run: RunId(1), time: 0 };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,1059 @@
+//! Purely probabilistic systems (pps).
+//!
+//! A pps (§2.1 of the paper) is a finite labelled directed tree
+//! `T = (V, E, π)` with `π : E → (0, 1]` such that the outgoing edge
+//! probabilities of every internal node sum to one. All nodes other than the
+//! root `λ` correspond to global states; the root's sole purpose is to
+//! define the prior distribution over initial global states. Every path
+//! from a child of the root to a leaf is a *run*, and the product of edge
+//! probabilities along a run defines the prior measure `µ_T` over runs.
+//!
+//! [`Pps`] is the immutable, validated, fully indexed form: construction
+//! goes through [`PpsBuilder`], which checks the probabilistic and
+//! structural invariants and precomputes
+//!
+//! * the run table (paths, probabilities),
+//! * per-node run intervals (runs through a node are contiguous in DFS
+//!   order),
+//! * local-state cells (information sets) for every agent at every time.
+
+use std::collections::HashMap;
+
+use crate::error::PpsError;
+use crate::event::RunSet;
+use crate::ids::{ActionId, AgentId, CellId, NodeId, Point, RunId, Time};
+use crate::prob::Probability;
+use crate::state::{GlobalState, LocalState};
+
+/// A node of the pps tree.
+#[derive(Debug, Clone)]
+struct Node<G, P> {
+    /// Parent node; the root is its own parent.
+    parent: NodeId,
+    /// The global state; `None` only for the root `λ`.
+    state: Option<G>,
+    /// Depth in the tree: root `0`, initial states `1`. The time of a
+    /// non-root node is `depth − 1`.
+    depth: u32,
+    /// Probability of the edge from the parent (`1` for the root).
+    edge_prob: P,
+    /// Actions performed on the transition from the parent into this node:
+    /// at most one per agent. Empty for initial states.
+    actions: Vec<(AgentId, ActionId)>,
+    /// Child nodes, in insertion order.
+    children: Vec<NodeId>,
+    /// Half-open interval of run indices whose paths pass through this node.
+    run_range: (u32, u32),
+}
+
+/// A run: a path from an initial state to a leaf.
+#[derive(Debug, Clone)]
+struct Run<P> {
+    /// `nodes[t]` is the node corresponding to global state `r(t)`.
+    nodes: Vec<NodeId>,
+    /// Prior probability `µ_T(r)`: product of edge probabilities from the
+    /// root to the leaf.
+    prob: P,
+}
+
+/// A local-state equivalence cell: all the points agent `agent` cannot
+/// distinguish because its (synchronous) local state is the same.
+#[derive(Debug, Clone)]
+pub struct Cell<L> {
+    /// The agent whose information set this is.
+    pub agent: AgentId,
+    /// The common time of all points in the cell.
+    pub time: Time,
+    /// The common local data.
+    pub data: L,
+    /// The tree nodes realising this local state.
+    pub nodes: Vec<NodeId>,
+    /// The event `ℓ`: runs in which this local state occurs.
+    pub runs: RunSet,
+}
+
+/// A validated purely probabilistic system.
+///
+/// # Examples
+///
+/// Building the two-run system of the paper's Figure 1 (one agent, a mixed
+/// action step choosing `α` or `α′` with probability ½ each):
+///
+/// ```
+/// use pak_core::prelude::*;
+///
+/// let mut b = PpsBuilder::<SimpleState, f64>::new(1);
+/// let g0 = b.initial(SimpleState::zeroed(1), 1.0)?;
+/// let alpha = ActionId(0);
+/// let alpha_prime = ActionId(1);
+/// b.child(g0, SimpleState::zeroed(1), 0.5, &[(AgentId(0), alpha)])?;
+/// b.child(g0, SimpleState::zeroed(1), 0.5, &[(AgentId(0), alpha_prime)])?;
+/// let pps = b.build()?;
+///
+/// assert_eq!(pps.num_runs(), 2);
+/// assert!(pps.is_proper(AgentId(0), alpha));
+/// # Ok::<(), PpsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pps<G: GlobalState, P: Probability> {
+    n_agents: u32,
+    nodes: Vec<Node<G, P>>,
+    runs: Vec<Run<P>>,
+    /// `cell_of[agent][node − 1]` is the cell of the (non-root) node.
+    cell_of: Vec<Vec<CellId>>,
+    cells: Vec<Cell<G::Local>>,
+    /// Optional human-readable action names for diagnostics.
+    action_names: HashMap<ActionId, String>,
+}
+
+impl<G: GlobalState, P: Probability> Pps<G, P> {
+    // ------------------------------------------------------------------
+    // Structure access
+    // ------------------------------------------------------------------
+
+    /// The number of agents in the system.
+    #[must_use]
+    pub fn num_agents(&self) -> u32 {
+        self.n_agents
+    }
+
+    /// Iterator over all agents of the system.
+    pub fn agents(&self) -> impl Iterator<Item = AgentId> {
+        (0..self.n_agents).map(AgentId)
+    }
+
+    /// The number of tree nodes, including the root `λ`.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The number of runs `|R_T|`.
+    #[must_use]
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Iterator over all runs.
+    pub fn run_ids(&self) -> impl Iterator<Item = RunId> {
+        (0..self.runs.len() as u32).map(RunId)
+    }
+
+    /// The length (number of global states) of run `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn run_len(&self, run: RunId) -> usize {
+        self.runs[run.index()].nodes.len()
+    }
+
+    /// The maximum time occurring in any run.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.runs
+            .iter()
+            .map(|r| r.nodes.len() as u32 - 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The node realising point `(r, t)`, or `None` if run `r` has ended
+    /// before time `t`.
+    #[must_use]
+    pub fn node_at(&self, run: RunId, time: Time) -> Option<NodeId> {
+        self.runs[run.index()].nodes.get(time as usize).copied()
+    }
+
+    /// The global state at a point.
+    ///
+    /// Returns `None` if the run has ended before `point.time`.
+    #[must_use]
+    pub fn state_at(&self, point: Point) -> Option<&G> {
+        let node = self.node_at(point.run, point.time)?;
+        self.nodes[node.index()].state.as_ref()
+    }
+
+    /// The global state carried by a (non-root) node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root or out of range.
+    #[must_use]
+    pub fn node_state(&self, node: NodeId) -> &G {
+        self.nodes[node.index()]
+            .state
+            .as_ref()
+            .expect("root node has no state")
+    }
+
+    /// The time of a non-root node (its depth minus one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root.
+    #[must_use]
+    pub fn node_time(&self, node: NodeId) -> Time {
+        let d = self.nodes[node.index()].depth;
+        assert!(d > 0, "the root has no time");
+        d - 1
+    }
+
+    /// The children of a node, with their edge probabilities.
+    pub fn children(&self, node: NodeId) -> impl Iterator<Item = (NodeId, &P)> {
+        self.nodes[node.index()]
+            .children
+            .iter()
+            .map(move |&c| (c, &self.nodes[c.index()].edge_prob))
+    }
+
+    /// The parent of a node (the root is its own parent).
+    #[must_use]
+    pub fn parent(&self, node: NodeId) -> NodeId {
+        self.nodes[node.index()].parent
+    }
+
+    /// The initial global states (children of the root) with their prior
+    /// probabilities.
+    pub fn initial_states(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.children(NodeId::ROOT)
+    }
+
+    /// All points `Pts(T)` of the system, in (run, time) order.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.run_ids().flat_map(move |run| {
+            (0..self.run_len(run) as u32).map(move |time| Point { run, time })
+        })
+    }
+
+    /// The runs whose paths pass through `node` (a contiguous interval in
+    /// DFS order), as an event.
+    #[must_use]
+    pub fn runs_through(&self, node: NodeId) -> RunSet {
+        let (lo, hi) = self.nodes[node.index()].run_range;
+        RunSet::from_predicate(self.num_runs(), |r| (lo..hi).contains(&r.0))
+    }
+
+    /// Registers a human-readable name for an action (diagnostics only).
+    pub fn set_action_name(&mut self, action: ActionId, name: impl Into<String>) {
+        self.action_names.insert(action, name.into());
+    }
+
+    /// The registered name of an action, or a generic `action#k` fallback.
+    #[must_use]
+    pub fn action_name(&self, action: ActionId) -> String {
+        self.action_names
+            .get(&action)
+            .cloned()
+            .unwrap_or_else(|| action.to_string())
+    }
+
+    // ------------------------------------------------------------------
+    // Measure
+    // ------------------------------------------------------------------
+
+    /// The prior probability `µ_T(r)` of a single run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn run_probability(&self, run: RunId) -> &P {
+        &self.runs[run.index()].prob
+    }
+
+    /// The measure `µ_T(Q)` of an event.
+    #[must_use]
+    pub fn measure(&self, event: &RunSet) -> P {
+        let mut acc = P::zero();
+        for r in event.iter() {
+            acc = acc.add(&self.runs[r.index()].prob);
+        }
+        acc
+    }
+
+    /// The conditional measure `µ_T(A | B)`.
+    ///
+    /// Returns `None` when `µ_T(B) = 0`. Note that in a pps every edge has
+    /// strictly positive probability, so `µ_T(B) = 0` iff `B = ∅`.
+    #[must_use]
+    pub fn conditional(&self, a: &RunSet, b: &RunSet) -> Option<P> {
+        let mb = self.measure(b);
+        if mb.is_zero() {
+            return None;
+        }
+        Some(self.measure(&a.intersection(b)).div(&mb))
+    }
+
+    /// The full event `R_T`.
+    #[must_use]
+    pub fn all_runs(&self) -> RunSet {
+        RunSet::full(self.num_runs())
+    }
+
+    /// The empty event `∅`.
+    #[must_use]
+    pub fn no_runs(&self) -> RunSet {
+        RunSet::empty(self.num_runs())
+    }
+
+    // ------------------------------------------------------------------
+    // Actions
+    // ------------------------------------------------------------------
+
+    /// Returns `true` if `does_i(α)` holds at `point`: agent `agent`
+    /// performs `action` at that point (§2.3 — the transition out of the
+    /// point's node along `point.run` is labelled with `(agent, action)`).
+    #[must_use]
+    pub fn does(&self, agent: AgentId, action: ActionId, point: Point) -> bool {
+        match self.node_at(point.run, point.time + 1) {
+            None => false,
+            Some(next) => self.nodes[next.index()]
+                .actions
+                .iter()
+                .any(|&(a, act)| a == agent && act == action),
+        }
+    }
+
+    /// All actions performed by `agent` at `point` (at most one in systems
+    /// produced by protocol unfolding; the data model allows several only
+    /// across *different* agents).
+    #[must_use]
+    pub fn actions_at(&self, point: Point) -> &[(AgentId, ActionId)] {
+        match self.node_at(point.run, point.time + 1) {
+            None => &[],
+            Some(next) => &self.nodes[next.index()].actions,
+        }
+    }
+
+    /// The times at which `agent` performs `action` in `run`.
+    #[must_use]
+    pub fn performance_times(&self, agent: AgentId, action: ActionId, run: RunId) -> Vec<Time> {
+        let len = self.run_len(run) as u32;
+        (0..len)
+            .filter(|&t| self.does(agent, action, Point { run, time: t }))
+            .collect()
+    }
+
+    /// The event `R_α`: runs in which `agent` performs `action` at least
+    /// once.
+    #[must_use]
+    pub fn action_event(&self, agent: AgentId, action: ActionId) -> RunSet {
+        RunSet::from_predicate(self.num_runs(), |run| {
+            !self.performance_times(agent, action, run).is_empty()
+        })
+    }
+
+    /// Returns `true` if `action` is a *proper* action for `agent` (§3.1):
+    /// performed at least once in the system and at most once per run.
+    #[must_use]
+    pub fn is_proper(&self, agent: AgentId, action: ActionId) -> bool {
+        let mut performed = false;
+        for run in self.run_ids() {
+            match self.performance_times(agent, action, run).len() {
+                0 => {}
+                1 => performed = true,
+                _ => return false,
+            }
+        }
+        performed
+    }
+
+    /// For a proper action, the unique point of `run` at which `agent`
+    /// performs `action`, if any.
+    #[must_use]
+    pub fn action_point(&self, agent: AgentId, action: ActionId, run: RunId) -> Option<Point> {
+        self.performance_times(agent, action, run)
+            .first()
+            .map(|&time| Point { run, time })
+    }
+
+    /// Rewrites the system so that every occurrence of `action` by `agent`
+    /// is replaced by a distinct, fresh action tagged with its occurrence
+    /// index (first occurrence, second occurrence, …), returning the new
+    /// system together with the fresh action ids in occurrence order.
+    ///
+    /// This implements the paper's remark (§3.1) that tagging occurrences
+    /// converts any action into proper ones, so restricting the theory to
+    /// proper actions loses no generality.
+    #[must_use]
+    pub fn tag_occurrences(&self, agent: AgentId, action: ActionId) -> (Self, Vec<ActionId>) {
+        let mut fresh_base = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.actions.iter().map(|&(_, a)| a.0))
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut out = self.clone();
+        let mut max_occurrence = 0usize;
+        // Walk each run, rewriting the k-th occurrence along that run.
+        // Because runs share prefixes, a node's label is rewritten once; the
+        // occurrence index of a node is well defined (it only depends on the
+        // path from the root).
+        let mut node_occurrence: HashMap<NodeId, usize> = HashMap::new();
+        for run in self.run_ids() {
+            let mut seen = 0usize;
+            for t in 0..self.run_len(run) as u32 {
+                let pt = Point { run, time: t };
+                if self.does(agent, action, pt) {
+                    let next = self.node_at(run, t + 1).expect("does implies next node");
+                    node_occurrence.insert(next, seen);
+                    max_occurrence = max_occurrence.max(seen);
+                    seen += 1;
+                }
+            }
+        }
+        let fresh: Vec<ActionId> = (0..=max_occurrence)
+            .map(|k| {
+                let id = ActionId(fresh_base);
+                fresh_base += 1;
+                out.action_names
+                    .insert(id, format!("{}[occ {}]", self.action_name(action), k));
+                id
+            })
+            .collect();
+        for (node, occ) in node_occurrence {
+            for entry in &mut out.nodes[node.index()].actions {
+                if entry.0 == agent && entry.1 == action {
+                    entry.1 = fresh[occ];
+                }
+            }
+        }
+        (out, fresh)
+    }
+
+    // ------------------------------------------------------------------
+    // Local states and information sets
+    // ------------------------------------------------------------------
+
+    /// The number of local-state cells (over all agents and times).
+    #[must_use]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterator over all cells.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell<G::Local>)> {
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// The cells belonging to a particular agent.
+    pub fn agent_cells(&self, agent: AgentId) -> impl Iterator<Item = (CellId, &Cell<G::Local>)> {
+        self.cells().filter(move |(_, c)| c.agent == agent)
+    }
+
+    /// Access a cell by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell(&self, cell: CellId) -> &Cell<G::Local> {
+        &self.cells[cell.index()]
+    }
+
+    /// The cell (information set) of agent `agent` at `point`.
+    ///
+    /// Returns `None` if the run has ended before `point.time`.
+    #[must_use]
+    pub fn cell_at(&self, agent: AgentId, point: Point) -> Option<CellId> {
+        let node = self.node_at(point.run, point.time)?;
+        Some(self.cell_of[agent.index()][node.index() - 1])
+    }
+
+    /// The full (synchronous) local state of `agent` at `point`.
+    ///
+    /// Returns `None` if the run has ended before `point.time`.
+    #[must_use]
+    pub fn local_state(&self, agent: AgentId, point: Point) -> Option<LocalState<G::Local>> {
+        let state = self.state_at(point)?;
+        Some(LocalState {
+            agent,
+            time: point.time,
+            data: state.local(agent),
+        })
+    }
+
+    /// The points of a cell: for each run in which the local state occurs,
+    /// the unique point of that run realising it.
+    pub fn cell_points<'a>(&'a self, cell: &'a Cell<G::Local>) -> impl Iterator<Item = Point> + 'a {
+        cell.runs.iter().map(move |run| Point { run, time: cell.time })
+    }
+
+    /// Two points are indistinguishable to `agent` iff they lie in the same
+    /// cell. This is the accessibility relation of the knowledge modality
+    /// `K_agent`.
+    #[must_use]
+    pub fn indistinguishable(&self, agent: AgentId, a: Point, b: Point) -> bool {
+        match (self.cell_at(agent, a), self.cell_at(agent, b)) {
+            (Some(ca), Some(cb)) => ca == cb,
+            _ => false,
+        }
+    }
+
+    /// The set of local states `L_i[α]` at which `agent` ever performs
+    /// `action`, as cell ids.
+    #[must_use]
+    pub fn action_cells(&self, agent: AgentId, action: ActionId) -> Vec<CellId> {
+        let mut out: Vec<CellId> = Vec::new();
+        for run in self.run_ids() {
+            for t in self.performance_times(agent, action, run) {
+                let cell = self
+                    .cell_at(agent, Point { run, time: t })
+                    .expect("performance point exists");
+                if !out.contains(&cell) {
+                    out.push(cell);
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Construction internals
+    // ------------------------------------------------------------------
+
+    /// Internal: builds the validated system from raw builder parts.
+    pub(crate) fn from_parts(
+        n_agents: u32,
+        raw_nodes: Vec<RawNode<G, P>>,
+        action_names: HashMap<ActionId, String>,
+    ) -> Result<Self, PpsError> {
+        // Convert raw nodes, gathering children.
+        let mut nodes: Vec<Node<G, P>> = raw_nodes
+            .into_iter()
+            .map(|r| Node {
+                parent: r.parent,
+                state: r.state,
+                depth: r.depth,
+                edge_prob: r.edge_prob,
+                actions: r.actions,
+                children: Vec::new(),
+                run_range: (0, 0),
+            })
+            .collect();
+        for i in 1..nodes.len() {
+            let p = nodes[i].parent;
+            nodes[p.index()].children.push(NodeId(i as u32));
+        }
+        if nodes.is_empty() || nodes[0].children.is_empty() {
+            return Err(PpsError::NoInitialStates);
+        }
+
+        // Validate distributions: every internal node's children sum to one.
+        // (Per-edge positivity and the ≤ 1 bound are enforced at insertion
+        // time by the builder.)
+        for (i, node) in nodes.iter().enumerate() {
+            if node.children.is_empty() {
+                continue;
+            }
+            let mut sum = P::zero();
+            for &c in &node.children {
+                sum = sum.add(&nodes[c.index()].edge_prob);
+            }
+            if !sum.is_one() {
+                return Err(PpsError::BadDistribution {
+                    node: NodeId(i as u32),
+                    sum: sum.to_f64(),
+                });
+            }
+        }
+
+        // Enumerate runs by iterative DFS (children in insertion order) and
+        // assign per-node run intervals.
+        let mut runs: Vec<Run<P>> = Vec::new();
+        {
+            let mut stack: Vec<(NodeId, Vec<NodeId>, P)> = vec![(NodeId::ROOT, Vec::new(), P::one())];
+            while let Some((node, path, prob)) = stack.pop() {
+                let n = &nodes[node.index()];
+                if n.children.is_empty() && node != NodeId::ROOT {
+                    let mut nodes_on_path = path.clone();
+                    nodes_on_path.push(node);
+                    runs.push(Run { nodes: nodes_on_path, prob });
+                } else {
+                    // Push children in reverse so they pop in insertion order.
+                    for &c in n.children.iter().rev() {
+                        let mut next_path = path.clone();
+                        if node != NodeId::ROOT {
+                            next_path.push(node);
+                        }
+                        let p = prob.mul(&nodes[c.index()].edge_prob);
+                        stack.push((c, next_path, p));
+                    }
+                }
+            }
+        }
+        // Run ranges: a node's interval covers the runs listing it.
+        for node in &mut nodes {
+            node.run_range = (u32::MAX, 0);
+        }
+        nodes[0].run_range = (0, runs.len() as u32);
+        for (ri, run) in runs.iter().enumerate() {
+            for &nid in &run.nodes {
+                let range = &mut nodes[nid.index()].run_range;
+                range.0 = range.0.min(ri as u32);
+                range.1 = range.1.max(ri as u32 + 1);
+            }
+        }
+
+        // Build local-state cells per agent.
+        let mut cells: Vec<Cell<G::Local>> = Vec::new();
+        let mut cell_of: Vec<Vec<CellId>> =
+            vec![vec![CellId(u32::MAX); nodes.len() - 1]; n_agents as usize];
+        for agent in 0..n_agents {
+            let mut index: HashMap<(u32, G::Local), CellId> = HashMap::new();
+            for (i, node) in nodes.iter().enumerate().skip(1) {
+                let state = node.state.as_ref().expect("non-root node has state");
+                let data = state.local(AgentId(agent));
+                let time = node.depth - 1;
+                let key = (time, data.clone());
+                let cell_id = *index.entry(key).or_insert_with(|| {
+                    let id = CellId(cells.len() as u32);
+                    cells.push(Cell {
+                        agent: AgentId(agent),
+                        time,
+                        data,
+                        nodes: Vec::new(),
+                        runs: RunSet::empty(runs.len()),
+                    });
+                    id
+                });
+                let cell = &mut cells[cell_id.index()];
+                cell.nodes.push(NodeId(i as u32));
+                let (lo, hi) = node.run_range;
+                for r in lo..hi {
+                    cell.runs.insert(RunId(r));
+                }
+                cell_of[agent as usize][i - 1] = cell_id;
+            }
+        }
+
+        Ok(Pps {
+            n_agents,
+            nodes,
+            runs,
+            cell_of,
+            cells,
+            action_names,
+        })
+    }
+}
+
+/// Raw node data handed from the builder to validation.
+#[derive(Debug, Clone)]
+pub(crate) struct RawNode<G, P> {
+    pub parent: NodeId,
+    pub state: Option<G>,
+    pub depth: u32,
+    pub edge_prob: P,
+    pub actions: Vec<(AgentId, ActionId)>,
+}
+
+/// Incremental constructor for a [`Pps`].
+///
+/// Nodes are added top-down: first initial states via
+/// [`PpsBuilder::initial`], then transitions via [`PpsBuilder::child`].
+/// [`PpsBuilder::build`] validates every invariant (distributions summing to
+/// one, strictly positive probabilities, action well-formedness) and returns
+/// the indexed system.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::prelude::*;
+/// use pak_num::Rational;
+///
+/// let mut b = PpsBuilder::<SimpleState, Rational>::new(2);
+/// let s0 = b.initial(SimpleState::zeroed(2), Rational::from_ratio(1, 2))?;
+/// let s1 = b.initial(
+///     SimpleState::zeroed(2).with_local(AgentId(0), 1),
+///     Rational::from_ratio(1, 2),
+/// )?;
+/// // Each initial state is also a leaf here: a depth-0 ("flat") system.
+/// let pps = b.build()?;
+/// assert_eq!(pps.num_runs(), 2);
+/// # let _ = s0; let _ = s1;
+/// # Ok::<(), PpsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PpsBuilder<G: GlobalState, P: Probability> {
+    n_agents: u32,
+    nodes: Vec<RawNode<G, P>>,
+    action_names: HashMap<ActionId, String>,
+}
+
+impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
+    /// Creates a builder for a system of `n_agents` agents.
+    #[must_use]
+    pub fn new(n_agents: u32) -> Self {
+        PpsBuilder {
+            n_agents,
+            nodes: vec![RawNode {
+                parent: NodeId::ROOT,
+                state: None,
+                depth: 0,
+                edge_prob: P::one(),
+                actions: Vec::new(),
+            }],
+            action_names: HashMap::new(),
+        }
+    }
+
+    /// Adds an initial global state with prior probability `prob`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpsError::NonPositiveProbability`] if `prob ≤ 0`, or
+    /// [`PpsError::AgentOutOfRange`] if the state has too few locals.
+    pub fn initial(&mut self, state: G, prob: P) -> Result<NodeId, PpsError> {
+        self.push_node(NodeId::ROOT, state, prob, &[])
+    }
+
+    /// Adds a successor of `parent` reached with probability `prob`, with
+    /// the given joint actions performed on the transition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parent` is unknown, `prob ≤ 0`, the same agent
+    /// appears twice in `actions`, or an agent is out of range.
+    pub fn child(
+        &mut self,
+        parent: NodeId,
+        state: G,
+        prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> Result<NodeId, PpsError> {
+        if parent.index() >= self.nodes.len() {
+            return Err(PpsError::UnknownNode { node: parent });
+        }
+        self.push_node(parent, state, prob, actions)
+    }
+
+    /// Registers a human-readable name for an action.
+    pub fn action_name(&mut self, action: ActionId, name: impl Into<String>) -> &mut Self {
+        self.action_names.insert(action, name.into());
+        self
+    }
+
+    fn push_node(
+        &mut self,
+        parent: NodeId,
+        state: G,
+        prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> Result<NodeId, PpsError> {
+        let id = NodeId(self.nodes.len() as u32);
+        if !prob.at_least(&P::zero()) || prob.is_zero() {
+            return Err(PpsError::NonPositiveProbability { node: id });
+        }
+        if !P::one().at_least(&prob) {
+            return Err(PpsError::ProbabilityAboveOne { node: id });
+        }
+        for (idx, &(agent, _)) in actions.iter().enumerate() {
+            if agent.0 >= self.n_agents {
+                return Err(PpsError::AgentOutOfRange {
+                    agent,
+                    n_agents: self.n_agents,
+                });
+            }
+            if actions[..idx].iter().any(|&(a, _)| a == agent) {
+                return Err(PpsError::DuplicateAgentAction { node: id, agent });
+            }
+        }
+        if parent == NodeId::ROOT && !actions.is_empty() {
+            return Err(PpsError::ActionOnInitialEdge { node: id });
+        }
+        let depth = self.nodes[parent.index()].depth + 1;
+        self.nodes.push(RawNode {
+            parent,
+            state: Some(state),
+            depth,
+            edge_prob: prob,
+            actions: actions.to_vec(),
+        });
+        Ok(id)
+    }
+
+    /// Validates the tree and produces the indexed [`Pps`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpsError::NoInitialStates`] for an empty tree, or
+    /// [`PpsError::BadDistribution`] if any internal node's outgoing
+    /// probabilities do not sum to one.
+    pub fn build(self) -> Result<Pps<G, P>, PpsError> {
+        Pps::from_parts(self.n_agents, self.nodes, self.action_names)
+    }
+}
+
+// Allow `push_node` to store state as Option through RawNode.
+impl<G, P> RawNode<G, P> {
+    fn new_root() -> Self
+    where
+        P: Probability,
+    {
+        RawNode {
+            parent: NodeId::ROOT,
+            state: None,
+            depth: 0,
+            edge_prob: P::one(),
+            actions: Vec::new(),
+        }
+    }
+}
+
+impl<G: GlobalState, P: Probability> Default for PpsBuilder<G, P> {
+    fn default() -> Self {
+        PpsBuilder {
+            n_agents: 1,
+            nodes: vec![RawNode::new_root()],
+            action_names: HashMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SimpleState;
+    use pak_num::Rational;
+
+    type B = PpsBuilder<SimpleState, Rational>;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    fn st(env: u64, locals: &[u64]) -> SimpleState {
+        SimpleState::new(env, locals.to_vec())
+    }
+
+    /// The paper's Figure 1 system: one agent, one initial state, mixed
+    /// action α / α′ each with probability ½.
+    fn figure1() -> Pps<SimpleState, Rational> {
+        let mut b = B::new(1);
+        let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
+        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))]).unwrap();
+        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_builder_fails() {
+        assert!(matches!(B::new(1).build(), Err(PpsError::NoInitialStates)));
+    }
+
+    #[test]
+    fn bad_distribution_rejected() {
+        let mut b = B::new(1);
+        b.initial(st(0, &[0]), r(1, 2)).unwrap();
+        assert!(matches!(b.build(), Err(PpsError::BadDistribution { .. })));
+    }
+
+    #[test]
+    fn zero_probability_rejected() {
+        let mut b = B::new(1);
+        assert!(matches!(
+            b.initial(st(0, &[0]), Rational::zero()),
+            Err(PpsError::NonPositiveProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_probability_rejected() {
+        let mut b = B::new(1);
+        assert!(matches!(
+            b.initial(st(0, &[0]), r(-1, 2)),
+            Err(PpsError::NonPositiveProbability { .. })
+        ));
+    }
+
+    #[test]
+    fn above_one_probability_rejected() {
+        let mut b = B::new(1);
+        assert!(matches!(
+            b.initial(st(0, &[0]), r(3, 2)),
+            Err(PpsError::ProbabilityAboveOne { .. })
+        ));
+    }
+
+    #[test]
+    fn action_on_initial_edge_rejected() {
+        let mut b = B::new(1);
+        // Abuse push through child with ROOT parent.
+        let res = b.child(NodeId::ROOT, st(0, &[0]), Rational::one(), &[(AgentId(0), ActionId(0))]);
+        assert!(matches!(res, Err(PpsError::ActionOnInitialEdge { .. })));
+    }
+
+    #[test]
+    fn duplicate_agent_action_rejected() {
+        let mut b = B::new(1);
+        let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
+        let res = b.child(
+            g0,
+            st(0, &[1]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0)), (AgentId(0), ActionId(1))],
+        );
+        assert!(matches!(res, Err(PpsError::DuplicateAgentAction { .. })));
+    }
+
+    #[test]
+    fn agent_out_of_range_rejected() {
+        let mut b = B::new(1);
+        let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
+        let res = b.child(g0, st(0, &[1]), Rational::one(), &[(AgentId(1), ActionId(0))]);
+        assert!(matches!(res, Err(PpsError::AgentOutOfRange { .. })));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut b = B::new(1);
+        b.initial(st(0, &[0]), Rational::one()).unwrap();
+        let res = b.child(NodeId(99), st(0, &[1]), Rational::one(), &[]);
+        assert!(matches!(res, Err(PpsError::UnknownNode { .. })));
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let pps = figure1();
+        assert_eq!(pps.num_runs(), 2);
+        assert_eq!(pps.num_nodes(), 4); // root + g0 + two leaves
+        assert_eq!(pps.horizon(), 1);
+        assert_eq!(pps.run_len(RunId(0)), 2);
+    }
+
+    #[test]
+    fn figure1_measure() {
+        let pps = figure1();
+        assert_eq!(pps.measure(&pps.all_runs()), Rational::one());
+        for run in pps.run_ids() {
+            assert_eq!(pps.run_probability(run), &r(1, 2));
+        }
+    }
+
+    #[test]
+    fn figure1_actions() {
+        let pps = figure1();
+        let (i, alpha) = (AgentId(0), ActionId(0));
+        assert!(pps.is_proper(i, alpha));
+        let ev = pps.action_event(i, alpha);
+        assert_eq!(ev.len(), 1);
+        let run = ev.iter().next().unwrap();
+        assert_eq!(pps.action_point(i, alpha, run), Some(Point { run, time: 0 }));
+        // α′ is also proper; a non-existent action is not.
+        assert!(pps.is_proper(i, ActionId(1)));
+        assert!(!pps.is_proper(i, ActionId(7)));
+    }
+
+    #[test]
+    fn figure1_cells_merge_mixed_choice() {
+        let pps = figure1();
+        // At time 0 the agent has a single local state covering both runs
+        // (the mixed choice has not resolved yet).
+        let c0 = pps.cell_at(AgentId(0), Point { run: RunId(0), time: 0 }).unwrap();
+        let c1 = pps.cell_at(AgentId(0), Point { run: RunId(1), time: 0 }).unwrap();
+        assert_eq!(c0, c1);
+        assert_eq!(pps.cell(c0).runs.len(), 2);
+        // At time 1 the local data differ (1 vs 2), so the cells split.
+        let d0 = pps.cell_at(AgentId(0), Point { run: RunId(0), time: 1 }).unwrap();
+        let d1 = pps.cell_at(AgentId(0), Point { run: RunId(1), time: 1 }).unwrap();
+        assert_ne!(d0, d1);
+    }
+
+    #[test]
+    fn indistinguishability_relation() {
+        let pps = figure1();
+        let a = Point { run: RunId(0), time: 0 };
+        let b = Point { run: RunId(1), time: 0 };
+        assert!(pps.indistinguishable(AgentId(0), a, b));
+        let a1 = Point { run: RunId(0), time: 1 };
+        let b1 = Point { run: RunId(1), time: 1 };
+        assert!(!pps.indistinguishable(AgentId(0), a1, b1));
+    }
+
+    #[test]
+    fn action_cells_of_figure1() {
+        let pps = figure1();
+        let cells = pps.action_cells(AgentId(0), ActionId(0));
+        assert_eq!(cells.len(), 1);
+        assert_eq!(pps.cell(cells[0]).time, 0);
+    }
+
+    #[test]
+    fn improper_action_detected_and_tagged() {
+        // One agent performing α twice along a single run.
+        let mut b = B::new(1);
+        let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
+        let g1 = b
+            .child(g0, st(0, &[1]), Rational::one(), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(g1, st(0, &[2]), Rational::one(), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        let pps = b.build().unwrap();
+        assert!(!pps.is_proper(AgentId(0), ActionId(0)));
+        let (tagged, fresh) = pps.tag_occurrences(AgentId(0), ActionId(0));
+        assert_eq!(fresh.len(), 2);
+        for &f in &fresh {
+            assert!(tagged.is_proper(AgentId(0), f));
+        }
+        assert!(tagged.action_name(fresh[0]).contains("occ 0"));
+    }
+
+    #[test]
+    fn runs_through_intervals() {
+        let pps = figure1();
+        let through_root_child = pps.runs_through(NodeId(1));
+        assert_eq!(through_root_child.len(), 2);
+        let through_leaf = pps.runs_through(NodeId(2));
+        assert_eq!(through_leaf.len(), 1);
+    }
+
+    #[test]
+    fn conditional_measure() {
+        let pps = figure1();
+        let a = pps.action_event(AgentId(0), ActionId(0));
+        assert_eq!(pps.conditional(&a, &pps.all_runs()), Some(r(1, 2)));
+        assert_eq!(pps.conditional(&a, &a), Some(Rational::one()));
+        assert_eq!(pps.conditional(&pps.all_runs(), &pps.no_runs()), None);
+    }
+
+    #[test]
+    fn f64_distribution_tolerance() {
+        let mut b = PpsBuilder::<SimpleState, f64>::new(1);
+        // 0.1 summed ten times is not exactly 1.0 in binary floating point,
+        // but must pass the tolerance check.
+        for k in 0..10 {
+            b.initial(st(k, &[k]), 0.1).unwrap();
+        }
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn points_enumeration() {
+        let pps = figure1();
+        let pts: Vec<Point> = pps.points().collect();
+        assert_eq!(pts.len(), 4); // two runs × two times
+    }
+
+    #[test]
+    fn state_access() {
+        let pps = figure1();
+        let s = pps.state_at(Point { run: RunId(0), time: 0 }).unwrap();
+        assert_eq!(s.local(AgentId(0)), 0);
+        assert!(pps.state_at(Point { run: RunId(0), time: 9 }).is_none());
+        assert_eq!(pps.node_time(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn action_names() {
+        let mut pps = figure1();
+        assert_eq!(pps.action_name(ActionId(0)), "action#0");
+        pps.set_action_name(ActionId(0), "fire");
+        assert_eq!(pps.action_name(ActionId(0)), "fire");
+    }
+}

@@ -1,0 +1,251 @@
+//! Belief dynamics: how `β_i(ϕ)` evolves along runs.
+//!
+//! The paper analyses beliefs at single action points; for protocol design
+//! it is equally useful to watch the whole posterior trajectory — e.g.
+//! Alice's belief in `ϕ_both` rising and falling as messages arrive or are
+//! lost. A [`BeliefTrace`] records, for one run, the agent's belief in a
+//! fact at every time, and the module computes aggregate views (the
+//! expected trajectory, per-time extremes).
+//!
+//! Because beliefs are posteriors conditioned on local states, traces are
+//! **martingale-like**: the expected belief at time `t+1` given the state
+//! at `t` equals the belief at `t` (the tower rule / Jeffrey
+//! conditionalisation the paper's §6.1 discusses). The test suite checks
+//! this exactly.
+
+use crate::belief::Beliefs;
+use crate::fact::Fact;
+use crate::ids::{AgentId, Point, RunId, Time};
+use crate::pps::Pps;
+use crate::prob::Probability;
+use crate::state::GlobalState;
+
+/// The belief trajectory of one agent, about one fact, along one run.
+#[derive(Debug, Clone)]
+pub struct BeliefTrace<P> {
+    /// The run traced.
+    pub run: RunId,
+    /// `values[t]` is `β_i(ϕ)` at `(run, t)`.
+    pub values: Vec<P>,
+}
+
+impl<P: Probability> BeliefTrace<P> {
+    /// Computes the trace of `agent`'s belief in `fact` along `run`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    pub fn compute<G: GlobalState>(
+        pps: &Pps<G, P>,
+        agent: AgentId,
+        fact: &dyn Fact<G, P>,
+        run: RunId,
+    ) -> Self {
+        let values = (0..pps.run_len(run) as Time)
+            .map(|time| {
+                pps.belief(agent, fact, Point { run, time })
+                    .expect("time within run")
+            })
+            .collect();
+        BeliefTrace { run, values }
+    }
+
+    /// The net change from the first to the last value.
+    #[must_use]
+    pub fn drift(&self) -> P {
+        match (self.values.first(), self.values.last()) {
+            (Some(first), Some(last)) => last.sub(first),
+            _ => P::zero(),
+        }
+    }
+
+    /// Whether the trace ever reaches certainty (belief 1) or refutation
+    /// (belief 0).
+    #[must_use]
+    pub fn resolves(&self) -> bool {
+        self.values.iter().any(|v| v.is_one() || v.is_zero())
+    }
+}
+
+/// Per-time aggregate of all runs' beliefs: the expected trajectory and the
+/// pointwise extremes.
+#[derive(Debug, Clone)]
+pub struct BeliefEnvelope<P> {
+    /// `expected[t] = E_µ[β_i(ϕ) at time t]` over runs of length > `t`.
+    pub expected: Vec<P>,
+    /// Pointwise minimum belief at each time.
+    pub min: Vec<P>,
+    /// Pointwise maximum belief at each time.
+    pub max: Vec<P>,
+}
+
+/// Computes the [`BeliefEnvelope`] of `agent`'s belief in `fact` over the
+/// whole system.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::prelude::*;
+/// use pak_core::trace::belief_envelope;
+/// use pak_num::Rational;
+///
+/// // Hidden coin revealed at time 1.
+/// let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+/// let h = b.initial(SimpleState::new(1, vec![0]), Rational::from_ratio(1, 2))?;
+/// let t = b.initial(SimpleState::new(0, vec![0]), Rational::from_ratio(1, 2))?;
+/// b.child(h, SimpleState::new(1, vec![1]), Rational::one(), &[])?;
+/// b.child(t, SimpleState::new(0, vec![2]), Rational::one(), &[])?;
+/// let pps = b.build()?;
+///
+/// let heads = StateFact::new("heads", |g: &SimpleState| g.env == 1);
+/// let env = belief_envelope(&pps, AgentId(0), &heads);
+/// // The expected belief is constant (martingale): ½ before and after.
+/// assert_eq!(env.expected, vec![Rational::from_ratio(1, 2); 2]);
+/// // But the envelope opens up: after the reveal, beliefs are 0 or 1.
+/// assert!(env.min[1].is_zero() && env.max[1].is_one());
+/// # Ok::<(), PpsError>(())
+/// ```
+pub fn belief_envelope<G: GlobalState, P: Probability>(
+    pps: &Pps<G, P>,
+    agent: AgentId,
+    fact: &dyn Fact<G, P>,
+) -> BeliefEnvelope<P> {
+    let horizon = pps.horizon();
+    let mut expected = Vec::with_capacity(horizon as usize + 1);
+    let mut min = Vec::with_capacity(horizon as usize + 1);
+    let mut max = Vec::with_capacity(horizon as usize + 1);
+    for t in 0..=horizon {
+        let mut weighted = P::zero();
+        let mut mass = P::zero();
+        let mut lo: Option<P> = None;
+        let mut hi: Option<P> = None;
+        for run in pps.run_ids() {
+            if (t as usize) >= pps.run_len(run) {
+                continue;
+            }
+            let b = pps
+                .belief(agent, fact, Point { run, time: t })
+                .expect("time within run");
+            let p = pps.run_probability(run);
+            weighted = weighted.add(&p.mul(&b));
+            mass = mass.add(p);
+            lo = Some(match lo {
+                None => b.clone(),
+                Some(cur) => {
+                    if cur.at_least(&b) {
+                        b.clone()
+                    } else {
+                        cur
+                    }
+                }
+            });
+            hi = Some(match hi {
+                None => b,
+                Some(cur) => {
+                    if b.at_least(&cur) {
+                        b
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        expected.push(weighted.div(&mass));
+        min.push(lo.expect("some run reaches every time ≤ horizon"));
+        max.push(hi.expect("some run reaches every time ≤ horizon"));
+    }
+    BeliefEnvelope { expected, min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::StateFact;
+    use crate::pps::PpsBuilder;
+    use crate::state::SimpleState;
+    use pak_num::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    /// A two-round reveal: at t=1 the agent learns a noisy signal; at t=2
+    /// the truth.
+    fn gradual_reveal() -> Pps<SimpleState, Rational> {
+        let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+        // env 1 ("true") w.p. 2/3.
+        let yes = b.initial(SimpleState::new(1, vec![0]), r(2, 3)).unwrap();
+        let no = b.initial(SimpleState::new(0, vec![0]), r(1, 3)).unwrap();
+        // Signal correct w.p. 3/4 (local 1 = "looks true", 2 = "looks false").
+        let y_t = b.child(yes, SimpleState::new(1, vec![1]), r(3, 4), &[]).unwrap();
+        let y_f = b.child(yes, SimpleState::new(1, vec![2]), r(1, 4), &[]).unwrap();
+        let n_t = b.child(no, SimpleState::new(0, vec![1]), r(1, 4), &[]).unwrap();
+        let n_f = b.child(no, SimpleState::new(0, vec![2]), r(3, 4), &[]).unwrap();
+        // Full reveal at t=2 (local = 10 + truth).
+        for (node, env) in [(y_t, 1u64), (y_f, 1), (n_t, 0), (n_f, 0)] {
+            b.child(node, SimpleState::new(env, vec![10 + env]), Rational::one(), &[])
+                .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn truth() -> StateFact<SimpleState> {
+        StateFact::new("true", |g: &SimpleState| g.env == 1)
+    }
+
+    #[test]
+    fn trace_values_follow_bayes() {
+        let pps = gradual_reveal();
+        // Run 0: env=1, signal "looks true", revealed.
+        let trace = BeliefTrace::compute(&pps, AgentId(0), &truth(), RunId(0));
+        // t=0: prior 2/3. t=1: posterior given "looks true" =
+        // (2/3·3/4)/(2/3·3/4 + 1/3·1/4) = 6/7. t=2: certainty.
+        assert_eq!(trace.values, vec![r(2, 3), r(6, 7), Rational::one()]);
+        assert!(trace.resolves());
+        assert_eq!(trace.drift(), r(1, 3));
+    }
+
+    #[test]
+    fn negative_signal_trace() {
+        let pps = gradual_reveal();
+        // Run 1: env=1 but signal "looks false".
+        let trace = BeliefTrace::compute(&pps, AgentId(0), &truth(), RunId(1));
+        // Posterior given "looks false" = (2/3·1/4)/(2/3·1/4 + 1/3·3/4) = 2/5.
+        assert_eq!(trace.values, vec![r(2, 3), r(2, 5), Rational::one()]);
+    }
+
+    #[test]
+    fn expected_trajectory_is_martingale() {
+        // The tower rule: E[β at t] is constant in t (= the prior).
+        let pps = gradual_reveal();
+        let env = belief_envelope(&pps, AgentId(0), &truth());
+        assert_eq!(env.expected, vec![r(2, 3); 3]);
+    }
+
+    #[test]
+    fn envelope_opens_with_information() {
+        let pps = gradual_reveal();
+        let env = belief_envelope(&pps, AgentId(0), &truth());
+        // Width grows: 0 at t=0 (single cell), wider at t=1, full at t=2.
+        let width: Vec<Rational> = env
+            .max
+            .iter()
+            .zip(&env.min)
+            .map(|(h, l)| h - l)
+            .collect();
+        assert_eq!(width[0], Rational::zero());
+        assert_eq!(width[1], r(6, 7) - r(2, 5));
+        assert_eq!(width[2], Rational::one());
+    }
+
+    #[test]
+    fn constant_fact_constant_trace() {
+        let pps = gradual_reveal();
+        let top = crate::fact::TrueFact;
+        for run in pps.run_ids() {
+            let trace = BeliefTrace::compute(&pps, AgentId(0), &top, run);
+            assert!(trace.values.iter().all(Rational::is_one));
+            assert_eq!(trace.drift(), Rational::zero());
+        }
+    }
+}

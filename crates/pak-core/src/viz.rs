@@ -1,0 +1,211 @@
+//! Graphviz (DOT) rendering of purely probabilistic systems.
+//!
+//! The paper communicates its constructions as tree figures (Figures 1 and
+//! 2); this module renders any [`Pps`] in the same style so reproduced
+//! systems can be inspected visually:
+//!
+//! ```bash
+//! cargo run --example firing_squad > /dev/null   # (examples print tables)
+//! # or programmatically: std::fs::write("fs.dot", to_dot(&pps, &options))
+//! dot -Tsvg fs.dot > fs.svg
+//! ```
+//!
+//! Nodes show the global state (optionally per-agent locals); edges show
+//! transition probabilities and any actions performed.
+
+use std::fmt::Write as _;
+
+use crate::ids::NodeId;
+use crate::pps::Pps;
+use crate::prob::Probability;
+use crate::state::GlobalState;
+
+/// Rendering options for [`to_dot`].
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name (DOT identifier).
+    pub name: String,
+    /// Include the `Debug` form of each global state in node labels.
+    pub show_states: bool,
+    /// Mark leaves (run endpoints) with a double border.
+    pub mark_leaves: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "pps".to_string(),
+            show_states: true,
+            mark_leaves: true,
+        }
+    }
+}
+
+/// Renders the system as a DOT digraph.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::prelude::*;
+/// use pak_core::viz::{to_dot, DotOptions};
+///
+/// let mut b = PpsBuilder::<SimpleState, f64>::new(1);
+/// let g0 = b.initial(SimpleState::zeroed(1), 1.0)?;
+/// b.child(g0, SimpleState::zeroed(1), 0.5, &[(AgentId(0), ActionId(0))])?;
+/// b.child(g0, SimpleState::zeroed(1), 0.5, &[])?;
+/// let pps = b.build()?;
+///
+/// let dot = to_dot(&pps, &DotOptions::default());
+/// assert!(dot.starts_with("digraph pps {"));
+/// assert!(dot.contains("λ"));
+/// assert!(dot.contains("0.5"));
+/// # Ok::<(), PpsError>(())
+/// ```
+#[must_use]
+pub fn to_dot<G: GlobalState, P: Probability>(pps: &Pps<G, P>, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", options.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+
+    // Root.
+    let _ = writeln!(out, "  n0 [label=\"λ\", shape=point, width=0.15];");
+
+    // Nodes: walk the structure breadth-first from the root.
+    let mut stack = vec![NodeId::ROOT];
+    let mut seen = vec![false; pps.num_nodes()];
+    seen[0] = true;
+    while let Some(node) = stack.pop() {
+        for (child, prob) in pps.children(node) {
+            if seen[child.index()] {
+                continue;
+            }
+            seen[child.index()] = true;
+            let is_leaf = pps.children(child).next().is_none();
+            let label = if options.show_states {
+                let t = pps.node_time(child);
+                format!("t={}\\n{}", t, escape(&format!("{:?}", pps.node_state(child))))
+            } else {
+                format!("t={}", pps.node_time(child))
+            };
+            let shape = if is_leaf && options.mark_leaves {
+                "doublecircle"
+            } else {
+                "ellipse"
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", shape={}];",
+                child.0, label, shape
+            );
+
+            // Edge with probability and actions.
+            let mut edge_label = format!("{:.4}", prob.to_f64());
+            let t = pps.node_time(child);
+            if t > 0 || pps.parent(child) != NodeId::ROOT {
+                // Actions recorded on the edge into `child` are those
+                // performed at the parent's time.
+                let acts = actions_into(pps, child);
+                if !acts.is_empty() {
+                    let _ = write!(edge_label, "\\n{acts}");
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{}\", fontsize=9];",
+                node.0, child.0, edge_label
+            );
+            stack.push(child);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The actions recorded on the edge into a node, as a display string.
+fn actions_into<G: GlobalState, P: Probability>(pps: &Pps<G, P>, child: NodeId) -> String {
+    // Find any run through `child`; actions into the node are identical for
+    // all such runs (they label the edge).
+    let runs = pps.runs_through(child);
+    let Some(run) = runs.iter().next() else {
+        return String::new();
+    };
+    let t = pps.node_time(child);
+    if t == 0 {
+        return String::new();
+    }
+    let pt = crate::ids::Point { run, time: t - 1 };
+    pps.actions_at(pt)
+        .iter()
+        .map(|&(a, act)| format!("{}:{}", a.0, escape(&pps.action_name(act))))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Escapes a string for inclusion in a DOT label.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ActionId, AgentId};
+    use crate::pps::PpsBuilder;
+    use crate::state::SimpleState;
+    use pak_num::Rational;
+
+    fn small_pps() -> Pps<SimpleState, Rational> {
+        let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+        let g0 = b.initial(SimpleState::zeroed(1), Rational::one()).unwrap();
+        b.child(g0, SimpleState::new(1, vec![1]), Rational::from_ratio(1, 2), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(g0, SimpleState::new(2, vec![2]), Rational::from_ratio(1, 2), &[])
+            .unwrap();
+        let mut pps = b.build().unwrap();
+        pps.set_action_name(ActionId(0), "α");
+        pps
+    }
+
+    #[test]
+    fn dot_structure() {
+        let pps = small_pps();
+        let dot = to_dot(&pps, &DotOptions::default());
+        assert!(dot.starts_with("digraph pps {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Root + 3 state nodes; 3 edges.
+        assert_eq!(dot.matches("->").count(), 3);
+        assert!(dot.contains('λ'));
+        assert!(dot.contains("0.5000"));
+        assert!(dot.contains("0:α"));
+        assert!(dot.contains("doublecircle"));
+    }
+
+    #[test]
+    fn options_control_labels() {
+        let pps = small_pps();
+        let bare = to_dot(
+            &pps,
+            &DotOptions { name: "g".into(), show_states: false, mark_leaves: false },
+        );
+        assert!(bare.starts_with("digraph g {"));
+        assert!(!bare.contains("SimpleState"));
+        assert!(!bare.contains("doublecircle"));
+        let full = to_dot(&pps, &DotOptions::default());
+        assert!(full.contains("env"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn every_non_root_node_rendered() {
+        let pps = small_pps();
+        let dot = to_dot(&pps, &DotOptions::default());
+        for i in 1..pps.num_nodes() {
+            assert!(dot.contains(&format!("n{i} [")), "node {i} missing");
+        }
+    }
+}

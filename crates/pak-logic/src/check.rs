@@ -1,0 +1,191 @@
+//! Model checking formulas over a pps.
+//!
+//! [`ModelChecker`] evaluates a [`Formula`] across an entire system:
+//! validity (all points), satisfiability (some point), the satisfying
+//! point set, and measures of run events derived from formulas. It also
+//! verifies *schema* validity — useful for checking axioms (e.g. S5 `T`,
+//! the KoP schema `does_i(α) → K_i ϕ`) on concrete systems.
+
+use pak_core::event::RunSet;
+use pak_core::ids::Point;
+use pak_core::pps::Pps;
+use pak_core::prob::Probability;
+use pak_core::state::GlobalState;
+
+use crate::formula::Formula;
+
+/// A model checker bound to one system.
+///
+/// # Examples
+///
+/// ```
+/// use pak_logic::{Formula, ModelChecker};
+/// use pak_core::prelude::*;
+/// use pak_num::Rational;
+///
+/// let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+/// b.initial(SimpleState::new(1, vec![0]), Rational::from_ratio(1, 2))?;
+/// b.initial(SimpleState::new(0, vec![0]), Rational::from_ratio(1, 2))?;
+/// let pps = b.build()?;
+/// let mc = ModelChecker::new(&pps);
+///
+/// let heads = Formula::atom(StateFact::new("heads", |g: &SimpleState| g.env == 1));
+/// assert!(!mc.valid(&heads));
+/// assert!(mc.satisfiable(&heads));
+/// assert_eq!(mc.measure_at_time(&heads, 0), Rational::from_ratio(1, 2));
+/// # Ok::<(), PpsError>(())
+/// ```
+#[derive(Debug)]
+pub struct ModelChecker<'a, G: GlobalState, P: Probability> {
+    pps: &'a Pps<G, P>,
+}
+
+impl<'a, G: GlobalState, P: Probability> ModelChecker<'a, G, P> {
+    /// Binds a checker to a system.
+    #[must_use]
+    pub fn new(pps: &'a Pps<G, P>) -> Self {
+        ModelChecker { pps }
+    }
+
+    /// The underlying system.
+    #[must_use]
+    pub fn pps(&self) -> &'a Pps<G, P> {
+        self.pps
+    }
+
+    /// Whether the formula holds at every point of the system.
+    #[must_use]
+    pub fn valid(&self, f: &Formula<G, P>) -> bool {
+        self.pps.points().all(|pt| f.holds_at(self.pps, pt))
+    }
+
+    /// Whether the formula holds at some point.
+    #[must_use]
+    pub fn satisfiable(&self, f: &Formula<G, P>) -> bool {
+        self.pps.points().any(|pt| f.holds_at(self.pps, pt))
+    }
+
+    /// All points at which the formula holds.
+    #[must_use]
+    pub fn satisfying_points(&self, f: &Formula<G, P>) -> Vec<Point> {
+        self.pps
+            .points()
+            .filter(|&pt| f.holds_at(self.pps, pt))
+            .collect()
+    }
+
+    /// A counterexample point, if the formula is not valid.
+    #[must_use]
+    pub fn counterexample(&self, f: &Formula<G, P>) -> Option<Point> {
+        self.pps.points().find(|&pt| !f.holds_at(self.pps, pt))
+    }
+
+    /// The event `{r : (T, r, t) |= ϕ}` for a fixed time.
+    #[must_use]
+    pub fn event_at_time(&self, f: &Formula<G, P>, time: u32) -> RunSet {
+        RunSet::from_predicate(self.pps.num_runs(), |run| {
+            f.holds_at(self.pps, Point { run, time })
+        })
+    }
+
+    /// The measure `µ_T({r : (T, r, t) |= ϕ})`.
+    #[must_use]
+    pub fn measure_at_time(&self, f: &Formula<G, P>, time: u32) -> P {
+        self.pps.measure(&self.event_at_time(f, time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::Formula;
+    use pak_core::fact::StateFact;
+    use pak_core::ids::{ActionId, AgentId, RunId};
+    use pak_core::pps::PpsBuilder;
+    use pak_core::state::SimpleState;
+    use pak_num::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    /// A KoP-style system: the agent observes `ok` before acting; it acts
+    /// only when `ok` holds.
+    fn kop_system() -> Pps<SimpleState, Rational> {
+        let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+        // locals reveal env to the agent.
+        let good = b.initial(SimpleState::new(1, vec![1]), r(2, 3)).unwrap();
+        let bad = b.initial(SimpleState::new(0, vec![0]), r(1, 3)).unwrap();
+        b.child(good, SimpleState::new(1, vec![1]), Rational::one(), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(bad, SimpleState::new(0, vec![0]), Rational::one(), &[]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn ok() -> Formula<SimpleState, Rational> {
+        Formula::atom(StateFact::new("ok", |g: &SimpleState| g.env == 1))
+    }
+
+    #[test]
+    fn kop_schema_validates() {
+        // The Knowledge-of-Preconditions schema: does(α) → K_i(ok).
+        let pps = kop_system();
+        let mc = ModelChecker::new(&pps);
+        let schema = Formula::does(AgentId(0), ActionId(0)).implies(Formula::knows(AgentId(0), ok()));
+        assert!(mc.valid(&schema));
+        assert!(mc.counterexample(&schema).is_none());
+    }
+
+    #[test]
+    fn kop_schema_fails_when_observation_hidden() {
+        // Hide the observation: the agent acts blindly; KoP schema fails.
+        let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+        let good = b.initial(SimpleState::new(1, vec![0]), r(2, 3)).unwrap();
+        let bad = b.initial(SimpleState::new(0, vec![0]), r(1, 3)).unwrap();
+        b.child(good, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(bad, SimpleState::new(0, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        let pps = b.build().unwrap();
+        let mc = ModelChecker::new(&pps);
+        let schema = Formula::does(AgentId(0), ActionId(0)).implies(Formula::knows(AgentId(0), ok()));
+        assert!(!mc.valid(&schema));
+        let cex = mc.counterexample(&schema).unwrap();
+        // The counterexample is an acting point where ok fails or is unknown.
+        assert!(Formula::does(AgentId(0), ActionId(0)).holds_at(&pps, cex));
+        // But the probabilistic weakening holds: belief ≥ 2/3 when acting.
+        let weak = Formula::does(AgentId(0), ActionId(0))
+            .implies(Formula::believes_at_least(AgentId(0), ok(), r(2, 3)));
+        assert!(mc.valid(&weak));
+    }
+
+    #[test]
+    fn satisfying_points_and_measures() {
+        let pps = kop_system();
+        let mc = ModelChecker::new(&pps);
+        assert_eq!(mc.measure_at_time(&ok(), 0), r(2, 3));
+        let pts = mc.satisfying_points(&ok());
+        assert_eq!(pts.len(), 2); // both times of the good run
+        assert!(pts.iter().all(|pt| pt.run == RunId(0)));
+        assert!(mc.satisfiable(&ok().not()));
+        assert!(!mc.valid(&ok()));
+    }
+
+    #[test]
+    fn event_at_time_matches_fact_events() {
+        use pak_core::fact::Facts;
+        let pps = kop_system();
+        let mc = ModelChecker::new(&pps);
+        let via_formula = mc.event_at_time(&ok(), 1);
+        let fact = StateFact::new("ok", |g: &SimpleState| g.env == 1);
+        let via_fact = pps.fact_event_at_time(&fact, 1);
+        assert_eq!(via_formula, via_fact);
+    }
+
+    #[test]
+    fn checker_exposes_system() {
+        let pps = kop_system();
+        let mc = ModelChecker::new(&pps);
+        assert_eq!(mc.pps().num_runs(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! # pak-logic — an epistemic-probabilistic logic over pps
+//!
+//! The paper reasons semantically about facts, knowledge, and probabilistic
+//! beliefs, deferring the formal logic to Halpern's *Reasoning about
+//! Uncertainty*. This crate provides that formal layer for the workspace:
+//!
+//! * [`Formula`] — propositional connectives, `does_i(α)`, the knowledge
+//!   modality `K_i` (truth in all local-state-indistinguishable points),
+//!   the probabilistic-belief modality `B_i^{≥p}` (the paper's
+//!   `β_i(ϕ) ≥ p`), and in-run temporal operators `◇`/`□`.
+//! * [`ModelChecker`] — validity, satisfiability, counterexamples, and
+//!   event measures over a concrete pps.
+//!
+//! Formulas implement [`Fact`](pak_core::fact::Fact), so they compose with
+//! every analysis in `pak-core` — e.g. a probabilistic constraint whose
+//! condition is itself an epistemic formula.
+//!
+//! # Example: the KoP principle and its probabilistic weakening
+//!
+//! ```
+//! use pak_logic::{Formula, ModelChecker};
+//! use pak_core::prelude::*;
+//! use pak_num::Rational;
+//!
+//! // A system where the agent acts blindly on a 2/3-likely condition.
+//! let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+//! let good = b.initial(SimpleState::new(1, vec![0]), Rational::from_ratio(2, 3))?;
+//! let bad = b.initial(SimpleState::new(0, vec![0]), Rational::from_ratio(1, 3))?;
+//! let act = ActionId(0);
+//! b.child(good, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), act)])?;
+//! b.child(bad, SimpleState::new(0, vec![0]), Rational::one(), &[(AgentId(0), act)])?;
+//! let pps = b.build()?;
+//! let mc = ModelChecker::new(&pps);
+//!
+//! let ok = Formula::atom(StateFact::new("ok", |g: &SimpleState| g.env == 1));
+//! // Deterministic KoP fails: acting does not imply knowing.
+//! let kop = Formula::does(AgentId(0), act).implies(Formula::knows(AgentId(0), ok.clone()));
+//! assert!(!mc.valid(&kop));
+//! // The probabilistic analogue holds: acting implies belief ≥ 2/3.
+//! let pak = Formula::does(AgentId(0), act)
+//!     .implies(Formula::believes_at_least(AgentId(0), ok, Rational::from_ratio(2, 3)));
+//! assert!(mc.valid(&pak));
+//! # Ok::<(), PpsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod common;
+pub mod formula;
+pub mod parser;
+
+pub use check::ModelChecker;
+pub use common::{common_belief, common_belief_report, everyone_believes, CommonBeliefReport, PointSet};
+pub use formula::{Formula, FormulaFact};
+pub use parser::{FormulaParser, ParseFormulaError};

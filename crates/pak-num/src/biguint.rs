@@ -1,0 +1,791 @@
+//! Unsigned arbitrary-precision integers.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+use core::str::FromStr;
+
+use crate::parse::ParseNumberError;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// The value is stored as little-endian base-2³² limbs with no trailing zero
+/// limbs; the empty limb vector represents zero. All arithmetic is exact.
+///
+/// # Examples
+///
+/// ```
+/// use pak_num::BigUint;
+///
+/// let a = BigUint::from(10u64).pow(30);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), format!("1{}", "0".repeat(60)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs, normalised: `limbs.last() != Some(&0)`.
+    limbs: Vec<u32>,
+}
+
+const LIMB_BITS: u32 = 32;
+
+impl BigUint {
+    /// The value `0`.
+    ///
+    /// ```
+    /// use pak_num::BigUint;
+    /// assert!(BigUint::zero().is_zero());
+    /// ```
+    #[must_use]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    ///
+    /// ```
+    /// use pak_num::BigUint;
+    /// assert_eq!(BigUint::one(), BigUint::from(1u32));
+    /// ```
+    #[must_use]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Creates a value from little-endian limbs, normalising trailing zeros.
+    #[must_use]
+    pub(crate) fn from_limbs(mut limbs: Vec<u32>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Returns `true` if the value is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if the value is one.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    ///
+    /// ```
+    /// use pak_num::BigUint;
+    /// assert_eq!(BigUint::from(0u32).bits(), 0);
+    /// assert_eq!(BigUint::from(255u32).bits(), 8);
+    /// assert_eq!(BigUint::from(256u32).bits(), 9);
+    /// ```
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => {
+                (self.limbs.len() as u64 - 1) * u64::from(LIMB_BITS)
+                    + u64::from(LIMB_BITS - top.leading_zeros())
+            }
+        }
+    }
+
+    /// Returns the value as `u64` if it fits.
+    #[must_use]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(u64::from(self.limbs[0])),
+            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    #[must_use]
+    pub fn to_u128(&self) -> Option<u128> {
+        if self.limbs.len() > 4 {
+            return None;
+        }
+        let mut out: u128 = 0;
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out |= u128::from(l) << (32 * i);
+        }
+        Some(out)
+    }
+
+    /// Lossy conversion to `f64`.
+    ///
+    /// Values larger than `f64::MAX` convert to `f64::INFINITY`.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        let bits = self.bits();
+        if bits == 0 {
+            return 0.0;
+        }
+        if bits <= 64 {
+            // Fits exactly in the integer range of the conversion.
+            #[allow(clippy::cast_precision_loss)]
+            return self.to_u64().expect("bits <= 64") as f64;
+        }
+        // Take the top 64 bits as the mantissa and scale by the remaining exponent.
+        let shift = bits - 64;
+        let top = (self >> shift).to_u64().expect("shifted to 64 bits");
+        #[allow(clippy::cast_precision_loss)]
+        let mantissa = top as f64;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+        {
+            mantissa * 2f64.powi(shift.min(u64::from(u32::MAX)) as i32)
+        }
+    }
+
+    /// Compares two values.
+    fn cmp_limbs(a: &[u32], b: &[u32]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+            match x.cmp(y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Checked subtraction: returns `None` if `other > self`.
+    ///
+    /// ```
+    /// use pak_num::BigUint;
+    /// let a = BigUint::from(5u32);
+    /// let b = BigUint::from(7u32);
+    /// assert!(a.checked_sub(&b).is_none());
+    /// assert_eq!(b.checked_sub(&a), Some(BigUint::from(2u32)));
+    /// ```
+    #[must_use]
+    pub fn checked_sub(&self, other: &Self) -> Option<Self> {
+        if Self::cmp_limbs(&self.limbs, &other.limbs) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow: i64 = 0;
+        for i in 0..self.limbs.len() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let v = i64::from(self.limbs[i]) - i64::from(rhs) - borrow;
+            if v < 0 {
+                out.push((v + (1i64 << 32)) as u32);
+                borrow = 1;
+            } else {
+                out.push(v as u32);
+                borrow = 0;
+            }
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(Self::from_limbs(out))
+    }
+
+    /// Division with remainder.
+    ///
+    /// Returns `(quotient, remainder)` with `remainder < divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    ///
+    /// ```
+    /// use pak_num::BigUint;
+    /// let (q, r) = BigUint::from(1_000_007u64).div_rem(&BigUint::from(1000u32));
+    /// assert_eq!(q, BigUint::from(1000u32));
+    /// assert_eq!(r, BigUint::from(7u32));
+    /// ```
+    #[must_use]
+    pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by zero BigUint");
+        match Self::cmp_limbs(&self.limbs, &divisor.limbs) {
+            Ordering::Less => return (Self::zero(), self.clone()),
+            Ordering::Equal => return (Self::one(), Self::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
+            return (q, Self::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Short division by a single limb.
+    fn div_rem_limb(&self, divisor: u32) -> (Self, u32) {
+        debug_assert!(divisor != 0);
+        let d = u64::from(divisor);
+        let mut rem: u64 = 0;
+        let mut out = vec![0u32; self.limbs.len()];
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 32) | u64::from(limb);
+            out[i] = (cur / d) as u32;
+            rem = cur % d;
+        }
+        (Self::from_limbs(out), rem as u32)
+    }
+
+    /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &Self) -> (Self, Self) {
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().expect("multi-limb").leading_zeros();
+        let u = self << u64::from(shift);
+        let v = divisor << u64::from(shift);
+        let n = v.limbs.len();
+        let m = u.limbs.len() - n;
+
+        let mut un: Vec<u32> = u.limbs.clone();
+        un.push(0); // extra high limb for the algorithm
+        let vn = &v.limbs;
+        let v_top = u64::from(vn[n - 1]);
+        let v_next = u64::from(vn[n - 2]);
+
+        let mut q = vec![0u32; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q̂.
+            let num = (u64::from(un[j + n]) << 32) | u64::from(un[j + n - 1]);
+            let mut qhat = num / v_top;
+            let mut rhat = num % v_top;
+            while qhat >= (1u64 << 32)
+                || qhat * v_next > ((rhat << 32) | u64::from(un[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >= (1u64 << 32) {
+                    break;
+                }
+            }
+            // Multiply-and-subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow: i64 = 0;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let p = qhat * u64::from(vn[i]) + carry;
+                carry = p >> 32;
+                let t = i64::from(un[i + j]) - borrow - i64::from((p & 0xFFFF_FFFF) as u32);
+                if t < 0 {
+                    un[i + j] = (t + (1i64 << 32)) as u32;
+                    borrow = 1;
+                } else {
+                    un[i + j] = t as u32;
+                    borrow = 0;
+                }
+            }
+            let t = i64::from(un[j + n]) - borrow - i64::from(carry as u32) - ((carry >> 32) as i64);
+            if t < 0 {
+                // q̂ was one too large: add back.
+                un[j + n] = (t + (1i64 << 32)) as u32;
+                qhat -= 1;
+                let mut carry2: u64 = 0;
+                for i in 0..n {
+                    let s = u64::from(un[i + j]) + u64::from(vn[i]) + carry2;
+                    un[i + j] = (s & 0xFFFF_FFFF) as u32;
+                    carry2 = s >> 32;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry2 as u32);
+            } else {
+                un[j + n] = t as u32;
+            }
+            q[j] = qhat as u32;
+        }
+
+        let quotient = Self::from_limbs(q);
+        let rem = Self::from_limbs(un[..n].to_vec()) >> u64::from(shift);
+        (quotient, rem)
+    }
+
+    /// Greatest common divisor (Euclid's algorithm).
+    ///
+    /// `gcd(0, 0) == 0` by convention.
+    ///
+    /// ```
+    /// use pak_num::BigUint;
+    /// let g = BigUint::from(48u32).gcd(&BigUint::from(36u32));
+    /// assert_eq!(g, BigUint::from(12u32));
+    /// ```
+    #[must_use]
+    pub fn gcd(&self, other: &Self) -> Self {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Raises the value to the power `exp` by binary exponentiation.
+    ///
+    /// `0.pow(0) == 1` by convention.
+    ///
+    /// ```
+    /// use pak_num::BigUint;
+    /// assert_eq!(BigUint::from(2u32).pow(10), BigUint::from(1024u32));
+    /// ```
+    #[must_use]
+    pub fn pow(&self, mut exp: u32) -> Self {
+        let mut base = self.clone();
+        let mut acc = Self::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Returns `true` if the value is even.
+    #[must_use]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_from_small {
+    ($($t:ty),*) => {$(
+        impl From<$t> for BigUint {
+            fn from(v: $t) -> Self {
+                BigUint::from(u128::from(v))
+            }
+        }
+    )*};
+}
+impl_from_small!(u8, u16, u32, u64);
+
+impl From<u128> for BigUint {
+    fn from(mut v: u128) -> Self {
+        let mut limbs = Vec::new();
+        while v != 0 {
+            limbs.push((v & 0xFFFF_FFFF) as u32);
+            v >>= 32;
+        }
+        BigUint { limbs }
+    }
+}
+
+impl From<usize> for BigUint {
+    fn from(v: usize) -> Self {
+        BigUint::from(v as u128)
+    }
+}
+
+impl TryFrom<&BigUint> for u64 {
+    type Error = ParseNumberError;
+    fn try_from(v: &BigUint) -> Result<Self, Self::Error> {
+        v.to_u64().ok_or(ParseNumberError::Overflow)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        Self::cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic
+// ---------------------------------------------------------------------------
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        #[allow(clippy::needless_range_loop)] // indexing two slices of different lengths
+        for i in 0..long.len() {
+            let s = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+            out.push((s & 0xFFFF_FFFF) as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    ///
+    /// Panics if `rhs > self` (`BigUint` cannot represent negative values).
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+}
+
+impl Mul for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let cur = u64::from(out[i + j]) + u64::from(a) * u64::from(b) + carry;
+                out[i + j] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let cur = u64::from(out[k]) + carry;
+                out[k] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Div for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<u64> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: u64) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let limb_shift = (shift / u64::from(LIMB_BITS)) as usize;
+        let bit_shift = (shift % u64::from(LIMB_BITS)) as u32;
+        let mut out = vec![0u32; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry: u32 = 0;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (LIMB_BITS - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shr<u64> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: u64) -> BigUint {
+        let limb_shift = (shift / u64::from(LIMB_BITS)) as usize;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (shift % u64::from(LIMB_BITS)) as u32;
+        let mut out: Vec<u32> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let mut carry: u32 = 0;
+            for l in out.iter_mut().rev() {
+                let new = (*l >> bit_shift) | carry;
+                carry = *l << (LIMB_BITS - bit_shift);
+                *l = new;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<u64> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: u64) -> BigUint {
+        &self << shift
+    }
+}
+
+impl Shr<u64> for BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: u64) -> BigUint {
+        &self >> shift
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($op:ident :: $method:ident),*) => {$(
+        impl $op for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $op<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                (&self).$method(rhs)
+            }
+        }
+        impl $op<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Formatting and parsing
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Repeatedly divide by 10^9 (the largest power of ten fitting a limb).
+        let mut chunks: Vec<u32> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(1_000_000_000);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        for (i, chunk) in chunks.iter().rev().enumerate() {
+            if i == 0 {
+                s.push_str(&chunk.to_string());
+            } else {
+                s.push_str(&format!("{chunk:09}"));
+            }
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({self})")
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseNumberError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseNumberError::Empty);
+        }
+        if !s.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseNumberError::InvalidDigit);
+        }
+        let mut out = BigUint::zero();
+        let bytes = s.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = (i + 9).min(bytes.len());
+            let chunk = &s[i..end];
+            let v: u32 = chunk
+                .parse()
+                .map_err(|_| ParseNumberError::InvalidDigit)?;
+            let scale = BigUint::from(10u32).pow((end - i) as u32);
+            out = &out * &scale + BigUint::from(v);
+            i = end;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: u128) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(&b(42) + &BigUint::zero(), b(42));
+        assert_eq!(&b(42) * &BigUint::one(), b(42));
+        assert_eq!(&b(42) * &BigUint::zero(), BigUint::zero());
+    }
+
+    #[test]
+    fn addition_with_carry_chain() {
+        let a = b(u128::from(u64::MAX));
+        let sum = &a + &BigUint::one();
+        assert_eq!(sum, b(u128::from(u64::MAX) + 1));
+    }
+
+    #[test]
+    fn subtraction_exact_and_underflow() {
+        assert_eq!(&b(1000) - &b(999), b(1));
+        assert_eq!(b(5).checked_sub(&b(5)), Some(BigUint::zero()));
+        assert!(b(5).checked_sub(&b(6)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn subtraction_panics_on_underflow() {
+        let _ = &b(1) - &b(2);
+    }
+
+    #[test]
+    fn multiplication_cross_limb() {
+        let a = b(0xFFFF_FFFF_FFFF_FFFF);
+        let c = &a * &a;
+        assert_eq!(c, b(0xFFFF_FFFF_FFFF_FFFF * 0xFFFF_FFFF_FFFF_FFFFu128));
+    }
+
+    #[test]
+    fn division_single_limb() {
+        let (q, r) = b(1_000_000_007).div_rem(&b(13));
+        assert_eq!(q, b(1_000_000_007 / 13));
+        assert_eq!(r, b(1_000_000_007 % 13));
+    }
+
+    #[test]
+    fn division_multi_limb_knuth() {
+        let a = BigUint::from(10u32).pow(40);
+        let d = BigUint::from(10u32).pow(17) + BigUint::from(7u32);
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&q * &d + &r, a);
+        assert!(r < d);
+    }
+
+    #[test]
+    fn division_knuth_addback_case() {
+        // Construct a case exercising the rare "add back" step: the classic
+        // example uses divisor with high limb pattern 0x8000....
+        let u = (&(BigUint::from(1u32) << 96u64) - &BigUint::one()) << 32u64;
+        let v = (BigUint::from(1u32) << 96u64) - BigUint::one();
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(&q * &v + &r, u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn division_by_zero_panics() {
+        let r = std::panic::catch_unwind(|| b(5).div_rem(&BigUint::zero()));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = b(0x1234_5678_9ABC_DEF0);
+        assert_eq!(&(&a << 100u64) >> 100u64, a);
+        assert_eq!(&a >> 200u64, BigUint::zero());
+    }
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(b(48).gcd(&b(36)), b(12));
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+        assert_eq!(b(0).gcd(&b(5)), b(5));
+        assert_eq!(b(5).gcd(&b(0)), b(5));
+        assert_eq!(BigUint::zero().gcd(&BigUint::zero()), BigUint::zero());
+    }
+
+    #[test]
+    fn pow_and_bits() {
+        assert_eq!(BigUint::from(2u32).pow(100).bits(), 101);
+        assert_eq!(BigUint::from(3u32).pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(0), BigUint::one());
+        assert_eq!(BigUint::zero().pow(5), BigUint::zero());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let cases = ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"];
+        for c in cases {
+            let v: BigUint = c.parse().unwrap();
+            assert_eq!(v.to_string(), c);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<BigUint>().is_err());
+        assert!("12a4".parse::<BigUint>().is_err());
+        assert!("-5".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn ordering_spans_limb_counts() {
+        assert!(b(u128::from(u64::MAX)) > b(1));
+        assert!(b(1) < (BigUint::from(1u32) << 64u64));
+        assert_eq!(b(77).cmp(&b(77)), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64_small_and_large() {
+        assert_eq!(b(0).to_f64(), 0.0);
+        assert_eq!(b(1u128 << 70).to_f64(), 2f64.powi(70));
+        let big = BigUint::from(10u32).pow(30);
+        let rel = (big.to_f64() - 1e30).abs() / 1e30;
+        assert!(rel < 1e-12);
+    }
+
+    #[test]
+    fn even_odd() {
+        assert!(b(0).is_even());
+        assert!(b(2).is_even());
+        assert!(!b(3).is_even());
+    }
+}

@@ -1,0 +1,174 @@
+//! Exact decimal expansion of rationals.
+//!
+//! Experiment reports print probabilities like `990/991` next to the
+//! paper's `0.99899`; comparing them honestly needs an *exact* decimal
+//! expansion at a chosen precision, with explicit truncation/rounding —
+//! not a detour through `f64`.
+
+use crate::bigint::BigInt;
+use crate::biguint::BigUint;
+use crate::rational::Rational;
+
+/// Rounding mode for [`Rational::to_decimal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecimalRounding {
+    /// Truncate toward zero.
+    Truncate,
+    /// Round half away from zero.
+    #[default]
+    HalfUp,
+}
+
+impl Rational {
+    /// The exact decimal expansion of the value to `digits` fractional
+    /// digits, with the given rounding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pak_num::{DecimalRounding, Rational};
+    ///
+    /// let v = Rational::from_ratio(990, 991);
+    /// // The §8 value, to the paper's five digits:
+    /// assert_eq!(v.to_decimal(5, DecimalRounding::HalfUp), "0.99899");
+    /// assert_eq!(v.to_decimal(8, DecimalRounding::Truncate), "0.99899091");
+    /// assert_eq!(Rational::from_ratio(-1, 8).to_decimal(3, DecimalRounding::HalfUp), "-0.125");
+    /// ```
+    #[must_use]
+    pub fn to_decimal(&self, digits: u32, rounding: DecimalRounding) -> String {
+        let negative = self.is_negative();
+        let num = self.numer().magnitude().clone();
+        let den = self.denom().clone();
+        // Scale: ⌊num·10^digits / den⌋ plus rounding adjustment.
+        let scale = BigUint::from(10u32).pow(digits);
+        let scaled = &num * &scale;
+        let (mut q, r) = scaled.div_rem(&den);
+        if rounding == DecimalRounding::HalfUp {
+            // Round up when 2r ≥ den.
+            let twice = &r + &r;
+            if twice >= den {
+                q = &q + &BigUint::one();
+            }
+        }
+        let digits = digits as usize;
+        let mut s = q.to_string();
+        if s.len() <= digits {
+            let pad = "0".repeat(digits + 1 - s.len());
+            s = format!("{pad}{s}");
+        }
+        let split = s.len() - digits;
+        let (int_part, frac_part) = s.split_at(split);
+        let body = if digits == 0 {
+            int_part.to_string()
+        } else {
+            format!("{int_part}.{frac_part}")
+        };
+        if negative && body.bytes().any(|b| b.is_ascii_digit() && b != b'0') {
+            format!("-{body}")
+        } else {
+            body
+        }
+    }
+
+    /// Whether the value is an integer (denominator one).
+    #[must_use]
+    pub fn is_integer(&self) -> bool {
+        self.denom().is_one()
+    }
+
+    /// The integer floor of the value.
+    ///
+    /// ```
+    /// use pak_num::{BigInt, Rational};
+    /// assert_eq!(Rational::from_ratio(7, 2).floor(), BigInt::from(3));
+    /// assert_eq!(Rational::from_ratio(-7, 2).floor(), BigInt::from(-4));
+    /// ```
+    #[must_use]
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.numer().magnitude().div_rem(self.denom());
+        if self.is_negative() {
+            let q = BigInt::from_sign_magnitude(crate::bigint::Sign::Negative, q);
+            if r.is_zero() {
+                q
+            } else {
+                &q - &BigInt::one()
+            }
+        } else {
+            BigInt::from(q)
+        }
+    }
+
+    /// The integer ceiling of the value.
+    ///
+    /// ```
+    /// use pak_num::{BigInt, Rational};
+    /// assert_eq!(Rational::from_ratio(7, 2).ceil(), BigInt::from(4));
+    /// assert_eq!(Rational::from_ratio(-7, 2).ceil(), BigInt::from(-3));
+    /// ```
+    #[must_use]
+    pub fn ceil(&self) -> BigInt {
+        -&(-self).floor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn expansions_of_paper_constants() {
+        assert_eq!(r(99, 100).to_decimal(2, DecimalRounding::Truncate), "0.99");
+        assert_eq!(r(991, 1000).to_decimal(3, DecimalRounding::Truncate), "0.991");
+        assert_eq!(r(990, 991).to_decimal(5, DecimalRounding::HalfUp), "0.99899");
+        assert_eq!(r(9, 1000).to_decimal(3, DecimalRounding::HalfUp), "0.009");
+    }
+
+    #[test]
+    fn rounding_modes_differ() {
+        let two_thirds = r(2, 3);
+        assert_eq!(two_thirds.to_decimal(4, DecimalRounding::Truncate), "0.6666");
+        assert_eq!(two_thirds.to_decimal(4, DecimalRounding::HalfUp), "0.6667");
+        // Exact half rounds away from zero.
+        assert_eq!(r(1, 2).to_decimal(0, DecimalRounding::HalfUp), "1");
+        assert_eq!(r(1, 2).to_decimal(0, DecimalRounding::Truncate), "0");
+        assert_eq!(r(-1, 2).to_decimal(0, DecimalRounding::HalfUp), "-1");
+    }
+
+    #[test]
+    fn zero_and_integers() {
+        assert_eq!(Rational::zero().to_decimal(3, DecimalRounding::HalfUp), "0.000");
+        assert_eq!(r(5, 1).to_decimal(2, DecimalRounding::HalfUp), "5.00");
+        assert_eq!(r(5, 1).to_decimal(0, DecimalRounding::HalfUp), "5");
+        assert!(r(5, 1).is_integer());
+        assert!(!r(5, 2).is_integer());
+    }
+
+    #[test]
+    fn negatives_keep_sign_only_when_nonzero() {
+        assert_eq!(r(-1, 8).to_decimal(3, DecimalRounding::HalfUp), "-0.125");
+        // −1/1000 truncated to 2 digits is 0.00: no "-0.00".
+        assert_eq!(r(-1, 1000).to_decimal(2, DecimalRounding::Truncate), "0.00");
+    }
+
+    #[test]
+    fn long_expansions_are_exact() {
+        // 1/7 = 0.142857 repeating.
+        assert_eq!(
+            r(1, 7).to_decimal(12, DecimalRounding::Truncate),
+            "0.142857142857"
+        );
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(3, 1).floor(), BigInt::from(3));
+        assert_eq!(r(3, 1).ceil(), BigInt::from(3));
+        assert_eq!(r(-3, 2).floor(), BigInt::from(-2));
+        assert_eq!(r(-3, 2).ceil(), BigInt::from(-1));
+        assert_eq!(Rational::zero().floor(), BigInt::zero());
+    }
+}

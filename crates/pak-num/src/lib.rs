@@ -1,0 +1,44 @@
+//! Arbitrary-precision integer and exact rational arithmetic.
+//!
+//! This crate provides the exact numeric substrate for the `pak` workspace.
+//! The headline theorem of *Probably Approximately Knowing* (Zamir & Moses,
+//! PODC 2020) — Theorem 6.2 — states an **equality** between a conditional
+//! prior probability and an expected posterior belief. Verifying an equality
+//! with floating point would weaken the reproduction, so every theorem check
+//! in [`pak-core`](https://docs.rs/pak-core) runs over the exact [`Rational`]
+//! type defined here.
+//!
+//! The implementation is self-contained (no external bignum dependency):
+//!
+//! * [`BigUint`] — unsigned arbitrary-precision integer, little-endian `u32`
+//!   limbs, with full arithmetic including Knuth Algorithm D division.
+//! * [`BigInt`] — signed wrapper (sign + magnitude).
+//! * [`Rational`] — exact rational number, always stored in lowest terms with
+//!   a strictly positive denominator.
+//!
+//! # Examples
+//!
+//! ```
+//! use pak_num::Rational;
+//!
+//! // Probabilities compose exactly: 0.9 * 0.9 + 2 * 0.1 * 0.9 == 0.99
+//! let d = Rational::from_ratio(9, 10);
+//! let l = Rational::from_ratio(1, 10);
+//! let both = &d * &d + Rational::from_ratio(2, 1) * &l * &d;
+//! assert_eq!(both, Rational::from_ratio(99, 100));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigint;
+mod biguint;
+mod decimal;
+mod parse;
+mod rational;
+
+pub use bigint::{BigInt, Sign};
+pub use decimal::DecimalRounding;
+pub use biguint::BigUint;
+pub use parse::ParseNumberError;
+pub use rational::Rational;

@@ -1,0 +1,62 @@
+//! Error types for number parsing.
+
+use core::fmt;
+
+/// Error produced when parsing a [`BigUint`](crate::BigUint),
+/// [`BigInt`](crate::BigInt), or [`Rational`](crate::Rational) from a string,
+/// or converting between numeric types.
+///
+/// # Examples
+///
+/// ```
+/// use pak_num::{BigUint, ParseNumberError};
+///
+/// let err = "12a".parse::<BigUint>().unwrap_err();
+/// assert_eq!(err, ParseNumberError::InvalidDigit);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseNumberError {
+    /// The input string was empty.
+    Empty,
+    /// The input contained a character that is not a valid digit.
+    InvalidDigit,
+    /// A denominator of zero was supplied.
+    ZeroDenominator,
+    /// The value does not fit in the requested machine type.
+    Overflow,
+}
+
+impl fmt::Display for ParseNumberError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            ParseNumberError::Empty => "cannot parse number from empty string",
+            ParseNumberError::InvalidDigit => "invalid digit found in string",
+            ParseNumberError::ZeroDenominator => "denominator must be non-zero",
+            ParseNumberError::Overflow => "value does not fit in target type",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for ParseNumberError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        for e in [
+            ParseNumberError::Empty,
+            ParseNumberError::InvalidDigit,
+            ParseNumberError::ZeroDenominator,
+            ParseNumberError::Overflow,
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Property-based tests for the arbitrary-precision arithmetic.
+//!
+//! Every algebraic law used by the `pak-core` theorem machinery is checked
+//! here against randomly generated operands, including multi-limb values
+//! that exercise carry/borrow chains and Knuth division.
+
+use proptest::prelude::*;
+
+use pak_num::{BigInt, BigUint, Rational};
+
+/// Strategy producing `BigUint`s spanning zero through multi-limb magnitudes.
+fn big_uint() -> impl Strategy<Value = BigUint> {
+    prop_oneof![
+        any::<u64>().prop_map(BigUint::from),
+        any::<u128>().prop_map(BigUint::from),
+        (any::<u128>(), 0u64..200).prop_map(|(v, s)| BigUint::from(v) << s),
+    ]
+}
+
+fn big_int() -> impl Strategy<Value = BigInt> {
+    (big_uint(), any::<bool>()).prop_map(|(m, neg)| {
+        let v = BigInt::from(m);
+        if neg {
+            -v
+        } else {
+            v
+        }
+    })
+}
+
+fn rational() -> impl Strategy<Value = Rational> {
+    (any::<i32>(), 1i32..=i32::MAX).prop_map(|(n, d)| {
+        Rational::from_ratio(i64::from(n), i64::from(d))
+    })
+}
+
+/// A rational in `[0, 1]`, i.e. a probability.
+fn probability() -> impl Strategy<Value = Rational> {
+    (0u32..=1_000_000, 1u32..=1_000_000).prop_map(|(a, b)| {
+        let (n, d) = if a <= b { (a, b) } else { (b, a) };
+        Rational::from_ratio(i64::from(n), i64::from(d))
+    })
+}
+
+proptest! {
+    // ------------------------------------------------------------------
+    // BigUint ring laws
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn biguint_add_commutative(a in big_uint(), b in big_uint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn biguint_add_associative(a in big_uint(), b in big_uint(), c in big_uint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn biguint_mul_commutative(a in big_uint(), b in big_uint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn biguint_mul_associative(a in big_uint(), b in big_uint(), c in big_uint()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn biguint_distributive(a in big_uint(), b in big_uint(), c in big_uint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn biguint_add_sub_roundtrip(a in big_uint(), b in big_uint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn biguint_div_rem_invariant(a in big_uint(), b in big_uint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+    }
+
+    #[test]
+    fn biguint_gcd_divides_both(a in big_uint(), b in big_uint()) {
+        prop_assume!(!a.is_zero() || !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(!g.is_zero());
+        if !a.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+        }
+        if !b.is_zero() {
+            prop_assert!((&b % &g).is_zero());
+        }
+    }
+
+    #[test]
+    fn biguint_gcd_commutative(a in big_uint(), b in big_uint()) {
+        prop_assert_eq!(a.gcd(&b), b.gcd(&a));
+    }
+
+    #[test]
+    fn biguint_shift_roundtrip(a in big_uint(), s in 0u64..256) {
+        prop_assert_eq!(&(&a << s) >> s, a);
+    }
+
+    #[test]
+    fn biguint_display_parse_roundtrip(a in big_uint()) {
+        let s = a.to_string();
+        let back: BigUint = s.parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn biguint_cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(BigUint::from(a).cmp(&BigUint::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn biguint_arith_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+        prop_assert_eq!(&ba + &bb, BigUint::from(u128::from(a) + u128::from(b)));
+        prop_assert_eq!(&ba * &bb, BigUint::from(u128::from(a) * u128::from(b)));
+        if let (Some(q), Some(m)) = (a.checked_div(b), a.checked_rem(b)) {
+            prop_assert_eq!(&ba / &bb, BigUint::from(q));
+            prop_assert_eq!(&ba % &bb, BigUint::from(m));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // BigInt ring laws
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn bigint_add_commutative(a in big_int(), b in big_int()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn bigint_add_inverse(a in big_int()) {
+        prop_assert_eq!(&a + &(-&a), BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_sub_antisymmetric(a in big_int(), b in big_int()) {
+        prop_assert_eq!(&a - &b, -&(&b - &a));
+    }
+
+    #[test]
+    fn bigint_mul_signs(a in big_int(), b in big_int()) {
+        let prod = &a * &b;
+        if a.is_zero() || b.is_zero() {
+            prop_assert!(prod.is_zero());
+        } else {
+            prop_assert_eq!(prod.is_negative(), a.is_negative() != b.is_negative());
+        }
+    }
+
+    #[test]
+    fn bigint_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000i128,
+                           b in -1_000_000_000_000i128..1_000_000_000_000i128) {
+        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(&ba + &bb, BigInt::from(a + b));
+        prop_assert_eq!(&ba - &bb, BigInt::from(a - b));
+        prop_assert_eq!(&ba * &bb, BigInt::from(a * b));
+        if b != 0 {
+            prop_assert_eq!(&ba / &bb, BigInt::from(a / b));
+            prop_assert_eq!(&ba % &bb, BigInt::from(a % b));
+        }
+        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in big_int()) {
+        let back: BigInt = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    // ------------------------------------------------------------------
+    // Rational field laws
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn rational_add_commutative(a in rational(), b in rational()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn rational_add_associative(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn rational_mul_associative(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn rational_distributive(a in rational(), b in rational(), c in rational()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn rational_add_inverse(a in rational()) {
+        prop_assert_eq!(&a + &(-&a), Rational::zero());
+    }
+
+    #[test]
+    fn rational_mul_inverse(a in rational()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(&a * &a.recip(), Rational::one());
+    }
+
+    #[test]
+    fn rational_div_mul_roundtrip(a in rational(), b in rational()) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(&(&a / &b) * &b, a);
+    }
+
+    #[test]
+    fn rational_normalised_invariants(a in rational(), b in rational()) {
+        // Every result of arithmetic is in lowest terms with positive denominator.
+        for v in [&a + &b, &a - &b, &a * &b] {
+            prop_assert!(!v.denom().is_zero());
+            let g = v.numer().magnitude().gcd(v.denom());
+            prop_assert!(g.is_one() || v.is_zero());
+        }
+    }
+
+    #[test]
+    fn rational_ordering_total(a in rational(), b in rational(), c in rational()) {
+        // Transitivity on a sample of triples.
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    #[test]
+    fn rational_ordering_matches_f64(a in rational(), b in rational()) {
+        // f64 conversion is monotone for well-separated values.
+        let (fa, fb) = (a.to_f64(), b.to_f64());
+        if (fa - fb).abs() > 1e-9 {
+            prop_assert_eq!(a < b, fa < fb);
+        }
+    }
+
+    #[test]
+    fn rational_display_parse_roundtrip(a in rational()) {
+        let back: Rational = a.to_string().parse().unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn probability_complement_involution(p in probability()) {
+        prop_assert!(p.is_probability());
+        prop_assert!(p.one_minus().is_probability());
+        prop_assert_eq!(p.one_minus().one_minus(), p);
+    }
+
+    #[test]
+    fn probability_product_stays_probability(p in probability(), q in probability()) {
+        prop_assert!((&p * &q).is_probability());
+        // p·q ≤ min(p, q): products of probabilities shrink.
+        prop_assert!(&p * &q <= p.clone().min(q));
+    }
+
+    #[test]
+    fn rational_pow_matches_repeated_mul(a in rational(), e in 0i32..8) {
+        let mut acc = Rational::one();
+        for _ in 0..e {
+            acc = &acc * &a;
+        }
+        prop_assert_eq!(a.pow(e), acc);
+    }
+}

@@ -1,0 +1,185 @@
+//! Adversaries: fixing non-deterministic choices (Halpern–Tuttle).
+//!
+//! The paper (§2, following \[24\]) handles non-determinism by *fixing the
+//! adversary*: once every non-deterministic choice (who is faulty, what the
+//! initial values are, how the scheduler behaves) is fixed, all remaining
+//! choices are purely probabilistic and the runs form a pps. Reasoning then
+//! quantifies over the finitely many adversaries.
+//!
+//! [`AdversaryFamily`] captures this: a named finite family of protocol
+//! models, one per adversary, with helpers to unfold and check a property
+//! against every member.
+
+use pak_core::pps::Pps;
+use pak_core::prob::Probability;
+
+use crate::model::ProtocolModel;
+use crate::unfold::{unfold_with, UnfoldConfig, UnfoldError};
+
+/// A finite family of protocol models indexed by adversary.
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::adversary::AdversaryFamily;
+/// use pak_protocol::model::CoinModel;
+/// use pak_num::Rational;
+///
+/// // Non-deterministic bias: the adversary picks the coin's bias.
+/// let family: AdversaryFamily<CoinModel> = AdversaryFamily::new(vec![
+///     ("fair".into(), CoinModel { heads_num: 1, heads_den: 2 }),
+///     ("rigged".into(), CoinModel { heads_num: 9, heads_den: 10 }),
+/// ]);
+/// assert_eq!(family.len(), 2);
+///
+/// // A property must hold for EVERY adversary.
+/// let all_good = family
+///     .check_all::<Rational>(|_, pps| pps.num_runs() == 2)
+///     .unwrap();
+/// assert!(all_good);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdversaryFamily<M> {
+    members: Vec<(String, M)>,
+}
+
+impl<M> AdversaryFamily<M> {
+    /// Creates a family from named members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty — reasoning over "no adversaries" is
+    /// almost always a specification bug.
+    #[must_use]
+    pub fn new(members: Vec<(String, M)>) -> Self {
+        assert!(!members.is_empty(), "adversary family must be non-empty");
+        AdversaryFamily { members }
+    }
+
+    /// The number of adversaries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the family is empty (never true for constructed families).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over `(name, model)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &M)> {
+        self.members.iter().map(|(n, m)| (n.as_str(), m))
+    }
+
+    /// Unfolds every member into its pps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`UnfoldError`] encountered, tagged with the
+    /// adversary's name.
+    #[allow(clippy::type_complexity)] // named-pps list with named-error tag
+    pub fn unfold_all<P>(&self) -> Result<Vec<(String, Pps<M::Global, P>)>, (String, UnfoldError)>
+    where
+        M: ProtocolModel<P>,
+        P: Probability,
+    {
+        let config = UnfoldConfig::default();
+        self.members
+            .iter()
+            .map(|(name, model)| {
+                unfold_with(model, &config)
+                    .map(|pps| (name.clone(), pps))
+                    .map_err(|e| (name.clone(), e))
+            })
+            .collect()
+    }
+
+    /// Checks a predicate on every adversary's pps; `true` iff it holds for
+    /// all of them (the Halpern–Tuttle quantification).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`UnfoldError`] encountered, tagged with the
+    /// adversary's name.
+    pub fn check_all<P>(
+        &self,
+        mut pred: impl FnMut(&str, &Pps<M::Global, P>) -> bool,
+    ) -> Result<bool, (String, UnfoldError)>
+    where
+        M: ProtocolModel<P>,
+        P: Probability,
+    {
+        for (name, pps) in self.unfold_all()? {
+            if !pred(&name, &pps) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CoinModel, COIN_ACT};
+    use pak_core::fact::StateFact;
+    use pak_core::prelude::*;
+    use pak_num::Rational;
+
+    fn family() -> AdversaryFamily<CoinModel> {
+        AdversaryFamily::new(vec![
+            ("p=1/2".into(), CoinModel { heads_num: 1, heads_den: 2 }),
+            ("p=99/100".into(), CoinModel { heads_num: 99, heads_den: 100 }),
+        ])
+    }
+
+    #[test]
+    fn unfold_all_members() {
+        let f = family();
+        let all = f.unfold_all::<Rational>().unwrap();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "p=1/2");
+        for (_, pps) in &all {
+            assert!(pps.measure(&pps.all_runs()).is_one());
+        }
+    }
+
+    #[test]
+    fn property_quantified_over_adversaries() {
+        let f = family();
+        let heads = StateFact::new("heads", |g: &crate::model::CoinState| g.heads);
+        // "constraint ≥ 0.95 for every adversary" fails (the fair coin).
+        let strong = f
+            .check_all::<Rational>(|_, pps| {
+                let a = ActionAnalysis::new(pps, AgentId(0), COIN_ACT, &heads).unwrap();
+                a.satisfies_constraint(&Rational::from_ratio(19, 20))
+            })
+            .unwrap();
+        assert!(!strong);
+        // "constraint ≥ 0.5 for every adversary" holds.
+        let weak = f
+            .check_all::<Rational>(|_, pps| {
+                let a = ActionAnalysis::new(pps, AgentId(0), COIN_ACT, &heads).unwrap();
+                a.satisfies_constraint(&Rational::from_ratio(1, 2))
+            })
+            .unwrap();
+        assert!(weak);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_family_rejected() {
+        let _: AdversaryFamily<CoinModel> = AdversaryFamily::new(vec![]);
+    }
+
+    #[test]
+    fn iter_and_len() {
+        let f = family();
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        let names: Vec<&str> = f.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["p=1/2", "p=99/100"]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Random *protocol-consistent* system generation.
+//!
+//! The raw tree generator in `pak_core::generator` labels edges with
+//! arbitrary actions. That is a strictly larger class than the paper
+//! studies: §2.2 derives every pps from a joint protocol, so the
+//! probability of an action is always a function of the acting agent's
+//! local state — a property Lemma 4.3(b)'s proof uses explicitly ("since
+//! `i`'s protocol `P_i` is a function of its local state, the probability
+//! that `i` performs `α` is the same at all points at which its local state
+//! is `ℓ_i`"). On arbitrary trees, past-based facts need **not** be
+//! local-state independent of actions.
+//!
+//! This module generates systems inside the paper's class: a random
+//! [`TableModel`] (random prior, random per-`(agent, local, time)` mixed
+//! moves, random per-`(env, time)` environment branching) unfolded into a
+//! pps. Lemma 4.3(b) therefore applies to the result, which is what the
+//! theorem-level property tests need.
+
+use pak_core::generator::SplitMix64;
+use pak_core::ids::ActionId;
+use pak_core::pps::Pps;
+use pak_core::prob::Probability;
+use pak_core::state::SimpleState;
+
+use crate::model::TableModel;
+use crate::unfold::{unfold_with, UnfoldConfig, UnfoldError};
+
+/// Configuration for random protocol generation.
+#[derive(Debug, Clone)]
+pub struct RandomModelConfig {
+    /// Number of agents (1..=3 recommended; joint-move branching is
+    /// exponential in this).
+    pub n_agents: u32,
+    /// Number of initial states.
+    pub initial_states: u32,
+    /// Protocol horizon (rounds).
+    pub horizon: u32,
+    /// Number of distinct environment values driving transitions.
+    pub envs: u64,
+    /// Maximum environment branching per round.
+    pub max_env_branching: u32,
+    /// Number of distinct local-data values per agent.
+    pub local_values: u64,
+    /// Number of action ids per agent.
+    pub actions_per_agent: u32,
+}
+
+impl Default for RandomModelConfig {
+    fn default() -> Self {
+        RandomModelConfig {
+            n_agents: 2,
+            initial_states: 2,
+            horizon: 3,
+            envs: 3,
+            max_env_branching: 2,
+            local_values: 2,
+            actions_per_agent: 2,
+        }
+    }
+}
+
+/// Generates a random table-driven protocol model.
+///
+/// The result is *protocol-consistent by construction*: move distributions
+/// are keyed by `(agent, local, time)` and transition distributions by
+/// `(env, time)`, so unfolding yields a pps in the paper's class.
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::generator::{random_model, RandomModelConfig};
+/// use pak_num::Rational;
+///
+/// let m = random_model::<Rational>(7, &RandomModelConfig::default());
+/// assert_eq!(m.n_agents, 2);
+/// ```
+#[must_use]
+pub fn random_model<P: Probability>(seed: u64, cfg: &RandomModelConfig) -> TableModel<P> {
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1));
+    let dist = |rng: &mut SplitMix64, n: u32| -> Vec<P> {
+        let weights: Vec<u64> = (0..n).map(|_| rng.range(1, 6)).collect();
+        let total: u64 = weights.iter().sum();
+        weights.into_iter().map(|w| P::from_ratio(w, total)).collect()
+    };
+
+    // Prior over initial states.
+    let init_probs = dist(&mut rng, cfg.initial_states);
+    let initial: Vec<(u64, Vec<u64>, P)> = init_probs
+        .into_iter()
+        .map(|p| {
+            let env = rng.below(cfg.envs.max(1));
+            let locals = (0..cfg.n_agents)
+                .map(|_| rng.below(cfg.local_values.max(1)))
+                .collect();
+            (env, locals, p)
+        })
+        .collect();
+
+    // Mixed-move tables per (agent, local, time).
+    #[allow(clippy::type_complexity)]
+    let mut moves: Vec<((u32, u64, u32), Vec<(Option<ActionId>, P)>)> = Vec::new();
+    for a in 0..cfg.n_agents {
+        for l in 0..cfg.local_values.max(1) {
+            for t in 0..cfg.horizon {
+                let entry = match rng.below(3) {
+                    // Skip-only step.
+                    0 => vec![(None, P::one())],
+                    // Deterministic action step.
+                    1 => {
+                        let act = rng.below(u64::from(cfg.actions_per_agent)) as u32;
+                        vec![(Some(ActionId(a * cfg.actions_per_agent + act)), P::one())]
+                    }
+                    // Mixed step between an action and skip.
+                    _ => {
+                        let act = rng.below(u64::from(cfg.actions_per_agent)) as u32;
+                        let ps = dist(&mut rng, 2);
+                        vec![
+                            (Some(ActionId(a * cfg.actions_per_agent + act)), ps[0].clone()),
+                            (None, ps[1].clone()),
+                        ]
+                    }
+                };
+                moves.push(((a, l, t), entry));
+            }
+        }
+    }
+
+    // Environment transition tables per (env, time).
+    #[allow(clippy::type_complexity)]
+    let mut transitions: Vec<((u64, u32), Vec<(u64, Vec<u64>, P)>)> = Vec::new();
+    for e in 0..cfg.envs.max(1) {
+        for t in 0..cfg.horizon {
+            let branches = rng.range(1, u64::from(cfg.max_env_branching)) as u32;
+            let ps = dist(&mut rng, branches);
+            let outcomes = ps
+                .into_iter()
+                .map(|p| {
+                    let env = rng.below(cfg.envs.max(1));
+                    let locals = (0..cfg.n_agents)
+                        .map(|_| rng.below(cfg.local_values.max(1)))
+                        .collect();
+                    (env, locals, p)
+                })
+                .collect();
+            transitions.push(((e, t), outcomes));
+        }
+    }
+
+    TableModel {
+        n_agents: cfg.n_agents,
+        initial,
+        horizon: cfg.horizon,
+        moves,
+        transitions,
+    }
+}
+
+/// Generates and unfolds a random protocol-consistent pps.
+///
+/// # Errors
+///
+/// Propagates [`UnfoldError::TooLarge`] if the configuration explodes past
+/// the node limit.
+pub fn random_pps<P: Probability>(
+    seed: u64,
+    cfg: &RandomModelConfig,
+) -> Result<Pps<SimpleState, P>, UnfoldError> {
+    let model = random_model::<P>(seed, cfg);
+    unfold_with(
+        &model,
+        &UnfoldConfig {
+            max_nodes: 1 << 18,
+            max_depth: Some(cfg.horizon + 1),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_core::fact::{Facts, StateFact};
+    use pak_core::independence::is_local_state_independent;
+    use pak_core::ids::{AgentId, Point};
+    use pak_num::Rational;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomModelConfig::default();
+        let a = random_pps::<Rational>(3, &cfg).unwrap();
+        let b = random_pps::<Rational>(3, &cfg).unwrap();
+        assert_eq!(a.num_runs(), b.num_runs());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+    }
+
+    #[test]
+    fn generated_systems_are_probability_spaces() {
+        let cfg = RandomModelConfig::default();
+        for seed in 0..10 {
+            let pps = random_pps::<Rational>(seed, &cfg).unwrap();
+            assert!(pps.measure(&pps.all_runs()).is_one(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma_43b_holds_on_protocol_consistent_systems() {
+        // The property that FAILS on raw random trees and holds here:
+        // past-based facts are LSI of every action of protocol systems.
+        let cfg = RandomModelConfig::default();
+        let fact = StateFact::new("env even", |g: &SimpleState| g.env.is_multiple_of(2));
+        for seed in 0..15 {
+            let pps = random_pps::<Rational>(seed, &cfg).unwrap();
+            assert!(pps.is_past_based(&fact));
+            // Collect actions present.
+            let mut actions = Vec::new();
+            for run in pps.run_ids() {
+                for t in 0..pps.run_len(run) as u32 {
+                    for &(a, act) in pps.actions_at(Point { run, time: t }) {
+                        if !actions.contains(&(a, act)) {
+                            actions.push((a, act));
+                        }
+                    }
+                }
+            }
+            for (agent, action) in actions {
+                assert!(
+                    is_local_state_independent(&pps, &fact, agent, action),
+                    "seed {seed}: LSI must hold for past-based facts on protocol systems"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_steps_occur() {
+        // Across seeds, some generated system must contain a genuinely
+        // mixed action step (non-deterministic action for some agent).
+        let cfg = RandomModelConfig::default();
+        let mut found_mixed = false;
+        for seed in 0..20 {
+            let pps = random_pps::<Rational>(seed, &cfg).unwrap();
+            for a in 0..2 {
+                for act in 0..4u32 {
+                    let agent = AgentId(a);
+                    let action = ActionId(act);
+                    let ev = pps.action_event(agent, action);
+                    if !ev.is_empty() && !pps.is_deterministic_action(agent, action) {
+                        found_mixed = true;
+                    }
+                }
+            }
+        }
+        assert!(found_mixed, "no mixed step in 20 seeds");
+    }
+}

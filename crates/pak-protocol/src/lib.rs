@@ -1,0 +1,46 @@
+//! # pak-protocol — probabilistic protocols and their unfolding into pps
+//!
+//! The paper relates protocols to purely probabilistic systems (§2.2): given
+//! a prior over initial global states, probabilistic local protocols
+//! `P_i : L_i → Δ(Act_i)` for every agent, and a (probabilistic)
+//! environment, the runs of the joint protocol form a pps. This crate
+//! implements that pipeline:
+//!
+//! * [`model::ProtocolModel`] — the joint-protocol abstraction. Locality is
+//!   structural: an agent's move distribution is a function of its *local*
+//!   state only.
+//! * [`unfold`](unfold::unfold) — bounded-horizon enumeration of every
+//!   probabilistic branching into a validated
+//!   [`Pps`](pak_core::pps::Pps).
+//! * [`messaging`] — the synchronous lossy-channel substrate of Example 1:
+//!   per-message independent loss, delivery at end of round, never late.
+//! * [`adversary`] — Halpern–Tuttle adversary families for handling
+//!   non-determinism: one pps per fixed adversary.
+//!
+//! # Example
+//!
+//! ```
+//! use pak_protocol::model::{CoinModel, COIN_ACT};
+//! use pak_protocol::unfold::unfold;
+//! use pak_core::prelude::*;
+//! use pak_num::Rational;
+//!
+//! let model = CoinModel { heads_num: 3, heads_den: 4 };
+//! let pps = unfold::<_, Rational>(&model).unwrap();
+//! assert_eq!(pps.num_runs(), 2);
+//! assert!(pps.is_proper(AgentId(0), COIN_ACT));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod generator;
+pub mod messaging;
+pub mod model;
+pub mod unfold;
+
+pub use adversary::AdversaryFamily;
+pub use messaging::{AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal};
+pub use model::ProtocolModel;
+pub use unfold::{unfold, unfold_with, UnfoldConfig, UnfoldError};

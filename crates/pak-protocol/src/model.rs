@@ -1,0 +1,309 @@
+//! The protocol-system model (§2.2 of the paper).
+//!
+//! A joint protocol is a tuple `P = (P_e, P_1, …, P_n)` where each `P_i`
+//! maps agent `i`'s *local state* to a distribution over its actions (a
+//! *mixed action step* when the support has more than one element), and the
+//! environment resolves the joint choice into a successor global state —
+//! possibly probabilistically (message loss, scheduling, coin flips).
+//!
+//! [`ProtocolModel`] captures exactly this structure. Two properties of the
+//! paper's setting are enforced by the shape of the trait:
+//!
+//! * **Locality** — [`ProtocolModel::moves`] receives only the agent's own
+//!   local data (plus the time, which a synchronous agent always knows), so
+//!   a protocol physically cannot read other agents' states.
+//! * **Bounded termination** — [`ProtocolModel::is_terminal`] must
+//!   eventually return `true` on every path so the unfolded system is a
+//!   finite pps.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+use pak_core::ids::{ActionId, AgentId, Time};
+use pak_core::prob::Probability;
+use pak_core::state::GlobalState;
+
+/// A joint probabilistic protocol together with its environment, ready to be
+/// unfolded into a pps or sampled by the simulator.
+///
+/// # Examples
+///
+/// See [`crate::messaging::LossyMessagingModel`] for a full implementation,
+/// or [`CoinModel`] in this module for a minimal one.
+pub trait ProtocolModel<P: Probability> {
+    /// The global-state representation of the unfolded system.
+    type Global: GlobalState;
+
+    /// An agent's move: the action it performs plus any effects the
+    /// environment must see (e.g. messages to send).
+    type Move: Clone + Debug;
+
+    /// The number of agents.
+    fn n_agents(&self) -> u32;
+
+    /// The prior distribution over initial global states (non-empty,
+    /// probabilities summing to one).
+    fn initial_states(&self) -> Vec<(Self::Global, P)>;
+
+    /// Whether the protocol has terminated at `state` (no further rounds).
+    /// Must eventually hold on every path.
+    fn is_terminal(&self, state: &Self::Global, time: Time) -> bool;
+
+    /// Agent `agent`'s mixed move distribution at its local state `local`
+    /// and time `time` — the paper's `P_i(ℓ_i) ∈ Δ(Act_i)`.
+    ///
+    /// The returned distribution must be non-empty with probabilities
+    /// summing to one. A singleton distribution is a deterministic step.
+    fn moves(
+        &self,
+        agent: AgentId,
+        local: &<Self::Global as GlobalState>::Local,
+        time: Time,
+    ) -> Vec<(Self::Move, P)>;
+
+    /// The action recorded on the run history for a move (`None` when the
+    /// move is a skip that should not appear as a `does_i` event).
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId>;
+
+    /// The environment's resolution of the joint moves at `state`: a
+    /// distribution over successor global states (non-empty, summing to
+    /// one). `moves[i]` is agent `i`'s chosen move.
+    fn transition(
+        &self,
+        state: &Self::Global,
+        moves: &[Self::Move],
+        time: Time,
+    ) -> Vec<(Self::Global, P)>;
+}
+
+/// A minimal single-agent model used in documentation and tests: the
+/// environment flips a biased coin at time 0 (hidden from the agent), and
+/// the agent unconditionally performs one action at time 0.
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::model::{CoinModel, ProtocolModel};
+/// use pak_core::ids::AgentId;
+/// use pak_core::state::GlobalState;
+///
+/// let m = CoinModel { heads_num: 99, heads_den: 100 };
+/// let init = ProtocolModel::<f64>::initial_states(&m);
+/// assert_eq!(init.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoinModel {
+    /// Numerator of the heads probability.
+    pub heads_num: u64,
+    /// Denominator of the heads probability.
+    pub heads_den: u64,
+}
+
+/// Global state of [`CoinModel`]: the hidden coin plus a blind agent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CoinState {
+    /// `true` iff the hidden coin landed heads.
+    pub heads: bool,
+}
+
+impl GlobalState for CoinState {
+    type Local = u8;
+
+    fn local(&self, _agent: AgentId) -> u8 {
+        0 // the agent observes nothing
+    }
+}
+
+/// The action id used by [`CoinModel`].
+pub const COIN_ACT: ActionId = ActionId(0);
+
+impl<P: Probability> ProtocolModel<P> for CoinModel {
+    type Global = CoinState;
+    type Move = ();
+
+    fn n_agents(&self) -> u32 {
+        1
+    }
+
+    fn initial_states(&self) -> Vec<(CoinState, P)> {
+        let heads = P::from_ratio(self.heads_num, self.heads_den);
+        vec![
+            (CoinState { heads: true }, heads.clone()),
+            (CoinState { heads: false }, heads.one_minus()),
+        ]
+    }
+
+    fn is_terminal(&self, _state: &CoinState, time: Time) -> bool {
+        time >= 1
+    }
+
+    fn moves(&self, _agent: AgentId, _local: &u8, _time: Time) -> Vec<((), P)> {
+        vec![((), P::one())]
+    }
+
+    fn action_of(&self, _mv: &()) -> Option<ActionId> {
+        Some(COIN_ACT)
+    }
+
+    fn transition(&self, state: &CoinState, _moves: &[()], _time: Time) -> Vec<(CoinState, P)> {
+        vec![(state.clone(), P::one())]
+    }
+}
+
+/// A table-driven protocol model over [`pak_core::state::SimpleState`],
+/// convenient for spelling out small systems (counterexamples, exercises)
+/// without writing a trait implementation.
+///
+/// The tables map `(agent local data, time)` to move distributions and
+/// `(env, joint action pattern, time)` to successor distributions; entries
+/// default to "skip" / "stay" when absent.
+#[derive(Debug, Clone, Default)]
+pub struct TableModel<P> {
+    /// Number of agents.
+    pub n_agents: u32,
+    /// Prior over initial states: `(env, locals, probability)`.
+    pub initial: Vec<(u64, Vec<u64>, P)>,
+    /// Horizon: terminal once `time >= horizon`.
+    pub horizon: Time,
+    /// Move table: `(agent, local, time) → [(action, prob)]`. `None` action
+    /// means skip.
+    #[allow(clippy::type_complexity)]
+    pub moves: Vec<((u32, u64, Time), Vec<(Option<ActionId>, P)>)>,
+    /// Transition table: `(env, time) → [(new_env, new_locals, prob)]`;
+    /// when absent the state is copied unchanged.
+    #[allow(clippy::type_complexity)]
+    pub transitions: Vec<((u64, Time), Vec<(u64, Vec<u64>, P)>)>,
+}
+
+impl<P: Probability> ProtocolModel<P> for TableModel<P> {
+    type Global = pak_core::state::SimpleState;
+    type Move = Option<ActionId>;
+
+    fn n_agents(&self) -> u32 {
+        self.n_agents
+    }
+
+    fn initial_states(&self) -> Vec<(Self::Global, P)> {
+        self.initial
+            .iter()
+            .map(|(env, locals, p)| {
+                (
+                    pak_core::state::SimpleState::new(*env, locals.clone()),
+                    p.clone(),
+                )
+            })
+            .collect()
+    }
+
+    fn is_terminal(&self, _state: &Self::Global, time: Time) -> bool {
+        time >= self.horizon
+    }
+
+    fn moves(&self, agent: AgentId, local: &u64, time: Time) -> Vec<(Self::Move, P)> {
+        self.moves
+            .iter()
+            .find(|((a, l, t), _)| *a == agent.0 && l == local && *t == time)
+            .map_or_else(|| vec![(None, P::one())], |(_, dist)| dist.clone())
+    }
+
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
+        *mv
+    }
+
+    fn transition(&self, state: &Self::Global, _moves: &[Self::Move], time: Time) -> Vec<(Self::Global, P)> {
+        self.transitions
+            .iter()
+            .find(|((env, t), _)| *env == state.env && *t == time)
+            .map_or_else(
+                || vec![(state.clone(), P::one())],
+                |(_, dist)| {
+                    dist.iter()
+                        .map(|(env, locals, p)| {
+                            (
+                                pak_core::state::SimpleState::new(*env, locals.clone()),
+                                p.clone(),
+                            )
+                        })
+                        .collect()
+                },
+            )
+    }
+}
+
+/// Validates that a move or transition distribution is well formed (used by
+/// the unfolder and simulator before consuming model output).
+///
+/// # Errors
+///
+/// Returns a description of the violation, if any.
+pub fn validate_distribution<T, P: Probability>(dist: &[(T, P)]) -> Result<(), String> {
+    if dist.is_empty() {
+        return Err("distribution is empty".to_string());
+    }
+    let mut sum = P::zero();
+    for (_, p) in dist {
+        if !p.at_least(&P::zero()) || p.is_zero() {
+            return Err(format!("distribution entry has non-positive probability {p}"));
+        }
+        sum = sum.add(p);
+    }
+    if !sum.is_one() {
+        return Err(format!("distribution sums to {sum}, expected 1"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_num::Rational;
+
+    #[test]
+    fn coin_model_shape() {
+        let m = CoinModel { heads_num: 1, heads_den: 2 };
+        let init: Vec<(CoinState, Rational)> = m.initial_states();
+        assert_eq!(init.len(), 2);
+        let total: Rational = init.iter().map(|(_, p)| p.clone()).sum();
+        assert!(total.is_one());
+        assert!(ProtocolModel::<Rational>::is_terminal(&m, &init[0].0, 1));
+        assert!(!ProtocolModel::<Rational>::is_terminal(&m, &init[0].0, 0));
+        let mv: Vec<((), Rational)> = m.moves(AgentId(0), &0, 0);
+        assert_eq!(mv.len(), 1);
+        assert_eq!(ProtocolModel::<Rational>::action_of(&m, &()), Some(COIN_ACT));
+    }
+
+    #[test]
+    fn validate_distribution_accepts_good() {
+        let d = vec![("a", Rational::from_ratio(1, 3)), ("b", Rational::from_ratio(2, 3))];
+        assert!(validate_distribution(&d).is_ok());
+    }
+
+    #[test]
+    fn validate_distribution_rejects_bad() {
+        let empty: Vec<((), Rational)> = vec![];
+        assert!(validate_distribution(&empty).is_err());
+        let short = vec![((), Rational::from_ratio(1, 3))];
+        assert!(validate_distribution(&short).unwrap_err().contains("sums to"));
+        let zero = vec![((), Rational::zero()), ((), Rational::one())];
+        assert!(validate_distribution(&zero).unwrap_err().contains("non-positive"));
+    }
+
+    #[test]
+    fn table_model_defaults() {
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 1,
+            initial: vec![(0, vec![0], Rational::one())],
+            horizon: 2,
+            moves: vec![],
+            transitions: vec![],
+        };
+        // Default move is skip; default transition copies the state.
+        let mv = ProtocolModel::<Rational>::moves(&m, AgentId(0), &0, 0);
+        assert_eq!(mv.len(), 1);
+        assert_eq!(m.action_of(&mv[0].0), None);
+        let st = pak_core::state::SimpleState::new(0, vec![0]);
+        let tr = m.transition(&st, &[None], 0);
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].0, st);
+    }
+}

@@ -1,0 +1,438 @@
+//! Bounded-horizon unfolding of a protocol into a pps.
+//!
+//! Given a [`ProtocolModel`], the unfolder
+//! enumerates every reachable branching — initial states, each agent's mixed
+//! move choices (the cartesian product across agents), and the environment's
+//! probabilistic resolution — and materialises the paper's tree `T = (V, E,
+//! π)` as a validated [`Pps`]. Successor states that coincide are *merged*
+//! (their probabilities added): this keeps trees small (e.g. losing message
+//! copy 1 vs copy 2 of an identical payload leads to the same global state)
+//! and changes none of the measures, local states, or action events the
+//! theory depends on.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pak_core::error::PpsError;
+use pak_core::ids::{ActionId, AgentId, NodeId};
+use pak_core::pps::{Pps, PpsBuilder};
+use pak_core::prob::Probability;
+use pak_core::state::GlobalState;
+
+use crate::model::{validate_distribution, ProtocolModel};
+
+/// Limits and options for unfolding.
+#[derive(Debug, Clone)]
+pub struct UnfoldConfig {
+    /// Hard cap on the number of tree nodes; unfolding fails rather than
+    /// exhausting memory. Defaults to `1 << 20`.
+    pub max_nodes: usize,
+    /// Optional hard cap on depth (a safety net for models whose
+    /// `is_terminal` never fires). `None` trusts the model.
+    pub max_depth: Option<u32>,
+}
+
+impl Default for UnfoldConfig {
+    fn default() -> Self {
+        UnfoldConfig {
+            max_nodes: 1 << 20,
+            max_depth: Some(64),
+        }
+    }
+}
+
+/// Error produced by [`unfold`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum UnfoldError {
+    /// The model emitted a malformed distribution (empty, non-positive
+    /// entry, or not summing to one).
+    BadModelDistribution {
+        /// Where the bad distribution came from.
+        origin: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// The unfolding exceeded [`UnfoldConfig::max_nodes`].
+    TooLarge {
+        /// The configured limit.
+        max_nodes: usize,
+    },
+    /// The depth cap was hit before every path terminated.
+    DepthExceeded {
+        /// The configured limit.
+        max_depth: u32,
+    },
+    /// The resulting tree failed pps validation (should not happen for
+    /// well-formed models; indicates a model bug such as f64 distributions
+    /// drifting outside tolerance).
+    Pps(PpsError),
+}
+
+impl fmt::Display for UnfoldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnfoldError::BadModelDistribution { origin, detail } => {
+                write!(f, "model produced a bad distribution in {origin}: {detail}")
+            }
+            UnfoldError::TooLarge { max_nodes } => {
+                write!(f, "unfolding exceeded the configured limit of {max_nodes} nodes")
+            }
+            UnfoldError::DepthExceeded { max_depth } => {
+                write!(f, "unfolding exceeded the depth cap of {max_depth} without terminating")
+            }
+            UnfoldError::Pps(e) => write!(f, "unfolded tree failed validation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UnfoldError {}
+
+impl From<PpsError> for UnfoldError {
+    fn from(e: PpsError) -> Self {
+        UnfoldError::Pps(e)
+    }
+}
+
+/// Unfolds a protocol model into a purely probabilistic system with the
+/// default limits.
+///
+/// # Errors
+///
+/// See [`UnfoldError`].
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::model::{CoinModel, COIN_ACT};
+/// use pak_protocol::unfold::unfold;
+/// use pak_core::prelude::*;
+/// use pak_num::Rational;
+///
+/// let m = CoinModel { heads_num: 99, heads_den: 100 };
+/// let pps = unfold::<_, Rational>(&m).unwrap();
+/// assert_eq!(pps.num_runs(), 2);
+/// assert!(pps.is_proper(AgentId(0), COIN_ACT));
+/// ```
+pub fn unfold<M, P>(model: &M) -> Result<Pps<M::Global, P>, UnfoldError>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    unfold_with(model, &UnfoldConfig::default())
+}
+
+/// Unfolds a protocol model with explicit limits.
+///
+/// # Errors
+///
+/// See [`UnfoldError`].
+pub fn unfold_with<M, P>(model: &M, config: &UnfoldConfig) -> Result<Pps<M::Global, P>, UnfoldError>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    let n_agents = model.n_agents();
+    let mut builder = PpsBuilder::<M::Global, P>::new(n_agents);
+    let mut node_count = 1usize; // the root
+
+    let initial = model.initial_states();
+    validate_distribution(&initial).map_err(|detail| UnfoldError::BadModelDistribution {
+        origin: "initial_states",
+        detail,
+    })?;
+
+    // Frontier of nodes still to expand: (builder node, state, time).
+    let mut frontier: Vec<(NodeId, M::Global, u32)> = Vec::new();
+    for (state, p) in initial {
+        let id = builder.initial(state.clone(), p)?;
+        node_count += 1;
+        frontier.push((id, state, 0));
+    }
+
+    while let Some((node, state, time)) = frontier.pop() {
+        if model.is_terminal(&state, time) {
+            continue;
+        }
+        if let Some(cap) = config.max_depth {
+            if time >= cap {
+                return Err(UnfoldError::DepthExceeded { max_depth: cap });
+            }
+        }
+
+        // Gather each agent's mixed move distribution from its local state.
+        let mut per_agent: Vec<Vec<(M::Move, P)>> = Vec::with_capacity(n_agents as usize);
+        for a in 0..n_agents {
+            let agent = AgentId(a);
+            let local = state.local(agent);
+            let dist = model.moves(agent, &local, time);
+            validate_distribution(&dist).map_err(|detail| UnfoldError::BadModelDistribution {
+                origin: "moves",
+                detail,
+            })?;
+            per_agent.push(dist);
+        }
+
+        // Enumerate the cartesian product of joint moves, resolve each via
+        // the environment, and merge identical successors.
+        #[allow(clippy::type_complexity)]
+        let mut successors: Vec<(M::Global, Vec<(AgentId, ActionId)>, P)> = Vec::new();
+        let mut index: HashMap<(JointKey, StateKey), usize> = HashMap::new();
+        for (joint, p_joint) in CartesianMoves::new(&per_agent) {
+            let actions: Vec<(AgentId, ActionId)> = joint
+                .iter()
+                .enumerate()
+                .filter_map(|(a, mv)| model.action_of(mv).map(|act| (AgentId(a as u32), act)))
+                .collect();
+            let outcomes = model.transition(&state, &joint, time);
+            validate_distribution(&outcomes).map_err(|detail| {
+                UnfoldError::BadModelDistribution {
+                    origin: "transition",
+                    detail,
+                }
+            })?;
+            for (succ, p_env) in outcomes {
+                let p = p_joint.mul(&p_env);
+                let jk = JointKey(format!("{actions:?}"));
+                let sk = StateKey(format!("{succ:?}"));
+                match index.get(&(jk.clone(), sk.clone())) {
+                    Some(&i) => {
+                        successors[i].2 = successors[i].2.add(&p);
+                    }
+                    None => {
+                        index.insert((jk, sk), successors.len());
+                        successors.push((succ, actions.clone(), p));
+                    }
+                }
+            }
+        }
+
+        for (succ, actions, p) in successors {
+            node_count += 1;
+            if node_count > config.max_nodes {
+                return Err(UnfoldError::TooLarge {
+                    max_nodes: config.max_nodes,
+                });
+            }
+            let child = builder.child(node, succ.clone(), p, &actions)?;
+            frontier.push((child, succ, time + 1));
+        }
+    }
+
+    Ok(builder.build()?)
+}
+
+/// Key for merging joint-action labels (Debug-format based; exact because
+/// action lists are small and deterministic).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JointKey(String);
+
+/// Key for merging successor states (Debug-format based; `GlobalState`
+/// requires `Debug`, and equal states must format identically for merging to
+/// fire — a soft requirement that only affects tree size, never
+/// correctness).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StateKey(String);
+
+/// Iterator over the cartesian product of per-agent move distributions,
+/// yielding each joint move with its product probability.
+struct CartesianMoves<'a, T, P> {
+    dists: &'a [Vec<(T, P)>],
+    counters: Vec<usize>,
+    done: bool,
+}
+
+impl<'a, T, P> CartesianMoves<'a, T, P> {
+    fn new(dists: &'a [Vec<(T, P)>]) -> Self {
+        CartesianMoves {
+            dists,
+            counters: vec![0; dists.len()],
+            done: dists.iter().any(Vec::is_empty),
+        }
+    }
+}
+
+impl<T: Clone, P: Probability> Iterator for CartesianMoves<'_, T, P> {
+    type Item = (Vec<T>, P);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut joint = Vec::with_capacity(self.dists.len());
+        let mut prob = P::one();
+        for (i, &c) in self.counters.iter().enumerate() {
+            let (mv, p) = &self.dists[i][c];
+            joint.push(mv.clone());
+            prob = prob.mul(p);
+        }
+        // Advance odometer.
+        let mut i = 0;
+        loop {
+            if i == self.counters.len() {
+                self.done = true;
+                break;
+            }
+            self.counters[i] += 1;
+            if self.counters[i] < self.dists[i].len() {
+                break;
+            }
+            self.counters[i] = 0;
+            i += 1;
+        }
+        Some((joint, prob))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CoinModel, TableModel, COIN_ACT};
+    use pak_core::fact::StateFact;
+    use pak_core::prelude::*;
+    use pak_num::Rational;
+
+    #[test]
+    fn coin_model_unfolds_to_two_runs() {
+        let m = CoinModel { heads_num: 99, heads_den: 100 };
+        let pps = unfold::<_, Rational>(&m).unwrap();
+        assert_eq!(pps.num_runs(), 2);
+        assert!(pps.measure(&pps.all_runs()).is_one());
+        let heads = StateFact::new("heads", |g: &crate::model::CoinState| g.heads);
+        let a = ActionAnalysis::new(&pps, AgentId(0), COIN_ACT, &heads).unwrap();
+        assert_eq!(a.constraint_probability(), Rational::from_ratio(99, 100));
+        // The blind agent's expected belief equals the prior (Theorem 6.2).
+        assert_eq!(a.expected_belief(), Rational::from_ratio(99, 100));
+    }
+
+    #[test]
+    fn cartesian_moves_enumerates_products() {
+        let d1 = vec![("a", Rational::from_ratio(1, 2)), ("b", Rational::from_ratio(1, 2))];
+        let d2 = vec![
+            ("x", Rational::from_ratio(1, 3)),
+            ("y", Rational::from_ratio(1, 3)),
+            ("z", Rational::from_ratio(1, 3)),
+        ];
+        let all: Vec<(Vec<&str>, Rational)> = CartesianMoves::new(&[d1, d2]).collect();
+        assert_eq!(all.len(), 6);
+        let total: Rational = all.iter().map(|(_, p)| p.clone()).sum();
+        assert!(total.is_one());
+    }
+
+    #[test]
+    fn cartesian_of_empty_list_is_unit() {
+        let dists: Vec<Vec<((), Rational)>> = vec![];
+        let all: Vec<(Vec<()>, Rational)> = CartesianMoves::new(&dists).collect();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].1.is_one());
+    }
+
+    #[test]
+    fn mixed_action_model_unfolds_figure1() {
+        // Figure 1 via a table model: one agent, mixed α/α′ at time 0.
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 1,
+            initial: vec![(0, vec![0], Rational::one())],
+            horizon: 1,
+            moves: vec![(
+                (0, 0, 0),
+                vec![
+                    (Some(ActionId(0)), Rational::from_ratio(1, 2)),
+                    (Some(ActionId(1)), Rational::from_ratio(1, 2)),
+                ],
+            )],
+            transitions: vec![],
+        };
+        let pps = unfold::<_, Rational>(&m).unwrap();
+        assert_eq!(pps.num_runs(), 2);
+        assert!(pps.is_proper(AgentId(0), ActionId(0)));
+        // The paper's Figure-1 pathology, via the protocol pipeline:
+        let psi = NotFact(DoesFact::new(AgentId(0), ActionId(0)));
+        let a = ActionAnalysis::new(&pps, AgentId(0), ActionId(0), &psi).unwrap();
+        assert!(a.constraint_probability().is_zero());
+        assert_eq!(a.min_belief_when_acting(), Some(Rational::from_ratio(1, 2)));
+    }
+
+    #[test]
+    fn merging_identical_successors() {
+        // Environment flips two fair coins but the successor state only
+        // records their XOR: 4 outcomes merge into 2 children.
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 1,
+            initial: vec![(0, vec![0], Rational::one())],
+            horizon: 1,
+            moves: vec![],
+            transitions: vec![(
+                (0, 0),
+                vec![
+                    (0, vec![0], Rational::from_ratio(1, 4)),
+                    (1, vec![0], Rational::from_ratio(1, 4)),
+                    (1, vec![0], Rational::from_ratio(1, 4)),
+                    (0, vec![0], Rational::from_ratio(1, 4)),
+                ],
+            )],
+        };
+        let pps = unfold::<_, Rational>(&m).unwrap();
+        assert_eq!(pps.num_runs(), 2);
+        for run in pps.run_ids() {
+            assert_eq!(pps.run_probability(run), &Rational::from_ratio(1, 2));
+        }
+    }
+
+    #[test]
+    fn node_limit_enforced() {
+        let m = CoinModel { heads_num: 1, heads_den: 2 };
+        let cfg = UnfoldConfig { max_nodes: 2, max_depth: None };
+        let err = unfold_with::<_, Rational>(&m, &cfg).unwrap_err();
+        assert!(matches!(err, UnfoldError::TooLarge { max_nodes: 2 }));
+    }
+
+    #[test]
+    fn depth_cap_detects_nontermination() {
+        // A model whose is_terminal never fires.
+        #[derive(Debug)]
+        struct Forever;
+        impl ProtocolModel<Rational> for Forever {
+            type Global = SimpleState;
+            type Move = ();
+            fn n_agents(&self) -> u32 {
+                1
+            }
+            fn initial_states(&self) -> Vec<(SimpleState, Rational)> {
+                vec![(SimpleState::zeroed(1), Rational::one())]
+            }
+            fn is_terminal(&self, _s: &SimpleState, _t: u32) -> bool {
+                false
+            }
+            fn moves(&self, _a: AgentId, _l: &u64, _t: u32) -> Vec<((), Rational)> {
+                vec![((), Rational::one())]
+            }
+            fn action_of(&self, _mv: &()) -> Option<ActionId> {
+                None
+            }
+            fn transition(&self, s: &SimpleState, _m: &[()], _t: u32) -> Vec<(SimpleState, Rational)> {
+                vec![(s.clone(), Rational::one())]
+            }
+        }
+        let cfg = UnfoldConfig { max_nodes: 1 << 20, max_depth: Some(8) };
+        let err = unfold_with::<_, Rational>(&Forever, &cfg).unwrap_err();
+        assert!(matches!(err, UnfoldError::DepthExceeded { max_depth: 8 }));
+    }
+
+    #[test]
+    fn bad_model_distribution_reported() {
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 1,
+            initial: vec![(0, vec![0], Rational::from_ratio(1, 2))], // sums to ½
+            horizon: 1,
+            moves: vec![],
+            transitions: vec![],
+        };
+        let err = unfold::<_, Rational>(&m).unwrap_err();
+        assert!(matches!(
+            err,
+            UnfoldError::BadModelDistribution { origin: "initial_states", .. }
+        ));
+        assert!(err.to_string().contains("initial_states"));
+    }
+}

@@ -1,0 +1,270 @@
+//! Estimators cross-validating the exact analyses.
+//!
+//! Each estimator samples trials from a protocol model and produces a
+//! [`ConditionalEstimate`] of one of the paper's quantities:
+//!
+//! * [`estimate_constraint`] — `µ(ϕ@α | α)`, with `ϕ` evaluated directly on
+//!   the sampled trajectory;
+//! * [`estimate_threshold_measure`] — `µ(β_i(ϕ)@α ≥ q | α)`, using a
+//!   [`BeliefTable`] of exact per-local-state beliefs computed from the
+//!   unfolded pps (beliefs are posteriors — properties of the *system*, not
+//!   of a single run — so they come from the exact side, while the run
+//!   distribution is sampled);
+//! * [`estimate_expected_belief`] — `E[β_i(ϕ)@α | α]` the same way.
+
+use std::collections::HashMap;
+
+use pak_core::belief::Beliefs;
+use pak_core::fact::Fact;
+use pak_core::ids::{ActionId, AgentId, Time};
+use pak_core::pps::Pps;
+use pak_core::prob::Probability;
+use pak_core::state::GlobalState;
+use pak_protocol::model::ProtocolModel;
+
+use crate::stats::{ConditionalEstimate, Proportion, RunningMean};
+use crate::trial::{Simulator, Trial};
+
+/// Estimates `µ(ϕ@α | α)` by sampling `n` trials.
+///
+/// `fact` receives the trial and the time at which the action was performed
+/// and decides whether `ϕ` held there.
+///
+/// # Examples
+///
+/// ```
+/// use pak_sim::estimate::estimate_constraint;
+/// use pak_protocol::model::{CoinModel, COIN_ACT};
+/// use pak_core::ids::AgentId;
+///
+/// let model = CoinModel { heads_num: 99, heads_den: 100 };
+/// let est = estimate_constraint::<_, f64>(
+///     &model, 42, 10_000, AgentId(0), COIN_ACT,
+///     |trial, _t| trial.states[0].heads,
+/// );
+/// // The exact value 0.99 must fall in the 99% Wilson interval.
+/// assert!(est.proportion.contains(0.99, 2.576));
+/// ```
+pub fn estimate_constraint<M, P>(
+    model: &M,
+    seed: u64,
+    n: u64,
+    agent: AgentId,
+    action: ActionId,
+    mut fact: impl FnMut(&Trial<M::Global>, Time) -> bool,
+) -> ConditionalEstimate
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    let mut sim = Simulator::new(model, seed);
+    let mut hits = 0u64;
+    let mut successes = 0u64;
+    sim.sample_each(n, |trial| {
+        if let Some(t) = trial.action_time(agent, action) {
+            hits += 1;
+            if fact(trial, t) {
+                successes += 1;
+            }
+        }
+    });
+    ConditionalEstimate {
+        proportion: Proportion::new(successes, hits),
+        total_trials: n,
+    }
+}
+
+/// A table of exact beliefs `β_i(ϕ)` indexed by the agent's (synchronous)
+/// local state, extracted from an unfolded pps.
+///
+/// Beliefs are posteriors — functions of the agent's local state in the
+/// *system*, not observables of a single run — so the simulator looks them
+/// up here rather than "estimating" them per trial.
+#[derive(Debug, Clone)]
+pub struct BeliefTable<L> {
+    agent: AgentId,
+    map: HashMap<(Time, L), f64>,
+}
+
+impl<L: Clone + Eq + std::hash::Hash> BeliefTable<L> {
+    /// Computes the table for `(agent, fact)` over every local state of the
+    /// pps.
+    pub fn from_pps<G, P>(pps: &Pps<G, P>, agent: AgentId, fact: &dyn Fact<G, P>) -> Self
+    where
+        G: GlobalState<Local = L>,
+        P: Probability,
+    {
+        let mut map = HashMap::new();
+        for (cell_id, cell) in pps.agent_cells(agent) {
+            let b = pps.belief_in_cell(fact, cell_id);
+            map.insert((cell.time, cell.data.clone()), b.to_f64());
+        }
+        BeliefTable { agent, map }
+    }
+
+    /// The belief at a local state, or `None` if the state never occurs in
+    /// the pps the table was built from.
+    #[must_use]
+    pub fn lookup(&self, time: Time, local: &L) -> Option<f64> {
+        self.map.get(&(time, local.clone())).copied()
+    }
+
+    /// The number of local states in the table.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The agent the table belongs to.
+    #[must_use]
+    pub fn agent(&self) -> AgentId {
+        self.agent
+    }
+}
+
+/// Estimates `µ(β_i(ϕ)@α ≥ q | α)` by sampling runs and looking up exact
+/// beliefs.
+///
+/// # Panics
+///
+/// Panics if a sampled local state is missing from the table (the table
+/// must come from the same model's unfolding).
+pub fn estimate_threshold_measure<M, P>(
+    model: &M,
+    seed: u64,
+    n: u64,
+    agent: AgentId,
+    action: ActionId,
+    table: &BeliefTable<<M::Global as GlobalState>::Local>,
+    q: f64,
+) -> ConditionalEstimate
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    let mut sim = Simulator::new(model, seed);
+    let mut hits = 0u64;
+    let mut successes = 0u64;
+    sim.sample_each(n, |trial| {
+        if let Some(t) = trial.action_time(agent, action) {
+            hits += 1;
+            let local = trial.states[t as usize].local(agent);
+            let belief = table
+                .lookup(t, &local)
+                .expect("sampled local state must appear in the unfolded pps");
+            if belief >= q - 1e-9 {
+                successes += 1;
+            }
+        }
+    });
+    ConditionalEstimate {
+        proportion: Proportion::new(successes, hits),
+        total_trials: n,
+    }
+}
+
+/// Estimates `E[β_i(ϕ)@α | α]` by sampling runs and averaging exact
+/// beliefs, returning `(mean, standard error, conditioning hits)`.
+///
+/// # Panics
+///
+/// Panics if a sampled local state is missing from the table.
+pub fn estimate_expected_belief<M, P>(
+    model: &M,
+    seed: u64,
+    n: u64,
+    agent: AgentId,
+    action: ActionId,
+    table: &BeliefTable<<M::Global as GlobalState>::Local>,
+) -> (f64, f64, u64)
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    let mut sim = Simulator::new(model, seed);
+    let mut acc = RunningMean::new();
+    sim.sample_each(n, |trial| {
+        if let Some(t) = trial.action_time(agent, action) {
+            let local = trial.states[t as usize].local(agent);
+            let belief = table
+                .lookup(t, &local)
+                .expect("sampled local state must appear in the unfolded pps");
+            acc.push(belief);
+        }
+    });
+    (acc.mean(), acc.stderr(), acc.count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_core::fact::StateFact;
+    use pak_protocol::model::{CoinModel, CoinState, COIN_ACT};
+    use pak_protocol::unfold::unfold;
+    use pak_num::Rational;
+
+    #[test]
+    fn constraint_estimate_brackets_exact_value() {
+        let model = CoinModel { heads_num: 3, heads_den: 4 };
+        let est = estimate_constraint::<_, f64>(
+            &model, 5, 20_000, AgentId(0), COIN_ACT,
+            |t, _| t.states[0].heads,
+        );
+        assert!(est.proportion.contains(0.75, 2.576), "{est}");
+        assert_eq!(est.total_trials, 20_000);
+        // The coin model always acts, so every trial conditions.
+        assert_eq!(est.proportion.trials, 20_000);
+    }
+
+    #[test]
+    fn belief_table_from_coin_pps() {
+        let model = CoinModel { heads_num: 3, heads_den: 4 };
+        let pps = unfold::<_, Rational>(&model).unwrap();
+        let heads = StateFact::new("heads", |g: &CoinState| g.heads);
+        let table = BeliefTable::from_pps(&pps, AgentId(0), &heads);
+        assert!(!table.is_empty());
+        assert_eq!(table.agent(), AgentId(0));
+        // The blind agent's belief is the prior at every local state.
+        let b = table.lookup(0, &0u8).unwrap();
+        assert!((b - 0.75).abs() < 1e-12);
+        assert!(table.lookup(0, &9u8).is_none());
+    }
+
+    #[test]
+    fn threshold_measure_estimate() {
+        let model = CoinModel { heads_num: 3, heads_den: 4 };
+        let pps = unfold::<_, Rational>(&model).unwrap();
+        let heads = StateFact::new("heads", |g: &CoinState| g.heads);
+        let table = BeliefTable::from_pps(&pps, AgentId(0), &heads);
+        // Belief is always 0.75: threshold 0.5 always met, 0.9 never met.
+        let always = estimate_threshold_measure::<_, Rational>(
+            &model, 5, 2_000, AgentId(0), COIN_ACT, &table, 0.5,
+        );
+        assert_eq!(always.proportion.point(), 1.0);
+        let never = estimate_threshold_measure::<_, Rational>(
+            &model, 5, 2_000, AgentId(0), COIN_ACT, &table, 0.9,
+        );
+        assert_eq!(never.proportion.point(), 0.0);
+    }
+
+    #[test]
+    fn expected_belief_estimate_equals_constraint_probability() {
+        // Theorem 6.2, cross-validated end to end on the coin model.
+        let model = CoinModel { heads_num: 3, heads_den: 4 };
+        let pps = unfold::<_, Rational>(&model).unwrap();
+        let heads = StateFact::new("heads", |g: &CoinState| g.heads);
+        let table = BeliefTable::from_pps(&pps, AgentId(0), &heads);
+        let (mean, _se, hits) = estimate_expected_belief::<_, Rational>(
+            &model, 5, 1_000, AgentId(0), COIN_ACT, &table,
+        );
+        assert_eq!(hits, 1_000);
+        // The belief is constant 0.75 here, so the mean is exact.
+        assert!((mean - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! # pak-sim — Monte-Carlo simulation and statistics
+//!
+//! The paper's analysis is exact; this crate provides the *empirical* side
+//! of the reproduction. A [`trial::Simulator`] executes any
+//! [`ProtocolModel`](pak_protocol::model::ProtocolModel) forward without
+//! materialising its tree — the workspace's stand-in for running the
+//! distributed system on a testbed — and the estimators in [`estimate`]
+//! recover the paper's quantities from samples:
+//!
+//! * `µ(ϕ@α | α)` directly from trajectories,
+//! * `µ(β_i(ϕ)@α ≥ q | α)` and `E[β_i(ϕ)@α | α]` by combining sampled
+//!   run distributions with exact per-local-state beliefs
+//!   ([`estimate::BeliefTable`]).
+//!
+//! Every estimate carries a Wilson confidence interval
+//! ([`stats::Proportion`]); the cross-validation criterion throughout the
+//! test suite is "the exact value lies inside the 99% interval".
+//!
+//! # Example
+//!
+//! ```
+//! use pak_sim::estimate::estimate_constraint;
+//! use pak_protocol::model::{CoinModel, COIN_ACT};
+//! use pak_core::ids::AgentId;
+//!
+//! let model = CoinModel { heads_num: 9, heads_den: 10 };
+//! let est = estimate_constraint::<_, f64>(
+//!     &model, 7, 5_000, AgentId(0), COIN_ACT,
+//!     |trial, _| trial.states[0].heads,
+//! );
+//! assert!(est.proportion.contains(0.9, 2.576));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimate;
+pub mod stats;
+pub mod trial;
+
+pub use estimate::{
+    estimate_constraint, estimate_expected_belief, estimate_threshold_measure, BeliefTable,
+};
+pub use stats::{ConditionalEstimate, Proportion, RunningMean};
+pub use trial::{Simulator, Trial};

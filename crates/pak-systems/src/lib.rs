@@ -1,0 +1,30 @@
+//! # pak-systems — the paper's concrete systems and scenarios
+//!
+//! Each module reproduces one system from *Probably Approximately Knowing*
+//! (Zamir & Moses, PODC 2020) or a scenario its introduction motivates:
+//!
+//! | Module | Paper anchor | What it shows |
+//! |--------|--------------|---------------|
+//! | [`firing_squad`] | Example 1 + §8 | the `FS` protocol, its exact numbers (0.99, 0.991), and the §8 improved variant (0.99899) |
+//! | [`figure1`] | Figure 1, §4 & §6 | both counterexamples: sufficiency and the expectation equality fail without local-state independence |
+//! | [`threshold`] | Figure 2, Theorem 5.2 | `Tˆ(p, ε)`: the threshold can be met with arbitrarily small probability |
+//! | [`attack`] | §1, Fischer–Zuck \[20\] | coordinated attack; expected belief = coordination probability |
+//! | [`mutex`] | §1 | relaxed mutual exclusion with noisy sensors |
+//! | [`judge`] | §1, \[37\] | conviction beyond a reasonable doubt as a belief-threshold protocol |
+//! | [`flat`] | §4, Monderer–Samet \[29\] | depth-0 ("static") systems: the special case the paper generalises |
+//!
+//! All systems are parameterised and generic over the probability type; the
+//! paper's exact numbers are reproduced with [`pak_num::Rational`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod broadcast;
+pub mod figure1;
+pub mod firing_squad;
+pub mod flat;
+pub mod judge;
+pub mod mutex;
+pub mod policy;
+pub mod threshold;

@@ -1,0 +1,264 @@
+//! Belief-threshold policy analysis — the §8 design insight, made
+//! executable.
+//!
+//! §8 observes that Theorem 6.2 is a *design tool*: "whenever an agent acts
+//! while having a low degree of belief in the desired condition of a
+//! probabilistic constraint, she reduces the probability of success. By
+//! refraining from doing so, she can improve her performance." Moreover,
+//! "if an agent never acts when her degree of belief is below the
+//! threshold, Theorem 6.2 can be used to establish that an agent's actions
+//! are optimal with respect to satisfying a probabilistic constraint,
+//! given her information."
+//!
+//! This module sweeps the full lattice of firing policies for the `FS`
+//! protocol (which information states Alice fires on), producing for each:
+//!
+//! * the firing probability (liveness),
+//! * the achieved `µ(ϕ_both@fire_A | fire_A)` (safety),
+//! * the Theorem 6.2 *prediction* of that value — the belief-weighted
+//!   average over the chosen information states, computable from the base
+//!   protocol's analysis *without re-unfolding* —
+//!
+//! and verifies prediction = measurement exactly. The Pareto frontier
+//! confirms the §8 claims: dropping the lowest-belief state (`No`) strictly
+//! improves safety; the safest live policy fires only on `Yes`.
+
+use pak_core::prob::Probability;
+
+use crate::firing_squad::{FirePolicy, FiringSquad, Reply, FIRE_A};
+
+/// The outcome of one policy in the sweep.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome<P> {
+    /// The policy.
+    pub policy: FirePolicy,
+    /// `µ(fire_A)`: how often Alice fires (liveness).
+    pub fire_probability: P,
+    /// `µ(ϕ_both@fire_A | fire_A)` measured on the re-unfolded system.
+    pub success_probability: P,
+    /// The Theorem 6.2 prediction: the belief-weighted average over the
+    /// policy's information states, computed from the base (fire-always)
+    /// analysis.
+    pub predicted_success: P,
+}
+
+impl<P: Probability> PolicyOutcome<P> {
+    /// Whether measurement equals prediction (exact for rationals).
+    #[must_use]
+    pub fn prediction_matches(&self) -> bool {
+        self.success_probability.approx_eq(&self.predicted_success)
+    }
+}
+
+/// The full policy sweep for an `FS` instance.
+///
+/// # Examples
+///
+/// ```
+/// use pak_systems::policy::sweep_policies;
+/// use pak_systems::firing_squad::{FirePolicy, FiringSquad};
+/// use pak_num::Rational;
+///
+/// let outcomes = sweep_policies(&FiringSquad::paper());
+/// // 7 live policies (the never-firing policy is excluded).
+/// assert_eq!(outcomes.len(), 7);
+/// // Every outcome matches its Theorem 6.2 prediction exactly.
+/// assert!(outcomes.iter().all(|o| o.prediction_matches()));
+/// ```
+#[must_use]
+pub fn sweep_policies<P: Probability>(base: &FiringSquad<P>) -> Vec<PolicyOutcome<P>> {
+    // The base (fire-always) analysis provides, per reply state, Alice's
+    // belief in ϕ_both and the state's conditional measure. Theorem 6.2
+    // then *predicts* every other policy's success without unfolding it:
+    // success(S) = Σ_{s ∈ S} µ(s)·β(s) / Σ_{s ∈ S} µ(s).
+    let always = base.clone().with_policy(FirePolicy::ALWAYS);
+    let base_sys = always.build_pps();
+    let base_analysis = base_sys.analyze();
+    let base_fire = base_sys
+        .pps()
+        .measure(&base_sys.pps().action_event(crate::firing_squad::ALICE, FIRE_A));
+
+    // Per-reply (belief, conditional measure) from the base run records.
+    let mut per_reply: Vec<(Reply, P, P)> = Vec::new(); // (reply, belief, cond. measure)
+    for rb in base_analysis.runs() {
+        let state = base_sys
+            .pps()
+            .state_at(rb.point)
+            .expect("action point exists");
+        let crate::firing_squad::FsLocal::Alice { reply, .. } = state.locals[0] else {
+            unreachable!("agent 0 is Alice");
+        };
+        let cond = rb.prob.div(base_analysis.action_measure());
+        match per_reply.iter_mut().find(|(r, _, _)| *r == reply) {
+            Some((_, _, m)) => *m = m.add(&cond),
+            None => per_reply.push((reply, rb.belief.clone(), cond)),
+        }
+    }
+
+    let mut outcomes = Vec::new();
+    for policy in FirePolicy::all() {
+        if !policy.ever_fires() {
+            continue;
+        }
+        // Theorem 6.2 prediction from the base analysis.
+        let mut mass = P::zero();
+        let mut weighted = P::zero();
+        for (reply, belief, measure) in &per_reply {
+            if policy.fires_on(*reply) {
+                mass = mass.add(measure);
+                weighted = weighted.add(&measure.mul(belief));
+            }
+        }
+        let predicted_success = weighted.div(&mass);
+        let fire_probability = base_fire.mul(&mass);
+
+        // Ground truth: re-unfold with the policy and measure directly.
+        let sys = base.clone().with_policy(policy).build_pps();
+        let analysis = sys.analyze();
+        outcomes.push(PolicyOutcome {
+            policy,
+            fire_probability,
+            success_probability: analysis.constraint_probability(),
+            predicted_success,
+        });
+    }
+    outcomes
+}
+
+/// The policies on the liveness/safety Pareto frontier (no other policy
+/// fires at least as often *and* succeeds strictly more).
+#[must_use]
+pub fn pareto_frontier<P: Probability>(outcomes: &[PolicyOutcome<P>]) -> Vec<FirePolicy> {
+    let mut frontier = Vec::new();
+    for a in outcomes {
+        let dominated = outcomes.iter().any(|b| {
+            b.fire_probability.at_least(&a.fire_probability)
+                && b.success_probability.at_least(&a.success_probability)
+                && (!a.fire_probability.at_least(&b.fire_probability)
+                    || !a.success_probability.at_least(&b.success_probability))
+        });
+        if !dominated {
+            frontier.push(a.policy);
+        }
+    }
+    frontier
+}
+
+/// The optimal policy for pure safety: maximise `µ(ϕ_both | fire_A)` among
+/// live policies. By §8's argument this is "fire only on the
+/// highest-belief states".
+#[must_use]
+pub fn safest_policy<P: Probability>(outcomes: &[PolicyOutcome<P>]) -> &PolicyOutcome<P> {
+    outcomes
+        .iter()
+        .reduce(|best, o| {
+            if o.success_probability.at_least(&best.success_probability) {
+                o
+            } else {
+                best
+            }
+        })
+        .expect("at least one live policy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_num::Rational;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_ratio(n, d)
+    }
+
+    #[test]
+    fn predictions_match_measurements_exactly() {
+        let outcomes = sweep_policies(&FiringSquad::paper());
+        assert_eq!(outcomes.len(), 7);
+        for o in &outcomes {
+            assert!(
+                o.prediction_matches(),
+                "policy {:?}: predicted {} ≠ measured {}",
+                o.policy,
+                o.predicted_success,
+                o.success_probability
+            );
+        }
+    }
+
+    #[test]
+    fn paper_policies_recovered() {
+        let outcomes = sweep_policies(&FiringSquad::paper());
+        let always = outcomes.iter().find(|o| o.policy == FirePolicy::ALWAYS).unwrap();
+        assert_eq!(always.success_probability, r(99, 100));
+        assert_eq!(always.fire_probability, r(1, 2));
+        let improved = outcomes
+            .iter()
+            .find(|o| o.policy == FirePolicy::REFRAIN_ON_NO)
+            .unwrap();
+        assert_eq!(improved.success_probability, r(990, 991));
+    }
+
+    #[test]
+    fn firing_only_on_yes_is_safest() {
+        let outcomes = sweep_policies(&FiringSquad::paper());
+        let best = safest_policy(&outcomes);
+        assert_eq!(
+            best.policy,
+            FirePolicy { on_yes: true, on_no: false, on_nothing: false }
+        );
+        assert!(best.success_probability.is_one());
+        // …at a liveness cost: fires only when Yes arrives.
+        assert_eq!(best.fire_probability, r(1, 2) * r(891, 1000));
+    }
+
+    #[test]
+    fn section8_ordering_holds() {
+        // §8: ALWAYS < REFRAIN_ON_NO < fire-only-on-Yes in safety.
+        let outcomes = sweep_policies(&FiringSquad::paper());
+        let get = |p: FirePolicy| {
+            outcomes
+                .iter()
+                .find(|o| o.policy == p)
+                .unwrap()
+                .success_probability
+                .clone()
+        };
+        let always = get(FirePolicy::ALWAYS);
+        let refrain = get(FirePolicy::REFRAIN_ON_NO);
+        let only_yes = get(FirePolicy { on_yes: true, on_no: false, on_nothing: false });
+        assert!(always < refrain);
+        assert!(refrain < only_yes);
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let outcomes = sweep_policies(&FiringSquad::paper());
+        let frontier = pareto_frontier(&outcomes);
+        // ALWAYS (max liveness) and only-Yes (max safety) are both on the
+        // frontier; firing only on No is not (dominated by both).
+        assert!(frontier.contains(&FirePolicy::ALWAYS));
+        assert!(frontier.contains(&FirePolicy { on_yes: true, on_no: false, on_nothing: false }));
+        assert!(!frontier.contains(&FirePolicy { on_yes: false, on_no: true, on_nothing: false }));
+    }
+
+    #[test]
+    fn fire_only_on_no_is_never_correct() {
+        // The anti-policy: fire exactly when Bob said No — success 0.
+        let outcomes = sweep_policies(&FiringSquad::paper());
+        let worst = outcomes
+            .iter()
+            .find(|o| o.policy == FirePolicy { on_yes: false, on_no: true, on_nothing: false })
+            .unwrap();
+        assert!(worst.success_probability.is_zero());
+    }
+
+    #[test]
+    fn sweep_works_at_other_parameters() {
+        let fs = FiringSquad::new(r(1, 4), r(1, 3), 1);
+        let outcomes = sweep_policies(&fs);
+        for o in &outcomes {
+            assert!(o.prediction_matches(), "policy {:?}", o.policy);
+            assert!(o.success_probability.is_valid_probability());
+        }
+    }
+}

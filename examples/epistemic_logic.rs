@@ -1,0 +1,106 @@
+//! Model checking epistemic-probabilistic formulas over the paper's
+//! systems.
+//!
+//! Shows the deterministic Knowledge-of-Preconditions principle failing on
+//! the `FS` protocol while its probabilistic weakening (the paper's
+//! contribution) model-checks as valid.
+//!
+//! Run with: `cargo run --example epistemic_logic`
+
+use pak::core::prelude::*;
+use pak::logic::{Formula, ModelChecker};
+use pak::num::Rational;
+use pak::systems::firing_squad::{FiringSquad, ALICE, BOB, FIRE_A, FIRE_B};
+
+type F = Formula<pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>, Rational>;
+
+fn main() {
+    println!("== Epistemic logic over the FS protocol ==\n");
+
+    let sys = FiringSquad::paper().build_pps();
+    let pps = sys.pps();
+    let mc = ModelChecker::new(pps);
+
+    let phi_both: F = Formula::does(ALICE, FIRE_A).and(Formula::does(BOB, FIRE_B));
+
+    // ------------------------------------------------------------------
+    // 1. The deterministic KoP schema fails on FS.
+    // ------------------------------------------------------------------
+    let kop: F = Formula::does(ALICE, FIRE_A).implies(Formula::knows(ALICE, phi_both.clone()));
+    println!("KoP schema   does_A(fire) → K_A(ϕ_both)");
+    println!("  valid? {}", mc.valid(&kop));
+    let cex = mc.counterexample(&kop).expect("FS violates deterministic KoP");
+    println!("  counterexample at {cex} — Alice fires without knowing ϕ_both");
+    assert!(!mc.valid(&kop));
+
+    // ------------------------------------------------------------------
+    // 2. Probabilistic weakenings. Alice can believe ϕ_both to degree 0
+    //    when she fires (the 'No' reply) — so no positive threshold is
+    //    valid at EVERY firing point…
+    // ------------------------------------------------------------------
+    let weak_99: F = Formula::does(ALICE, FIRE_A).implies(Formula::believes_at_least(
+        ALICE,
+        phi_both.clone(),
+        Rational::from_ratio(99, 100),
+    ));
+    println!("\nB-schema     does_A(fire) → B_A^{{≥0.99}}(ϕ_both)");
+    println!("  valid? {} (the 'No'-reply firing point breaks it)", mc.valid(&weak_99));
+    assert!(!mc.valid(&weak_99));
+
+    // …which is exactly why the paper's guarantees are measure-level
+    // (Theorems 6.2/7.1), not pointwise. The measure-level statement:
+    let analysis = sys.analyze();
+    println!(
+        "  measure-level instead: µ(β_A ≥ 0.99 | fire_A) = {}",
+        analysis.threshold_measure(&Rational::from_ratio(99, 100))
+    );
+
+    // ------------------------------------------------------------------
+    // 3. Things Alice DOES know. After a Yes reply she knows Bob heard:
+    // ------------------------------------------------------------------
+    let alice_got_yes: F = Formula::atom(StateFact::new("A got Yes", |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
+        matches!(
+            g.locals[0],
+            pak::systems::firing_squad::FsLocal::Alice {
+                reply: pak::systems::firing_squad::Reply::Yes,
+                ..
+            }
+        )
+    }));
+    let bob_heard: F = Formula::atom(StateFact::new("B heard", |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
+        matches!(
+            g.locals[1],
+            pak::systems::firing_squad::FsLocal::Bob { heard: Some(true) }
+        )
+    }));
+    let yes_means_knows: F = alice_got_yes.implies(Formula::knows(ALICE, bob_heard));
+    println!("\nK-schema     A-got-Yes → K_A(B heard)");
+    println!("  valid? {}", mc.valid(&yes_means_knows));
+    assert!(mc.valid(&yes_means_knows));
+
+    // ------------------------------------------------------------------
+    // 4. Introspection: belief thresholds are known (KB-style axiom),
+    //    because β is a function of the local state.
+    // ------------------------------------------------------------------
+    let b_half: F = Formula::believes_at_least(ALICE, phi_both.clone(), Rational::from_ratio(1, 2));
+    let introspection: F = b_half.clone().implies(Formula::knows(ALICE, b_half));
+    println!("\nIntrospection  B_A^{{≥½}}ϕ → K_A B_A^{{≥½}}ϕ");
+    println!("  valid? {}", mc.valid(&introspection));
+    assert!(mc.valid(&introspection));
+
+    // ------------------------------------------------------------------
+    // 5. Temporal reasoning: if go = 1 then Alice eventually fires.
+    // ------------------------------------------------------------------
+    let go: F = Formula::atom(StateFact::new("go=1", |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
+        matches!(g.locals[0], pak::systems::firing_squad::FsLocal::Alice { go: true, .. })
+    }));
+    let liveness: F = go.implies(Formula::does(ALICE, FIRE_A).eventually());
+    // ◇ looks forward from the current point, so the schema is checked at
+    // time 0 (from later points the firing already lies in the past).
+    let at_time_0 = mc.event_at_time(&liveness, 0);
+    println!("\nLiveness     go=1 → ◇does_A(fire), checked at time 0");
+    println!("  holds on all runs? {}", at_time_0.len() == pps.num_runs());
+    assert_eq!(at_time_0.len(), pps.num_runs());
+
+    println!("\nok");
+}

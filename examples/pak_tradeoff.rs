@@ -1,0 +1,83 @@
+//! The PAK tradeoff: Theorem 5.2's lower-bound family and Corollary 7.2's
+//! frontier.
+//!
+//! First builds `Tˆ(p, ε)` instances showing the threshold can be met with
+//! arbitrarily small probability; then sweeps the PAK frontier
+//! `p′ = 1 − √(1 − p)`.
+//!
+//! Run with: `cargo run --example pak_tradeoff`
+
+use pak::core::prelude::*;
+use pak::num::Rational;
+use pak::systems::threshold::ThresholdConstruction;
+
+fn main() {
+    println!("== Theorem 5.2: no lower bound on meeting the threshold ==\n");
+    println!(
+        "{:>8} {:>8} | {:>12} {:>14} {:>16}",
+        "p", "ε", "µ(ϕ@α|α)", "µ(β≥p | α)", "merged belief"
+    );
+    println!("{}", "-".repeat(64));
+
+    let p = Rational::from_ratio(3, 4);
+    for (en, ed) in [(1i64, 4i64), (1, 10), (1, 100), (1, 1000), (1, 100_000)] {
+        let eps = Rational::from_ratio(en, ed);
+        let t = ThresholdConstruction::new(p.clone(), eps.clone());
+        let claims = t.verify();
+        assert!(claims.all_hold(), "paper claims must hold exactly");
+        println!(
+            "{:>8} {:>8} | {:>12} {:>14} {:>16}",
+            p.to_string(),
+            eps.to_string(),
+            claims.constraint_probability.to_string(),
+            claims.threshold_met_measure.to_string(),
+            format!("{:.6}", claims.merged_belief.to_f64()),
+        );
+    }
+    println!("\nThe threshold-met measure IS ε: it can be made arbitrarily small");
+    println!("while the constraint stays satisfied at p — Theorem 5.2.\n");
+
+    // ------------------------------------------------------------------
+    // Corollary 7.2's frontier: satisfy µ ≥ p ⇒ believe ≥ p′ w.p. ≥ p′,
+    // p′ = 1 − √(1 − p).
+    // ------------------------------------------------------------------
+    println!("== Corollary 7.2: the PAK frontier p′ = 1 − √(1 − p) ==\n");
+    println!("{:>10} | {:>10}", "p", "p′");
+    println!("{}", "-".repeat(24));
+    for p in [0.75, 0.9, 0.99, 0.999, 0.999999] {
+        println!("{:>10} | {:>10.6}", p, pak_frontier(p));
+    }
+
+    // Verify the corollary exactly on the Tˆ family: for each (p, ε) take
+    // the premise threshold 1 − ε² and check the conclusion.
+    println!("\nExact Corollary 7.2 checks on Tˆ(1 − ε², ε·(1 − ε²)) instances:");
+    for (en, ed) in [(1i64, 2i64), (1, 4), (1, 10)] {
+        let eps = Rational::from_ratio(en, ed);
+        // Build a system whose constraint probability is exactly 1 − ε².
+        let p = (&eps * &eps).one_minus();
+        let small = &eps * &p; // any ε' < p works as the construction knob
+        let t = ThresholdConstruction::new(p.clone(), small);
+        let pps = t.build();
+        let rep = check_pak_corollary(
+            &pps,
+            pak::systems::threshold::AGENT_I,
+            pak::systems::threshold::ALPHA,
+            &ThresholdConstruction::<Rational>::phi(),
+            &eps,
+        )
+        .unwrap();
+        println!(
+            "  ε = {}: premise (µ = {} ≥ 1 − ε² = {}) {}; µ(β ≥ 1−ε|α) = {} ≥ {} → {}",
+            eps,
+            rep.constraint_probability,
+            rep.premise_threshold,
+            rep.premise_holds,
+            rep.strong_belief_measure,
+            rep.conclusion_threshold,
+            rep.implication_holds,
+        );
+        assert!(rep.implication_holds);
+    }
+
+    println!("\nok");
+}

@@ -1,0 +1,102 @@
+//! The §8 design insight, executable: sweeping Alice's firing policies.
+//!
+//! Theorem 6.2 says the success probability of any policy is the
+//! belief-weighted average over the information states it fires on — so
+//! policies can be *designed* from a single base analysis, then verified by
+//! re-unfolding. This example prints the whole policy lattice, the
+//! liveness/safety Pareto frontier, and the common-belief structure of the
+//! protocol.
+//!
+//! Run with: `cargo run --example policy_search`
+
+use pak::logic::common::common_belief_report;
+use pak::num::{DecimalRounding, Rational};
+use pak::systems::firing_squad::{FirePolicy, FiringSquad, FsSystem, ALICE, BOB};
+use pak::systems::policy::{pareto_frontier, safest_policy, sweep_policies};
+
+fn policy_name(p: FirePolicy) -> String {
+    if !p.ever_fires() {
+        return "never".to_string();
+    }
+    let mut parts = Vec::new();
+    if p.on_yes {
+        parts.push("Yes");
+    }
+    if p.on_no {
+        parts.push("No");
+    }
+    if p.on_nothing {
+        parts.push("Lost");
+    }
+    format!("fire on {{{}}}", parts.join(", "))
+}
+
+fn main() {
+    println!("== §8: searching Alice's firing-policy space ==\n");
+
+    let base = FiringSquad::paper();
+    let outcomes = sweep_policies(&base);
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>14} {:>9}",
+        "policy", "µ(fire_A)", "success", "Thm 6.2 pred.", "match"
+    );
+    println!("{}", "-".repeat(80));
+    for o in &outcomes {
+        println!(
+            "{:<28} {:>12} {:>12} {:>14} {:>9}",
+            policy_name(o.policy),
+            o.fire_probability.to_decimal(4, DecimalRounding::HalfUp),
+            o.success_probability.to_decimal(5, DecimalRounding::HalfUp),
+            o.predicted_success.to_decimal(5, DecimalRounding::HalfUp),
+            o.prediction_matches(),
+        );
+        assert!(o.prediction_matches());
+    }
+
+    println!("\nPareto frontier (liveness vs safety):");
+    for p in pareto_frontier(&outcomes) {
+        println!("  {}", policy_name(p));
+    }
+
+    let best = safest_policy(&outcomes);
+    println!(
+        "\nSafest live policy: {} with success {}",
+        policy_name(best.policy),
+        best.success_probability.to_decimal(5, DecimalRounding::HalfUp)
+    );
+    println!(
+        "The paper's §8 pick (refrain on No) reaches {} — optimal among\n\
+         policies that keep firing on lost replies.",
+        outcomes
+            .iter()
+            .find(|o| o.policy == FirePolicy::REFRAIN_ON_NO)
+            .unwrap()
+            .success_probability
+            .to_decimal(5, DecimalRounding::HalfUp)
+    );
+
+    // ------------------------------------------------------------------
+    // Common p-belief of ϕ_both at firing time (Monderer–Samet machinery).
+    // ------------------------------------------------------------------
+    println!("\n== common p-belief of ϕ_both among {{Alice, Bob}} ==\n");
+    let sys = FiringSquad::paper().build_pps();
+    let phi = FsSystem::<Rational>::phi_both();
+    for (pn, pd) in [(1i64, 2i64), (9, 10), (99, 100)] {
+        let p = Rational::from_ratio(pn, pd);
+        let rep = common_belief_report(sys.pps(), &[ALICE, BOB], &p, &phi);
+        println!(
+            "p = {:<7} fixpoint after {} iteration(s); µ(common belief at t=2) = {}",
+            p.to_string(),
+            rep.iterations,
+            rep.measure_by_time[2].to_decimal(4, DecimalRounding::HalfUp),
+        );
+    }
+    println!(
+        "\n(common p-belief holds exactly on the runs where Bob heard — measure\n \
+         0.495 = ½·0.99 — because there Bob is certain and Alice believes at\n \
+         least 0.99; deterministic common KNOWLEDGE of ϕ_both is unattainable)"
+    );
+
+    println!("\nok");
+}

@@ -1,0 +1,71 @@
+//! Quickstart: probabilistic constraints, beliefs, and the main theorem in
+//! five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use pak::core::prelude::*;
+use pak::num::Rational;
+
+fn main() -> Result<(), PpsError> {
+    println!("== pak quickstart ==\n");
+
+    // -----------------------------------------------------------------
+    // 1. Build a tiny purely probabilistic system (pps) by hand.
+    //
+    //    A hidden coin is heads with probability 0.99. The agent sees
+    //    nothing and fires unconditionally. Condition ϕ = "heads".
+    // -----------------------------------------------------------------
+    let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+    let heads_prior = Rational::from_ratio(99, 100);
+    let h = b.initial(SimpleState::new(1, vec![0]), heads_prior.clone())?;
+    let t = b.initial(SimpleState::new(0, vec![0]), heads_prior.one_minus())?;
+    let fire = ActionId(0);
+    b.child(h, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), fire)])?;
+    b.child(t, SimpleState::new(0, vec![0]), Rational::one(), &[(AgentId(0), fire)])?;
+    let pps = b.build()?;
+    println!("built a pps with {} runs and {} nodes", pps.num_runs(), pps.num_nodes());
+
+    // -----------------------------------------------------------------
+    // 2. Analyse the (agent, action, condition) triple.
+    // -----------------------------------------------------------------
+    let heads = StateFact::<SimpleState>::new("heads", |g| g.env == 1);
+    let analysis = ActionAnalysis::new(&pps, AgentId(0), fire, &heads)
+        .expect("fire is a proper action");
+
+    println!("µ(ϕ@α | α)      = {}", analysis.constraint_probability());
+    println!("E[β(ϕ)@α | α]   = {}", analysis.expected_belief());
+    println!(
+        "min/max belief  = {} / {}",
+        analysis.min_belief_when_acting().unwrap(),
+        analysis.max_belief_when_acting().unwrap()
+    );
+
+    // -----------------------------------------------------------------
+    // 3. The paper's main theorem (Theorem 6.2): with local-state
+    //    independence, the two quantities above are EQUAL — verified here
+    //    in exact rational arithmetic.
+    // -----------------------------------------------------------------
+    let report = check_expectation(&pps, AgentId(0), fire, &heads).unwrap();
+    println!("\nTheorem 6.2: µ(ϕ@α|α) = E[β(ϕ)@α|α]?  {}", report.equal);
+    assert!(report.equal);
+
+    // -----------------------------------------------------------------
+    // 4. Probably approximately knowing (Corollary 7.2): with
+    //    µ(ϕ@α|α) ≥ 1 − ε², the agent believes ϕ with degree ≥ 1 − ε on
+    //    measure ≥ 1 − ε of the acting runs. Here 0.99 = 1 − (0.1)².
+    // -----------------------------------------------------------------
+    let eps = Rational::from_ratio(1, 10);
+    let pak = check_pak_corollary(&pps, AgentId(0), fire, &heads, &eps).unwrap();
+    println!(
+        "Corollary 7.2 at ε = {}: premise {} ⇒ µ(β ≥ {} | α) = {} ≥ {}",
+        eps,
+        pak.premise_holds,
+        eps.one_minus(),
+        pak.strong_belief_measure,
+        pak.conclusion_threshold
+    );
+    assert!(pak.implication_holds);
+
+    println!("\nok — see examples/firing_squad.rs for the paper's Example 1");
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # pak — Probably Approximately Knowing
+//!
+//! A Rust reproduction of *Probably Approximately Knowing* (Nitzan Zamir &
+//! Yoram Moses, PODC 2020). The paper characterises the probabilistic beliefs
+//! an agent must hold when it acts in order for its protocol to satisfy a
+//! probabilistic constraint of the form "condition ϕ holds with probability
+//! at least *p* when action α is performed".
+//!
+//! This facade crate re-exports the entire workspace:
+//!
+//! * [`num`] — exact arbitrary-precision rational arithmetic.
+//! * [`core`] — purely probabilistic systems (pps), facts, beliefs,
+//!   probabilistic constraints, and the paper's theorems as checkable
+//!   functions.
+//! * [`logic`] — an epistemic-probabilistic formula language and model
+//!   checker.
+//! * [`protocol`] — protocols `P_i : L_i → Δ(Act_i)`, joint protocols, the
+//!   synchronous lossy-messaging substrate, and bounded-horizon unfolding
+//!   into a pps.
+//! * [`sim`] — Monte-Carlo simulation and statistics for cross-validating
+//!   exact analyses.
+//! * [`systems`] — the paper's concrete systems: the `FS` firing-squad
+//!   protocol of Example 1, the Figure 1 counterexamples, the Theorem 5.2
+//!   construction, and additional scenarios (mutual exclusion, coordinated
+//!   attack, judge verdicts).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pak::systems::firing_squad::FiringSquad;
+//! use pak::core::prelude::*;
+//! use pak::num::Rational;
+//!
+//! // Build Example 1's FS protocol as a purely probabilistic system.
+//! let fs = FiringSquad::paper().build_pps();
+//! let analysis = fs.analyze();
+//!
+//! // The paper: µ(both fire | Alice fires) = 0.99 ≥ 0.95.
+//! assert_eq!(
+//!     analysis.constraint_probability(),
+//!     Rational::from_ratio(99, 100),
+//! );
+//! ```
+
+pub use pak_core as core;
+pub use pak_logic as logic;
+pub use pak_num as num;
+pub use pak_protocol as protocol;
+pub use pak_sim as sim;
+pub use pak_systems as systems;

@@ -1,0 +1,104 @@
+//! Failure injection: the cross-validation machinery must *detect*
+//! injected faults, not just pass on correct systems.
+//!
+//! Each test perturbs one component (the model's parameters, the sampler's
+//! distribution, a theorem premise) and asserts the corresponding check
+//! fails — guarding against a test harness that trivially accepts
+//! everything.
+
+use pak::core::prelude::*;
+use pak::num::Rational;
+use pak::protocol::messaging::LossyMessagingModel;
+use pak::sim::estimate::estimate_constraint;
+use pak::systems::firing_squad::{FiringSquad, ALICE, BOB, FIRE_A, FIRE_B};
+use pak::systems::threshold::ThresholdConstruction;
+
+const Z99: f64 = 2.576;
+
+#[test]
+fn wrong_loss_rate_is_detected_by_the_interval() {
+    // Simulate a *miscalibrated* FS (loss 0.2 instead of 0.1): the sampled
+    // µ(ϕ_both | fire_A) must fall OUTSIDE the 99% interval around the
+    // paper's 0.99.
+    let wrong = FiringSquad::new(Rational::from_ratio(1, 5), Rational::from_ratio(1, 2), 2);
+    let model = LossyMessagingModel::new(wrong, Rational::from_ratio(1, 5));
+    let est = estimate_constraint::<_, Rational>(&model, 41, 60_000, ALICE, FIRE_A, |t, time| {
+        t.does(ALICE, FIRE_A, time) && t.does(BOB, FIRE_B, time)
+    });
+    assert!(
+        !est.proportion.contains(0.99, Z99),
+        "a 2× loss miscalibration must be detected: {est}"
+    );
+    // The miscalibrated system's own exact value (1 − 0.04 = 0.96) is what
+    // the estimate brackets instead.
+    assert!(est.proportion.contains(0.96, Z99));
+}
+
+#[test]
+fn wrong_fact_is_detected() {
+    // Estimating the wrong condition ("Alice fires alone") must not match
+    // the ϕ_both value.
+    let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+    let est = estimate_constraint::<_, Rational>(&model, 43, 60_000, ALICE, FIRE_A, |t, time| {
+        t.does(ALICE, FIRE_A, time) && !t.does(BOB, FIRE_B, time)
+    });
+    assert!(!est.proportion.contains(0.99, Z99));
+    assert!(est.proportion.contains(0.01, Z99));
+}
+
+#[test]
+fn perturbed_distribution_fails_pps_validation() {
+    // An edge distribution off by 1/1000 must be rejected at build time.
+    let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+    let g0 = b.initial(SimpleState::zeroed(1), Rational::one()).unwrap();
+    b.child(g0, SimpleState::zeroed(1), Rational::from_ratio(499, 1000), &[]).unwrap();
+    b.child(g0, SimpleState::zeroed(1), Rational::from_ratio(1, 2), &[]).unwrap();
+    assert!(matches!(b.build(), Err(PpsError::BadDistribution { .. })));
+}
+
+#[test]
+fn threshold_construction_claims_fail_off_manifold() {
+    // Verify the Theorem 5.2 claims CAN fail: check a Tˆ(p, ε) instance's
+    // claims against a *different* p — the comparison must come out false.
+    let t = ThresholdConstruction::new(
+        Rational::from_ratio(3, 4),
+        Rational::from_ratio(1, 100),
+    );
+    let claims = t.verify();
+    assert!(claims.all_hold());
+    assert_ne!(claims.constraint_probability, Rational::from_ratio(1, 2));
+    assert_ne!(claims.threshold_met_measure, Rational::from_ratio(1, 10));
+}
+
+#[test]
+fn tampered_beliefs_break_the_expectation_identity() {
+    // Reconstruct E[β@α | α] by hand with deliberately corrupted beliefs;
+    // the identity with µ(ϕ@α | α) must fail — i.e. Theorem 6.2's equality
+    // is a real constraint, not an artifact of our bookkeeping.
+    let sys = FiringSquad::paper().build_pps();
+    let analysis = sys.analyze();
+    let mu = analysis.constraint_probability();
+    let mut corrupted = Rational::zero();
+    for rb in analysis.runs() {
+        // Corrupt: replace each belief by its square (strictly smaller for
+        // beliefs in (0,1)).
+        let fake = &rb.belief * &rb.belief;
+        corrupted += rb.prob.clone() * fake;
+    }
+    corrupted = corrupted / analysis.action_measure().clone();
+    assert_ne!(corrupted, mu, "squared beliefs must not satisfy the identity");
+    assert_eq!(analysis.expected_belief(), mu, "honest beliefs must");
+}
+
+#[test]
+fn seed_independence_of_conclusions() {
+    // Different seeds must agree on conclusions (within CI), guarding
+    // against seed-lucky tests.
+    let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+    for seed in [1u64, 99, 12345] {
+        let est = estimate_constraint::<_, Rational>(&model, seed, 40_000, ALICE, FIRE_A, |t, time| {
+            t.does(ALICE, FIRE_A, time) && t.does(BOB, FIRE_B, time)
+        });
+        assert!(est.proportion.contains(0.99, Z99), "seed {seed}: {est}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Regression tests pinning every concrete number in the paper.
+//!
+//! Each test cites its anchor in *Probably Approximately Knowing* (Zamir &
+//! Moses, PODC 2020) and asserts the reproduced value **exactly** (rational
+//! arithmetic). If any of these fail, the reproduction has drifted from the
+//! paper.
+
+use pak::core::prelude::*;
+use pak::num::Rational;
+use pak::systems::figure1;
+use pak::systems::firing_squad::{FiringSquad, FsSystem, ALICE, FIRE_A};
+use pak::systems::threshold::ThresholdConstruction;
+
+fn r(n: i64, d: i64) -> Rational {
+    Rational::from_ratio(n, d)
+}
+
+// ---------------------------------------------------------------------
+// Example 1 (§1) and its analysis in §§3, 7, 8.
+// ---------------------------------------------------------------------
+
+/// §1, Example 1: "they both fire at time 2 with probability 0.99 ≥ 0.95".
+#[test]
+fn example1_both_fire_probability() {
+    let analysis = FiringSquad::paper().build_pps().analyze();
+    assert_eq!(analysis.constraint_probability(), r(99, 100));
+    assert!(analysis.satisfies_constraint(&r(95, 100)));
+}
+
+/// §1: "Alice fires with probability 1 at time 2 [when go = 1]".
+#[test]
+fn example1_alice_always_fires_on_go() {
+    let sys = FiringSquad::paper().build_pps();
+    let pps = sys.pps();
+    // µ(fire_A) = µ(go = 1) = ½.
+    assert_eq!(pps.measure(&pps.action_event(ALICE, FIRE_A)), r(1, 2));
+}
+
+/// §1: "Alice fires without her beliefs meeting the threshold only with a
+/// probability of 0.009 = 0.1 · 0.1 · 0.9. In a measure 0.991 of the runs
+/// in which Alice fires, the threshold is met."
+#[test]
+fn example1_threshold_met_measure() {
+    let analysis = FiringSquad::paper().build_pps().analyze();
+    let not_met = analysis.threshold_measure(&r(95, 100)).one_minus();
+    assert_eq!(not_met, r(9, 1000));
+    assert_eq!(analysis.threshold_measure(&r(95, 100)), r(991, 1000));
+}
+
+/// §1: "Roughly speaking, in this case Alice ascribes a probability of .99
+/// to the event that Bob is firing" — the three belief values 1, 0, 0.99.
+#[test]
+fn example1_alice_belief_values() {
+    let analysis = FiringSquad::paper().build_pps().analyze();
+    let beliefs: Vec<Rational> = analysis
+        .belief_distribution()
+        .into_iter()
+        .map(|(b, _)| b)
+        .collect();
+    assert_eq!(beliefs, vec![Rational::zero(), r(99, 100), Rational::one()]);
+}
+
+/// §7: "Corollary 7.2 implies that in every protocol that satisfies this
+/// constraint, the probability that Alice's degree of belief … meets or
+/// exceeds 0.9 is at least 0.9."
+#[test]
+fn example1_pak_corollary_at_0_9() {
+    let sys = FiringSquad::paper().build_pps();
+    let rep = check_pak_corollary(
+        sys.pps(),
+        ALICE,
+        FIRE_A,
+        &FsSystem::<Rational>::phi_both(),
+        &r(1, 10),
+    )
+    .unwrap();
+    // µ = 0.99 = 1 − 0.1², so the premise binds exactly.
+    assert!(rep.premise_holds);
+    assert!(rep.implication_holds);
+    assert!(rep.strong_belief_measure.at_least(&r(9, 10)));
+    // The actual measure of belief ≥ 0.9 is 0.991.
+    assert_eq!(rep.strong_belief_measure, r(991, 1000));
+}
+
+/// §8: "The probability that both fire, given that Alice fires, goes up to
+/// 0.99899" for the refrain-on-No refinement.
+#[test]
+fn section8_improved_protocol() {
+    let analysis = FiringSquad::improved().build_pps().analyze();
+    assert_eq!(analysis.constraint_probability(), r(990, 991));
+    let approx = analysis.constraint_probability().to_f64();
+    assert!((approx - 0.99899).abs() < 1e-5, "paper rounds to 0.99899, got {approx}");
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 (§4 and §6).
+// ---------------------------------------------------------------------
+
+/// §4: "βi(ψ) ≥ ½ whenever i performs α in T, while µT(ψ@α | α) = 0 < ½."
+#[test]
+fn figure1_sufficiency_counterexample() {
+    let pps = figure1::figure1::<Rational>();
+    let a = ActionAnalysis::new(&pps, figure1::AGENT_I, figure1::ALPHA, &figure1::psi()).unwrap();
+    assert_eq!(a.min_belief_when_acting(), Some(r(1, 2)));
+    assert_eq!(a.constraint_probability(), Rational::zero());
+}
+
+/// §6: "µT(ϕ@α | α) = 1 … EµT(βi(ϕ)@α | α) = ½".
+#[test]
+fn figure1_expectation_counterexample() {
+    let pps = figure1::figure1::<Rational>();
+    let rep = check_expectation(&pps, figure1::AGENT_I, figure1::ALPHA, &figure1::phi()).unwrap();
+    assert_eq!(rep.lhs, Rational::one());
+    assert_eq!(rep.rhs, r(1, 2));
+    assert!(!rep.independence.independent);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 5.2 / Figure 2.
+// ---------------------------------------------------------------------
+
+/// §5, proof of Theorem 5.2: "(βi(ϕ)@α)[r] = (βi(ϕ)@α)[r′] = (p−ε)/(1−ε)",
+/// "µTˆ(ϕ@α | α) = p", and "µTˆ(βi(ϕ)@α ≥ p | α) = µT(r′′) = ε".
+#[test]
+fn theorem52_witness_quantities() {
+    for (p, e) in [(r(3, 4), r(1, 4)), (r(1, 2), r(1, 64)), (r(999, 1000), r(1, 1_000_000))] {
+        let t = ThresholdConstruction::new(p.clone(), e.clone());
+        let claims = t.verify();
+        assert_eq!(claims.constraint_probability, p);
+        assert_eq!(claims.threshold_met_measure, e);
+        assert_eq!(
+            claims.merged_belief,
+            p.sub(&e).div(&e.one_minus()),
+            "merged belief must be (p−ε)/(1−ε)"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Introductory arithmetic (§1).
+// ---------------------------------------------------------------------
+
+/// §1: message loss 0.1, delivery 0.9; two copies give 0.99.
+#[test]
+fn introduction_channel_arithmetic() {
+    let loss = r(1, 10);
+    assert_eq!(loss.one_minus(), r(9, 10));
+    assert_eq!((&loss * &loss).one_minus(), r(99, 100));
+}
+
+/// §1: go is 0 with probability 0.5 — and no agent ever fires then.
+#[test]
+fn introduction_go_zero_never_fires() {
+    let sys = FiringSquad::paper().build_pps();
+    let pps = sys.pps();
+    let both = FsSystem::<Rational>::phi_both();
+    // µ(ϕ_both ever) = µ(go=1) · 0.99 = 0.495.
+    let both_ever = FnFact::new("both fire at t=2", move |pps_: &_, pt: Point| {
+        both.holds(pps_, Point { run: pt.run, time: 2 })
+    });
+    let ev = pps.run_fact_event(&both_ever);
+    assert_eq!(pps.measure(&ev), r(495, 1000));
+}

@@ -1,0 +1,170 @@
+//! Monte-Carlo cross-validation of exact analyses.
+//!
+//! For each system of the paper, the exact (rational) value of every
+//! quantity must fall inside the 99% Wilson interval of its Monte-Carlo
+//! estimate. Fixed seeds keep the tests deterministic; sample sizes are
+//! chosen so intervals are tight enough to be meaningful yet fast.
+
+use pak::core::prelude::*;
+use pak::num::Rational;
+use pak::protocol::messaging::LossyMessagingModel;
+use pak::protocol::model::TableModel;
+use pak::sim::estimate::{
+    estimate_constraint, estimate_expected_belief, estimate_threshold_measure, BeliefTable,
+};
+use pak::sim::Simulator;
+use pak::systems::attack::{AttackSystem, CoordinatedAttack, ATTACK_A, ATTACK_B, GENERAL_A, GENERAL_B};
+use pak::systems::firing_squad::{FiringSquad, FsSystem, ALICE, BOB, FIRE_A, FIRE_B};
+
+const Z99: f64 = 2.576;
+const N: u64 = 60_000;
+
+#[test]
+fn firing_squad_constraint_probability() {
+    let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+    let est = estimate_constraint::<_, Rational>(&model, 11, N, ALICE, FIRE_A, |trial, t| {
+        trial.does(ALICE, FIRE_A, t) && trial.does(BOB, FIRE_B, t)
+    });
+    assert!(est.proportion.contains(0.99, Z99), "{est}");
+    // The conditioning event (Alice fires ⇔ go = 1) has rate ≈ ½.
+    assert!((est.conditioning_rate() - 0.5).abs() < 0.02);
+}
+
+#[test]
+fn firing_squad_threshold_measure() {
+    let exact = FiringSquad::paper().build_pps();
+    let table = BeliefTable::from_pps(exact.pps(), ALICE, &FsSystem::<Rational>::phi_both());
+    let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+    let est = estimate_threshold_measure::<_, Rational>(&model, 13, N, ALICE, FIRE_A, &table, 0.95);
+    assert!(est.proportion.contains(0.991, Z99), "{est}");
+}
+
+#[test]
+fn firing_squad_expected_belief_matches_expectation_theorem() {
+    // Theorem 6.2 cross-validated: sampled E[β@α|α] ≈ exact µ(ϕ@α|α) = 0.99.
+    let exact = FiringSquad::paper().build_pps();
+    let table = BeliefTable::from_pps(exact.pps(), ALICE, &FsSystem::<Rational>::phi_both());
+    let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+    let (mean, se, hits) =
+        estimate_expected_belief::<_, Rational>(&model, 17, N, ALICE, FIRE_A, &table);
+    assert!(hits > N / 3);
+    assert!(
+        (mean - 0.99).abs() < 4.0 * se + 1e-9,
+        "sampled mean {mean} too far from 0.99 (se {se})"
+    );
+}
+
+#[test]
+fn improved_firing_squad_constraint() {
+    let model = LossyMessagingModel::new(FiringSquad::improved(), Rational::from_ratio(1, 10));
+    let est = estimate_constraint::<_, Rational>(&model, 19, N, ALICE, FIRE_A, |trial, t| {
+        trial.does(ALICE, FIRE_A, t) && trial.does(BOB, FIRE_B, t)
+    });
+    let exact = 990.0 / 991.0;
+    assert!(est.proportion.contains(exact, Z99), "{est}");
+}
+
+#[test]
+fn coordinated_attack_coordination_probability() {
+    for rounds in [1u32, 3] {
+        let scenario = CoordinatedAttack::new(
+            Rational::from_ratio(1, 10),
+            Rational::from_ratio(1, 2),
+            rounds,
+        );
+        let exact = scenario
+            .build_pps()
+            .unwrap()
+            .analyze()
+            .constraint_probability()
+            .to_f64();
+        let model = LossyMessagingModel::new(scenario, Rational::from_ratio(1, 10));
+        let est = estimate_constraint::<_, Rational>(
+            &model,
+            23 + u64::from(rounds),
+            N,
+            GENERAL_A,
+            ATTACK_A,
+            |trial, t| trial.does(GENERAL_B, ATTACK_B, t),
+        );
+        assert!(est.proportion.contains(exact, Z99), "rounds {rounds}: {est}");
+    }
+}
+
+#[test]
+fn attack_threshold_measure_with_acks() {
+    let scenario = CoordinatedAttack::new(
+        Rational::from_ratio(1, 10),
+        Rational::from_ratio(1, 2),
+        2,
+    );
+    let sys = scenario.build_pps().unwrap();
+    let table = BeliefTable::from_pps(sys.pps(), GENERAL_A, &AttackSystem::<Rational>::b_attacks());
+    let model = LossyMessagingModel::new(scenario, Rational::from_ratio(1, 10));
+    // Exact: belief = 1 on ack (measure 0.81), 9/19 otherwise.
+    let est = estimate_threshold_measure::<_, Rational>(
+        &model, 29, N, GENERAL_A, ATTACK_A, &table, 0.99,
+    );
+    assert!(est.proportion.contains(0.81, Z99), "{est}");
+}
+
+#[test]
+fn simulator_respects_mixed_action_probabilities() {
+    // A mixed step α w.p. ¼: the sampled action frequency must match, and
+    // the unfolded pps must agree with the sampler.
+    let model: TableModel<Rational> = TableModel {
+        n_agents: 1,
+        initial: vec![(0, vec![0], Rational::one())],
+        horizon: 1,
+        moves: vec![(
+            (0, 0, 0),
+            vec![
+                (Some(ActionId(0)), Rational::from_ratio(1, 4)),
+                (None, Rational::from_ratio(3, 4)),
+            ],
+        )],
+        transitions: vec![],
+    };
+    let pps = pak::protocol::unfold::<_, Rational>(&model).unwrap();
+    let exact = pps.measure(&pps.action_event(AgentId(0), ActionId(0)));
+    assert_eq!(exact, Rational::from_ratio(1, 4));
+
+    let mut sim = Simulator::<_, Rational>::new(&model, 31);
+    let mut count = 0u64;
+    sim.sample_each(N, |t| {
+        if t.does(AgentId(0), ActionId(0), 0) {
+            count += 1;
+        }
+    });
+    let est = pak::sim::Proportion::new(count, N);
+    assert!(est.contains(0.25, Z99), "{est}");
+}
+
+#[test]
+fn trial_structure_matches_unfolded_runs() {
+    // Every sampled trajectory must correspond to some run of the unfolded
+    // pps (same state sequence), i.e. the simulator and unfolder implement
+    // the same semantics.
+    let fs = FiringSquad::paper();
+    let model = LossyMessagingModel::new(fs.clone(), Rational::from_ratio(1, 10));
+    let pps = pak::protocol::unfold::<_, Rational>(&model).unwrap();
+
+    let mut run_signatures: Vec<String> = Vec::new();
+    for run in pps.run_ids() {
+        let sig: Vec<String> = (0..pps.run_len(run) as u32)
+            .map(|t| format!("{:?}", pps.state_at(Point { run, time: t }).unwrap()))
+            .collect();
+        run_signatures.push(sig.join("|"));
+    }
+
+    let mut sim = Simulator::<_, Rational>::new(&model, 37);
+    for _ in 0..500 {
+        let trial = sim.sample();
+        let sig: Vec<String> = trial.states.iter().map(|s| format!("{s:?}")).collect();
+        let sig = sig.join("|");
+        assert!(
+            run_signatures.contains(&sig),
+            "sampled trajectory not among unfolded runs: {sig}"
+        );
+    }
+}
