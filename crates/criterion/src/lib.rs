@@ -1,0 +1,435 @@
+//! A minimal, dependency-free, API-compatible subset of the `criterion`
+//! benchmark harness.
+//!
+//! The workspace builds in offline environments where crates.io is not
+//! reachable, so the real `criterion` cannot be used. This vendored shim
+//! implements exactly the surface the `pak-bench` targets need —
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], [`Throughput`] — with a simple adaptive timing loop, and
+//! adds one extension the harness uses: [`Criterion::save_json`], which
+//! dumps every recorded measurement as machine-readable JSON so performance
+//! can be tracked across PRs.
+//!
+//! Timing model: each benchmark is warmed up for `warm_up_time`, then
+//! `sample_size` samples are taken; every sample runs the closure for a
+//! batch of iterations sized so the whole measurement phase fits in
+//! `measurement_time`. The reported statistics are per-iteration
+//! nanoseconds (median / mean / min / max over samples).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group (accepted, recorded in JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the batch size chosen by the harness, recording the
+    /// total elapsed wall-clock time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark id (`group/function/param`).
+    pub id: String,
+    /// Per-iteration nanoseconds, one entry per sample.
+    pub samples_ns: Vec<f64>,
+    /// Optional throughput annotation.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Median per-iteration nanoseconds.
+    #[must_use]
+    pub fn median_ns(&self) -> f64 {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let n = s.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            s[n / 2]
+        } else {
+            (s[n / 2 - 1] + s[n / 2]) / 2.0
+        }
+    }
+
+    /// Mean per-iteration nanoseconds.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64
+    }
+}
+
+/// The benchmark harness: collects measurements for every registered
+/// benchmark and prints a summary.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+            sample_size: 20,
+            filter: None,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Applies command-line configuration. The shim understands a bare
+    /// benchmark-name filter and ignores the flags Cargo passes to bench
+    /// executables (`--bench`, `--test`, etc.).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = v;
+                    }
+                }
+                s if s.starts_with('-') => {
+                    // Unknown flag: skip its value too (if one follows), so
+                    // the value is not mistaken for a benchmark-name filter.
+                    if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                filter => self.filter = Some(filter.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Registers and runs a single benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().id;
+        self.run_one(id, None, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the final summary table of every recorded measurement.
+    pub fn final_summary(&mut self) {
+        println!(
+            "\n--- bench summary ({} benchmarks) ---",
+            self.measurements.len()
+        );
+        for m in &self.measurements {
+            println!(
+                "{:<60} {:>14} median  {:>14} mean",
+                m.id,
+                fmt_ns(m.median_ns()),
+                fmt_ns(m.mean_ns())
+            );
+        }
+    }
+
+    /// The recorded measurements, in registration order.
+    #[must_use]
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Writes every recorded measurement as JSON to `path`.
+    ///
+    /// The format is a stable array of objects:
+    /// `[{"id": "...", "median_ns": ..., "mean_ns": ..., "min_ns": ...,
+    ///    "max_ns": ..., "samples": N, "throughput_elements": E?}, ...]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (benchmark harness context, so
+    /// failing loudly is preferable to silently dropping results).
+    pub fn save_json(&self, path: &str) {
+        let mut out = String::from("[\n");
+        for (i, m) in self.measurements.iter().enumerate() {
+            let min = m.samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = m.samples_ns.iter().copied().fold(0.0_f64, f64::max);
+            let _ = write!(
+                out,
+                "  {{\"id\": {:?}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}",
+                m.id,
+                m.median_ns(),
+                m.mean_ns(),
+                if min.is_finite() { min } else { 0.0 },
+                max,
+                m.samples_ns.len(),
+            );
+            if let Some(Throughput::Elements(e)) = m.throughput {
+                let _ = write!(out, ", \"throughput_elements\": {e}");
+            }
+            out.push_str(if i + 1 == self.measurements.len() {
+                "}\n"
+            } else {
+                "},\n"
+            });
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    fn run_one(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Warm-up: also yields a per-iteration time estimate.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX).max(1);
+                per_iter = per_iter.max(Duration::from_nanos(1));
+            }
+            // Grow the batch until one call takes a meaningful slice of time.
+            if b.elapsed < Duration::from_millis(1) && b.iters < (1 << 20) {
+                b.iters *= 2;
+            }
+        }
+        // Choose the batch so sample_size batches fill measurement_time.
+        let budget = self.measurement_time.as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (budget / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let m = Measurement {
+            id: id.clone(),
+            samples_ns,
+            throughput,
+        };
+        println!(
+            "{:<60} {:>14}/iter (median of {} samples × {} iters)",
+            id,
+            fmt_ns(m.median_ns()),
+            self.sample_size,
+            iters
+        );
+        self.measurements.push(m);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Registers and runs a benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let t = self.throughput;
+        self.criterion.run_one(id, t, f);
+        self
+    }
+
+    /// Registers and runs a benchmark taking a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let t = self.throughput;
+        self.criterion.run_one(id, t, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (no-op; measurements are recorded eagerly).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_measurement() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median_ns() >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+        assert_eq!(c.measurements()[0].id, "grp/f/7");
+        assert_eq!(
+            c.measurements()[0].throughput,
+            Some(Throughput::Elements(4))
+        );
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(2);
+        c.bench_function("j", |b| b.iter(|| black_box(0u8)));
+        let path = std::env::temp_dir().join("criterion_shim_test.json");
+        let path = path.to_str().expect("utf8 temp path");
+        c.save_json(path);
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.trim_start().starts_with('['));
+        assert!(body.contains("\"median_ns\""));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -38,15 +38,19 @@ fn benches(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n));
         group.bench_with_input(BenchmarkId::new("sample_fs_rational", n), &n, |b, &n| {
             let mut sim = Simulator::<_, Rational>::new(&model, 1);
-            b.iter(|| sim.sample_each(n, |t| {
-                black_box(t.len());
-            }))
+            b.iter(|| {
+                sim.sample_each(n, |t| {
+                    black_box(t.len());
+                })
+            })
         });
         group.bench_with_input(BenchmarkId::new("sample_fs_f64", n), &n, |b, &n| {
             let mut sim = Simulator::<_, f64>::new(&model64, 1);
-            b.iter(|| sim.sample_each(n, |t| {
-                black_box(t.len());
-            }))
+            b.iter(|| {
+                sim.sample_each(n, |t| {
+                    black_box(t.len());
+                })
+            })
         });
     }
     group.finish();

@@ -27,18 +27,40 @@ fn report() {
             .success_probability
             .clone()
     };
-    let only_yes = FirePolicy { on_yes: true, on_no: false, on_nothing: false };
-    let all_match = outcomes.iter().all(pak_systems::policy::PolicyOutcome::prediction_matches);
+    let only_yes = FirePolicy {
+        on_yes: true,
+        on_no: false,
+        on_nothing: false,
+    };
+    let all_match = outcomes
+        .iter()
+        .all(pak_systems::policy::PolicyOutcome::prediction_matches);
 
     let bcast = Broadcast::new(3, r(1, 10), 2);
-    let bcast_mu = bcast.build_pps().unwrap().analyze().constraint_probability();
+    let bcast_mu = bcast
+        .build_pps()
+        .unwrap()
+        .analyze()
+        .constraint_probability();
 
     print_report(
         "E11: §8 policy ablation + broadcast closed form",
         &[
-            Row::claim("Thm 6.2 predictions = measurements (7 policies)", true, all_match),
-            Row::exact("success(ALWAYS) — the paper's FS", "99/100", get(FirePolicy::ALWAYS)),
-            Row::exact("success(REFRAIN_ON_NO) — §8", "990/991", get(FirePolicy::REFRAIN_ON_NO)),
+            Row::claim(
+                "Thm 6.2 predictions = measurements (7 policies)",
+                true,
+                all_match,
+            ),
+            Row::exact(
+                "success(ALWAYS) — the paper's FS",
+                "99/100",
+                get(FirePolicy::ALWAYS),
+            ),
+            Row::exact(
+                "success(REFRAIN_ON_NO) — §8",
+                "990/991",
+                get(FirePolicy::REFRAIN_ON_NO),
+            ),
             Row::exact("success(only-Yes) — safest live policy", "1", get(only_yes)),
             Row::claim(
                 "safest_policy() finds only-Yes",

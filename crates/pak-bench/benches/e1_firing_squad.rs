@@ -38,7 +38,11 @@ fn report() {
                 "991/1000",
                 analysis.threshold_measure(&Rational::from_ratio(19, 20)),
             ),
-            Row::exact("Alice's belief values when firing", "0, 99/100, 1", beliefs.join(", ")),
+            Row::exact(
+                "Alice's belief values when firing",
+                "0, 99/100, 1",
+                beliefs.join(", "),
+            ),
             Row::exact(
                 "E[β_A(ϕ_both)@fire_A | fire_A] (= µ, Thm 6.2)",
                 "99/100",
@@ -68,9 +72,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| black_box(fs.build_pps()))
     });
     let sys = FiringSquad::paper().build_pps();
-    c.bench_function("e1/analyze_exact", |b| {
-        b.iter(|| black_box(sys.analyze()))
-    });
+    c.bench_function("e1/analyze_exact", |b| b.iter(|| black_box(sys.analyze())));
     c.bench_function("e1/threshold_measure", |b| {
         let a = sys.analyze();
         let p = Rational::from_ratio(19, 20);

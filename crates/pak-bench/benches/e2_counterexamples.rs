@@ -24,13 +24,21 @@ fn report() {
     print_report(
         "E2: Figure 1 — counterexamples without local-state independence",
         &[
-            Row::exact("β_i(ψ) at every α-point", "1/2", suff.min_belief_when_acting().unwrap()),
+            Row::exact(
+                "β_i(ψ) at every α-point",
+                "1/2",
+                suff.min_belief_when_acting().unwrap(),
+            ),
             Row::exact("µ(ψ@α | α)", "0", suff.constraint_probability()),
             Row::claim("ψ local-state independent of α", false, lsi_psi.independent),
             Row::exact("µ(ϕ@α | α) for ϕ = does(α)", "1", &exp.lhs),
             Row::exact("E[β_i(ϕ)@α | α]", "1/2", &exp.rhs),
             Row::claim("Theorem 6.2 equality (must fail here)", false, exp.equal),
-            Row::claim("Theorem 6.2 implication still sound", true, exp.implication_holds()),
+            Row::claim(
+                "Theorem 6.2 implication still sound",
+                true,
+                exp.implication_holds(),
+            ),
         ],
     );
 }

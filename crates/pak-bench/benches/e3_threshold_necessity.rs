@@ -41,7 +41,10 @@ fn report() {
             &claims.merged_belief,
         ));
     }
-    print_report("E3: Theorem 5.2 — arbitrarily rare threshold meeting", &rows);
+    print_report(
+        "E3: Theorem 5.2 — arbitrarily rare threshold meeting",
+        &rows,
+    );
 }
 
 fn benches(c: &mut Criterion) {

@@ -59,7 +59,11 @@ fn report() {
                 &total.to_string(),
                 lsi_held,
             ),
-            Row::exact("equality held exactly (of LSI cases)", &lsi_held.to_string(), verified),
+            Row::exact(
+                "equality held exactly (of LSI cases)",
+                &lsi_held.to_string(),
+                verified,
+            ),
         ],
     );
     println!("({total} (agent, action) triples over 60 random systems)");

@@ -30,8 +30,16 @@ fn report() {
     .unwrap();
 
     let mut rows = vec![
-        Row::claim("Example 1: µ = 0.99 ≥ 1 − 0.1² (premise)", true, rep.premise_holds),
-        Row::exact("Example 1: µ(β ≥ 0.9 | fire_A)", "991/1000", &rep.strong_belief_measure),
+        Row::claim(
+            "Example 1: µ = 0.99 ≥ 1 − 0.1² (premise)",
+            true,
+            rep.premise_holds,
+        ),
+        Row::exact(
+            "Example 1: µ(β ≥ 0.9 | fire_A)",
+            "991/1000",
+            &rep.strong_belief_measure,
+        ),
         Row::claim(
             "Example 1: ≥ 0.9 as Corollary 7.2 demands",
             true,
@@ -88,4 +96,8 @@ fn main() {
     let mut c = criterion();
     benches(&mut c);
     c.final_summary();
+    c.save_json(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_e5_pak_frontier.json"
+    ));
 }

@@ -35,10 +35,18 @@ fn all_actions(pps: &Pps<SimpleState, Rational>) -> Vec<(AgentId, ActionId)> {
 fn report() {
     let cfg = RandomModelConfig::default();
     let past_based = StateFact::new("env even", |g: &SimpleState| g.env.is_multiple_of(2));
-    let future = FnFact::new("future act", |pps: &Pps<SimpleState, Rational>, pt: Point| {
-        ((pt.time + 1)..pps.run_len(pt.run) as u32)
-            .any(|t| !pps.actions_at(Point { run: pt.run, time: t }).is_empty())
-    });
+    let future = FnFact::new(
+        "future act",
+        |pps: &Pps<SimpleState, Rational>, pt: Point| {
+            ((pt.time + 1)..pps.run_len(pt.run) as u32).any(|t| {
+                !pps.actions_at(Point {
+                    run: pt.run,
+                    time: t,
+                })
+                .is_empty()
+            })
+        },
+    );
 
     let (mut lsi_b, mut total_b) = (0usize, 0usize);
     let (mut lsi_a, mut total_a) = (0usize, 0usize);
@@ -79,7 +87,10 @@ fn report() {
     for seed in 0..200 {
         let mut g = PpsGenerator::new(
             seed,
-            GeneratorConfig { unbalanced: false, ..GeneratorConfig::default() },
+            GeneratorConfig {
+                unbalanced: false,
+                ..GeneratorConfig::default()
+            },
         );
         let pps = g.generate::<Rational>();
         for (agent, action) in all_actions(&pps) {
@@ -97,9 +108,21 @@ fn report() {
     print_report(
         "E6: Lemma 4.3 + Theorem 4.2 — independence and sufficiency",
         &[
-            Row::exact("4.3(b): past-based ⇒ LSI (protocol systems)", &total_b.to_string(), lsi_b),
-            Row::exact("4.3(a): deterministic ⇒ LSI (future fact)", &total_a.to_string(), lsi_a),
-            Row::exact("Thm 4.2 non-vacuous at p = min belief", &suff_total.to_string(), suff_ok),
+            Row::exact(
+                "4.3(b): past-based ⇒ LSI (protocol systems)",
+                &total_b.to_string(),
+                lsi_b,
+            ),
+            Row::exact(
+                "4.3(a): deterministic ⇒ LSI (future fact)",
+                &total_a.to_string(),
+                lsi_a,
+            ),
+            Row::exact(
+                "Thm 4.2 non-vacuous at p = min belief",
+                &suff_total.to_string(),
+                suff_ok,
+            ),
             Row::claim(
                 "4.3(b) can FAIL on non-protocol trees (finding)",
                 true,

@@ -68,11 +68,23 @@ fn report() {
     print_report(
         "E7: Lemma 5.1 (necessity) + Lemma F.1 (KoP limit)",
         &[
-            Row::claim("Example 1: ∃ firing point with β ≥ 0.99", true, nec.witness.is_some()),
+            Row::claim(
+                "Example 1: ∃ firing point with β ≥ 0.99",
+                true,
+                nec.witness.is_some(),
+            ),
             Row::exact("Example 1: max belief when firing", "1", &nec.max_belief),
-            Row::exact("Lemma 5.1 witness found (random systems)", &total.to_string(), nec_ok),
+            Row::exact(
+                "Lemma 5.1 witness found (random systems)",
+                &total.to_string(),
+                nec_ok,
+            ),
             Row::exact("Lemma F.1 implication holds", &total.to_string(), kop_ok),
-            Row::claim("Lemma F.1 binding cases observed (µ=1 ⇒ β≡1)", true, kop_binding > 0),
+            Row::claim(
+                "Lemma F.1 binding cases observed (µ=1 ⇒ β≡1)",
+                true,
+                kop_binding > 0,
+            ),
         ],
     );
     println!("({total} triples; {kop_binding} had µ(ϕ@α|α) = 1 exactly)");

@@ -43,10 +43,22 @@ fn report() {
                 &scenario.posterior_empty_given_free().to_string(),
                 analysis.constraint_probability(),
             ),
-            Row::exact("µ(empty@enter | enter)", "76/77", analysis.constraint_probability()),
+            Row::exact(
+                "µ(empty@enter | enter)",
+                "76/77",
+                analysis.constraint_probability(),
+            ),
             Row::claim("Theorem 6.2 equality", true, exp.equal),
-            Row::claim("entry deterministic ⇒ LSI", true, exp.independence.independent),
-            Row::claim("Corollary 7.2 at ε = 0.12", true, pak.premise_holds && pak.implication_holds),
+            Row::claim(
+                "entry deterministic ⇒ LSI",
+                true,
+                exp.independence.independent,
+            ),
+            Row::claim(
+                "Corollary 7.2 at ε = 0.12",
+                true,
+                pak.premise_holds && pak.implication_holds,
+            ),
         ],
     );
 
@@ -68,10 +80,14 @@ fn report() {
 fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("e8");
     for agents in [1u32, 2, 4, 6] {
-        group.bench_with_input(BenchmarkId::new("build_analyze", agents), &agents, |b, &n| {
-            let m = RelaxedMutex::new(r(1, 5), r(1, 20), n);
-            b.iter(|| black_box(m.analyze(AgentId(0)).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_analyze", agents),
+            &agents,
+            |b, &n| {
+                let m = RelaxedMutex::new(r(1, 5), r(1, 20), n);
+                b.iter(|| black_box(m.analyze(AgentId(0)).unwrap()))
+            },
+        );
     }
     group.finish();
 }

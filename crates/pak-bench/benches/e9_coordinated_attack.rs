@@ -42,7 +42,10 @@ fn report() {
             rep.equal,
         ));
     }
-    print_report("E9: coordinated attack — Fischer–Zuck average belief", &rows);
+    print_report(
+        "E9: coordinated attack — Fischer–Zuck average belief",
+        &rows,
+    );
 
     // A's belief distribution with an acknowledgement round.
     let scenario = CoordinatedAttack::new(r(1, 10), r(1, 2), 2);
@@ -56,10 +59,14 @@ fn report() {
 fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9");
     for rounds in [1u32, 3, 5, 7] {
-        group.bench_with_input(BenchmarkId::new("unfold_analyze", rounds), &rounds, |b, &n| {
-            let scenario = CoordinatedAttack::new(r(1, 10), r(1, 2), n);
-            b.iter(|| black_box(scenario.build_pps().unwrap().analyze()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unfold_analyze", rounds),
+            &rounds,
+            |b, &n| {
+                let scenario = CoordinatedAttack::new(r(1, 10), r(1, 2), n);
+                b.iter(|| black_box(scenario.build_pps().unwrap().analyze()))
+            },
+        );
     }
     group.finish();
 }

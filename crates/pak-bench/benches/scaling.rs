@@ -29,13 +29,13 @@ fn benches(c: &mut Criterion) {
     let mut group = c.benchmark_group("scaling/unfold");
     for horizon in [2u32, 3, 4] {
         let model = random_model::<Rational>(11, &cfg(horizon));
-        let runs = unfold_with(&model, &UnfoldConfig::default()).unwrap().num_runs();
+        let runs = unfold_with(&model, &UnfoldConfig::default())
+            .unwrap()
+            .num_runs();
         group.bench_with_input(
             BenchmarkId::new(format!("horizon_{horizon}_runs_{runs}"), horizon),
             &model,
-            |b, m| {
-                b.iter(|| black_box(unfold_with(m, &UnfoldConfig::default()).unwrap()))
-            },
+            |b, m| b.iter(|| black_box(unfold_with(m, &UnfoldConfig::default()).unwrap())),
         );
     }
     group.finish();
@@ -70,11 +70,7 @@ fn benches(c: &mut Criterion) {
     // Rational vs f64 ablation on a fixed workload (attack, 4 rounds).
     let mut group = c.benchmark_group("scaling/numeric_ablation");
     group.bench_function("attack4_rational", |b| {
-        let s = CoordinatedAttack::new(
-            Rational::from_ratio(1, 10),
-            Rational::from_ratio(1, 2),
-            4,
-        );
+        let s = CoordinatedAttack::new(Rational::from_ratio(1, 10), Rational::from_ratio(1, 2), 4);
         b.iter(|| black_box(s.build_pps().unwrap().analyze()))
     });
     group.bench_function("attack4_f64", |b| {
@@ -88,4 +84,10 @@ fn main() {
     let mut c = criterion();
     benches(&mut c);
     c.final_summary();
+    // Machine-readable trail so future PRs can track the perf trajectory.
+    // Written to the workspace root regardless of the bench's working dir.
+    c.save_json(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_scaling.json"
+    ));
 }

@@ -88,7 +88,10 @@ pub fn print_report(experiment: &str, rows: &[Row]) {
         all_ok &= row.matches;
     }
     println!();
-    assert!(all_ok, "{experiment}: reproduction mismatch (see table above)");
+    assert!(
+        all_ok,
+        "{experiment}: reproduction mismatch (see table above)"
+    );
 }
 
 /// A Criterion instance tuned for this suite: short measurement windows so

@@ -56,7 +56,13 @@ pub trait Beliefs<G: GlobalState, P: Probability> {
     /// the point of `run` where it performs the proper action `action`, or
     /// zero if the action is not performed in `run` (the paper's
     /// convention, §3.1).
-    fn belief_at_action(&self, agent: AgentId, action: ActionId, fact: &dyn Fact<G, P>, run: RunId) -> P;
+    fn belief_at_action(
+        &self,
+        agent: AgentId,
+        action: ActionId,
+        fact: &dyn Fact<G, P>,
+        run: RunId,
+    ) -> P;
 }
 
 impl<G: GlobalState, P: Probability> Beliefs<G, P> for Pps<G, P> {
@@ -72,7 +78,13 @@ impl<G: GlobalState, P: Probability> Beliefs<G, P> for Pps<G, P> {
             .expect("every local state in a pps has positive measure")
     }
 
-    fn belief_at_action(&self, agent: AgentId, action: ActionId, fact: &dyn Fact<G, P>, run: RunId) -> P {
+    fn belief_at_action(
+        &self,
+        agent: AgentId,
+        action: ActionId,
+        fact: &dyn Fact<G, P>,
+        run: RunId,
+    ) -> P {
         match self.action_point(agent, action, run) {
             None => P::zero(),
             Some(pt) => self
@@ -164,7 +176,7 @@ impl<P: Probability> ActionAnalysis<P> {
     ) -> Result<Self, AnalysisError> {
         let mut performed = false;
         for run in pps.run_ids() {
-            match pps.performance_times(agent, action, run).len() {
+            match pps.performance_count(agent, action, run) {
                 0 => {}
                 1 => performed = true,
                 _ => {
@@ -184,6 +196,11 @@ impl<P: Probability> ActionAnalysis<P> {
             });
         }
 
+        // Beliefs are constant across a local-state cell (Definition 3.1),
+        // so evaluate the posterior once per cell and share it across all
+        // runs acting from that cell, instead of re-conditioning per point.
+        let mut cell_beliefs: std::collections::HashMap<CellId, P> =
+            std::collections::HashMap::new();
         let mut per_run = Vec::new();
         let mut action_measure = P::zero();
         let mut fact_at_action_measure = P::zero();
@@ -191,16 +208,26 @@ impl<P: Probability> ActionAnalysis<P> {
             let Some(point) = pps.action_point(agent, action, run) else {
                 continue;
             };
-            let prob = pps.run_probability(run).clone();
-            let belief = pps
-                .belief(agent, fact, point)
+            let cell = pps
+                .cell_at(agent, point)
                 .expect("action point lies within the run");
+            let belief = cell_beliefs
+                .entry(cell)
+                .or_insert_with(|| pps.belief_in_cell(fact, cell))
+                .clone();
+            let prob = pps.run_probability(run).clone();
             let fact_holds = fact.holds(pps, point);
-            action_measure = action_measure.add(&prob);
+            action_measure.add_assign(&prob);
             if fact_holds {
-                fact_at_action_measure = fact_at_action_measure.add(&prob);
+                fact_at_action_measure.add_assign(&prob);
             }
-            per_run.push(RunBelief { run, prob, belief, fact_holds, point });
+            per_run.push(RunBelief {
+                run,
+                prob,
+                belief,
+                fact_holds,
+                point,
+            });
         }
 
         Ok(ActionAnalysis {
@@ -259,7 +286,7 @@ impl<P: Probability> ActionAnalysis<P> {
     pub fn expected_belief(&self) -> P {
         let mut acc = P::zero();
         for rb in &self.per_run {
-            acc = acc.add(&rb.prob.mul(&rb.belief));
+            acc.add_assign(&rb.prob.mul(&rb.belief));
         }
         acc.div(&self.action_measure)
     }
@@ -272,7 +299,7 @@ impl<P: Probability> ActionAnalysis<P> {
         let mut acc = P::zero();
         for rb in &self.per_run {
             if rb.belief.at_least(q) {
-                acc = acc.add(&rb.prob);
+                acc.add_assign(&rb.prob);
             }
         }
         acc.div(&self.action_measure)
@@ -312,7 +339,7 @@ impl<P: Probability> ActionAnalysis<P> {
         for rb in &self.per_run {
             let cond = rb.prob.div(&self.action_measure);
             match entries.iter_mut().find(|(b, _)| b.approx_eq(&rb.belief)) {
-                Some((_, m)) => *m = m.add(&cond),
+                Some((_, m)) => m.add_assign(&cond),
                 None => entries.push((rb.belief.clone(), cond)),
             }
         }
@@ -346,8 +373,8 @@ impl<P: Probability> ActionAnalysis<P> {
         let mut kept_mass = P::zero();
         let mut kept_weighted = P::zero();
         for (belief, measure) in dist.into_iter().rev() {
-            kept_mass = kept_mass.add(&measure);
-            kept_weighted = kept_weighted.add(&measure.mul(&belief));
+            kept_mass.add_assign(&measure);
+            kept_weighted.add_assign(&measure.mul(&belief));
             out.push(FrontierEntry {
                 belief_threshold: belief,
                 kept_action_measure: kept_mass.clone(),
@@ -393,8 +420,10 @@ mod tests {
     fn figure1() -> Pps<SimpleState, Rational> {
         let mut b = PpsBuilder::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
-        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))]).unwrap();
-        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))]).unwrap();
+        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -412,12 +441,17 @@ mod tests {
         let t0 = b.child(s0, st(0, &[1, 0]), Rational::one(), &[]).unwrap();
         // From s1 (bit=1): m_j w.p. 1−ε/p, m'_j w.p. ε/p.
         let eps_over_p = &eps / &p;
-        let t1m = b.child(s1, st(0, &[1, 1]), eps_over_p.one_minus(), &[]).unwrap();
+        let t1m = b
+            .child(s1, st(0, &[1, 1]), eps_over_p.one_minus(), &[])
+            .unwrap();
         let t1m2 = b.child(s1, st(0, &[2, 1]), eps_over_p, &[]).unwrap();
         // Round 2: i unconditionally performs α.
-        b.child(t0, st(0, &[1, 0]), Rational::one(), &[(i, alpha)]).unwrap();
-        b.child(t1m, st(0, &[1, 1]), Rational::one(), &[(i, alpha)]).unwrap();
-        b.child(t1m2, st(0, &[2, 1]), Rational::one(), &[(i, alpha)]).unwrap();
+        b.child(t0, st(0, &[1, 0]), Rational::one(), &[(i, alpha)])
+            .unwrap();
+        b.child(t1m, st(0, &[1, 1]), Rational::one(), &[(i, alpha)])
+            .unwrap();
+        b.child(t1m2, st(0, &[2, 1]), Rational::one(), &[(i, alpha)])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -425,7 +459,13 @@ mod tests {
     fn improper_action_rejected() {
         let pps = figure1();
         let err = ActionAnalysis::new(&pps, AgentId(0), ActionId(9), &TrueFact).unwrap_err();
-        assert!(matches!(err, AnalysisError::ImproperAction { never_performed: true, .. }));
+        assert!(matches!(
+            err,
+            AnalysisError::ImproperAction {
+                never_performed: true,
+                ..
+            }
+        ));
     }
 
     #[test]

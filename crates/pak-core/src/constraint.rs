@@ -165,10 +165,26 @@ mod tests {
         // Agent observes nothing; env=1 w.p. p, env=0 otherwise; agent then
         // unconditionally acts.
         let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
-        let h = b.initial(SimpleState::new(1, vec![0]), p_heads.clone()).unwrap();
-        let t = b.initial(SimpleState::new(0, vec![0]), p_heads.one_minus()).unwrap();
-        b.child(h, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))]).unwrap();
-        b.child(t, SimpleState::new(0, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))]).unwrap();
+        let h = b
+            .initial(SimpleState::new(1, vec![0]), p_heads.clone())
+            .unwrap();
+        let t = b
+            .initial(SimpleState::new(0, vec![0]), p_heads.one_minus())
+            .unwrap();
+        b.child(
+            h,
+            SimpleState::new(1, vec![0]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
+        b.child(
+            t,
+            SimpleState::new(0, vec![0]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 

@@ -74,7 +74,10 @@ impl fmt::Display for PpsError {
                 write!(f, "pps has no initial global states")
             }
             PpsError::BadDistribution { node, sum } => {
-                write!(f, "outgoing probabilities of {node} sum to {sum}, expected 1")
+                write!(
+                    f,
+                    "outgoing probabilities of {node} sum to {sum}, expected 1"
+                )
             }
             PpsError::NonPositiveProbability { node } => {
                 write!(f, "edge into {node} has non-positive probability")
@@ -89,7 +92,10 @@ impl fmt::Display for PpsError {
                 write!(f, "unknown node handle {node}")
             }
             PpsError::ActionOnInitialEdge { node } => {
-                write!(f, "initial state {node} cannot have actions on its incoming edge")
+                write!(
+                    f,
+                    "initial state {node} cannot have actions on its incoming edge"
+                )
             }
             PpsError::DuplicateAgentAction { node, agent } => {
                 write!(f, "edge into {node} records two actions for {agent}")
@@ -123,11 +129,18 @@ pub enum AnalysisError {
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalysisError::ImproperAction { agent, action, never_performed } => {
+            AnalysisError::ImproperAction {
+                agent,
+                action,
+                never_performed,
+            } => {
                 if *never_performed {
                     write!(f, "{action} is never performed by {agent} in the system")
                 } else {
-                    write!(f, "{action} is performed more than once in a run by {agent}")
+                    write!(
+                        f,
+                        "{action} is performed more than once in a run by {agent}"
+                    )
                 }
             }
             AnalysisError::ConditioningOnNull => {
@@ -145,10 +158,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = PpsError::BadDistribution { node: NodeId(3), sum: 0.9 };
+        let e = PpsError::BadDistribution {
+            node: NodeId(3),
+            sum: 0.9,
+        };
         assert!(e.to_string().contains("node#3"));
         assert!(e.to_string().contains("0.9"));
-        let e = PpsError::AgentOutOfRange { agent: AgentId(5), n_agents: 2 };
+        let e = PpsError::AgentOutOfRange {
+            agent: AgentId(5),
+            n_agents: 2,
+        };
         assert!(e.to_string().contains("agent#5"));
         let e = AnalysisError::ImproperAction {
             agent: AgentId(0),

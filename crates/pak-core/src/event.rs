@@ -100,7 +100,11 @@ impl RunSet {
     /// Panics if `run` is outside the universe.
     pub fn insert(&mut self, run: RunId) {
         let i = run.index();
-        assert!(i < self.universe, "run {run} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "run {run} outside universe {}",
+            self.universe
+        );
         self.blocks[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -174,7 +178,10 @@ impl RunSet {
     #[must_use]
     pub fn is_disjoint(&self, other: &Self) -> bool {
         assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .all(|(a, b)| a & b == 0)
     }
 
     fn zip_with(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
@@ -204,6 +211,33 @@ impl RunSet {
                 }
             })
         })
+    }
+
+    /// Iterates over `self ∩ other` without materialising the
+    /// intersection — the measure-of-intersection hot path uses this to
+    /// stay allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn iter_and<'a>(&'a self, other: &'a Self) -> impl Iterator<Item = RunId> + 'a {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .enumerate()
+            .flat_map(|(bi, (&x, &y))| {
+                let mut b = x & y;
+                core::iter::from_fn(move || {
+                    if b == 0 {
+                        None
+                    } else {
+                        let bit = b.trailing_zeros() as usize;
+                        b &= b - 1;
+                        Some(RunId((bi * 64 + bit) as u32))
+                    }
+                })
+            })
     }
 }
 

@@ -286,8 +286,7 @@ impl<G: GlobalState, P: Probability> Facts<G, P> for Pps<G, P> {
     fn is_run_fact(&self, fact: &dyn Fact<G, P>) -> bool {
         self.run_ids().all(|run| {
             let at0 = fact.holds(self, Point { run, time: 0 });
-            (1..self.run_len(run) as u32)
-                .all(|time| fact.holds(self, Point { run, time }) == at0)
+            (1..self.run_len(run) as u32).all(|time| fact.holds(self, Point { run, time }) == at0)
         })
     }
 
@@ -386,8 +385,10 @@ mod tests {
     fn figure1() -> Pps<SimpleState, Rational> {
         let mut b = PpsBuilder::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
-        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))]).unwrap();
-        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))]).unwrap();
+        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -419,7 +420,13 @@ mod tests {
         // deterministic function of the local state.
         let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
-        b.child(g0, st(0, &[1]), Rational::one(), &[(AgentId(0), ActionId(0))]).unwrap();
+        b.child(
+            g0,
+            st(0, &[1]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
         let pps = b.build().unwrap();
         assert!(pps.is_deterministic_action(AgentId(0), ActionId(0)));
     }
@@ -429,15 +436,24 @@ mod tests {
         let pps = figure1();
         let alpha = DoesFact::new(AgentId(0), ActionId(0));
         let not_alpha = NotFact(alpha);
-        let pt0 = Point { run: RunId(0), time: 0 };
-        let pt1 = Point { run: RunId(1), time: 0 };
+        let pt0 = Point {
+            run: RunId(0),
+            time: 0,
+        };
+        let pt1 = Point {
+            run: RunId(1),
+            time: 0,
+        };
         let does0 = Facts::<SimpleState, Rational>::fact_event_at_time(&pps, &alpha, 0);
         assert_eq!(does0.len(), 1);
         // not_alpha holds exactly at the other time-0 point.
         let a = alpha.holds(&pps, pt0) as u8 + alpha.holds(&pps, pt1) as u8;
         let n = not_alpha.holds(&pps, pt0) as u8 + not_alpha.holds(&pps, pt1) as u8;
         assert_eq!((a, n), (1, 1));
-        assert_eq!(Fact::<SimpleState, Rational>::label(&not_alpha), "¬does_0(action#0)");
+        assert_eq!(
+            Fact::<SimpleState, Rational>::label(&not_alpha),
+            "¬does_0(action#0)"
+        );
         let both = AndFact(TrueFact, FalseFact);
         assert!(!both.holds(&pps, pt0));
         let either = OrFact(TrueFact, FalseFact);
@@ -448,11 +464,20 @@ mod tests {
     #[test]
     fn true_false_facts_respect_run_bounds() {
         let pps = figure1();
-        let beyond = Point { run: RunId(0), time: 99 };
-        assert!(!Fact::<SimpleState, Rational>::holds(&TrueFact, &pps, beyond));
-        assert!(!Fact::<SimpleState, Rational>::holds(&FalseFact, &pps, beyond));
+        let beyond = Point {
+            run: RunId(0),
+            time: 99,
+        };
+        assert!(!Fact::<SimpleState, Rational>::holds(
+            &TrueFact, &pps, beyond
+        ));
+        assert!(!Fact::<SimpleState, Rational>::holds(
+            &FalseFact, &pps, beyond
+        ));
         let not_false = NotFact(FalseFact);
-        assert!(!Fact::<SimpleState, Rational>::holds(&not_false, &pps, beyond));
+        assert!(!Fact::<SimpleState, Rational>::holds(
+            &not_false, &pps, beyond
+        ));
     }
 
     #[test]
@@ -472,7 +497,13 @@ mod tests {
     fn at_cell_operators() {
         let pps = figure1();
         let cell = pps
-            .cell_at(AgentId(0), Point { run: RunId(0), time: 0 })
+            .cell_at(
+                AgentId(0),
+                Point {
+                    run: RunId(0),
+                    time: 0,
+                },
+            )
             .unwrap();
         // ℓ occurs in both runs.
         assert_eq!(pps.cell_event(cell).len(), 2);
@@ -488,7 +519,8 @@ mod tests {
         let pps = figure1();
         // "α is performed at some time in the run" is a fact about runs.
         let performed = FnFact::new("α performed", |pps: &Pps<SimpleState, Rational>, pt| {
-            !pps.performance_times(AgentId(0), ActionId(0), pt.run).is_empty()
+            !pps.performance_times(AgentId(0), ActionId(0), pt.run)
+                .is_empty()
         });
         assert!(pps.is_run_fact(&performed));
         // does(α) is transient (true at t=0 on run 0, false at t=1).

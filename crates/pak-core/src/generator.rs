@@ -78,6 +78,15 @@ impl SplitMix64 {
     pub fn chance(&mut self, num: u64, den: u64) -> bool {
         self.below(den) < num
     }
+
+    /// A uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        // Take the top 53 bits: exactly the precision of an f64 mantissa.
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
 }
 
 /// Configuration for random system generation.
@@ -184,10 +193,7 @@ impl PpsGenerator {
                     for a in 0..cfg.n_agents {
                         if self.rng.chance(2, 3) {
                             let act = self.rng.below(u64::from(cfg.actions_per_agent)) as u32;
-                            actions.push((
-                                AgentId(a),
-                                ActionId(a * cfg.actions_per_agent + act),
-                            ));
+                            actions.push((AgentId(a), ActionId(a * cfg.actions_per_agent + act)));
                         }
                     }
                     let child = b

@@ -172,8 +172,14 @@ mod tests {
 
     #[test]
     fn points_order_lexicographically() {
-        let a = Point { run: RunId(0), time: 5 };
-        let b = Point { run: RunId(1), time: 0 };
+        let a = Point {
+            run: RunId(0),
+            time: 5,
+        };
+        let b = Point {
+            run: RunId(1),
+            time: 0,
+        };
         assert!(a < b);
     }
 }

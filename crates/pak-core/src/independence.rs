@@ -168,8 +168,10 @@ mod tests {
     fn figure1() -> Pps<SimpleState, Rational> {
         let mut b = PpsBuilder::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
-        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))]).unwrap();
-        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))]).unwrap();
+        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -190,7 +192,12 @@ mod tests {
     fn figure1_phi_does_also_violates_lsi() {
         let pps = figure1();
         let phi = DoesFact::new(AgentId(0), ActionId(0));
-        assert!(!is_local_state_independent(&pps, &phi, AgentId(0), ActionId(0)));
+        assert!(!is_local_state_independent(
+            &pps,
+            &phi,
+            AgentId(0),
+            ActionId(0)
+        ));
     }
 
     #[test]
@@ -198,7 +205,12 @@ mod tests {
         // Lemma 4.3(b): a state fact is independent of a mixed action.
         let pps = figure1();
         let phi = StateFact::<SimpleState>::new("⊤-state", |_| true);
-        assert!(is_local_state_independent(&pps, &phi, AgentId(0), ActionId(0)));
+        assert!(is_local_state_independent(
+            &pps,
+            &phi,
+            AgentId(0),
+            ActionId(0)
+        ));
         let lemma = check_lemma43(&pps, &phi, AgentId(0), ActionId(0));
         assert!(lemma.fact_past_based);
         assert!(!lemma.action_deterministic);
@@ -221,11 +233,15 @@ mod tests {
         let pps = b.build().unwrap();
 
         // "env will be 1 at the end of this run" — future-dependent.
-        let future = crate::fact::FnFact::new("env_final=1", |pps: &Pps<SimpleState, Rational>, pt| {
-            let last = pps.run_len(pt.run) as u32 - 1;
-            pps.state_at(crate::ids::Point { run: pt.run, time: last })
+        let future =
+            crate::fact::FnFact::new("env_final=1", |pps: &Pps<SimpleState, Rational>, pt| {
+                let last = pps.run_len(pt.run) as u32 - 1;
+                pps.state_at(crate::ids::Point {
+                    run: pt.run,
+                    time: last,
+                })
                 .is_some_and(|g| g.env == 1)
-        });
+            });
         assert!(!pps.is_past_based(&future));
         assert!(pps.is_deterministic_action(AgentId(0), alpha));
         assert!(is_local_state_independent(&pps, &future, AgentId(0), alpha));
@@ -239,7 +255,12 @@ mod tests {
         // sufficient, not necessary. Example: ϕ = ⊤ with a mixed action.
         let pps = figure1();
         let top = crate::fact::TrueFact;
-        assert!(is_local_state_independent(&pps, &top, AgentId(0), ActionId(0)));
+        assert!(is_local_state_independent(
+            &pps,
+            &top,
+            AgentId(0),
+            ActionId(0)
+        ));
         let lemma = check_lemma43(&pps, &top, AgentId(0), ActionId(0));
         assert!(!lemma.action_deterministic);
         assert!(lemma.fact_past_based); // ⊤ is trivially past-based

@@ -222,9 +222,8 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
 
     /// All points `Pts(T)` of the system, in (run, time) order.
     pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
-        self.run_ids().flat_map(move |run| {
-            (0..self.run_len(run) as u32).map(move |time| Point { run, time })
-        })
+        self.run_ids()
+            .flat_map(move |run| (0..self.run_len(run) as u32).map(move |time| Point { run, time }))
     }
 
     /// The runs whose paths pass through `node` (a contiguous interval in
@@ -263,12 +262,12 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         &self.runs[run.index()].prob
     }
 
-    /// The measure `µ_T(Q)` of an event.
+    /// The measure `µ_T(Q)` of an event, accumulated in place.
     #[must_use]
     pub fn measure(&self, event: &RunSet) -> P {
         let mut acc = P::zero();
         for r in event.iter() {
-            acc = acc.add(&self.runs[r.index()].prob);
+            acc.add_assign(&self.runs[r.index()].prob);
         }
         acc
     }
@@ -276,14 +275,20 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// The conditional measure `µ_T(A | B)`.
     ///
     /// Returns `None` when `µ_T(B) = 0`. Note that in a pps every edge has
-    /// strictly positive probability, so `µ_T(B) = 0` iff `B = ∅`.
+    /// strictly positive probability, so `µ_T(B) = 0` iff `B = ∅`. The
+    /// intersection measure is accumulated directly from the two bitsets;
+    /// no intermediate event is materialised.
     #[must_use]
     pub fn conditional(&self, a: &RunSet, b: &RunSet) -> Option<P> {
         let mb = self.measure(b);
         if mb.is_zero() {
             return None;
         }
-        Some(self.measure(&a.intersection(b)).div(&mb))
+        let mut mab = P::zero();
+        for r in a.iter_and(b) {
+            mab.add_assign(&self.runs[r.index()].prob);
+        }
+        Some(mab.div(&mb))
     }
 
     /// The full event `R_T`.
@@ -341,8 +346,18 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     #[must_use]
     pub fn action_event(&self, agent: AgentId, action: ActionId) -> RunSet {
         RunSet::from_predicate(self.num_runs(), |run| {
-            !self.performance_times(agent, action, run).is_empty()
+            let len = self.run_len(run) as u32;
+            (0..len).any(|t| self.does(agent, action, Point { run, time: t }))
         })
+    }
+
+    /// The number of times `agent` performs `action` in `run`, without
+    /// materialising the time list.
+    pub(crate) fn performance_count(&self, agent: AgentId, action: ActionId, run: RunId) -> usize {
+        let len = self.run_len(run) as u32;
+        (0..len)
+            .filter(|&t| self.does(agent, action, Point { run, time: t }))
+            .count()
     }
 
     /// Returns `true` if `action` is a *proper* action for `agent` (§3.1):
@@ -351,7 +366,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     pub fn is_proper(&self, agent: AgentId, action: ActionId) -> bool {
         let mut performed = false;
         for run in self.run_ids() {
-            match self.performance_times(agent, action, run).len() {
+            match self.performance_count(agent, action, run) {
                 0 => {}
                 1 => performed = true,
                 _ => return false,
@@ -364,9 +379,10 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// performs `action`, if any.
     #[must_use]
     pub fn action_point(&self, agent: AgentId, action: ActionId, run: RunId) -> Option<Point> {
-        self.performance_times(agent, action, run)
-            .first()
-            .map(|&time| Point { run, time })
+        let len = self.run_len(run) as u32;
+        (0..len)
+            .find(|&t| self.does(agent, action, Point { run, time: t }))
+            .map(|time| Point { run, time })
     }
 
     /// Rewrites the system so that every occurrence of `action` by `agent`
@@ -481,7 +497,10 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// The points of a cell: for each run in which the local state occurs,
     /// the unique point of that run realising it.
     pub fn cell_points<'a>(&'a self, cell: &'a Cell<G::Local>) -> impl Iterator<Item = Point> + 'a {
-        cell.runs.iter().map(move |run| Point { run, time: cell.time })
+        cell.runs.iter().map(move |run| Point {
+            run,
+            time: cell.time,
+        })
     }
 
     /// Two points are indistinguishable to `agent` iff they lie in the same
@@ -553,7 +572,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
             }
             let mut sum = P::zero();
             for &c in &node.children {
-                sum = sum.add(&nodes[c.index()].edge_prob);
+                sum.add_assign(&nodes[c.index()].edge_prob);
             }
             if !sum.is_one() {
                 return Err(PpsError::BadDistribution {
@@ -567,13 +586,17 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         // assign per-node run intervals.
         let mut runs: Vec<Run<P>> = Vec::new();
         {
-            let mut stack: Vec<(NodeId, Vec<NodeId>, P)> = vec![(NodeId::ROOT, Vec::new(), P::one())];
+            let mut stack: Vec<(NodeId, Vec<NodeId>, P)> =
+                vec![(NodeId::ROOT, Vec::new(), P::one())];
             while let Some((node, path, prob)) = stack.pop() {
                 let n = &nodes[node.index()];
                 if n.children.is_empty() && node != NodeId::ROOT {
                     let mut nodes_on_path = path.clone();
                     nodes_on_path.push(node);
-                    runs.push(Run { nodes: nodes_on_path, prob });
+                    runs.push(Run {
+                        nodes: nodes_on_path,
+                        prob,
+                    });
                 } else {
                     // Push children in reverse so they pop in insertion order.
                     for &c in n.children.iter().rev() {
@@ -837,8 +860,10 @@ mod tests {
     fn figure1() -> Pps<SimpleState, Rational> {
         let mut b = B::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
-        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))]).unwrap();
-        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))]).unwrap();
+        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -885,7 +910,12 @@ mod tests {
     fn action_on_initial_edge_rejected() {
         let mut b = B::new(1);
         // Abuse push through child with ROOT parent.
-        let res = b.child(NodeId::ROOT, st(0, &[0]), Rational::one(), &[(AgentId(0), ActionId(0))]);
+        let res = b.child(
+            NodeId::ROOT,
+            st(0, &[0]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        );
         assert!(matches!(res, Err(PpsError::ActionOnInitialEdge { .. })));
     }
 
@@ -906,7 +936,12 @@ mod tests {
     fn agent_out_of_range_rejected() {
         let mut b = B::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
-        let res = b.child(g0, st(0, &[1]), Rational::one(), &[(AgentId(1), ActionId(0))]);
+        let res = b.child(
+            g0,
+            st(0, &[1]),
+            Rational::one(),
+            &[(AgentId(1), ActionId(0))],
+        );
         assert!(matches!(res, Err(PpsError::AgentOutOfRange { .. })));
     }
 
@@ -944,7 +979,10 @@ mod tests {
         let ev = pps.action_event(i, alpha);
         assert_eq!(ev.len(), 1);
         let run = ev.iter().next().unwrap();
-        assert_eq!(pps.action_point(i, alpha, run), Some(Point { run, time: 0 }));
+        assert_eq!(
+            pps.action_point(i, alpha, run),
+            Some(Point { run, time: 0 })
+        );
         // α′ is also proper; a non-existent action is not.
         assert!(pps.is_proper(i, ActionId(1)));
         assert!(!pps.is_proper(i, ActionId(7)));
@@ -955,24 +993,68 @@ mod tests {
         let pps = figure1();
         // At time 0 the agent has a single local state covering both runs
         // (the mixed choice has not resolved yet).
-        let c0 = pps.cell_at(AgentId(0), Point { run: RunId(0), time: 0 }).unwrap();
-        let c1 = pps.cell_at(AgentId(0), Point { run: RunId(1), time: 0 }).unwrap();
+        let c0 = pps
+            .cell_at(
+                AgentId(0),
+                Point {
+                    run: RunId(0),
+                    time: 0,
+                },
+            )
+            .unwrap();
+        let c1 = pps
+            .cell_at(
+                AgentId(0),
+                Point {
+                    run: RunId(1),
+                    time: 0,
+                },
+            )
+            .unwrap();
         assert_eq!(c0, c1);
         assert_eq!(pps.cell(c0).runs.len(), 2);
         // At time 1 the local data differ (1 vs 2), so the cells split.
-        let d0 = pps.cell_at(AgentId(0), Point { run: RunId(0), time: 1 }).unwrap();
-        let d1 = pps.cell_at(AgentId(0), Point { run: RunId(1), time: 1 }).unwrap();
+        let d0 = pps
+            .cell_at(
+                AgentId(0),
+                Point {
+                    run: RunId(0),
+                    time: 1,
+                },
+            )
+            .unwrap();
+        let d1 = pps
+            .cell_at(
+                AgentId(0),
+                Point {
+                    run: RunId(1),
+                    time: 1,
+                },
+            )
+            .unwrap();
         assert_ne!(d0, d1);
     }
 
     #[test]
     fn indistinguishability_relation() {
         let pps = figure1();
-        let a = Point { run: RunId(0), time: 0 };
-        let b = Point { run: RunId(1), time: 0 };
+        let a = Point {
+            run: RunId(0),
+            time: 0,
+        };
+        let b = Point {
+            run: RunId(1),
+            time: 0,
+        };
         assert!(pps.indistinguishable(AgentId(0), a, b));
-        let a1 = Point { run: RunId(0), time: 1 };
-        let b1 = Point { run: RunId(1), time: 1 };
+        let a1 = Point {
+            run: RunId(0),
+            time: 1,
+        };
+        let b1 = Point {
+            run: RunId(1),
+            time: 1,
+        };
         assert!(!pps.indistinguishable(AgentId(0), a1, b1));
     }
 
@@ -990,10 +1072,20 @@ mod tests {
         let mut b = B::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
         let g1 = b
-            .child(g0, st(0, &[1]), Rational::one(), &[(AgentId(0), ActionId(0))])
+            .child(
+                g0,
+                st(0, &[1]),
+                Rational::one(),
+                &[(AgentId(0), ActionId(0))],
+            )
             .unwrap();
-        b.child(g1, st(0, &[2]), Rational::one(), &[(AgentId(0), ActionId(0))])
-            .unwrap();
+        b.child(
+            g1,
+            st(0, &[2]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
         let pps = b.build().unwrap();
         assert!(!pps.is_proper(AgentId(0), ActionId(0)));
         let (tagged, fresh) = pps.tag_occurrences(AgentId(0), ActionId(0));
@@ -1043,9 +1135,19 @@ mod tests {
     #[test]
     fn state_access() {
         let pps = figure1();
-        let s = pps.state_at(Point { run: RunId(0), time: 0 }).unwrap();
+        let s = pps
+            .state_at(Point {
+                run: RunId(0),
+                time: 0,
+            })
+            .unwrap();
         assert_eq!(s.local(AgentId(0)), 0);
-        assert!(pps.state_at(Point { run: RunId(0), time: 9 }).is_none());
+        assert!(pps
+            .state_at(Point {
+                run: RunId(0),
+                time: 9
+            })
+            .is_none());
         assert_eq!(pps.node_time(NodeId(1)), 0);
     }
 

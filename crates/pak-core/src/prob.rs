@@ -55,6 +55,21 @@ pub trait Probability: Clone + PartialEq + PartialOrd + Debug + Display + 'stati
     #[must_use]
     fn add(&self, other: &Self) -> Self;
 
+    /// In-place addition: `*self += other`.
+    ///
+    /// Accumulation loops (measures, expectations) should prefer this over
+    /// [`Probability::add`]; exact implementations can then reuse storage
+    /// or take word-sized fast paths instead of constructing a fresh value
+    /// per term.
+    fn add_assign(&mut self, other: &Self) {
+        *self = self.add(other);
+    }
+
+    /// In-place multiplication: `*self *= other`.
+    fn mul_assign(&mut self, other: &Self) {
+        *self = self.mul(other);
+    }
+
     /// Subtraction. May produce negative values (used for differences of
     /// measures in theorem reports).
     #[must_use]
@@ -121,6 +136,14 @@ impl Probability for f64 {
         self + other
     }
 
+    fn add_assign(&mut self, other: &Self) {
+        *self += other;
+    }
+
+    fn mul_assign(&mut self, other: &Self) {
+        *self *= other;
+    }
+
     fn sub(&self, other: &Self) -> Self {
         self - other
     }
@@ -173,6 +196,14 @@ impl Probability for Rational {
         self + other
     }
 
+    fn add_assign(&mut self, other: &Self) {
+        *self += other;
+    }
+
+    fn mul_assign(&mut self, other: &Self) {
+        *self *= other;
+    }
+
     fn sub(&self, other: &Self) -> Self {
         self - other
     }
@@ -206,10 +237,13 @@ impl Probability for Rational {
     }
 }
 
-/// Sums an iterator of probabilities.
+/// Sums an iterator of probabilities, accumulating in place.
 pub fn sum<'a, P: Probability>(iter: impl IntoIterator<Item = &'a P>) -> P {
-    iter.into_iter()
-        .fold(P::zero(), |acc, x| acc.add(x))
+    let mut acc = P::zero();
+    for x in iter {
+        acc.add_assign(x);
+    }
+    acc
 }
 
 #[cfg(test)]

@@ -163,15 +163,34 @@ mod tests {
 
     #[test]
     fn local_state_identity_includes_time() {
-        let a = LocalState { agent: AgentId(0), time: 1, data: 7u64 };
-        let b = LocalState { agent: AgentId(0), time: 2, data: 7u64 };
-        assert_ne!(a, b, "same data at different times must be distinct local states");
+        let a = LocalState {
+            agent: AgentId(0),
+            time: 1,
+            data: 7u64,
+        };
+        let b = LocalState {
+            agent: AgentId(0),
+            time: 2,
+            data: 7u64,
+        };
+        assert_ne!(
+            a, b,
+            "same data at different times must be distinct local states"
+        );
     }
 
     #[test]
     fn local_state_identity_includes_agent() {
-        let a = LocalState { agent: AgentId(0), time: 1, data: 7u64 };
-        let b = LocalState { agent: AgentId(1), time: 1, data: 7u64 };
+        let a = LocalState {
+            agent: AgentId(0),
+            time: 1,
+            data: 7u64,
+        };
+        let b = LocalState {
+            agent: AgentId(1),
+            time: 1,
+            data: 7u64,
+        };
         assert_ne!(a, b);
     }
 
@@ -179,7 +198,11 @@ mod tests {
     fn display_forms() {
         let g = SimpleState::new(0, vec![1]);
         assert!(g.to_string().contains("env=0"));
-        let l = LocalState { agent: AgentId(0), time: 3, data: 1u64 };
+        let l = LocalState {
+            agent: AgentId(0),
+            time: 3,
+            data: 1u64,
+        };
         assert!(l.to_string().contains("t=3"));
     }
 

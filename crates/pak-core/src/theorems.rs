@@ -237,8 +237,7 @@ pub fn check_pak<G: GlobalState, P: Probability>(
     let premise_holds = independent && constraint_probability.at_least(&premise_threshold);
     let strong_belief_measure = analysis.threshold_measure(&eps.one_minus());
     let conclusion_threshold = delta.one_minus();
-    let implication_holds =
-        !premise_holds || strong_belief_measure.at_least(&conclusion_threshold);
+    let implication_holds = !premise_holds || strong_belief_measure.at_least(&conclusion_threshold);
     Ok(PakReport {
         independent,
         constraint_probability,
@@ -345,8 +344,10 @@ mod tests {
     fn figure1() -> Pps<SimpleState, Rational> {
         let mut b = PpsBuilder::new(1);
         let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
-        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))]).unwrap();
-        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))]).unwrap();
+        b.child(g0, st(0, &[1]), r(1, 2), &[(AgentId(0), ActionId(0))])
+            .unwrap();
+        b.child(g0, st(0, &[2]), r(1, 2), &[(AgentId(0), ActionId(1))])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -360,11 +361,16 @@ mod tests {
         let i = AgentId(0);
         let eps_over_p = &eps / &p;
         let t0 = b.child(s0, st(0, &[1, 0]), Rational::one(), &[]).unwrap();
-        let t1m = b.child(s1, st(0, &[1, 1]), eps_over_p.one_minus(), &[]).unwrap();
+        let t1m = b
+            .child(s1, st(0, &[1, 1]), eps_over_p.one_minus(), &[])
+            .unwrap();
         let t1m2 = b.child(s1, st(0, &[2, 1]), eps_over_p, &[]).unwrap();
-        b.child(t0, st(0, &[1, 0]), Rational::one(), &[(i, alpha)]).unwrap();
-        b.child(t1m, st(0, &[1, 1]), Rational::one(), &[(i, alpha)]).unwrap();
-        b.child(t1m2, st(0, &[2, 1]), Rational::one(), &[(i, alpha)]).unwrap();
+        b.child(t0, st(0, &[1, 0]), Rational::one(), &[(i, alpha)])
+            .unwrap();
+        b.child(t1m, st(0, &[1, 1]), Rational::one(), &[(i, alpha)])
+            .unwrap();
+        b.child(t1m2, st(0, &[2, 1]), Rational::one(), &[(i, alpha)])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -374,7 +380,11 @@ mod tests {
 
     #[test]
     fn expectation_theorem_on_theorem52_family() {
-        for (p, e) in [(r(3, 4), r(1, 4)), (r(9, 10), r(1, 100)), (r(1, 2), r(1, 3))] {
+        for (p, e) in [
+            (r(3, 4), r(1, 4)),
+            (r(9, 10), r(1, 100)),
+            (r(1, 2), r(1, 3)),
+        ] {
             let pps = theorem52(p.clone(), e);
             let rep = check_expectation(&pps, AgentId(0), ActionId(0), &bit_fact()).unwrap();
             assert!(rep.independence.independent);
@@ -433,8 +443,7 @@ mod tests {
     #[test]
     fn necessity_witness_exists() {
         let pps = theorem52(r(3, 4), r(1, 4));
-        let rep =
-            check_necessity(&pps, AgentId(0), ActionId(0), &bit_fact(), &r(3, 4)).unwrap();
+        let rep = check_necessity(&pps, AgentId(0), ActionId(0), &bit_fact(), &r(3, 4)).unwrap();
         assert!(rep.independent);
         assert!(rep.implication_holds);
         // The witness is the m′ run, where belief = 1.
@@ -478,7 +487,13 @@ mod tests {
             // A system where ϕ always holds at the action point.
             let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
             let g0 = b.initial(st(1, &[0]), Rational::one()).unwrap();
-            b.child(g0, st(1, &[0]), Rational::one(), &[(AgentId(0), ActionId(0))]).unwrap();
+            b.child(
+                g0,
+                st(1, &[0]),
+                Rational::one(),
+                &[(AgentId(0), ActionId(0))],
+            )
+            .unwrap();
             b.build().unwrap()
         };
         let phi = StateFact::<SimpleState>::new("env=1", |g| g.env == 1);

@@ -127,8 +127,8 @@ pub fn belief_envelope<G: GlobalState, P: Probability>(
                 .belief(agent, fact, Point { run, time: t })
                 .expect("time within run");
             let p = pps.run_probability(run);
-            weighted = weighted.add(&p.mul(&b));
-            mass = mass.add(p);
+            weighted.add_assign(&p.mul(&b));
+            mass.add_assign(p);
             lo = Some(match lo {
                 None => b.clone(),
                 Some(cur) => {
@@ -177,14 +177,27 @@ mod tests {
         let yes = b.initial(SimpleState::new(1, vec![0]), r(2, 3)).unwrap();
         let no = b.initial(SimpleState::new(0, vec![0]), r(1, 3)).unwrap();
         // Signal correct w.p. 3/4 (local 1 = "looks true", 2 = "looks false").
-        let y_t = b.child(yes, SimpleState::new(1, vec![1]), r(3, 4), &[]).unwrap();
-        let y_f = b.child(yes, SimpleState::new(1, vec![2]), r(1, 4), &[]).unwrap();
-        let n_t = b.child(no, SimpleState::new(0, vec![1]), r(1, 4), &[]).unwrap();
-        let n_f = b.child(no, SimpleState::new(0, vec![2]), r(3, 4), &[]).unwrap();
+        let y_t = b
+            .child(yes, SimpleState::new(1, vec![1]), r(3, 4), &[])
+            .unwrap();
+        let y_f = b
+            .child(yes, SimpleState::new(1, vec![2]), r(1, 4), &[])
+            .unwrap();
+        let n_t = b
+            .child(no, SimpleState::new(0, vec![1]), r(1, 4), &[])
+            .unwrap();
+        let n_f = b
+            .child(no, SimpleState::new(0, vec![2]), r(3, 4), &[])
+            .unwrap();
         // Full reveal at t=2 (local = 10 + truth).
         for (node, env) in [(y_t, 1u64), (y_f, 1), (n_t, 0), (n_f, 0)] {
-            b.child(node, SimpleState::new(env, vec![10 + env]), Rational::one(), &[])
-                .unwrap();
+            b.child(
+                node,
+                SimpleState::new(env, vec![10 + env]),
+                Rational::one(),
+                &[],
+            )
+            .unwrap();
         }
         b.build().unwrap()
     }
@@ -227,12 +240,7 @@ mod tests {
         let pps = gradual_reveal();
         let env = belief_envelope(&pps, AgentId(0), &truth());
         // Width grows: 0 at t=0 (single cell), wider at t=1, full at t=2.
-        let width: Vec<Rational> = env
-            .max
-            .iter()
-            .zip(&env.min)
-            .map(|(h, l)| h - l)
-            .collect();
+        let width: Vec<Rational> = env.max.iter().zip(&env.min).map(|(h, l)| h - l).collect();
         assert_eq!(width[0], Rational::zero());
         assert_eq!(width[1], r(6, 7) - r(2, 5));
         assert_eq!(width[2], Rational::one());

@@ -84,7 +84,11 @@ pub fn to_dot<G: GlobalState, P: Probability>(pps: &Pps<G, P>, options: &DotOpti
             let is_leaf = pps.children(child).next().is_none();
             let label = if options.show_states {
                 let t = pps.node_time(child);
-                format!("t={}\\n{}", t, escape(&format!("{:?}", pps.node_state(child))))
+                format!(
+                    "t={}\\n{}",
+                    t,
+                    escape(&format!("{:?}", pps.node_state(child)))
+                )
             } else {
                 format!("t={}", pps.node_time(child))
             };
@@ -158,10 +162,20 @@ mod tests {
     fn small_pps() -> Pps<SimpleState, Rational> {
         let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
         let g0 = b.initial(SimpleState::zeroed(1), Rational::one()).unwrap();
-        b.child(g0, SimpleState::new(1, vec![1]), Rational::from_ratio(1, 2), &[(AgentId(0), ActionId(0))])
-            .unwrap();
-        b.child(g0, SimpleState::new(2, vec![2]), Rational::from_ratio(1, 2), &[])
-            .unwrap();
+        b.child(
+            g0,
+            SimpleState::new(1, vec![1]),
+            Rational::from_ratio(1, 2),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
+        b.child(
+            g0,
+            SimpleState::new(2, vec![2]),
+            Rational::from_ratio(1, 2),
+            &[],
+        )
+        .unwrap();
         let mut pps = b.build().unwrap();
         pps.set_action_name(ActionId(0), "α");
         pps
@@ -186,7 +200,11 @@ mod tests {
         let pps = small_pps();
         let bare = to_dot(
             &pps,
-            &DotOptions { name: "g".into(), show_states: false, mark_leaves: false },
+            &DotOptions {
+                name: "g".into(),
+                show_states: false,
+                mark_leaves: false,
+            },
         );
         assert!(bare.starts_with("digraph g {"));
         assert!(!bare.contains("SimpleState"));

@@ -116,9 +116,15 @@ mod tests {
         // locals reveal env to the agent.
         let good = b.initial(SimpleState::new(1, vec![1]), r(2, 3)).unwrap();
         let bad = b.initial(SimpleState::new(0, vec![0]), r(1, 3)).unwrap();
-        b.child(good, SimpleState::new(1, vec![1]), Rational::one(), &[(AgentId(0), ActionId(0))])
+        b.child(
+            good,
+            SimpleState::new(1, vec![1]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
+        b.child(bad, SimpleState::new(0, vec![0]), Rational::one(), &[])
             .unwrap();
-        b.child(bad, SimpleState::new(0, vec![0]), Rational::one(), &[]).unwrap();
         b.build().unwrap()
     }
 
@@ -131,7 +137,8 @@ mod tests {
         // The Knowledge-of-Preconditions schema: does(α) → K_i(ok).
         let pps = kop_system();
         let mc = ModelChecker::new(&pps);
-        let schema = Formula::does(AgentId(0), ActionId(0)).implies(Formula::knows(AgentId(0), ok()));
+        let schema =
+            Formula::does(AgentId(0), ActionId(0)).implies(Formula::knows(AgentId(0), ok()));
         assert!(mc.valid(&schema));
         assert!(mc.counterexample(&schema).is_none());
     }
@@ -142,20 +149,34 @@ mod tests {
         let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
         let good = b.initial(SimpleState::new(1, vec![0]), r(2, 3)).unwrap();
         let bad = b.initial(SimpleState::new(0, vec![0]), r(1, 3)).unwrap();
-        b.child(good, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))])
-            .unwrap();
-        b.child(bad, SimpleState::new(0, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))])
-            .unwrap();
+        b.child(
+            good,
+            SimpleState::new(1, vec![0]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
+        b.child(
+            bad,
+            SimpleState::new(0, vec![0]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
         let pps = b.build().unwrap();
         let mc = ModelChecker::new(&pps);
-        let schema = Formula::does(AgentId(0), ActionId(0)).implies(Formula::knows(AgentId(0), ok()));
+        let schema =
+            Formula::does(AgentId(0), ActionId(0)).implies(Formula::knows(AgentId(0), ok()));
         assert!(!mc.valid(&schema));
         let cex = mc.counterexample(&schema).unwrap();
         // The counterexample is an acting point where ok fails or is unknown.
         assert!(Formula::does(AgentId(0), ActionId(0)).holds_at(&pps, cex));
         // But the probabilistic weakening holds: belief ≥ 2/3 when acting.
-        let weak = Formula::does(AgentId(0), ActionId(0))
-            .implies(Formula::believes_at_least(AgentId(0), ok(), r(2, 3)));
+        let weak = Formula::does(AgentId(0), ActionId(0)).implies(Formula::believes_at_least(
+            AgentId(0),
+            ok(),
+            r(2, 3),
+        ));
         assert!(mc.valid(&weak));
     }
 

@@ -219,7 +219,10 @@ mod tests {
         let both = [AgentId(0), AgentId(1)];
         let c = common_belief(&pps, &both, &Rational::one(), &heads());
         assert_eq!(c.len(), 1);
-        assert!(c.contains(&Point { run: RunId(0), time: 0 }));
+        assert!(c.contains(&Point {
+            run: RunId(0),
+            time: 0
+        }));
     }
 
     #[test]
@@ -229,7 +232,10 @@ mod tests {
         // Agent 1's belief in heads is ¾ everywhere; agent 0 knows. Common
         // p-belief for p ≤ ¾ holds at the heads point; for p > ¾ nowhere.
         let c_low = common_belief(&pps, &both, &r(3, 4), &heads());
-        assert!(c_low.contains(&Point { run: RunId(0), time: 0 }));
+        assert!(c_low.contains(&Point {
+            run: RunId(0),
+            time: 0
+        }));
         let c_high = common_belief(&pps, &both, &r(9, 10), &heads());
         assert!(c_high.is_empty());
     }

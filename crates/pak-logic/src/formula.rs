@@ -170,11 +170,27 @@ impl<G: GlobalState, P: Probability> Formula<G, P> {
             }
             Formula::Eventually(inner) => {
                 let len = pps.run_len(point.run) as u32;
-                (point.time..len).any(|t| inner.holds_at(pps, Point { run: point.run, time: t }))
+                (point.time..len).any(|t| {
+                    inner.holds_at(
+                        pps,
+                        Point {
+                            run: point.run,
+                            time: t,
+                        },
+                    )
+                })
             }
             Formula::Always(inner) => {
                 let len = pps.run_len(point.run) as u32;
-                (point.time..len).all(|t| inner.holds_at(pps, Point { run: point.run, time: t }))
+                (point.time..len).all(|t| {
+                    inner.holds_at(
+                        pps,
+                        Point {
+                            run: point.run,
+                            time: t,
+                        },
+                    )
+                })
             }
         }
     }
@@ -254,8 +270,10 @@ mod tests {
         let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
         let h = b.initial(SimpleState::new(1, vec![0]), r(3, 4)).unwrap();
         let t = b.initial(SimpleState::new(0, vec![0]), r(1, 4)).unwrap();
-        b.child(h, SimpleState::new(1, vec![1]), Rational::one(), &[]).unwrap();
-        b.child(t, SimpleState::new(0, vec![2]), Rational::one(), &[]).unwrap();
+        b.child(h, SimpleState::new(1, vec![1]), Rational::one(), &[])
+            .unwrap();
+        b.child(t, SimpleState::new(0, vec![2]), Rational::one(), &[])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -266,7 +284,10 @@ mod tests {
     #[test]
     fn propositional_connectives() {
         let pps = reveal_system();
-        let pt = Point { run: RunId(0), time: 0 };
+        let pt = Point {
+            run: RunId(0),
+            time: 0,
+        };
         assert!(Formula::<SimpleState, Rational>::True.holds_at(&pps, pt));
         assert!(!Formula::<SimpleState, Rational>::False.holds_at(&pps, pt));
         assert!(heads().holds_at(&pps, pt));
@@ -281,10 +302,28 @@ mod tests {
         let pps = reveal_system();
         let k_heads = Formula::knows(AgentId(0), heads());
         // At t=0 the agent cannot distinguish the two runs: no knowledge.
-        assert!(!k_heads.holds_at(&pps, Point { run: RunId(0), time: 0 }));
+        assert!(!k_heads.holds_at(
+            &pps,
+            Point {
+                run: RunId(0),
+                time: 0
+            }
+        ));
         // At t=1 the observation reveals the bit: knowledge on the heads run.
-        assert!(k_heads.holds_at(&pps, Point { run: RunId(0), time: 1 }));
-        assert!(!k_heads.holds_at(&pps, Point { run: RunId(1), time: 1 }));
+        assert!(k_heads.holds_at(
+            &pps,
+            Point {
+                run: RunId(0),
+                time: 1
+            }
+        ));
+        assert!(!k_heads.holds_at(
+            &pps,
+            Point {
+                run: RunId(1),
+                time: 1
+            }
+        ));
     }
 
     #[test]
@@ -301,14 +340,25 @@ mod tests {
     #[test]
     fn belief_modality_thresholds() {
         let pps = reveal_system();
-        let pt0 = Point { run: RunId(0), time: 0 };
+        let pt0 = Point {
+            run: RunId(0),
+            time: 0,
+        };
         // β(heads) = ¾ at time 0.
         assert!(Formula::believes_at_least(AgentId(0), heads(), r(3, 4)).holds_at(&pps, pt0));
         assert!(!Formula::believes_at_least(AgentId(0), heads(), r(4, 5)).holds_at(&pps, pt0));
         // After the reveal, belief is 1 or 0.
-        let pt1 = Point { run: RunId(0), time: 1 };
-        assert!(Formula::believes_at_least(AgentId(0), heads(), Rational::one()).holds_at(&pps, pt1));
-        let pt1t = Point { run: RunId(1), time: 1 };
+        let pt1 = Point {
+            run: RunId(0),
+            time: 1,
+        };
+        assert!(
+            Formula::believes_at_least(AgentId(0), heads(), Rational::one()).holds_at(&pps, pt1)
+        );
+        let pt1t = Point {
+            run: RunId(1),
+            time: 1,
+        };
         assert!(!Formula::believes_at_least(AgentId(0), heads(), r(1, 100)).holds_at(&pps, pt1t));
     }
 
@@ -316,8 +366,11 @@ mod tests {
     fn knowledge_implies_belief_one() {
         // K_i ϕ → B_i^{≥1} ϕ on a concrete system.
         let pps = reveal_system();
-        let schema = Formula::knows(AgentId(0), heads())
-            .implies(Formula::believes_at_least(AgentId(0), heads(), Rational::one()));
+        let schema = Formula::knows(AgentId(0), heads()).implies(Formula::believes_at_least(
+            AgentId(0),
+            heads(),
+            Rational::one(),
+        ));
         for pt in pps.points().collect::<Vec<_>>() {
             assert!(schema.holds_at(&pps, pt));
         }
@@ -326,11 +379,19 @@ mod tests {
     #[test]
     fn temporal_modalities() {
         let pps = reveal_system();
-        let observed = Formula::atom(StateFact::new("observed", |g: &SimpleState| g.locals[0] != 0));
-        let pt0 = Point { run: RunId(0), time: 0 };
+        let observed = Formula::atom(StateFact::new("observed", |g: &SimpleState| {
+            g.locals[0] != 0
+        }));
+        let pt0 = Point {
+            run: RunId(0),
+            time: 0,
+        };
         assert!(observed.clone().eventually().holds_at(&pps, pt0));
         assert!(!observed.clone().always().holds_at(&pps, pt0));
-        let pt1 = Point { run: RunId(0), time: 1 };
+        let pt1 = Point {
+            run: RunId(0),
+            time: 1,
+        };
         assert!(observed.always().holds_at(&pps, pt1));
         // heads is constant: always ↔ eventually at every point of run 0.
         assert!(heads().always().holds_at(&pps, pt0));
@@ -345,13 +406,22 @@ mod tests {
             .or(Formula::knows(AgentId(0), heads().not()))
             .eventually();
         let f = Formula::believes_at_least(AgentId(0), will_know, Rational::one());
-        assert!(f.holds_at(&pps, Point { run: RunId(0), time: 0 }));
+        assert!(f.holds_at(
+            &pps,
+            Point {
+                run: RunId(0),
+                time: 0
+            }
+        ));
     }
 
     #[test]
     fn beyond_run_end_fails_everything() {
         let pps = reveal_system();
-        let beyond = Point { run: RunId(0), time: 42 };
+        let beyond = Point {
+            run: RunId(0),
+            time: 42,
+        };
         assert!(!Formula::<SimpleState, Rational>::True.holds_at(&pps, beyond));
         assert!(!heads().not().holds_at(&pps, beyond));
     }
@@ -374,9 +444,16 @@ mod tests {
         // Figure-1-like system with an action; use a formula as the
         // condition of an analysis.
         let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
-        let g0 = b.initial(SimpleState::new(1, vec![0]), Rational::one()).unwrap();
-        b.child(g0, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), ActionId(0))])
+        let g0 = b
+            .initial(SimpleState::new(1, vec![0]), Rational::one())
             .unwrap();
+        b.child(
+            g0,
+            SimpleState::new(1, vec![0]),
+            Rational::one(),
+            &[(AgentId(0), ActionId(0))],
+        )
+        .unwrap();
         let pps = b.build().unwrap();
         let phi = heads();
         let a = ActionAnalysis::new(&pps, AgentId(0), ActionId(0), &phi).unwrap();

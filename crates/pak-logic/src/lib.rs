@@ -52,6 +52,8 @@ pub mod formula;
 pub mod parser;
 
 pub use check::ModelChecker;
-pub use common::{common_belief, common_belief_report, everyone_believes, CommonBeliefReport, PointSet};
+pub use common::{
+    common_belief, common_belief_report, everyone_believes, CommonBeliefReport, PointSet,
+};
 pub use formula::{Formula, FormulaFact};
 pub use parser::{FormulaParser, ParseFormulaError};

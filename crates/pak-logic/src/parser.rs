@@ -80,11 +80,17 @@ impl<G: GlobalState, P: Probability> FormulaParser<G, P> {
     /// An empty parser (only the built-in syntax, no atoms).
     #[must_use]
     pub fn new() -> Self {
-        FormulaParser { atoms: HashMap::new() }
+        FormulaParser {
+            atoms: HashMap::new(),
+        }
     }
 
     /// Registers an atom under `name`. Re-registering replaces the binding.
-    pub fn atom(&mut self, name: impl Into<String>, fact: impl Fact<G, P> + Send + Sync + 'static) -> &mut Self {
+    pub fn atom(
+        &mut self,
+        name: impl Into<String>,
+        fact: impl Fact<G, P> + Send + Sync + 'static,
+    ) -> &mut Self {
         self.atoms.insert(name.into(), Arc::new(fact));
         self
     }
@@ -281,7 +287,11 @@ impl Cursor<'_> {
 
     fn parse_number(&mut self, what: &str) -> Result<u32, ParseFormulaError> {
         self.skip_ws();
-        let digits: String = self.rest().chars().take_while(char::is_ascii_digit).collect();
+        let digits: String = self
+            .rest()
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
         if digits.is_empty() {
             return Err(self.error(&format!("expected {what}")));
         }
@@ -347,8 +357,14 @@ mod tests {
 
     fn parser() -> FormulaParser<SimpleState, Rational> {
         let mut p = FormulaParser::new();
-        p.atom("heads", StateFact::new("heads", |g: &SimpleState| g.env == 1));
-        p.atom("ok_2", StateFact::new("ok_2", |g: &SimpleState| g.locals[0] == 2));
+        p.atom(
+            "heads",
+            StateFact::new("heads", |g: &SimpleState| g.env == 1),
+        );
+        p.atom(
+            "ok_2",
+            StateFact::new("ok_2", |g: &SimpleState| g.locals[0] == 2),
+        );
         p
     }
 
@@ -390,12 +406,17 @@ mod tests {
     #[test]
     fn parsed_formula_evaluates() {
         let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
-        b.initial(SimpleState::new(1, vec![0]), Rational::from_ratio(3, 4)).unwrap();
-        b.initial(SimpleState::new(0, vec![0]), Rational::from_ratio(1, 4)).unwrap();
+        b.initial(SimpleState::new(1, vec![0]), Rational::from_ratio(3, 4))
+            .unwrap();
+        b.initial(SimpleState::new(0, vec![0]), Rational::from_ratio(1, 4))
+            .unwrap();
         let pps = b.build().unwrap();
         let p = parser();
         let f = p.parse("B0{>=3/4} heads & !K0 heads").unwrap();
-        let pt = pak_core::ids::Point { run: pak_core::ids::RunId(0), time: 0 };
+        let pt = pak_core::ids::Point {
+            run: pak_core::ids::RunId(0),
+            time: 0,
+        };
         assert!(f.holds_at(&pps, pt));
     }
 

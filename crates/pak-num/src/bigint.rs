@@ -89,7 +89,11 @@ impl BigInt {
         if magnitude.is_zero() {
             BigInt::zero()
         } else {
-            let sign = if sign == Sign::Zero { Sign::Positive } else { sign };
+            let sign = if sign == Sign::Zero {
+                Sign::Positive
+            } else {
+                sign
+            };
             BigInt { sign, magnitude }
         }
     }
@@ -281,14 +285,12 @@ impl Add for &BigInt {
                 // Opposite signs: subtract the smaller magnitude from the larger.
                 match self.magnitude.cmp(&rhs.magnitude) {
                     Ordering::Equal => BigInt::zero(),
-                    Ordering::Greater => BigInt::from_sign_magnitude(
-                        self.sign,
-                        &self.magnitude - &rhs.magnitude,
-                    ),
-                    Ordering::Less => BigInt::from_sign_magnitude(
-                        rhs.sign,
-                        &rhs.magnitude - &self.magnitude,
-                    ),
+                    Ordering::Greater => {
+                        BigInt::from_sign_magnitude(self.sign, &self.magnitude - &rhs.magnitude)
+                    }
+                    Ordering::Less => {
+                        BigInt::from_sign_magnitude(rhs.sign, &rhs.magnitude - &self.magnitude)
+                    }
                 }
             }
         }
@@ -306,6 +308,19 @@ impl Mul for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
         BigInt::from_sign_magnitude(self.sign.mul(rhs.sign), &self.magnitude * &rhs.magnitude)
+    }
+}
+
+impl Mul<&BigUint> for &BigInt {
+    type Output = BigInt;
+    /// Scales by an unsigned value without round-tripping it through a
+    /// signed wrapper — the hot cross-multiplication in `Rational` uses
+    /// this to stay clone-free.
+    fn mul(self, rhs: &BigUint) -> BigInt {
+        if rhs.is_zero() {
+            return BigInt::zero();
+        }
+        BigInt::from_sign_magnitude(self.sign, &self.magnitude * rhs)
     }
 }
 

@@ -1,4 +1,4 @@
-//! Unsigned arbitrary-precision integers.
+//! Unsigned arbitrary-precision integers with a small-value fast path.
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -9,8 +9,22 @@ use crate::parse::ParseNumberError;
 
 /// An unsigned arbitrary-precision integer.
 ///
-/// The value is stored as little-endian base-2³² limbs with no trailing zero
-/// limbs; the empty limb vector represents zero. All arithmetic is exact.
+/// # Representation
+///
+/// The value is stored in one of two variants:
+///
+/// * **Inline** — any value that fits in a `u64` is held directly in the
+///   enum, with no heap allocation. All arithmetic between inline values
+///   runs on machine words (widening to `u128` where needed) and never
+///   touches the allocator.
+/// * **Heap** — values strictly greater than `u64::MAX` are stored as
+///   little-endian base-2³² limbs with no trailing zero limbs (so the limb
+///   vector always has at least three limbs).
+///
+/// The representation is **canonical**: a given value has exactly one
+/// representation, so the derived `PartialEq`/`Hash` are value equality and
+/// every heap result that shrinks back into word range is re-inlined by
+/// [`BigUint::from_limbs`]. All arithmetic is exact.
 ///
 /// # Examples
 ///
@@ -21,13 +35,41 @@ use crate::parse::ParseNumberError;
 /// let b = &a * &a;
 /// assert_eq!(b.to_string(), format!("1{}", "0".repeat(60)));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BigUint {
-    /// Little-endian limbs, normalised: `limbs.last() != Some(&0)`.
-    limbs: Vec<u32>,
+    repr: Repr,
+}
+
+/// The two storage variants. Invariant: `Heap` holds only values greater
+/// than `u64::MAX`, as normalised little-endian limbs (≥ 3 limbs, no
+/// trailing zeros); everything else is `Inline`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Inline(u64),
+    Heap(Vec<u32>),
 }
 
 const LIMB_BITS: u32 = 32;
+
+/// A stack-resident view of a value's limbs: inline values materialise at
+/// most two limbs in a local buffer, heap values borrow their vector. This
+/// is what lets the mixed inline/heap code paths share one set of limb
+/// algorithms without allocating.
+struct LimbView<'a> {
+    buf: [u32; 2],
+    len: usize,
+    heap: Option<&'a [u32]>,
+}
+
+impl LimbView<'_> {
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        match self.heap {
+            Some(h) => h,
+            None => &self.buf[..self.len],
+        }
+    }
+}
 
 impl BigUint {
     /// The value `0`.
@@ -38,7 +80,9 @@ impl BigUint {
     /// ```
     #[must_use]
     pub fn zero() -> Self {
-        BigUint { limbs: Vec::new() }
+        BigUint {
+            repr: Repr::Inline(0),
+        }
     }
 
     /// The value `1`.
@@ -49,28 +93,94 @@ impl BigUint {
     /// ```
     #[must_use]
     pub fn one() -> Self {
-        BigUint { limbs: vec![1] }
+        BigUint {
+            repr: Repr::Inline(1),
+        }
     }
 
-    /// Creates a value from little-endian limbs, normalising trailing zeros.
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        BigUint {
+            repr: Repr::Inline(v),
+        }
+    }
+
+    fn from_u128_value(v: u128) -> Self {
+        match u64::try_from(v) {
+            Ok(w) => Self::from_u64(w),
+            Err(_) => {
+                let mut limbs = Vec::with_capacity(4);
+                let mut rest = v;
+                while rest != 0 {
+                    limbs.push((rest & 0xFFFF_FFFF) as u32);
+                    rest >>= 32;
+                }
+                debug_assert!(limbs.len() >= 3);
+                BigUint {
+                    repr: Repr::Heap(limbs),
+                }
+            }
+        }
+    }
+
+    /// Creates a value from little-endian limbs, normalising trailing zeros
+    /// and re-inlining word-sized results.
     #[must_use]
     pub(crate) fn from_limbs(mut limbs: Vec<u32>) -> Self {
         while limbs.last() == Some(&0) {
             limbs.pop();
         }
-        BigUint { limbs }
+        match limbs.len() {
+            0 => Self::zero(),
+            1 => Self::from_u64(u64::from(limbs[0])),
+            2 => Self::from_u64(u64::from(limbs[0]) | (u64::from(limbs[1]) << 32)),
+            _ => BigUint {
+                repr: Repr::Heap(limbs),
+            },
+        }
+    }
+
+    /// Returns `true` if the value is held inline (fits in a `u64`).
+    ///
+    /// Exposed so property tests can assert the representation is
+    /// canonical; not needed for ordinary arithmetic.
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+
+    /// The limbs of the value as a borrowable stack view.
+    #[inline]
+    fn view(&self) -> LimbView<'_> {
+        match &self.repr {
+            Repr::Inline(v) => {
+                let lo = (*v & 0xFFFF_FFFF) as u32;
+                let hi = (*v >> 32) as u32;
+                let len = if hi != 0 { 2 } else { usize::from(lo != 0) };
+                LimbView {
+                    buf: [lo, hi],
+                    len,
+                    heap: None,
+                }
+            }
+            Repr::Heap(limbs) => LimbView {
+                buf: [0, 0],
+                len: limbs.len(),
+                heap: Some(limbs),
+            },
+        }
     }
 
     /// Returns `true` if the value is zero.
     #[must_use]
     pub fn is_zero(&self) -> bool {
-        self.limbs.is_empty()
+        matches!(self.repr, Repr::Inline(0))
     }
 
     /// Returns `true` if the value is one.
     #[must_use]
     pub fn is_one(&self) -> bool {
-        self.limbs == [1]
+        matches!(self.repr, Repr::Inline(1))
     }
 
     /// Number of significant bits (0 for the value zero).
@@ -83,10 +193,11 @@ impl BigUint {
     /// ```
     #[must_use]
     pub fn bits(&self) -> u64 {
-        match self.limbs.last() {
-            None => 0,
-            Some(&top) => {
-                (self.limbs.len() as u64 - 1) * u64::from(LIMB_BITS)
+        match &self.repr {
+            Repr::Inline(v) => u64::from(64 - v.leading_zeros()),
+            Repr::Heap(limbs) => {
+                let top = *limbs.last().expect("heap repr is non-empty");
+                (limbs.len() as u64 - 1) * u64::from(LIMB_BITS)
                     + u64::from(LIMB_BITS - top.leading_zeros())
             }
         }
@@ -95,25 +206,28 @@ impl BigUint {
     /// Returns the value as `u64` if it fits.
     #[must_use]
     pub fn to_u64(&self) -> Option<u64> {
-        match self.limbs.len() {
-            0 => Some(0),
-            1 => Some(u64::from(self.limbs[0])),
-            2 => Some(u64::from(self.limbs[0]) | (u64::from(self.limbs[1]) << 32)),
-            _ => None,
+        match &self.repr {
+            Repr::Inline(v) => Some(*v),
+            Repr::Heap(_) => None,
         }
     }
 
     /// Returns the value as `u128` if it fits.
     #[must_use]
     pub fn to_u128(&self) -> Option<u128> {
-        if self.limbs.len() > 4 {
-            return None;
+        match &self.repr {
+            Repr::Inline(v) => Some(u128::from(*v)),
+            Repr::Heap(limbs) => {
+                if limbs.len() > 4 {
+                    return None;
+                }
+                let mut out: u128 = 0;
+                for (i, &l) in limbs.iter().enumerate() {
+                    out |= u128::from(l) << (32 * i);
+                }
+                Some(out)
+            }
         }
-        let mut out: u128 = 0;
-        for (i, &l) in self.limbs.iter().enumerate() {
-            out |= u128::from(l) << (32 * i);
-        }
-        Some(out)
     }
 
     /// Lossy conversion to `f64`.
@@ -121,15 +235,11 @@ impl BigUint {
     /// Values larger than `f64::MAX` convert to `f64::INFINITY`.
     #[must_use]
     pub fn to_f64(&self) -> f64 {
-        let bits = self.bits();
-        if bits == 0 {
-            return 0.0;
-        }
-        if bits <= 64 {
-            // Fits exactly in the integer range of the conversion.
+        if let Repr::Inline(v) = self.repr {
             #[allow(clippy::cast_precision_loss)]
-            return self.to_u64().expect("bits <= 64") as f64;
+            return v as f64;
         }
+        let bits = self.bits();
         // Take the top 64 bits as the mantissa and scale by the remaining exponent.
         let shift = bits - 64;
         let top = (self >> shift).to_u64().expect("shifted to 64 bits");
@@ -137,11 +247,13 @@ impl BigUint {
         let mantissa = top as f64;
         #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
         {
-            mantissa * 2f64.powi(shift.min(u64::from(u32::MAX)) as i32)
+            // Clamp to i32::MAX (not u32::MAX, which would wrap negative);
+            // powi saturates to INFINITY well before the clamp engages.
+            mantissa * 2f64.powi(shift.min(i32::MAX as u64) as i32)
         }
     }
 
-    /// Compares two values.
+    /// Compares two limb slices.
     fn cmp_limbs(a: &[u32], b: &[u32]) -> Ordering {
         if a.len() != b.len() {
             return a.len().cmp(&b.len());
@@ -166,14 +278,26 @@ impl BigUint {
     /// ```
     #[must_use]
     pub fn checked_sub(&self, other: &Self) -> Option<Self> {
-        if Self::cmp_limbs(&self.limbs, &other.limbs) == Ordering::Less {
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a.checked_sub(*b).map(Self::from_u64),
+            (Repr::Inline(_), Repr::Heap(_)) => None, // heap values exceed u64
+            _ => {
+                let (av, bv) = (self.view(), other.view());
+                Self::sub_slices(av.as_slice(), bv.as_slice())
+            }
+        }
+    }
+
+    /// `a − b` over limb slices, or `None` on underflow.
+    fn sub_slices(a: &[u32], b: &[u32]) -> Option<BigUint> {
+        if Self::cmp_limbs(a, b) == Ordering::Less {
             return None;
         }
-        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut out = Vec::with_capacity(a.len());
         let mut borrow: i64 = 0;
-        for i in 0..self.limbs.len() {
-            let rhs = other.limbs.get(i).copied().unwrap_or(0);
-            let v = i64::from(self.limbs[i]) - i64::from(rhs) - borrow;
+        for (i, &lhs) in a.iter().enumerate() {
+            let rhs = b.get(i).copied().unwrap_or(0);
+            let v = i64::from(lhs) - i64::from(rhs) - borrow;
             if v < 0 {
                 out.push((v + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -188,7 +312,9 @@ impl BigUint {
 
     /// Division with remainder.
     ///
-    /// Returns `(quotient, remainder)` with `remainder < divisor`.
+    /// Returns `(quotient, remainder)` with `remainder < divisor`. The
+    /// all-inline case divides machine words directly; a heap dividend with
+    /// a single-limb divisor takes the short-division path.
     ///
     /// # Panics
     ///
@@ -203,25 +329,34 @@ impl BigUint {
     #[must_use]
     pub fn div_rem(&self, divisor: &Self) -> (Self, Self) {
         assert!(!divisor.is_zero(), "division by zero BigUint");
-        match Self::cmp_limbs(&self.limbs, &divisor.limbs) {
-            Ordering::Less => return (Self::zero(), self.clone()),
-            Ordering::Equal => return (Self::one(), Self::zero()),
-            Ordering::Greater => {}
+        match (&self.repr, &divisor.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => (Self::from_u64(a / b), Self::from_u64(a % b)),
+            // A heap value is strictly greater than any inline value.
+            (Repr::Inline(_), Repr::Heap(_)) => (Self::zero(), self.clone()),
+            _ => {
+                let (uv, dv) = (self.view(), divisor.view());
+                let (u, d) = (uv.as_slice(), dv.as_slice());
+                match Self::cmp_limbs(u, d) {
+                    Ordering::Less => return (Self::zero(), self.clone()),
+                    Ordering::Equal => return (Self::one(), Self::zero()),
+                    Ordering::Greater => {}
+                }
+                if d.len() == 1 {
+                    let (q, r) = Self::div_rem_limb_slice(u, d[0]);
+                    return (q, Self::from_u64(u64::from(r)));
+                }
+                Self::div_rem_knuth(u, d)
+            }
         }
-        if divisor.limbs.len() == 1 {
-            let (q, r) = self.div_rem_limb(divisor.limbs[0]);
-            return (q, Self::from(r));
-        }
-        self.div_rem_knuth(divisor)
     }
 
-    /// Short division by a single limb.
-    fn div_rem_limb(&self, divisor: u32) -> (Self, u32) {
+    /// Short division of a limb slice by a single limb.
+    fn div_rem_limb_slice(limbs: &[u32], divisor: u32) -> (Self, u32) {
         debug_assert!(divisor != 0);
         let d = u64::from(divisor);
         let mut rem: u64 = 0;
-        let mut out = vec![0u32; self.limbs.len()];
-        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+        let mut out = vec![0u32; limbs.len()];
+        for (i, &limb) in limbs.iter().enumerate().rev() {
             let cur = (rem << 32) | u64::from(limb);
             out[i] = (cur / d) as u32;
             rem = cur % d;
@@ -229,18 +364,34 @@ impl BigUint {
         (Self::from_limbs(out), rem as u32)
     }
 
-    /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
-    fn div_rem_knuth(&self, divisor: &Self) -> (Self, Self) {
-        // Normalise so the divisor's top limb has its high bit set.
-        let shift = divisor.limbs.last().expect("multi-limb").leading_zeros();
-        let u = self << u64::from(shift);
-        let v = divisor << u64::from(shift);
-        let n = v.limbs.len();
-        let m = u.limbs.len() - n;
+    /// `limbs << shift` as a raw limb vector (`shift < 32`).
+    fn shl_small(limbs: &[u32], shift: u32) -> Vec<u32> {
+        debug_assert!(shift < LIMB_BITS);
+        if shift == 0 {
+            return limbs.to_vec();
+        }
+        let mut out = Vec::with_capacity(limbs.len() + 1);
+        let mut carry: u32 = 0;
+        for &l in limbs {
+            out.push((l << shift) | carry);
+            carry = l >> (LIMB_BITS - shift);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        out
+    }
 
-        let mut un: Vec<u32> = u.limbs.clone();
+    /// Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(u_limbs: &[u32], v_limbs: &[u32]) -> (Self, Self) {
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = v_limbs.last().expect("multi-limb").leading_zeros();
+        let mut un = Self::shl_small(u_limbs, shift);
+        let vn = Self::shl_small(v_limbs, shift);
+        let n = vn.len();
+        let m = un.len() - n;
+
         un.push(0); // extra high limb for the algorithm
-        let vn = &v.limbs;
         let v_top = u64::from(vn[n - 1]);
         let v_next = u64::from(vn[n - 2]);
 
@@ -250,8 +401,7 @@ impl BigUint {
             let num = (u64::from(un[j + n]) << 32) | u64::from(un[j + n - 1]);
             let mut qhat = num / v_top;
             let mut rhat = num % v_top;
-            while qhat >= (1u64 << 32)
-                || qhat * v_next > ((rhat << 32) | u64::from(un[j + n - 2]))
+            while qhat >= (1u64 << 32) || qhat * v_next > ((rhat << 32) | u64::from(un[j + n - 2]))
             {
                 qhat -= 1;
                 rhat += v_top;
@@ -274,7 +424,8 @@ impl BigUint {
                     borrow = 0;
                 }
             }
-            let t = i64::from(un[j + n]) - borrow - i64::from(carry as u32) - ((carry >> 32) as i64);
+            let t =
+                i64::from(un[j + n]) - borrow - i64::from(carry as u32) - ((carry >> 32) as i64);
             if t < 0 {
                 // q̂ was one too large: add back.
                 un[j + n] = (t + (1i64 << 32)) as u32;
@@ -297,7 +448,11 @@ impl BigUint {
         (quotient, rem)
     }
 
-    /// Greatest common divisor (Euclid's algorithm).
+    /// Greatest common divisor.
+    ///
+    /// Word-sized operands run Euclid's algorithm entirely on `u64`s; a
+    /// larger operand is first reduced modulo the smaller, which lands in
+    /// the word-sized loop after at most one multi-limb division.
     ///
     /// `gcd(0, 0) == 0` by convention.
     ///
@@ -308,10 +463,26 @@ impl BigUint {
     /// ```
     #[must_use]
     pub fn gcd(&self, other: &Self) -> Self {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
+            return Self::from_u64(Self::gcd_u64(*a, *b));
+        }
         let mut a = self.clone();
         let mut b = other.clone();
         while !b.is_zero() {
+            if let (Repr::Inline(x), Repr::Inline(y)) = (&a.repr, &b.repr) {
+                return Self::from_u64(Self::gcd_u64(*x, *y));
+            }
             let (_, r) = a.div_rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Euclid's algorithm on machine words; never allocates.
+    fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+        while b != 0 {
+            let r = a % b;
             a = b;
             b = r;
         }
@@ -345,7 +516,54 @@ impl BigUint {
     /// Returns `true` if the value is even.
     #[must_use]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().is_none_or(|l| l & 1 == 0)
+        match &self.repr {
+            Repr::Inline(v) => v & 1 == 0,
+            Repr::Heap(limbs) => limbs[0] & 1 == 0,
+        }
+    }
+
+    /// `a + b` over limb slices.
+    fn add_slices(a: &[u32], b: &[u32]) -> BigUint {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry: u64 = 0;
+        #[allow(clippy::needless_range_loop)] // indexing two slices of different lengths
+        for i in 0..long.len() {
+            let s = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
+            out.push((s & 0xFFFF_FFFF) as u32);
+            carry = s >> 32;
+        }
+        if carry != 0 {
+            out.push(carry as u32);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// `a × b` over limb slices (schoolbook).
+    fn mul_slices(a: &[u32], b: &[u32]) -> BigUint {
+        if a.is_empty() || b.is_empty() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u32; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry: u64 = 0;
+            for (j, &y) in b.iter().enumerate() {
+                let cur = u64::from(out[i + j]) + u64::from(x) * u64::from(y) + carry;
+                out[i + j] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let cur = u64::from(out[k]) + carry;
+                out[k] = (cur & 0xFFFF_FFFF) as u32;
+                carry = cur >> 32;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
     }
 }
 
@@ -357,7 +575,7 @@ macro_rules! impl_from_small {
     ($($t:ty),*) => {$(
         impl From<$t> for BigUint {
             fn from(v: $t) -> Self {
-                BigUint::from(u128::from(v))
+                BigUint::from_u64(u64::from(v))
             }
         }
     )*};
@@ -365,19 +583,14 @@ macro_rules! impl_from_small {
 impl_from_small!(u8, u16, u32, u64);
 
 impl From<u128> for BigUint {
-    fn from(mut v: u128) -> Self {
-        let mut limbs = Vec::new();
-        while v != 0 {
-            limbs.push((v & 0xFFFF_FFFF) as u32);
-            v >>= 32;
-        }
-        BigUint { limbs }
+    fn from(v: u128) -> Self {
+        BigUint::from_u128_value(v)
     }
 }
 
 impl From<usize> for BigUint {
     fn from(v: usize) -> Self {
-        BigUint::from(v as u128)
+        BigUint::from_u64(v as u64)
     }
 }
 
@@ -388,13 +601,25 @@ impl TryFrom<&BigUint> for u64 {
     }
 }
 
+impl Default for BigUint {
+    fn default() -> Self {
+        BigUint::zero()
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Comparison
 // ---------------------------------------------------------------------------
 
 impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
-        Self::cmp_limbs(&self.limbs, &other.limbs)
+        match (&self.repr, &other.repr) {
+            (Repr::Inline(a), Repr::Inline(b)) => a.cmp(b),
+            // Heap values are strictly greater than u64::MAX by invariant.
+            (Repr::Inline(_), Repr::Heap(_)) => Ordering::Less,
+            (Repr::Heap(_), Repr::Inline(_)) => Ordering::Greater,
+            (Repr::Heap(a), Repr::Heap(b)) => Self::cmp_limbs(a, b),
+        }
     }
 }
 
@@ -411,23 +636,14 @@ impl PartialOrd for BigUint {
 impl Add for &BigUint {
     type Output = BigUint;
     fn add(self, rhs: &BigUint) -> BigUint {
-        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
-            (&self.limbs, &rhs.limbs)
-        } else {
-            (&rhs.limbs, &self.limbs)
-        };
-        let mut out = Vec::with_capacity(long.len() + 1);
-        let mut carry: u64 = 0;
-        #[allow(clippy::needless_range_loop)] // indexing two slices of different lengths
-        for i in 0..long.len() {
-            let s = u64::from(long[i]) + u64::from(short.get(i).copied().unwrap_or(0)) + carry;
-            out.push((s & 0xFFFF_FFFF) as u32);
-            carry = s >> 32;
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &rhs.repr) {
+            return match a.checked_add(*b) {
+                Some(s) => BigUint::from_u64(s),
+                None => BigUint::from_u128_value(u128::from(*a) + u128::from(*b)),
+            };
         }
-        if carry != 0 {
-            out.push(carry as u32);
-        }
-        BigUint::from_limbs(out)
+        let (av, bv) = (self.view(), rhs.view());
+        BigUint::add_slices(av.as_slice(), bv.as_slice())
     }
 }
 
@@ -445,29 +661,14 @@ impl Sub for &BigUint {
 impl Mul for &BigUint {
     type Output = BigUint;
     fn mul(self, rhs: &BigUint) -> BigUint {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &rhs.repr) {
+            return BigUint::from_u128_value(u128::from(*a) * u128::from(*b));
+        }
         if self.is_zero() || rhs.is_zero() {
             return BigUint::zero();
         }
-        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
-        for (i, &a) in self.limbs.iter().enumerate() {
-            if a == 0 {
-                continue;
-            }
-            let mut carry: u64 = 0;
-            for (j, &b) in rhs.limbs.iter().enumerate() {
-                let cur = u64::from(out[i + j]) + u64::from(a) * u64::from(b) + carry;
-                out[i + j] = (cur & 0xFFFF_FFFF) as u32;
-                carry = cur >> 32;
-            }
-            let mut k = i + rhs.limbs.len();
-            while carry != 0 {
-                let cur = u64::from(out[k]) + carry;
-                out[k] = (cur & 0xFFFF_FFFF) as u32;
-                carry = cur >> 32;
-                k += 1;
-            }
-        }
-        BigUint::from_limbs(out)
+        let (av, bv) = (self.view(), rhs.view());
+        BigUint::mul_slices(av.as_slice(), bv.as_slice())
     }
 }
 
@@ -491,14 +692,25 @@ impl Shl<u64> for &BigUint {
         if self.is_zero() || shift == 0 {
             return self.clone();
         }
+        // Inline fast path: the shifted value still fits in a word.
+        if let Repr::Inline(v) = self.repr {
+            if shift < 64 && self.bits() + shift <= 64 {
+                return BigUint::from_u64(v << shift);
+            }
+            if shift < 128 && self.bits() + shift <= 128 {
+                return BigUint::from_u128_value(u128::from(v) << shift);
+            }
+        }
         let limb_shift = (shift / u64::from(LIMB_BITS)) as usize;
         let bit_shift = (shift % u64::from(LIMB_BITS)) as u32;
+        let view = self.view();
+        let limbs = view.as_slice();
         let mut out = vec![0u32; limb_shift];
         if bit_shift == 0 {
-            out.extend_from_slice(&self.limbs);
+            out.extend_from_slice(limbs);
         } else {
             let mut carry: u32 = 0;
-            for &l in &self.limbs {
+            for &l in limbs {
                 out.push((l << bit_shift) | carry);
                 carry = l >> (LIMB_BITS - bit_shift);
             }
@@ -513,12 +725,21 @@ impl Shl<u64> for &BigUint {
 impl Shr<u64> for &BigUint {
     type Output = BigUint;
     fn shr(self, shift: u64) -> BigUint {
+        if let Repr::Inline(v) = self.repr {
+            return if shift >= 64 {
+                BigUint::zero()
+            } else {
+                BigUint::from_u64(v >> shift)
+            };
+        }
         let limb_shift = (shift / u64::from(LIMB_BITS)) as usize;
-        if limb_shift >= self.limbs.len() {
+        let view = self.view();
+        let limbs = view.as_slice();
+        if limb_shift >= limbs.len() {
             return BigUint::zero();
         }
         let bit_shift = (shift % u64::from(LIMB_BITS)) as u32;
-        let mut out: Vec<u32> = self.limbs[limb_shift..].to_vec();
+        let mut out: Vec<u32> = limbs[limb_shift..].to_vec();
         if bit_shift != 0 {
             let mut carry: u32 = 0;
             for l in out.iter_mut().rev() {
@@ -571,18 +792,36 @@ forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
 
 impl AddAssign<&BigUint> for BigUint {
     fn add_assign(&mut self, rhs: &BigUint) {
+        // In-place word addition when no representation change is needed.
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &rhs.repr) {
+            if let Some(s) = a.checked_add(*b) {
+                self.repr = Repr::Inline(s);
+                return;
+            }
+        }
         *self = &*self + rhs;
     }
 }
 
 impl SubAssign<&BigUint> for BigUint {
     fn sub_assign(&mut self, rhs: &BigUint) {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &rhs.repr) {
+            let d = a.checked_sub(*b).expect("BigUint subtraction underflow");
+            self.repr = Repr::Inline(d);
+            return;
+        }
         *self = &*self - rhs;
     }
 }
 
 impl MulAssign<&BigUint> for BigUint {
     fn mul_assign(&mut self, rhs: &BigUint) {
+        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &rhs.repr) {
+            if let Some(p) = a.checked_mul(*b) {
+                self.repr = Repr::Inline(p);
+                return;
+            }
+        }
         *self = &*self * rhs;
     }
 }
@@ -593,26 +832,30 @@ impl MulAssign<&BigUint> for BigUint {
 
 impl fmt::Display for BigUint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return f.write_str("0");
-        }
-        // Repeatedly divide by 10^9 (the largest power of ten fitting a limb).
-        let mut chunks: Vec<u32> = Vec::new();
-        let mut cur = self.clone();
-        while !cur.is_zero() {
-            let (q, r) = cur.div_rem_limb(1_000_000_000);
-            chunks.push(r);
-            cur = q;
-        }
-        let mut s = String::new();
-        for (i, chunk) in chunks.iter().rev().enumerate() {
-            if i == 0 {
-                s.push_str(&chunk.to_string());
-            } else {
-                s.push_str(&format!("{chunk:09}"));
+        match &self.repr {
+            Repr::Inline(v) => write!(f, "{v}"),
+            Repr::Heap(_) => {
+                // Repeatedly divide by 10^9 (the largest power of ten
+                // fitting a limb).
+                let mut chunks: Vec<u32> = Vec::new();
+                let mut cur = self.clone();
+                while !cur.is_zero() {
+                    let view = cur.view();
+                    let (q, r) = Self::div_rem_limb_slice(view.as_slice(), 1_000_000_000);
+                    chunks.push(r);
+                    cur = q;
+                }
+                let mut s = String::new();
+                for (i, chunk) in chunks.iter().rev().enumerate() {
+                    if i == 0 {
+                        s.push_str(&chunk.to_string());
+                    } else {
+                        s.push_str(&format!("{chunk:09}"));
+                    }
+                }
+                f.write_str(&s)
             }
         }
-        f.write_str(&s)
     }
 }
 
@@ -632,15 +875,20 @@ impl FromStr for BigUint {
         if !s.bytes().all(|b| b.is_ascii_digit()) {
             return Err(ParseNumberError::InvalidDigit);
         }
+        // Word-sized inputs parse without any big-number arithmetic.
+        if s.len() <= 19 {
+            return s
+                .parse::<u64>()
+                .map(Self::from_u64)
+                .map_err(|_| ParseNumberError::InvalidDigit);
+        }
         let mut out = BigUint::zero();
         let bytes = s.as_bytes();
         let mut i = 0;
         while i < bytes.len() {
             let end = (i + 9).min(bytes.len());
             let chunk = &s[i..end];
-            let v: u32 = chunk
-                .parse()
-                .map_err(|_| ParseNumberError::InvalidDigit)?;
+            let v: u32 = chunk.parse().map_err(|_| ParseNumberError::InvalidDigit)?;
             let scale = BigUint::from(10u32).pow((end - i) as u32);
             out = &out * &scale + BigUint::from(v);
             i = end;
@@ -667,6 +915,22 @@ mod tests {
     }
 
     #[test]
+    fn representation_is_canonical() {
+        // Word-sized values are inline; anything above u64::MAX is heap.
+        assert!(b(0).is_inline());
+        assert!(b(u128::from(u64::MAX)).is_inline());
+        assert!(!b(u128::from(u64::MAX) + 1).is_inline());
+        // Results shrink back to inline when they fit.
+        let big = b(u128::from(u64::MAX) + 5);
+        assert!((&big - &b(5)).is_inline());
+        let (q, r) = big.div_rem(&b(2));
+        assert!(q.is_inline() && r.is_inline());
+        // Inline results of inline ops never leave the word path.
+        assert!((&b(1) << 63u64).is_inline());
+        assert!(!(&b(1) << 64u64).is_inline());
+    }
+
+    #[test]
     fn addition_with_carry_chain() {
         let a = b(u128::from(u64::MAX));
         let sum = &a + &BigUint::one();
@@ -674,10 +938,37 @@ mod tests {
     }
 
     #[test]
+    fn add_assign_in_place_and_overflowing() {
+        let mut x = b(10);
+        x += &b(32);
+        assert_eq!(x, b(42));
+        let mut y = b(u128::from(u64::MAX));
+        y += &BigUint::one();
+        assert_eq!(y, b(u128::from(u64::MAX) + 1));
+        let mut z = b(1) << 100u64;
+        z += &b(1);
+        assert_eq!(z, (b(1) << 100u64) + b(1));
+    }
+
+    #[test]
+    fn mul_assign_in_place_and_overflowing() {
+        let mut x = b(6);
+        x *= &b(7);
+        assert_eq!(x, b(42));
+        let mut y = b(u128::from(u64::MAX));
+        y *= &b(3);
+        assert_eq!(y, b(u128::from(u64::MAX) * 3));
+    }
+
+    #[test]
     fn subtraction_exact_and_underflow() {
         assert_eq!(&b(1000) - &b(999), b(1));
         assert_eq!(b(5).checked_sub(&b(5)), Some(BigUint::zero()));
         assert!(b(5).checked_sub(&b(6)).is_none());
+        // Cross-representation: heap − inline landing back inline.
+        let big = b(u128::from(u64::MAX)) + b(10);
+        assert_eq!(big.checked_sub(&b(11)), Some(b(u128::from(u64::MAX) - 1)));
+        assert!(b(7).checked_sub(&(b(1) << 100u64)).is_none());
     }
 
     #[test]
@@ -727,6 +1018,15 @@ mod tests {
     }
 
     #[test]
+    fn division_inline_by_heap_is_zero() {
+        let small = b(12345);
+        let huge = b(1) << 200u64;
+        let (q, r) = small.div_rem(&huge);
+        assert!(q.is_zero());
+        assert_eq!(r, small);
+    }
+
+    #[test]
     fn shifts_roundtrip() {
         let a = b(0x1234_5678_9ABC_DEF0);
         assert_eq!(&(&a << 100u64) >> 100u64, a);
@@ -743,16 +1043,39 @@ mod tests {
     }
 
     #[test]
+    fn gcd_crosses_representations() {
+        // 2^100 and 2^37: gcd is 2^37 (inline), reached from a heap operand.
+        let a = b(1) << 100u64;
+        let c = b(1) << 37u64;
+        assert_eq!(a.gcd(&c), c);
+        assert_eq!(c.gcd(&a), c);
+        // Coprime heap values.
+        let p = (b(1) << 89u64) - b(1); // Mersenne prime 2^89 − 1
+        let q = b(1) << 90u64;
+        assert!(p.gcd(&q).is_one());
+    }
+
+    #[test]
     fn pow_and_bits() {
         assert_eq!(BigUint::from(2u32).pow(100).bits(), 101);
         assert_eq!(BigUint::from(3u32).pow(0), BigUint::one());
         assert_eq!(BigUint::zero().pow(0), BigUint::one());
         assert_eq!(BigUint::zero().pow(5), BigUint::zero());
+        assert_eq!(b(u128::from(u64::MAX)).bits(), 64);
+        assert_eq!(b(u128::from(u64::MAX) + 1).bits(), 65);
     }
 
     #[test]
     fn display_and_parse_roundtrip() {
-        let cases = ["0", "1", "999999999", "1000000000", "123456789012345678901234567890"];
+        let cases = [
+            "0",
+            "1",
+            "999999999",
+            "1000000000",
+            "18446744073709551615",
+            "18446744073709551616",
+            "123456789012345678901234567890",
+        ];
         for c in cases {
             let v: BigUint = c.parse().unwrap();
             assert_eq!(v.to_string(), c);
@@ -764,6 +1087,19 @@ mod tests {
         assert!("".parse::<BigUint>().is_err());
         assert!("12a4".parse::<BigUint>().is_err());
         assert!("-5".parse::<BigUint>().is_err());
+        // 25 digits of garbage exercises the chunked path's error branch.
+        assert!("123456789012345678901234x".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn parse_20_digit_values_above_and_below_u64_max() {
+        // 20-digit strings straddle u64::MAX; both sides must parse.
+        let just_above: BigUint = "18446744073709551616".parse().unwrap();
+        assert_eq!(just_above, b(u128::from(u64::MAX) + 1));
+        assert!(!just_above.is_inline());
+        let padded: BigUint = "00018446744073709551615".parse().unwrap();
+        assert_eq!(padded, b(u128::from(u64::MAX)));
+        assert!(padded.is_inline());
     }
 
     #[test]
@@ -771,6 +1107,23 @@ mod tests {
         assert!(b(u128::from(u64::MAX)) > b(1));
         assert!(b(1) < (BigUint::from(1u32) << 64u64));
         assert_eq!(b(77).cmp(&b(77)), Ordering::Equal);
+        assert!(b(u128::from(u64::MAX)) < b(u128::from(u64::MAX)) + b(1));
+    }
+
+    #[test]
+    fn hash_equal_values_equal_hashes() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &BigUint| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        // The same value computed via inline and via heap-then-shrink paths.
+        let inline = b(u128::from(u64::MAX));
+        let shrunk = (b(u128::from(u64::MAX)) + b(7)) - b(7);
+        assert_eq!(inline, shrunk);
+        assert_eq!(h(&inline), h(&shrunk));
     }
 
     #[test]
@@ -787,5 +1140,6 @@ mod tests {
         assert!(b(0).is_even());
         assert!(b(2).is_even());
         assert!(!b(3).is_even());
+        assert!((b(1) << 100u64).is_even());
     }
 }

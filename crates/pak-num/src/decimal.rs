@@ -122,15 +122,24 @@ mod tests {
     #[test]
     fn expansions_of_paper_constants() {
         assert_eq!(r(99, 100).to_decimal(2, DecimalRounding::Truncate), "0.99");
-        assert_eq!(r(991, 1000).to_decimal(3, DecimalRounding::Truncate), "0.991");
-        assert_eq!(r(990, 991).to_decimal(5, DecimalRounding::HalfUp), "0.99899");
+        assert_eq!(
+            r(991, 1000).to_decimal(3, DecimalRounding::Truncate),
+            "0.991"
+        );
+        assert_eq!(
+            r(990, 991).to_decimal(5, DecimalRounding::HalfUp),
+            "0.99899"
+        );
         assert_eq!(r(9, 1000).to_decimal(3, DecimalRounding::HalfUp), "0.009");
     }
 
     #[test]
     fn rounding_modes_differ() {
         let two_thirds = r(2, 3);
-        assert_eq!(two_thirds.to_decimal(4, DecimalRounding::Truncate), "0.6666");
+        assert_eq!(
+            two_thirds.to_decimal(4, DecimalRounding::Truncate),
+            "0.6666"
+        );
         assert_eq!(two_thirds.to_decimal(4, DecimalRounding::HalfUp), "0.6667");
         // Exact half rounds away from zero.
         assert_eq!(r(1, 2).to_decimal(0, DecimalRounding::HalfUp), "1");
@@ -140,7 +149,10 @@ mod tests {
 
     #[test]
     fn zero_and_integers() {
-        assert_eq!(Rational::zero().to_decimal(3, DecimalRounding::HalfUp), "0.000");
+        assert_eq!(
+            Rational::zero().to_decimal(3, DecimalRounding::HalfUp),
+            "0.000"
+        );
         assert_eq!(r(5, 1).to_decimal(2, DecimalRounding::HalfUp), "5.00");
         assert_eq!(r(5, 1).to_decimal(0, DecimalRounding::HalfUp), "5");
         assert!(r(5, 1).is_integer());

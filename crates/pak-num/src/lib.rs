@@ -10,11 +10,40 @@
 //!
 //! The implementation is self-contained (no external bignum dependency):
 //!
-//! * [`BigUint`] — unsigned arbitrary-precision integer, little-endian `u32`
-//!   limbs, with full arithmetic including Knuth Algorithm D division.
+//! * [`BigUint`] — unsigned arbitrary-precision integer, with full
+//!   arithmetic including Knuth Algorithm D division.
 //! * [`BigInt`] — signed wrapper (sign + magnitude).
 //! * [`Rational`] — exact rational number, always stored in lowest terms with
 //!   a strictly positive denominator.
+//!
+//! # Representation invariants
+//!
+//! `BigUint` uses a **two-variant layout** tuned for the workspace's hot
+//! path, where almost every probability numerator and denominator is
+//! word-sized:
+//!
+//! * **Inline(`u64`)** holds every value `≤ u64::MAX` directly in the
+//!   enum. Arithmetic between inline values (`add`/`sub`/`mul`/
+//!   `div_rem`/`gcd`/`cmp`/shifts) runs on machine words, widening to
+//!   `u128` where a product or carry demands it, and **never touches the
+//!   allocator**.
+//! * **Heap(`Vec<u32>`)** holds values `> u64::MAX` as little-endian
+//!   base-2³² limbs with no trailing zero limbs (so the vector always has
+//!   at least three limbs).
+//!
+//! The representation is **canonical**: every value has exactly one
+//! representation, heap results that shrink back into word range are
+//! re-inlined on normalisation, and therefore the derived
+//! `PartialEq`/`Ord`-consistent `Hash` is value hashing. The invariant is
+//! checked by differential property tests
+//! (`crates/pak-num/tests/properties.rs`) that pit the inline path against
+//! the limb path around the `u64::MAX` and limb-carry boundaries.
+//!
+//! `Rational` layers word fast paths on top: comparison cross-multiplies
+//! through `u128` when both sides are word-sized, addition and
+//! multiplication normalise word-sized operands via `u64`/`u128` gcds
+//! without constructing intermediate big integers, and in-place
+//! `AddAssign`/`MulAssign` let accumulation loops avoid temporaries.
 //!
 //! # Examples
 //!
@@ -38,7 +67,7 @@ mod parse;
 mod rational;
 
 pub use bigint::{BigInt, Sign};
-pub use decimal::DecimalRounding;
 pub use biguint::BigUint;
+pub use decimal::DecimalRounding;
 pub use parse::ParseNumberError;
 pub use rational::Rational;

@@ -6,9 +6,27 @@ use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 use core::str::FromStr;
 
-use crate::bigint::BigInt;
+use crate::bigint::{BigInt, Sign};
 use crate::biguint::BigUint;
 use crate::parse::ParseNumberError;
+
+fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
 
 /// An exact rational number.
 ///
@@ -95,7 +113,10 @@ impl Rational {
     /// ```
     #[must_use]
     pub fn from_ratio(num: i64, den: i64) -> Self {
-        assert!(den != 0, "Rational::from_ratio denominator must be non-zero");
+        assert!(
+            den != 0,
+            "Rational::from_ratio denominator must be non-zero"
+        );
         Self::new(BigInt::from(num), BigInt::from(den)).expect("den checked non-zero")
     }
 
@@ -123,6 +144,72 @@ impl Rational {
                 den: &den / &g,
             }
         }
+    }
+
+    /// Word-sized decomposition `(|num|, den, sign)` when both the
+    /// numerator magnitude and the denominator fit in a `u64`. The fast
+    /// arithmetic paths run entirely on machine words from here.
+    #[inline]
+    fn as_words(&self) -> Option<(u64, u64, Sign)> {
+        let n = self.num.magnitude().to_u64()?;
+        let d = self.den.to_u64()?;
+        Some((n, d, self.num.sign()))
+    }
+
+    /// Builds a rational from an already-reduced sign/num/den triple.
+    fn from_reduced_u128(sign: Sign, num: u128, den: u128) -> Rational {
+        debug_assert!(den > 0);
+        if num == 0 {
+            return Rational::zero();
+        }
+        Rational {
+            num: BigInt::from_sign_magnitude(sign, BigUint::from(num)),
+            den: BigUint::from(den),
+        }
+    }
+
+    /// `self + rhs` entirely on machine words, or `None` if an operand or
+    /// an intermediate exceeds the word fast path.
+    fn add_fast(&self, rhs: &Rational) -> Option<Rational> {
+        let (an, ad, asign) = self.as_words()?;
+        let (bn, bd, bsign) = rhs.as_words()?;
+        if an == 0 {
+            return Some(rhs.clone());
+        }
+        if bn == 0 {
+            return Some(self.clone());
+        }
+        // a/b + c/d = (a·d ± c·b) / (b·d), reduced by the gcd afterwards.
+        let p1 = u128::from(an) * u128::from(bd);
+        let p2 = u128::from(bn) * u128::from(ad);
+        let den = u128::from(ad) * u128::from(bd);
+        let (sign, mag) = if asign == bsign {
+            (asign, p1.checked_add(p2)?)
+        } else {
+            match p1.cmp(&p2) {
+                Ordering::Equal => return Some(Rational::zero()),
+                Ordering::Greater => (asign, p1 - p2),
+                Ordering::Less => (bsign, p2 - p1),
+            }
+        };
+        let g = gcd_u128(mag, den);
+        Some(Rational::from_reduced_u128(sign, mag / g, den / g))
+    }
+
+    /// `self * rhs` entirely on machine words. Because both operands are
+    /// in lowest terms, cross-cancelling `gcd(|a|, d)` and `gcd(|c|, b)`
+    /// leaves the product already reduced.
+    fn mul_fast(&self, rhs: &Rational) -> Option<Rational> {
+        let (an, ad, asign) = self.as_words()?;
+        let (bn, bd, bsign) = rhs.as_words()?;
+        if an == 0 || bn == 0 {
+            return Some(Rational::zero());
+        }
+        let g1 = gcd_u64(an, bd);
+        let g2 = gcd_u64(bn, ad);
+        let num = u128::from(an / g1) * u128::from(bn / g2);
+        let den = u128::from(ad / g2) * u128::from(bd / g1);
+        Some(Rational::from_reduced_u128(asign.mul(bsign), num, den))
     }
 
     /// The numerator (carries the sign).
@@ -316,10 +403,32 @@ impl From<BigUint> for Rational {
 
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
-        // a/b vs c/d  (b, d > 0)  ⇔  a*d vs c*b
-        let lhs = &self.num * &BigInt::from(other.den.clone());
-        let rhs = &other.num * &BigInt::from(self.den.clone());
-        lhs.cmp(&rhs)
+        // a/b vs c/d  (b, d > 0)  ⇔  a·d vs c·b. Signs decide first; equal
+        // non-zero signs cross-multiply magnitudes only — on machine words
+        // (via u128) when both rationals are word-sized.
+        let ss = self.num.sign();
+        let os = other.num.sign();
+        if ss != os {
+            return ss.cmp(&os);
+        }
+        if ss == Sign::Zero {
+            return Ordering::Equal;
+        }
+        let mag = match (self.as_words(), other.as_words()) {
+            (Some((an, ad, _)), Some((bn, bd, _))) => {
+                (u128::from(an) * u128::from(bd)).cmp(&(u128::from(bn) * u128::from(ad)))
+            }
+            _ => {
+                let lhs = self.num.magnitude() * &other.den;
+                let rhs = other.num.magnitude() * &self.den;
+                lhs.cmp(&rhs)
+            }
+        };
+        if ss == Sign::Negative {
+            mag.reverse()
+        } else {
+            mag
+        }
     }
 }
 
@@ -336,9 +445,11 @@ impl PartialOrd for Rational {
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
+        if let Some(fast) = self.add_fast(rhs) {
+            return fast;
+        }
         // a/b + c/d = (a*d + c*b) / (b*d), normalised.
-        let num = &self.num * &BigInt::from(rhs.den.clone())
-            + &rhs.num * &BigInt::from(self.den.clone());
+        let num = &self.num * &rhs.den + &rhs.num * &self.den;
         let den = &self.den * &rhs.den;
         Rational::normalised(num, den)
     }
@@ -354,6 +465,9 @@ impl Sub for &Rational {
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
+        if let Some(fast) = self.mul_fast(rhs) {
+            return fast;
+        }
         // Cross-reduce before multiplying to keep intermediates small.
         let g1 = self.num.magnitude().gcd(&rhs.den);
         let g2 = rhs.num.magnitude().gcd(&self.den);

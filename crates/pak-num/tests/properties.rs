@@ -3,277 +3,535 @@
 //! Every algebraic law used by the `pak-core` theorem machinery is checked
 //! here against randomly generated operands, including multi-limb values
 //! that exercise carry/borrow chains and Knuth division.
-
-use proptest::prelude::*;
+//!
+//! The harness is self-contained (the workspace builds offline, so no
+//! external property-testing crate is used): a deterministic `splitmix64`
+//! generator drives every case, so failures reproduce exactly. On failure
+//! the assertion message carries the case index; rerun with the same code
+//! to replay it.
+//!
+//! Since `BigUint` gained a small-value inline representation, this file
+//! also carries **differential tests** pitting the inline `u64` fast paths
+//! against the multi-limb heap paths on the same values: machine-checkable
+//! references (`u128` arithmetic, decimal-string round-trips) arbitrate,
+//! and the generators deliberately dwell on the `u64::MAX` and limb-carry
+//! boundaries where representation switches happen.
 
 use pak_num::{BigInt, BigUint, Rational};
 
-/// Strategy producing `BigUint`s spanning zero through multi-limb magnitudes.
-fn big_uint() -> impl Strategy<Value = BigUint> {
-    prop_oneof![
-        any::<u64>().prop_map(BigUint::from),
-        any::<u128>().prop_map(BigUint::from),
-        (any::<u128>(), 0u64..200).prop_map(|(v, s)| BigUint::from(v) << s),
-    ]
-}
+/// Deterministic splitmix64 generator: the whole file replays exactly.
+struct Rng(u64);
 
-fn big_int() -> impl Strategy<Value = BigInt> {
-    (big_uint(), any::<bool>()).prop_map(|(m, neg)| {
-        let v = BigInt::from(m);
-        if neg {
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn u128(&mut self) -> u128 {
+        (u128::from(self.u64()) << 64) | u128::from(self.u64())
+    }
+
+    /// Uniform draw from `0..bound`.
+    fn below(&mut self, bound: u64) -> u64 {
+        ((u128::from(self.u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A `BigUint` spanning zero through multi-limb magnitudes, biased
+    /// toward representation boundaries.
+    fn big_uint(&mut self) -> BigUint {
+        match self.below(5) {
+            0 => BigUint::from(self.u64()),
+            1 => BigUint::from(self.u128()),
+            2 => BigUint::from(self.u128()) << self.below(200),
+            3 => BigUint::from(self.boundary_u64()),
+            _ => BigUint::from(self.boundary_u128()),
+        }
+    }
+
+    /// Values hugging the inline/heap and limb-carry edges.
+    fn boundary_u64(&mut self) -> u64 {
+        const EDGES: [u64; 10] = [
+            0,
+            1,
+            2,
+            u32::MAX as u64 - 1,
+            u32::MAX as u64,
+            1 << 32,
+            (1 << 32) + 1,
+            u64::MAX - 1,
+            u64::MAX,
+            0x8000_0000_0000_0000,
+        ];
+        EDGES[self.below(EDGES.len() as u64) as usize]
+    }
+
+    fn boundary_u128(&mut self) -> u128 {
+        const EDGES: [u128; 8] = [
+            u64::MAX as u128,
+            u64::MAX as u128 + 1,
+            u64::MAX as u128 + 2,
+            1 << 96,
+            (1 << 96) - 1,
+            u128::MAX,
+            u128::MAX - 1,
+            (u64::MAX as u128) << 32,
+        ];
+        EDGES[self.below(EDGES.len() as u64) as usize]
+    }
+
+    fn big_int(&mut self) -> BigInt {
+        let v = BigInt::from(self.big_uint());
+        if self.u64() & 1 == 0 {
             -v
         } else {
             v
         }
-    })
-}
+    }
 
-fn rational() -> impl Strategy<Value = Rational> {
-    (any::<i32>(), 1i32..=i32::MAX).prop_map(|(n, d)| {
-        Rational::from_ratio(i64::from(n), i64::from(d))
-    })
-}
+    fn rational(&mut self) -> Rational {
+        let n = self.u64() as i32;
+        let d = 1 + self.below(i32::MAX as u64) as i64;
+        Rational::from_ratio(i64::from(n), d)
+    }
 
-/// A rational in `[0, 1]`, i.e. a probability.
-fn probability() -> impl Strategy<Value = Rational> {
-    (0u32..=1_000_000, 1u32..=1_000_000).prop_map(|(a, b)| {
+    /// A rational in `[0, 1]`.
+    fn probability(&mut self) -> Rational {
+        let a = self.below(1_000_000) + 1;
+        let b = self.below(1_000_000) + 1;
         let (n, d) = if a <= b { (a, b) } else { (b, a) };
-        Rational::from_ratio(i64::from(n), i64::from(d))
-    })
+        Rational::from_ratio(n as i64, d as i64)
+    }
 }
 
-proptest! {
-    // ------------------------------------------------------------------
-    // BigUint ring laws
-    // ------------------------------------------------------------------
+const CASES: usize = 256;
 
-    #[test]
-    fn biguint_add_commutative(a in big_uint(), b in big_uint()) {
-        prop_assert_eq!(&a + &b, &b + &a);
+// ----------------------------------------------------------------------
+// BigUint ring laws
+// ----------------------------------------------------------------------
+
+#[test]
+fn biguint_ring_laws() {
+    let mut rng = Rng::new(0xB16);
+    for case in 0..CASES {
+        let a = rng.big_uint();
+        let b = rng.big_uint();
+        let c = rng.big_uint();
+        assert_eq!(&a + &b, &b + &a, "add commutative, case {case}");
+        assert_eq!(
+            &(&a + &b) + &c,
+            &a + &(&b + &c),
+            "add associative, case {case}"
+        );
+        assert_eq!(&a * &b, &b * &a, "mul commutative, case {case}");
+        assert_eq!(
+            &(&a * &b) * &c,
+            &a * &(&b * &c),
+            "mul associative, case {case}"
+        );
+        assert_eq!(
+            &a * &(&b + &c),
+            &(&a * &b) + &(&a * &c),
+            "distributive, case {case}"
+        );
+        assert_eq!(&(&a + &b) - &b, a, "add/sub round-trip, case {case}");
     }
+}
 
-    #[test]
-    fn biguint_add_associative(a in big_uint(), b in big_uint(), c in big_uint()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
-    }
-
-    #[test]
-    fn biguint_mul_commutative(a in big_uint(), b in big_uint()) {
-        prop_assert_eq!(&a * &b, &b * &a);
-    }
-
-    #[test]
-    fn biguint_mul_associative(a in big_uint(), b in big_uint(), c in big_uint()) {
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-    }
-
-    #[test]
-    fn biguint_distributive(a in big_uint(), b in big_uint(), c in big_uint()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
-
-    #[test]
-    fn biguint_add_sub_roundtrip(a in big_uint(), b in big_uint()) {
-        prop_assert_eq!(&(&a + &b) - &b, a);
-    }
-
-    #[test]
-    fn biguint_div_rem_invariant(a in big_uint(), b in big_uint()) {
-        prop_assume!(!b.is_zero());
+#[test]
+fn biguint_div_rem_invariant() {
+    let mut rng = Rng::new(0xD1F);
+    for case in 0..CASES {
+        let a = rng.big_uint();
+        let b = rng.big_uint();
+        if b.is_zero() {
+            continue;
+        }
         let (q, r) = a.div_rem(&b);
-        prop_assert!(r < b);
-        prop_assert_eq!(&(&q * &b) + &r, a);
+        assert!(r < b, "remainder bound, case {case}");
+        assert_eq!(&(&q * &b) + &r, a, "division identity, case {case}");
     }
+}
 
-    #[test]
-    fn biguint_gcd_divides_both(a in big_uint(), b in big_uint()) {
-        prop_assume!(!a.is_zero() || !b.is_zero());
+#[test]
+fn biguint_gcd_laws() {
+    let mut rng = Rng::new(0x9CD);
+    for case in 0..CASES {
+        let a = rng.big_uint();
+        let b = rng.big_uint();
         let g = a.gcd(&b);
-        prop_assert!(!g.is_zero());
+        assert_eq!(g, b.gcd(&a), "gcd commutative, case {case}");
+        if a.is_zero() && b.is_zero() {
+            assert!(g.is_zero(), "gcd(0,0) = 0, case {case}");
+            continue;
+        }
+        assert!(
+            !g.is_zero(),
+            "gcd of non-both-zero is non-zero, case {case}"
+        );
         if !a.is_zero() {
-            prop_assert!((&a % &g).is_zero());
+            assert!((&a % &g).is_zero(), "gcd divides a, case {case}");
         }
         if !b.is_zero() {
-            prop_assert!((&b % &g).is_zero());
+            assert!((&b % &g).is_zero(), "gcd divides b, case {case}");
         }
     }
+}
 
-    #[test]
-    fn biguint_gcd_commutative(a in big_uint(), b in big_uint()) {
-        prop_assert_eq!(a.gcd(&b), b.gcd(&a));
+#[test]
+fn biguint_shift_roundtrip() {
+    let mut rng = Rng::new(0x5F7);
+    for case in 0..CASES {
+        let a = rng.big_uint();
+        let s = rng.below(256);
+        assert_eq!(&(&a << s) >> s, a, "shift round-trip, case {case}");
     }
+}
 
-    #[test]
-    fn biguint_shift_roundtrip(a in big_uint(), s in 0u64..256) {
-        prop_assert_eq!(&(&a << s) >> s, a);
-    }
-
-    #[test]
-    fn biguint_display_parse_roundtrip(a in big_uint()) {
+#[test]
+fn biguint_display_parse_roundtrip() {
+    let mut rng = Rng::new(0xD15);
+    for case in 0..CASES {
+        let a = rng.big_uint();
         let s = a.to_string();
         let back: BigUint = s.parse().unwrap();
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "display/parse round-trip, case {case}");
     }
+}
 
-    #[test]
-    fn biguint_cmp_matches_u128(a in any::<u128>(), b in any::<u128>()) {
-        prop_assert_eq!(BigUint::from(a).cmp(&BigUint::from(b)), a.cmp(&b));
+#[test]
+fn biguint_cmp_matches_u128() {
+    let mut rng = Rng::new(0xC3B);
+    for case in 0..CASES {
+        let a = rng.u128();
+        let b = rng.u128();
+        assert_eq!(
+            BigUint::from(a).cmp(&BigUint::from(b)),
+            a.cmp(&b),
+            "cmp vs u128, case {case}"
+        );
     }
+}
 
-    #[test]
-    fn biguint_arith_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+// ----------------------------------------------------------------------
+// Differential tests: inline u64 fast path vs multi-limb reference
+// ----------------------------------------------------------------------
+
+/// Every arithmetic op on word-sized operands must agree with native
+/// `u128` arithmetic, including at the exact `u64::MAX` / carry edges.
+#[test]
+fn differential_u64_ops_match_u128_reference() {
+    let mut rng = Rng::new(0xD1F2);
+    for case in 0..CASES * 4 {
+        let (a, b) = if case % 3 == 0 {
+            (rng.boundary_u64(), rng.boundary_u64())
+        } else {
+            (rng.u64(), rng.u64())
+        };
         let (ba, bb) = (BigUint::from(a), BigUint::from(b));
-        prop_assert_eq!(&ba + &bb, BigUint::from(u128::from(a) + u128::from(b)));
-        prop_assert_eq!(&ba * &bb, BigUint::from(u128::from(a) * u128::from(b)));
-        if let (Some(q), Some(m)) = (a.checked_div(b), a.checked_rem(b)) {
-            prop_assert_eq!(&ba / &bb, BigUint::from(q));
-            prop_assert_eq!(&ba % &bb, BigUint::from(m));
+        assert_eq!(
+            &ba + &bb,
+            BigUint::from(u128::from(a) + u128::from(b)),
+            "add, case {case} ({a} + {b})"
+        );
+        assert_eq!(
+            &ba * &bb,
+            BigUint::from(u128::from(a) * u128::from(b)),
+            "mul, case {case} ({a} * {b})"
+        );
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        assert_eq!(
+            BigUint::from(hi) - BigUint::from(lo),
+            BigUint::from(hi - lo),
+            "sub, case {case} ({hi} - {lo})"
+        );
+        if let (Some(qr), Some(rr)) = (a.checked_div(b), a.checked_rem(b)) {
+            let (q, r) = ba.div_rem(&bb);
+            assert_eq!(q, BigUint::from(qr), "quotient, case {case} ({a} / {b})");
+            assert_eq!(r, BigUint::from(rr), "remainder, case {case} ({a} % {b})");
         }
+        assert_eq!(
+            ba.gcd(&bb),
+            BigUint::from(gcd_u128(a.into(), b.into())),
+            "gcd, case {case}"
+        );
+        assert_eq!(ba.cmp(&bb), a.cmp(&b), "cmp, case {case}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // BigInt ring laws
-    // ------------------------------------------------------------------
-
-    #[test]
-    fn bigint_add_commutative(a in big_int(), b in big_int()) {
-        prop_assert_eq!(&a + &b, &b + &a);
+/// Mixed inline/heap operand pairs agree with `u128` references whenever
+/// the values fit `u128` — this drives the representation-crossing branches
+/// (inline + heap, heap − inline, heap ÷ inline, …).
+#[test]
+fn differential_mixed_representation_ops() {
+    let mut rng = Rng::new(0x313D);
+    for case in 0..CASES * 2 {
+        let a = if case % 2 == 0 {
+            u128::from(rng.u64())
+        } else {
+            rng.boundary_u128()
+        };
+        let b = if case % 3 == 0 {
+            rng.boundary_u128()
+        } else {
+            u128::from(rng.u64())
+        };
+        let (ba, bb) = (BigUint::from(a), BigUint::from(b));
+        if let Some(sum) = a.checked_add(b) {
+            assert_eq!(&ba + &bb, BigUint::from(sum), "mixed add, case {case}");
+        }
+        if let Some(prod) = a.checked_mul(b) {
+            assert_eq!(&ba * &bb, BigUint::from(prod), "mixed mul, case {case}");
+        }
+        if a >= b {
+            assert_eq!(&ba - &bb, BigUint::from(a - b), "mixed sub, case {case}");
+        }
+        if let (Some(qr), Some(rr)) = (a.checked_div(b), a.checked_rem(b)) {
+            let (q, r) = ba.div_rem(&bb);
+            assert_eq!(q, BigUint::from(qr), "mixed quotient, case {case}");
+            assert_eq!(r, BigUint::from(rr), "mixed remainder, case {case}");
+        }
+        assert_eq!(
+            ba.gcd(&bb),
+            BigUint::from(gcd_u128(a, b)),
+            "mixed gcd, case {case}"
+        );
+        assert_eq!(ba.cmp(&bb), a.cmp(&b), "mixed cmp, case {case}");
     }
+}
 
-    #[test]
-    fn bigint_add_inverse(a in big_int()) {
-        prop_assert_eq!(&a + &(-&a), BigInt::zero());
+/// Decimal-string round-trips: each op computed on `BigUint` agrees with
+/// the value reconstructed by parsing the operands' decimal strings,
+/// re-performing the op, and printing. The parse path exercises the
+/// heap-building mul/add loop, so this is an independent second opinion
+/// on every fast path, on inline and heap values alike.
+#[test]
+fn differential_decimal_string_roundtrips() {
+    let mut rng = Rng::new(0xDEC);
+    for case in 0..CASES {
+        let a = rng.big_uint();
+        let b = rng.big_uint();
+        let reparse = |v: &BigUint| -> BigUint { v.to_string().parse().unwrap() };
+        let (ra, rb) = (reparse(&a), reparse(&b));
+        assert_eq!(
+            reparse(&(&a + &b)),
+            &ra + &rb,
+            "add via strings, case {case}"
+        );
+        assert_eq!(
+            reparse(&(&a * &b)),
+            &ra * &rb,
+            "mul via strings, case {case}"
+        );
+        if a >= b {
+            assert_eq!(
+                reparse(&(&a - &b)),
+                &ra - &rb,
+                "sub via strings, case {case}"
+            );
+        }
+        if !b.is_zero() {
+            let (q, r) = a.div_rem(&b);
+            let (rq, rr) = ra.div_rem(&rb);
+            assert_eq!(
+                (reparse(&q), reparse(&r)),
+                (rq, rr),
+                "div_rem via strings, case {case}"
+            );
+        }
+        assert_eq!(
+            reparse(&a.gcd(&b)),
+            ra.gcd(&rb),
+            "gcd via strings, case {case}"
+        );
+        let e = rng.below(5) as u32;
+        assert_eq!(
+            reparse(&a.pow(e)),
+            ra.pow(e),
+            "pow via strings, case {case}"
+        );
     }
+}
 
-    #[test]
-    fn bigint_sub_antisymmetric(a in big_int(), b in big_int()) {
-        prop_assert_eq!(&a - &b, -&(&b - &a));
+/// `pow` crossing the inline/heap boundary: squaring word-sized values
+/// repeatedly must agree with repeated multiplication.
+#[test]
+fn differential_pow_crosses_representation_boundary() {
+    let mut rng = Rng::new(0x90B);
+    for case in 0..CASES / 2 {
+        let base = BigUint::from(rng.boundary_u64());
+        let e = rng.below(6) as u32;
+        let mut acc = BigUint::from(1u32);
+        for _ in 0..e {
+            acc = &acc * &base;
+        }
+        assert_eq!(base.pow(e), acc, "pow vs repeated mul, case {case}");
     }
+}
 
-    #[test]
-    fn bigint_mul_signs(a in big_int(), b in big_int()) {
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+// ----------------------------------------------------------------------
+// BigInt ring laws
+// ----------------------------------------------------------------------
+
+#[test]
+fn bigint_ring_laws() {
+    let mut rng = Rng::new(0x1B7);
+    for case in 0..CASES {
+        let a = rng.big_int();
+        let b = rng.big_int();
+        assert_eq!(&a + &b, &b + &a, "add commutative, case {case}");
+        assert_eq!(&a + &(-&a), BigInt::zero(), "add inverse, case {case}");
+        assert_eq!(&a - &b, -&(&b - &a), "sub antisymmetric, case {case}");
         let prod = &a * &b;
         if a.is_zero() || b.is_zero() {
-            prop_assert!(prod.is_zero());
+            assert!(prod.is_zero(), "mul zero, case {case}");
         } else {
-            prop_assert_eq!(prod.is_negative(), a.is_negative() != b.is_negative());
+            assert_eq!(
+                prod.is_negative(),
+                a.is_negative() != b.is_negative(),
+                "mul signs, case {case}"
+            );
         }
-    }
-
-    #[test]
-    fn bigint_matches_i128(a in -1_000_000_000_000i128..1_000_000_000_000i128,
-                           b in -1_000_000_000_000i128..1_000_000_000_000i128) {
-        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
-        prop_assert_eq!(&ba + &bb, BigInt::from(a + b));
-        prop_assert_eq!(&ba - &bb, BigInt::from(a - b));
-        prop_assert_eq!(&ba * &bb, BigInt::from(a * b));
-        if b != 0 {
-            prop_assert_eq!(&ba / &bb, BigInt::from(a / b));
-            prop_assert_eq!(&ba % &bb, BigInt::from(a % b));
-        }
-        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
-    }
-
-    #[test]
-    fn bigint_display_parse_roundtrip(a in big_int()) {
         let back: BigInt = a.to_string().parse().unwrap();
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "display/parse round-trip, case {case}");
     }
+}
 
-    // ------------------------------------------------------------------
-    // Rational field laws
-    // ------------------------------------------------------------------
-
-    #[test]
-    fn rational_add_commutative(a in rational(), b in rational()) {
-        prop_assert_eq!(&a + &b, &b + &a);
+#[test]
+fn bigint_matches_i128() {
+    let mut rng = Rng::new(0x128);
+    for case in 0..CASES {
+        let a = (rng.u64() % 2_000_000_000_000) as i128 - 1_000_000_000_000;
+        let b = (rng.u64() % 2_000_000_000_000) as i128 - 1_000_000_000_000;
+        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+        assert_eq!(&ba + &bb, BigInt::from(a + b), "add, case {case}");
+        assert_eq!(&ba - &bb, BigInt::from(a - b), "sub, case {case}");
+        assert_eq!(&ba * &bb, BigInt::from(a * b), "mul, case {case}");
+        if b != 0 {
+            assert_eq!(&ba / &bb, BigInt::from(a / b), "div, case {case}");
+            assert_eq!(&ba % &bb, BigInt::from(a % b), "rem, case {case}");
+        }
+        assert_eq!(ba.cmp(&bb), a.cmp(&b), "cmp, case {case}");
     }
+}
 
-    #[test]
-    fn rational_add_associative(a in rational(), b in rational(), c in rational()) {
-        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+// ----------------------------------------------------------------------
+// Rational field laws
+// ----------------------------------------------------------------------
+
+#[test]
+fn rational_field_laws() {
+    let mut rng = Rng::new(0xF1E);
+    for case in 0..CASES {
+        let a = rng.rational();
+        let b = rng.rational();
+        let c = rng.rational();
+        assert_eq!(&a + &b, &b + &a, "add commutative, case {case}");
+        assert_eq!(
+            &(&a + &b) + &c,
+            &a + &(&b + &c),
+            "add associative, case {case}"
+        );
+        assert_eq!(
+            &(&a * &b) * &c,
+            &a * &(&b * &c),
+            "mul associative, case {case}"
+        );
+        assert_eq!(
+            &a * &(&b + &c),
+            &(&a * &b) + &(&a * &c),
+            "distributive, case {case}"
+        );
+        assert_eq!(&a + &(-&a), Rational::zero(), "add inverse, case {case}");
+        if !a.is_zero() {
+            assert_eq!(&a * &a.recip(), Rational::one(), "mul inverse, case {case}");
+        }
+        if !b.is_zero() {
+            assert_eq!(&(&a / &b) * &b, a, "div/mul round-trip, case {case}");
+        }
     }
+}
 
-    #[test]
-    fn rational_mul_associative(a in rational(), b in rational(), c in rational()) {
-        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
-    }
-
-    #[test]
-    fn rational_distributive(a in rational(), b in rational(), c in rational()) {
-        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
-    }
-
-    #[test]
-    fn rational_add_inverse(a in rational()) {
-        prop_assert_eq!(&a + &(-&a), Rational::zero());
-    }
-
-    #[test]
-    fn rational_mul_inverse(a in rational()) {
-        prop_assume!(!a.is_zero());
-        prop_assert_eq!(&a * &a.recip(), Rational::one());
-    }
-
-    #[test]
-    fn rational_div_mul_roundtrip(a in rational(), b in rational()) {
-        prop_assume!(!b.is_zero());
-        prop_assert_eq!(&(&a / &b) * &b, a);
-    }
-
-    #[test]
-    fn rational_normalised_invariants(a in rational(), b in rational()) {
-        // Every result of arithmetic is in lowest terms with positive denominator.
+#[test]
+fn rational_normalised_invariants() {
+    let mut rng = Rng::new(0x20A);
+    for case in 0..CASES {
+        let a = rng.rational();
+        let b = rng.rational();
         for v in [&a + &b, &a - &b, &a * &b] {
-            prop_assert!(!v.denom().is_zero());
+            assert!(!v.denom().is_zero(), "positive denominator, case {case}");
             let g = v.numer().magnitude().gcd(v.denom());
-            prop_assert!(g.is_one() || v.is_zero());
+            assert!(g.is_one() || v.is_zero(), "lowest terms, case {case}: {v}");
         }
     }
+}
 
-    #[test]
-    fn rational_ordering_total(a in rational(), b in rational(), c in rational()) {
-        // Transitivity on a sample of triples.
+#[test]
+fn rational_ordering_total_and_matches_f64() {
+    let mut rng = Rng::new(0x0AD);
+    for case in 0..CASES {
+        let a = rng.rational();
+        let b = rng.rational();
+        let c = rng.rational();
         if a <= b && b <= c {
-            prop_assert!(a <= c);
+            assert!(a <= c, "transitivity, case {case}");
         }
-    }
-
-    #[test]
-    fn rational_ordering_matches_f64(a in rational(), b in rational()) {
-        // f64 conversion is monotone for well-separated values.
         let (fa, fb) = (a.to_f64(), b.to_f64());
         if (fa - fb).abs() > 1e-9 {
-            prop_assert_eq!(a < b, fa < fb);
+            assert_eq!(a < b, fa < fb, "f64 monotone, case {case}");
         }
-    }
-
-    #[test]
-    fn rational_display_parse_roundtrip(a in rational()) {
         let back: Rational = a.to_string().parse().unwrap();
-        prop_assert_eq!(back, a);
+        assert_eq!(back, a, "display/parse round-trip, case {case}");
     }
+}
 
-    #[test]
-    fn probability_complement_involution(p in probability()) {
-        prop_assert!(p.is_probability());
-        prop_assert!(p.one_minus().is_probability());
-        prop_assert_eq!(p.one_minus().one_minus(), p);
+#[test]
+fn probability_laws() {
+    let mut rng = Rng::new(0x9B0);
+    for case in 0..CASES {
+        let p = rng.probability();
+        let q = rng.probability();
+        assert!(p.is_probability(), "in range, case {case}");
+        assert!(
+            p.one_minus().is_probability(),
+            "complement in range, case {case}"
+        );
+        assert_eq!(
+            p.one_minus().one_minus(),
+            p,
+            "complement involution, case {case}"
+        );
+        assert!((&p * &q).is_probability(), "product in range, case {case}");
+        assert!(&p * &q <= p.clone().min(q), "products shrink, case {case}");
     }
+}
 
-    #[test]
-    fn probability_product_stays_probability(p in probability(), q in probability()) {
-        prop_assert!((&p * &q).is_probability());
-        // p·q ≤ min(p, q): products of probabilities shrink.
-        prop_assert!(&p * &q <= p.clone().min(q));
-    }
-
-    #[test]
-    fn rational_pow_matches_repeated_mul(a in rational(), e in 0i32..8) {
+#[test]
+fn rational_pow_matches_repeated_mul() {
+    let mut rng = Rng::new(0x90F);
+    for case in 0..CASES {
+        let a = rng.rational();
+        let e = rng.below(8) as i32;
         let mut acc = Rational::one();
         for _ in 0..e {
             acc = &acc * &a;
         }
-        prop_assert_eq!(a.pow(e), acc);
+        assert_eq!(a.pow(e), acc, "pow vs repeated mul, case {case}");
     }
 }

@@ -130,8 +130,20 @@ mod tests {
 
     fn family() -> AdversaryFamily<CoinModel> {
         AdversaryFamily::new(vec![
-            ("p=1/2".into(), CoinModel { heads_num: 1, heads_den: 2 }),
-            ("p=99/100".into(), CoinModel { heads_num: 99, heads_den: 100 }),
+            (
+                "p=1/2".into(),
+                CoinModel {
+                    heads_num: 1,
+                    heads_den: 2,
+                },
+            ),
+            (
+                "p=99/100".into(),
+                CoinModel {
+                    heads_num: 99,
+                    heads_den: 100,
+                },
+            ),
         ])
     }
 

@@ -80,7 +80,10 @@ pub fn random_model<P: Probability>(seed: u64, cfg: &RandomModelConfig) -> Table
     let dist = |rng: &mut SplitMix64, n: u32| -> Vec<P> {
         let weights: Vec<u64> = (0..n).map(|_| rng.range(1, 6)).collect();
         let total: u64 = weights.iter().sum();
-        weights.into_iter().map(|w| P::from_ratio(w, total)).collect()
+        weights
+            .into_iter()
+            .map(|w| P::from_ratio(w, total))
+            .collect()
     };
 
     // Prior over initial states.
@@ -115,7 +118,10 @@ pub fn random_model<P: Probability>(seed: u64, cfg: &RandomModelConfig) -> Table
                         let act = rng.below(u64::from(cfg.actions_per_agent)) as u32;
                         let ps = dist(&mut rng, 2);
                         vec![
-                            (Some(ActionId(a * cfg.actions_per_agent + act)), ps[0].clone()),
+                            (
+                                Some(ActionId(a * cfg.actions_per_agent + act)),
+                                ps[0].clone(),
+                            ),
                             (None, ps[1].clone()),
                         ]
                     }
@@ -179,8 +185,8 @@ pub fn random_pps<P: Probability>(
 mod tests {
     use super::*;
     use pak_core::fact::{Facts, StateFact};
-    use pak_core::independence::is_local_state_independent;
     use pak_core::ids::{AgentId, Point};
+    use pak_core::independence::is_local_state_independent;
     use pak_num::Rational;
 
     #[test]

@@ -223,7 +223,10 @@ impl<MP, P: Probability> LossyMessagingModel<MP, P> {
         }
         let deliver = self.loss.one_minus();
         let n = messages.len();
-        assert!(n < 24, "too many messages in one round for exact loss enumeration");
+        assert!(
+            n < 24,
+            "too many messages in one round for exact loss enumeration"
+        );
         let mut out = Vec::with_capacity(1 << n);
         for mask in 0u32..(1 << n) {
             let mut delivered = Vec::new();
@@ -298,8 +301,11 @@ where
                 let mut locals = Vec::with_capacity(state.locals.len());
                 for (a, local) in state.locals.iter().enumerate() {
                     let agent = AgentId(a as u32);
-                    let mut inbox: Vec<Message> =
-                        delivered.iter().copied().filter(|m| m.to == agent).collect();
+                    let mut inbox: Vec<Message> = delivered
+                        .iter()
+                        .copied()
+                        .filter(|m| m.to == agent)
+                        .collect();
                     inbox.sort();
                     locals.push(self.protocol.receive(agent, local, &moves[a], &inbox, time));
                 }
@@ -423,9 +429,21 @@ mod tests {
     fn delivery_outcomes_probabilities_sum_to_one() {
         let model = LossyMessagingModel::new(MultiSend { copies: 3 }, r(1, 4));
         let msgs = vec![
-            Message { from: AgentId(0), to: AgentId(1), payload: 1 },
-            Message { from: AgentId(0), to: AgentId(1), payload: 2 },
-            Message { from: AgentId(0), to: AgentId(1), payload: 3 },
+            Message {
+                from: AgentId(0),
+                to: AgentId(1),
+                payload: 1,
+            },
+            Message {
+                from: AgentId(0),
+                to: AgentId(1),
+                payload: 2,
+            },
+            Message {
+                from: AgentId(0),
+                to: AgentId(1),
+                payload: 3,
+            },
         ];
         let outs = model.delivery_outcomes(&msgs);
         assert_eq!(outs.len(), 8);
@@ -436,9 +454,21 @@ mod tests {
     #[test]
     fn inbox_sorted_deterministically() {
         // Sorting is by sender then payload; just exercise Ord on Message.
-        let a = Message { from: AgentId(0), to: AgentId(1), payload: 9 };
-        let b = Message { from: AgentId(0), to: AgentId(1), payload: 10 };
-        let c = Message { from: AgentId(1), to: AgentId(1), payload: 0 };
+        let a = Message {
+            from: AgentId(0),
+            to: AgentId(1),
+            payload: 9,
+        };
+        let b = Message {
+            from: AgentId(0),
+            to: AgentId(1),
+            payload: 10,
+        };
+        let c = Message {
+            from: AgentId(1),
+            to: AgentId(1),
+            payload: 0,
+        };
         let mut v = vec![c, b, a];
         v.sort();
         assert_eq!(v, vec![a, b, c]);

@@ -210,7 +210,12 @@ impl<P: Probability> ProtocolModel<P> for TableModel<P> {
         *mv
     }
 
-    fn transition(&self, state: &Self::Global, _moves: &[Self::Move], time: Time) -> Vec<(Self::Global, P)> {
+    fn transition(
+        &self,
+        state: &Self::Global,
+        _moves: &[Self::Move],
+        time: Time,
+    ) -> Vec<(Self::Global, P)> {
         self.transitions
             .iter()
             .find(|((env, t), _)| *env == state.env && *t == time)
@@ -243,9 +248,11 @@ pub fn validate_distribution<T, P: Probability>(dist: &[(T, P)]) -> Result<(), S
     let mut sum = P::zero();
     for (_, p) in dist {
         if !p.at_least(&P::zero()) || p.is_zero() {
-            return Err(format!("distribution entry has non-positive probability {p}"));
+            return Err(format!(
+                "distribution entry has non-positive probability {p}"
+            ));
         }
-        sum = sum.add(p);
+        sum.add_assign(p);
     }
     if !sum.is_one() {
         return Err(format!("distribution sums to {sum}, expected 1"));
@@ -260,7 +267,10 @@ mod tests {
 
     #[test]
     fn coin_model_shape() {
-        let m = CoinModel { heads_num: 1, heads_den: 2 };
+        let m = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
         let init: Vec<(CoinState, Rational)> = m.initial_states();
         assert_eq!(init.len(), 2);
         let total: Rational = init.iter().map(|(_, p)| p.clone()).sum();
@@ -269,12 +279,18 @@ mod tests {
         assert!(!ProtocolModel::<Rational>::is_terminal(&m, &init[0].0, 0));
         let mv: Vec<((), Rational)> = m.moves(AgentId(0), &0, 0);
         assert_eq!(mv.len(), 1);
-        assert_eq!(ProtocolModel::<Rational>::action_of(&m, &()), Some(COIN_ACT));
+        assert_eq!(
+            ProtocolModel::<Rational>::action_of(&m, &()),
+            Some(COIN_ACT)
+        );
     }
 
     #[test]
     fn validate_distribution_accepts_good() {
-        let d = vec![("a", Rational::from_ratio(1, 3)), ("b", Rational::from_ratio(2, 3))];
+        let d = vec![
+            ("a", Rational::from_ratio(1, 3)),
+            ("b", Rational::from_ratio(2, 3)),
+        ];
         assert!(validate_distribution(&d).is_ok());
     }
 
@@ -283,9 +299,13 @@ mod tests {
         let empty: Vec<((), Rational)> = vec![];
         assert!(validate_distribution(&empty).is_err());
         let short = vec![((), Rational::from_ratio(1, 3))];
-        assert!(validate_distribution(&short).unwrap_err().contains("sums to"));
+        assert!(validate_distribution(&short)
+            .unwrap_err()
+            .contains("sums to"));
         let zero = vec![((), Rational::zero()), ((), Rational::one())];
-        assert!(validate_distribution(&zero).unwrap_err().contains("non-positive"));
+        assert!(validate_distribution(&zero)
+            .unwrap_err()
+            .contains("non-positive"));
     }
 
     #[test]

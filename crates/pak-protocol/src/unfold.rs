@@ -76,10 +76,16 @@ impl fmt::Display for UnfoldError {
                 write!(f, "model produced a bad distribution in {origin}: {detail}")
             }
             UnfoldError::TooLarge { max_nodes } => {
-                write!(f, "unfolding exceeded the configured limit of {max_nodes} nodes")
+                write!(
+                    f,
+                    "unfolding exceeded the configured limit of {max_nodes} nodes"
+                )
             }
             UnfoldError::DepthExceeded { max_depth } => {
-                write!(f, "unfolding exceeded the depth cap of {max_depth} without terminating")
+                write!(
+                    f,
+                    "unfolding exceeded the depth cap of {max_depth} without terminating"
+                )
             }
             UnfoldError::Pps(e) => write!(f, "unfolded tree failed validation: {e}"),
         }
@@ -294,7 +300,10 @@ mod tests {
 
     #[test]
     fn coin_model_unfolds_to_two_runs() {
-        let m = CoinModel { heads_num: 99, heads_den: 100 };
+        let m = CoinModel {
+            heads_num: 99,
+            heads_den: 100,
+        };
         let pps = unfold::<_, Rational>(&m).unwrap();
         assert_eq!(pps.num_runs(), 2);
         assert!(pps.measure(&pps.all_runs()).is_one());
@@ -307,7 +316,10 @@ mod tests {
 
     #[test]
     fn cartesian_moves_enumerates_products() {
-        let d1 = vec![("a", Rational::from_ratio(1, 2)), ("b", Rational::from_ratio(1, 2))];
+        let d1 = vec![
+            ("a", Rational::from_ratio(1, 2)),
+            ("b", Rational::from_ratio(1, 2)),
+        ];
         let d2 = vec![
             ("x", Rational::from_ratio(1, 3)),
             ("y", Rational::from_ratio(1, 3)),
@@ -381,8 +393,14 @@ mod tests {
 
     #[test]
     fn node_limit_enforced() {
-        let m = CoinModel { heads_num: 1, heads_den: 2 };
-        let cfg = UnfoldConfig { max_nodes: 2, max_depth: None };
+        let m = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let cfg = UnfoldConfig {
+            max_nodes: 2,
+            max_depth: None,
+        };
         let err = unfold_with::<_, Rational>(&m, &cfg).unwrap_err();
         assert!(matches!(err, UnfoldError::TooLarge { max_nodes: 2 }));
     }
@@ -410,11 +428,19 @@ mod tests {
             fn action_of(&self, _mv: &()) -> Option<ActionId> {
                 None
             }
-            fn transition(&self, s: &SimpleState, _m: &[()], _t: u32) -> Vec<(SimpleState, Rational)> {
+            fn transition(
+                &self,
+                s: &SimpleState,
+                _m: &[()],
+                _t: u32,
+            ) -> Vec<(SimpleState, Rational)> {
                 vec![(s.clone(), Rational::one())]
             }
         }
-        let cfg = UnfoldConfig { max_nodes: 1 << 20, max_depth: Some(8) };
+        let cfg = UnfoldConfig {
+            max_nodes: 1 << 20,
+            max_depth: Some(8),
+        };
         let err = unfold_with::<_, Rational>(&Forever, &cfg).unwrap_err();
         assert!(matches!(err, UnfoldError::DepthExceeded { max_depth: 8 }));
     }
@@ -431,7 +457,10 @@ mod tests {
         let err = unfold::<_, Rational>(&m).unwrap_err();
         assert!(matches!(
             err,
-            UnfoldError::BadModelDistribution { origin: "initial_states", .. }
+            UnfoldError::BadModelDistribution {
+                origin: "initial_states",
+                ..
+            }
         ));
         assert!(err.to_string().contains("initial_states"));
     }

@@ -205,17 +205,19 @@ where
 mod tests {
     use super::*;
     use pak_core::fact::StateFact;
+    use pak_num::Rational;
     use pak_protocol::model::{CoinModel, CoinState, COIN_ACT};
     use pak_protocol::unfold::unfold;
-    use pak_num::Rational;
 
     #[test]
     fn constraint_estimate_brackets_exact_value() {
-        let model = CoinModel { heads_num: 3, heads_den: 4 };
-        let est = estimate_constraint::<_, f64>(
-            &model, 5, 20_000, AgentId(0), COIN_ACT,
-            |t, _| t.states[0].heads,
-        );
+        let model = CoinModel {
+            heads_num: 3,
+            heads_den: 4,
+        };
+        let est = estimate_constraint::<_, f64>(&model, 5, 20_000, AgentId(0), COIN_ACT, |t, _| {
+            t.states[0].heads
+        });
         assert!(est.proportion.contains(0.75, 2.576), "{est}");
         assert_eq!(est.total_trials, 20_000);
         // The coin model always acts, so every trial conditions.
@@ -224,7 +226,10 @@ mod tests {
 
     #[test]
     fn belief_table_from_coin_pps() {
-        let model = CoinModel { heads_num: 3, heads_den: 4 };
+        let model = CoinModel {
+            heads_num: 3,
+            heads_den: 4,
+        };
         let pps = unfold::<_, Rational>(&model).unwrap();
         let heads = StateFact::new("heads", |g: &CoinState| g.heads);
         let table = BeliefTable::from_pps(&pps, AgentId(0), &heads);
@@ -238,17 +243,32 @@ mod tests {
 
     #[test]
     fn threshold_measure_estimate() {
-        let model = CoinModel { heads_num: 3, heads_den: 4 };
+        let model = CoinModel {
+            heads_num: 3,
+            heads_den: 4,
+        };
         let pps = unfold::<_, Rational>(&model).unwrap();
         let heads = StateFact::new("heads", |g: &CoinState| g.heads);
         let table = BeliefTable::from_pps(&pps, AgentId(0), &heads);
         // Belief is always 0.75: threshold 0.5 always met, 0.9 never met.
         let always = estimate_threshold_measure::<_, Rational>(
-            &model, 5, 2_000, AgentId(0), COIN_ACT, &table, 0.5,
+            &model,
+            5,
+            2_000,
+            AgentId(0),
+            COIN_ACT,
+            &table,
+            0.5,
         );
         assert_eq!(always.proportion.point(), 1.0);
         let never = estimate_threshold_measure::<_, Rational>(
-            &model, 5, 2_000, AgentId(0), COIN_ACT, &table, 0.9,
+            &model,
+            5,
+            2_000,
+            AgentId(0),
+            COIN_ACT,
+            &table,
+            0.9,
         );
         assert_eq!(never.proportion.point(), 0.0);
     }
@@ -256,13 +276,15 @@ mod tests {
     #[test]
     fn expected_belief_estimate_equals_constraint_probability() {
         // Theorem 6.2, cross-validated end to end on the coin model.
-        let model = CoinModel { heads_num: 3, heads_den: 4 };
+        let model = CoinModel {
+            heads_num: 3,
+            heads_den: 4,
+        };
         let pps = unfold::<_, Rational>(&model).unwrap();
         let heads = StateFact::new("heads", |g: &CoinState| g.heads);
         let table = BeliefTable::from_pps(&pps, AgentId(0), &heads);
-        let (mean, _se, hits) = estimate_expected_belief::<_, Rational>(
-            &model, 5, 1_000, AgentId(0), COIN_ACT, &table,
-        );
+        let (mean, _se, hits) =
+            estimate_expected_belief::<_, Rational>(&model, 5, 1_000, AgentId(0), COIN_ACT, &table);
         assert_eq!(hits, 1_000);
         // The belief is constant 0.75 here, so the mean is exact.
         assert!((mean - 0.75).abs() < 1e-12);

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod estimate;
+pub mod rng;
 pub mod stats;
 pub mod trial;
 

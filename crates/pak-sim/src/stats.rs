@@ -91,7 +91,13 @@ impl Proportion {
 
 impl fmt::Display for Proportion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}/{} ≈ {:.6}", self.successes, self.trials, self.point())
+        write!(
+            f,
+            "{}/{} ≈ {:.6}",
+            self.successes,
+            self.trials,
+            self.point()
+        )
     }
 }
 

@@ -11,8 +11,8 @@ use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::prob::Probability;
 use pak_core::state::GlobalState;
 use pak_protocol::model::ProtocolModel;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use crate::rng::SplitMix64;
 
 /// One sampled execution: the state trajectory and the joint actions taken
 /// at each time.
@@ -80,7 +80,7 @@ impl<G> Trial<G> {
 #[derive(Debug)]
 pub struct Simulator<'m, M, P> {
     model: &'m M,
-    rng: StdRng,
+    rng: SplitMix64,
     _marker: core::marker::PhantomData<P>,
 }
 
@@ -94,7 +94,7 @@ where
     pub fn new(model: &'m M, seed: u64) -> Self {
         Simulator {
             model,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             _marker: core::marker::PhantomData,
         }
     }
@@ -116,7 +116,10 @@ where
             if self.model.is_terminal(&state, time) {
                 break;
             }
-            assert!(time < 10_000, "trial exceeded 10^4 steps without terminating");
+            assert!(
+                time < 10_000,
+                "trial exceeded 10^4 steps without terminating"
+            );
             let n = self.model.n_agents();
             let mut joint = Vec::with_capacity(n as usize);
             let mut performed = Vec::new();
@@ -152,7 +155,7 @@ where
     fn pick<T: Clone>(&mut self, dist: &[(T, P)]) -> T {
         assert!(!dist.is_empty(), "model emitted an empty distribution");
         let total: f64 = dist.iter().map(|(_, p)| p.to_f64()).sum();
-        let mut x: f64 = self.rng.gen::<f64>() * total;
+        let mut x: f64 = self.rng.gen_f64() * total;
         for (v, p) in dist {
             x -= p.to_f64();
             if x <= 0.0 {
@@ -166,12 +169,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pak_protocol::model::{CoinModel, TableModel, COIN_ACT};
     use pak_num::Rational;
+    use pak_protocol::model::{CoinModel, TableModel, COIN_ACT};
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let model = CoinModel { heads_num: 1, heads_den: 2 };
+        let model = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
         let mut a = Simulator::<_, f64>::new(&model, 7);
         let mut b = Simulator::<_, f64>::new(&model, 7);
         for _ in 0..20 {
@@ -181,7 +187,10 @@ mod tests {
 
     #[test]
     fn sampled_frequencies_approach_model_probabilities() {
-        let model = CoinModel { heads_num: 9, heads_den: 10 };
+        let model = CoinModel {
+            heads_num: 9,
+            heads_den: 10,
+        };
         let mut sim = Simulator::<_, f64>::new(&model, 1);
         let mut heads = 0u64;
         let n = 20_000;
@@ -197,7 +206,10 @@ mod tests {
 
     #[test]
     fn trial_action_helpers() {
-        let model = CoinModel { heads_num: 1, heads_den: 2 };
+        let model = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
         let mut sim = Simulator::<_, Rational>::new(&model, 3);
         let t = sim.sample();
         assert_eq!(t.len(), 2);
@@ -213,7 +225,10 @@ mod tests {
             n_agents: 1,
             initial: vec![(0, vec![0], 1.0)],
             horizon: 1,
-            moves: vec![((0, 0, 0), vec![(Some(ActionId(0)), 0.25), (Some(ActionId(1)), 0.75)])],
+            moves: vec![(
+                (0, 0, 0),
+                vec![(Some(ActionId(0)), 0.25), (Some(ActionId(1)), 0.75)],
+            )],
             transitions: vec![],
         };
         let mut sim = Simulator::<_, f64>::new(&model, 11);

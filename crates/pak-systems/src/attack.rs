@@ -25,7 +25,9 @@ use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::pps::Pps;
 use pak_core::prob::Probability;
 
-use pak_protocol::messaging::{AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal};
+use pak_protocol::messaging::{
+    AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal,
+};
 use pak_protocol::unfold::{unfold, UnfoldError};
 
 /// General A (receives the order).
@@ -84,9 +86,16 @@ impl<P: Probability> CoordinatedAttack<P> {
     #[must_use]
     pub fn new(loss: P, order_prob: P, rounds: u32) -> Self {
         assert!(loss.is_valid_probability(), "loss must lie in [0, 1]");
-        assert!(order_prob.is_valid_probability(), "order_prob must lie in [0, 1]");
+        assert!(
+            order_prob.is_valid_probability(),
+            "order_prob must lie in [0, 1]"
+        );
         assert!(rounds > 0, "at least one messenger round is required");
-        CoordinatedAttack { loss, order_prob, rounds }
+        CoordinatedAttack {
+            loss,
+            order_prob,
+            rounds,
+        }
     }
 
     /// Unfolds into the pps.
@@ -112,12 +121,24 @@ impl<P: Probability> MessageProtocol<P> for CoordinatedAttack<P> {
 
     fn initial(&self) -> Vec<(Vec<GeneralLocal>, P)> {
         let ordered = vec![
-            GeneralLocal { informed: true, acks: 0 },
-            GeneralLocal { informed: false, acks: 0 },
+            GeneralLocal {
+                informed: true,
+                acks: 0,
+            },
+            GeneralLocal {
+                informed: false,
+                acks: 0,
+            },
         ];
         let idle = vec![
-            GeneralLocal { informed: false, acks: 0 },
-            GeneralLocal { informed: false, acks: 0 },
+            GeneralLocal {
+                informed: false,
+                acks: 0,
+            },
+            GeneralLocal {
+                informed: false,
+                acks: 0,
+            },
         ];
         if self.order_prob.is_one() {
             return vec![(ordered, P::one())];
@@ -148,7 +169,11 @@ impl<P: Probability> MessageProtocol<P> for CoordinatedAttack<P> {
         } else {
             // Deadline: attack decisions.
             if local.informed {
-                AgentMove::act(if agent == GENERAL_A { ATTACK_A } else { ATTACK_B })
+                AgentMove::act(if agent == GENERAL_A {
+                    ATTACK_A
+                } else {
+                    ATTACK_B
+                })
             } else {
                 AgentMove::skip()
             }

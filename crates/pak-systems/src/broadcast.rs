@@ -19,7 +19,9 @@ use pak_core::ids::{ActionId, AgentId, Point, Time};
 use pak_core::pps::Pps;
 use pak_core::prob::Probability;
 
-use pak_protocol::messaging::{AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal};
+use pak_protocol::messaging::{
+    AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal,
+};
 use pak_protocol::unfold::{unfold_with, UnfoldConfig, UnfoldError};
 
 /// The broadcasting source agent.
@@ -78,7 +80,11 @@ impl<P: Probability> Broadcast<P> {
         assert!(n_agents <= 5, "exact enumeration supports at most 5 agents");
         assert!(rounds > 0, "at least one round required");
         assert!(loss.is_valid_probability(), "loss must lie in [0, 1]");
-        Broadcast { n_agents, loss, rounds }
+        Broadcast {
+            n_agents,
+            loss,
+            rounds,
+        }
     }
 
     /// Unfolds into the pps.
@@ -88,11 +94,20 @@ impl<P: Probability> Broadcast<P> {
     /// Propagates [`UnfoldError`] if the configuration exceeds limits.
     pub fn build_pps(&self) -> Result<BroadcastSystem<P>, UnfoldError> {
         let model = LossyMessagingModel::new(self.clone(), self.loss.clone());
-        let mut pps = unfold_with(&model, &UnfoldConfig { max_nodes: 1 << 18, max_depth: Some(self.rounds + 2) })?;
+        let mut pps = unfold_with(
+            &model,
+            &UnfoldConfig {
+                max_nodes: 1 << 18,
+                max_depth: Some(self.rounds + 2),
+            },
+        )?;
         for a in 0..self.n_agents {
             pps.set_action_name(deliver_action(AgentId(a)), format!("deliver_{a}"));
         }
-        Ok(BroadcastSystem { pps, n_agents: self.n_agents })
+        Ok(BroadcastSystem {
+            pps,
+            n_agents: self.n_agents,
+        })
     }
 
     /// The closed-form all-deliver probability given the source delivers:
@@ -185,9 +200,12 @@ impl<P: Probability> BroadcastSystem<P> {
     #[must_use]
     pub fn phi_all(&self) -> FnFact<MsgGlobal<BcastLocal>, P> {
         let n = self.n_agents;
-        FnFact::new("all deliver", move |pps: &Pps<MsgGlobal<BcastLocal>, P>, pt: Point| {
-            (0..n).all(|a| pps.does(AgentId(a), deliver_action(AgentId(a)), pt))
-        })
+        FnFact::new(
+            "all deliver",
+            move |pps: &Pps<MsgGlobal<BcastLocal>, P>, pt: Point| {
+                (0..n).all(|a| pps.does(AgentId(a), deliver_action(AgentId(a)), pt))
+            },
+        )
     }
 
     /// Analysis of `(source, deliver_src, ϕ_all)`.
@@ -218,7 +236,11 @@ mod tests {
         for rounds in [1u32, 2, 3] {
             let b = Broadcast::new(2, r(1, 10), rounds);
             let a = b.build_pps().unwrap().analyze();
-            assert_eq!(a.constraint_probability(), b.closed_form_all_deliver(), "rounds={rounds}");
+            assert_eq!(
+                a.constraint_probability(),
+                b.closed_form_all_deliver(),
+                "rounds={rounds}"
+            );
         }
     }
 
@@ -252,8 +274,8 @@ mod tests {
     fn expectation_theorem_holds() {
         let b = Broadcast::new(3, r(1, 5), 2);
         let sys = b.build_pps().unwrap();
-        let rep = check_expectation(sys.pps(), SOURCE, deliver_action(SOURCE), &sys.phi_all())
-            .unwrap();
+        let rep =
+            check_expectation(sys.pps(), SOURCE, deliver_action(SOURCE), &sys.phi_all()).unwrap();
         assert!(rep.independence.independent);
         assert!(rep.equal);
     }
@@ -283,8 +305,8 @@ mod tests {
         let b = Broadcast::new(3, r(1, 10), 1);
         let sys = b.build_pps().unwrap();
         let phi = sys.phi_all();
-        let a = ActionAnalysis::new(sys.pps(), AgentId(1), deliver_action(AgentId(1)), &phi)
-            .unwrap();
+        let a =
+            ActionAnalysis::new(sys.pps(), AgentId(1), deliver_action(AgentId(1)), &phi).unwrap();
         // Given receiver 1 delivers: all deliver iff receiver 2 informed (0.9).
         assert_eq!(a.constraint_probability(), r(9, 10));
         assert_eq!(a.min_belief_when_acting(), Some(r(9, 10)));
@@ -292,8 +314,16 @@ mod tests {
 
     #[test]
     fn more_rounds_strictly_improve() {
-        let p1 = Broadcast::new(3, r(1, 10), 1).build_pps().unwrap().analyze().constraint_probability();
-        let p2 = Broadcast::new(3, r(1, 10), 2).build_pps().unwrap().analyze().constraint_probability();
+        let p1 = Broadcast::new(3, r(1, 10), 1)
+            .build_pps()
+            .unwrap()
+            .analyze()
+            .constraint_probability();
+        let p2 = Broadcast::new(3, r(1, 10), 2)
+            .build_pps()
+            .unwrap()
+            .analyze()
+            .constraint_probability();
         assert!(p1 < p2);
     }
 

@@ -48,10 +48,20 @@ pub fn figure1<P: Probability>() -> Pps<SimpleState, P> {
     let g0 = b
         .initial(SimpleState::new(0, vec![0]), P::one())
         .expect("valid prior");
-    b.child(g0, SimpleState::new(0, vec![1]), half.clone(), &[(AGENT_I, ALPHA)])
-        .expect("valid transition");
-    b.child(g0, SimpleState::new(0, vec![2]), half, &[(AGENT_I, ALPHA_PRIME)])
-        .expect("valid transition");
+    b.child(
+        g0,
+        SimpleState::new(0, vec![1]),
+        half.clone(),
+        &[(AGENT_I, ALPHA)],
+    )
+    .expect("valid transition");
+    b.child(
+        g0,
+        SimpleState::new(0, vec![2]),
+        half,
+        &[(AGENT_I, ALPHA_PRIME)],
+    )
+    .expect("valid transition");
     let mut pps = b.build().expect("Figure 1 is a valid pps");
     pps.set_action_name(ALPHA, "α");
     pps.set_action_name(ALPHA_PRIME, "α′");

@@ -31,7 +31,9 @@ use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::pps::Pps;
 use pak_core::prob::Probability;
 
-use pak_protocol::messaging::{AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal};
+use pak_protocol::messaging::{
+    AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal,
+};
 use pak_protocol::unfold::{unfold, UnfoldError};
 
 /// Alice's agent id.
@@ -97,10 +99,17 @@ pub struct FirePolicy {
 
 impl FirePolicy {
     /// The paper's `FS`: fire regardless of the reply.
-    pub const ALWAYS: FirePolicy = FirePolicy { on_yes: true, on_no: true, on_nothing: true };
+    pub const ALWAYS: FirePolicy = FirePolicy {
+        on_yes: true,
+        on_no: true,
+        on_nothing: true,
+    };
     /// The §8 improvement: refrain after a `No`.
-    pub const REFRAIN_ON_NO: FirePolicy =
-        FirePolicy { on_yes: true, on_no: false, on_nothing: true };
+    pub const REFRAIN_ON_NO: FirePolicy = FirePolicy {
+        on_yes: true,
+        on_no: false,
+        on_nothing: true,
+    };
 
     /// Whether the policy fires on the given reply.
     #[must_use]
@@ -243,7 +252,8 @@ impl<P: Probability> FiringSquad<P> {
     /// use [`FiringSquad::try_build_pps`] to handle the error.
     #[must_use]
     pub fn build_pps(&self) -> FsSystem<P> {
-        self.try_build_pps().expect("FS unfolds for valid parameters")
+        self.try_build_pps()
+            .expect("FS unfolds for valid parameters")
     }
 
     /// Fallible variant of [`FiringSquad::build_pps`].
@@ -270,11 +280,17 @@ impl<P: Probability> MessageProtocol<P> for FiringSquad<P> {
 
     fn initial(&self) -> Vec<(Vec<FsLocal>, P)> {
         let go1 = vec![
-            FsLocal::Alice { go: true, reply: Reply::Nothing },
+            FsLocal::Alice {
+                go: true,
+                reply: Reply::Nothing,
+            },
             FsLocal::Bob { heard: None },
         ];
         let go0 = vec![
-            FsLocal::Alice { go: false, reply: Reply::Nothing },
+            FsLocal::Alice {
+                go: false,
+                reply: Reply::Nothing,
+            },
             FsLocal::Bob { heard: None },
         ];
         if self.go_prob.is_one() {
@@ -283,10 +299,7 @@ impl<P: Probability> MessageProtocol<P> for FiringSquad<P> {
         if self.go_prob.is_zero() {
             return vec![(go0, P::one())];
         }
-        vec![
-            (go1, self.go_prob.clone()),
-            (go0, self.go_prob.one_minus()),
-        ]
+        vec![(go1, self.go_prob.clone()), (go0, self.go_prob.one_minus())]
     }
 
     fn horizon(&self) -> Time {
@@ -445,8 +458,8 @@ mod tests {
     #[test]
     fn expectation_theorem_holds_exactly_on_fs() {
         let sys = FiringSquad::paper().build_pps();
-        let rep = check_expectation(sys.pps(), ALICE, FIRE_A, &FsSystem::<Rational>::phi_both())
-            .unwrap();
+        let rep =
+            check_expectation(sys.pps(), ALICE, FIRE_A, &FsSystem::<Rational>::phi_both()).unwrap();
         assert!(rep.independence.independent);
         assert!(rep.equal);
         assert_eq!(rep.lhs, r(99, 100));
@@ -466,7 +479,9 @@ mod tests {
         let base = FiringSquad::paper().build_pps();
         let better = FiringSquad::improved().build_pps();
         let fire_base = base.pps().measure(&base.pps().action_event(ALICE, FIRE_A));
-        let fire_better = better.pps().measure(&better.pps().action_event(ALICE, FIRE_A));
+        let fire_better = better
+            .pps()
+            .measure(&better.pps().action_event(ALICE, FIRE_A));
         // go_prob = ½; Alice refrains on measure ½·0.009.
         assert_eq!(fire_base, r(1, 2));
         assert_eq!(fire_better, r(991, 2000));
@@ -524,7 +539,10 @@ mod tests {
         let exact = FiringSquad::paper().build_pps().analyze();
         let fs64 = FiringSquad::new(0.1f64, 0.5, 2);
         let approx = fs64.build_pps().analyze();
-        assert!((approx.constraint_probability() - exact.constraint_probability().to_f64()).abs() < 1e-9);
+        assert!(
+            (approx.constraint_probability() - exact.constraint_probability().to_f64()).abs()
+                < 1e-9
+        );
         assert!((approx.expected_belief() - exact.expected_belief().to_f64()).abs() < 1e-9);
     }
 

@@ -12,10 +12,10 @@
 //! per-agent observation (partition) functions, and exposes the
 //! Monderer–Samet quantities directly.
 
+use pak_core::belief::Beliefs;
 use pak_core::event::RunSet;
 use pak_core::fact::StateFact;
 use pak_core::ids::{AgentId, Point, RunId};
-use pak_core::belief::Beliefs;
 use pak_core::pps::{Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::SimpleState;
@@ -63,7 +63,11 @@ impl<P: Probability> FlatSystem<P> {
         let n_agents = worlds[0].1.len() as u32;
         let mut b = PpsBuilder::<SimpleState, P>::new(n_agents);
         for (w, (prior, obs)) in worlds.into_iter().enumerate() {
-            assert_eq!(obs.len() as u32, n_agents, "inconsistent observation vector");
+            assert_eq!(
+                obs.len() as u32,
+                n_agents,
+                "inconsistent observation vector"
+            );
             // env records the world index; locals are the observations.
             b.initial(SimpleState::new(w as u64, obs), prior)
                 .expect("valid prior");
@@ -104,7 +108,14 @@ impl<P: Probability> FlatSystem<P> {
     pub fn posterior(&self, agent: AgentId, phi: &impl Fn(u64) -> bool, world: usize) -> P {
         let fact = world_fact(phi);
         self.pps
-            .belief(agent, &fact, Point { run: RunId(world as u32), time: 0 })
+            .belief(
+                agent,
+                &fact,
+                Point {
+                    run: RunId(world as u32),
+                    time: 0,
+                },
+            )
             .expect("world exists")
     }
 
@@ -120,7 +131,7 @@ impl<P: Probability> FlatSystem<P> {
                 .pps
                 .belief(agent, &fact, Point { run, time: 0 })
                 .expect("world exists");
-            acc = acc.add(&self.pps.run_probability(run).mul(&b));
+            acc.add_assign(&self.pps.run_probability(run).mul(&b));
         }
         acc
     }

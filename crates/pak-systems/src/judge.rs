@@ -82,7 +82,12 @@ impl<P: Probability> JudgeScenario<P> {
         }
         assert!(pieces > 0 && pieces <= 16, "pieces must lie in 1..=16");
         assert!(convict_at <= pieces, "convict_at must not exceed pieces");
-        JudgeScenario { guilt_prior, accuracy, pieces, convict_at }
+        JudgeScenario {
+            guilt_prior,
+            accuracy,
+            pieces,
+            convict_at,
+        }
     }
 
     /// Builds the pps: the initial states enumerate (guilt, evidence
@@ -125,7 +130,8 @@ impl<P: Probability> JudgeScenario<P> {
             } else {
                 &[]
             };
-            b.child(node, state, P::one(), actions).expect("valid transition");
+            b.child(node, state, P::one(), actions)
+                .expect("valid transition");
         }
         let mut pps = b.build().expect("judge scenario is a valid pps");
         pps.set_action_name(CONVICT, "convict");
@@ -229,8 +235,14 @@ mod tests {
         let j = JudgeScenario::new(r(1, 2), r(9, 10), 3, 2);
         let pps = j.build_pps();
         let tau = j.posterior_given_count(2); // the weakest conviction point
-        let rep = check_sufficiency(&pps, JUDGE, CONVICT, &JudgeScenario::<Rational>::guilty(), &tau)
-            .unwrap();
+        let rep = check_sufficiency(
+            &pps,
+            JUDGE,
+            CONVICT,
+            &JudgeScenario::<Rational>::guilty(),
+            &tau,
+        )
+        .unwrap();
         assert!(rep.independent);
         assert!(rep.implication_holds);
         assert!(rep.constraint_probability.at_least(&tau));

@@ -86,7 +86,11 @@ impl<P: Probability> RelaxedMutex<P> {
         }
         assert!(n_agents >= 1, "at least one agent required");
         assert!(n_agents <= 8, "exact enumeration supports at most 8 agents");
-        RelaxedMutex { busy_prob, noise, n_agents }
+        RelaxedMutex {
+            busy_prob,
+            noise,
+            n_agents,
+        }
     }
 
     /// Builds the pps: time 0 = sensing done (signals in locals), time 1 =
@@ -131,7 +135,8 @@ impl<P: Probability> RelaxedMutex<P> {
                 .filter(|&k| state.locals[k as usize] == SIG_FREE)
                 .map(|k| (AgentId(k), enter_action(AgentId(k))))
                 .collect();
-            b.child(node, state, P::one(), &actions).expect("valid transition");
+            b.child(node, state, P::one(), &actions)
+                .expect("valid transition");
         }
         let mut pps = b.build().expect("relaxed mutex is a valid pps");
         for k in 0..n {
@@ -206,8 +211,14 @@ mod tests {
         // exactly the signal.
         let m = scenario();
         let a = m.analyze(AgentId(0)).unwrap();
-        assert_eq!(a.min_belief_when_acting(), Some(m.posterior_empty_given_free()));
-        assert_eq!(a.max_belief_when_acting(), Some(m.posterior_empty_given_free()));
+        assert_eq!(
+            a.min_belief_when_acting(),
+            Some(m.posterior_empty_given_free())
+        );
+        assert_eq!(
+            a.max_belief_when_acting(),
+            Some(m.posterior_empty_given_free())
+        );
     }
 
     #[test]

@@ -74,9 +74,11 @@ pub fn sweep_policies<P: Probability>(base: &FiringSquad<P>) -> Vec<PolicyOutcom
     let always = base.clone().with_policy(FirePolicy::ALWAYS);
     let base_sys = always.build_pps();
     let base_analysis = base_sys.analyze();
-    let base_fire = base_sys
-        .pps()
-        .measure(&base_sys.pps().action_event(crate::firing_squad::ALICE, FIRE_A));
+    let base_fire = base_sys.pps().measure(
+        &base_sys
+            .pps()
+            .action_event(crate::firing_squad::ALICE, FIRE_A),
+    );
 
     // Per-reply (belief, conditional measure) from the base run records.
     let mut per_reply: Vec<(Reply, P, P)> = Vec::new(); // (reply, belief, cond. measure)
@@ -90,7 +92,7 @@ pub fn sweep_policies<P: Probability>(base: &FiringSquad<P>) -> Vec<PolicyOutcom
         };
         let cond = rb.prob.div(base_analysis.action_measure());
         match per_reply.iter_mut().find(|(r, _, _)| *r == reply) {
-            Some((_, _, m)) => *m = m.add(&cond),
+            Some((_, _, m)) => m.add_assign(&cond),
             None => per_reply.push((reply, rb.belief.clone(), cond)),
         }
     }
@@ -105,8 +107,8 @@ pub fn sweep_policies<P: Probability>(base: &FiringSquad<P>) -> Vec<PolicyOutcom
         let mut weighted = P::zero();
         for (reply, belief, measure) in &per_reply {
             if policy.fires_on(*reply) {
-                mass = mass.add(measure);
-                weighted = weighted.add(&measure.mul(belief));
+                mass.add_assign(measure);
+                weighted.add_assign(&measure.mul(belief));
             }
         }
         let predicted_success = weighted.div(&mass);
@@ -188,7 +190,10 @@ mod tests {
     #[test]
     fn paper_policies_recovered() {
         let outcomes = sweep_policies(&FiringSquad::paper());
-        let always = outcomes.iter().find(|o| o.policy == FirePolicy::ALWAYS).unwrap();
+        let always = outcomes
+            .iter()
+            .find(|o| o.policy == FirePolicy::ALWAYS)
+            .unwrap();
         assert_eq!(always.success_probability, r(99, 100));
         assert_eq!(always.fire_probability, r(1, 2));
         let improved = outcomes
@@ -204,7 +209,11 @@ mod tests {
         let best = safest_policy(&outcomes);
         assert_eq!(
             best.policy,
-            FirePolicy { on_yes: true, on_no: false, on_nothing: false }
+            FirePolicy {
+                on_yes: true,
+                on_no: false,
+                on_nothing: false
+            }
         );
         assert!(best.success_probability.is_one());
         // …at a liveness cost: fires only when Yes arrives.
@@ -225,7 +234,11 @@ mod tests {
         };
         let always = get(FirePolicy::ALWAYS);
         let refrain = get(FirePolicy::REFRAIN_ON_NO);
-        let only_yes = get(FirePolicy { on_yes: true, on_no: false, on_nothing: false });
+        let only_yes = get(FirePolicy {
+            on_yes: true,
+            on_no: false,
+            on_nothing: false,
+        });
         assert!(always < refrain);
         assert!(refrain < only_yes);
     }
@@ -237,8 +250,16 @@ mod tests {
         // ALWAYS (max liveness) and only-Yes (max safety) are both on the
         // frontier; firing only on No is not (dominated by both).
         assert!(frontier.contains(&FirePolicy::ALWAYS));
-        assert!(frontier.contains(&FirePolicy { on_yes: true, on_no: false, on_nothing: false }));
-        assert!(!frontier.contains(&FirePolicy { on_yes: false, on_no: true, on_nothing: false }));
+        assert!(frontier.contains(&FirePolicy {
+            on_yes: true,
+            on_no: false,
+            on_nothing: false
+        }));
+        assert!(!frontier.contains(&FirePolicy {
+            on_yes: false,
+            on_no: true,
+            on_nothing: false
+        }));
     }
 
     #[test]
@@ -247,7 +268,14 @@ mod tests {
         let outcomes = sweep_policies(&FiringSquad::paper());
         let worst = outcomes
             .iter()
-            .find(|o| o.policy == FirePolicy { on_yes: false, on_no: true, on_nothing: false })
+            .find(|o| {
+                o.policy
+                    == FirePolicy {
+                        on_yes: false,
+                        on_no: true,
+                        on_nothing: false,
+                    }
+            })
             .unwrap();
         assert!(worst.success_probability.is_zero());
     }

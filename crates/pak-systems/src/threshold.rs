@@ -101,18 +101,38 @@ impl<P: Probability> ThresholdConstruction<P> {
             .child(s0, SimpleState::new(0, vec![1, 0]), P::one(), &[])
             .expect("valid");
         let t1m = b
-            .child(s1, SimpleState::new(0, vec![1, 1]), eps_over_p.one_minus(), &[])
+            .child(
+                s1,
+                SimpleState::new(0, vec![1, 1]),
+                eps_over_p.one_minus(),
+                &[],
+            )
             .expect("ε < p");
         let t1m2 = b
             .child(s1, SimpleState::new(0, vec![2, 1]), eps_over_p, &[])
             .expect("ε > 0");
         // Round 2: i unconditionally performs α (locals are preserved).
-        b.child(t0, SimpleState::new(0, vec![1, 0]), P::one(), &[(AGENT_I, ALPHA)])
-            .expect("valid");
-        b.child(t1m, SimpleState::new(0, vec![1, 1]), P::one(), &[(AGENT_I, ALPHA)])
-            .expect("valid");
-        b.child(t1m2, SimpleState::new(0, vec![2, 1]), P::one(), &[(AGENT_I, ALPHA)])
-            .expect("valid");
+        b.child(
+            t0,
+            SimpleState::new(0, vec![1, 0]),
+            P::one(),
+            &[(AGENT_I, ALPHA)],
+        )
+        .expect("valid");
+        b.child(
+            t1m,
+            SimpleState::new(0, vec![1, 1]),
+            P::one(),
+            &[(AGENT_I, ALPHA)],
+        )
+        .expect("valid");
+        b.child(
+            t1m2,
+            SimpleState::new(0, vec![2, 1]),
+            P::one(),
+            &[(AGENT_I, ALPHA)],
+        )
+        .expect("valid");
         let mut pps = b.build().expect("Tˆ(p, ε) is a valid pps");
         pps.set_action_name(ALPHA, "α");
         pps
@@ -179,8 +199,8 @@ impl<P: Probability> ThresholdClaims<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pak_core::independence::is_local_state_independent;
     use pak_core::fact::Facts;
+    use pak_core::independence::is_local_state_independent;
     use pak_num::Rational;
 
     fn r(n: i64, d: i64) -> Rational {

@@ -43,17 +43,18 @@ fn main() {
     // ------------------------------------------------------------------
     // A closer look at A's information states with an acknowledgement.
     // ------------------------------------------------------------------
-    let scenario = CoordinatedAttack::new(
-        Rational::from_ratio(1, 10),
-        Rational::from_ratio(1, 2),
-        2,
-    );
+    let scenario =
+        CoordinatedAttack::new(Rational::from_ratio(1, 10), Rational::from_ratio(1, 2), 2);
     let sys = scenario.build_pps().unwrap();
     let analysis = sys.analyze();
 
     println!("\nWith 2 rounds (attack message + acknowledgement), loss = 1/10:");
     for (belief, measure) in analysis.belief_distribution() {
-        let label = if belief.is_one() { "ack received " } else { "no ack       " };
+        let label = if belief.is_one() {
+            "ack received "
+        } else {
+            "no ack       "
+        };
         println!(
             "  {label} β_A(B attacks) = {:<8} on measure {} of attacking runs",
             belief.to_string(),

@@ -12,7 +12,8 @@ use pak::logic::{Formula, ModelChecker};
 use pak::num::Rational;
 use pak::systems::firing_squad::{FiringSquad, ALICE, BOB, FIRE_A, FIRE_B};
 
-type F = Formula<pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>, Rational>;
+type F =
+    Formula<pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>, Rational>;
 
 fn main() {
     println!("== Epistemic logic over the FS protocol ==\n");
@@ -29,7 +30,9 @@ fn main() {
     let kop: F = Formula::does(ALICE, FIRE_A).implies(Formula::knows(ALICE, phi_both.clone()));
     println!("KoP schema   does_A(fire) → K_A(ϕ_both)");
     println!("  valid? {}", mc.valid(&kop));
-    let cex = mc.counterexample(&kop).expect("FS violates deterministic KoP");
+    let cex = mc
+        .counterexample(&kop)
+        .expect("FS violates deterministic KoP");
     println!("  counterexample at {cex} — Alice fires without knowing ϕ_both");
     assert!(!mc.valid(&kop));
 
@@ -44,7 +47,10 @@ fn main() {
         Rational::from_ratio(99, 100),
     ));
     println!("\nB-schema     does_A(fire) → B_A^{{≥0.99}}(ϕ_both)");
-    println!("  valid? {} (the 'No'-reply firing point breaks it)", mc.valid(&weak_99));
+    println!(
+        "  valid? {} (the 'No'-reply firing point breaks it)",
+        mc.valid(&weak_99)
+    );
     assert!(!mc.valid(&weak_99));
 
     // …which is exactly why the paper's guarantees are measure-level
@@ -58,21 +64,27 @@ fn main() {
     // ------------------------------------------------------------------
     // 3. Things Alice DOES know. After a Yes reply she knows Bob heard:
     // ------------------------------------------------------------------
-    let alice_got_yes: F = Formula::atom(StateFact::new("A got Yes", |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
-        matches!(
-            g.locals[0],
-            pak::systems::firing_squad::FsLocal::Alice {
-                reply: pak::systems::firing_squad::Reply::Yes,
-                ..
-            }
-        )
-    }));
-    let bob_heard: F = Formula::atom(StateFact::new("B heard", |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
-        matches!(
-            g.locals[1],
-            pak::systems::firing_squad::FsLocal::Bob { heard: Some(true) }
-        )
-    }));
+    let alice_got_yes: F = Formula::atom(StateFact::new(
+        "A got Yes",
+        |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
+            matches!(
+                g.locals[0],
+                pak::systems::firing_squad::FsLocal::Alice {
+                    reply: pak::systems::firing_squad::Reply::Yes,
+                    ..
+                }
+            )
+        },
+    ));
+    let bob_heard: F = Formula::atom(StateFact::new(
+        "B heard",
+        |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
+            matches!(
+                g.locals[1],
+                pak::systems::firing_squad::FsLocal::Bob { heard: Some(true) }
+            )
+        },
+    ));
     let yes_means_knows: F = alice_got_yes.implies(Formula::knows(ALICE, bob_heard));
     println!("\nK-schema     A-got-Yes → K_A(B heard)");
     println!("  valid? {}", mc.valid(&yes_means_knows));
@@ -91,9 +103,15 @@ fn main() {
     // ------------------------------------------------------------------
     // 5. Temporal reasoning: if go = 1 then Alice eventually fires.
     // ------------------------------------------------------------------
-    let go: F = Formula::atom(StateFact::new("go=1", |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
-        matches!(g.locals[0], pak::systems::firing_squad::FsLocal::Alice { go: true, .. })
-    }));
+    let go: F = Formula::atom(StateFact::new(
+        "go=1",
+        |g: &pak::protocol::messaging::MsgGlobal<pak::systems::firing_squad::FsLocal>| {
+            matches!(
+                g.locals[0],
+                pak::systems::firing_squad::FsLocal::Alice { go: true, .. }
+            )
+        },
+    ));
     let liveness: F = go.implies(Formula::does(ALICE, FIRE_A).eventually());
     // ◇ looks forward from the current point, so the schema is checked at
     // time 0 (from later points the firing already lies in the past).

@@ -32,13 +32,22 @@ fn main() {
     let analysis = sys.analyze();
     let spec = Rational::from_ratio(19, 20); // the 0.95 specification
     println!("\n--- exact analysis ---");
-    println!("µ(ϕ_both@fire_A | fire_A) = {} (paper: 0.99)", analysis.constraint_probability());
-    println!("spec µ ≥ 0.95 satisfied:    {}", analysis.satisfies_constraint(&spec));
+    println!(
+        "µ(ϕ_both@fire_A | fire_A) = {} (paper: 0.99)",
+        analysis.constraint_probability()
+    );
+    println!(
+        "spec µ ≥ 0.95 satisfied:    {}",
+        analysis.satisfies_constraint(&spec)
+    );
     println!(
         "threshold 0.95 met on measure {} of firing runs (paper: 0.991)",
         analysis.threshold_measure(&spec)
     );
-    println!("E[β_A(ϕ_both)@fire_A | fire_A] = {} (= µ, Theorem 6.2)", analysis.expected_belief());
+    println!(
+        "E[β_A(ϕ_both)@fire_A | fire_A] = {} (= µ, Theorem 6.2)",
+        analysis.expected_belief()
+    );
 
     println!("\nAlice's belief when she fires, by information state:");
     for (belief, measure) in analysis.belief_distribution() {
@@ -65,16 +74,27 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n--- Monte-Carlo cross-validation (100k trials) ---");
     let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
-    let est = estimate_constraint::<_, Rational>(&model, 2024, 100_000, ALICE, FIRE_A, |trial, t| {
-        trial.does(ALICE, FIRE_A, t) && trial.does(BOB, FIRE_B, t)
-    });
+    let est =
+        estimate_constraint::<_, Rational>(&model, 2024, 100_000, ALICE, FIRE_A, |trial, t| {
+            trial.does(ALICE, FIRE_A, t) && trial.does(BOB, FIRE_B, t)
+        });
     let (lo, hi) = est.proportion.wilson(2.576);
-    println!("estimated µ(ϕ_both | fire_A) = {} (99% CI [{lo:.5}, {hi:.5}])", est.proportion);
-    assert!(est.proportion.contains(0.99, 2.576), "exact value must fall in the CI");
+    println!(
+        "estimated µ(ϕ_both | fire_A) = {} (99% CI [{lo:.5}, {hi:.5}])",
+        est.proportion
+    );
+    assert!(
+        est.proportion.contains(0.99, 2.576),
+        "exact value must fall in the CI"
+    );
 
     let table = BeliefTable::from_pps(pps, ALICE, &FsSystem::<Rational>::phi_both());
-    let thr = estimate_threshold_measure::<_, Rational>(&model, 7, 100_000, ALICE, FIRE_A, &table, 0.95);
-    println!("estimated µ(β ≥ 0.95 | fire_A) = {} (paper: 0.991)", thr.proportion);
+    let thr =
+        estimate_threshold_measure::<_, Rational>(&model, 7, 100_000, ALICE, FIRE_A, &table, 0.95);
+    println!(
+        "estimated µ(β ≥ 0.95 | fire_A) = {} (paper: 0.991)",
+        thr.proportion
+    );
     assert!(thr.proportion.contains(0.991, 2.576));
 
     // ------------------------------------------------------------------

@@ -67,7 +67,11 @@ fn main() {
         g.env == 1 && g.locals.iter().all(|&s| s == 1)
     });
     let collision = pps.measure(&pps.fact_event_at_time(&both_in_busy, 0));
-    println!("  P(both agents enter a busy CS) = {} = {:.6}", collision, collision.to_f64());
+    println!(
+        "  P(both agents enter a busy CS) = {} = {:.6}",
+        collision,
+        collision.to_f64()
+    );
 
     println!("\nok");
 }

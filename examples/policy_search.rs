@@ -63,7 +63,8 @@ fn main() {
     println!(
         "\nSafest live policy: {} with success {}",
         policy_name(best.policy),
-        best.success_probability.to_decimal(5, DecimalRounding::HalfUp)
+        best.success_probability
+            .to_decimal(5, DecimalRounding::HalfUp)
     );
     println!(
         "The paper's §8 pick (refrain on No) reaches {} — optimal among\n\

@@ -20,17 +20,31 @@ fn main() -> Result<(), PpsError> {
     let h = b.initial(SimpleState::new(1, vec![0]), heads_prior.clone())?;
     let t = b.initial(SimpleState::new(0, vec![0]), heads_prior.one_minus())?;
     let fire = ActionId(0);
-    b.child(h, SimpleState::new(1, vec![0]), Rational::one(), &[(AgentId(0), fire)])?;
-    b.child(t, SimpleState::new(0, vec![0]), Rational::one(), &[(AgentId(0), fire)])?;
+    b.child(
+        h,
+        SimpleState::new(1, vec![0]),
+        Rational::one(),
+        &[(AgentId(0), fire)],
+    )?;
+    b.child(
+        t,
+        SimpleState::new(0, vec![0]),
+        Rational::one(),
+        &[(AgentId(0), fire)],
+    )?;
     let pps = b.build()?;
-    println!("built a pps with {} runs and {} nodes", pps.num_runs(), pps.num_nodes());
+    println!(
+        "built a pps with {} runs and {} nodes",
+        pps.num_runs(),
+        pps.num_nodes()
+    );
 
     // -----------------------------------------------------------------
     // 2. Analyse the (agent, action, condition) triple.
     // -----------------------------------------------------------------
     let heads = StateFact::<SimpleState>::new("heads", |g| g.env == 1);
-    let analysis = ActionAnalysis::new(&pps, AgentId(0), fire, &heads)
-        .expect("fire is a proper action");
+    let analysis =
+        ActionAnalysis::new(&pps, AgentId(0), fire, &heads).expect("fire is a proper action");
 
     println!("µ(ϕ@α | α)      = {}", analysis.constraint_probability());
     println!("E[β(ϕ)@α | α]   = {}", analysis.expected_belief());

@@ -55,28 +55,51 @@ fn r(n: i64, d: i64) -> Rational {
 fn e1(rep: &mut Report) {
     rep.section("E1: Example 1 — relaxed firing squad");
     let a = FiringSquad::paper().build_pps().analyze();
-    rep.row("µ(ϕ_both@fire_A | fire_A)", "99/100", &a.constraint_probability().to_string());
+    rep.row(
+        "µ(ϕ_both@fire_A | fire_A)",
+        "99/100",
+        &a.constraint_probability().to_string(),
+    );
     rep.row(
         "µ(β_A ≥ 0.95 | fire_A)",
         "991/1000",
         &a.threshold_measure(&r(19, 20)).to_string(),
     );
-    rep.row("E[β_A@fire_A | fire_A]", "99/100", &a.expected_belief().to_string());
+    rep.row(
+        "E[β_A@fire_A | fire_A]",
+        "99/100",
+        &a.expected_belief().to_string(),
+    );
     let improved = FiringSquad::improved().build_pps().analyze();
-    rep.row("§8 improved µ", "990/991", &improved.constraint_probability().to_string());
+    rep.row(
+        "§8 improved µ",
+        "990/991",
+        &improved.constraint_probability().to_string(),
+    );
     rep.row(
         "§8 improved µ (paper's decimals)",
         "0.99899",
-        &improved.constraint_probability().to_decimal(5, DecimalRounding::HalfUp),
+        &improved
+            .constraint_probability()
+            .to_decimal(5, DecimalRounding::HalfUp),
     );
 }
 
 fn e2(rep: &mut Report) {
     rep.section("E2: Figure 1 — counterexamples");
     let pps = figure1::figure1::<Rational>();
-    let suff = ActionAnalysis::new(&pps, figure1::AGENT_I, figure1::ALPHA, &figure1::psi()).unwrap();
-    rep.row("β_i(ψ) at α-points", "1/2", &suff.min_belief_when_acting().unwrap().to_string());
-    rep.row("µ(ψ@α | α)", "0", &suff.constraint_probability().to_string());
+    let suff =
+        ActionAnalysis::new(&pps, figure1::AGENT_I, figure1::ALPHA, &figure1::psi()).unwrap();
+    rep.row(
+        "β_i(ψ) at α-points",
+        "1/2",
+        &suff.min_belief_when_acting().unwrap().to_string(),
+    );
+    rep.row(
+        "µ(ψ@α | α)",
+        "0",
+        &suff.constraint_probability().to_string(),
+    );
     let exp = check_expectation(&pps, figure1::AGENT_I, figure1::ALPHA, &figure1::phi()).unwrap();
     rep.row("µ(ϕ@α | α), ϕ = does(α)", "1", &exp.lhs.to_string());
     rep.row("E[β_i(ϕ)@α | α]", "1/2", &exp.rhs.to_string());
@@ -112,16 +135,28 @@ fn e5(rep: &mut Report) {
     )
     .unwrap();
     rep.claim("premise µ ≥ 1 − ε² holds at ε = 0.1", pak.premise_holds);
-    rep.row("µ(β ≥ 0.9 | fire_A)", "991/1000", &pak.strong_belief_measure.to_string());
+    rep.row(
+        "µ(β ≥ 0.9 | fire_A)",
+        "991/1000",
+        &pak.strong_belief_measure.to_string(),
+    );
     rep.claim("conclusion ≥ 1 − ε", pak.implication_holds);
-    rep.row("frontier p′(0.99)", "0.900000", &format!("{:.6}", pak_frontier(0.99)));
+    rep.row(
+        "frontier p′(0.99)",
+        "0.900000",
+        &format!("{:.6}", pak_frontier(0.99)),
+    );
 }
 
 fn e8(rep: &mut Report) {
     rep.section("E8: relaxed mutual exclusion");
     let m = RelaxedMutex::new(r(1, 5), r(1, 20), 2);
     let a = m.analyze(AgentId(0)).unwrap();
-    rep.row("µ(empty@enter | enter)", "76/77", &a.constraint_probability().to_string());
+    rep.row(
+        "µ(empty@enter | enter)",
+        "76/77",
+        &a.constraint_probability().to_string(),
+    );
     rep.row(
         "Bayes posterior (closed form)",
         &m.posterior_empty_given_free().to_string(),
@@ -134,16 +169,31 @@ fn e11(rep: &mut Report) {
     let outcomes = sweep_policies(&FiringSquad::paper());
     rep.claim(
         "Theorem 6.2 predicts every policy's success",
-        outcomes.iter().all(pak::systems::policy::PolicyOutcome::prediction_matches),
+        outcomes
+            .iter()
+            .all(pak::systems::policy::PolicyOutcome::prediction_matches),
     );
-    let only_yes = FirePolicy { on_yes: true, on_no: false, on_nothing: false };
+    let only_yes = FirePolicy {
+        on_yes: true,
+        on_no: false,
+        on_nothing: false,
+    };
     let best = outcomes.iter().find(|o| o.policy == only_yes).unwrap();
-    rep.row("success(fire only on Yes)", "1", &best.success_probability.to_string());
+    rep.row(
+        "success(fire only on Yes)",
+        "1",
+        &best.success_probability.to_string(),
+    );
     let bcast = Broadcast::new(3, r(1, 10), 2);
     rep.row(
         "broadcast(3, 0.1, 2) µ(all | src)",
         "9801/10000",
-        &bcast.build_pps().unwrap().analyze().constraint_probability().to_string(),
+        &bcast
+            .build_pps()
+            .unwrap()
+            .analyze()
+            .constraint_probability()
+            .to_string(),
     );
     // Bonus: the judge's beyond-reasonable-doubt bound.
     let j = JudgeScenario::new(r(1, 2), r(9, 10), 3, 3);

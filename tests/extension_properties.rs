@@ -1,7 +1,8 @@
 //! Property tests for the extension modules: belief dynamics, common
 //! belief, policy prediction, and the broadcast family.
-
-use proptest::prelude::*;
+//!
+//! The case grids are deterministic (fixed seed strides, no external
+//! property-testing dependency), so every failure replays exactly.
 
 use pak::core::prelude::*;
 use pak::core::trace::{belief_envelope, BeliefTrace};
@@ -24,44 +25,58 @@ fn cfg(seed: u64) -> RandomModelConfig {
     }
 }
 
+/// Deterministic case grid: `n` seeds striding `0..range`.
+fn seeds(n: u64, range: u64) -> impl Iterator<Item = u64> {
+    (0..n).map(move |i| (i.wrapping_mul(13) + 7) % range)
+}
+
 /// A run fact: "the run's final environment value is even". Constant along
 /// each run, so beliefs about it form a martingale.
 fn final_env_even(pps: &Pps<SimpleState, Rational>) -> FnFact<SimpleState, Rational> {
     let _ = pps;
-    FnFact::new("final env even", |pps: &Pps<SimpleState, Rational>, pt: Point| {
-        let last = pps.run_len(pt.run) as u32 - 1;
-        pps.state_at(Point { run: pt.run, time: last })
+    FnFact::new(
+        "final env even",
+        |pps: &Pps<SimpleState, Rational>, pt: Point| {
+            let last = pps.run_len(pt.run) as u32 - 1;
+            pps.state_at(Point {
+                run: pt.run,
+                time: last,
+            })
             .is_some_and(|g| g.env % 2 == 0)
-    })
+        },
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The tower rule (§6.1's Jeffrey conditionalisation, dynamically): for
-    /// a fact about runs, the expected belief trajectory is constant — a
-    /// martingale — and equals the fact's prior probability.
-    #[test]
-    fn belief_martingale_on_run_facts(seed in 0u64..200) {
+/// The tower rule (§6.1's Jeffrey conditionalisation, dynamically): for
+/// a fact about runs, the expected belief trajectory is constant — a
+/// martingale — and equals the fact's prior probability.
+#[test]
+fn belief_martingale_on_run_facts() {
+    for seed in seeds(24, 200) {
         let pps = random_pps::<Rational>(seed, &cfg(seed)).unwrap();
         let fact = final_env_even(&pps);
-        prop_assume!(pps.is_run_fact(&fact));
+        if !pps.is_run_fact(&fact) {
+            continue;
+        }
         let prior = pps.measure(&pps.run_fact_event(&fact));
         for agent in pps.agents() {
             let env = belief_envelope(&pps, agent, &fact);
             for (t, e) in env.expected.iter().enumerate() {
-                prop_assert_eq!(
-                    e.clone(), prior.clone(),
-                    "seed {}: E[β at t={}] must equal the prior", seed, t
+                assert_eq!(
+                    e.clone(),
+                    prior.clone(),
+                    "seed {seed}: E[β at t={t}] must equal the prior"
                 );
             }
         }
     }
+}
 
-    /// Belief traces are bounded by the envelope, and resolve to 0/1 iff
-    /// the agent's final cell decides the fact.
-    #[test]
-    fn traces_lie_within_envelope(seed in 0u64..200) {
+/// Belief traces are bounded by the envelope, and resolve to 0/1 iff
+/// the agent's final cell decides the fact.
+#[test]
+fn traces_lie_within_envelope() {
+    for seed in seeds(24, 200) {
         let pps = random_pps::<Rational>(seed, &cfg(seed)).unwrap();
         let fact = final_env_even(&pps);
         for agent in pps.agents() {
@@ -69,63 +84,85 @@ proptest! {
             for run in pps.run_ids() {
                 let trace = BeliefTrace::compute(&pps, agent, &fact, run);
                 for (t, v) in trace.values.iter().enumerate() {
-                    prop_assert!(v.at_least(&env.min[t]));
-                    prop_assert!(env.max[t].at_least(v));
+                    assert!(v.at_least(&env.min[t]));
+                    assert!(env.max[t].at_least(v));
                 }
             }
         }
     }
+}
 
-    /// Common belief is monotone: C^p ⊆ C^q for p ≥ q, and C^p ⊆ E^p(ϕ).
-    #[test]
-    fn common_belief_laws(seed in 0u64..100, pn in 1i64..10, qn in 1i64..10) {
+/// Common belief is monotone: C^p ⊆ C^q for p ≥ q, and C^p ⊆ E^p(ϕ).
+#[test]
+fn common_belief_laws() {
+    for seed in seeds(12, 100) {
         let pps = random_pps::<Rational>(seed, &cfg(seed)).unwrap();
         let fact = StateFact::new("env even", |g: &SimpleState| g.env.is_multiple_of(2));
         let agents: Vec<AgentId> = pps.agents().collect();
-        let (hi, lo) = if pn >= qn { (pn, qn) } else { (qn, pn) };
-        let p = Rational::from_ratio(hi, 10);
-        let q = Rational::from_ratio(lo, 10);
-        let cp = common_belief(&pps, &agents, &p, &fact);
-        let cq = common_belief(&pps, &agents, &q, &fact);
-        prop_assert!(cp.is_subset(&cq), "seed {seed}: C^p ⊄ C^q for p ≥ q");
-        // C^p(ϕ) ⊆ B_i^p(ϕ-points ∩ C^p) for every agent (fixpoint property).
-        let phi = fact_points(&pps, &fact);
-        let restricted: pak::logic::PointSet = phi.intersection(&cp).copied().collect();
-        for &agent in &agents {
-            let b = believes_set(&pps, agent, &p, &restricted);
-            prop_assert!(cp.is_subset(&b), "seed {seed}: fixpoint property violated");
+        for (pn, qn) in [(9i64, 1i64), (5, 5), (7, 3), (2, 1)] {
+            let (hi, lo) = if pn >= qn { (pn, qn) } else { (qn, pn) };
+            let p = Rational::from_ratio(hi, 10);
+            let q = Rational::from_ratio(lo, 10);
+            let cp = common_belief(&pps, &agents, &p, &fact);
+            let cq = common_belief(&pps, &agents, &q, &fact);
+            assert!(cp.is_subset(&cq), "seed {seed}: C^p ⊄ C^q for p ≥ q");
+            // C^p(ϕ) ⊆ B_i^p(ϕ-points ∩ C^p) for every agent (fixpoint property).
+            let phi = fact_points(&pps, &fact);
+            let restricted: pak::logic::PointSet = phi.intersection(&cp).copied().collect();
+            for &agent in &agents {
+                let b = believes_set(&pps, agent, &p, &restricted);
+                assert!(cp.is_subset(&b), "seed {seed}: fixpoint property violated");
+            }
         }
     }
+}
 
-    /// Policy predictions equal measurements across random FS parameters.
-    #[test]
-    fn policy_predictions_always_match(
-        ln in 1i64..5, gn in 1i64..5, copies in 1u32..3,
-    ) {
-        let fs = FiringSquad::new(
-            Rational::from_ratio(ln, 10),
-            Rational::from_ratio(gn, 5),
-            copies,
-        );
-        for o in sweep_policies(&fs) {
-            prop_assert!(
-                o.prediction_matches(),
-                "policy {:?}: predicted {} ≠ measured {}",
-                o.policy, o.predicted_success, o.success_probability
-            );
-            prop_assert!(o.success_probability.is_valid_probability());
-            prop_assert!(o.fire_probability.is_valid_probability());
+/// Policy predictions equal measurements across random FS parameters.
+#[test]
+fn policy_predictions_always_match() {
+    for ln in 1i64..5 {
+        for gn in 1i64..5 {
+            for copies in 1u32..3 {
+                let fs = FiringSquad::new(
+                    Rational::from_ratio(ln, 10),
+                    Rational::from_ratio(gn, 5),
+                    copies,
+                );
+                for o in sweep_policies(&fs) {
+                    assert!(
+                        o.prediction_matches(),
+                        "policy {:?}: predicted {} ≠ measured {}",
+                        o.policy,
+                        o.predicted_success,
+                        o.success_probability
+                    );
+                    assert!(o.success_probability.is_valid_probability());
+                    assert!(o.fire_probability.is_valid_probability());
+                }
+            }
         }
     }
+}
 
-    /// Broadcast closed form across the parameter grid.
-    #[test]
-    fn broadcast_matches_closed_form(n in 2u32..5, ln in 1i64..5, rounds in 1u32..3) {
-        let b = Broadcast::new(n, Rational::from_ratio(ln, 10), rounds);
-        let analysis = b.build_pps().unwrap().analyze();
-        prop_assert_eq!(analysis.constraint_probability(), b.closed_form_all_deliver());
-        // Theorem 6.2 on the family.
-        prop_assert_eq!(analysis.expected_belief(), analysis.constraint_probability());
+/// Broadcast closed form across the parameter grid.
+#[test]
+fn broadcast_matches_closed_form() {
+    for n in 2u32..5 {
+        for ln in 1i64..5 {
+            for rounds in 1u32..3 {
+                let b = Broadcast::new(n, Rational::from_ratio(ln, 10), rounds);
+                let analysis = b.build_pps().unwrap().analyze();
+                assert_eq!(
+                    analysis.constraint_probability(),
+                    b.closed_form_all_deliver()
+                );
+                // Theorem 6.2 on the family.
+                assert_eq!(
+                    analysis.expected_belief(),
+                    analysis.constraint_probability()
+                );
+            }
+        }
     }
 }
 

@@ -51,8 +51,15 @@ fn perturbed_distribution_fails_pps_validation() {
     // An edge distribution off by 1/1000 must be rejected at build time.
     let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
     let g0 = b.initial(SimpleState::zeroed(1), Rational::one()).unwrap();
-    b.child(g0, SimpleState::zeroed(1), Rational::from_ratio(499, 1000), &[]).unwrap();
-    b.child(g0, SimpleState::zeroed(1), Rational::from_ratio(1, 2), &[]).unwrap();
+    b.child(
+        g0,
+        SimpleState::zeroed(1),
+        Rational::from_ratio(499, 1000),
+        &[],
+    )
+    .unwrap();
+    b.child(g0, SimpleState::zeroed(1), Rational::from_ratio(1, 2), &[])
+        .unwrap();
     assert!(matches!(b.build(), Err(PpsError::BadDistribution { .. })));
 }
 
@@ -60,10 +67,7 @@ fn perturbed_distribution_fails_pps_validation() {
 fn threshold_construction_claims_fail_off_manifold() {
     // Verify the Theorem 5.2 claims CAN fail: check a Tˆ(p, ε) instance's
     // claims against a *different* p — the comparison must come out false.
-    let t = ThresholdConstruction::new(
-        Rational::from_ratio(3, 4),
-        Rational::from_ratio(1, 100),
-    );
+    let t = ThresholdConstruction::new(Rational::from_ratio(3, 4), Rational::from_ratio(1, 100));
     let claims = t.verify();
     assert!(claims.all_hold());
     assert_ne!(claims.constraint_probability, Rational::from_ratio(1, 2));
@@ -86,7 +90,10 @@ fn tampered_beliefs_break_the_expectation_identity() {
         corrupted += rb.prob.clone() * fake;
     }
     corrupted = corrupted / analysis.action_measure().clone();
-    assert_ne!(corrupted, mu, "squared beliefs must not satisfy the identity");
+    assert_ne!(
+        corrupted, mu,
+        "squared beliefs must not satisfy the identity"
+    );
     assert_eq!(analysis.expected_belief(), mu, "honest beliefs must");
 }
 
@@ -96,9 +103,10 @@ fn seed_independence_of_conclusions() {
     // against seed-lucky tests.
     let model = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
     for seed in [1u64, 99, 12345] {
-        let est = estimate_constraint::<_, Rational>(&model, seed, 40_000, ALICE, FIRE_A, |t, time| {
-            t.does(ALICE, FIRE_A, time) && t.does(BOB, FIRE_B, time)
-        });
+        let est =
+            estimate_constraint::<_, Rational>(&model, seed, 40_000, ALICE, FIRE_A, |t, time| {
+                t.does(ALICE, FIRE_A, time) && t.does(BOB, FIRE_B, time)
+            });
         assert!(est.proportion.contains(0.99, Z99), "seed {seed}: {est}");
     }
 }

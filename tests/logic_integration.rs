@@ -45,14 +45,20 @@ fn belief_is_knowledge_compatible_on_generated_systems() {
         let pps = random_pps::<Rational>(seed, &cfg).unwrap();
         let mc = ModelChecker::new(&pps);
         let phi: Formula<SimpleState, Rational> =
-            Formula::atom(StateFact::new("local0=0", |g: &SimpleState| g.locals[0] == 0));
+            Formula::atom(StateFact::new("local0=0", |g: &SimpleState| {
+                g.locals[0] == 0
+            }));
         for agent in pps.agents() {
-            let k_implies_b1 = Formula::knows(agent, phi.clone())
-                .implies(Formula::believes_at_least(agent, phi.clone(), Rational::one()));
+            let k_implies_b1 = Formula::knows(agent, phi.clone()).implies(
+                Formula::believes_at_least(agent, phi.clone(), Rational::one()),
+            );
             assert!(mc.valid(&k_implies_b1), "K→B1 failed (seed {seed})");
             let b1_consistent = Formula::believes_at_least(agent, phi.clone(), Rational::one())
                 .implies(Formula::knows(agent, phi.clone().not()).not());
-            assert!(mc.valid(&b1_consistent), "B1 consistency failed (seed {seed})");
+            assert!(
+                mc.valid(&b1_consistent),
+                "B1 consistency failed (seed {seed})"
+            );
         }
     }
 }
@@ -84,11 +90,8 @@ fn fs_alice_knowledge_by_reply() {
         );
     assert!(!mc.valid(&lost_uncertain));
     // …but believes "Bob heard" with degree ≥ 0.99 at time 2.
-    let strong = got(Reply::Nothing).implies(Formula::believes_at_least(
-        ALICE,
-        bob_heard,
-        r(99, 100),
-    ));
+    let strong =
+        got(Reply::Nothing).implies(Formula::believes_at_least(ALICE, bob_heard, r(99, 100)));
     // Note: at times 0 and 1 "Nothing" also holds (no reply yet) with lower
     // belief, so restrict to the firing point via does.
     let at_fire: FsFormula = Formula::does(ALICE, FIRE_A);
@@ -105,8 +108,8 @@ fn fs_pak_schema_measure() {
     let pps = sys.pps();
     let mc = ModelChecker::new(pps);
     let phi_both: FsFormula = Formula::does(ALICE, FIRE_A).and(Formula::does(BOB, FIRE_B));
-    let strong: FsFormula = Formula::does(ALICE, FIRE_A)
-        .and(Formula::believes_at_least(ALICE, phi_both, r(9, 10)));
+    let strong: FsFormula =
+        Formula::does(ALICE, FIRE_A).and(Formula::believes_at_least(ALICE, phi_both, r(9, 10)));
     // Evaluate at the firing time (t = 2).
     let strong_event = mc.event_at_time(&strong, 2);
     let fire_event = pps.action_event(ALICE, FIRE_A);
@@ -122,9 +125,9 @@ fn threshold_construction_belief_formula() {
     let t = ThresholdConstruction::new(p.clone(), eps.clone());
     let pps = t.build();
     let mc = ModelChecker::new(&pps);
-    let phi: Formula<SimpleState, Rational> = Formula::atom(ThresholdConstruction::<Rational>::phi());
-    let strong = Formula::does(AGENT_I, ALPHA)
-        .and(Formula::believes_at_least(AGENT_I, phi, p));
+    let phi: Formula<SimpleState, Rational> =
+        Formula::atom(ThresholdConstruction::<Rational>::phi());
+    let strong = Formula::does(AGENT_I, ALPHA).and(Formula::believes_at_least(AGENT_I, phi, p));
     let ev = mc.event_at_time(&strong, 1);
     assert_eq!(pps.measure(&ev), eps);
 }
@@ -137,8 +140,7 @@ fn formulas_compose_with_action_analysis() {
     let go: FsFormula = Formula::atom(StateFact::new("go", |g: &FsGlobal| {
         matches!(g.locals[0], FsLocal::Alice { go: true, .. })
     }));
-    let bob_knows_go: FsFormula = Formula::knows(BOB, go.clone())
-        .or(Formula::knows(BOB, go.not()));
+    let bob_knows_go: FsFormula = Formula::knows(BOB, go.clone()).or(Formula::knows(BOB, go.not()));
     let analysis = ActionAnalysis::new(sys.pps(), ALICE, FIRE_A, &bob_knows_go).unwrap();
     // Alice fires ⇔ go = 1; Bob knows go = 1 iff he heard (0.99).
     assert_eq!(analysis.constraint_probability(), r(99, 100));

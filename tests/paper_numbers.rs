@@ -89,7 +89,10 @@ fn section8_improved_protocol() {
     let analysis = FiringSquad::improved().build_pps().analyze();
     assert_eq!(analysis.constraint_probability(), r(990, 991));
     let approx = analysis.constraint_probability().to_f64();
-    assert!((approx - 0.99899).abs() < 1e-5, "paper rounds to 0.99899, got {approx}");
+    assert!(
+        (approx - 0.99899).abs() < 1e-5,
+        "paper rounds to 0.99899, got {approx}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -123,7 +126,11 @@ fn figure1_expectation_counterexample() {
 /// "µTˆ(ϕ@α | α) = p", and "µTˆ(βi(ϕ)@α ≥ p | α) = µT(r′′) = ε".
 #[test]
 fn theorem52_witness_quantities() {
-    for (p, e) in [(r(3, 4), r(1, 4)), (r(1, 2), r(1, 64)), (r(999, 1000), r(1, 1_000_000))] {
+    for (p, e) in [
+        (r(3, 4), r(1, 4)),
+        (r(1, 2), r(1, 64)),
+        (r(999, 1000), r(1, 1_000_000)),
+    ] {
         let t = ThresholdConstruction::new(p.clone(), e.clone());
         let claims = t.verify();
         assert_eq!(claims.constraint_probability, p);
@@ -156,7 +163,13 @@ fn introduction_go_zero_never_fires() {
     let both = FsSystem::<Rational>::phi_both();
     // µ(ϕ_both ever) = µ(go=1) · 0.99 = 0.495.
     let both_ever = FnFact::new("both fire at t=2", move |pps_: &_, pt: Point| {
-        both.holds(pps_, Point { run: pt.run, time: 2 })
+        both.holds(
+            pps_,
+            Point {
+                run: pt.run,
+                time: 2,
+            },
+        )
     });
     let ev = pps.run_fact_event(&both_ever);
     assert_eq!(pps.measure(&ev), r(495, 1000));

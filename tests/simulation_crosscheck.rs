@@ -13,7 +13,9 @@ use pak::sim::estimate::{
     estimate_constraint, estimate_expected_belief, estimate_threshold_measure, BeliefTable,
 };
 use pak::sim::Simulator;
-use pak::systems::attack::{AttackSystem, CoordinatedAttack, ATTACK_A, ATTACK_B, GENERAL_A, GENERAL_B};
+use pak::systems::attack::{
+    AttackSystem, CoordinatedAttack, ATTACK_A, ATTACK_B, GENERAL_A, GENERAL_B,
+};
 use pak::systems::firing_squad::{FiringSquad, FsSystem, ALICE, BOB, FIRE_A, FIRE_B};
 
 const Z99: f64 = 2.576;
@@ -87,24 +89,23 @@ fn coordinated_attack_coordination_probability() {
             ATTACK_A,
             |trial, t| trial.does(GENERAL_B, ATTACK_B, t),
         );
-        assert!(est.proportion.contains(exact, Z99), "rounds {rounds}: {est}");
+        assert!(
+            est.proportion.contains(exact, Z99),
+            "rounds {rounds}: {est}"
+        );
     }
 }
 
 #[test]
 fn attack_threshold_measure_with_acks() {
-    let scenario = CoordinatedAttack::new(
-        Rational::from_ratio(1, 10),
-        Rational::from_ratio(1, 2),
-        2,
-    );
+    let scenario =
+        CoordinatedAttack::new(Rational::from_ratio(1, 10), Rational::from_ratio(1, 2), 2);
     let sys = scenario.build_pps().unwrap();
     let table = BeliefTable::from_pps(sys.pps(), GENERAL_A, &AttackSystem::<Rational>::b_attacks());
     let model = LossyMessagingModel::new(scenario, Rational::from_ratio(1, 10));
     // Exact: belief = 1 on ack (measure 0.81), 9/19 otherwise.
-    let est = estimate_threshold_measure::<_, Rational>(
-        &model, 29, N, GENERAL_A, ATTACK_A, &table, 0.99,
-    );
+    let est =
+        estimate_threshold_measure::<_, Rational>(&model, 29, N, GENERAL_A, ATTACK_A, &table, 0.99);
     assert!(est.proportion.contains(0.81, Z99), "{est}");
 }
 

@@ -13,8 +13,9 @@
 //!   (its proof uses protocol consistency), so the theorems are checked in
 //!   their precise implication form: whenever Definition 4.1 holds, the
 //!   conclusion must hold.
-
-use proptest::prelude::*;
+//!
+//! The case grids are deterministic (fixed seed strides, no external
+//! property-testing dependency), so every failure replays exactly.
 
 use pak::core::generator::{GeneratorConfig, PpsGenerator};
 use pak::core::prelude::*;
@@ -86,42 +87,47 @@ fn raw_config(seed: u64) -> GeneratorConfig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Deterministic case grid: `n` (seed, which) pairs striding `0..range`.
+fn cases(n: u64, range: u64) -> impl Iterator<Item = (u64, u8)> {
+    (0..n).map(move |i| ((i.wrapping_mul(13) + 7) % range, (i % 4) as u8))
+}
 
-    // ==================================================================
-    // Protocol-consistent systems: the paper's class, non-vacuous checks.
-    // ==================================================================
+// ======================================================================
+// Protocol-consistent systems: the paper's class, non-vacuous checks.
+// ======================================================================
 
-    /// Lemma 4.3(b) + Theorem 6.2 end to end: on protocol systems, every
-    /// past-based fact is LSI of every (untagged, proper) action, and the
-    /// expectation equality holds exactly.
-    #[test]
-    fn expectation_theorem_nonvacuous_on_protocol_systems(seed in 0u64..400, which in 0u8..4) {
+/// Lemma 4.3(b) + Theorem 6.2 end to end: on protocol systems, every
+/// past-based fact is LSI of every (untagged, proper) action, and the
+/// expectation equality holds exactly.
+#[test]
+fn expectation_theorem_nonvacuous_on_protocol_systems() {
+    for (seed, which) in cases(32, 400) {
         let pps = random_pps::<Rational>(seed, &protocol_config(seed)).unwrap();
         let fact = fact_for(which);
-        prop_assert!(pps.is_past_based(&fact));
+        assert!(pps.is_past_based(&fact));
         for (agent, action) in all_actions(&pps) {
             if !pps.is_proper(agent, action) {
                 continue; // tagged actions are exercised separately below
             }
             let rep = check_expectation(&pps, agent, action, &fact).unwrap();
-            prop_assert!(
+            assert!(
                 rep.independence.independent,
                 "Lemma 4.3(b) failed on a protocol system (seed {seed})"
             );
-            prop_assert!(
+            assert!(
                 rep.equal,
                 "Theorem 6.2 equality failed: {} ≠ {} (seed {seed})",
                 rep.lhs, rep.rhs
             );
         }
     }
+}
 
-    /// Theorem 4.2, non-vacuous: with p = min belief when acting, the
-    /// constraint probability meets p.
-    #[test]
-    fn sufficiency_nonvacuous_on_protocol_systems(seed in 0u64..300, which in 0u8..4) {
+/// Theorem 4.2, non-vacuous: with p = min belief when acting, the
+/// constraint probability meets p.
+#[test]
+fn sufficiency_nonvacuous_on_protocol_systems() {
+    for (seed, which) in cases(24, 300) {
         let pps = random_pps::<Rational>(seed, &protocol_config(seed)).unwrap();
         let fact = fact_for(which);
         for (agent, action) in all_actions(&pps) {
@@ -131,20 +137,22 @@ proptest! {
             let analysis = ActionAnalysis::new(&pps, agent, action, &fact).unwrap();
             let p = analysis.min_belief_when_acting().unwrap();
             let rep = check_sufficiency(&pps, agent, action, &fact, &p).unwrap();
-            prop_assert!(rep.independent, "seed {seed}");
-            prop_assert!(
+            assert!(rep.independent, "seed {seed}");
+            assert!(
                 analysis.constraint_probability().at_least(&p),
                 "seed {seed}: µ = {} < min belief {p}",
                 analysis.constraint_probability()
             );
-            prop_assert!(rep.implication_holds);
+            assert!(rep.implication_holds);
         }
     }
+}
 
-    /// Lemma 5.1, non-vacuous: some acting point believes ϕ at least as
-    /// strongly as the achieved constraint probability.
-    #[test]
-    fn necessity_nonvacuous_on_protocol_systems(seed in 0u64..300, which in 0u8..4) {
+/// Lemma 5.1, non-vacuous: some acting point believes ϕ at least as
+/// strongly as the achieved constraint probability.
+#[test]
+fn necessity_nonvacuous_on_protocol_systems() {
+    for (seed, which) in cases(24, 300) {
         let pps = random_pps::<Rational>(seed, &protocol_config(seed)).unwrap();
         let fact = fact_for(which);
         for (agent, action) in all_actions(&pps) {
@@ -154,45 +162,46 @@ proptest! {
             let analysis = ActionAnalysis::new(&pps, agent, action, &fact).unwrap();
             let p = analysis.constraint_probability();
             let rep = check_necessity(&pps, agent, action, &fact, &p).unwrap();
-            prop_assert!(rep.independent, "seed {seed}");
-            prop_assert!(
+            assert!(rep.independent, "seed {seed}");
+            assert!(
                 rep.max_belief.at_least(&p),
                 "seed {seed}: max belief {} < µ = {p}",
                 rep.max_belief
             );
-            prop_assert!(rep.witness.is_some());
+            assert!(rep.witness.is_some());
         }
     }
+}
 
-    /// Theorem 7.1 on protocol systems, grid of (δ, ε): always holds, and
-    /// non-vacuously whenever the premise threshold is met.
-    #[test]
-    fn pak_theorem_on_protocol_systems(
-        seed in 0u64..200,
-        which in 0u8..4,
-        dn in 1i64..10,
-        en in 1i64..10,
-    ) {
+/// Theorem 7.1 on protocol systems, grid of (δ, ε): always holds, and
+/// non-vacuously whenever the premise threshold is met.
+#[test]
+fn pak_theorem_on_protocol_systems() {
+    for (seed, which) in cases(16, 200) {
         let pps = random_pps::<Rational>(seed, &protocol_config(seed)).unwrap();
         let fact = fact_for(which);
-        let delta = Rational::from_ratio(dn, 10);
-        let eps = Rational::from_ratio(en, 10);
-        for (agent, action) in all_actions(&pps) {
-            if !pps.is_proper(agent, action) {
-                continue;
+        for (dn, en) in [(1i64, 1i64), (2, 7), (5, 5), (9, 3)] {
+            let delta = Rational::from_ratio(dn, 10);
+            let eps = Rational::from_ratio(en, 10);
+            for (agent, action) in all_actions(&pps) {
+                if !pps.is_proper(agent, action) {
+                    continue;
+                }
+                let rep = check_pak(&pps, agent, action, &fact, &delta, &eps).unwrap();
+                assert!(
+                    rep.implication_holds,
+                    "seed {seed}: Theorem 7.1 failed at δ={delta}, ε={eps}: µ={}, strong={}",
+                    rep.constraint_probability, rep.strong_belief_measure
+                );
             }
-            let rep = check_pak(&pps, agent, action, &fact, &delta, &eps).unwrap();
-            prop_assert!(
-                rep.implication_holds,
-                "seed {seed}: Theorem 7.1 failed at δ={delta}, ε={eps}: µ={}, strong={}",
-                rep.constraint_probability, rep.strong_belief_measure
-            );
         }
     }
+}
 
-    /// Lemma F.1 on protocol systems.
-    #[test]
-    fn kop_limit_on_protocol_systems(seed in 0u64..300, which in 0u8..4) {
+/// Lemma F.1 on protocol systems.
+#[test]
+fn kop_limit_on_protocol_systems() {
+    for (seed, which) in cases(24, 300) {
         let pps = random_pps::<Rational>(seed, &protocol_config(seed)).unwrap();
         let fact = fact_for(which);
         for (agent, action) in all_actions(&pps) {
@@ -200,104 +209,115 @@ proptest! {
                 continue;
             }
             let rep = check_kop_limit(&pps, agent, action, &fact).unwrap();
-            prop_assert!(rep.implication_holds, "seed {seed}: Lemma F.1 failed");
+            assert!(rep.implication_holds, "seed {seed}: Lemma F.1 failed");
             // Non-vacuity: premise µ = 1 forces certainty measure 1.
             if rep.constraint_probability.is_one() {
-                prop_assert!(rep.certainty_measure.is_one());
+                assert!(rep.certainty_measure.is_one());
             }
         }
     }
+}
 
-    // ==================================================================
-    // Raw random trees: the implication form on a strictly larger class.
-    // ==================================================================
+// ======================================================================
+// Raw random trees: the implication form on a strictly larger class.
+// ======================================================================
 
-    /// Theorem 6.2 in implication form on arbitrary trees: whenever
-    /// Definition 4.1 holds (checked directly), the equality must hold —
-    /// even for actions made proper by tagging and for systems no protocol
-    /// generates.
-    #[test]
-    fn expectation_implication_on_raw_trees(seed in 0u64..400, which in 0u8..4) {
+/// Theorem 6.2 in implication form on arbitrary trees: whenever
+/// Definition 4.1 holds (checked directly), the equality must hold —
+/// even for actions made proper by tagging and for systems no protocol
+/// generates.
+#[test]
+fn expectation_implication_on_raw_trees() {
+    for (seed, which) in cases(32, 400) {
         let mut g = PpsGenerator::new(seed, raw_config(seed));
         let pps = g.generate::<Rational>();
         let fact = fact_for(which);
         for (agent, action) in all_actions(&pps) {
             let (sys, act) = properized(&pps, agent, action);
             let rep = check_expectation(&sys, agent, act, &fact).unwrap();
-            prop_assert!(
+            assert!(
                 rep.implication_holds(),
                 "seed {seed}: LSI held but equality failed: {} ≠ {}",
-                rep.lhs, rep.rhs
+                rep.lhs,
+                rep.rhs
             );
         }
     }
+}
 
-    /// Theorems 4.2, 7.1 and Lemma F.1 in implication form on raw trees.
-    #[test]
-    fn implication_forms_on_raw_trees(seed in 0u64..200, which in 0u8..4, en in 1i64..10) {
+/// Theorems 4.2, 7.1 and Lemma F.1 in implication form on raw trees.
+#[test]
+fn implication_forms_on_raw_trees() {
+    for (seed, which) in cases(16, 200) {
         let mut g = PpsGenerator::new(seed, raw_config(seed));
         let pps = g.generate::<Rational>();
         let fact = fact_for(which);
-        let eps = Rational::from_ratio(en, 10);
+        let eps = Rational::from_ratio(1 + i64::from(which) * 2, 10);
         for (agent, action) in all_actions(&pps) {
             let (sys, act) = properized(&pps, agent, action);
             let analysis = ActionAnalysis::new(&sys, agent, act, &fact).unwrap();
             let p = analysis.min_belief_when_acting().unwrap();
             let suff = check_sufficiency(&sys, agent, act, &fact, &p).unwrap();
-            prop_assert!(suff.implication_holds, "seed {seed}: Thm 4.2 implication");
+            assert!(suff.implication_holds, "seed {seed}: Thm 4.2 implication");
             let pak = check_pak_corollary(&sys, agent, act, &fact, &eps).unwrap();
-            prop_assert!(pak.implication_holds, "seed {seed}: Cor 7.2 implication");
+            assert!(pak.implication_holds, "seed {seed}: Cor 7.2 implication");
             let kop = check_kop_limit(&sys, agent, act, &fact).unwrap();
-            prop_assert!(kop.implication_holds, "seed {seed}: Lemma F.1 implication");
+            assert!(kop.implication_holds, "seed {seed}: Lemma F.1 implication");
         }
     }
+}
 
-    /// Probability-space sanity on raw trees: total measure 1, beliefs in
-    /// [0, 1], complement law.
-    #[test]
-    fn probability_space_invariants(seed in 0u64..500, which in 0u8..4) {
+/// Probability-space sanity on raw trees: total measure 1, beliefs in
+/// [0, 1], complement law.
+#[test]
+fn probability_space_invariants() {
+    for (seed, which) in cases(40, 500) {
         let mut g = PpsGenerator::new(seed, raw_config(seed));
         let pps = g.generate::<Rational>();
-        prop_assert!(pps.measure(&pps.all_runs()).is_one());
+        assert!(pps.measure(&pps.all_runs()).is_one());
         let fact = fact_for(which);
         for agent in pps.agents() {
             for pt in pps.points().collect::<Vec<_>>() {
                 let b = pps.belief(agent, &fact, pt).unwrap();
-                prop_assert!(b.is_valid_probability(), "belief {b} out of range");
+                assert!(b.is_valid_probability(), "belief {b} out of range");
             }
         }
         let ev = pps.fact_event_at_time(&fact, 0);
         let total = pps.measure(&ev).add(&pps.measure(&ev.complement()));
-        prop_assert!(total.is_one());
+        assert!(total.is_one());
     }
+}
 
-    /// Occurrence tagging (§3.1) preserves the underlying measure and makes
-    /// every tagged action proper.
-    #[test]
-    fn occurrence_tagging_preserves_measure(seed in 0u64..300) {
+/// Occurrence tagging (§3.1) preserves the underlying measure and makes
+/// every tagged action proper.
+#[test]
+fn occurrence_tagging_preserves_measure() {
+    for (seed, _) in cases(24, 300) {
         let mut g = PpsGenerator::new(seed, raw_config(seed));
         let pps = g.generate::<Rational>();
         for (agent, action) in all_actions(&pps) {
             let (tagged, fresh) = pps.tag_occurrences(agent, action);
-            prop_assert_eq!(tagged.num_runs(), pps.num_runs());
+            assert_eq!(tagged.num_runs(), pps.num_runs());
             for run in pps.run_ids() {
-                prop_assert_eq!(tagged.run_probability(run), pps.run_probability(run));
+                assert_eq!(tagged.run_probability(run), pps.run_probability(run));
             }
             for f in &fresh {
-                prop_assert!(tagged.is_proper(agent, *f));
+                assert!(tagged.is_proper(agent, *f));
             }
             let mut union = tagged.no_runs();
             for f in &fresh {
                 union = union.union(&tagged.action_event(agent, *f));
             }
-            prop_assert_eq!(union, pps.action_event(agent, action));
+            assert_eq!(union, pps.action_event(agent, action));
         }
     }
+}
 
-    /// Expected belief is a convex combination: it always lies between the
-    /// min and max belief when acting (any system, any fact).
-    #[test]
-    fn expected_belief_between_extremes(seed in 0u64..300, which in 0u8..4) {
+/// Expected belief is a convex combination: it always lies between the
+/// min and max belief when acting (any system, any fact).
+#[test]
+fn expected_belief_between_extremes() {
+    for (seed, which) in cases(24, 300) {
         let mut g = PpsGenerator::new(seed, raw_config(seed));
         let pps = g.generate::<Rational>();
         let fact = fact_for(which);
@@ -305,8 +325,8 @@ proptest! {
             let (sys, act) = properized(&pps, agent, action);
             let a = ActionAnalysis::new(&sys, agent, act, &fact).unwrap();
             let e = a.expected_belief();
-            prop_assert!(e.at_least(&a.min_belief_when_acting().unwrap()));
-            prop_assert!(a.max_belief_when_acting().unwrap().at_least(&e));
+            assert!(e.at_least(&a.min_belief_when_acting().unwrap()));
+            assert!(a.max_belief_when_acting().unwrap().at_least(&e));
         }
     }
 }
