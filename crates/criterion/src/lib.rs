@@ -162,15 +162,34 @@ impl Criterion {
         self
     }
 
+    /// Switches to *quick* smoke-test timings: minimal warm-up, a short
+    /// measurement window, and few samples. The numbers are too noisy to
+    /// compare, but every benchmark body still executes — including the
+    /// paper-vs-measured reproduction assertions — so CI can run the full
+    /// bench matrix as a correctness smoke test in seconds.
+    #[must_use]
+    pub fn quick_mode(mut self) -> Self {
+        self.warm_up_time = Duration::from_millis(10);
+        self.measurement_time = Duration::from_millis(40);
+        self.sample_size = 3;
+        self
+    }
+
     /// Applies command-line configuration. The shim understands a bare
-    /// benchmark-name filter and ignores the flags Cargo passes to bench
+    /// benchmark-name filter, a `--quick` flag (see [`Criterion::quick_mode`],
+    /// also enabled by setting the `PAK_BENCH_QUICK` environment variable to
+    /// anything but `0`), and ignores the flags Cargo passes to bench
     /// executables (`--bench`, `--test`, etc.).
     #[must_use]
     pub fn configure_from_args(mut self) -> Self {
+        if std::env::var("PAK_BENCH_QUICK").is_ok_and(|v| v != "0") {
+            self = self.quick_mode();
+        }
         let mut args = std::env::args().skip(1).peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" => {}
+                "--quick" => self = self.quick_mode(),
                 "--sample-size" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                         self.sample_size = v;
@@ -386,6 +405,19 @@ fn fmt_ns(ns: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quick_mode_shrinks_timing_budget() {
+        let c = Criterion::default().quick_mode();
+        assert!(c.warm_up_time <= Duration::from_millis(10));
+        assert!(c.measurement_time <= Duration::from_millis(40));
+        assert!(c.sample_size <= 3);
+        // Quick runs still record real measurements.
+        let mut c = c;
+        c.bench_function("quick", |b| b.iter(|| black_box(2 + 2)));
+        assert_eq!(c.measurements().len(), 1);
+        assert_eq!(c.measurements()[0].samples_ns.len(), 3);
+    }
 
     #[test]
     fn bench_records_measurement() {

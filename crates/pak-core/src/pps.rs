@@ -582,30 +582,38 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
             }
         }
 
-        // Enumerate runs by iterative DFS (children in insertion order) and
-        // assign per-node run intervals.
+        // Enumerate runs by iterative DFS (children in insertion order).
+        // One shared path/probability buffer is kept in sync by truncating
+        // to each popped node's depth — no per-node `Vec` clones; a path is
+        // materialised exactly once per run, when its leaf is reached.
         let mut runs: Vec<Run<P>> = Vec::new();
         {
-            let mut stack: Vec<(NodeId, Vec<NodeId>, P)> =
-                vec![(NodeId::ROOT, Vec::new(), P::one())];
-            while let Some((node, path, prob)) = stack.pop() {
+            let mut stack: Vec<NodeId> = nodes[0].children.iter().rev().copied().collect();
+            // path[d] is the node at depth d + 1; probs[d] the product of
+            // edge probabilities from the root down to path[d].
+            let mut path: Vec<NodeId> = Vec::new();
+            let mut probs: Vec<P> = Vec::new();
+            while let Some(node) = stack.pop() {
                 let n = &nodes[node.index()];
-                if n.children.is_empty() && node != NodeId::ROOT {
-                    let mut nodes_on_path = path.clone();
-                    nodes_on_path.push(node);
+                let d = (n.depth - 1) as usize;
+                path.truncate(d);
+                probs.truncate(d);
+                let p = if d == 0 {
+                    P::one().mul(&n.edge_prob)
+                } else {
+                    probs[d - 1].mul(&n.edge_prob)
+                };
+                path.push(node);
+                probs.push(p);
+                if n.children.is_empty() {
                     runs.push(Run {
-                        nodes: nodes_on_path,
-                        prob,
+                        nodes: path.clone(),
+                        prob: probs[d].clone(),
                     });
                 } else {
                     // Push children in reverse so they pop in insertion order.
                     for &c in n.children.iter().rev() {
-                        let mut next_path = path.clone();
-                        if node != NodeId::ROOT {
-                            next_path.push(node);
-                        }
-                        let p = prob.mul(&nodes[c.index()].edge_prob);
-                        stack.push((c, next_path, p));
+                        stack.push(c);
                     }
                 }
             }
@@ -1094,6 +1102,61 @@ mod tests {
             assert!(tagged.is_proper(AgentId(0), f));
         }
         assert!(tagged.action_name(fresh[0]).contains("occ 0"));
+    }
+
+    /// Two runs: run 0 performs α at times 0 and 1; run 1 performs α at
+    /// time 1 only (its first occurrence sits at a different time).
+    fn double_alpha() -> Pps<SimpleState, Rational> {
+        let alpha = (AgentId(0), ActionId(0));
+        let mut b = B::new(1);
+        let g0 = b.initial(st(0, &[0]), Rational::one()).unwrap();
+        let a1 = b.child(g0, st(0, &[1]), r(1, 2), &[alpha]).unwrap();
+        b.child(a1, st(0, &[2]), Rational::one(), &[alpha]).unwrap();
+        let b1 = b.child(g0, st(0, &[3]), r(1, 2), &[]).unwrap();
+        b.child(b1, st(0, &[4]), Rational::one(), &[alpha]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn performance_times_on_multi_occurrence_run() {
+        let pps = double_alpha();
+        let (i, alpha) = (AgentId(0), ActionId(0));
+        assert_eq!(pps.performance_times(i, alpha, RunId(0)), vec![0, 1]);
+        assert_eq!(pps.performance_times(i, alpha, RunId(1)), vec![1]);
+        // Both runs perform α, but twice in run 0: the action is improper
+        // and the α event covers everything.
+        assert!(!pps.is_proper(i, alpha));
+        assert_eq!(pps.action_event(i, alpha).len(), 2);
+    }
+
+    #[test]
+    fn tag_occurrences_on_multi_occurrence_run() {
+        let pps = double_alpha();
+        let (i, alpha) = (AgentId(0), ActionId(0));
+        let (tagged, fresh) = pps.tag_occurrences(i, alpha);
+        assert_eq!(fresh.len(), 2);
+
+        // The tagging is measure-preserving: same runs, same probabilities.
+        assert_eq!(tagged.num_runs(), pps.num_runs());
+        for run in pps.run_ids() {
+            assert_eq!(tagged.run_probability(run), pps.run_probability(run));
+        }
+        assert!(tagged.measure(&tagged.all_runs()).is_one());
+
+        // Occurrence k of α along each run becomes fresh[k]: run 0 has
+        // occurrence 0 at time 0 and occurrence 1 at time 1; run 1 has
+        // occurrence 0 at time 1.
+        assert_eq!(tagged.performance_times(i, fresh[0], RunId(0)), vec![0]);
+        assert_eq!(tagged.performance_times(i, fresh[1], RunId(0)), vec![1]);
+        assert_eq!(tagged.performance_times(i, fresh[0], RunId(1)), vec![1]);
+        assert!(tagged.performance_times(i, fresh[1], RunId(1)).is_empty());
+
+        // Every fresh action is proper, and the original label is gone.
+        for &f in &fresh {
+            assert!(tagged.is_proper(i, f));
+            assert!(tagged.action_name(f).contains("occ"));
+        }
+        assert!(tagged.action_event(i, alpha).is_empty());
     }
 
     #[test]

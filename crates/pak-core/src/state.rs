@@ -22,6 +22,14 @@ use crate::ids::{AgentId, Time};
 /// library combines that projection with the current time to obtain the
 /// paper's synchronous local state.
 ///
+/// The `Eq + Hash` bounds carry the unfolder's *merge contract*: during
+/// bounded-horizon unfolding, successor states that compare equal (under
+/// the same joint actions) are merged into a single tree node with their
+/// probabilities added. Equal states must therefore hash equal (the usual
+/// `Hash`/`Eq` coherence rule); a coarser or finer equality only changes
+/// the size of the unfolded tree, never any measure, local state, or
+/// action event of the resulting system.
+///
 /// # Examples
 ///
 /// ```
@@ -32,7 +40,7 @@ use crate::ids::{AgentId, Time};
 /// assert_eq!(g.local(AgentId(0)), 7);
 /// assert_eq!(g.local(AgentId(1)), 9);
 /// ```
-pub trait GlobalState: Clone + fmt::Debug + 'static {
+pub trait GlobalState: Clone + Eq + Hash + fmt::Debug + 'static {
     /// The agent-local component of the state (without the time, which the
     /// library adds).
     type Local: Clone + Eq + Hash + fmt::Debug;

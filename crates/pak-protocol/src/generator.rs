@@ -63,7 +63,11 @@ impl Default for RandomModelConfig {
 ///
 /// The result is *protocol-consistent by construction*: move distributions
 /// are keyed by `(agent, local, time)` and transition distributions by
-/// `(env, time)`, so unfolding yields a pps in the paper's class.
+/// `(env, time)`, so unfolding yields a pps in the paper's class. Because
+/// distinct environment branches frequently land on the same
+/// [`SimpleState`], these models exercise the unfolder's `Hash + Eq`
+/// successor merging heavily — which is why the differential unfold suite
+/// (`tests/unfold_differential.rs`) sweeps exactly this generator.
 ///
 /// # Examples
 ///

@@ -43,4 +43,4 @@ pub mod unfold;
 pub use adversary::AdversaryFamily;
 pub use messaging::{AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal};
 pub use model::ProtocolModel;
-pub use unfold::{unfold, unfold_with, UnfoldConfig, UnfoldError};
+pub use unfold::{unfold, unfold_with, CartesianMoves, UnfoldConfig, UnfoldError};

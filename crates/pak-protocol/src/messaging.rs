@@ -35,7 +35,7 @@ pub struct Message {
 
 /// An agent's move in one round: an optional action (recorded in the run
 /// history as `does_i(α)`) plus any messages to send this round.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct AgentMove {
     /// The action performed, or `None` for a silent/skip move.
     pub action: Option<ActionId>,

@@ -15,6 +15,18 @@
 //! * **Bounded termination** — [`ProtocolModel::is_terminal`] must
 //!   eventually return `true` on every path so the unfolded system is a
 //!   finite pps.
+//!
+//! # The `Hash + Eq` merge contract
+//!
+//! Unfolding merges successor states that compare equal under the same
+//! joint actions (see [`crate::unfold`]). Both the global-state type
+//! ([`ProtocolModel::Global`], via
+//! [`GlobalState`]'s supertraits) and
+//! [`ProtocolModel::Move`] are therefore required to implement `Eq + Hash`,
+//! and equal values must hash equal. The merge is a pure tree-size
+//! optimisation: a state type whose `Eq` distinguishes more (or fewer)
+//! values changes how many nodes the unfolded tree has, but never any run
+//! probability, local state, or action event.
 
 use core::fmt::Debug;
 use core::hash::Hash;
@@ -35,8 +47,9 @@ pub trait ProtocolModel<P: Probability> {
     type Global: GlobalState;
 
     /// An agent's move: the action it performs plus any effects the
-    /// environment must see (e.g. messages to send).
-    type Move: Clone + Debug;
+    /// environment must see (e.g. messages to send). `Eq + Hash` feed the
+    /// unfolder's merge contract (see the module docs).
+    type Move: Clone + Debug + Eq + Hash;
 
     /// The number of agents.
     fn n_agents(&self) -> u32;

@@ -9,9 +9,24 @@
 //! copy 1 vs copy 2 of an identical payload leads to the same global state)
 //! and changes none of the measures, local states, or action events the
 //! theory depends on.
+//!
+//! # Merge contract
+//!
+//! Two successors of a node are merged exactly when their joint-action
+//! labels and their global states both compare equal. Merging is a single
+//! hash-map probe keyed on `(actions, state)` — no per-successor string
+//! formatting — which is why [`GlobalState`] and [`ProtocolModel::Move`]
+//! require `Eq + Hash`. The contract on implementors is the standard one:
+//! equal states must hash equal. Equality that distinguishes more (or
+//! fewer) states is *safe* — it only changes the size of the unfolded
+//! tree, never any run probability, local state, or action event — but
+//! `Hash`/`Eq` incoherence (equal values hashing differently) would leave
+//! duplicate children carrying split probability mass, so the derived
+//! implementations are strongly recommended.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 use pak_core::error::PpsError;
 use pak_core::ids::{ActionId, AgentId, NodeId};
@@ -24,8 +39,10 @@ use crate::model::{validate_distribution, ProtocolModel};
 /// Limits and options for unfolding.
 #[derive(Debug, Clone)]
 pub struct UnfoldConfig {
-    /// Hard cap on the number of tree nodes; unfolding fails rather than
-    /// exhausting memory. Defaults to `1 << 20`.
+    /// Hard cap on the number of global-state tree nodes (the phantom root
+    /// `λ` is not counted); unfolding fails rather than exhausting memory.
+    /// A model whose tree has exactly `N` state nodes unfolds successfully
+    /// with `max_nodes = N` and fails with `N - 1`. Defaults to `1 << 20`.
     pub max_nodes: usize,
     /// Optional hard cap on depth (a safety net for models whose
     /// `is_terminal` never fires). `None` trusts the model.
@@ -140,7 +157,8 @@ where
 {
     let n_agents = model.n_agents();
     let mut builder = PpsBuilder::<M::Global, P>::new(n_agents);
-    let mut node_count = 1usize; // the root
+    // State nodes only: the phantom root is not counted against max_nodes.
+    let mut node_count = 0usize;
 
     let initial = model.initial_states();
     validate_distribution(&initial).map_err(|detail| UnfoldError::BadModelDistribution {
@@ -151,10 +169,23 @@ where
     // Frontier of nodes still to expand: (builder node, state, time).
     let mut frontier: Vec<(NodeId, M::Global, u32)> = Vec::new();
     for (state, p) in initial {
-        let id = builder.initial(state.clone(), p)?;
         node_count += 1;
+        if node_count > config.max_nodes {
+            return Err(UnfoldError::TooLarge {
+                max_nodes: config.max_nodes,
+            });
+        }
+        let id = builder.initial(state.clone(), p)?;
         frontier.push((id, state, 0));
     }
+
+    // Per-node scratch buffers, reused across the whole expansion: the
+    // successor accumulator and its hash index are cleared, not
+    // reallocated, for every frontier node.
+    let mut per_agent: Vec<Vec<(M::Move, P)>> = Vec::with_capacity(n_agents as usize);
+    #[allow(clippy::type_complexity)]
+    let mut successors: Vec<(M::Global, Vec<(AgentId, ActionId)>, P)> = Vec::new();
+    let mut index: HashMap<u64, Vec<usize>, BuildHasherDefault<FxHasher>> = HashMap::default();
 
     while let Some((node, state, time)) = frontier.pop() {
         if model.is_terminal(&state, time) {
@@ -167,7 +198,7 @@ where
         }
 
         // Gather each agent's mixed move distribution from its local state.
-        let mut per_agent: Vec<Vec<(M::Move, P)>> = Vec::with_capacity(n_agents as usize);
+        per_agent.clear();
         for a in 0..n_agents {
             let agent = AgentId(a);
             let local = state.local(agent);
@@ -180,10 +211,13 @@ where
         }
 
         // Enumerate the cartesian product of joint moves, resolve each via
-        // the environment, and merge identical successors.
-        #[allow(clippy::type_complexity)]
-        let mut successors: Vec<(M::Global, Vec<(AgentId, ActionId)>, P)> = Vec::new();
-        let mut index: HashMap<(JointKey, StateKey), usize> = HashMap::new();
+        // the environment, and merge identical successors. The merge index
+        // is keyed on the `(actions, state)` hash; candidate indices are
+        // confirmed against `successors` by `Eq`, so the hot path (a
+        // repeated successor) costs one hash and one comparison with no
+        // allocation at all.
+        successors.clear();
+        index.clear();
         for (joint, p_joint) in CartesianMoves::new(&per_agent) {
             let actions: Vec<(AgentId, ActionId)> = joint
                 .iter()
@@ -199,21 +233,26 @@ where
             })?;
             for (succ, p_env) in outcomes {
                 let p = p_joint.mul(&p_env);
-                let jk = JointKey(format!("{actions:?}"));
-                let sk = StateKey(format!("{succ:?}"));
-                match index.get(&(jk.clone(), sk.clone())) {
+                let mut hasher = FxHasher::default();
+                actions.hash(&mut hasher);
+                succ.hash(&mut hasher);
+                let bucket = index.entry(hasher.finish()).or_default();
+                match bucket
+                    .iter()
+                    .find(|&&i| successors[i].1 == actions && successors[i].0 == succ)
+                {
                     Some(&i) => {
-                        successors[i].2 = successors[i].2.add(&p);
+                        successors[i].2.add_assign(&p);
                     }
                     None => {
-                        index.insert((jk, sk), successors.len());
+                        bucket.push(successors.len());
                         successors.push((succ, actions.clone(), p));
                     }
                 }
             }
         }
 
-        for (succ, actions, p) in successors {
+        for (succ, actions, p) in successors.drain(..) {
             node_count += 1;
             if node_count > config.max_nodes {
                 return Err(UnfoldError::TooLarge {
@@ -228,28 +267,105 @@ where
     Ok(builder.build()?)
 }
 
-/// Key for merging joint-action labels (Debug-format based; exact because
-/// action lists are small and deterministic).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct JointKey(String);
+/// A fast, non-keyed hasher (the multiply-rotate scheme rustc uses for its
+/// own interning tables). The merge index is rebuilt per node expansion
+/// from the model's own output, so HashDoS resistance buys nothing and the
+/// per-key setup cost of the default SipHash dominates these small keys.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
 
-/// Key for merging successor states (Debug-format based; `GlobalState`
-/// requires `Debug`, and equal states must format identically for merging to
-/// fire — a soft requirement that only affects tree size, never
-/// correctness).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct StateKey(String);
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
 
 /// Iterator over the cartesian product of per-agent move distributions,
 /// yielding each joint move with its product probability.
-struct CartesianMoves<'a, T, P> {
+///
+/// For distributions of sizes `k_1, …, k_n` the iterator yields exactly
+/// `k_1 · k_2 · … · k_n` joint moves, and the yielded probabilities sum to
+/// one whenever every input distribution does (the product distribution).
+/// An empty list of distributions yields the single empty joint move with
+/// probability one (the empty product); any *individual* empty
+/// distribution yields nothing (there is no joint move to form).
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::unfold::CartesianMoves;
+/// use pak_num::Rational;
+/// use pak_core::prob::Probability;
+///
+/// let d = vec![
+///     ("a", Rational::from_ratio(1, 2)),
+///     ("b", Rational::from_ratio(1, 2)),
+/// ];
+/// let all: Vec<_> = CartesianMoves::new(&[d.clone(), d]).collect();
+/// assert_eq!(all.len(), 4);
+/// let total: Rational = all.iter().map(|(_, p)| p.clone()).sum();
+/// assert!(total.is_one());
+/// ```
+#[derive(Debug)]
+pub struct CartesianMoves<'a, T, P> {
     dists: &'a [Vec<(T, P)>],
     counters: Vec<usize>,
     done: bool,
 }
 
 impl<'a, T, P> CartesianMoves<'a, T, P> {
-    fn new(dists: &'a [Vec<(T, P)>]) -> Self {
+    /// Creates the product iterator over `dists`.
+    pub fn new(dists: &'a [Vec<(T, P)>]) -> Self {
         CartesianMoves {
             dists,
             counters: vec![0; dists.len()],
@@ -403,6 +519,54 @@ mod tests {
         };
         let err = unfold_with::<_, Rational>(&m, &cfg).unwrap_err();
         assert!(matches!(err, UnfoldError::TooLarge { max_nodes: 2 }));
+    }
+
+    #[test]
+    fn max_nodes_counts_state_nodes_exactly() {
+        // The coin tree has exactly 4 state nodes (2 initial states, each
+        // with one terminal child); the phantom root is not counted, so
+        // max_nodes = 4 succeeds and max_nodes = 3 fails.
+        let m = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let pps = unfold_with::<_, Rational>(
+            &m,
+            &UnfoldConfig {
+                max_nodes: 4,
+                max_depth: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(pps.num_nodes(), 5); // 4 state nodes + the root λ
+        let err = unfold_with::<_, Rational>(
+            &m,
+            &UnfoldConfig {
+                max_nodes: 3,
+                max_depth: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, UnfoldError::TooLarge { max_nodes: 3 }));
+    }
+
+    #[test]
+    fn max_nodes_caps_initial_states_too() {
+        // Two initial states with max_nodes = 1 must already fail at the
+        // prior, not only when expanding children.
+        let m = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let err = unfold_with::<_, Rational>(
+            &m,
+            &UnfoldConfig {
+                max_nodes: 1,
+                max_depth: None,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, UnfoldError::TooLarge { max_nodes: 1 }));
     }
 
     #[test]

@@ -43,6 +43,11 @@ const MSG_ATTACK: u64 = 1;
 const MSG_ACK: u64 = 2;
 
 /// A general's local data.
+///
+/// The `Eq`/`Hash` derives feed the unfolder's merge contract: loss
+/// patterns leaving a general with identical data collapse into one tree
+/// node (e.g. losing ack 1 vs ack 2 of the same round), which is what
+/// keeps the multi-round attack tree tractable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct GeneralLocal {
     /// For `A`: whether the order arrived. For `B`: whether informed.

@@ -37,6 +37,10 @@ pub fn deliver_action(agent: AgentId) -> ActionId {
 }
 
 /// An agent's local data: whether it holds the bit yet.
+///
+/// The `Eq`/`Hash` derives feed the unfolder's merge contract: which copy
+/// of the bit got through is deliberately *not* recorded, so all loss
+/// patterns with the same informed-set merge into a single tree node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BcastLocal {
     /// `true` once the bit is known (always true for the source).

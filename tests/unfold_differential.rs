@@ -1,0 +1,230 @@
+//! Differential proof that the hash-keyed unfold merge is exact.
+//!
+//! The unfolder used to merge identical successors through
+//! `format!("{:?}")` string keys; it now merges through a `Hash + Eq`
+//! probe on `(actions, state)`. The two are semantically equivalent
+//! whenever `Debug` output is injective on states (it is for
+//! [`SimpleState`]), but equivalence must be *proved*, not eyeballed:
+//! this harness retains the old Debug-string merge as a reference
+//! implementation and sweeps seeded random protocol models of varying
+//! agent count, horizon, and branching, asserting that the production
+//! unfold produces a [`Pps`] identical to the reference in every
+//! observable — run count, bit-equal run probabilities, per-point global
+//! states and action labels, and information-set cells.
+//!
+//! A second battery property-tests [`CartesianMoves`]: across randomized
+//! distribution shapes (including singletons and the zero-agent case) the
+//! joint probabilities must sum exactly to one and enumerate exactly
+//! `∏ |dist_i|` entries.
+
+use std::collections::HashMap;
+
+use pak::core::generator::SplitMix64;
+use pak::core::prelude::*;
+use pak::num::Rational;
+use pak::protocol::generator::{random_model, RandomModelConfig};
+use pak::protocol::model::{validate_distribution, ProtocolModel, TableModel};
+use pak::protocol::unfold::{unfold_with, CartesianMoves, UnfoldConfig};
+
+/// The pre-refactor merge, retained verbatim as the reference semantics:
+/// successors are merged when their Debug-formatted `(actions, state)`
+/// strings coincide.
+fn reference_unfold(model: &TableModel<Rational>) -> Pps<SimpleState, Rational> {
+    let n_agents = model.n_agents;
+    let mut builder = PpsBuilder::<SimpleState, Rational>::new(n_agents);
+
+    let initial = ProtocolModel::<Rational>::initial_states(model);
+    validate_distribution(&initial).unwrap();
+    let mut frontier: Vec<(NodeId, SimpleState, u32)> = Vec::new();
+    for (state, p) in initial {
+        let id = builder.initial(state.clone(), p).unwrap();
+        frontier.push((id, state, 0));
+    }
+
+    while let Some((node, state, time)) = frontier.pop() {
+        if ProtocolModel::<Rational>::is_terminal(model, &state, time) {
+            continue;
+        }
+        let mut per_agent: Vec<Vec<(Option<ActionId>, Rational)>> =
+            Vec::with_capacity(n_agents as usize);
+        for a in 0..n_agents {
+            let local = state.local(AgentId(a));
+            let dist = model.moves(AgentId(a), &local, time);
+            validate_distribution(&dist).unwrap();
+            per_agent.push(dist);
+        }
+
+        #[allow(clippy::type_complexity)]
+        let mut successors: Vec<(SimpleState, Vec<(AgentId, ActionId)>, Rational)> = Vec::new();
+        let mut index: HashMap<(String, String), usize> = HashMap::new();
+        for (joint, p_joint) in CartesianMoves::new(&per_agent) {
+            let actions: Vec<(AgentId, ActionId)> = joint
+                .iter()
+                .enumerate()
+                .filter_map(|(a, mv)| model.action_of(mv).map(|act| (AgentId(a as u32), act)))
+                .collect();
+            let outcomes = model.transition(&state, &joint, time);
+            validate_distribution(&outcomes).unwrap();
+            for (succ, p_env) in outcomes {
+                let p = p_joint.mul(&p_env);
+                let key = (format!("{actions:?}"), format!("{succ:?}"));
+                match index.get(&key) {
+                    Some(&i) => {
+                        successors[i].2 = successors[i].2.add(&p);
+                    }
+                    None => {
+                        index.insert(key, successors.len());
+                        successors.push((succ, actions.clone(), p));
+                    }
+                }
+            }
+        }
+
+        for (succ, actions, p) in successors {
+            let child = builder.child(node, succ.clone(), p, &actions).unwrap();
+            frontier.push((child, succ, time + 1));
+        }
+    }
+
+    builder.build().unwrap()
+}
+
+/// Asserts that two systems are identical in every observable the theory
+/// depends on: runs and their (bit-equal) probabilities, per-point global
+/// states and action labels, and each agent's information-set cells.
+fn assert_identical(
+    got: &Pps<SimpleState, Rational>,
+    want: &Pps<SimpleState, Rational>,
+    ctx: &str,
+) {
+    assert_eq!(got.num_runs(), want.num_runs(), "{ctx}: num_runs");
+    assert_eq!(got.num_nodes(), want.num_nodes(), "{ctx}: num_nodes");
+    assert_eq!(got.horizon(), want.horizon(), "{ctx}: horizon");
+    for run in want.run_ids() {
+        assert_eq!(
+            got.run_probability(run),
+            want.run_probability(run),
+            "{ctx}: probability of run {run}"
+        );
+        assert_eq!(got.run_len(run), want.run_len(run), "{ctx}: len of {run}");
+        for t in 0..want.run_len(run) as u32 {
+            let pt = Point { run, time: t };
+            assert_eq!(got.state_at(pt), want.state_at(pt), "{ctx}: state at {pt}");
+            assert_eq!(
+                got.actions_at(pt),
+                want.actions_at(pt),
+                "{ctx}: actions at {pt}"
+            );
+        }
+    }
+    // Cells: same information sets, as (agent, time, data, member runs).
+    let cell_key = |p: &Pps<SimpleState, Rational>| -> Vec<(u32, Time, u64, Vec<u32>)> {
+        let mut out: Vec<(u32, Time, u64, Vec<u32>)> = p
+            .cells()
+            .map(|(_, c)| {
+                (
+                    c.agent.0,
+                    c.time,
+                    c.data,
+                    c.runs.iter().map(|r| r.0).collect(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    assert_eq!(cell_key(got), cell_key(want), "{ctx}: cells");
+    // Action events: every (agent, action) pair labels the same run sets.
+    for a in 0..want.num_agents() {
+        for act in 0..8u32 {
+            let (agent, action) = (AgentId(a), ActionId(act));
+            let (g, w) = (
+                got.action_event(agent, action),
+                want.action_event(agent, action),
+            );
+            let gv: Vec<RunId> = g.iter().collect();
+            let wv: Vec<RunId> = w.iter().collect();
+            assert_eq!(gv, wv, "{ctx}: action event {agent}/{action}");
+        }
+    }
+}
+
+#[test]
+fn hash_merge_matches_reference_merge_across_sweep() {
+    // Sweep agents × horizon × branching; several seeds each. Kept small
+    // enough to finish quickly in debug builds while covering singleton
+    // priors, deep trees, and wide environment branching.
+    let mut cases = 0usize;
+    for n_agents in 1..=3u32 {
+        for horizon in 1..=4u32 {
+            for max_env_branching in [1u32, 2, 3] {
+                if n_agents == 3 && horizon == 4 {
+                    continue; // joint-move branching is exponential in agents
+                }
+                for seed in 0..4u64 {
+                    let cfg = RandomModelConfig {
+                        n_agents,
+                        initial_states: 1 + (seed as u32 % 3),
+                        horizon,
+                        envs: 3,
+                        max_env_branching,
+                        local_values: 2,
+                        actions_per_agent: 2,
+                    };
+                    let model = random_model::<Rational>(seed * 101 + 7, &cfg);
+                    let got = unfold_with(&model, &UnfoldConfig::default()).unwrap();
+                    let want = reference_unfold(&model);
+                    let ctx = format!(
+                        "agents={n_agents} horizon={horizon} branch={max_env_branching} seed={seed}"
+                    );
+                    assert_identical(&got, &want, &ctx);
+                    assert!(got.measure(&got.all_runs()).is_one(), "{ctx}: total");
+                    cases += 1;
+                }
+            }
+        }
+    }
+    assert!(cases >= 100, "sweep shrank unexpectedly: {cases} cases");
+}
+
+#[test]
+fn cartesian_moves_is_the_product_distribution() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for case in 0..250 {
+        // 0..=4 agents: the zero-agent case must yield the single empty
+        // joint move with probability one (the empty product).
+        let n_agents = rng.below(5) as usize;
+        let dists: Vec<Vec<(u64, Rational)>> = (0..n_agents)
+            .map(|_| {
+                let k = rng.range(1, 4); // includes singleton distributions
+                let weights: Vec<u64> = (0..k).map(|_| rng.range(1, 9)).collect();
+                let total: u64 = weights.iter().sum();
+                weights
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, w)| (i as u64, Rational::from_ratio(w as i64, total as i64)))
+                    .collect()
+            })
+            .collect();
+        let expected: usize = dists.iter().map(Vec::len).product();
+        let all: Vec<(Vec<u64>, Rational)> = CartesianMoves::new(&dists).collect();
+        assert_eq!(all.len(), expected, "case {case}: entry count");
+        let total: Rational = all.iter().map(|(_, p)| p.clone()).sum();
+        assert!(total.is_one(), "case {case}: joint sum {total} ≠ 1");
+        // Entries are distinct joint moves.
+        let mut joints: Vec<&Vec<u64>> = all.iter().map(|(j, _)| j).collect();
+        joints.sort();
+        joints.dedup();
+        assert_eq!(joints.len(), expected, "case {case}: duplicate joints");
+    }
+}
+
+#[test]
+fn cartesian_moves_with_an_empty_distribution_is_empty() {
+    // A single empty per-agent distribution kills the whole product: no
+    // joint move can be formed (distinct from the zero-agent case).
+    let d: Vec<(u64, Rational)> = vec![(0, Rational::one())];
+    let empty: Vec<(u64, Rational)> = vec![];
+    let all: Vec<(Vec<u64>, Rational)> = CartesianMoves::new(&[d, empty]).collect();
+    assert!(all.is_empty());
+}
