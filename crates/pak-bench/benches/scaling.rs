@@ -1,6 +1,8 @@
 //! Engineering benchmarks (not paper claims): how the analyses scale with
-//! system size, and the exact-vs-float cost ablation called out in
-//! DESIGN.md §4.1.
+//! system size, and the exact-vs-float cost ablation (see the Perf
+//! methodology section of `ARCHITECTURE.md`). Writes `BENCH_scaling.json`
+//! at the workspace root — the machine-readable perf trail whose medians
+//! are summarised in `ROADMAP.md`.
 
 use criterion::{black_box, BenchmarkId, Criterion};
 use pak_bench::criterion;

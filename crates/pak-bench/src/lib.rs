@@ -1,13 +1,17 @@
 //! # pak-bench — the experiment harness
 //!
-//! One Criterion bench target per experiment of the reproduction (see
-//! `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for the
-//! recorded results). Each target first prints a **paper-vs-measured**
-//! table — the reproduction artefact — and then benchmarks the computation
-//! that produced it.
+//! One Criterion bench target per experiment of the reproduction (the
+//! experiment index `e1`–`e11` is tabulated in the repository-root
+//! `README.md`). Each target first prints a **paper-vs-measured** table —
+//! the reproduction artefact — and then benchmarks the computation that
+//! produced it.
 //!
 //! Run everything with `cargo bench --workspace`; a single experiment with
-//! e.g. `cargo bench --bench e1_firing_squad`.
+//! e.g. `cargo bench --bench e1_firing_squad`. Setting `PAK_BENCH_QUICK=1`
+//! makes the vendored `criterion` shim take minimal samples while still
+//! executing (and asserting) every bench body — CI's smoke mode. The
+//! `scaling` bench additionally writes `BENCH_scaling.json`, the
+//! machine-readable perf trail tracked across PRs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::ids::{ActionId, AgentId, NodeId};
+use crate::ids::{ActionId, AgentId, NodeId, StateId};
 
 /// Error produced when constructing or validating a purely probabilistic
 /// system.
@@ -51,6 +51,13 @@ pub enum PpsError {
         /// The unknown handle.
         node: NodeId,
     },
+    /// An interned-state handle passed to the builder is out of range for
+    /// the builder's pool (see
+    /// [`PpsBuilder::intern`](crate::pps::PpsBuilder::intern)).
+    UnknownState {
+        /// The out-of-range handle.
+        state: StateId,
+    },
     /// An action was attached to an initial state's incoming edge; initial
     /// states are chosen by the prior, not produced by actions.
     ActionOnInitialEdge {
@@ -90,6 +97,9 @@ impl fmt::Display for PpsError {
             }
             PpsError::UnknownNode { node } => {
                 write!(f, "unknown node handle {node}")
+            }
+            PpsError::UnknownState { state } => {
+                write!(f, "unknown interned-state handle {state}")
             }
             PpsError::ActionOnInitialEdge { node } => {
                 write!(

@@ -1,0 +1,117 @@
+//! The workspace's shared fast hasher.
+//!
+//! Both the unfolder's successor-merge index and the global-state intern
+//! pool are rebuilt from the model's own output on every construction, so
+//! HashDoS resistance buys nothing there while the per-key setup cost of
+//! the default SipHash dominates the small keys involved. [`FxHasher`]
+//! implements the multiply-rotate scheme rustc uses for its own interning
+//! tables; [`FxBuildHasher`] plugs it into `std` hash maps.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use pak_core::hash::FxBuildHasher;
+//!
+//! let mut m: HashMap<u64, &str, FxBuildHasher> = HashMap::default();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(&7), Some(&"seven"));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, non-keyed hasher (the multiply-rotate scheme rustc uses for its
+/// own interning tables). Not HashDoS-resistant by design: use it only for
+/// maps keyed on data the program itself produced.
+#[derive(Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s, for use as the
+/// `S` parameter of `std` hash maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = (vec![1u64, 2, 3], 7u32);
+        let b = (vec![1u64, 2, 3], 7u32);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn hashing_is_sensitive_to_each_word() {
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+        assert_ne!(hash_of(&(1u64, 2u64)), hash_of(&(2u64, 1u64)));
+    }
+
+    #[test]
+    fn byte_slices_hash_per_byte() {
+        assert_ne!(hash_of(&[1u8, 2]), hash_of(&[2u8, 1]));
+    }
+}

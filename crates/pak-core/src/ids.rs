@@ -100,6 +100,32 @@ impl fmt::Display for RunId {
     }
 }
 
+/// Handle to an interned global state in a
+/// [`StatePool`](crate::intern::StatePool).
+///
+/// Many tree nodes of an unfolded system share one global state (merging
+/// and environment branching both revisit states), so the pps machinery
+/// stores each distinct state once and passes these copyable ids around
+/// instead of cloning states. Two ids from the *same* pool are equal iff
+/// the states they denote are equal; ids from different pools are not
+/// comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state#{}", self.0)
+    }
+}
+
 /// Index of a local-state equivalence cell (an information set): the set of
 /// points an agent cannot distinguish because its local state is identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -1,0 +1,246 @@
+//! Interning of global states.
+//!
+//! An unfolded system visits the same global state over and over: successor
+//! merging, environment branching that lands on identical states, and
+//! models whose transition tables copy the state all produce tree nodes
+//! that *share* a `Global`. Storing the state by value in every node (and
+//! cloning it into the frontier, the builder, and each analysis) made
+//! state cloning a measurable share of unfolding cost.
+//!
+//! [`StatePool`] is an append-only arena keyed by hash: each distinct
+//! state is stored exactly once and identified by a copyable
+//! [`StateId`] — a plain dense index, only meaningful for the pool that
+//! issued it. Deduplication uses the same scheme as the
+//! unfolder's successor merge — an [`FxHasher`] probe
+//! into hash buckets with candidate confirmation by `Eq` — so the pool
+//! inherits the merge contract: **equal states must hash equal**. A
+//! coarser or finer `Eq` changes only how many distinct ids exist, never
+//! the states an id resolves to.
+//!
+//! # Examples
+//!
+//! ```
+//! use pak_core::intern::StatePool;
+//! use pak_core::state::SimpleState;
+//!
+//! let mut pool = StatePool::new();
+//! let a = pool.intern(SimpleState::new(0, vec![1, 2]));
+//! let b = pool.intern(SimpleState::new(0, vec![1, 2])); // duplicate
+//! let c = pool.intern(SimpleState::new(9, vec![1, 2]));
+//!
+//! assert_eq!(a, b, "equal states intern to the same id");
+//! assert_ne!(a, c);
+//! assert_eq!(pool.len(), 2, "the duplicate was not stored twice");
+//! assert_eq!(pool[a].locals, vec![1, 2]);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::ops::Index;
+
+use crate::hash::{FxBuildHasher, FxHasher};
+use crate::ids::StateId;
+
+/// An arena that stores each distinct value once and hands out copyable
+/// [`StateId`] handles.
+///
+/// The pool is append-only: ids are dense (`0..len`) and stay valid for
+/// the pool's lifetime. Lookup by id is a plain slice index; interning is
+/// one hash and, on a repeat, one `Eq` confirmation — no allocation.
+#[derive(Debug, Clone)]
+pub struct StatePool<G> {
+    states: Vec<G>,
+    /// Hash → candidate ids with that hash (almost always a single entry;
+    /// collisions are resolved by `Eq` confirmation against `states`).
+    index: HashMap<u64, Vec<u32>, FxBuildHasher>,
+}
+
+impl<G> Default for StatePool<G> {
+    fn default() -> Self {
+        StatePool {
+            states: Vec::new(),
+            index: HashMap::default(),
+        }
+    }
+}
+
+impl<G: Eq + Hash> StatePool<G> {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The number of *distinct* states interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Interns `state`, returning the id of the stored copy.
+    ///
+    /// If an equal state is already present its id is returned and `state`
+    /// is dropped; otherwise `state` is moved into the pool. Either way no
+    /// clone is made.
+    pub fn intern(&mut self, state: G) -> StateId {
+        match self.lookup(&state) {
+            Some(id) => id,
+            None => self.insert_new(state),
+        }
+    }
+
+    /// Interns by reference, cloning `state` only when it is not already
+    /// present.
+    pub fn intern_ref(&mut self, state: &G) -> StateId
+    where
+        G: Clone,
+    {
+        match self.lookup(state) {
+            Some(id) => id,
+            None => self.insert_new(state.clone()),
+        }
+    }
+
+    /// Appends a state known to be absent (misses re-hash once; interning
+    /// is dominated by hits, where a single probe suffices).
+    fn insert_new(&mut self, state: G) -> StateId {
+        let hash = Self::hash_of(&state);
+        let id = u32::try_from(self.states.len()).expect("more than u32::MAX interned states");
+        self.index.entry(hash).or_default().push(id);
+        self.states.push(state);
+        StateId(id)
+    }
+
+    /// The id of an equal state already in the pool, if any, without
+    /// inserting.
+    #[must_use]
+    pub fn lookup(&self, state: &G) -> Option<StateId> {
+        let hash = Self::hash_of(state);
+        self.index
+            .get(&hash)?
+            .iter()
+            .find(|&&i| self.states[i as usize] == *state)
+            .map(|&i| StateId(i))
+    }
+
+    /// Resolves an id to the stored state.
+    ///
+    /// Returns `None` for ids outside the pool (e.g. from another pool).
+    #[must_use]
+    pub fn get(&self, id: StateId) -> Option<&G> {
+        self.states.get(id.index())
+    }
+
+    /// Iterates over `(id, state)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &G)> {
+        self.states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (StateId(i as u32), s))
+    }
+
+    fn hash_of(state: &G) -> u64 {
+        let mut hasher = FxHasher::default();
+        state.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+impl<G: Eq + Hash> Index<StateId> for StatePool<G> {
+    type Output = G;
+
+    /// Resolves an id to the stored state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this pool.
+    fn index(&self, id: StateId) -> &G {
+        &self.states[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::SimpleState;
+
+    #[test]
+    fn interning_dedups_equal_states() {
+        let mut pool = StatePool::new();
+        let ids: Vec<StateId> = (0..10)
+            .map(|k| pool.intern(SimpleState::new(k % 3, vec![k % 2])))
+            .collect();
+        // 3 envs × 2 locals = 6 distinct states.
+        assert_eq!(pool.len(), 6);
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(pool[id], SimpleState::new(k as u64 % 3, vec![k as u64 % 2]));
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_in_first_seen_order() {
+        let mut pool = StatePool::new();
+        let a = pool.intern(SimpleState::new(1, vec![]));
+        let b = pool.intern(SimpleState::new(2, vec![]));
+        let a2 = pool.intern(SimpleState::new(1, vec![]));
+        assert_eq!(a, StateId(0));
+        assert_eq!(b, StateId(1));
+        assert_eq!(a2, a);
+        let collected: Vec<u64> = pool.iter().map(|(_, s)| s.env).collect();
+        assert_eq!(collected, vec![1, 2]);
+    }
+
+    #[test]
+    fn intern_ref_clones_only_on_miss() {
+        let mut pool = StatePool::new();
+        let s = SimpleState::new(0, vec![7]);
+        let a = pool.intern_ref(&s);
+        let b = pool.intern_ref(&s);
+        assert_eq!(a, b);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let mut pool = StatePool::new();
+        let s = SimpleState::new(0, vec![]);
+        assert_eq!(pool.lookup(&s), None);
+        let id = pool.intern(s.clone());
+        assert_eq!(pool.lookup(&s), Some(id));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn get_is_total_over_foreign_ids() {
+        let mut pool = StatePool::new();
+        pool.intern(SimpleState::new(0, vec![]));
+        assert!(pool.get(StateId(0)).is_some());
+        assert!(pool.get(StateId(99)).is_none());
+    }
+
+    #[test]
+    fn hash_collisions_are_resolved_by_eq() {
+        // Force every key into one bucket by interning through a pool of
+        // unit-hash wrappers: distinct values must still get distinct ids.
+        #[derive(PartialEq, Eq, Clone, Debug)]
+        struct Degenerate(u64);
+        impl Hash for Degenerate {
+            fn hash<H: Hasher>(&self, state: &mut H) {
+                0u64.hash(state); // pathological: everything collides
+            }
+        }
+        let mut pool = StatePool::new();
+        let ids: Vec<StateId> = (0..32).map(|k| pool.intern(Degenerate(k))).collect();
+        assert_eq!(pool.len(), 32);
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(pool[id], Degenerate(k as u64));
+            assert_eq!(pool.intern(Degenerate(k as u64)), id);
+        }
+    }
+}

@@ -56,8 +56,10 @@ pub mod error;
 pub mod event;
 pub mod fact;
 pub mod generator;
+pub mod hash;
 pub mod ids;
 pub mod independence;
+pub mod intern;
 pub mod pps;
 pub mod prob;
 pub mod state;
@@ -78,10 +80,11 @@ pub mod prelude {
     pub use crate::fact::{
         AndFact, DoesFact, Fact, Facts, FalseFact, FnFact, NotFact, OrFact, StateFact, TrueFact,
     };
-    pub use crate::ids::{ActionId, AgentId, CellId, NodeId, Point, RunId, Time};
+    pub use crate::ids::{ActionId, AgentId, CellId, NodeId, Point, RunId, StateId, Time};
     pub use crate::independence::{
         check_lemma43, check_local_state_independence, is_local_state_independent,
     };
+    pub use crate::intern::StatePool;
     pub use crate::pps::{Cell, Pps, PpsBuilder};
     pub use crate::prob::Probability;
     pub use crate::state::{GlobalState, LocalState, SimpleState};

@@ -16,22 +16,36 @@
 //! * per-node run intervals (runs through a node are contiguous in DFS
 //!   order),
 //! * local-state cells (information sets) for every agent at every time.
+//!
+//! # Interned states
+//!
+//! Many tree nodes share one global state (successor merging and
+//! environment branching both revisit states), so nodes do not store
+//! states by value: each distinct state lives once in a
+//! [`StatePool`] owned by the system, and nodes carry
+//! copyable [`StateId`]s. The by-value builder API
+//! ([`PpsBuilder::initial`], [`PpsBuilder::child`]) interns transparently;
+//! hot paths such as the protocol unfolder intern once via
+//! [`PpsBuilder::intern`] and pass ids through
+//! [`PpsBuilder::initial_interned`] / [`PpsBuilder::child_interned`],
+//! avoiding every per-node state clone.
 
 use std::collections::HashMap;
 
 use crate::error::PpsError;
 use crate::event::RunSet;
-use crate::ids::{ActionId, AgentId, CellId, NodeId, Point, RunId, Time};
+use crate::ids::{ActionId, AgentId, CellId, NodeId, Point, RunId, StateId, Time};
+use crate::intern::StatePool;
 use crate::prob::Probability;
 use crate::state::{GlobalState, LocalState};
 
 /// A node of the pps tree.
 #[derive(Debug, Clone)]
-struct Node<G, P> {
+struct Node<P> {
     /// Parent node; the root is its own parent.
     parent: NodeId,
-    /// The global state; `None` only for the root `λ`.
-    state: Option<G>,
+    /// The interned global state; `None` only for the root `λ`.
+    state: Option<StateId>,
     /// Depth in the tree: root `0`, initial states `1`. The time of a
     /// non-root node is `depth − 1`.
     depth: u32,
@@ -97,7 +111,9 @@ pub struct Cell<L> {
 #[derive(Debug, Clone)]
 pub struct Pps<G: GlobalState, P: Probability> {
     n_agents: u32,
-    nodes: Vec<Node<G, P>>,
+    /// Each distinct global state, stored once; nodes refer into it by id.
+    pool: StatePool<G>,
+    nodes: Vec<Node<P>>,
     runs: Vec<Run<P>>,
     /// `cell_of[agent][node − 1]` is the cell of the (non-root) node.
     cell_of: Vec<Vec<CellId>>,
@@ -172,7 +188,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     #[must_use]
     pub fn state_at(&self, point: Point) -> Option<&G> {
         let node = self.node_at(point.run, point.time)?;
-        self.nodes[node.index()].state.as_ref()
+        self.nodes[node.index()].state.map(|id| &self.pool[id])
     }
 
     /// The global state carried by a (non-root) node.
@@ -182,10 +198,36 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// Panics if `node` is the root or out of range.
     #[must_use]
     pub fn node_state(&self, node: NodeId) -> &G {
+        &self.pool[self.node_state_id(node)]
+    }
+
+    /// The interned id of the global state carried by a (non-root) node.
+    ///
+    /// Equal ids denote equal states, so comparing two nodes' states costs
+    /// one integer comparison. Resolve ids through [`Pps::state_pool`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is the root or out of range.
+    #[must_use]
+    pub fn node_state_id(&self, node: NodeId) -> StateId {
         self.nodes[node.index()]
             .state
-            .as_ref()
             .expect("root node has no state")
+    }
+
+    /// The pool of distinct global states occurring in the system.
+    #[must_use]
+    pub fn state_pool(&self) -> &StatePool<G> {
+        &self.pool
+    }
+
+    /// The number of *distinct* global states in the system — at most the
+    /// number of non-root nodes, and usually far fewer (interning shares
+    /// repeated states across nodes).
+    #[must_use]
+    pub fn num_distinct_states(&self) -> usize {
+        self.pool.len()
     }
 
     /// The time of a non-root node (its depth minus one).
@@ -539,11 +581,12 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// Internal: builds the validated system from raw builder parts.
     pub(crate) fn from_parts(
         n_agents: u32,
-        raw_nodes: Vec<RawNode<G, P>>,
+        pool: StatePool<G>,
+        raw_nodes: Vec<RawNode<P>>,
         action_names: HashMap<ActionId, String>,
     ) -> Result<Self, PpsError> {
         // Convert raw nodes, gathering children.
-        let mut nodes: Vec<Node<G, P>> = raw_nodes
+        let mut nodes: Vec<Node<P>> = raw_nodes
             .into_iter()
             .map(|r| Node {
                 parent: r.parent,
@@ -636,10 +679,11 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         let mut cell_of: Vec<Vec<CellId>> =
             vec![vec![CellId(u32::MAX); nodes.len() - 1]; n_agents as usize];
         for agent in 0..n_agents {
-            let mut index: HashMap<(u32, G::Local), CellId> = HashMap::new();
+            let mut index: HashMap<(u32, G::Local), CellId, crate::hash::FxBuildHasher> =
+                HashMap::default();
             for (i, node) in nodes.iter().enumerate().skip(1) {
-                let state = node.state.as_ref().expect("non-root node has state");
-                let data = state.local(AgentId(agent));
+                let sid = node.state.expect("non-root node has state");
+                let data = pool[sid].local(AgentId(agent));
                 let time = node.depth - 1;
                 let key = (time, data.clone());
                 let cell_id = *index.entry(key).or_insert_with(|| {
@@ -665,6 +709,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
 
         Ok(Pps {
             n_agents,
+            pool,
             nodes,
             runs,
             cell_of,
@@ -676,9 +721,9 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
 
 /// Raw node data handed from the builder to validation.
 #[derive(Debug, Clone)]
-pub(crate) struct RawNode<G, P> {
+pub(crate) struct RawNode<P> {
     pub parent: NodeId,
-    pub state: Option<G>,
+    pub state: Option<StateId>,
     pub depth: u32,
     pub edge_prob: P,
     pub actions: Vec<(AgentId, ActionId)>,
@@ -713,7 +758,8 @@ pub(crate) struct RawNode<G, P> {
 #[derive(Debug, Clone)]
 pub struct PpsBuilder<G: GlobalState, P: Probability> {
     n_agents: u32,
-    nodes: Vec<RawNode<G, P>>,
+    pool: StatePool<G>,
+    nodes: Vec<RawNode<P>>,
     action_names: HashMap<ActionId, String>,
 }
 
@@ -723,6 +769,7 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
     pub fn new(n_agents: u32) -> Self {
         PpsBuilder {
             n_agents,
+            pool: StatePool::new(),
             nodes: vec![RawNode {
                 parent: NodeId::ROOT,
                 state: None,
@@ -734,6 +781,24 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
         }
     }
 
+    /// Interns a global state, returning the id of the stored copy. Equal
+    /// states always return the same id, so callers that revisit states
+    /// (the unfolder's frontier, successor merging) can compare and store
+    /// ids instead of cloning states.
+    pub fn intern(&mut self, state: G) -> StateId {
+        self.pool.intern(state)
+    }
+
+    /// Resolves an id handed out by [`PpsBuilder::intern`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this builder.
+    #[must_use]
+    pub fn state(&self, id: StateId) -> &G {
+        &self.pool[id]
+    }
+
     /// Adds an initial global state with prior probability `prob`.
     ///
     /// # Errors
@@ -741,6 +806,25 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
     /// Returns [`PpsError::NonPositiveProbability`] if `prob ≤ 0`, or
     /// [`PpsError::AgentOutOfRange`] if the state has too few locals.
     pub fn initial(&mut self, state: G, prob: P) -> Result<NodeId, PpsError> {
+        let sid = self.pool.intern(state);
+        self.push_node(NodeId::ROOT, sid, prob, &[])
+    }
+
+    /// Adds an initial global state by interned id (see
+    /// [`PpsBuilder::intern`]): the allocation-free variant of
+    /// [`PpsBuilder::initial`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PpsBuilder::initial`], plus [`PpsError::UnknownState`] if
+    /// `state` is out of range for this builder's pool. Ids are plain
+    /// indices, so an *in-range* id minted by a different builder cannot
+    /// be detected — it resolves to whatever state this builder stores at
+    /// that index. Never pass ids across builders.
+    pub fn initial_interned(&mut self, state: StateId, prob: P) -> Result<NodeId, PpsError> {
+        if self.pool.get(state).is_none() {
+            return Err(PpsError::UnknownState { state });
+        }
         self.push_node(NodeId::ROOT, state, prob, &[])
     }
 
@@ -761,6 +845,32 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
         if parent.index() >= self.nodes.len() {
             return Err(PpsError::UnknownNode { node: parent });
         }
+        let sid = self.pool.intern(state);
+        self.push_node(parent, sid, prob, actions)
+    }
+
+    /// Adds a successor by interned id (see [`PpsBuilder::intern`]): the
+    /// allocation-free variant of [`PpsBuilder::child`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PpsBuilder::child`], plus [`PpsError::UnknownState`] if
+    /// `state` is out of range for this builder's pool (in-range ids from
+    /// a different builder cannot be detected — see
+    /// [`PpsBuilder::initial_interned`]).
+    pub fn child_interned(
+        &mut self,
+        parent: NodeId,
+        state: StateId,
+        prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> Result<NodeId, PpsError> {
+        if parent.index() >= self.nodes.len() {
+            return Err(PpsError::UnknownNode { node: parent });
+        }
+        if self.pool.get(state).is_none() {
+            return Err(PpsError::UnknownState { state });
+        }
         self.push_node(parent, state, prob, actions)
     }
 
@@ -773,7 +883,7 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
     fn push_node(
         &mut self,
         parent: NodeId,
-        state: G,
+        state: StateId,
         prob: P,
         actions: &[(AgentId, ActionId)],
     ) -> Result<NodeId, PpsError> {
@@ -817,12 +927,12 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
     /// [`PpsError::BadDistribution`] if any internal node's outgoing
     /// probabilities do not sum to one.
     pub fn build(self) -> Result<Pps<G, P>, PpsError> {
-        Pps::from_parts(self.n_agents, self.nodes, self.action_names)
+        Pps::from_parts(self.n_agents, self.pool, self.nodes, self.action_names)
     }
 }
 
 // Allow `push_node` to store state as Option through RawNode.
-impl<G, P> RawNode<G, P> {
+impl<P> RawNode<P> {
     fn new_root() -> Self
     where
         P: Probability,
@@ -841,6 +951,7 @@ impl<G: GlobalState, P: Probability> Default for PpsBuilder<G, P> {
     fn default() -> Self {
         PpsBuilder {
             n_agents: 1,
+            pool: StatePool::new(),
             nodes: vec![RawNode::new_root()],
             action_names: HashMap::new(),
         }

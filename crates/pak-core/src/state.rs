@@ -10,6 +10,12 @@
 //! state types to include it, the library always pairs an agent's local data
 //! with the tree depth when forming local-state identity (see
 //! [`LocalState`]), so two points at different times are never confused.
+//!
+//! **States are stored interned**: a [`Pps`](crate::pps::Pps) keeps each
+//! distinct global state once in a [`StatePool`](crate::intern::StatePool)
+//! and its nodes carry copyable [`StateId`](crate::ids::StateId)s, which is
+//! what the `Eq + Hash` supertraits of [`GlobalState`] feed (both the
+//! unfolder's successor merge and the pool's deduplication).
 
 use core::fmt;
 use core::hash::Hash;

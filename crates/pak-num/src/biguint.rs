@@ -24,7 +24,7 @@ use crate::parse::ParseNumberError;
 /// The representation is **canonical**: a given value has exactly one
 /// representation, so the derived `PartialEq`/`Hash` are value equality and
 /// every heap result that shrinks back into word range is re-inlined by
-/// [`BigUint::from_limbs`]. All arithmetic is exact.
+/// the internal `from_limbs` normaliser. All arithmetic is exact.
 ///
 /// # Examples
 ///

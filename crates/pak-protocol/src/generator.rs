@@ -162,6 +162,7 @@ pub fn random_model<P: Probability>(seed: u64, cfg: &RandomModelConfig) -> Table
         horizon: cfg.horizon,
         moves,
         transitions,
+        ..TableModel::default()
     }
 }
 

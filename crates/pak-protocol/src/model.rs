@@ -19,7 +19,7 @@
 //! # The `Hash + Eq` merge contract
 //!
 //! Unfolding merges successor states that compare equal under the same
-//! joint actions (see [`crate::unfold`]). Both the global-state type
+//! joint actions (see [`mod@crate::unfold`]). Both the global-state type
 //! ([`ProtocolModel::Global`], via
 //! [`GlobalState`]'s supertraits) and
 //! [`ProtocolModel::Move`] are therefore required to implement `Eq + Hash`,
@@ -30,7 +30,10 @@
 
 use core::fmt::Debug;
 use core::hash::Hash;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 
+use pak_core::hash::FxBuildHasher;
 use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::prob::Probability;
 use pak_core::state::GlobalState;
@@ -169,8 +172,42 @@ impl<P: Probability> ProtocolModel<P> for CoinModel {
 ///
 /// The tables map `(agent local data, time)` to move distributions and
 /// `(env, joint action pattern, time)` to successor distributions; entries
-/// default to "skip" / "stay" when absent.
-#[derive(Debug, Clone, Default)]
+/// default to "skip" / "stay" when absent. Lookups go through a prebuilt
+/// [`TableIndex`] (two hash maps, built lazily on first use) rather than
+/// scanning the tables linearly; see [`TableModel::index`] for the
+/// contract this places on table mutation.
+///
+/// # Examples
+///
+/// A one-agent model that performs action `0` with probability ¾ at time
+/// 0, unfolded into a two-run pps:
+///
+/// ```
+/// use pak_protocol::model::TableModel;
+/// use pak_protocol::unfold::unfold;
+/// use pak_core::prelude::*;
+/// use pak_num::Rational;
+///
+/// let model: TableModel<Rational> = TableModel {
+///     n_agents: 1,
+///     initial: vec![(0, vec![0], Rational::one())],
+///     horizon: 1,
+///     moves: vec![(
+///         (0, 0, 0),
+///         vec![
+///             (Some(ActionId(0)), Rational::from_ratio(3, 4)),
+///             (None, Rational::from_ratio(1, 4)),
+///         ],
+///     )],
+///     transitions: vec![],
+///     ..TableModel::default()
+/// };
+/// let pps = unfold::<_, Rational>(&model).unwrap();
+/// assert_eq!(pps.num_runs(), 2);
+/// let acts = pps.action_event(AgentId(0), ActionId(0));
+/// assert_eq!(pps.measure(&acts), Rational::from_ratio(3, 4));
+/// ```
+#[derive(Debug, Clone)]
 pub struct TableModel<P> {
     /// Number of agents.
     pub n_agents: u32,
@@ -186,6 +223,93 @@ pub struct TableModel<P> {
     /// when absent the state is copied unchanged.
     #[allow(clippy::type_complexity)]
     pub transitions: Vec<((u64, Time), Vec<(u64, Vec<u64>, P)>)>,
+    /// Lazily built lookup index over `moves` and `transitions` (see
+    /// [`TableModel::index`]). Initialise with `OnceLock::new()` — or
+    /// simply spread `..TableModel::default()` into a struct literal.
+    pub index: OnceLock<TableIndex>,
+}
+
+// Implemented by hand (not derived) so that `..TableModel::default()`
+// works in struct literals for *any* probability type, without a
+// `P: Default` bound.
+impl<P> Default for TableModel<P> {
+    fn default() -> Self {
+        TableModel {
+            n_agents: 0,
+            initial: Vec::new(),
+            horizon: 0,
+            moves: Vec::new(),
+            transitions: Vec::new(),
+            index: OnceLock::new(),
+        }
+    }
+}
+
+/// A prebuilt lookup index over a [`TableModel`]'s tables: hash maps from
+/// `(agent, local, time)` and `(env, time)` to positions in the `moves` /
+/// `transitions` vectors. Replaces the per-call linear table scans the
+/// unfolder used to pay on every node expansion.
+///
+/// When a key occurs more than once in a table, the index records the
+/// *first* occurrence — exactly the entry a front-to-back linear scan
+/// would have found — so indexed and scanned lookups agree on every input
+/// (property-tested in `tests/table_index.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct TableIndex {
+    moves: HashMap<(u32, u64, Time), usize, FxBuildHasher>,
+    transitions: HashMap<(u64, Time), usize, FxBuildHasher>,
+}
+
+impl TableIndex {
+    /// Builds the index for the given tables, keeping the first occurrence
+    /// of each duplicated key.
+    #[must_use]
+    pub fn build<P>(model: &TableModel<P>) -> Self {
+        let mut moves: HashMap<(u32, u64, Time), usize, FxBuildHasher> = HashMap::default();
+        for (i, (key, _)) in model.moves.iter().enumerate() {
+            moves.entry(*key).or_insert(i);
+        }
+        let mut transitions: HashMap<(u64, Time), usize, FxBuildHasher> = HashMap::default();
+        for (i, (key, _)) in model.transitions.iter().enumerate() {
+            transitions.entry(*key).or_insert(i);
+        }
+        TableIndex { moves, transitions }
+    }
+
+    /// The position in `moves` holding the distribution for
+    /// `(agent, local, time)`, or `None` when the entry is absent (the
+    /// model then defaults to a deterministic skip).
+    #[must_use]
+    pub fn move_entry(&self, agent: u32, local: u64, time: Time) -> Option<usize> {
+        self.moves.get(&(agent, local, time)).copied()
+    }
+
+    /// The position in `transitions` holding the distribution for
+    /// `(env, time)`, or `None` when the entry is absent (the model then
+    /// copies the state unchanged).
+    #[must_use]
+    pub fn transition_entry(&self, env: u64, time: Time) -> Option<usize> {
+        self.transitions.get(&(env, time)).copied()
+    }
+}
+
+impl<P> TableModel<P> {
+    /// The lookup index over `moves` and `transitions`, built on first use
+    /// and cached (so one unfold builds it exactly once, and every
+    /// subsequent lookup is a hash probe).
+    ///
+    /// **Contract:** the tables must not be mutated after the index has
+    /// been built — lookups would silently consult stale positions. After
+    /// mutating a model in place, call [`TableModel::invalidate_index`].
+    pub fn index(&self) -> &TableIndex {
+        self.index.get_or_init(|| TableIndex::build(self))
+    }
+
+    /// Drops the cached [`TableIndex`] so the next lookup rebuilds it.
+    /// Call this after mutating `moves` or `transitions` in place.
+    pub fn invalidate_index(&mut self) {
+        self.index = OnceLock::new();
+    }
 }
 
 impl<P: Probability> ProtocolModel<P> for TableModel<P> {
@@ -213,10 +337,9 @@ impl<P: Probability> ProtocolModel<P> for TableModel<P> {
     }
 
     fn moves(&self, agent: AgentId, local: &u64, time: Time) -> Vec<(Self::Move, P)> {
-        self.moves
-            .iter()
-            .find(|((a, l, t), _)| *a == agent.0 && l == local && *t == time)
-            .map_or_else(|| vec![(None, P::one())], |(_, dist)| dist.clone())
+        self.index()
+            .move_entry(agent.0, *local, time)
+            .map_or_else(|| vec![(None, P::one())], |i| self.moves[i].1.clone())
     }
 
     fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
@@ -229,22 +352,21 @@ impl<P: Probability> ProtocolModel<P> for TableModel<P> {
         _moves: &[Self::Move],
         time: Time,
     ) -> Vec<(Self::Global, P)> {
-        self.transitions
-            .iter()
-            .find(|((env, t), _)| *env == state.env && *t == time)
-            .map_or_else(
-                || vec![(state.clone(), P::one())],
-                |(_, dist)| {
-                    dist.iter()
-                        .map(|(env, locals, p)| {
-                            (
-                                pak_core::state::SimpleState::new(*env, locals.clone()),
-                                p.clone(),
-                            )
-                        })
-                        .collect()
-                },
-            )
+        self.index().transition_entry(state.env, time).map_or_else(
+            || vec![(state.clone(), P::one())],
+            |i| {
+                self.transitions[i]
+                    .1
+                    .iter()
+                    .map(|(env, locals, p)| {
+                        (
+                            pak_core::state::SimpleState::new(*env, locals.clone()),
+                            p.clone(),
+                        )
+                    })
+                    .collect()
+            },
+        )
     }
 }
 
@@ -329,6 +451,7 @@ mod tests {
             horizon: 2,
             moves: vec![],
             transitions: vec![],
+            ..TableModel::default()
         };
         // Default move is skip; default transition copies the state.
         let mv = ProtocolModel::<Rational>::moves(&m, AgentId(0), &0, 0);

@@ -13,28 +13,49 @@
 //! # Merge contract
 //!
 //! Two successors of a node are merged exactly when their joint-action
-//! labels and their global states both compare equal. Merging is a single
-//! hash-map probe keyed on `(actions, state)` — no per-successor string
-//! formatting — which is why [`GlobalState`] and [`ProtocolModel::Move`]
-//! require `Eq + Hash`. The contract on implementors is the standard one:
-//! equal states must hash equal. Equality that distinguishes more (or
-//! fewer) states is *safe* — it only changes the size of the unfolded
-//! tree, never any run probability, local state, or action event — but
-//! `Hash`/`Eq` incoherence (equal values hashing differently) would leave
-//! duplicate children carrying split probability mass, so the derived
-//! implementations are strongly recommended.
+//! labels and their global states both compare equal. Every successor
+//! state is first *interned* into the builder's
+//! [`StatePool`](pak_core::intern::StatePool) — a hash-keyed arena storing
+//! each distinct state once — so the merge probe compares copyable
+//! [`StateId`]s instead of full states, and no state is ever cloned into
+//! the frontier or the tree. This is why [`GlobalState`] and
+//! [`ProtocolModel::Move`] require `Eq + Hash`. The contract on
+//! implementors is the standard one: equal states must hash equal.
+//! Equality that distinguishes more (or fewer) states is *safe* — it only
+//! changes the size of the unfolded tree, never any run probability, local
+//! state, or action event — but `Hash`/`Eq` incoherence (equal values
+//! hashing differently) would leave duplicate children carrying split
+//! probability mass, so the derived implementations are strongly
+//! recommended.
+//!
+//! # Purity contract
+//!
+//! The unfolder treats [`ProtocolModel::moves`] and
+//! [`ProtocolModel::transition`] as *pure functions* of their arguments:
+//! because interning makes state identity explicit, expansions are
+//! memoized per `(state, time)` and replayed for every tree node that
+//! revisits the pair, so the model's methods may be called once where a
+//! naive enumeration would call them many times. Models whose
+//! distributions depend on hidden mutable state would produce unspecified
+//! (though still validated) trees — no model in this workspace does.
 
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{BuildHasherDefault, Hash, Hasher};
+use std::hash::{Hash, Hasher};
 
 use pak_core::error::PpsError;
-use pak_core::ids::{ActionId, AgentId, NodeId};
+use pak_core::hash::{FxBuildHasher, FxHasher};
+use pak_core::ids::{ActionId, AgentId, NodeId, StateId};
 use pak_core::pps::{Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::GlobalState;
 
 use crate::model::{validate_distribution, ProtocolModel};
+
+/// A node's merged successor list: interned state, joint-action labels,
+/// and accumulated probability per distinct `(actions, state)` child.
+type Successors<P> = Vec<(StateId, Vec<(AgentId, ActionId)>, P)>;
 
 /// Limits and options for unfolding.
 #[derive(Debug, Clone)]
@@ -166,8 +187,10 @@ where
         detail,
     })?;
 
-    // Frontier of nodes still to expand: (builder node, state, time).
-    let mut frontier: Vec<(NodeId, M::Global, u32)> = Vec::new();
+    // Frontier of nodes still to expand: (builder node, interned state,
+    // time). States live once in the builder's pool; the frontier carries
+    // copyable ids, never clones.
+    let mut frontier: Vec<(NodeId, StateId, u32)> = Vec::new();
     for (state, p) in initial {
         node_count += 1;
         if node_count > config.max_nodes {
@@ -175,20 +198,26 @@ where
                 max_nodes: config.max_nodes,
             });
         }
-        let id = builder.initial(state.clone(), p)?;
-        frontier.push((id, state, 0));
+        let sid = builder.intern(state);
+        let id = builder.initial_interned(sid, p)?;
+        frontier.push((id, sid, 0));
     }
 
-    // Per-node scratch buffers, reused across the whole expansion: the
-    // successor accumulator and its hash index are cleared, not
-    // reallocated, for every frontier node.
+    // Interning makes repeated work *visible*: two frontier nodes carrying
+    // the same `(StateId, time)` expand to bit-identical successor lists
+    // (the model's methods are functions of the state and time), so the
+    // merged expansion is computed once per distinct pair and replayed for
+    // every further node that reaches it. Unfolded trees revisit states
+    // heavily — merging and environment branching both funnel into shared
+    // states — which makes this the main saving of the interned pipeline.
+    let mut expansions: HashMap<(StateId, u32), Successors<P>, FxBuildHasher> = HashMap::default();
+    // Per-expansion scratch: the per-agent move distributions and the merge
+    // index are cleared, not reallocated, for every cache miss.
     let mut per_agent: Vec<Vec<(M::Move, P)>> = Vec::with_capacity(n_agents as usize);
-    #[allow(clippy::type_complexity)]
-    let mut successors: Vec<(M::Global, Vec<(AgentId, ActionId)>, P)> = Vec::new();
-    let mut index: HashMap<u64, Vec<usize>, BuildHasherDefault<FxHasher>> = HashMap::default();
+    let mut index: HashMap<u64, Vec<usize>, FxBuildHasher> = HashMap::default();
 
-    while let Some((node, state, time)) = frontier.pop() {
-        if model.is_terminal(&state, time) {
+    while let Some((node, sid, time)) = frontier.pop() {
+        if model.is_terminal(builder.state(sid), time) {
             continue;
         }
         if let Some(cap) = config.max_depth {
@@ -197,137 +226,86 @@ where
             }
         }
 
-        // Gather each agent's mixed move distribution from its local state.
-        per_agent.clear();
-        for a in 0..n_agents {
-            let agent = AgentId(a);
-            let local = state.local(agent);
-            let dist = model.moves(agent, &local, time);
-            validate_distribution(&dist).map_err(|detail| UnfoldError::BadModelDistribution {
-                origin: "moves",
-                detail,
-            })?;
-            per_agent.push(dist);
-        }
+        let successors = match expansions.entry((sid, time)) {
+            Entry::Occupied(hit) => hit.into_mut(),
+            Entry::Vacant(slot) => {
+                // Gather each agent's mixed move distribution from its
+                // local state.
+                per_agent.clear();
+                for a in 0..n_agents {
+                    let agent = AgentId(a);
+                    let local = builder.state(sid).local(agent);
+                    let dist = model.moves(agent, &local, time);
+                    validate_distribution(&dist).map_err(|detail| {
+                        UnfoldError::BadModelDistribution {
+                            origin: "moves",
+                            detail,
+                        }
+                    })?;
+                    per_agent.push(dist);
+                }
 
-        // Enumerate the cartesian product of joint moves, resolve each via
-        // the environment, and merge identical successors. The merge index
-        // is keyed on the `(actions, state)` hash; candidate indices are
-        // confirmed against `successors` by `Eq`, so the hot path (a
-        // repeated successor) costs one hash and one comparison with no
-        // allocation at all.
-        successors.clear();
-        index.clear();
-        for (joint, p_joint) in CartesianMoves::new(&per_agent) {
-            let actions: Vec<(AgentId, ActionId)> = joint
-                .iter()
-                .enumerate()
-                .filter_map(|(a, mv)| model.action_of(mv).map(|act| (AgentId(a as u32), act)))
-                .collect();
-            let outcomes = model.transition(&state, &joint, time);
-            validate_distribution(&outcomes).map_err(|detail| {
-                UnfoldError::BadModelDistribution {
-                    origin: "transition",
-                    detail,
-                }
-            })?;
-            for (succ, p_env) in outcomes {
-                let p = p_joint.mul(&p_env);
-                let mut hasher = FxHasher::default();
-                actions.hash(&mut hasher);
-                succ.hash(&mut hasher);
-                let bucket = index.entry(hasher.finish()).or_default();
-                match bucket
-                    .iter()
-                    .find(|&&i| successors[i].1 == actions && successors[i].0 == succ)
-                {
-                    Some(&i) => {
-                        successors[i].2.add_assign(&p);
+                // Enumerate the cartesian product of joint moves, resolve
+                // each via the environment, and merge identical
+                // successors. Each successor is interned first (one hash +
+                // `Eq` confirmation inside the pool), so the merge index
+                // compares `(actions, StateId)` — a repeated successor
+                // costs one hash and one id comparison, with no state
+                // clone or allocation at all.
+                let mut successors: Successors<P> = Vec::new();
+                index.clear();
+                for (joint, p_joint) in CartesianMoves::new(&per_agent) {
+                    let actions: Vec<(AgentId, ActionId)> = joint
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(a, mv)| {
+                            model.action_of(mv).map(|act| (AgentId(a as u32), act))
+                        })
+                        .collect();
+                    let outcomes = model.transition(builder.state(sid), &joint, time);
+                    validate_distribution(&outcomes).map_err(|detail| {
+                        UnfoldError::BadModelDistribution {
+                            origin: "transition",
+                            detail,
+                        }
+                    })?;
+                    for (succ, p_env) in outcomes {
+                        let p = p_joint.mul(&p_env);
+                        let succ_id = builder.intern(succ);
+                        let mut hasher = FxHasher::default();
+                        actions.hash(&mut hasher);
+                        succ_id.hash(&mut hasher);
+                        let bucket = index.entry(hasher.finish()).or_default();
+                        match bucket
+                            .iter()
+                            .find(|&&i| successors[i].0 == succ_id && successors[i].1 == actions)
+                        {
+                            Some(&i) => {
+                                successors[i].2.add_assign(&p);
+                            }
+                            None => {
+                                bucket.push(successors.len());
+                                successors.push((succ_id, actions.clone(), p));
+                            }
+                        }
                     }
-                    None => {
-                        bucket.push(successors.len());
-                        successors.push((succ, actions.clone(), p));
-                    }
                 }
+                slot.insert(successors)
             }
-        }
-
-        for (succ, actions, p) in successors.drain(..) {
+        };
+        for (succ_id, actions, p) in successors.iter() {
             node_count += 1;
             if node_count > config.max_nodes {
                 return Err(UnfoldError::TooLarge {
                     max_nodes: config.max_nodes,
                 });
             }
-            let child = builder.child(node, succ.clone(), p, &actions)?;
-            frontier.push((child, succ, time + 1));
+            let child = builder.child_interned(node, *succ_id, p.clone(), actions)?;
+            frontier.push((child, *succ_id, time + 1));
         }
     }
 
     Ok(builder.build()?)
-}
-
-/// A fast, non-keyed hasher (the multiply-rotate scheme rustc uses for its
-/// own interning tables). The merge index is rebuilt per node expansion
-/// from the model's own output, so HashDoS resistance buys nothing and the
-/// per-key setup cost of the default SipHash dominates these small keys.
-#[derive(Default)]
-struct FxHasher {
-    hash: u64,
-}
-
-impl FxHasher {
-    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.add(u64::from(b));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, n: u8) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u16(&mut self, n: u16) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u32(&mut self, n: u32) {
-        self.add(u64::from(n));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, n: u64) {
-        self.add(n);
-    }
-
-    #[inline]
-    fn write_u128(&mut self, n: u128) {
-        self.add(n as u64);
-        self.add((n >> 64) as u64);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, n: usize) {
-        self.add(n as u64);
-    }
-
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
 }
 
 /// Iterator over the cartesian product of per-agent move distributions,
@@ -470,6 +448,7 @@ mod tests {
                 ],
             )],
             transitions: vec![],
+            ..TableModel::default()
         };
         let pps = unfold::<_, Rational>(&m).unwrap();
         assert_eq!(pps.num_runs(), 2);
@@ -499,6 +478,7 @@ mod tests {
                     (0, vec![0], Rational::from_ratio(1, 4)),
                 ],
             )],
+            ..TableModel::default()
         };
         let pps = unfold::<_, Rational>(&m).unwrap();
         assert_eq!(pps.num_runs(), 2);
@@ -617,6 +597,7 @@ mod tests {
             horizon: 1,
             moves: vec![],
             transitions: vec![],
+            ..TableModel::default()
         };
         let err = unfold::<_, Rational>(&m).unwrap_err();
         assert!(matches!(

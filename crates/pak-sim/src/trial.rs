@@ -230,6 +230,7 @@ mod tests {
                 vec![(Some(ActionId(0)), 0.25), (Some(ActionId(1)), 0.75)],
             )],
             transitions: vec![],
+            ..TableModel::default()
         };
         let mut sim = Simulator::<_, f64>::new(&model, 11);
         let mut alpha = 0u64;

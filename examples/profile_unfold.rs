@@ -1,0 +1,46 @@
+//! Phase profiler for the unfold hot path.
+//!
+//! Prints how interning compacts the tree (distinct states vs nodes) and
+//! the per-iteration cost of the full unfold pipeline on the scaling
+//! benchmark's workloads. Useful for eyeballing perf work without running
+//! the whole bench suite:
+//!
+//! ```text
+//! cargo run --release --example profile_unfold
+//! ```
+
+use std::time::Instant;
+
+use pak::num::Rational;
+use pak::protocol::generator::{random_model, RandomModelConfig};
+use pak::protocol::unfold::{unfold_with, UnfoldConfig};
+
+fn main() {
+    for horizon in [2u32, 3, 4] {
+        let cfg = RandomModelConfig {
+            n_agents: 2,
+            initial_states: 2,
+            horizon,
+            envs: 3,
+            max_env_branching: 2,
+            local_values: 2,
+            actions_per_agent: 2,
+        };
+        let model = random_model::<Rational>(11, &cfg);
+        let pps = unfold_with(&model, &UnfoldConfig::default()).unwrap();
+        let iters = 20_000u32;
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(unfold_with(&model, &UnfoldConfig::default()).unwrap());
+        }
+        println!(
+            "horizon {}: {:>8.2?}/unfold | nodes={:<4} runs={:<3} distinct states={:<2} ({}x shared)",
+            horizon,
+            t.elapsed() / iters,
+            pps.num_nodes(),
+            pps.num_runs(),
+            pps.num_distinct_states(),
+            (pps.num_nodes() - 1) / pps.num_distinct_states().max(1),
+        );
+    }
+}

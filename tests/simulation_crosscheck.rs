@@ -125,6 +125,7 @@ fn simulator_respects_mixed_action_probabilities() {
             ],
         )],
         transitions: vec![],
+        ..TableModel::default()
     };
     let pps = pak::protocol::unfold::<_, Rational>(&model).unwrap();
     let exact = pps.measure(&pps.action_event(AgentId(0), ActionId(0)));

@@ -12,6 +12,14 @@
 //! observable — run count, bit-equal run probabilities, per-point global
 //! states and action labels, and information-set cells.
 //!
+//! The production pipeline has since been rebuilt again on top of state
+//! *interning* (each distinct global state stored once in a
+//! [`StatePool`], nodes carrying `StateId`s, expansions memoized per
+//! `(state, time)`), so the sweep now also proves the interned pipeline
+//! exact: same reference, same bit-equality requirements, plus pool
+//! consistency checks (ids resolve to the states the reference stores at
+//! every point, and the pool holds no duplicates).
+//!
 //! A second battery property-tests [`CartesianMoves`]: across randomized
 //! distribution shapes (including singletons and the zero-agent case) the
 //! joint probabilities must sum exactly to one and enumerate exactly
@@ -117,6 +125,38 @@ fn assert_identical(
             );
         }
     }
+    // Interning invariants: every node's id resolves (through the pool) to
+    // exactly the state the reference stores, ids agree with state
+    // equality, and the pool holds each distinct state exactly once.
+    let pool = got.state_pool();
+    assert!(
+        got.num_distinct_states() < got.num_nodes(),
+        "{ctx}: more distinct states than state nodes"
+    );
+    {
+        let mut seen: Vec<&SimpleState> = Vec::new();
+        for (_, s) in pool.iter() {
+            assert!(!seen.contains(&s), "{ctx}: pool stores a duplicate {s:?}");
+            seen.push(s);
+        }
+    }
+    for run in got.run_ids() {
+        for t in 0..got.run_len(run) as u32 {
+            let node = got.node_at(run, t).unwrap();
+            let id = got.node_state_id(node);
+            assert_eq!(
+                pool.get(id),
+                Some(got.node_state(node)),
+                "{ctx}: id of {node} does not resolve to its state"
+            );
+            assert_eq!(
+                pool.lookup(got.node_state(node)),
+                Some(id),
+                "{ctx}: pool lookup disagrees with the stored id"
+            );
+        }
+    }
+
     // Cells: same information sets, as (agent, time, data, member runs).
     let cell_key = |p: &Pps<SimpleState, Rational>| -> Vec<(u32, Time, u64, Vec<u32>)> {
         let mut out: Vec<(u32, Time, u64, Vec<u32>)> = p
@@ -185,6 +225,46 @@ fn hash_merge_matches_reference_merge_across_sweep() {
         }
     }
     assert!(cases >= 100, "sweep shrank unexpectedly: {cases} cases");
+}
+
+#[test]
+fn interning_shares_states_across_nodes() {
+    // The whole point of the pool: unfolded trees revisit states, so the
+    // number of distinct states must be (much) smaller than the number of
+    // state nodes on any non-trivial model of this generator family.
+    let cfg = RandomModelConfig {
+        n_agents: 2,
+        initial_states: 2,
+        horizon: 4,
+        envs: 3,
+        max_env_branching: 2,
+        local_values: 2,
+        actions_per_agent: 2,
+    };
+    let model = random_model::<Rational>(11, &cfg);
+    let pps = unfold_with(&model, &UnfoldConfig::default()).unwrap();
+    assert!(
+        pps.num_distinct_states() * 2 < pps.num_nodes() - 1,
+        "expected heavy state sharing, got {} distinct states over {} nodes",
+        pps.num_distinct_states(),
+        pps.num_nodes() - 1
+    );
+    // Sharing is not allowed to blur identity: two points whose states
+    // compare equal must carry the same id, and vice versa.
+    for run in pps.run_ids() {
+        for t in 0..pps.run_len(run) as u32 {
+            let a = pps.node_at(run, t).unwrap();
+            for run2 in pps.run_ids() {
+                if let Some(b) = pps.node_at(run2, t) {
+                    assert_eq!(
+                        pps.node_state_id(a) == pps.node_state_id(b),
+                        pps.node_state(a) == pps.node_state(b),
+                        "id equality must coincide with state equality"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]
