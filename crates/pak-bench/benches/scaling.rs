@@ -27,9 +27,13 @@ fn cfg(horizon: u32) -> RandomModelConfig {
 }
 
 fn benches(c: &mut Criterion) {
-    // Unfolding cost vs horizon (tree size grows exponentially).
+    // Unfolding cost vs horizon (tree size grows exponentially). The high
+    // horizons are where the interned pipeline pays off: node counts grow
+    // exponentially while distinct `(state, time)` pairs stay flat, so
+    // both the memoized unfolder and the O(distinct) build pass pull
+    // further ahead of tree size with every extra round.
     let mut group = c.benchmark_group("scaling/unfold");
-    for horizon in [2u32, 3, 4] {
+    for horizon in [2u32, 3, 4, 5, 6] {
         let model = random_model::<Rational>(11, &cfg(horizon));
         let runs = unfold_with(&model, &UnfoldConfig::default())
             .unwrap()

@@ -72,9 +72,11 @@ impl<G: GlobalState, P: Probability> Beliefs<G, P> for Pps<G, P> {
     }
 
     fn belief_in_cell(&self, fact: &dyn Fact<G, P>, cell: CellId) -> P {
-        let l_event = self.cell_event(cell);
+        // Borrow the cell's run-set straight out of the index instead of
+        // cloning it through `cell_event` — conditioning only reads it.
+        let l_event = self.cell_runs(cell);
         let phi_at_l = self.fact_at_cell(fact, cell);
-        self.conditional(&phi_at_l, &l_event)
+        self.conditional(&phi_at_l, l_event)
             .expect("every local state in a pps has positive measure")
     }
 

@@ -326,18 +326,25 @@ impl<G: GlobalState, P: Probability> Facts<G, P> for Pps<G, P> {
 
     fn is_past_based(&self, fact: &dyn Fact<G, P>) -> bool {
         // Group points by tree node: a fact is past-based iff it is constant
-        // on each node's set of passing runs.
+        // on each node's set of passing runs. Each run's node path is a
+        // borrowed slice of the shared run arena, so point → node is a
+        // plain array walk.
         let mut verdict: Vec<Option<bool>> = vec![None; self.num_nodes()];
-        for point in self.points() {
-            let node = self
-                .node_at(point.run, point.time)
-                .expect("enumerated point exists");
-            let v = fact.holds(self, point);
-            match verdict[node.index()] {
-                None => verdict[node.index()] = Some(v),
-                Some(prev) => {
-                    if prev != v {
-                        return false;
+        for run in self.run_ids() {
+            for (time, &node) in self.nodes_of(run).iter().enumerate() {
+                let v = fact.holds(
+                    self,
+                    Point {
+                        run,
+                        time: time as u32,
+                    },
+                );
+                match verdict[node.index()] {
+                    None => verdict[node.index()] = Some(v),
+                    Some(prev) => {
+                        if prev != v {
+                            return false;
+                        }
                     }
                 }
             }

@@ -126,6 +126,32 @@ impl fmt::Display for StateId {
     }
 }
 
+/// Handle to an interned agent-local state in a
+/// [`LocalPool`](crate::intern::LocalPool).
+///
+/// The pps build pass projects each *distinct* global state onto each
+/// agent's local data exactly once and interns the projection; tree nodes
+/// are then bucketed into information-set cells by comparing these copyable
+/// ids instead of cloning and hashing a full `G::Local` per node. Two ids
+/// from the *same* pool are equal iff the locals they denote are equal;
+/// ids from different pools (e.g. different agents) are not comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+impl LocalId {
+    /// The index as a `usize`, for table lookups.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "local#{}", self.0)
+    }
+}
+
 /// Index of a local-state equivalence cell (an information set): the set of
 /// points an agent cannot distinguish because its local state is identical.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

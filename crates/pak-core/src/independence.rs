@@ -71,11 +71,11 @@ pub fn check_local_state_independence<G: GlobalState, P: Probability>(
     let mut cells_checked = 0;
     for (cell_id, _) in pps.agent_cells(agent) {
         cells_checked += 1;
-        let l = pps.cell_event(cell_id);
+        let l = pps.cell_runs(cell_id);
         let phi_at_l = pps.fact_at_cell(fact, cell_id);
         let alpha_at_l = pps.action_at_cell(action, cell_id);
         let both_at_l = phi_at_l.intersection(&alpha_at_l);
-        let ml = pps.measure(&l);
+        let ml = pps.measure(l);
         // µ(ℓ) > 0 always holds in a pps.
         let p_phi = pps.measure(&phi_at_l).div(&ml);
         let p_alpha = pps.measure(&alpha_at_l).div(&ml);

@@ -1,4 +1,4 @@
-//! Interning of global states.
+//! Interning of global states and agent-local states.
 //!
 //! An unfolded system visits the same global state over and over: successor
 //! merging, environment branching that lands on identical states, and
@@ -16,6 +16,11 @@
 //! inherits the merge contract: **equal states must hash equal**. A
 //! coarser or finer `Eq` changes only how many distinct ids exist, never
 //! the states an id resolves to.
+//!
+//! [`LocalPool`] applies the same treatment one level down: the pps build
+//! pass interns each distinct state's *local projection* per agent, so
+//! information-set cells are keyed by copyable
+//! [`LocalId`]s instead of cloned `G::Local` values.
 //!
 //! # Examples
 //!
@@ -39,7 +44,63 @@ use std::hash::{Hash, Hasher};
 use std::ops::Index;
 
 use crate::hash::{FxBuildHasher, FxHasher};
-use crate::ids::StateId;
+use crate::ids::{LocalId, StateId};
+
+/// The shared arena core behind [`StatePool`] and [`LocalPool`]: stores
+/// each distinct value once, identified by a dense `u32` index. The
+/// public pools wrap it with their respective id newtypes so state ids and
+/// local ids cannot be confused at compile time.
+#[derive(Debug, Clone)]
+struct RawPool<T> {
+    values: Vec<T>,
+    /// Hash → candidate indices with that hash (almost always a single
+    /// entry; collisions are resolved by `Eq` confirmation against
+    /// `values`).
+    index: HashMap<u64, Vec<u32>, FxBuildHasher>,
+}
+
+impl<T> Default for RawPool<T> {
+    fn default() -> Self {
+        RawPool {
+            values: Vec::new(),
+            index: HashMap::default(),
+        }
+    }
+}
+
+impl<T: Eq + Hash> RawPool<T> {
+    fn intern(&mut self, value: T) -> u32 {
+        match self.lookup(&value) {
+            Some(i) => i,
+            None => self.insert_new(value),
+        }
+    }
+
+    /// Appends a value known to be absent (misses re-hash once; interning
+    /// is dominated by hits, where a single probe suffices).
+    fn insert_new(&mut self, value: T) -> u32 {
+        let hash = Self::hash_of(&value);
+        let id = u32::try_from(self.values.len()).expect("more than u32::MAX interned values");
+        self.index.entry(hash).or_default().push(id);
+        self.values.push(value);
+        id
+    }
+
+    fn lookup(&self, value: &T) -> Option<u32> {
+        let hash = Self::hash_of(value);
+        self.index
+            .get(&hash)?
+            .iter()
+            .find(|&&i| self.values[i as usize] == *value)
+            .copied()
+    }
+
+    fn hash_of(value: &T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+}
 
 /// An arena that stores each distinct value once and hands out copyable
 /// [`StateId`] handles.
@@ -49,17 +110,13 @@ use crate::ids::StateId;
 /// one hash and, on a repeat, one `Eq` confirmation — no allocation.
 #[derive(Debug, Clone)]
 pub struct StatePool<G> {
-    states: Vec<G>,
-    /// Hash → candidate ids with that hash (almost always a single entry;
-    /// collisions are resolved by `Eq` confirmation against `states`).
-    index: HashMap<u64, Vec<u32>, FxBuildHasher>,
+    raw: RawPool<G>,
 }
 
 impl<G> Default for StatePool<G> {
     fn default() -> Self {
         StatePool {
-            states: Vec::new(),
-            index: HashMap::default(),
+            raw: RawPool::default(),
         }
     }
 }
@@ -68,19 +125,21 @@ impl<G: Eq + Hash> StatePool<G> {
     /// Creates an empty pool.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        StatePool {
+            raw: RawPool::default(),
+        }
     }
 
     /// The number of *distinct* states interned so far.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.raw.values.len()
     }
 
     /// Whether the pool is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.raw.values.is_empty()
     }
 
     /// Interns `state`, returning the id of the stored copy.
@@ -89,10 +148,7 @@ impl<G: Eq + Hash> StatePool<G> {
     /// is dropped; otherwise `state` is moved into the pool. Either way no
     /// clone is made.
     pub fn intern(&mut self, state: G) -> StateId {
-        match self.lookup(&state) {
-            Some(id) => id,
-            None => self.insert_new(state),
-        }
+        StateId(self.raw.intern(state))
     }
 
     /// Interns by reference, cloning `state` only when it is not already
@@ -101,32 +157,17 @@ impl<G: Eq + Hash> StatePool<G> {
     where
         G: Clone,
     {
-        match self.lookup(state) {
-            Some(id) => id,
-            None => self.insert_new(state.clone()),
+        match self.raw.lookup(state) {
+            Some(i) => StateId(i),
+            None => StateId(self.raw.insert_new(state.clone())),
         }
-    }
-
-    /// Appends a state known to be absent (misses re-hash once; interning
-    /// is dominated by hits, where a single probe suffices).
-    fn insert_new(&mut self, state: G) -> StateId {
-        let hash = Self::hash_of(&state);
-        let id = u32::try_from(self.states.len()).expect("more than u32::MAX interned states");
-        self.index.entry(hash).or_default().push(id);
-        self.states.push(state);
-        StateId(id)
     }
 
     /// The id of an equal state already in the pool, if any, without
     /// inserting.
     #[must_use]
     pub fn lookup(&self, state: &G) -> Option<StateId> {
-        let hash = Self::hash_of(state);
-        self.index
-            .get(&hash)?
-            .iter()
-            .find(|&&i| self.states[i as usize] == *state)
-            .map(|&i| StateId(i))
+        self.raw.lookup(state).map(StateId)
     }
 
     /// Resolves an id to the stored state.
@@ -134,21 +175,16 @@ impl<G: Eq + Hash> StatePool<G> {
     /// Returns `None` for ids outside the pool (e.g. from another pool).
     #[must_use]
     pub fn get(&self, id: StateId) -> Option<&G> {
-        self.states.get(id.index())
+        self.raw.values.get(id.index())
     }
 
     /// Iterates over `(id, state)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (StateId, &G)> {
-        self.states
+        self.raw
+            .values
             .iter()
             .enumerate()
             .map(|(i, s)| (StateId(i as u32), s))
-    }
-
-    fn hash_of(state: &G) -> u64 {
-        let mut hasher = FxHasher::default();
-        state.hash(&mut hasher);
-        hasher.finish()
     }
 }
 
@@ -161,7 +197,107 @@ impl<G: Eq + Hash> Index<StateId> for StatePool<G> {
     ///
     /// Panics if `id` does not belong to this pool.
     fn index(&self, id: StateId) -> &G {
-        &self.states[id.index()]
+        &self.raw.values[id.index()]
+    }
+}
+
+/// An arena of distinct agent-local states, handing out copyable
+/// [`LocalId`] handles.
+///
+/// The pps build pass keeps one `LocalPool` per agent: every *distinct*
+/// global state is projected onto the agent's local data exactly once, so
+/// bucketing tree nodes into information-set cells compares two `u32`s per
+/// node instead of cloning and hashing a `G::Local`. Same arena scheme as
+/// [`StatePool`] (dense ids, hash probe with `Eq` confirmation), same
+/// contract: equal locals must hash equal.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::intern::LocalPool;
+///
+/// let mut pool = LocalPool::new();
+/// let a = pool.intern(7u64);
+/// let b = pool.intern(7u64); // duplicate
+/// assert_eq!(a, b);
+/// assert_eq!(pool.len(), 1);
+/// assert_eq!(pool[a], 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LocalPool<L> {
+    raw: RawPool<L>,
+}
+
+impl<L> Default for LocalPool<L> {
+    fn default() -> Self {
+        LocalPool {
+            raw: RawPool::default(),
+        }
+    }
+}
+
+impl<L: Eq + Hash> LocalPool<L> {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        LocalPool {
+            raw: RawPool::default(),
+        }
+    }
+
+    /// The number of *distinct* locals interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.raw.values.len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.raw.values.is_empty()
+    }
+
+    /// Interns `local`, returning the id of the stored copy (see
+    /// [`StatePool::intern`]).
+    pub fn intern(&mut self, local: L) -> LocalId {
+        LocalId(self.raw.intern(local))
+    }
+
+    /// The id of an equal local already in the pool, if any, without
+    /// inserting.
+    #[must_use]
+    pub fn lookup(&self, local: &L) -> Option<LocalId> {
+        self.raw.lookup(local).map(LocalId)
+    }
+
+    /// Resolves an id to the stored local.
+    ///
+    /// Returns `None` for ids outside the pool (e.g. from another pool).
+    #[must_use]
+    pub fn get(&self, id: LocalId) -> Option<&L> {
+        self.raw.values.get(id.index())
+    }
+
+    /// Iterates over `(id, local)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (LocalId, &L)> {
+        self.raw
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (LocalId(i as u32), l))
+    }
+}
+
+impl<L: Eq + Hash> Index<LocalId> for LocalPool<L> {
+    type Output = L;
+
+    /// Resolves an id to the stored local.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this pool.
+    fn index(&self, id: LocalId) -> &L {
+        &self.raw.values[id.index()]
     }
 }
 
@@ -222,6 +358,22 @@ mod tests {
         pool.intern(SimpleState::new(0, vec![]));
         assert!(pool.get(StateId(0)).is_some());
         assert!(pool.get(StateId(99)).is_none());
+    }
+
+    #[test]
+    fn local_pool_dedups_and_resolves() {
+        let mut pool: LocalPool<u64> = LocalPool::new();
+        assert!(pool.is_empty());
+        let ids: Vec<LocalId> = (0..12).map(|k| pool.intern(k % 4)).collect();
+        assert_eq!(pool.len(), 4);
+        for (k, &id) in ids.iter().enumerate() {
+            assert_eq!(pool[id], k as u64 % 4);
+        }
+        assert_eq!(pool.lookup(&2), Some(ids[2]));
+        assert_eq!(pool.lookup(&99), None);
+        assert_eq!(pool.get(LocalId(99)), None);
+        let in_order: Vec<u64> = pool.iter().map(|(_, &l)| l).collect();
+        assert_eq!(in_order, vec![0, 1, 2, 3]);
     }
 
     #[test]

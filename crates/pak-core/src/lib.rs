@@ -80,12 +80,12 @@ pub mod prelude {
     pub use crate::fact::{
         AndFact, DoesFact, Fact, Facts, FalseFact, FnFact, NotFact, OrFact, StateFact, TrueFact,
     };
-    pub use crate::ids::{ActionId, AgentId, CellId, NodeId, Point, RunId, StateId, Time};
+    pub use crate::ids::{ActionId, AgentId, CellId, LocalId, NodeId, Point, RunId, StateId, Time};
     pub use crate::independence::{
         check_lemma43, check_local_state_independence, is_local_state_independent,
     };
-    pub use crate::intern::StatePool;
-    pub use crate::pps::{Cell, Pps, PpsBuilder};
+    pub use crate::intern::{LocalPool, StatePool};
+    pub use crate::pps::{BuildOptions, Cell, Pps, PpsBuilder};
     pub use crate::prob::Probability;
     pub use crate::state::{GlobalState, LocalState, SimpleState};
     pub use crate::theorems::{

@@ -29,50 +29,122 @@
 //! [`PpsBuilder::intern`] and pass ids through
 //! [`PpsBuilder::initial_interned`] / [`PpsBuilder::child_interned`],
 //! avoiding every per-node state clone.
+//!
+//! # The build pass
+//!
+//! [`PpsBuilder::build`] applies the same scaling discipline to
+//! validation and indexing: distribution sums are validated once per
+//! distinct memoized expansion when the unfolder marks replays
+//! ([`PpsBuilder::mark_children_shared`]); runs live in one flat node
+//! arena ([`Pps::nodes_of`] borrows a slice, no per-run allocation);
+//! information-set cells are keyed by per-agent interned
+//! [`LocalId`]s (no `G::Local` clone or hash per
+//! node) with run-sets filled a word at a time from each node's
+//! contiguous run interval; and the per-agent cell passes run on separate
+//! threads when [`BuildOptions`] (or the machine) says so — always
+//! producing bit-identical output.
 
 use std::collections::HashMap;
 
 use crate::error::PpsError;
 use crate::event::RunSet;
-use crate::ids::{ActionId, AgentId, CellId, NodeId, Point, RunId, StateId, Time};
-use crate::intern::StatePool;
+use crate::hash::FxBuildHasher;
+use crate::ids::{ActionId, AgentId, CellId, LocalId, NodeId, Point, RunId, StateId, Time};
+use crate::intern::{LocalPool, StatePool};
 use crate::prob::Probability;
 use crate::state::{GlobalState, LocalState};
 
-/// A node of the pps tree.
+/// The nodes of a pps tree in struct-of-arrays layout — the exact
+/// representation the builder accumulates, moved into the [`Pps`]
+/// unchanged (the build pass never converts or copies nodes). Each build
+/// pass touches only the columns it needs (counting sort reads 4-byte
+/// parents, validation reads edge probabilities, …), so the passes stream
+/// tight arrays instead of striding over wide node structs. Children and
+/// run intervals are not stored here: they live in flat arenas of the
+/// [`Pps`].
 #[derive(Debug, Clone)]
-struct Node<P> {
-    /// Parent node; the root is its own parent.
-    parent: NodeId,
+pub(crate) struct NodeTable<P> {
+    /// Parent node per node; the root is its own parent.
+    parents: Vec<NodeId>,
     /// The interned global state; `None` only for the root `λ`.
-    state: Option<StateId>,
+    states: Vec<Option<StateId>>,
     /// Depth in the tree: root `0`, initial states `1`. The time of a
     /// non-root node is `depth − 1`.
-    depth: u32,
+    depths: Vec<u32>,
     /// Probability of the edge from the parent (`1` for the root).
-    edge_prob: P,
-    /// Actions performed on the transition from the parent into this node:
-    /// at most one per agent. Empty for initial states.
-    actions: Vec<(AgentId, ActionId)>,
-    /// Child nodes, in insertion order.
-    children: Vec<NodeId>,
-    /// Half-open interval of run indices whose paths pass through this node.
-    run_range: (u32, u32),
+    edge_probs: Vec<P>,
+    /// Actions performed on the transition from the parent into each node
+    /// (at most one per agent; empty for initial states), as half-open
+    /// ranges into the shared `action_data` arena. Replayed expansion
+    /// children *share* one range — no per-node allocation or copy.
+    action_ranges: Vec<(u32, u32)>,
+    /// The actions arena behind `action_ranges`.
+    action_data: Vec<(AgentId, ActionId)>,
 }
 
-/// A run: a path from an initial state to a leaf.
-#[derive(Debug, Clone)]
-struct Run<P> {
-    /// `nodes[t]` is the node corresponding to global state `r(t)`.
-    nodes: Vec<NodeId>,
-    /// Prior probability `µ_T(r)`: product of edge probabilities from the
-    /// root to the leaf.
-    prob: P,
+impl<P: Probability> NodeTable<P> {
+    /// A table holding only the phantom root `λ`.
+    fn new_root() -> Self {
+        NodeTable {
+            parents: vec![NodeId::ROOT],
+            states: vec![None],
+            depths: vec![0],
+            edge_probs: vec![P::one()],
+            action_ranges: vec![(0, 0)],
+            action_data: Vec::new(),
+        }
+    }
+
+    /// The number of nodes, including the root.
+    fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// The action labels on the edge into `node`.
+    fn actions_of(&self, node: usize) -> &[(AgentId, ActionId)] {
+        let (lo, hi) = self.action_ranges[node];
+        &self.action_data[lo as usize..hi as usize]
+    }
+
+    /// Appends a node whose edge actions are `actions` (copied into the
+    /// arena), returning its id.
+    fn push(
+        &mut self,
+        parent: NodeId,
+        state: StateId,
+        depth: u32,
+        edge_prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> NodeId {
+        let lo = self.action_data.len() as u32;
+        self.action_data.extend_from_slice(actions);
+        let range = (lo, self.action_data.len() as u32);
+        self.push_with_action_range(parent, state, depth, edge_prob, range)
+    }
+
+    /// Appends a node referencing an existing arena range (replayed
+    /// expansions share their representative's actions — zero copies).
+    fn push_with_action_range(
+        &mut self,
+        parent: NodeId,
+        state: StateId,
+        depth: u32,
+        edge_prob: P,
+        action_range: (u32, u32),
+    ) -> NodeId {
+        let id = NodeId(self.parents.len() as u32);
+        self.parents.push(parent);
+        self.states.push(Some(state));
+        self.depths.push(depth);
+        self.edge_probs.push(edge_prob);
+        self.action_ranges.push(action_range);
+        id
+    }
 }
 
 /// A local-state equivalence cell: all the points agent `agent` cannot
 /// distinguish because its (synchronous) local state is the same.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cell<L> {
     /// The agent whose information set this is.
     pub agent: AgentId,
@@ -113,13 +185,44 @@ pub struct Pps<G: GlobalState, P: Probability> {
     n_agents: u32,
     /// Each distinct global state, stored once; nodes refer into it by id.
     pool: StatePool<G>,
-    nodes: Vec<Node<P>>,
-    runs: Vec<Run<P>>,
+    nodes: NodeTable<P>,
+    /// Half-open interval of run indices whose paths pass through each
+    /// node (runs through a node are contiguous in DFS order).
+    run_ranges: Vec<(u32, u32)>,
+    /// Flat children arena: node `n`'s children, in insertion order,
+    /// occupy `child_offsets[n] .. child_offsets[n + 1]`.
+    child_nodes: Vec<NodeId>,
+    /// `num_nodes() + 1` offsets into [`Pps::child_nodes`].
+    child_offsets: Vec<u32>,
+    /// Flat run arena: the node paths of all runs, concatenated in run
+    /// order. Run `r` occupies `run_offsets[r] .. run_offsets[r + 1]` —
+    /// one shared allocation instead of a `Vec<NodeId>` per run.
+    run_nodes: Vec<NodeId>,
+    /// `num_runs() + 1` offsets into [`Pps::run_nodes`].
+    run_offsets: Vec<u32>,
+    /// Prior probability `µ_T(r)` per run: product of edge probabilities
+    /// from the root to the leaf.
+    run_probs: Vec<P>,
     /// `cell_of[agent][node − 1]` is the cell of the (non-root) node.
     cell_of: Vec<Vec<CellId>>,
     cells: Vec<Cell<G::Local>>,
     /// Optional human-readable action names for diagnostics.
     action_names: HashMap<ActionId, String>,
+}
+
+/// Options for [`PpsBuilder::build_with`]: how the validation/indexing
+/// pass executes. The produced [`Pps`] is bit-identical under every
+/// option combination — options trade wall-clock for resources only.
+#[derive(Debug, Clone, Default)]
+pub struct BuildOptions {
+    /// Whether to construct the per-agent information-set cells on one
+    /// thread per agent (`Some(true)`), strictly sequentially
+    /// (`Some(false)`), or to decide from the machine (`None`: threaded
+    /// when there are at least two agents and two cores). Agents' cell
+    /// sets are mutually independent and each agent's pass is
+    /// deterministic, so the threaded path is guaranteed to produce the
+    /// same cells, ids, and run-sets as the sequential one.
+    pub parallel_cells: Option<bool>,
 }
 
 impl<G: GlobalState, P: Probability> Pps<G, P> {
@@ -147,12 +250,26 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// The number of runs `|R_T|`.
     #[must_use]
     pub fn num_runs(&self) -> usize {
-        self.runs.len()
+        self.run_probs.len()
     }
 
     /// Iterator over all runs.
     pub fn run_ids(&self) -> impl Iterator<Item = RunId> {
-        (0..self.runs.len() as u32).map(RunId)
+        (0..self.run_probs.len() as u32).map(RunId)
+    }
+
+    /// The nodes of run `run` in time order: `nodes_of(run)[t]` realises
+    /// the point `(run, t)`. Runs live in one shared arena, so this is a
+    /// slice borrow, never an allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `run` is out of range.
+    #[must_use]
+    pub fn nodes_of(&self, run: RunId) -> &[NodeId] {
+        let lo = self.run_offsets[run.index()] as usize;
+        let hi = self.run_offsets[run.index() + 1] as usize;
+        &self.run_nodes[lo..hi]
     }
 
     /// The length (number of global states) of run `run`.
@@ -162,15 +279,15 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// Panics if `run` is out of range.
     #[must_use]
     pub fn run_len(&self, run: RunId) -> usize {
-        self.runs[run.index()].nodes.len()
+        self.nodes_of(run).len()
     }
 
     /// The maximum time occurring in any run.
     #[must_use]
     pub fn horizon(&self) -> Time {
-        self.runs
-            .iter()
-            .map(|r| r.nodes.len() as u32 - 1)
+        self.run_offsets
+            .windows(2)
+            .map(|w| w[1] - w[0] - 1)
             .max()
             .unwrap_or(0)
     }
@@ -179,7 +296,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// before time `t`.
     #[must_use]
     pub fn node_at(&self, run: RunId, time: Time) -> Option<NodeId> {
-        self.runs[run.index()].nodes.get(time as usize).copied()
+        self.nodes_of(run).get(time as usize).copied()
     }
 
     /// The global state at a point.
@@ -188,7 +305,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     #[must_use]
     pub fn state_at(&self, point: Point) -> Option<&G> {
         let node = self.node_at(point.run, point.time)?;
-        self.nodes[node.index()].state.map(|id| &self.pool[id])
+        self.nodes.states[node.index()].map(|id| &self.pool[id])
     }
 
     /// The global state carried by a (non-root) node.
@@ -211,9 +328,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// Panics if `node` is the root or out of range.
     #[must_use]
     pub fn node_state_id(&self, node: NodeId) -> StateId {
-        self.nodes[node.index()]
-            .state
-            .expect("root node has no state")
+        self.nodes.states[node.index()].expect("root node has no state")
     }
 
     /// The pool of distinct global states occurring in the system.
@@ -237,23 +352,24 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// Panics if `node` is the root.
     #[must_use]
     pub fn node_time(&self, node: NodeId) -> Time {
-        let d = self.nodes[node.index()].depth;
+        let d = self.nodes.depths[node.index()];
         assert!(d > 0, "the root has no time");
         d - 1
     }
 
     /// The children of a node, with their edge probabilities.
     pub fn children(&self, node: NodeId) -> impl Iterator<Item = (NodeId, &P)> {
-        self.nodes[node.index()]
-            .children
+        let lo = self.child_offsets[node.index()] as usize;
+        let hi = self.child_offsets[node.index() + 1] as usize;
+        self.child_nodes[lo..hi]
             .iter()
-            .map(move |&c| (c, &self.nodes[c.index()].edge_prob))
+            .map(move |&c| (c, &self.nodes.edge_probs[c.index()]))
     }
 
     /// The parent of a node (the root is its own parent).
     #[must_use]
     pub fn parent(&self, node: NodeId) -> NodeId {
-        self.nodes[node.index()].parent
+        self.nodes.parents[node.index()]
     }
 
     /// The initial global states (children of the root) with their prior
@@ -272,7 +388,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// DFS order), as an event.
     #[must_use]
     pub fn runs_through(&self, node: NodeId) -> RunSet {
-        let (lo, hi) = self.nodes[node.index()].run_range;
+        let (lo, hi) = self.run_ranges[node.index()];
         RunSet::from_predicate(self.num_runs(), |r| (lo..hi).contains(&r.0))
     }
 
@@ -301,7 +417,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// Panics if `run` is out of range.
     #[must_use]
     pub fn run_probability(&self, run: RunId) -> &P {
-        &self.runs[run.index()].prob
+        &self.run_probs[run.index()]
     }
 
     /// The measure `µ_T(Q)` of an event, accumulated in place.
@@ -309,7 +425,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     pub fn measure(&self, event: &RunSet) -> P {
         let mut acc = P::zero();
         for r in event.iter() {
-            acc.add_assign(&self.runs[r.index()].prob);
+            acc.add_assign(&self.run_probs[r.index()]);
         }
         acc
     }
@@ -328,7 +444,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         }
         let mut mab = P::zero();
         for r in a.iter_and(b) {
-            mab.add_assign(&self.runs[r.index()].prob);
+            mab.add_assign(&self.run_probs[r.index()]);
         }
         Some(mab.div(&mb))
     }
@@ -356,10 +472,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     pub fn does(&self, agent: AgentId, action: ActionId, point: Point) -> bool {
         match self.node_at(point.run, point.time + 1) {
             None => false,
-            Some(next) => self.nodes[next.index()]
-                .actions
-                .iter()
-                .any(|&(a, act)| a == agent && act == action),
+            Some(next) => self.edge_performs(next, agent, action),
         }
     }
 
@@ -370,16 +483,30 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     pub fn actions_at(&self, point: Point) -> &[(AgentId, ActionId)] {
         match self.node_at(point.run, point.time + 1) {
             None => &[],
-            Some(next) => &self.nodes[next.index()].actions,
+            Some(next) => self.nodes.actions_of(next.index()),
         }
+    }
+
+    /// Whether the edge *into* `node` is labelled with `(agent, action)`.
+    fn edge_performs(&self, node: NodeId, agent: AgentId, action: ActionId) -> bool {
+        self.nodes
+            .actions_of(node.index())
+            .iter()
+            .any(|&(a, act)| a == agent && act == action)
     }
 
     /// The times at which `agent` performs `action` in `run`.
     #[must_use]
     pub fn performance_times(&self, agent: AgentId, action: ActionId, run: RunId) -> Vec<Time> {
-        let len = self.run_len(run) as u32;
-        (0..len)
-            .filter(|&t| self.does(agent, action, Point { run, time: t }))
+        // Performing at time t labels the edge into the node at t + 1, so
+        // walking the run's node slice from index 1 visits each candidate
+        // edge exactly once.
+        self.nodes_of(run)
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(_, &nid)| self.edge_performs(nid, agent, action))
+            .map(|(t1, _)| t1 as Time - 1)
             .collect()
     }
 
@@ -388,17 +515,20 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     #[must_use]
     pub fn action_event(&self, agent: AgentId, action: ActionId) -> RunSet {
         RunSet::from_predicate(self.num_runs(), |run| {
-            let len = self.run_len(run) as u32;
-            (0..len).any(|t| self.does(agent, action, Point { run, time: t }))
+            self.nodes_of(run)
+                .iter()
+                .skip(1)
+                .any(|&nid| self.edge_performs(nid, agent, action))
         })
     }
 
     /// The number of times `agent` performs `action` in `run`, without
     /// materialising the time list.
     pub(crate) fn performance_count(&self, agent: AgentId, action: ActionId, run: RunId) -> usize {
-        let len = self.run_len(run) as u32;
-        (0..len)
-            .filter(|&t| self.does(agent, action, Point { run, time: t }))
+        self.nodes_of(run)
+            .iter()
+            .skip(1)
+            .filter(|&&nid| self.edge_performs(nid, agent, action))
             .count()
     }
 
@@ -421,10 +551,15 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// performs `action`, if any.
     #[must_use]
     pub fn action_point(&self, agent: AgentId, action: ActionId, run: RunId) -> Option<Point> {
-        let len = self.run_len(run) as u32;
-        (0..len)
-            .find(|&t| self.does(agent, action, Point { run, time: t }))
-            .map(|time| Point { run, time })
+        self.nodes_of(run)
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find(|&(_, &nid)| self.edge_performs(nid, agent, action))
+            .map(|(t1, _)| Point {
+                run,
+                time: t1 as Time - 1,
+            })
     }
 
     /// Rewrites the system so that every occurrence of `action` by `agent`
@@ -439,8 +574,9 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     pub fn tag_occurrences(&self, agent: AgentId, action: ActionId) -> (Self, Vec<ActionId>) {
         let mut fresh_base = self
             .nodes
+            .action_data
             .iter()
-            .flat_map(|n| n.actions.iter().map(|&(_, a)| a.0))
+            .map(|&(_, a)| a.0)
             .max()
             .map_or(0, |m| m + 1);
         let mut out = self.clone();
@@ -471,12 +607,25 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
                 id
             })
             .collect();
+        // Nodes from replayed expansions share one actions range, but
+        // distinct occurrences need distinct labels: rewrite by appending
+        // a fresh private range per relabelled node (copy-on-write).
         for (node, occ) in node_occurrence {
-            for entry in &mut out.nodes[node.index()].actions {
-                if entry.0 == agent && entry.1 == action {
-                    entry.1 = fresh[occ];
-                }
-            }
+            let rewritten: Vec<(AgentId, ActionId)> = out
+                .nodes
+                .actions_of(node.index())
+                .iter()
+                .map(|&(a, act)| {
+                    if a == agent && act == action {
+                        (a, fresh[occ])
+                    } else {
+                        (a, act)
+                    }
+                })
+                .collect();
+            let lo = out.nodes.action_data.len() as u32;
+            out.nodes.action_data.extend_from_slice(&rewritten);
+            out.nodes.action_ranges[node.index()] = (lo, out.nodes.action_data.len() as u32);
         }
         (out, fresh)
     }
@@ -512,6 +661,18 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     #[must_use]
     pub fn cell(&self, cell: CellId) -> &Cell<G::Local> {
         &self.cells[cell.index()]
+    }
+
+    /// The event `ℓ` of a cell, borrowed from the index (the allocation-free
+    /// sibling of [`crate::fact::Facts::cell_event`], for hot paths that
+    /// only read the run-set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    #[must_use]
+    pub fn cell_runs(&self, cell: CellId) -> &RunSet {
+        &self.cells[cell.index()].runs
     }
 
     /// The cell (information set) of agent `agent` at `point`.
@@ -579,43 +740,90 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     // ------------------------------------------------------------------
 
     /// Internal: builds the validated system from raw builder parts.
+    ///
+    /// `expansion_of[n]`, when set, marks node `n`'s children as a replay
+    /// of the memoized unfolder expansion keyed `(state, time)` (see
+    /// [`PpsBuilder::mark_children_shared`]): the outgoing distribution is
+    /// validated once per distinct key instead of once per node. Unmarked
+    /// nodes — every node of a hand-built tree — take the per-node
+    /// exact-sum path.
     pub(crate) fn from_parts(
         n_agents: u32,
         pool: StatePool<G>,
-        raw_nodes: Vec<RawNode<P>>,
+        raw_nodes: NodeTable<P>,
         action_names: HashMap<ActionId, String>,
+        expansion_of: &[Option<(StateId, Time)>],
+        options: &BuildOptions,
     ) -> Result<Self, PpsError> {
-        // Convert raw nodes, gathering children.
-        let mut nodes: Vec<Node<P>> = raw_nodes
-            .into_iter()
-            .map(|r| Node {
-                parent: r.parent,
-                state: r.state,
-                depth: r.depth,
-                edge_prob: r.edge_prob,
-                actions: r.actions,
-                children: Vec::new(),
-                run_range: (0, 0),
-            })
-            .collect();
-        for i in 1..nodes.len() {
-            let p = nodes[i].parent;
-            nodes[p.index()].children.push(NodeId(i as u32));
+        // The builder's nodes are adopted as-is (no conversion pass);
+        // children are gathered into the flat arena by counting sort: one
+        // pass counts each parent's arity, a prefix sum turns counts into
+        // offsets, and a second in-order pass fills the slots — preserving
+        // insertion order with two allocations total instead of one `Vec`
+        // per node.
+        let nodes = raw_nodes;
+        let mut child_offsets: Vec<u32> = vec![0; nodes.len() + 1];
+        for &parent in nodes.parents.iter().skip(1) {
+            child_offsets[parent.index() + 1] += 1;
         }
-        if nodes.is_empty() || nodes[0].children.is_empty() {
+        for i in 1..child_offsets.len() {
+            child_offsets[i] += child_offsets[i - 1];
+        }
+        let mut child_nodes: Vec<NodeId> = vec![NodeId::ROOT; nodes.len().saturating_sub(1)];
+        {
+            let mut cursor: Vec<u32> = child_offsets[..child_offsets.len() - 1].to_vec();
+            for (i, &parent) in nodes.parents.iter().enumerate().skip(1) {
+                let slot = &mut cursor[parent.index()];
+                child_nodes[*slot as usize] = NodeId(i as u32);
+                *slot += 1;
+            }
+        }
+        let children_of = |i: usize| -> &[NodeId] {
+            &child_nodes[child_offsets[i] as usize..child_offsets[i + 1] as usize]
+        };
+        if children_of(0).is_empty() {
             return Err(PpsError::NoInitialStates);
         }
+        let max_depth = nodes.depths.iter().copied().max().unwrap_or(0) as usize;
 
         // Validate distributions: every internal node's children sum to one.
         // (Per-edge positivity and the ≤ 1 bound are enforced at insertion
-        // time by the builder.)
-        for (i, node) in nodes.iter().enumerate() {
-            if node.children.is_empty() {
+        // time by the builder.) Nodes marked as replays of a memoized
+        // expansion carry clones of the same successor probabilities, so
+        // the exact sum is computed once per distinct `(state, time)` key —
+        // O(distinct expansions), not O(nodes) — with the representative's
+        // child count remembered as a guard: a marked node whose arity
+        // disagrees with its representative fell out of the contract and is
+        // validated individually. The memo (a [`KeyIndex`] over
+        // `state × time`) is only allocated when marks exist at all —
+        // hand-built trees skip it entirely.
+        let mut validated = expansion_of
+            .iter()
+            .any(Option::is_some)
+            .then(|| KeyIndex::new(pool.len(), max_depth));
+        for i in 0..nodes.len() {
+            let children = children_of(i);
+            if children.is_empty() {
                 continue;
             }
+            if let (Some(validated), Some(Some((state, time)))) =
+                (validated.as_mut(), expansion_of.get(i).copied())
+            {
+                // Out-of-range keys (foreign state id, bogus time) simply
+                // miss the memo and validate per-node.
+                if state.index() < pool.len() && (time as usize) < max_depth {
+                    let arity = validated.get(state.index(), time as usize);
+                    if arity == children.len() as u32 {
+                        continue;
+                    }
+                    if arity == INDEX_NONE {
+                        validated.set(state.index(), time as usize, children.len() as u32);
+                    }
+                }
+            }
             let mut sum = P::zero();
-            for &c in &node.children {
-                sum.add_assign(&nodes[c.index()].edge_prob);
+            for &c in children {
+                sum.add_assign(&nodes.edge_probs[c.index()]);
             }
             if !sum.is_one() {
                 return Err(PpsError::BadDistribution {
@@ -625,93 +833,140 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
             }
         }
 
-        // Enumerate runs by iterative DFS (children in insertion order).
-        // One shared path/probability buffer is kept in sync by truncating
-        // to each popped node's depth — no per-node `Vec` clones; a path is
-        // materialised exactly once per run, when its leaf is reached.
-        let mut runs: Vec<Run<P>> = Vec::new();
+        // Enumerate runs by iterative DFS (children in insertion order)
+        // straight into the flat arena: paths of all runs share one
+        // `run_nodes` allocation delimited by offsets. One shared
+        // path/probability buffer is kept in sync by truncating to each
+        // popped node's depth — a path is materialised exactly once per
+        // run, when its leaf is reached.
+        let mut run_nodes: Vec<NodeId> = Vec::new();
+        let mut run_offsets: Vec<u32> = vec![0];
+        let mut run_probs: Vec<P> = Vec::new();
         {
-            let mut stack: Vec<NodeId> = nodes[0].children.iter().rev().copied().collect();
+            let mut stack: Vec<NodeId> = children_of(0).iter().rev().copied().collect();
             // path[d] is the node at depth d + 1; probs[d] the product of
             // edge probabilities from the root down to path[d].
             let mut path: Vec<NodeId> = Vec::new();
             let mut probs: Vec<P> = Vec::new();
             while let Some(node) = stack.pop() {
-                let n = &nodes[node.index()];
-                let d = (n.depth - 1) as usize;
+                let d = (nodes.depths[node.index()] - 1) as usize;
+                let edge_prob = &nodes.edge_probs[node.index()];
                 path.truncate(d);
                 probs.truncate(d);
+                // Probability-one edges (deterministic transitions) and
+                // depth-0 nodes copy instead of multiplying: `1 · p` and
+                // `p · 1` are exact identities for every `P`, and both
+                // operands are already in canonical form.
                 let p = if d == 0 {
-                    P::one().mul(&n.edge_prob)
+                    edge_prob.clone()
+                } else if edge_prob.is_one() {
+                    probs[d - 1].clone()
                 } else {
-                    probs[d - 1].mul(&n.edge_prob)
+                    probs[d - 1].mul(edge_prob)
                 };
                 path.push(node);
-                probs.push(p);
-                if n.children.is_empty() {
-                    runs.push(Run {
-                        nodes: path.clone(),
-                        prob: probs[d].clone(),
-                    });
+                let children = children_of(node.index());
+                if children.is_empty() {
+                    // A leaf's product is consumed directly — never pushed
+                    // onto the shared stack, so no clone.
+                    run_nodes.extend_from_slice(&path);
+                    run_offsets.push(run_nodes.len() as u32);
+                    run_probs.push(p);
                 } else {
+                    probs.push(p);
                     // Push children in reverse so they pop in insertion order.
-                    for &c in n.children.iter().rev() {
+                    for &c in children.iter().rev() {
                         stack.push(c);
                     }
                 }
             }
         }
+        let n_runs = run_probs.len();
         // Run ranges: a node's interval covers the runs listing it.
-        for node in &mut nodes {
-            node.run_range = (u32::MAX, 0);
-        }
-        nodes[0].run_range = (0, runs.len() as u32);
-        for (ri, run) in runs.iter().enumerate() {
-            for &nid in &run.nodes {
-                let range = &mut nodes[nid.index()].run_range;
+        let mut run_ranges: Vec<(u32, u32)> = vec![(u32::MAX, 0); nodes.len()];
+        run_ranges[0] = (0, n_runs as u32);
+        for ri in 0..n_runs {
+            let (lo, hi) = (run_offsets[ri] as usize, run_offsets[ri + 1] as usize);
+            for &nid in &run_nodes[lo..hi] {
+                let range = &mut run_ranges[nid.index()];
                 range.0 = range.0.min(ri as u32);
                 range.1 = range.1.max(ri as u32 + 1);
             }
         }
 
-        // Build local-state cells per agent.
+        // Build local-state cells, one independent deterministic pass per
+        // agent (threaded or not — bit-identical either way). Workers read
+        // the node table's state/depth columns and the run intervals
+        // directly; no `P` crosses a thread boundary.
+        let parallel = options
+            .parallel_cells
+            .unwrap_or(n_agents > 1 && available_cores() > 1);
+        let per_agent: Vec<AgentCells<G::Local>> = if parallel && n_agents > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n_agents)
+                    .map(|a| {
+                        let (pool, states, depths, run_ranges) =
+                            (&pool, &nodes.states, &nodes.depths, &run_ranges);
+                        scope.spawn(move || {
+                            build_agent_cells(
+                                AgentId(a),
+                                pool,
+                                states,
+                                depths,
+                                run_ranges,
+                                n_runs,
+                                max_depth,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("cell construction worker panicked"))
+                    .collect()
+            })
+        } else {
+            (0..n_agents)
+                .map(|a| {
+                    build_agent_cells(
+                        AgentId(a),
+                        &pool,
+                        &nodes.states,
+                        &nodes.depths,
+                        &run_ranges,
+                        n_runs,
+                        max_depth,
+                    )
+                })
+                .collect()
+        };
+        // Merge in agent order, offsetting each agent's dense local cell
+        // ids by the cells already emitted: exactly the ids the old
+        // single-threaded interleaved loop assigned.
         let mut cells: Vec<Cell<G::Local>> = Vec::new();
-        let mut cell_of: Vec<Vec<CellId>> =
-            vec![vec![CellId(u32::MAX); nodes.len() - 1]; n_agents as usize];
-        for agent in 0..n_agents {
-            let mut index: HashMap<(u32, G::Local), CellId, crate::hash::FxBuildHasher> =
-                HashMap::default();
-            for (i, node) in nodes.iter().enumerate().skip(1) {
-                let sid = node.state.expect("non-root node has state");
-                let data = pool[sid].local(AgentId(agent));
-                let time = node.depth - 1;
-                let key = (time, data.clone());
-                let cell_id = *index.entry(key).or_insert_with(|| {
-                    let id = CellId(cells.len() as u32);
-                    cells.push(Cell {
-                        agent: AgentId(agent),
-                        time,
-                        data,
-                        nodes: Vec::new(),
-                        runs: RunSet::empty(runs.len()),
-                    });
-                    id
-                });
-                let cell = &mut cells[cell_id.index()];
-                cell.nodes.push(NodeId(i as u32));
-                let (lo, hi) = node.run_range;
-                for r in lo..hi {
-                    cell.runs.insert(RunId(r));
-                }
-                cell_of[agent as usize][i - 1] = cell_id;
-            }
+        let mut cell_of: Vec<Vec<CellId>> = Vec::with_capacity(n_agents as usize);
+        for agent_cells in per_agent {
+            let offset = cells.len() as u32;
+            cells.extend(agent_cells.cells);
+            cell_of.push(
+                agent_cells
+                    .cell_of
+                    .into_iter()
+                    .map(|c| CellId(c.0 + offset))
+                    .collect(),
+            );
         }
 
         Ok(Pps {
             n_agents,
             pool,
             nodes,
-            runs,
+            run_ranges,
+            child_nodes,
+            child_offsets,
+            run_nodes,
+            run_offsets,
+            run_probs,
             cell_of,
             cells,
             action_names,
@@ -719,14 +974,128 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     }
 }
 
-/// Raw node data handed from the builder to validation.
-#[derive(Debug, Clone)]
-pub(crate) struct RawNode<P> {
-    pub parent: NodeId,
-    pub state: Option<StateId>,
-    pub depth: u32,
-    pub edge_prob: P,
-    pub actions: Vec<(AgentId, ActionId)>,
+/// Capacity cap, in table cells, below which a `rows × cols` key space
+/// gets a flat dense table; above it, a hash map. Deep chain-like models
+/// can make `distinct states × horizon` quadratic in tree size even
+/// though only O(nodes) keys are ever touched, so the dense fast path
+/// must not be unconditional.
+const DENSE_INDEX_LIMIT: usize = 1 << 20;
+
+/// Sentinel for "no value" in a [`KeyIndex`].
+const INDEX_NONE: u32 = u32::MAX;
+
+/// A `(row, col) → u32` map over a key space whose bounds are known up
+/// front: a flat table when the space is small (the common case — two
+/// array reads per probe, no hashing), a hash map when materialising the
+/// space would dwarf the tree.
+enum KeyIndex {
+    Dense { table: Vec<u32>, cols: usize },
+    Sparse(HashMap<(u32, u32), u32, FxBuildHasher>),
+}
+
+impl KeyIndex {
+    fn new(rows: usize, cols: usize) -> Self {
+        if rows.saturating_mul(cols) <= DENSE_INDEX_LIMIT {
+            KeyIndex::Dense {
+                table: vec![INDEX_NONE; rows * cols],
+                cols,
+            }
+        } else {
+            KeyIndex::Sparse(HashMap::default())
+        }
+    }
+
+    fn get(&self, row: usize, col: usize) -> u32 {
+        match self {
+            KeyIndex::Dense { table, cols } => table[row * cols + col],
+            KeyIndex::Sparse(map) => map
+                .get(&(row as u32, col as u32))
+                .copied()
+                .unwrap_or(INDEX_NONE),
+        }
+    }
+
+    fn set(&mut self, row: usize, col: usize, value: u32) {
+        match self {
+            KeyIndex::Dense { table, cols } => table[row * *cols + col] = value,
+            KeyIndex::Sparse(map) => {
+                map.insert((row as u32, col as u32), value);
+            }
+        }
+    }
+}
+
+/// The machine's core count, probed once per process. A `static` inside
+/// the generic `from_parts` would be duplicated per monomorphization and
+/// re-probe `available_parallelism` (a tens-of-µs cgroup re-read on
+/// Linux) once per `(G, P)` pair — this free function carries the single
+/// process-wide cache.
+fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// One agent's finished information sets: cells with agent-local dense ids
+/// `0..` and the node → cell map (indexed by `node − 1`).
+struct AgentCells<L> {
+    cells: Vec<Cell<L>>,
+    cell_of: Vec<CellId>,
+}
+
+/// Builds agent `agent`'s information-set cells in one pass over the
+/// (non-root) nodes.
+///
+/// Cost scales with *distinct* states, not nodes: each distinct global
+/// state is projected onto the agent's local data once and interned into a
+/// [`LocalPool`], so the per-node work is three array reads of a copyable
+/// `(time, LocalId)` key — no `G::Local` clone or hash per node, and no
+/// hash probe either: the key space is dense (`time × LocalId`), so the
+/// cell index is a flat table. Cell run-sets are filled from the node's
+/// contiguous run interval one word at a time ([`RunSet::insert_range`]).
+fn build_agent_cells<G: GlobalState>(
+    agent: AgentId,
+    pool: &StatePool<G>,
+    states: &[Option<StateId>],
+    depths: &[u32],
+    run_ranges: &[(u32, u32)],
+    n_runs: usize,
+    max_depth: usize,
+) -> AgentCells<G::Local> {
+    let mut locals: LocalPool<G::Local> = LocalPool::default();
+    let local_of: Vec<LocalId> = pool
+        .iter()
+        .map(|(_, state)| locals.intern(state.local(agent)))
+        .collect();
+    let n_locals = locals.len();
+    let mut cells: Vec<Cell<G::Local>> = Vec::new();
+    let mut cell_of: Vec<CellId> = vec![CellId(INDEX_NONE); states.len() - 1];
+    // `(time, local) → cell` index; node times are `0..max_depth`.
+    let mut index = KeyIndex::new(max_depth, n_locals);
+    for i in 1..states.len() {
+        let sid = states[i].expect("non-root node has state");
+        let time = depths[i] - 1;
+        let local = local_of[sid.index()];
+        let mut slot = index.get(time as usize, local.index());
+        if slot == INDEX_NONE {
+            slot = cells.len() as u32;
+            index.set(time as usize, local.index(), slot);
+            cells.push(Cell {
+                agent,
+                time,
+                data: locals[local].clone(),
+                nodes: Vec::new(),
+                runs: RunSet::empty(n_runs),
+            });
+        }
+        let cell_id = CellId(slot);
+        let cell = &mut cells[cell_id.index()];
+        cell.nodes.push(NodeId(i as u32));
+        let (lo, hi) = run_ranges[i];
+        cell.runs.insert_range(lo as usize..hi as usize);
+        cell_of[i - 1] = cell_id;
+    }
+    AgentCells { cells, cell_of }
 }
 
 /// Incremental constructor for a [`Pps`].
@@ -759,7 +1128,9 @@ pub(crate) struct RawNode<P> {
 pub struct PpsBuilder<G: GlobalState, P: Probability> {
     n_agents: u32,
     pool: StatePool<G>,
-    nodes: Vec<RawNode<P>>,
+    nodes: NodeTable<P>,
+    /// Parallel to `nodes`: [`PpsBuilder::mark_children_shared`] marks.
+    expansion_of: Vec<Option<(StateId, Time)>>,
     action_names: HashMap<ActionId, String>,
 }
 
@@ -770,13 +1141,8 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
         PpsBuilder {
             n_agents,
             pool: StatePool::new(),
-            nodes: vec![RawNode {
-                parent: NodeId::ROOT,
-                state: None,
-                depth: 0,
-                edge_prob: P::one(),
-                actions: Vec::new(),
-            }],
+            nodes: NodeTable::new_root(),
+            expansion_of: vec![None],
             action_names: HashMap::new(),
         }
     }
@@ -880,6 +1246,61 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
         self
     }
 
+    /// Adds a successor of `parent` that *replays* the previously inserted
+    /// node `template`: same interned state, same edge probability, same
+    /// action labels (shared by reference into the actions arena — no
+    /// copy). Returns the new node's id.
+    ///
+    /// This is the fast path for the unfolder's memoized expansions: every
+    /// per-edge invariant (positive probability, ≤ 1, action
+    /// well-formedness) was checked when `template` was first inserted
+    /// through [`PpsBuilder::child_interned`], so the replay skips
+    /// re-checking and re-copying. Combine with
+    /// [`PpsBuilder::mark_children_shared`] to also skip the per-node
+    /// distribution sum at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` is the root or not a node of this builder, or
+    /// if `parent` is not a node of this builder.
+    pub fn child_replayed(&mut self, parent: NodeId, template: NodeId) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "unknown parent {parent}");
+        let state = self.nodes.states[template.index()].expect("template must not be the root");
+        let edge_prob = self.nodes.edge_probs[template.index()].clone();
+        let action_range = self.nodes.action_ranges[template.index()];
+        let depth = self.nodes.depths[parent.index()] + 1;
+        let id = self
+            .nodes
+            .push_with_action_range(parent, state, depth, edge_prob, action_range);
+        self.expansion_of.push(None);
+        id
+    }
+
+    /// Declares that the children of `node` replay a memoized expansion
+    /// identified by `(state, time)` — the protocol unfolder calls this
+    /// after emitting a node's successors from its `(state, time)` memo.
+    ///
+    /// [`PpsBuilder::build`] then validates the outgoing distribution of
+    /// *one* node per distinct key and reuses the verdict for the rest,
+    /// making validation O(distinct expansions) instead of O(nodes).
+    ///
+    /// # Contract
+    ///
+    /// Marking asserts that every node marked with the same key carries
+    /// clones of one identical `(probability, …)` successor list — true by
+    /// construction for the unfolder's memo replays — and that no child is
+    /// added to a marked node outside that list. Marks are an optimisation
+    /// hint only: hand-built trees never mark and always take the per-node
+    /// exact-sum path, and a marked node whose child count disagrees with
+    /// its key's representative is demoted to per-node validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this builder.
+    pub fn mark_children_shared(&mut self, node: NodeId, state: StateId, time: Time) {
+        self.expansion_of[node.index()] = Some((state, time));
+    }
+
     fn push_node(
         &mut self,
         parent: NodeId,
@@ -908,18 +1329,14 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
         if parent == NodeId::ROOT && !actions.is_empty() {
             return Err(PpsError::ActionOnInitialEdge { node: id });
         }
-        let depth = self.nodes[parent.index()].depth + 1;
-        self.nodes.push(RawNode {
-            parent,
-            state: Some(state),
-            depth,
-            edge_prob: prob,
-            actions: actions.to_vec(),
-        });
+        let depth = self.nodes.depths[parent.index()] + 1;
+        self.nodes.push(parent, state, depth, prob, actions);
+        self.expansion_of.push(None);
         Ok(id)
     }
 
-    /// Validates the tree and produces the indexed [`Pps`].
+    /// Validates the tree and produces the indexed [`Pps`] with default
+    /// [`BuildOptions`].
     ///
     /// # Errors
     ///
@@ -927,23 +1344,25 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
     /// [`PpsError::BadDistribution`] if any internal node's outgoing
     /// probabilities do not sum to one.
     pub fn build(self) -> Result<Pps<G, P>, PpsError> {
-        Pps::from_parts(self.n_agents, self.pool, self.nodes, self.action_names)
+        self.build_with(&BuildOptions::default())
     }
-}
 
-// Allow `push_node` to store state as Option through RawNode.
-impl<P> RawNode<P> {
-    fn new_root() -> Self
-    where
-        P: Probability,
-    {
-        RawNode {
-            parent: NodeId::ROOT,
-            state: None,
-            depth: 0,
-            edge_prob: P::one(),
-            actions: Vec::new(),
-        }
+    /// Validates the tree and produces the indexed [`Pps`], with explicit
+    /// control over how the build pass executes (see [`BuildOptions`]).
+    /// The result is bit-identical under every option combination.
+    ///
+    /// # Errors
+    ///
+    /// As [`PpsBuilder::build`].
+    pub fn build_with(self, options: &BuildOptions) -> Result<Pps<G, P>, PpsError> {
+        Pps::from_parts(
+            self.n_agents,
+            self.pool,
+            self.nodes,
+            self.action_names,
+            &self.expansion_of,
+            options,
+        )
     }
 }
 
@@ -952,7 +1371,8 @@ impl<G: GlobalState, P: Probability> Default for PpsBuilder<G, P> {
         PpsBuilder {
             n_agents: 1,
             pool: StatePool::new(),
-            nodes: vec![RawNode::new_root()],
+            nodes: NodeTable::new_root(),
+            expansion_of: vec![None],
             action_names: HashMap::new(),
         }
     }
@@ -1331,5 +1751,30 @@ mod tests {
         assert_eq!(pps.action_name(ActionId(0)), "action#0");
         pps.set_action_name(ActionId(0), "fire");
         assert_eq!(pps.action_name(ActionId(0)), "fire");
+    }
+
+    #[test]
+    fn key_index_dense_and_sparse_agree() {
+        // Below the cell cap: dense table. Above: hash map. Both must
+        // behave identically (the sweep only ever exercises the dense
+        // path, so the sparse fallback is pinned here).
+        let mut dense = KeyIndex::new(16, 16);
+        assert!(matches!(dense, KeyIndex::Dense { .. }));
+        let rows = 1 << 11;
+        let mut sparse = KeyIndex::new(rows, rows); // 4M cells > the cap
+        assert!(matches!(sparse, KeyIndex::Sparse(_)));
+        for index in [&mut dense, &mut sparse] {
+            assert_eq!(index.get(3, 5), INDEX_NONE);
+            index.set(3, 5, 42);
+            index.set(0, 0, 7);
+            assert_eq!(index.get(3, 5), 42);
+            assert_eq!(index.get(0, 0), 7);
+            assert_eq!(index.get(5, 3), INDEX_NONE);
+            index.set(3, 5, 43); // overwrite
+            assert_eq!(index.get(3, 5), 43);
+        }
+        // Sparse accepts coordinates far outside any dense allocation.
+        sparse.set(rows - 1, rows - 1, 9);
+        assert_eq!(sparse.get(rows - 1, rows - 1), 9);
     }
 }

@@ -20,7 +20,7 @@
 
 use std::collections::HashSet;
 
-use pak_core::fact::{Fact, Facts};
+use pak_core::fact::Fact;
 use pak_core::ids::{AgentId, Point};
 use pak_core::pps::Pps;
 use pak_core::prob::Probability;
@@ -42,8 +42,9 @@ pub fn believes_set<G: GlobalState, P: Probability>(
 ) -> PointSet {
     let mut out = PointSet::new();
     for (cell_id, cell) in pps.agent_cells(agent) {
-        // µ({r ∈ ℓ : (r, cell.time) ∈ target} | ℓ).
-        let l_event = pps.cell_event(cell_id);
+        // µ({r ∈ ℓ : (r, cell.time) ∈ target} | ℓ); the cell's run-set
+        // is borrowed from the index, not cloned — conditioning only
+        // reads it.
         let mut hit = pps.no_runs();
         for pt in pps.cell_points(cell) {
             if target.contains(&pt) {
@@ -51,7 +52,7 @@ pub fn believes_set<G: GlobalState, P: Probability>(
             }
         }
         let belief = pps
-            .conditional(&hit, &l_event)
+            .conditional(&hit, pps.cell_runs(cell_id))
             .expect("local states have positive measure");
         if belief.at_least(p) {
             out.extend(pps.cell_points(cell));

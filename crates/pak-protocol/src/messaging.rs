@@ -93,7 +93,9 @@ impl AgentMove {
 /// like Example 1's `FS`.
 pub trait MessageProtocol<P: Probability> {
     /// An agent's local data (the library adds the time for synchrony).
-    type Local: Clone + Eq + Hash + Debug + 'static;
+    /// `Send + Sync` feeds the [`GlobalState`] bounds, which the threaded
+    /// pps build pass relies on; local data is always plain values.
+    type Local: Clone + Eq + Hash + Debug + Send + Sync + 'static;
 
     /// Number of agents.
     fn n_agents(&self) -> u32;
@@ -134,7 +136,7 @@ pub struct MsgGlobal<L> {
     pub locals: Vec<L>,
 }
 
-impl<L: Clone + Eq + Hash + Debug + 'static> GlobalState for MsgGlobal<L> {
+impl<L: Clone + Eq + Hash + Debug + Send + Sync + 'static> GlobalState for MsgGlobal<L> {
     type Local = L;
 
     fn local(&self, agent: AgentId) -> L {

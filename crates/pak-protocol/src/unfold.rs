@@ -38,8 +38,13 @@
 //! naive enumeration would call them many times. Models whose
 //! distributions depend on hidden mutable state would produce unspecified
 //! (though still validated) trees — no model in this workspace does.
+//!
+//! The memo is also threaded into the *build* pass: each expanded node is
+//! marked with its `(state, time)` key
+//! ([`PpsBuilder::mark_children_shared`]), so validation sums each
+//! distinct expansion's outgoing distribution once instead of re-checking
+//! every replayed node with exact arithmetic.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -176,6 +181,31 @@ where
     M: ProtocolModel<P>,
     P: Probability,
 {
+    Ok(unfold_to_builder(model, config)?.build()?)
+}
+
+/// Unfolds a protocol model into the raw (not yet validated) tree,
+/// stopping just before [`PpsBuilder::build`].
+///
+/// This exposes the pipeline's two phases separately: tree construction
+/// (this function) and the validation/indexing build pass (`build`, or
+/// [`PpsBuilder::build_with`] for explicit
+/// [`BuildOptions`](pak_core::pps::BuildOptions)). Profilers use it to
+/// attribute time per phase; the differential harness uses it to prove
+/// the sequential and threaded build paths bit-identical on one tree.
+///
+/// # Errors
+///
+/// See [`UnfoldError`] — everything except [`UnfoldError::Pps`], which can
+/// only arise from the deferred build step.
+pub fn unfold_to_builder<M, P>(
+    model: &M,
+    config: &UnfoldConfig,
+) -> Result<PpsBuilder<M::Global, P>, UnfoldError>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
     let n_agents = model.n_agents();
     let mut builder = PpsBuilder::<M::Global, P>::new(n_agents);
     // State nodes only: the phantom root is not counted against max_nodes.
@@ -210,7 +240,21 @@ where
     // every further node that reaches it. Unfolded trees revisit states
     // heavily — merging and environment branching both funnel into shared
     // states — which makes this the main saving of the interned pipeline.
-    let mut expansions: HashMap<(StateId, u32), Successors<P>, FxBuildHasher> = HashMap::default();
+    // Alongside each successor list the memo keeps the builder nodes of
+    // the *first* emission: replays go through the builder's
+    // `child_replayed` fast path (state, probability, and actions shared
+    // from the template node — no per-edge re-validation, no copies).
+    // Keys are dense (`time × StateId`), so the memo is a grown-on-demand
+    // flat table probed with two array reads per node, not a hash map —
+    // bounded by a total-cell budget so deep, state-diverse models (where
+    // `time × states` is quadratic in tree size) cannot blow up memory:
+    // keys past the budget spill into an ordinary hash map.
+    const EXPANSION_NONE: u32 = u32::MAX;
+    const DENSE_MEMO_BUDGET: usize = 1 << 20;
+    let mut expansion_rows: Vec<Vec<u32>> = Vec::new();
+    let mut expansion_spill: HashMap<(StateId, u32), u32, FxBuildHasher> = HashMap::default();
+    let mut dense_memo_cells = 0usize;
+    let mut expansions: Vec<(Successors<P>, Vec<NodeId>)> = Vec::new();
     // Per-expansion scratch: the per-agent move distributions and the merge
     // index are cleared, not reallocated, for every cache miss.
     let mut per_agent: Vec<Vec<(M::Move, P)>> = Vec::with_capacity(n_agents as usize);
@@ -226,86 +270,128 @@ where
             }
         }
 
-        let successors = match expansions.entry((sid, time)) {
-            Entry::Occupied(hit) => hit.into_mut(),
-            Entry::Vacant(slot) => {
-                // Gather each agent's mixed move distribution from its
-                // local state.
-                per_agent.clear();
-                for a in 0..n_agents {
-                    let agent = AgentId(a);
-                    let local = builder.state(sid).local(agent);
-                    let dist = model.moves(agent, &local, time);
-                    validate_distribution(&dist).map_err(|detail| {
-                        UnfoldError::BadModelDistribution {
-                            origin: "moves",
-                            detail,
-                        }
-                    })?;
-                    per_agent.push(dist);
+        let mut memo_slot = expansion_rows
+            .get(time as usize)
+            .and_then(|row| row.get(sid.index()))
+            .copied()
+            .unwrap_or(EXPANSION_NONE);
+        if memo_slot == EXPANSION_NONE && !expansion_spill.is_empty() {
+            memo_slot = expansion_spill
+                .get(&(sid, time))
+                .copied()
+                .unwrap_or(EXPANSION_NONE);
+        }
+        if memo_slot != EXPANSION_NONE {
+            let (successors, templates) = &expansions[memo_slot as usize];
+            for ((succ_id, _, _), &template) in successors.iter().zip(templates.iter()) {
+                node_count += 1;
+                if node_count > config.max_nodes {
+                    return Err(UnfoldError::TooLarge {
+                        max_nodes: config.max_nodes,
+                    });
                 }
+                let child = builder.child_replayed(node, template);
+                frontier.push((child, *succ_id, time + 1));
+            }
+        } else {
+            // Gather each agent's mixed move distribution from its
+            // local state.
+            per_agent.clear();
+            for a in 0..n_agents {
+                let agent = AgentId(a);
+                let local = builder.state(sid).local(agent);
+                let dist = model.moves(agent, &local, time);
+                validate_distribution(&dist).map_err(|detail| {
+                    UnfoldError::BadModelDistribution {
+                        origin: "moves",
+                        detail,
+                    }
+                })?;
+                per_agent.push(dist);
+            }
 
-                // Enumerate the cartesian product of joint moves, resolve
-                // each via the environment, and merge identical
-                // successors. Each successor is interned first (one hash +
-                // `Eq` confirmation inside the pool), so the merge index
-                // compares `(actions, StateId)` — a repeated successor
-                // costs one hash and one id comparison, with no state
-                // clone or allocation at all.
-                let mut successors: Successors<P> = Vec::new();
-                index.clear();
-                for (joint, p_joint) in CartesianMoves::new(&per_agent) {
-                    let actions: Vec<(AgentId, ActionId)> = joint
+            // Enumerate the cartesian product of joint moves, resolve
+            // each via the environment, and merge identical
+            // successors. Each successor is interned first (one hash +
+            // `Eq` confirmation inside the pool), so the merge index
+            // compares `(actions, StateId)` — a repeated successor
+            // costs one hash and one id comparison, with no state
+            // clone or allocation at all.
+            let mut successors: Successors<P> = Vec::new();
+            index.clear();
+            for (joint, p_joint) in CartesianMoves::new(&per_agent) {
+                let actions: Vec<(AgentId, ActionId)> = joint
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(a, mv)| model.action_of(mv).map(|act| (AgentId(a as u32), act)))
+                    .collect();
+                let outcomes = model.transition(builder.state(sid), &joint, time);
+                validate_distribution(&outcomes).map_err(|detail| {
+                    UnfoldError::BadModelDistribution {
+                        origin: "transition",
+                        detail,
+                    }
+                })?;
+                for (succ, p_env) in outcomes {
+                    let p = p_joint.mul(&p_env);
+                    let succ_id = builder.intern(succ);
+                    let mut hasher = FxHasher::default();
+                    actions.hash(&mut hasher);
+                    succ_id.hash(&mut hasher);
+                    let bucket = index.entry(hasher.finish()).or_default();
+                    match bucket
                         .iter()
-                        .enumerate()
-                        .filter_map(|(a, mv)| {
-                            model.action_of(mv).map(|act| (AgentId(a as u32), act))
-                        })
-                        .collect();
-                    let outcomes = model.transition(builder.state(sid), &joint, time);
-                    validate_distribution(&outcomes).map_err(|detail| {
-                        UnfoldError::BadModelDistribution {
-                            origin: "transition",
-                            detail,
+                        .find(|&&i| successors[i].0 == succ_id && successors[i].1 == actions)
+                    {
+                        Some(&i) => {
+                            successors[i].2.add_assign(&p);
                         }
-                    })?;
-                    for (succ, p_env) in outcomes {
-                        let p = p_joint.mul(&p_env);
-                        let succ_id = builder.intern(succ);
-                        let mut hasher = FxHasher::default();
-                        actions.hash(&mut hasher);
-                        succ_id.hash(&mut hasher);
-                        let bucket = index.entry(hasher.finish()).or_default();
-                        match bucket
-                            .iter()
-                            .find(|&&i| successors[i].0 == succ_id && successors[i].1 == actions)
-                        {
-                            Some(&i) => {
-                                successors[i].2.add_assign(&p);
-                            }
-                            None => {
-                                bucket.push(successors.len());
-                                successors.push((succ_id, actions.clone(), p));
-                            }
+                        None => {
+                            bucket.push(successors.len());
+                            successors.push((succ_id, actions.clone(), p));
                         }
                     }
                 }
-                slot.insert(successors)
             }
-        };
-        for (succ_id, actions, p) in successors.iter() {
-            node_count += 1;
-            if node_count > config.max_nodes {
-                return Err(UnfoldError::TooLarge {
-                    max_nodes: config.max_nodes,
-                });
+            let mut templates: Vec<NodeId> = Vec::with_capacity(successors.len());
+            for (succ_id, actions, p) in &successors {
+                node_count += 1;
+                if node_count > config.max_nodes {
+                    return Err(UnfoldError::TooLarge {
+                        max_nodes: config.max_nodes,
+                    });
+                }
+                let child = builder.child_interned(node, *succ_id, p.clone(), actions)?;
+                templates.push(child);
+                frontier.push((child, *succ_id, time + 1));
             }
-            let child = builder.child_interned(node, *succ_id, p.clone(), actions)?;
-            frontier.push((child, *succ_id, time + 1));
+            let slot = expansions.len() as u32;
+            if expansion_rows.len() <= time as usize {
+                expansion_rows.resize_with(time as usize + 1, Vec::new);
+            }
+            let row = &mut expansion_rows[time as usize];
+            if sid.index() < row.len() {
+                row[sid.index()] = slot;
+            } else {
+                let grow = sid.index() + 1 - row.len();
+                if dense_memo_cells + grow <= DENSE_MEMO_BUDGET {
+                    dense_memo_cells += grow;
+                    row.resize(sid.index() + 1, EXPANSION_NONE);
+                    row[sid.index()] = slot;
+                } else {
+                    expansion_spill.insert((sid, time), slot);
+                }
+            }
+            expansions.push((successors, templates));
         }
+        // Every expanded node's children are (re)played from the memoized
+        // `(state, time)` successor list, so the build pass validates the
+        // outgoing distribution once per distinct pair instead of once per
+        // node.
+        builder.mark_children_shared(node, sid, time);
     }
 
-    Ok(builder.build()?)
+    Ok(builder)
 }
 
 /// Iterator over the cartesian product of per-agent move distributions,

@@ -2,21 +2,31 @@
 //!
 //! Prints how interning compacts the tree (distinct states vs nodes) and
 //! the per-iteration cost of the full unfold pipeline on the scaling
-//! benchmark's workloads. Useful for eyeballing perf work without running
-//! the whole bench suite:
+//! benchmark's workloads, split into its two phases:
+//!
+//! * **tree** — protocol enumeration into the raw builder
+//!   (`unfold_to_builder`): moves, transitions, merging, memoized
+//!   expansion replay;
+//! * **build** — the validation/indexing pass (`PpsBuilder::build`): run
+//!   enumeration, distribution validation, cell construction.
+//!
+//! The build share is the number to watch PR over PR: it is what the
+//! interned build pass (validation memoization, `LocalId` cells,
+//! word-filled run-sets) is meant to keep from dominating. Useful for
+//! eyeballing perf work without running the whole bench suite:
 //!
 //! ```text
 //! cargo run --release --example profile_unfold
 //! ```
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use pak::num::Rational;
 use pak::protocol::generator::{random_model, RandomModelConfig};
-use pak::protocol::unfold::{unfold_with, UnfoldConfig};
+use pak::protocol::unfold::{unfold_to_builder, unfold_with, UnfoldConfig};
 
 fn main() {
-    for horizon in [2u32, 3, 4] {
+    for horizon in [2u32, 3, 4, 5, 6] {
         let cfg = RandomModelConfig {
             n_agents: 2,
             initial_states: 2,
@@ -28,15 +38,45 @@ fn main() {
         };
         let model = random_model::<Rational>(11, &cfg);
         let pps = unfold_with(&model, &UnfoldConfig::default()).unwrap();
-        let iters = 20_000u32;
+        let iters = (200_000u32 >> horizon).max(1_000);
+
+        // Full pipeline.
         let t = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(unfold_with(&model, &UnfoldConfig::default()).unwrap());
         }
+        let full = t.elapsed() / iters;
+
+        // Tree phase alone.
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(
+                unfold_to_builder::<_, Rational>(&model, &UnfoldConfig::default()).unwrap(),
+            );
+        }
+        let tree = t.elapsed() / iters;
+
+        // The build phase is measured directly too (on clones of one
+        // builder, with the clone cost subtracted) as a cross-check; the
+        // headline split below uses full − tree so the two columns sum.
+        let builder = unfold_to_builder::<_, Rational>(&model, &UnfoldConfig::default()).unwrap();
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(builder.clone());
+        }
+        let clone = t.elapsed() / iters;
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(builder.clone().build().unwrap());
+        }
+        let build_direct = (t.elapsed() / iters).saturating_sub(clone);
+
+        let build = full.saturating_sub(tree);
+        let share = |d: Duration| 100.0 * d.as_secs_f64() / full.as_secs_f64().max(1e-12);
         println!(
-            "horizon {}: {:>8.2?}/unfold | nodes={:<4} runs={:<3} distinct states={:<2} ({}x shared)",
-            horizon,
-            t.elapsed() / iters,
+            "horizon {horizon}: {full:>9.2?}/unfold = tree {tree:>8.2?} ({:>4.1}%) + build {build:>8.2?} ({:>4.1}%, direct {build_direct:.2?}) | nodes={:<5} runs={:<4} distinct states={:<3} ({}x shared)",
+            share(tree),
+            share(build),
             pps.num_nodes(),
             pps.num_runs(),
             pps.num_distinct_states(),

@@ -20,6 +20,15 @@
 //! consistency checks (ids resolve to the states the reference stores at
 //! every point, and the pool holds no duplicates).
 //!
+//! The *build* pass is proved the same way: the old per-node cell
+//! construction (clone + hash a full local per node, insert runs one bit
+//! at a time) is retained as [`reference_cells`], and the sweep asserts
+//! the production pass — per-agent `LocalId` interning, word-filled
+//! run-sets from contiguous run ranges, validation memoized per distinct
+//! expansion, optionally one thread per agent — produces identical
+//! `cells`, `cell_of`, and run ranges, with bit-equal run probabilities,
+//! sequential and threaded.
+//!
 //! A second battery property-tests [`CartesianMoves`]: across randomized
 //! distribution shapes (including singletons and the zero-agent case) the
 //! joint probabilities must sum exactly to one and enumerate exactly
@@ -32,7 +41,7 @@ use pak::core::prelude::*;
 use pak::num::Rational;
 use pak::protocol::generator::{random_model, RandomModelConfig};
 use pak::protocol::model::{validate_distribution, ProtocolModel, TableModel};
-use pak::protocol::unfold::{unfold_with, CartesianMoves, UnfoldConfig};
+use pak::protocol::unfold::{unfold_to_builder, unfold_with, CartesianMoves, UnfoldConfig};
 
 /// The pre-refactor merge, retained verbatim as the reference semantics:
 /// successors are merged when their Debug-formatted `(actions, state)`
@@ -189,6 +198,110 @@ fn assert_identical(
     }
 }
 
+/// The pre-refactor cell construction, retained verbatim in spirit as the
+/// reference semantics: walk the non-root nodes in id order once per
+/// agent, clone and hash each node's full local data into a `(time, data)`
+/// key, allocate cell ids in first-occurrence order, and accumulate each
+/// cell's member nodes and run-set run by run.
+///
+/// The production build pass now interns locals per distinct state,
+/// word-fills run-sets from contiguous run ranges, and may construct each
+/// agent's cells on its own thread — this function is what all of that
+/// must stay observably equal to.
+#[allow(clippy::type_complexity)]
+fn reference_cells(
+    pps: &Pps<SimpleState, Rational>,
+) -> Vec<(AgentId, Time, u64, Vec<NodeId>, RunSet)> {
+    let mut cells: Vec<(AgentId, Time, u64, Vec<NodeId>, RunSet)> = Vec::new();
+    for agent in pps.agents() {
+        let mut index: HashMap<(Time, u64), usize> = HashMap::new();
+        for node in (1..pps.num_nodes() as u32).map(NodeId) {
+            let time = pps.node_time(node);
+            let data = pps.node_state(node).local(agent);
+            let slot = *index.entry((time, data)).or_insert_with(|| {
+                cells.push((agent, time, data, Vec::new(), pps.no_runs()));
+                cells.len() - 1
+            });
+            cells[slot].3.push(node);
+            // Membership run by run (single-bit inserts): the reference for
+            // the contiguous `insert_range` fill.
+            for run in pps.run_ids() {
+                if pps.nodes_of(run).contains(&node) {
+                    cells[slot].4.insert(run);
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Asserts the production cells/`cell_of` of `got` are identical — ids,
+/// order, members, and run-sets — to the reference per-node construction.
+fn assert_cells_match_reference(got: &Pps<SimpleState, Rational>, ctx: &str) {
+    let want = reference_cells(got);
+    assert_eq!(got.num_cells(), want.len(), "{ctx}: cell count");
+    for ((id, cell), (agent, time, data, nodes, runs)) in got.cells().zip(&want) {
+        assert_eq!(cell.agent, *agent, "{ctx}: agent of {id}");
+        assert_eq!(cell.time, *time, "{ctx}: time of {id}");
+        assert_eq!(cell.data, *data, "{ctx}: data of {id}");
+        assert_eq!(cell.nodes, *nodes, "{ctx}: nodes of {id}");
+        assert_eq!(cell.runs, *runs, "{ctx}: runs of {id}");
+    }
+    // `cell_of` (exercised through `cell_at`) must map every point into
+    // the cell the reference puts its node in.
+    for run in got.run_ids() {
+        for (t, &node) in got.nodes_of(run).iter().enumerate() {
+            let pt = Point {
+                run,
+                time: t as Time,
+            };
+            for agent in got.agents() {
+                let cell = got.cell_at(agent, pt).expect("point exists");
+                let member = want[cell.index()].3.contains(&node);
+                assert!(member, "{ctx}: cell_of disagrees at {pt} for {agent}");
+            }
+        }
+    }
+    // Run ranges: the contiguous interval behind each node's event must
+    // equal per-run path membership recomputed from the flat run arena.
+    for node in (1..got.num_nodes() as u32).map(NodeId) {
+        let through = got.runs_through(node);
+        let reference =
+            RunSet::from_predicate(got.num_runs(), |run| got.nodes_of(run).contains(&node));
+        assert_eq!(through, reference, "{ctx}: run range of {node}");
+    }
+}
+
+/// Builds the same unfolded tree twice — sequential cells and one thread
+/// per agent — and asserts the results are bit-identical in every
+/// observable, including exact run probabilities.
+fn assert_threaded_build_identical(model: &TableModel<Rational>, ctx: &str) {
+    let builder = unfold_to_builder::<_, Rational>(model, &UnfoldConfig::default()).unwrap();
+    let sequential = builder
+        .clone()
+        .build_with(&BuildOptions {
+            parallel_cells: Some(false),
+        })
+        .unwrap();
+    let threaded = builder
+        .build_with(&BuildOptions {
+            parallel_cells: Some(true),
+        })
+        .unwrap();
+    assert_identical(&threaded, &sequential, &format!("{ctx} [threaded]"));
+    for run in sequential.run_ids() {
+        assert_eq!(
+            threaded.run_probability(run),
+            sequential.run_probability(run),
+            "{ctx}: threaded probability of {run}"
+        );
+    }
+    for ((id_t, cell_t), (id_s, cell_s)) in threaded.cells().zip(sequential.cells()) {
+        assert_eq!(id_t, id_s, "{ctx}: threaded cell id order");
+        assert_eq!(cell_t, cell_s, "{ctx}: threaded cell {id_t}");
+    }
+}
+
 #[test]
 fn hash_merge_matches_reference_merge_across_sweep() {
     // Sweep agents × horizon × branching; several seeds each. Kept small
@@ -219,6 +332,13 @@ fn hash_merge_matches_reference_merge_across_sweep() {
                     );
                     assert_identical(&got, &want, &ctx);
                     assert!(got.measure(&got.all_runs()).is_one(), "{ctx}: total");
+                    // The build pass itself: interned/word-filled cells vs
+                    // the retained per-node reference, on both the memoized
+                    // production tree and the mark-free reference tree, and
+                    // the threaded path vs the sequential one.
+                    assert_cells_match_reference(&got, &ctx);
+                    assert_cells_match_reference(&want, &format!("{ctx} [reference tree]"));
+                    assert_threaded_build_identical(&model, &ctx);
                     cases += 1;
                 }
             }
