@@ -186,6 +186,17 @@ impl<G: Eq + Hash> StatePool<G> {
             .enumerate()
             .map(|(i, s)| (StateId(i as u32), s))
     }
+
+    /// Consumes the pool, yielding its distinct states in interning order
+    /// (index `k` of the iterator is the state `StateId(k)` resolved to).
+    ///
+    /// Used when one pool's contents are re-interned into another — e.g.
+    /// stitching the per-subtree pool shards of a parallel unfold back
+    /// into the sequential interning order — so each state moves instead
+    /// of being cloned.
+    pub fn into_states(self) -> impl Iterator<Item = G> {
+        self.raw.values.into_iter()
+    }
 }
 
 impl<G: Eq + Hash> Index<StateId> for StatePool<G> {

@@ -71,8 +71,18 @@ pub(crate) struct NodeTable<P> {
     /// Depth in the tree: root `0`, initial states `1`. The time of a
     /// non-root node is `depth − 1`.
     depths: Vec<u32>,
-    /// Probability of the edge from the parent (`1` for the root).
-    edge_probs: Vec<P>,
+    /// Probability of the edge from the parent (`1` for the root), as an
+    /// id into the `probs` pool. Replayed expansion children *share*
+    /// their template's entry — no per-node clone — which also gives the
+    /// build pass a cheap notion of edge identity: run-prefix products
+    /// are memoized per distinct `(prefix, edge id)` pair, so exact
+    /// multiplication runs once per distinct product instead of once per
+    /// node (see `from_parts`).
+    edge_prob_ids: Vec<u32>,
+    /// The edge-probability pool behind `edge_prob_ids` (append-only;
+    /// deduplication comes from replays sharing ids, not from value
+    /// hashing — `P` is not required to be `Hash`).
+    probs: Vec<P>,
     /// Actions performed on the transition from the parent into each node
     /// (at most one per agent; empty for initial states), as half-open
     /// ranges into the shared `action_data` arena. Replayed expansion
@@ -89,7 +99,8 @@ impl<P: Probability> NodeTable<P> {
             parents: vec![NodeId::ROOT],
             states: vec![None],
             depths: vec![0],
-            edge_probs: vec![P::one()],
+            edge_prob_ids: vec![0],
+            probs: vec![P::one()],
             action_ranges: vec![(0, 0)],
             action_data: Vec::new(),
         }
@@ -106,8 +117,13 @@ impl<P: Probability> NodeTable<P> {
         &self.action_data[lo as usize..hi as usize]
     }
 
-    /// Appends a node whose edge actions are `actions` (copied into the
-    /// arena), returning its id.
+    /// The probability of the edge into `node`.
+    fn edge_prob(&self, node: usize) -> &P {
+        &self.probs[self.edge_prob_ids[node] as usize]
+    }
+
+    /// Appends a node with a fresh edge probability and edge actions
+    /// (both copied into their pools), returning its id.
     fn push(
         &mut self,
         parent: NodeId,
@@ -119,25 +135,47 @@ impl<P: Probability> NodeTable<P> {
         let lo = self.action_data.len() as u32;
         self.action_data.extend_from_slice(actions);
         let range = (lo, self.action_data.len() as u32);
-        self.push_with_action_range(parent, state, depth, edge_prob, range)
+        let prob_id = self.probs.len() as u32;
+        self.probs.push(edge_prob);
+        self.push_shared(parent, state, depth, prob_id, range)
     }
 
-    /// Appends a node referencing an existing arena range (replayed
-    /// expansions share their representative's actions — zero copies).
-    fn push_with_action_range(
+    /// Appends a node referencing existing pool entries (replayed
+    /// expansions share their representative's probability and actions —
+    /// zero copies, zero clones).
+    fn push_shared(
         &mut self,
         parent: NodeId,
         state: StateId,
         depth: u32,
-        edge_prob: P,
+        prob_id: u32,
         action_range: (u32, u32),
     ) -> NodeId {
         let id = NodeId(self.parents.len() as u32);
         self.parents.push(parent);
         self.states.push(Some(state));
         self.depths.push(depth);
-        self.edge_probs.push(edge_prob);
+        self.edge_prob_ids.push(prob_id);
         self.action_ranges.push(action_range);
+        id
+    }
+
+    /// Bulk-appends `count` children of `parent` replaying the contiguous
+    /// node range starting at `first_template`: each column segment is
+    /// copied wholesale (`extend_from_within` — one memcpy-style extend
+    /// per column instead of `count` interleaved pushes), with states,
+    /// probability ids, and action ranges shared from the templates.
+    /// Returns the id of the first appended node; the rest follow
+    /// consecutively, exactly as `count` individual pushes would have.
+    fn replay_range(&mut self, parent: NodeId, first_template: usize, count: usize) -> NodeId {
+        let id = NodeId(self.parents.len() as u32);
+        let depth = self.depths[parent.index()] + 1;
+        let range = first_template..first_template + count;
+        self.parents.resize(self.parents.len() + count, parent);
+        self.states.extend_from_within(range.clone());
+        self.depths.resize(self.depths.len() + count, depth);
+        self.edge_prob_ids.extend_from_within(range.clone());
+        self.action_ranges.extend_from_within(range);
         id
     }
 }
@@ -217,9 +255,12 @@ pub struct Pps<G: GlobalState, P: Probability> {
 pub struct BuildOptions {
     /// Whether to construct the per-agent information-set cells on one
     /// thread per agent (`Some(true)`), strictly sequentially
-    /// (`Some(false)`), or to decide from the machine (`None`: threaded
-    /// when there are at least two agents and two cores). Agents' cell
-    /// sets are mutually independent and each agent's pass is
+    /// (`Some(false)`), or to decide from the machine *and the tree*
+    /// (`None`: threaded when there are at least two agents, two cores,
+    /// and enough nodes — [`PARALLEL_CELLS_MIN_NODES`] — for the per-agent
+    /// work to amortize the thread spawns; small trees pay more for two
+    /// `thread::scope` spawns than their whole cell pass costs). Agents'
+    /// cell sets are mutually independent and each agent's pass is
     /// deterministic, so the threaded path is guaranteed to produce the
     /// same cells, ids, and run-sets as the sequential one.
     pub parallel_cells: Option<bool>,
@@ -363,7 +404,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         let hi = self.child_offsets[node.index() + 1] as usize;
         self.child_nodes[lo..hi]
             .iter()
-            .map(move |&c| (c, &self.nodes.edge_probs[c.index()]))
+            .map(move |&c| (c, self.nodes.edge_prob(c.index())))
     }
 
     /// The parent of a node (the root is its own parent).
@@ -823,7 +864,7 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
             }
             let mut sum = P::zero();
             for &c in children {
-                sum.add_assign(&nodes.edge_probs[c.index()]);
+                sum.add_assign(nodes.edge_prob(c.index()));
             }
             if !sum.is_one() {
                 return Err(PpsError::BadDistribution {
@@ -836,12 +877,25 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         // Enumerate runs by iterative DFS (children in insertion order)
         // straight into the flat arena: paths of all runs share one
         // `run_nodes` allocation delimited by offsets. One shared
-        // path/probability buffer is kept in sync by truncating to each
+        // path/product buffer is kept in sync by truncating to each
         // popped node's depth — a path is materialised exactly once per
         // run, when its leaf is reached.
+        //
+        // (A prefix-product memo keyed by `(parent product, edge id)` was
+        // tried here and measured *slower*: on the replay-heavy scaling
+        // workloads ~99% of prefix products are distinct — replays share
+        // edges, but the parent products above them differ — so the probe
+        // per node bought nothing. The edge-probability pool still pays
+        // elsewhere: replayed nodes share entries instead of cloning.)
         let mut run_nodes: Vec<NodeId> = Vec::new();
         let mut run_offsets: Vec<u32> = vec![0];
         let mut run_probs: Vec<P> = Vec::new();
+        // Run ranges — the contiguous interval of runs through each node —
+        // fall out of the same DFS for free: a node's interval opens when
+        // it enters the shared path (`lo` = runs emitted so far) and
+        // closes when it leaves it (`hi` = runs emitted by then), so no
+        // separate pass over the run arena is needed.
+        let mut run_ranges: Vec<(u32, u32)> = vec![(u32::MAX, 0); nodes.len()];
         {
             let mut stack: Vec<NodeId> = children_of(0).iter().rev().copied().collect();
             // path[d] is the node at depth d + 1; probs[d] the product of
@@ -850,9 +904,13 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
             let mut probs: Vec<P> = Vec::new();
             while let Some(node) = stack.pop() {
                 let d = (nodes.depths[node.index()] - 1) as usize;
-                let edge_prob = &nodes.edge_probs[node.index()];
+                let edge_prob = nodes.edge_prob(node.index());
+                for &done in &path[d..] {
+                    run_ranges[done.index()].1 = run_probs.len() as u32;
+                }
                 path.truncate(d);
                 probs.truncate(d);
+                run_ranges[node.index()].0 = run_probs.len() as u32;
                 // Probability-one edges (deterministic transitions) and
                 // depth-0 nodes copy instead of multiplying: `1 · p` and
                 // `p · 1` are exact identities for every `P`, and both
@@ -880,27 +938,21 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
                     }
                 }
             }
-        }
-        let n_runs = run_probs.len();
-        // Run ranges: a node's interval covers the runs listing it.
-        let mut run_ranges: Vec<(u32, u32)> = vec![(u32::MAX, 0); nodes.len()];
-        run_ranges[0] = (0, n_runs as u32);
-        for ri in 0..n_runs {
-            let (lo, hi) = (run_offsets[ri] as usize, run_offsets[ri + 1] as usize);
-            for &nid in &run_nodes[lo..hi] {
-                let range = &mut run_ranges[nid.index()];
-                range.0 = range.0.min(ri as u32);
-                range.1 = range.1.max(ri as u32 + 1);
+            // The last path's nodes close at the final run count.
+            for &done in &path {
+                run_ranges[done.index()].1 = run_probs.len() as u32;
             }
         }
+        let n_runs = run_probs.len();
+        run_ranges[0] = (0, n_runs as u32);
 
         // Build local-state cells, one independent deterministic pass per
         // agent (threaded or not — bit-identical either way). Workers read
         // the node table's state/depth columns and the run intervals
         // directly; no `P` crosses a thread boundary.
-        let parallel = options
-            .parallel_cells
-            .unwrap_or(n_agents > 1 && available_cores() > 1);
+        let parallel = options.parallel_cells.unwrap_or(
+            n_agents > 1 && available_cores() > 1 && nodes.len() >= PARALLEL_CELLS_MIN_NODES,
+        );
         let per_agent: Vec<AgentCells<G::Local>> = if parallel && n_agents > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..n_agents)
@@ -945,16 +997,14 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         // single-threaded interleaved loop assigned.
         let mut cells: Vec<Cell<G::Local>> = Vec::new();
         let mut cell_of: Vec<Vec<CellId>> = Vec::with_capacity(n_agents as usize);
-        for agent_cells in per_agent {
+        for mut agent_cells in per_agent {
             let offset = cells.len() as u32;
             cells.extend(agent_cells.cells);
-            cell_of.push(
-                agent_cells
-                    .cell_of
-                    .into_iter()
-                    .map(|c| CellId(c.0 + offset))
-                    .collect(),
-            );
+            // Remap the agent-local dense ids in place — no reallocation.
+            for c in &mut agent_cells.cell_of {
+                c.0 += offset;
+            }
+            cell_of.push(agent_cells.cell_of);
         }
 
         Ok(Pps {
@@ -973,6 +1023,14 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         })
     }
 }
+
+/// Node count below which the default build (`BuildOptions::parallel_cells
+/// = None`) keeps the cell passes sequential: spawning one scoped thread
+/// per agent costs tens of microseconds, which a small tree's whole cell
+/// pass undercuts (measured: a ~35 µs loss per build on an 800-node tree).
+/// Forcing `Some(true)` still threads unconditionally — the differential
+/// harness uses that to prove bit-identity at every size.
+pub const PARALLEL_CELLS_MIN_NODES: usize = 1 << 15;
 
 /// Capacity cap, in table cells, below which a `rows × cols` key space
 /// gets a flat dense table; above it, a hash map. Deep chain-like models
@@ -1029,8 +1087,11 @@ impl KeyIndex {
 /// the generic `from_parts` would be duplicated per monomorphization and
 /// re-probe `available_parallelism` (a tens-of-µs cgroup re-read on
 /// Linux) once per `(G, P)` pair — this free function carries the single
-/// process-wide cache.
-fn available_cores() -> usize {
+/// process-wide cache. Public so every auto-threading heuristic in the
+/// workspace (the build pass here, parallel subtree unfolding in
+/// `pak-protocol`) consults the same probe.
+#[must_use]
+pub fn available_cores() -> usize {
     static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *CORES
         .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
@@ -1266,14 +1327,179 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
     pub fn child_replayed(&mut self, parent: NodeId, template: NodeId) -> NodeId {
         assert!(parent.index() < self.nodes.len(), "unknown parent {parent}");
         let state = self.nodes.states[template.index()].expect("template must not be the root");
-        let edge_prob = self.nodes.edge_probs[template.index()].clone();
+        let prob_id = self.nodes.edge_prob_ids[template.index()];
         let action_range = self.nodes.action_ranges[template.index()];
         let depth = self.nodes.depths[parent.index()] + 1;
         let id = self
             .nodes
-            .push_with_action_range(parent, state, depth, edge_prob, action_range);
+            .push_shared(parent, state, depth, prob_id, action_range);
         self.expansion_of.push(None);
         id
+    }
+
+    /// Bulk sibling of [`PpsBuilder::child_replayed`]: appends `count`
+    /// successors of `parent` replaying the *contiguous* run of template
+    /// nodes starting at `first_template` (the shape every memoized
+    /// unfolder expansion has — its children were inserted back to back).
+    /// Column segments are copied wholesale instead of one interleaved
+    /// push per child, and states, edge probabilities, and action labels
+    /// are shared from the templates by id — no clones, no re-validation.
+    ///
+    /// Returns the id of the first appended child; the remaining
+    /// `count − 1` follow consecutively, with ids, order, and contents
+    /// identical to `count` individual [`PpsBuilder::child_replayed`]
+    /// calls on `first_template`, `first_template + 1`, ….
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not a node of this builder, the template
+    /// range is out of bounds, or it touches the root.
+    pub fn children_replayed(
+        &mut self,
+        parent: NodeId,
+        first_template: NodeId,
+        count: usize,
+    ) -> NodeId {
+        assert!(parent.index() < self.nodes.len(), "unknown parent {parent}");
+        assert!(
+            first_template != NodeId::ROOT || count == 0,
+            "templates must not include the root"
+        );
+        assert!(
+            first_template.index() + count <= self.nodes.len(),
+            "template range out of bounds"
+        );
+        let id = self
+            .nodes
+            .replay_range(parent, first_template.index(), count);
+        self.expansion_of
+            .resize(self.expansion_of.len() + count, None);
+        id
+    }
+
+    /// Grafts another builder's tree under `graft`, consuming the shard:
+    /// the shard must hold exactly one initial node (plus the phantom
+    /// root), whose state equals `graft`'s; every *descendant* of that
+    /// initial node is appended to this builder, re-parented so the
+    /// shard's initial node becomes `graft`.
+    ///
+    /// This is the stitching half of parallel subtree unfolding: each
+    /// worker unfolds one depth-1 subtree into a private shard (own
+    /// [`StatePool`], own node table), and the shards are absorbed back in
+    /// the order the sequential pass would have emitted them. Everything
+    /// is remapped deterministically —
+    ///
+    /// * the shard's pool is re-interned into this builder's pool in
+    ///   interning order, so state ids come out exactly as the sequential
+    ///   pass would have assigned them;
+    /// * node ids are offset to append after this builder's nodes, with
+    ///   parents inside the shard following and parents at the shard's
+    ///   initial node becoming `graft`;
+    /// * depths are shifted by `graft`'s depth (zero when `graft` is an
+    ///   initial node, the parallel-unfold case);
+    /// * [`PpsBuilder::mark_children_shared`] marks transfer with their
+    ///   state ids remapped, including the shard initial node's mark,
+    ///   which lands on `graft`.
+    ///
+    /// Edge probabilities and action labels move without copies (the
+    /// shard's action arena is appended wholesale). Per-edge invariants
+    /// were already enforced by the shard's own builder, so no
+    /// re-validation happens here; the distribution-sum invariants are
+    /// checked as usual by [`PpsBuilder::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent counts differ, `graft` is the root or unknown,
+    /// the shard has no initial node or more than one, or the shard's
+    /// initial state differs from `graft`'s.
+    pub fn absorb_subtree(&mut self, graft: NodeId, shard: PpsBuilder<G, P>) {
+        assert_eq!(
+            self.n_agents, shard.n_agents,
+            "absorb_subtree: agent counts differ"
+        );
+        assert!(
+            graft != NodeId::ROOT && graft.index() < self.nodes.len(),
+            "absorb_subtree: unknown graft node {graft}"
+        );
+        assert!(
+            shard.nodes.len() >= 2 && shard.nodes.parents[1] == NodeId::ROOT,
+            "absorb_subtree: shard must hold exactly one initial node"
+        );
+        assert!(
+            shard.nodes.parents[2..].iter().all(|&p| p != NodeId::ROOT),
+            "absorb_subtree: shard must hold exactly one initial node"
+        );
+        let shard_initial_sid = shard.nodes.states[1].expect("initial node has a state");
+        let graft_sid = self.nodes.states[graft.index()].expect("graft is not the root");
+
+        // Re-intern the shard's pool in interning order; `remap[k]` is the
+        // id in this builder of the shard's `StateId(k)`.
+        let remap: Vec<StateId> = shard
+            .pool
+            .into_states()
+            .map(|state| self.pool.intern(state))
+            .collect();
+        assert_eq!(
+            remap[shard_initial_sid.index()],
+            graft_sid,
+            "absorb_subtree: shard initial state differs from the graft node's"
+        );
+
+        let base_node = self.nodes.len() as u32;
+        let base_action = self.nodes.action_data.len() as u32;
+        let depth_shift = self.nodes.depths[graft.index()] - 1;
+        // A `(state, time)` mark is only meaningful when node times are
+        // preserved; grafting deeper than depth 1 shifts times, so marks
+        // are dropped there and the affected nodes validate per-node.
+        let keep_marks = depth_shift == 0;
+        if keep_marks {
+            if let Some((sid, time)) = shard.expansion_of[1] {
+                self.expansion_of[graft.index()] = Some((remap[sid.index()], time));
+            }
+        }
+        let base_prob = self.nodes.probs.len() as u32;
+        let NodeTable {
+            parents,
+            states,
+            depths,
+            edge_prob_ids,
+            probs,
+            action_ranges,
+            action_data,
+        } = shard.nodes;
+        self.nodes.action_data.extend(action_data);
+        // The shard's probability pool is appended wholesale (values move,
+        // no clones); its ids shift by the pool base. Shared-id structure
+        // — replayed nodes pointing at one entry — survives the move.
+        self.nodes.probs.extend(probs);
+        let appended = parents
+            .into_iter()
+            .zip(states)
+            .zip(depths)
+            .zip(edge_prob_ids)
+            .zip(action_ranges)
+            .zip(shard.expansion_of)
+            .skip(2);
+        for (((((parent, state), depth), prob_id), (lo, hi)), mark) in appended {
+            let parent = if parent == NodeId(1) {
+                graft
+            } else {
+                NodeId(base_node + parent.0 - 2)
+            };
+            let state = remap[state.expect("non-root node has a state").index()];
+            self.nodes.parents.push(parent);
+            self.nodes.states.push(Some(state));
+            self.nodes.depths.push(depth + depth_shift);
+            self.nodes.edge_prob_ids.push(base_prob + prob_id);
+            self.nodes
+                .action_ranges
+                .push((lo + base_action, hi + base_action));
+            self.expansion_of.push(if keep_marks {
+                mark.map(|(sid, time)| (remap[sid.index()], time))
+            } else {
+                None
+            });
+        }
     }
 
     /// Declares that the children of `node` replay a memoized expansion
@@ -1392,6 +1618,47 @@ mod tests {
 
     fn st(env: u64, locals: &[u64]) -> SimpleState {
         SimpleState::new(env, locals.to_vec())
+    }
+
+    /// A two-level tree built twice: once replaying a template expansion
+    /// child by child (`child_replayed`), once with the bulk column copy
+    /// (`children_replayed`). The two must be indistinguishable.
+    #[test]
+    fn bulk_replay_equals_per_child_replay() {
+        let build = |bulk: bool| -> Pps<SimpleState, Rational> {
+            let mut b = B::new(1);
+            let g0 = b.initial(st(0, &[0]), r(1, 2)).unwrap();
+            let g1 = b.initial(st(1, &[0]), r(1, 2)).unwrap();
+            // Template expansion under g0: two children.
+            let t0 = b
+                .child(g0, st(2, &[1]), r(1, 3), &[(AgentId(0), ActionId(0))])
+                .unwrap();
+            let t1 = b.child(g0, st(3, &[2]), r(2, 3), &[]).unwrap();
+            // Replay it under g1.
+            if bulk {
+                b.children_replayed(g1, t0, 2);
+            } else {
+                b.child_replayed(g1, t0);
+                b.child_replayed(g1, t1);
+            }
+            b.build().unwrap()
+        };
+        let per_child = build(false);
+        let bulk = build(true);
+        assert_eq!(per_child.num_nodes(), bulk.num_nodes());
+        assert_eq!(per_child.num_runs(), bulk.num_runs());
+        for n in (1..per_child.num_nodes() as u32).map(NodeId) {
+            assert_eq!(per_child.parent(n), bulk.parent(n), "parent of {n}");
+            assert_eq!(per_child.node_state(n), bulk.node_state(n), "state of {n}");
+            assert_eq!(per_child.node_time(n), bulk.node_time(n), "time of {n}");
+        }
+        for run in per_child.run_ids() {
+            assert_eq!(per_child.nodes_of(run), bulk.nodes_of(run));
+            assert_eq!(per_child.run_probability(run), bulk.run_probability(run));
+        }
+        for (a, b2) in per_child.points().zip(bulk.points()) {
+            assert_eq!(per_child.actions_at(a), bulk.actions_at(b2));
+        }
     }
 
     /// The paper's Figure 1 system: one agent, one initial state, mixed

@@ -111,6 +111,26 @@ pub trait MessageProtocol<P: Probability> {
     /// action and/or send messages.
     fn step(&self, agent: AgentId, local: &Self::Local, time: Time) -> Vec<(AgentMove, P)>;
 
+    /// Appends agent `agent`'s mixed move at `(local, time)` to `out` —
+    /// the scratch-buffer sibling of [`MessageProtocol::step`], driven by
+    /// [`LossyMessagingModel`]'s
+    /// [`moves_into`](ProtocolModel::moves_into) on the unfolding hot
+    /// path.
+    ///
+    /// The default delegates to [`MessageProtocol::step`]; native
+    /// implementations must append exactly the entries `step` would
+    /// return, in the same order, with bit-equal probabilities, without
+    /// reading or modifying `out`'s existing contents.
+    fn step_into(
+        &self,
+        agent: AgentId,
+        local: &Self::Local,
+        time: Time,
+        out: &mut Vec<(AgentMove, P)>,
+    ) {
+        out.extend(self.step(agent, local, time));
+    }
+
     /// Deterministic local-state update at the end of the round: the agent
     /// sees its own move and the messages actually delivered to it (sorted
     /// by sender then payload).
@@ -314,6 +334,84 @@ where
                 (MsgGlobal { locals }, p)
             })
             .collect()
+    }
+
+    fn moves_into(
+        &self,
+        agent: AgentId,
+        local: &MP::Local,
+        time: Time,
+        out: &mut Vec<(AgentMove, P)>,
+    ) {
+        self.protocol.step_into(agent, local, time, out);
+    }
+
+    fn transition_into(
+        &self,
+        state: &Self::Global,
+        moves: &[AgentMove],
+        time: Time,
+        out: &mut Vec<(Self::Global, P)>,
+    ) {
+        // Same enumeration as `transition`/`delivery_outcomes` — loss
+        // patterns in mask order, mask bit `i` set meaning message `i` is
+        // delivered — but successor states are written straight into the
+        // caller's buffer and the per-outcome message buffers are reused
+        // across masks instead of allocated per outcome. The smoke suite
+        // (`tests/systems_unfold_smoke.rs`) proves the two paths emit
+        // bit-identical distributions on every `pak-systems` protocol.
+        let mut sent: Vec<Message> = Vec::new();
+        for (a, mv) in moves.iter().enumerate() {
+            for &(to, payload) in &mv.sends {
+                sent.push(Message {
+                    from: AgentId(a as u32),
+                    to,
+                    payload,
+                });
+            }
+        }
+
+        let next_state = |delivered: &[Message], inbox: &mut Vec<Message>| -> Self::Global {
+            let mut locals = Vec::with_capacity(state.locals.len());
+            for (a, local) in state.locals.iter().enumerate() {
+                let agent = AgentId(a as u32);
+                inbox.clear();
+                inbox.extend(delivered.iter().copied().filter(|m| m.to == agent));
+                inbox.sort_unstable();
+                locals.push(self.protocol.receive(agent, local, &moves[a], inbox, time));
+            }
+            MsgGlobal { locals }
+        };
+
+        let mut inbox: Vec<Message> = Vec::new();
+        if sent.is_empty() || self.loss.is_zero() {
+            out.push((next_state(&sent, &mut inbox), P::one()));
+            return;
+        }
+        if self.loss.is_one() {
+            out.push((next_state(&[], &mut inbox), P::one()));
+            return;
+        }
+        let deliver = self.loss.one_minus();
+        let n = sent.len();
+        assert!(
+            n < 24,
+            "too many messages in one round for exact loss enumeration"
+        );
+        let mut delivered: Vec<Message> = Vec::with_capacity(n);
+        for mask in 0u32..(1 << n) {
+            delivered.clear();
+            let mut p = P::one();
+            for (i, msg) in sent.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    delivered.push(*msg);
+                    p = p.mul(&deliver);
+                } else {
+                    p = p.mul(&self.loss);
+                }
+            }
+            out.push((next_state(&delivered, &mut inbox), p));
+        }
     }
 }
 

@@ -16,6 +16,32 @@
 //!   eventually return `true` on every path so the unfolded system is a
 //!   finite pps.
 //!
+//! # The scratch-buffer (`_into`) API
+//!
+//! [`ProtocolModel::moves`] and [`ProtocolModel::transition`] return owned
+//! `Vec`s — convenient to implement, but the unfolder and simulator call
+//! them in a tight loop, and a fresh allocation per query was the last
+//! per-expansion allocation of the pipeline. The hot paths therefore drive
+//! the appending siblings [`ProtocolModel::moves_into`] and
+//! [`ProtocolModel::transition_into`], which write into a caller-owned
+//! scratch buffer that is cleared and reused across queries. Both have
+//! default implementations delegating to the `Vec`-returning methods, so a
+//! model only implementing the owned API keeps working unchanged; models
+//! on hot paths (every model in this workspace) implement the `_into`
+//! variants natively and allocate nothing per query.
+//!
+//! The contract on a native `_into` implementation is strict — the
+//! differential harness (`tests/unfold_differential.rs` and
+//! `tests/systems_unfold_smoke.rs`) holds every model to it:
+//!
+//! * it must **append** to `out` exactly the entries the `Vec`-returning
+//!   method would return, in the same order, with bit-equal probabilities
+//!   (callers clear the buffer; implementations never read or truncate it);
+//! * it must be **pure**: a function of its arguments only, so that the
+//!   unfolder's `(state, time)` expansion memo and the parallel subtree
+//!   unfolding of [`mod@crate::unfold`] may call it once and replay the
+//!   result anywhere.
+//!
 //! # The `Hash + Eq` merge contract
 //!
 //! Unfolding merges successor states that compare equal under the same
@@ -90,6 +116,43 @@ pub trait ProtocolModel<P: Probability> {
         moves: &[Self::Move],
         time: Time,
     ) -> Vec<(Self::Global, P)>;
+
+    /// Appends agent `agent`'s mixed move distribution at `(local, time)`
+    /// to `out` — the allocation-free sibling of [`ProtocolModel::moves`]
+    /// driven by the unfolder and simulator through reusable scratch
+    /// buffers.
+    ///
+    /// The default delegates to [`ProtocolModel::moves`]; native
+    /// implementations must append exactly the entries `moves` would
+    /// return, in the same order, with bit-equal probabilities, and must
+    /// not read or modify `out`'s existing contents (see the module docs
+    /// for the full contract).
+    fn moves_into(
+        &self,
+        agent: AgentId,
+        local: &<Self::Global as GlobalState>::Local,
+        time: Time,
+        out: &mut Vec<(Self::Move, P)>,
+    ) {
+        out.extend(self.moves(agent, local, time));
+    }
+
+    /// Appends the environment's resolution of `moves` at `(state, time)`
+    /// to `out` — the allocation-free sibling of
+    /// [`ProtocolModel::transition`].
+    ///
+    /// Same contract as [`ProtocolModel::moves_into`]: append exactly what
+    /// `transition` would return, in order, bit-equal, leaving `out`'s
+    /// existing contents untouched.
+    fn transition_into(
+        &self,
+        state: &Self::Global,
+        moves: &[Self::Move],
+        time: Time,
+        out: &mut Vec<(Self::Global, P)>,
+    ) {
+        out.extend(self.transition(state, moves, time));
+    }
 }
 
 /// A minimal single-agent model used in documentation and tests: the
@@ -163,6 +226,20 @@ impl<P: Probability> ProtocolModel<P> for CoinModel {
 
     fn transition(&self, state: &CoinState, _moves: &[()], _time: Time) -> Vec<(CoinState, P)> {
         vec![(state.clone(), P::one())]
+    }
+
+    fn moves_into(&self, _agent: AgentId, _local: &u8, _time: Time, out: &mut Vec<((), P)>) {
+        out.push(((), P::one()));
+    }
+
+    fn transition_into(
+        &self,
+        state: &CoinState,
+        _moves: &[()],
+        _time: Time,
+        out: &mut Vec<(CoinState, P)>,
+    ) {
+        out.push((state.clone(), P::one()));
     }
 }
 
@@ -342,6 +419,16 @@ impl<P: Probability> ProtocolModel<P> for TableModel<P> {
             .map_or_else(|| vec![(None, P::one())], |i| self.moves[i].1.clone())
     }
 
+    fn moves_into(&self, agent: AgentId, local: &u64, time: Time, out: &mut Vec<(Self::Move, P)>) {
+        // The indexed position is read in place: entries are cloned into
+        // the caller's buffer one by one, but the row `Vec` itself is
+        // never cloned and nothing is allocated on the absent-key path.
+        match self.index().move_entry(agent.0, *local, time) {
+            Some(i) => out.extend_from_slice(&self.moves[i].1),
+            None => out.push((None, P::one())),
+        }
+    }
+
     fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
         *mv
     }
@@ -368,6 +455,96 @@ impl<P: Probability> ProtocolModel<P> for TableModel<P> {
             },
         )
     }
+
+    fn transition_into(
+        &self,
+        state: &Self::Global,
+        _moves: &[Self::Move],
+        time: Time,
+        out: &mut Vec<(Self::Global, P)>,
+    ) {
+        match self.index().transition_entry(state.env, time) {
+            Some(i) => out.extend(self.transitions[i].1.iter().map(|(env, locals, p)| {
+                (
+                    pak_core::state::SimpleState::new(*env, locals.clone()),
+                    p.clone(),
+                )
+            })),
+            None => out.push((state.clone(), P::one())),
+        }
+    }
+}
+
+/// Adapter pinning a model to its `Vec`-returning API: every
+/// scratch-buffer query on the wrapper goes through the *default*
+/// [`ProtocolModel::moves_into`] / [`ProtocolModel::transition_into`]
+/// implementations, never the wrapped model's native ones.
+///
+/// This exists for the differential test layer
+/// (`tests/unfold_differential.rs`, `tests/systems_unfold_smoke.rs`):
+/// unfolding `m` and `VecApiModel(m)` must produce identical systems —
+/// bit-equal run probabilities, identical cells — which is what proves a
+/// native `_into` implementation honours the contract in the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::model::{CoinModel, ProtocolModel, VecApiModel};
+/// use pak_protocol::unfold::unfold;
+/// use pak_num::Rational;
+///
+/// let m = CoinModel { heads_num: 1, heads_den: 2 };
+/// let native = unfold::<_, Rational>(&m).unwrap();
+/// let defaulted = unfold::<_, Rational>(&VecApiModel(m)).unwrap();
+/// assert_eq!(native.num_runs(), defaulted.num_runs());
+/// ```
+#[derive(Debug, Clone)]
+pub struct VecApiModel<M>(pub M);
+
+impl<M, P> ProtocolModel<P> for VecApiModel<M>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    type Global = M::Global;
+    type Move = M::Move;
+
+    fn n_agents(&self) -> u32 {
+        self.0.n_agents()
+    }
+
+    fn initial_states(&self) -> Vec<(Self::Global, P)> {
+        self.0.initial_states()
+    }
+
+    fn is_terminal(&self, state: &Self::Global, time: Time) -> bool {
+        self.0.is_terminal(state, time)
+    }
+
+    fn moves(
+        &self,
+        agent: AgentId,
+        local: &<Self::Global as GlobalState>::Local,
+        time: Time,
+    ) -> Vec<(Self::Move, P)> {
+        self.0.moves(agent, local, time)
+    }
+
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
+        self.0.action_of(mv)
+    }
+
+    fn transition(
+        &self,
+        state: &Self::Global,
+        moves: &[Self::Move],
+        time: Time,
+    ) -> Vec<(Self::Global, P)> {
+        self.0.transition(state, moves, time)
+    }
+
+    // `moves_into`/`transition_into` deliberately NOT forwarded: the
+    // defaults route through the `Vec` methods above, which is the point.
 }
 
 /// Validates that a move or transition distribution is well formed (used by

@@ -30,20 +30,39 @@
 //!
 //! # Purity contract
 //!
-//! The unfolder treats [`ProtocolModel::moves`] and
-//! [`ProtocolModel::transition`] as *pure functions* of their arguments:
-//! because interning makes state identity explicit, expansions are
-//! memoized per `(state, time)` and replayed for every tree node that
-//! revisits the pair, so the model's methods may be called once where a
-//! naive enumeration would call them many times. Models whose
-//! distributions depend on hidden mutable state would produce unspecified
-//! (though still validated) trees — no model in this workspace does.
+//! The unfolder queries the model exclusively through the scratch-buffer
+//! API — [`ProtocolModel::moves_into`] and
+//! [`ProtocolModel::transition_into`], cleared-and-reused buffers, no
+//! allocation per query — and treats both (equivalently, the
+//! `Vec`-returning methods their defaults delegate to) as *pure
+//! functions* of their arguments: because interning makes state identity
+//! explicit, expansions are memoized per `(state, time)` and replayed for
+//! every tree node that revisits the pair, so the model's methods may be
+//! called once where a naive enumeration would call them many times.
+//! Models whose distributions depend on hidden mutable state would
+//! produce unspecified (though still validated) trees — no model in this
+//! workspace does.
 //!
 //! The memo is also threaded into the *build* pass: each expanded node is
 //! marked with its `(state, time)` key
 //! ([`PpsBuilder::mark_children_shared`]), so validation sums each
 //! distinct expansion's outgoing distribution once instead of re-checking
 //! every replayed node with exact arithmetic.
+//!
+//! # Determinism and parallel unfolding
+//!
+//! Purity is also what makes the depth-1 subtrees of the tree — one per
+//! initial state — mutually independent: no expansion in one subtree can
+//! observe another. [`unfold_with_options`] exploits this behind
+//! [`UnfoldOptions::parallel_subtrees`], unfolding each subtree on a
+//! worker with its own scratch state, memo, and
+//! [`StatePool`](pak_core::intern::StatePool) shard, then stitching the
+//! shards back ([`PpsBuilder::absorb_subtree`]) in the exact order the
+//! sequential frontier would have emitted them. The guarantee is strict
+//! determinism, not mere equivalence: same pool ids, same node order,
+//! bit-equal probabilities, identical cells — proved across the seeded
+//! sweep by `tests/unfold_differential.rs` and on every `pak-systems`
+//! scenario by `tests/systems_unfold_smoke.rs`.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -52,7 +71,7 @@ use std::hash::{Hash, Hasher};
 use pak_core::error::PpsError;
 use pak_core::hash::{FxBuildHasher, FxHasher};
 use pak_core::ids::{ActionId, AgentId, NodeId, StateId};
-use pak_core::pps::{Pps, PpsBuilder};
+use pak_core::pps::{available_cores, BuildOptions, Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::GlobalState;
 
@@ -82,6 +101,39 @@ impl Default for UnfoldConfig {
             max_depth: Some(64),
         }
     }
+}
+
+/// Options for [`unfold_with_options`]: how the unfolding pass executes
+/// (mirroring [`BuildOptions`] for the build pass). The produced system is
+/// bit-identical under every option combination — options trade wall-clock
+/// for resources only.
+#[derive(Debug, Clone, Default)]
+pub struct UnfoldOptions {
+    /// Whether to unfold the independent depth-1 subtrees (one per initial
+    /// state) on worker threads (`Some(true)`), strictly sequentially
+    /// (`Some(false)`), or to let the library decide (`None`). Each
+    /// worker unfolds its subtree with private scratch state into its own
+    /// [`PpsBuilder`] shard — pool, nodes, memo and all — and the shards
+    /// are then stitched back in the exact order the sequential pass
+    /// would have emitted, so pool ids, node order, and every probability
+    /// are identical to the sequential result (proved by the differential
+    /// harness). With fewer than two initial states there is nothing to
+    /// partition and the sequential path runs regardless.
+    ///
+    /// `None` currently resolves to *sequential*: unlike the build pass —
+    /// whose auto-threading is gated on a node count it can inspect
+    /// ([`pak_core::pps::PARALLEL_CELLS_MIN_NODES`]) — the tree size is
+    /// unknown before unfolding, and on the workloads measured so far
+    /// thread-spawn overhead exceeds the win. Pass `Some(true)` to opt in
+    /// on workloads/machines where the subtrees are large enough to
+    /// amortize the workers.
+    ///
+    /// On *erroring* models the parallel path returns an error whenever
+    /// the sequential one does, but when several subtrees violate
+    /// different limits the reported error may name a different one.
+    pub parallel_subtrees: Option<bool>,
+    /// Options forwarded to the validation/indexing build pass.
+    pub build: BuildOptions,
 }
 
 /// Error produced by [`unfold`].
@@ -189,8 +241,8 @@ where
 ///
 /// This exposes the pipeline's two phases separately: tree construction
 /// (this function) and the validation/indexing build pass (`build`, or
-/// [`PpsBuilder::build_with`] for explicit
-/// [`BuildOptions`](pak_core::pps::BuildOptions)). Profilers use it to
+/// [`PpsBuilder::build_with`] for explicit [`BuildOptions`]). Profilers
+/// use it to
 /// attribute time per phase; the differential harness uses it to prove
 /// the sequential and threaded build paths bit-identical on one tree.
 ///
@@ -207,191 +259,521 @@ where
     P: Probability,
 {
     let n_agents = model.n_agents();
-    let mut builder = PpsBuilder::<M::Global, P>::new(n_agents);
-    // State nodes only: the phantom root is not counted against max_nodes.
-    let mut node_count = 0usize;
-
     let initial = model.initial_states();
     validate_distribution(&initial).map_err(|detail| UnfoldError::BadModelDistribution {
         origin: "initial_states",
         detail,
     })?;
+    unfold_sequential(model, n_agents, initial, config)
+}
 
-    // Frontier of nodes still to expand: (builder node, interned state,
-    // time). States live once in the builder's pool; the frontier carries
-    // copyable ids, never clones.
-    let mut frontier: Vec<(NodeId, StateId, u32)> = Vec::new();
+/// The shared sequential pass over a pre-validated prior: seeds one
+/// [`Unfolder`] with every initial state and expands to exhaustion. Both
+/// [`unfold_to_builder`] and the declined-parallelism path of
+/// [`unfold_to_builder_with_options`] run exactly this, so the two entry
+/// points cannot drift apart.
+fn unfold_sequential<M, P>(
+    model: &M,
+    n_agents: u32,
+    initial: Vec<(M::Global, P)>,
+    config: &UnfoldConfig,
+) -> Result<PpsBuilder<M::Global, P>, UnfoldError>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    if initial.len() > config.max_nodes {
+        return Err(UnfoldError::TooLarge {
+            max_nodes: config.max_nodes,
+        });
+    }
+    let mut unfolder = Unfolder::new(model, n_agents);
     for (state, p) in initial {
-        node_count += 1;
-        if node_count > config.max_nodes {
+        let sid = unfolder.builder.intern(state);
+        let id = unfolder.builder.initial_interned(sid, p)?;
+        unfolder.node_count += 1;
+        unfolder.push_frontier(id, sid, 0);
+    }
+    unfolder.run(config)?;
+    Ok(unfolder.builder)
+}
+
+/// Unfolds a protocol model with explicit limits *and* execution options:
+/// the parallel sibling of [`unfold_with`], and the only entry point for
+/// [`UnfoldOptions::parallel_subtrees`].
+///
+/// The depth-1 subtrees of the tree — one per initial state — are mutually
+/// independent: the purity contract makes every expansion a function of
+/// `(state, time)` alone, so each subtree can be unfolded by a worker with
+/// its own scratch state, [`StatePool`](pak_core::intern::StatePool)
+/// shard, and memo, and the shards stitched back
+/// ([`PpsBuilder::absorb_subtree`]) in the exact order the sequential
+/// frontier would have emitted them. The stitched system is **identical**
+/// to the sequential one — same pool ids, same node order, bit-equal
+/// probabilities — which `tests/unfold_differential.rs` proves across the
+/// seeded sweep.
+///
+/// The extra bounds (`M: Sync`, `P: Send`) let worker threads share the
+/// model and return their shards; every model and probability type in this
+/// workspace satisfies them.
+///
+/// # Errors
+///
+/// See [`UnfoldError`].
+pub fn unfold_with_options<M, P>(
+    model: &M,
+    config: &UnfoldConfig,
+    options: &UnfoldOptions,
+) -> Result<Pps<M::Global, P>, UnfoldError>
+where
+    M: ProtocolModel<P> + Sync,
+    P: Probability + Send,
+{
+    Ok(unfold_to_builder_with_options(model, config, options)?.build_with(&options.build)?)
+}
+
+/// The builder-returning sibling of [`unfold_with_options`] (see
+/// [`unfold_to_builder`] for why the two phases are exposed separately).
+///
+/// # Errors
+///
+/// See [`UnfoldError`] — everything except [`UnfoldError::Pps`], which can
+/// only arise from the deferred build step.
+pub fn unfold_to_builder_with_options<M, P>(
+    model: &M,
+    config: &UnfoldConfig,
+    options: &UnfoldOptions,
+) -> Result<PpsBuilder<M::Global, P>, UnfoldError>
+where
+    M: ProtocolModel<P> + Sync,
+    P: Probability + Send,
+{
+    let n_agents = model.n_agents();
+    let initial = model.initial_states();
+    validate_distribution(&initial).map_err(|detail| UnfoldError::BadModelDistribution {
+        origin: "initial_states",
+        detail,
+    })?;
+    // `None` resolves to sequential (see `UnfoldOptions::parallel_subtrees`
+    // — pre-unfold there is no tree-size signal to gate on, and spawn
+    // overhead beats the win on every workload measured so far).
+    // `Some(true)` *forces* the worker path whenever there are two
+    // subtrees to partition — even on one core — exactly like
+    // `BuildOptions::parallel_cells`: that is what lets the differential
+    // harness prove the stitched result bit-identical on any machine.
+    let parallel = options.parallel_subtrees.unwrap_or(false);
+    if !parallel || initial.len() < 2 {
+        // Nothing to partition (or parallelism declined): run the
+        // sequential pass on the already-validated prior.
+        return unfold_sequential(model, n_agents, initial, config);
+    }
+
+    let n_initial = initial.len();
+    if n_initial > config.max_nodes {
+        return Err(UnfoldError::TooLarge {
+            max_nodes: config.max_nodes,
+        });
+    }
+
+    // The stitched builder: the root and every initial node, in prior
+    // order — exactly the nodes the sequential pass creates before its
+    // first expansion.
+    let mut builder = PpsBuilder::<M::Global, P>::new(n_agents);
+    let mut graft_points: Vec<NodeId> = Vec::with_capacity(n_initial);
+    for (state, p) in &initial {
+        let sid = builder.intern(state.clone());
+        graft_points.push(builder.initial_interned(sid, p.clone())?);
+    }
+
+    // One worker shard per initial state, strided over at most
+    // `available_cores` threads. Each shard is a complete miniature
+    // unfold — own builder, own pool, own memo, own scratch — of one
+    // depth-1 subtree, seeded with the sequential pass's pre-subtree node
+    // count so the first-processed subtree sees exactly the budget the
+    // sequential pass would give it.
+    type Shard<G, P2> = Result<(PpsBuilder<G, P2>, usize), UnfoldError>;
+    let n_workers = available_cores().min(n_initial);
+    let mut shards: Vec<Option<Shard<M::Global, P>>> = (0..n_initial).map(|_| None).collect();
+    // Strided pre-partition: worker `w` owns initial states `w, w + n, …`
+    // (owned clones, so workers need no shared access to `P`).
+    let mut work: Vec<Vec<(usize, M::Global, P)>> = (0..n_workers).map(|_| Vec::new()).collect();
+    for (i, (state, p)) in initial.into_iter().enumerate() {
+        work[i % n_workers].push((i, state, p));
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .into_iter()
+            .map(|items| {
+                scope.spawn(move || {
+                    items
+                        .into_iter()
+                        .map(|(i, state, p)| {
+                            (
+                                i,
+                                unfold_subtree(model, n_agents, state, p, n_initial, config),
+                            )
+                        })
+                        .collect::<Vec<(usize, Shard<M::Global, P>)>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, shard) in handle.join().expect("unfold worker panicked") {
+                shards[i] = Some(shard);
+            }
+        }
+    });
+
+    // Stitch in the sequential emission order: the frontier is a stack, so
+    // the *last* initial state's subtree is unfolded first. The running
+    // node total re-imposes the global `max_nodes` cap that each worker
+    // only saw locally.
+    let mut total = n_initial;
+    for i in (0..n_initial).rev() {
+        let (shard, descendants) = shards[i].take().expect("every shard was produced")?;
+        total += descendants;
+        if total > config.max_nodes {
             return Err(UnfoldError::TooLarge {
                 max_nodes: config.max_nodes,
             });
         }
-        let sid = builder.intern(state);
-        let id = builder.initial_interned(sid, p)?;
-        frontier.push((id, sid, 0));
+        builder.absorb_subtree(graft_points[i], shard);
+    }
+    Ok(builder)
+}
+
+/// Unfolds the depth-1 subtree rooted at one initial state into a private
+/// builder shard, returning it with its descendant count.
+fn unfold_subtree<M, P>(
+    model: &M,
+    n_agents: u32,
+    state: M::Global,
+    prob: P,
+    n_initial: usize,
+    config: &UnfoldConfig,
+) -> Result<(PpsBuilder<M::Global, P>, usize), UnfoldError>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    let mut unfolder = Unfolder::new(model, n_agents);
+    let sid = unfolder.builder.intern(state);
+    let id = unfolder.builder.initial_interned(sid, prob)?;
+    // Count as if every initial node were already emitted (the sequential
+    // pass has emitted all of them before expanding any subtree).
+    unfolder.node_count = n_initial;
+    unfolder.push_frontier(id, sid, 0);
+    unfolder.run(config)?;
+    Ok((unfolder.builder, unfolder.node_count - n_initial))
+}
+
+/// Sentinel for "no memoized expansion" in [`Unfolder`]'s dense memo rows.
+const EXPANSION_NONE: u32 = u32::MAX;
+/// Total-cell budget across the dense memo rows; keys past it spill into
+/// an ordinary hash map (see [`Unfolder::memo_insert`]).
+const DENSE_MEMO_BUDGET: usize = 1 << 20;
+
+/// One unfolding pass: the builder being filled plus every reusable
+/// buffer of the expansion loop. The sequential entry points run a single
+/// pass over the whole frontier; the parallel path runs one pass per
+/// depth-1 subtree.
+///
+/// Interning makes repeated work *visible*: two frontier nodes carrying
+/// the same `(StateId, time)` expand to bit-identical successor lists
+/// (the model's methods are pure functions of the state and time), so the
+/// merged expansion is computed once per distinct pair and replayed for
+/// every further node that reaches it. Unfolded trees revisit states
+/// heavily — merging and environment branching both funnel into shared
+/// states — which makes this the main saving of the interned pipeline.
+/// Alongside each successor list the memo keeps the builder nodes of
+/// the *first* emission: replays go through the builder's
+/// `child_replayed` fast path (state, probability, and actions shared
+/// from the template node — no per-edge re-validation, no copies).
+/// Memo keys are dense (`time × StateId`), so the memo is a grown-on-demand
+/// flat table probed with two array reads per node, not a hash map —
+/// bounded by a total-cell budget so deep, state-diverse models (where
+/// `time × states` is quadratic in tree size) cannot blow up memory:
+/// keys past the budget spill into an ordinary hash map.
+struct Unfolder<'m, M: ProtocolModel<P>, P: Probability> {
+    model: &'m M,
+    n_agents: u32,
+    builder: PpsBuilder<M::Global, P>,
+    /// State nodes emitted so far (the phantom root is not counted).
+    node_count: usize,
+    /// Nodes still to expand: (builder node, interned state, time).
+    /// States live once in the builder's pool; the frontier carries
+    /// copyable ids, never clones.
+    frontier: Vec<(NodeId, StateId, u32)>,
+    // --- `(state, time)` expansion memo ---
+    expansion_rows: Vec<Vec<u32>>,
+    expansion_spill: HashMap<(StateId, u32), u32, FxBuildHasher>,
+    dense_memo_cells: usize,
+    /// Memoized expansions: the merged successor list plus the id of the
+    /// first child node of the expansion's first emission (children are
+    /// inserted back to back, so `(first, successors.len())` names the
+    /// whole contiguous template range for bulk replay).
+    expansions: Vec<(Successors<P>, NodeId)>,
+    // --- per-expansion scratch, cleared (not reallocated) per miss ---
+    /// Each agent's move distribution, filled through
+    /// [`ProtocolModel::moves_into`].
+    per_agent: Vec<Vec<(M::Move, P)>>,
+    /// Merge probe: hash of `(actions, successor id)` → candidate slots.
+    index: HashMap<u64, Vec<usize>, FxBuildHasher>,
+    /// The joint move under construction (odometer over `per_agent`).
+    joint: Vec<M::Move>,
+    /// Odometer counters, one per agent.
+    counters: Vec<usize>,
+    /// The action labels of the joint move under construction.
+    actions: Vec<(AgentId, ActionId)>,
+    /// The environment's successor distribution, filled through
+    /// [`ProtocolModel::transition_into`].
+    outcomes: Vec<(M::Global, P)>,
+}
+
+impl<'m, M, P> Unfolder<'m, M, P>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    fn new(model: &'m M, n_agents: u32) -> Self {
+        Unfolder {
+            model,
+            n_agents,
+            builder: PpsBuilder::new(n_agents),
+            node_count: 0,
+            frontier: Vec::new(),
+            expansion_rows: Vec::new(),
+            expansion_spill: HashMap::default(),
+            dense_memo_cells: 0,
+            expansions: Vec::new(),
+            per_agent: (0..n_agents).map(|_| Vec::new()).collect(),
+            index: HashMap::default(),
+            joint: Vec::with_capacity(n_agents as usize),
+            counters: vec![0; n_agents as usize],
+            actions: Vec::new(),
+            outcomes: Vec::new(),
+        }
     }
 
-    // Interning makes repeated work *visible*: two frontier nodes carrying
-    // the same `(StateId, time)` expand to bit-identical successor lists
-    // (the model's methods are functions of the state and time), so the
-    // merged expansion is computed once per distinct pair and replayed for
-    // every further node that reaches it. Unfolded trees revisit states
-    // heavily — merging and environment branching both funnel into shared
-    // states — which makes this the main saving of the interned pipeline.
-    // Alongside each successor list the memo keeps the builder nodes of
-    // the *first* emission: replays go through the builder's
-    // `child_replayed` fast path (state, probability, and actions shared
-    // from the template node — no per-edge re-validation, no copies).
-    // Keys are dense (`time × StateId`), so the memo is a grown-on-demand
-    // flat table probed with two array reads per node, not a hash map —
-    // bounded by a total-cell budget so deep, state-diverse models (where
-    // `time × states` is quadratic in tree size) cannot blow up memory:
-    // keys past the budget spill into an ordinary hash map.
-    const EXPANSION_NONE: u32 = u32::MAX;
-    const DENSE_MEMO_BUDGET: usize = 1 << 20;
-    let mut expansion_rows: Vec<Vec<u32>> = Vec::new();
-    let mut expansion_spill: HashMap<(StateId, u32), u32, FxBuildHasher> = HashMap::default();
-    let mut dense_memo_cells = 0usize;
-    let mut expansions: Vec<(Successors<P>, Vec<NodeId>)> = Vec::new();
-    // Per-expansion scratch: the per-agent move distributions and the merge
-    // index are cleared, not reallocated, for every cache miss.
-    let mut per_agent: Vec<Vec<(M::Move, P)>> = Vec::with_capacity(n_agents as usize);
-    let mut index: HashMap<u64, Vec<usize>, FxBuildHasher> = HashMap::default();
-
-    while let Some((node, sid, time)) = frontier.pop() {
-        if model.is_terminal(builder.state(sid), time) {
-            continue;
-        }
-        if let Some(cap) = config.max_depth {
-            if time >= cap {
-                return Err(UnfoldError::DepthExceeded { max_depth: cap });
-            }
-        }
-
-        let mut memo_slot = expansion_rows
+    fn memo_get(&self, sid: StateId, time: u32) -> u32 {
+        let slot = self
+            .expansion_rows
             .get(time as usize)
             .and_then(|row| row.get(sid.index()))
             .copied()
             .unwrap_or(EXPANSION_NONE);
-        if memo_slot == EXPANSION_NONE && !expansion_spill.is_empty() {
-            memo_slot = expansion_spill
+        if slot == EXPANSION_NONE && !self.expansion_spill.is_empty() {
+            return self
+                .expansion_spill
                 .get(&(sid, time))
                 .copied()
                 .unwrap_or(EXPANSION_NONE);
         }
-        if memo_slot != EXPANSION_NONE {
-            let (successors, templates) = &expansions[memo_slot as usize];
-            for ((succ_id, _, _), &template) in successors.iter().zip(templates.iter()) {
-                node_count += 1;
-                if node_count > config.max_nodes {
-                    return Err(UnfoldError::TooLarge {
-                        max_nodes: config.max_nodes,
-                    });
-                }
-                let child = builder.child_replayed(node, template);
-                frontier.push((child, *succ_id, time + 1));
-            }
-        } else {
-            // Gather each agent's mixed move distribution from its
-            // local state.
-            per_agent.clear();
-            for a in 0..n_agents {
-                let agent = AgentId(a);
-                let local = builder.state(sid).local(agent);
-                let dist = model.moves(agent, &local, time);
-                validate_distribution(&dist).map_err(|detail| {
-                    UnfoldError::BadModelDistribution {
-                        origin: "moves",
-                        detail,
-                    }
-                })?;
-                per_agent.push(dist);
-            }
-
-            // Enumerate the cartesian product of joint moves, resolve
-            // each via the environment, and merge identical
-            // successors. Each successor is interned first (one hash +
-            // `Eq` confirmation inside the pool), so the merge index
-            // compares `(actions, StateId)` — a repeated successor
-            // costs one hash and one id comparison, with no state
-            // clone or allocation at all.
-            let mut successors: Successors<P> = Vec::new();
-            index.clear();
-            for (joint, p_joint) in CartesianMoves::new(&per_agent) {
-                let actions: Vec<(AgentId, ActionId)> = joint
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(a, mv)| model.action_of(mv).map(|act| (AgentId(a as u32), act)))
-                    .collect();
-                let outcomes = model.transition(builder.state(sid), &joint, time);
-                validate_distribution(&outcomes).map_err(|detail| {
-                    UnfoldError::BadModelDistribution {
-                        origin: "transition",
-                        detail,
-                    }
-                })?;
-                for (succ, p_env) in outcomes {
-                    let p = p_joint.mul(&p_env);
-                    let succ_id = builder.intern(succ);
-                    let mut hasher = FxHasher::default();
-                    actions.hash(&mut hasher);
-                    succ_id.hash(&mut hasher);
-                    let bucket = index.entry(hasher.finish()).or_default();
-                    match bucket
-                        .iter()
-                        .find(|&&i| successors[i].0 == succ_id && successors[i].1 == actions)
-                    {
-                        Some(&i) => {
-                            successors[i].2.add_assign(&p);
-                        }
-                        None => {
-                            bucket.push(successors.len());
-                            successors.push((succ_id, actions.clone(), p));
-                        }
-                    }
-                }
-            }
-            let mut templates: Vec<NodeId> = Vec::with_capacity(successors.len());
-            for (succ_id, actions, p) in &successors {
-                node_count += 1;
-                if node_count > config.max_nodes {
-                    return Err(UnfoldError::TooLarge {
-                        max_nodes: config.max_nodes,
-                    });
-                }
-                let child = builder.child_interned(node, *succ_id, p.clone(), actions)?;
-                templates.push(child);
-                frontier.push((child, *succ_id, time + 1));
-            }
-            let slot = expansions.len() as u32;
-            if expansion_rows.len() <= time as usize {
-                expansion_rows.resize_with(time as usize + 1, Vec::new);
-            }
-            let row = &mut expansion_rows[time as usize];
-            if sid.index() < row.len() {
-                row[sid.index()] = slot;
-            } else {
-                let grow = sid.index() + 1 - row.len();
-                if dense_memo_cells + grow <= DENSE_MEMO_BUDGET {
-                    dense_memo_cells += grow;
-                    row.resize(sid.index() + 1, EXPANSION_NONE);
-                    row[sid.index()] = slot;
-                } else {
-                    expansion_spill.insert((sid, time), slot);
-                }
-            }
-            expansions.push((successors, templates));
-        }
-        // Every expanded node's children are (re)played from the memoized
-        // `(state, time)` successor list, so the build pass validates the
-        // outgoing distribution once per distinct pair instead of once per
-        // node.
-        builder.mark_children_shared(node, sid, time);
+        slot
     }
 
-    Ok(builder)
+    fn memo_insert(&mut self, sid: StateId, time: u32, slot: u32) {
+        if self.expansion_rows.len() <= time as usize {
+            self.expansion_rows.resize_with(time as usize + 1, Vec::new);
+        }
+        let row = &mut self.expansion_rows[time as usize];
+        if sid.index() < row.len() {
+            row[sid.index()] = slot;
+        } else {
+            let grow = sid.index() + 1 - row.len();
+            if self.dense_memo_cells + grow <= DENSE_MEMO_BUDGET {
+                self.dense_memo_cells += grow;
+                row.resize(sid.index() + 1, EXPANSION_NONE);
+                row[sid.index()] = slot;
+            } else {
+                self.expansion_spill.insert((sid, time), slot);
+            }
+        }
+    }
+
+    /// Seeds `node` into the frontier unless its state is terminal —
+    /// terminal nodes are leaves with nothing to expand, so they never
+    /// enter the frontier at all (on deep trees, leaves are the majority
+    /// of nodes; this spares each one a push/pop cycle). `is_terminal`
+    /// is still consulted exactly once per node.
+    fn push_frontier(&mut self, node: NodeId, sid: StateId, time: u32) {
+        if !self.model.is_terminal(self.builder.state(sid), time) {
+            self.frontier.push((node, sid, time));
+        }
+    }
+
+    /// Expands the frontier to exhaustion, enforcing the node budget and
+    /// depth cap of `config`. Every frontier entry is non-terminal by
+    /// construction ([`Unfolder::push_frontier`]).
+    fn run(&mut self, config: &UnfoldConfig) -> Result<(), UnfoldError> {
+        while let Some((node, sid, time)) = self.frontier.pop() {
+            if let Some(cap) = config.max_depth {
+                if time >= cap {
+                    return Err(UnfoldError::DepthExceeded { max_depth: cap });
+                }
+            }
+
+            let memo_slot = self.memo_get(sid, time);
+            if memo_slot != EXPANSION_NONE {
+                let (successors, first_template) = &self.expansions[memo_slot as usize];
+                let count = successors.len();
+                self.node_count += count;
+                if self.node_count > config.max_nodes {
+                    return Err(UnfoldError::TooLarge {
+                        max_nodes: config.max_nodes,
+                    });
+                }
+                // One bulk column copy for the whole expansion instead of
+                // `count` interleaved pushes.
+                let base = self.builder.children_replayed(node, *first_template, count);
+                for (i, (succ_id, _, _)) in successors.iter().enumerate() {
+                    if !self
+                        .model
+                        .is_terminal(self.builder.state(*succ_id), time + 1)
+                    {
+                        self.frontier
+                            .push((NodeId(base.0 + i as u32), *succ_id, time + 1));
+                    }
+                }
+            } else {
+                self.expand(node, sid, time, config)?;
+            }
+            // Every expanded node's children are (re)played from the
+            // memoized `(state, time)` successor list, so the build pass
+            // validates the outgoing distribution once per distinct pair
+            // instead of once per node.
+            self.builder.mark_children_shared(node, sid, time);
+        }
+        Ok(())
+    }
+
+    /// Computes a fresh expansion of `(sid, time)`, emits its children
+    /// under `node`, and memoizes the successor list.
+    fn expand(
+        &mut self,
+        node: NodeId,
+        sid: StateId,
+        time: u32,
+        config: &UnfoldConfig,
+    ) -> Result<(), UnfoldError> {
+        // Gather each agent's mixed move distribution from its local
+        // state, into the per-agent scratch buffers.
+        for a in 0..self.n_agents {
+            let agent = AgentId(a);
+            let local = self.builder.state(sid).local(agent);
+            let dist = &mut self.per_agent[a as usize];
+            dist.clear();
+            self.model.moves_into(agent, &local, time, dist);
+            validate_distribution(dist).map_err(|detail| UnfoldError::BadModelDistribution {
+                origin: "moves",
+                detail,
+            })?;
+        }
+
+        // Enumerate the cartesian product of joint moves (an odometer
+        // over the per-agent scratch — each joint move is assembled in
+        // one reused buffer), resolve each via the environment, and
+        // merge identical successors. Each successor is interned first
+        // (one hash + `Eq` confirmation inside the pool), so the merge
+        // index compares `(actions, StateId)` — a repeated successor
+        // costs one hash and one id comparison, with no state clone or
+        // allocation at all.
+        let mut successors: Successors<P> = Vec::new();
+        self.index.clear();
+        for c in &mut self.counters {
+            *c = 0;
+        }
+        loop {
+            self.joint.clear();
+            self.actions.clear();
+            let mut p_joint = P::one();
+            for (i, &c) in self.counters.iter().enumerate() {
+                let (mv, p) = &self.per_agent[i][c];
+                if let Some(act) = self.model.action_of(mv) {
+                    self.actions.push((AgentId(i as u32), act));
+                }
+                self.joint.push(mv.clone());
+                p_joint = p_joint.mul(p);
+            }
+            self.outcomes.clear();
+            self.model.transition_into(
+                self.builder.state(sid),
+                &self.joint,
+                time,
+                &mut self.outcomes,
+            );
+            validate_distribution(&self.outcomes).map_err(|detail| {
+                UnfoldError::BadModelDistribution {
+                    origin: "transition",
+                    detail,
+                }
+            })?;
+            for (succ, p_env) in self.outcomes.drain(..) {
+                let p = p_joint.mul(&p_env);
+                let succ_id = self.builder.intern(succ);
+                let mut hasher = FxHasher::default();
+                self.actions.hash(&mut hasher);
+                succ_id.hash(&mut hasher);
+                let bucket = self.index.entry(hasher.finish()).or_default();
+                match bucket
+                    .iter()
+                    .find(|&&i| successors[i].0 == succ_id && successors[i].1 == self.actions)
+                {
+                    Some(&i) => {
+                        successors[i].2.add_assign(&p);
+                    }
+                    None => {
+                        bucket.push(successors.len());
+                        successors.push((succ_id, self.actions.clone(), p));
+                    }
+                }
+            }
+            // Advance the odometer.
+            let mut i = 0;
+            loop {
+                if i == self.counters.len() {
+                    return self.finish_expansion(node, sid, time, successors, config);
+                }
+                self.counters[i] += 1;
+                if self.counters[i] < self.per_agent[i].len() {
+                    break;
+                }
+                self.counters[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Emits the merged successor list under `node` and memoizes it.
+    fn finish_expansion(
+        &mut self,
+        node: NodeId,
+        sid: StateId,
+        time: u32,
+        successors: Successors<P>,
+        config: &UnfoldConfig,
+    ) -> Result<(), UnfoldError> {
+        let mut first_child = NodeId::ROOT;
+        for (i, (succ_id, actions, p)) in successors.iter().enumerate() {
+            self.node_count += 1;
+            if self.node_count > config.max_nodes {
+                return Err(UnfoldError::TooLarge {
+                    max_nodes: config.max_nodes,
+                });
+            }
+            let child = self
+                .builder
+                .child_interned(node, *succ_id, p.clone(), actions)?;
+            if i == 0 {
+                first_child = child;
+            }
+            self.push_frontier(child, *succ_id, time + 1);
+        }
+        let slot = self.expansions.len() as u32;
+        self.memo_insert(sid, time, slot);
+        self.expansions.push((successors, first_child));
+        Ok(())
+    }
 }
 
 /// Iterator over the cartesian product of per-agent move distributions,
@@ -673,6 +1055,137 @@ mod tests {
         };
         let err = unfold_with::<_, Rational>(&Forever, &cfg).unwrap_err();
         assert!(matches!(err, UnfoldError::DepthExceeded { max_depth: 8 }));
+    }
+
+    #[test]
+    fn parallel_unfold_is_identical_to_sequential() {
+        use crate::generator::{random_model, RandomModelConfig};
+        for seed in 0..6u64 {
+            let model = random_model::<Rational>(seed * 31 + 5, &RandomModelConfig::default());
+            let seq = unfold_with_options(
+                &model,
+                &UnfoldConfig::default(),
+                &UnfoldOptions {
+                    parallel_subtrees: Some(false),
+                    ..UnfoldOptions::default()
+                },
+            )
+            .unwrap();
+            let par = unfold_with_options(
+                &model,
+                &UnfoldConfig::default(),
+                &UnfoldOptions {
+                    parallel_subtrees: Some(true),
+                    ..UnfoldOptions::default()
+                },
+            )
+            .unwrap();
+            // Same pool, same ids: the stitched interning order must equal
+            // the sequential one exactly.
+            assert_eq!(seq.num_distinct_states(), par.num_distinct_states());
+            for ((ids, s), (idp, p)) in seq.state_pool().iter().zip(par.state_pool().iter()) {
+                assert_eq!(ids, idp, "seed {seed}");
+                assert_eq!(s, p, "seed {seed}: pool state {ids}");
+            }
+            // Same nodes in the same order, bit-equal edge data.
+            assert_eq!(seq.num_nodes(), par.num_nodes(), "seed {seed}");
+            for n in (1..seq.num_nodes() as u32).map(NodeId) {
+                assert_eq!(seq.parent(n), par.parent(n), "seed {seed}: parent of {n}");
+                assert_eq!(
+                    seq.node_state_id(n),
+                    par.node_state_id(n),
+                    "seed {seed}: state of {n}"
+                );
+                assert_eq!(
+                    seq.node_time(n),
+                    par.node_time(n),
+                    "seed {seed}: time of {n}"
+                );
+            }
+            // Same runs with bit-equal probabilities, same cells.
+            assert_eq!(seq.num_runs(), par.num_runs(), "seed {seed}");
+            for run in seq.run_ids() {
+                assert_eq!(seq.nodes_of(run), par.nodes_of(run), "seed {seed}: {run}");
+                assert_eq!(
+                    seq.run_probability(run),
+                    par.run_probability(run),
+                    "seed {seed}: probability of {run}"
+                );
+            }
+            assert_eq!(seq.num_cells(), par.num_cells(), "seed {seed}");
+            for ((ids, cs), (idp, cp)) in seq.cells().zip(par.cells()) {
+                assert_eq!(ids, idp, "seed {seed}");
+                assert_eq!(cs, cp, "seed {seed}: cell {ids}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_unfold_single_initial_state_falls_back() {
+        // One depth-1 subtree: nothing to partition; the request is
+        // honoured by the sequential path and the result is unchanged.
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 1,
+            initial: vec![(0, vec![0], Rational::one())],
+            horizon: 2,
+            moves: vec![],
+            transitions: vec![],
+            ..TableModel::default()
+        };
+        let par = unfold_with_options(
+            &m,
+            &UnfoldConfig::default(),
+            &UnfoldOptions {
+                parallel_subtrees: Some(true),
+                ..UnfoldOptions::default()
+            },
+        )
+        .unwrap();
+        let seq = unfold::<_, Rational>(&m).unwrap();
+        assert_eq!(par.num_runs(), seq.num_runs());
+        assert_eq!(par.num_nodes(), seq.num_nodes());
+    }
+
+    #[test]
+    fn parallel_unfold_enforces_node_budget() {
+        let m = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        // The coin tree has 4 state nodes across 2 subtrees: a budget of 3
+        // fails in parallel exactly as it does sequentially.
+        for budget in [1usize, 3] {
+            let err = unfold_with_options::<_, Rational>(
+                &m,
+                &UnfoldConfig {
+                    max_nodes: budget,
+                    max_depth: None,
+                },
+                &UnfoldOptions {
+                    parallel_subtrees: Some(true),
+                    ..UnfoldOptions::default()
+                },
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, UnfoldError::TooLarge { max_nodes } if max_nodes == budget),
+                "budget {budget}: {err:?}"
+            );
+        }
+        // And a budget of exactly 4 succeeds.
+        let pps = unfold_with_options::<_, Rational>(
+            &m,
+            &UnfoldConfig {
+                max_nodes: 4,
+                max_depth: None,
+            },
+            &UnfoldOptions {
+                parallel_subtrees: Some(true),
+                ..UnfoldOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(pps.num_nodes(), 5);
     }
 
     #[test]

@@ -78,10 +78,16 @@ impl<G> Trial<G> {
 /// assert!(trial.does(AgentId(0), COIN_ACT, 0));
 /// ```
 #[derive(Debug)]
-pub struct Simulator<'m, M, P> {
+pub struct Simulator<'m, M: ProtocolModel<P>, P: Probability> {
     model: &'m M,
     rng: SplitMix64,
-    _marker: core::marker::PhantomData<P>,
+    /// Scratch for per-agent move distributions, cleared and refilled
+    /// through [`ProtocolModel::moves_into`] on every round — sampling
+    /// many trials allocates nothing per query.
+    moves_buf: Vec<(M::Move, P)>,
+    /// Scratch for the environment's successor distribution
+    /// ([`ProtocolModel::transition_into`]).
+    outcomes_buf: Vec<(M::Global, P)>,
 }
 
 impl<'m, M, P> Simulator<'m, M, P>
@@ -95,7 +101,8 @@ where
         Simulator {
             model,
             rng: SplitMix64::new(seed),
-            _marker: core::marker::PhantomData,
+            moves_buf: Vec::new(),
+            outcomes_buf: Vec::new(),
         }
     }
 
@@ -107,7 +114,7 @@ where
     /// exceeds 10⁴ steps without terminating (a model bug).
     pub fn sample(&mut self) -> Trial<M::Global> {
         let initial = self.model.initial_states();
-        let state0 = self.pick(&initial);
+        let state0 = Self::pick(&mut self.rng, &initial);
         let mut states = vec![state0];
         let mut actions = Vec::new();
         let mut time: Time = 0;
@@ -126,15 +133,19 @@ where
             for a in 0..n {
                 let agent = AgentId(a);
                 let local = state.local(agent);
-                let dist = self.model.moves(agent, &local, time);
-                let mv = self.pick(&dist);
+                self.moves_buf.clear();
+                self.model
+                    .moves_into(agent, &local, time, &mut self.moves_buf);
+                let mv = Self::pick(&mut self.rng, &self.moves_buf);
                 if let Some(act) = self.model.action_of(&mv) {
                     performed.push((agent, act));
                 }
                 joint.push(mv);
             }
-            let outcomes = self.model.transition(&state, &joint, time);
-            let next = self.pick(&outcomes);
+            self.outcomes_buf.clear();
+            self.model
+                .transition_into(&state, &joint, time, &mut self.outcomes_buf);
+            let next = Self::pick(&mut self.rng, &self.outcomes_buf);
             states.push(next);
             actions.push(performed);
             time += 1;
@@ -151,11 +162,13 @@ where
     }
 
     /// Draws one element from a weighted distribution (weights converted to
-    /// `f64`; exactness is irrelevant for sampling).
-    fn pick<T: Clone>(&mut self, dist: &[(T, P)]) -> T {
+    /// `f64`; exactness is irrelevant for sampling). An associated function
+    /// rather than a method so callers can pick from one scratch buffer
+    /// while the RNG lives next to it in `self`.
+    fn pick<T: Clone>(rng: &mut SplitMix64, dist: &[(T, P)]) -> T {
         assert!(!dist.is_empty(), "model emitted an empty distribution");
         let total: f64 = dist.iter().map(|(_, p)| p.to_f64()).sum();
-        let mut x: f64 = self.rng.gen_f64() * total;
+        let mut x: f64 = rng.gen_f64() * total;
         for (v, p) in dist {
             x -= p.to_f64();
             if x <= 0.0 {

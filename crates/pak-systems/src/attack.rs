@@ -103,17 +103,52 @@ impl<P: Probability> CoordinatedAttack<P> {
         }
     }
 
+    /// The scenario as a lossy-channel
+    /// [`ProtocolModel`](pak_protocol::model::ProtocolModel) — what
+    /// [`CoordinatedAttack::build_pps`] unfolds, exposed so callers can
+    /// drive the model API directly (simulation, differential testing,
+    /// parallel unfolding).
+    #[must_use]
+    pub fn model(&self) -> LossyMessagingModel<Self, P> {
+        LossyMessagingModel::new(self.clone(), self.loss.clone())
+    }
+
     /// Unfolds into the pps.
     ///
     /// # Errors
     ///
     /// Propagates [`UnfoldError`] (e.g. too many rounds for the node limit).
     pub fn build_pps(&self) -> Result<AttackSystem<P>, UnfoldError> {
-        let model = LossyMessagingModel::new(self.clone(), self.loss.clone());
-        let mut pps = unfold(&model)?;
+        let mut pps = unfold(&self.model())?;
         pps.set_action_name(ATTACK_A, "attack_A");
         pps.set_action_name(ATTACK_B, "attack_B");
         Ok(AttackSystem { pps })
+    }
+
+    /// The (deterministic) move of `agent` at `(local, time)` — the shared
+    /// core of [`MessageProtocol::step`] and [`MessageProtocol::step_into`].
+    fn move_at(&self, agent: AgentId, local: &GeneralLocal, time: Time) -> AgentMove {
+        if time < self.rounds {
+            // Messenger rounds: A sends on even rounds, B acks on odd.
+            if agent == GENERAL_A && time.is_multiple_of(2) && local.informed {
+                AgentMove::send(GENERAL_B, MSG_ATTACK)
+            } else if agent == GENERAL_B && time % 2 == 1 && local.informed {
+                AgentMove::send(GENERAL_A, MSG_ACK)
+            } else {
+                AgentMove::skip()
+            }
+        } else {
+            // Deadline: attack decisions.
+            if local.informed {
+                AgentMove::act(if agent == GENERAL_A {
+                    ATTACK_A
+                } else {
+                    ATTACK_B
+                })
+            } else {
+                AgentMove::skip()
+            }
+        }
     }
 }
 
@@ -162,28 +197,17 @@ impl<P: Probability> MessageProtocol<P> for CoordinatedAttack<P> {
     }
 
     fn step(&self, agent: AgentId, local: &GeneralLocal, time: Time) -> Vec<(AgentMove, P)> {
-        let mv = if time < self.rounds {
-            // Messenger rounds: A sends on even rounds, B acks on odd.
-            if agent == GENERAL_A && time.is_multiple_of(2) && local.informed {
-                AgentMove::send(GENERAL_B, MSG_ATTACK)
-            } else if agent == GENERAL_B && time % 2 == 1 && local.informed {
-                AgentMove::send(GENERAL_A, MSG_ACK)
-            } else {
-                AgentMove::skip()
-            }
-        } else {
-            // Deadline: attack decisions.
-            if local.informed {
-                AgentMove::act(if agent == GENERAL_A {
-                    ATTACK_A
-                } else {
-                    ATTACK_B
-                })
-            } else {
-                AgentMove::skip()
-            }
-        };
-        vec![(mv, P::one())]
+        vec![(self.move_at(agent, local, time), P::one())]
+    }
+
+    fn step_into(
+        &self,
+        agent: AgentId,
+        local: &GeneralLocal,
+        time: Time,
+        out: &mut Vec<(AgentMove, P)>,
+    ) {
+        out.push((self.move_at(agent, local, time), P::one()));
     }
 
     fn receive(

@@ -91,13 +91,45 @@ impl<P: Probability> Broadcast<P> {
         }
     }
 
+    /// The scenario as a lossy-channel
+    /// [`ProtocolModel`](pak_protocol::model::ProtocolModel) — what
+    /// [`Broadcast::build_pps`] unfolds, exposed so callers can drive the
+    /// model API directly.
+    #[must_use]
+    pub fn model(&self) -> LossyMessagingModel<Self, P> {
+        LossyMessagingModel::new(self.clone(), self.loss.clone())
+    }
+
+    /// The (deterministic) move of `agent` at `(local, time)` — the shared
+    /// core of [`MessageProtocol::step`] and [`MessageProtocol::step_into`].
+    fn move_at(&self, agent: AgentId, local: &BcastLocal, time: Time) -> AgentMove {
+        if time < self.rounds {
+            if agent == SOURCE {
+                // Re-broadcast to every receiver each round.
+                let mut mv = AgentMove::skip();
+                for a in 0..self.n_agents {
+                    if AgentId(a) != SOURCE {
+                        mv = mv.and_send(AgentId(a), 1);
+                    }
+                }
+                mv
+            } else {
+                AgentMove::skip()
+            }
+        } else if local.informed {
+            AgentMove::act(deliver_action(agent))
+        } else {
+            AgentMove::skip()
+        }
+    }
+
     /// Unfolds into the pps.
     ///
     /// # Errors
     ///
     /// Propagates [`UnfoldError`] if the configuration exceeds limits.
     pub fn build_pps(&self) -> Result<BroadcastSystem<P>, UnfoldError> {
-        let model = LossyMessagingModel::new(self.clone(), self.loss.clone());
+        let model = self.model();
         let mut pps = unfold_with(
             &model,
             &UnfoldConfig {
@@ -149,25 +181,17 @@ impl<P: Probability> MessageProtocol<P> for Broadcast<P> {
     }
 
     fn step(&self, agent: AgentId, local: &BcastLocal, time: Time) -> Vec<(AgentMove, P)> {
-        let mv = if time < self.rounds {
-            if agent == SOURCE {
-                // Re-broadcast to every receiver each round.
-                let mut mv = AgentMove::skip();
-                for a in 0..self.n_agents {
-                    if AgentId(a) != SOURCE {
-                        mv = mv.and_send(AgentId(a), 1);
-                    }
-                }
-                mv
-            } else {
-                AgentMove::skip()
-            }
-        } else if local.informed {
-            AgentMove::act(deliver_action(agent))
-        } else {
-            AgentMove::skip()
-        };
-        vec![(mv, P::one())]
+        vec![(self.move_at(agent, local, time), P::one())]
+    }
+
+    fn step_into(
+        &self,
+        agent: AgentId,
+        local: &BcastLocal,
+        time: Time,
+        out: &mut Vec<(AgentMove, P)>,
+    ) {
+        out.push((self.move_at(agent, local, time), P::one()));
     }
 
     fn receive(

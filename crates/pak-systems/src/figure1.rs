@@ -12,10 +12,11 @@
 //!   `ϕ = does_i(α)`, `µ(ϕ@α | α) = 1` yet `E[β_i(ϕ)@α | α] = ½`.
 
 use pak_core::fact::{DoesFact, NotFact};
-use pak_core::ids::{ActionId, AgentId};
+use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::pps::{Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::SimpleState;
+use pak_protocol::model::ProtocolModel;
 
 /// The single agent `i` of the construction.
 pub const AGENT_I: AgentId = AgentId(0);
@@ -66,6 +67,79 @@ pub fn figure1<P: Probability>() -> Pps<SimpleState, P> {
     pps.set_action_name(ALPHA, "α");
     pps.set_action_name(ALPHA_PRIME, "α′");
     pps
+}
+
+/// The Figure 1 construction as a
+/// [`ProtocolModel`]: one agent, one initial state, a mixed `α`/`α′` step
+/// at time 0 whose outcome is revealed in the agent's local data (1 after
+/// `α`, 2 after `α′`) — the protocol-level twin of the hand-built
+/// [`figure1`] tree, which it unfolds to exactly (proved by
+/// `tests/systems_unfold_smoke.rs`).
+///
+/// The transition genuinely depends on the joint move (the environment
+/// records which action was drawn), which a table-driven model cannot
+/// express — this is the workspace's minimal custom model with a
+/// move-dependent environment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Figure1Model;
+
+impl<P: Probability> ProtocolModel<P> for Figure1Model {
+    type Global = SimpleState;
+    type Move = Option<ActionId>;
+
+    fn n_agents(&self) -> u32 {
+        1
+    }
+
+    fn initial_states(&self) -> Vec<(SimpleState, P)> {
+        vec![(SimpleState::new(0, vec![0]), P::one())]
+    }
+
+    fn is_terminal(&self, _state: &SimpleState, time: Time) -> bool {
+        time >= 1
+    }
+
+    fn moves(&self, _agent: AgentId, _local: &u64, _time: Time) -> Vec<(Self::Move, P)> {
+        let half = P::from_ratio(1, 2);
+        vec![(Some(ALPHA), half.clone()), (Some(ALPHA_PRIME), half)]
+    }
+
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
+        *mv
+    }
+
+    fn transition(
+        &self,
+        _state: &SimpleState,
+        moves: &[Self::Move],
+        _time: Time,
+    ) -> Vec<(SimpleState, P)> {
+        let local = if moves[0] == Some(ALPHA) { 1 } else { 2 };
+        vec![(SimpleState::new(0, vec![local]), P::one())]
+    }
+
+    fn moves_into(
+        &self,
+        _agent: AgentId,
+        _local: &u64,
+        _time: Time,
+        out: &mut Vec<(Self::Move, P)>,
+    ) {
+        let half = P::from_ratio(1, 2);
+        out.push((Some(ALPHA), half.clone()));
+        out.push((Some(ALPHA_PRIME), half));
+    }
+
+    fn transition_into(
+        &self,
+        _state: &SimpleState,
+        moves: &[Self::Move],
+        _time: Time,
+        out: &mut Vec<(SimpleState, P)>,
+    ) {
+        let local = if moves[0] == Some(ALPHA) { 1 } else { 2 };
+        out.push((SimpleState::new(0, vec![local]), P::one()));
+    }
 }
 
 /// The fact `ψ = ¬does_i(α)` of the §4 counterexample.

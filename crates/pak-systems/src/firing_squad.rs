@@ -263,11 +263,48 @@ impl<P: Probability> FiringSquad<P> {
     /// Propagates any [`UnfoldError`] (e.g. an `f64` distribution drifting
     /// outside tolerance for extreme parameters).
     pub fn try_build_pps(&self) -> Result<FsSystem<P>, UnfoldError> {
-        let model = LossyMessagingModel::new(self.clone(), self.loss.clone());
-        let mut pps = unfold(&model)?;
+        let mut pps = unfold(&self.model())?;
         pps.set_action_name(FIRE_A, "fire_A");
         pps.set_action_name(FIRE_B, "fire_B");
         Ok(FsSystem { pps })
+    }
+
+    /// The protocol as a lossy-channel
+    /// [`ProtocolModel`](pak_protocol::model::ProtocolModel) — what
+    /// [`FiringSquad::build_pps`] unfolds, exposed so callers can drive
+    /// the model API directly (this is also how the §8 policy sweep's
+    /// protocols enter the differential smoke suite).
+    #[must_use]
+    pub fn model(&self) -> LossyMessagingModel<Self, P> {
+        LossyMessagingModel::new(self.clone(), self.loss.clone())
+    }
+
+    /// The (deterministic) move of `agent` at `(local, time)` — the shared
+    /// core of [`MessageProtocol::step`] and [`MessageProtocol::step_into`].
+    fn move_at(&self, agent: AgentId, local: &FsLocal, time: Time) -> AgentMove {
+        match (agent, local, time) {
+            // Round 1: Alice sends `copies` copies when go = 1.
+            (ALICE, FsLocal::Alice { go: true, .. }, 0) => {
+                let mut mv = AgentMove::skip();
+                for _ in 0..self.copies {
+                    mv = mv.and_send(BOB, MSG_GO);
+                }
+                mv
+            }
+            // Round 2: Bob replies Yes/No according to what he heard.
+            (BOB, FsLocal::Bob { heard: Some(true) }, 1) => AgentMove::send(ALICE, MSG_YES),
+            (BOB, FsLocal::Bob { heard: Some(false) }, 1) => AgentMove::send(ALICE, MSG_NO),
+            // Time 2: firing decisions.
+            (ALICE, FsLocal::Alice { go: true, reply }, 2) => {
+                if self.policy.fires_on(*reply) {
+                    AgentMove::act(FIRE_A)
+                } else {
+                    AgentMove::skip()
+                }
+            }
+            (BOB, FsLocal::Bob { heard: Some(true) }, 2) => AgentMove::act(FIRE_B),
+            _ => AgentMove::skip(),
+        }
     }
 }
 
@@ -307,30 +344,17 @@ impl<P: Probability> MessageProtocol<P> for FiringSquad<P> {
     }
 
     fn step(&self, agent: AgentId, local: &FsLocal, time: Time) -> Vec<(AgentMove, P)> {
-        let mv = match (agent, local, time) {
-            // Round 1: Alice sends `copies` copies when go = 1.
-            (ALICE, FsLocal::Alice { go: true, .. }, 0) => {
-                let mut mv = AgentMove::skip();
-                for _ in 0..self.copies {
-                    mv = mv.and_send(BOB, MSG_GO);
-                }
-                mv
-            }
-            // Round 2: Bob replies Yes/No according to what he heard.
-            (BOB, FsLocal::Bob { heard: Some(true) }, 1) => AgentMove::send(ALICE, MSG_YES),
-            (BOB, FsLocal::Bob { heard: Some(false) }, 1) => AgentMove::send(ALICE, MSG_NO),
-            // Time 2: firing decisions.
-            (ALICE, FsLocal::Alice { go: true, reply }, 2) => {
-                if self.policy.fires_on(*reply) {
-                    AgentMove::act(FIRE_A)
-                } else {
-                    AgentMove::skip()
-                }
-            }
-            (BOB, FsLocal::Bob { heard: Some(true) }, 2) => AgentMove::act(FIRE_B),
-            _ => AgentMove::skip(),
-        };
-        vec![(mv, P::one())]
+        vec![(self.move_at(agent, local, time), P::one())]
+    }
+
+    fn step_into(
+        &self,
+        agent: AgentId,
+        local: &FsLocal,
+        time: Time,
+        out: &mut Vec<(AgentMove, P)>,
+    ) {
+        out.push((self.move_at(agent, local, time), P::one()));
     }
 
     fn receive(

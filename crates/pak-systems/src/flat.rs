@@ -15,10 +15,11 @@
 use pak_core::belief::Beliefs;
 use pak_core::event::RunSet;
 use pak_core::fact::StateFact;
-use pak_core::ids::{AgentId, Point, RunId};
+use pak_core::ids::{ActionId, AgentId, Point, RunId, Time};
 use pak_core::pps::{Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::SimpleState;
+use pak_protocol::model::ProtocolModel;
 
 /// A flat (single-time-step) probabilistic system: a prior over worlds with
 /// per-agent partitions, as in classical incomplete-information models.
@@ -134,6 +135,99 @@ impl<P: Probability> FlatSystem<P> {
             acc.add_assign(&self.pps.run_probability(run).mul(&b));
         }
         acc
+    }
+}
+
+/// The flat (static) system as a [`ProtocolModel`]: a zero-round protocol
+/// whose initial states are exactly the worlds — `is_terminal` holds
+/// immediately, so unfolding yields the same depth-0 tree
+/// [`FlatSystem::new`] hand-builds (proved by
+/// `tests/systems_unfold_smoke.rs`). The Monderer–Samet special case thus
+/// rides the same model API as every other scenario.
+#[derive(Debug, Clone)]
+pub struct FlatModel<P> {
+    /// `(prior, observations)` per world, as in [`FlatSystem::new`].
+    worlds: Vec<(P, Vec<u64>)>,
+}
+
+impl<P: Probability> FlatModel<P> {
+    /// Creates the model from the same `(prior, observations)` pairs as
+    /// [`FlatSystem::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worlds` is empty or the observation vectors have
+    /// inconsistent lengths (the same inputs [`FlatSystem::new`] rejects).
+    #[must_use]
+    pub fn new(worlds: Vec<(P, Vec<u64>)>) -> Self {
+        assert!(!worlds.is_empty(), "a flat system needs at least one world");
+        let n_agents = worlds[0].1.len();
+        assert!(
+            worlds.iter().all(|(_, obs)| obs.len() == n_agents),
+            "inconsistent observation vector"
+        );
+        FlatModel { worlds }
+    }
+}
+
+impl<P: Probability> ProtocolModel<P> for FlatModel<P> {
+    type Global = SimpleState;
+    type Move = Option<ActionId>;
+
+    fn n_agents(&self) -> u32 {
+        self.worlds[0].1.len() as u32
+    }
+
+    fn initial_states(&self) -> Vec<(SimpleState, P)> {
+        self.worlds
+            .iter()
+            .enumerate()
+            .map(|(w, (prior, obs))| (SimpleState::new(w as u64, obs.clone()), prior.clone()))
+            .collect()
+    }
+
+    fn is_terminal(&self, _state: &SimpleState, _time: Time) -> bool {
+        true // static: no rounds at all
+    }
+
+    // `moves`/`transition` are never reached (every state is terminal);
+    // they still implement the trivial skip/stay protocol for callers that
+    // probe the model directly.
+    fn moves(&self, _agent: AgentId, _local: &u64, _time: Time) -> Vec<(Self::Move, P)> {
+        vec![(None, P::one())]
+    }
+
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
+        *mv
+    }
+
+    fn transition(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        _time: Time,
+    ) -> Vec<(SimpleState, P)> {
+        vec![(state.clone(), P::one())]
+    }
+
+    fn moves_into(
+        &self,
+        _agent: AgentId,
+        _local: &u64,
+        _time: Time,
+        out: &mut Vec<(Self::Move, P)>,
+    ) {
+        out.push((None, P::one()));
+    }
+
+    fn transition_into(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        _time: Time,
+        out: &mut Vec<(SimpleState, P)>,
+    ) {
+        out.push((state.clone(), P::one()));
     }
 }
 

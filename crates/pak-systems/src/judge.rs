@@ -24,10 +24,11 @@
 use pak_core::belief::ActionAnalysis;
 use pak_core::error::AnalysisError;
 use pak_core::fact::StateFact;
-use pak_core::ids::{ActionId, AgentId};
+use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::pps::{Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::SimpleState;
+use pak_protocol::model::ProtocolModel;
 
 /// The judge agent.
 pub const JUDGE: AgentId = AgentId(0);
@@ -90,15 +91,10 @@ impl<P: Probability> JudgeScenario<P> {
         }
     }
 
-    /// Builds the pps: the initial states enumerate (guilt, evidence
-    /// count); at time 0 → 1 the judge convicts or acquits.
-    ///
-    /// The judge's local data is the number of guilty-pointing pieces — its
-    /// complete observation.
-    #[must_use]
-    pub fn build_pps(&self) -> Pps<SimpleState, P> {
-        let mut b = PpsBuilder::<SimpleState, P>::new(1);
-        let mut nodes = Vec::new();
+    /// The prior over `(guilt, evidence count)` initial states — shared by
+    /// the hand-built tree and the [`ProtocolModel`] representation.
+    fn initial_distribution(&self) -> Vec<(SimpleState, P)> {
+        let mut initial = Vec::new();
         for guilty in [true, false] {
             let p_g = if guilty {
                 self.guilt_prior.clone()
@@ -119,13 +115,27 @@ impl<P: Probability> JudgeScenario<P> {
                     continue;
                 }
                 let env = u64::from(guilty) * GUILTY;
-                let state = SimpleState::new(env, vec![u64::from(k)]);
-                let node = b.initial(state.clone(), prob).expect("valid prior");
-                nodes.push((node, state, k));
+                initial.push((SimpleState::new(env, vec![u64::from(k)]), prob));
             }
         }
-        for (node, state, k) in nodes {
-            let actions: &[(AgentId, ActionId)] = if k >= self.convict_at {
+        initial
+    }
+
+    /// Builds the pps: the initial states enumerate (guilt, evidence
+    /// count); at time 0 → 1 the judge convicts or acquits.
+    ///
+    /// The judge's local data is the number of guilty-pointing pieces — its
+    /// complete observation.
+    #[must_use]
+    pub fn build_pps(&self) -> Pps<SimpleState, P> {
+        let mut b = PpsBuilder::<SimpleState, P>::new(1);
+        let mut nodes = Vec::new();
+        for (state, prob) in self.initial_distribution() {
+            let node = b.initial(state.clone(), prob).expect("valid prior");
+            nodes.push((node, state));
+        }
+        for (node, state) in nodes {
+            let actions: &[(AgentId, ActionId)] = if state.locals[0] >= u64::from(self.convict_at) {
                 &[(JUDGE, CONVICT)]
             } else {
                 &[]
@@ -164,6 +174,75 @@ impl<P: Probability> JudgeScenario<P> {
         let num = self.guilt_prior.mul(&lik_g);
         let den = num.add(&self.guilt_prior.one_minus().mul(&lik_i));
         num.div(&den)
+    }
+}
+
+/// The judge scenario is itself a [`ProtocolModel`]: one agent whose local
+/// data is the guilty-pointing evidence count, convicting at time 0 iff
+/// the count meets `convict_at`, over the same `(guilt, count)` prior the
+/// hand-built tree enumerates. Unfolding it reproduces
+/// [`JudgeScenario::build_pps`] exactly (proved by
+/// `tests/systems_unfold_smoke.rs`).
+impl<P: Probability> ProtocolModel<P> for JudgeScenario<P> {
+    type Global = SimpleState;
+    type Move = Option<ActionId>;
+
+    fn n_agents(&self) -> u32 {
+        1
+    }
+
+    fn initial_states(&self) -> Vec<(SimpleState, P)> {
+        self.initial_distribution()
+    }
+
+    fn is_terminal(&self, _state: &SimpleState, time: Time) -> bool {
+        time >= 1
+    }
+
+    fn moves(&self, _agent: AgentId, local: &u64, _time: Time) -> Vec<(Self::Move, P)> {
+        if *local >= u64::from(self.convict_at) {
+            vec![(Some(CONVICT), P::one())]
+        } else {
+            vec![(None, P::one())]
+        }
+    }
+
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
+        *mv
+    }
+
+    fn transition(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        _time: Time,
+    ) -> Vec<(SimpleState, P)> {
+        vec![(state.clone(), P::one())]
+    }
+
+    fn moves_into(
+        &self,
+        _agent: AgentId,
+        local: &u64,
+        _time: Time,
+        out: &mut Vec<(Self::Move, P)>,
+    ) {
+        let action = if *local >= u64::from(self.convict_at) {
+            Some(CONVICT)
+        } else {
+            None
+        };
+        out.push((action, P::one()));
+    }
+
+    fn transition_into(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        _time: Time,
+        out: &mut Vec<(SimpleState, P)>,
+    ) {
+        out.push((state.clone(), P::one()));
     }
 }
 

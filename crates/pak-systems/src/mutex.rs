@@ -20,10 +20,11 @@
 use pak_core::belief::ActionAnalysis;
 use pak_core::error::AnalysisError;
 use pak_core::fact::StateFact;
-use pak_core::ids::{ActionId, AgentId};
+use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::pps::{Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::SimpleState;
+use pak_protocol::model::ProtocolModel;
 
 /// The `enter` action of agent `i` is `ENTER_BASE + i`.
 pub const ENTER_BASE: u32 = 100;
@@ -93,13 +94,10 @@ impl<P: Probability> RelaxedMutex<P> {
         }
     }
 
-    /// Builds the pps: time 0 = sensing done (signals in locals), time 1 =
-    /// entry decisions taken.
-    #[must_use]
-    pub fn build_pps(&self) -> Pps<SimpleState, P> {
-        let mut b = PpsBuilder::<SimpleState, P>::new(self.n_agents);
+    /// The prior over `occupancy × signal vector` initial states — shared
+    /// by the hand-built tree and the [`ProtocolModel`] representation.
+    fn initial_distribution(&self) -> Vec<(SimpleState, P)> {
         let n = self.n_agents;
-        // Initial states: occupancy × signal vector, with exact priors.
         let mut initials: Vec<(SimpleState, P)> = Vec::new();
         for occupied in [false, true] {
             let p_occ = if occupied {
@@ -125,6 +123,16 @@ impl<P: Probability> RelaxedMutex<P> {
                 initials.push((SimpleState::new(env, locals), p));
             }
         }
+        initials
+    }
+
+    /// Builds the pps: time 0 = sensing done (signals in locals), time 1 =
+    /// entry decisions taken.
+    #[must_use]
+    pub fn build_pps(&self) -> Pps<SimpleState, P> {
+        let mut b = PpsBuilder::<SimpleState, P>::new(self.n_agents);
+        let n = self.n_agents;
+        let initials = self.initial_distribution();
         let mut nodes = Vec::new();
         for (state, p) in initials {
             nodes.push((b.initial(state.clone(), p).expect("valid prior"), state));
@@ -171,6 +179,65 @@ impl<P: Probability> RelaxedMutex<P> {
         let num = free.mul(&self.noise.one_minus());
         let den = num.add(&self.busy_prob.mul(&self.noise));
         num.div(&den)
+    }
+}
+
+/// The relaxed-mutex scenario is itself a [`ProtocolModel`]: each agent's
+/// local data is its sensed signal, and at time 0 an agent enters iff the
+/// signal reads free, over the same `occupancy × signals` prior the
+/// hand-built tree enumerates. Unfolding it reproduces
+/// [`RelaxedMutex::build_pps`] exactly (proved by
+/// `tests/systems_unfold_smoke.rs`).
+impl<P: Probability> ProtocolModel<P> for RelaxedMutex<P> {
+    type Global = SimpleState;
+    type Move = Option<ActionId>;
+
+    fn n_agents(&self) -> u32 {
+        self.n_agents
+    }
+
+    fn initial_states(&self) -> Vec<(SimpleState, P)> {
+        self.initial_distribution()
+    }
+
+    fn is_terminal(&self, _state: &SimpleState, time: Time) -> bool {
+        time >= 1
+    }
+
+    fn moves(&self, agent: AgentId, local: &u64, _time: Time) -> Vec<(Self::Move, P)> {
+        if *local == SIG_FREE {
+            vec![(Some(enter_action(agent)), P::one())]
+        } else {
+            vec![(None, P::one())]
+        }
+    }
+
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
+        *mv
+    }
+
+    fn transition(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        _time: Time,
+    ) -> Vec<(SimpleState, P)> {
+        vec![(state.clone(), P::one())]
+    }
+
+    fn moves_into(&self, agent: AgentId, local: &u64, _time: Time, out: &mut Vec<(Self::Move, P)>) {
+        let action = (*local == SIG_FREE).then(|| enter_action(agent));
+        out.push((action, P::one()));
+    }
+
+    fn transition_into(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        _time: Time,
+        out: &mut Vec<(SimpleState, P)>,
+    ) {
+        out.push((state.clone(), P::one()));
     }
 }
 

@@ -19,10 +19,11 @@
 
 use pak_core::belief::ActionAnalysis;
 use pak_core::fact::StateFact;
-use pak_core::ids::{ActionId, AgentId};
+use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::pps::{Pps, PpsBuilder};
 use pak_core::prob::Probability;
 use pak_core::state::SimpleState;
+use pak_protocol::model::ProtocolModel;
 
 /// The acting agent `i`.
 pub const AGENT_I: AgentId = AgentId(0);
@@ -162,6 +163,87 @@ impl<P: Probability> ThresholdConstruction<P> {
                 .expect("α performed at least once"),
             expected_merged_belief: merged_expected,
             expected_belief: analysis.expected_belief(),
+        }
+    }
+}
+
+/// `Tˆ(p, ε)` is itself a [`ProtocolModel`]: two agents over
+/// [`SimpleState`] (`locals = [i's received message, j's bit]`), the
+/// environment resolving `j`'s probabilistic send at time 0 and `i`
+/// unconditionally performing `α` at time 1 — unfolding it reproduces the
+/// hand-built [`ThresholdConstruction::build`] tree observably (proved by
+/// `tests/systems_unfold_smoke.rs`; the unfolder's frontier emits nodes in
+/// a different order, but every run, probability, cell, and action event
+/// coincides).
+impl<P: Probability> ProtocolModel<P> for ThresholdConstruction<P> {
+    type Global = SimpleState;
+    type Move = Option<ActionId>;
+
+    fn n_agents(&self) -> u32 {
+        2
+    }
+
+    fn initial_states(&self) -> Vec<(SimpleState, P)> {
+        vec![
+            (SimpleState::new(0, vec![0, 1]), self.p.clone()),
+            (SimpleState::new(0, vec![0, 0]), self.p.one_minus()),
+        ]
+    }
+
+    fn is_terminal(&self, _state: &SimpleState, time: Time) -> bool {
+        time >= 2
+    }
+
+    fn moves(&self, agent: AgentId, _local: &u64, time: Time) -> Vec<(Self::Move, P)> {
+        // Round 2: i unconditionally performs α; everything else is a skip
+        // (j's send lives in the environment's transition).
+        if agent == AGENT_I && time == 1 {
+            vec![(Some(ALPHA), P::one())]
+        } else {
+            vec![(None, P::one())]
+        }
+    }
+
+    fn action_of(&self, mv: &Self::Move) -> Option<ActionId> {
+        *mv
+    }
+
+    fn transition(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        time: Time,
+    ) -> Vec<(SimpleState, P)> {
+        let mut out = Vec::new();
+        self.transition_into(state, _moves, time, &mut out);
+        out
+    }
+
+    fn moves_into(&self, agent: AgentId, _local: &u64, time: Time, out: &mut Vec<(Self::Move, P)>) {
+        let action = (agent == AGENT_I && time == 1).then_some(ALPHA);
+        out.push((action, P::one()));
+    }
+
+    fn transition_into(
+        &self,
+        state: &SimpleState,
+        _moves: &[Self::Move],
+        time: Time,
+        out: &mut Vec<(SimpleState, P)>,
+    ) {
+        if time == 0 {
+            // Round 1: j's message reaches i (m surely when bit = 0;
+            // m with probability 1 − ε/p and m′ with ε/p when bit = 1).
+            if state.locals[1] == 1 {
+                let eps_over_p = self.eps.div(&self.p);
+                out.push((SimpleState::new(0, vec![1, 1]), eps_over_p.one_minus()));
+                out.push((SimpleState::new(0, vec![2, 1]), eps_over_p));
+            } else {
+                out.push((SimpleState::new(0, vec![1, 0]), P::one()));
+            }
+        } else {
+            // Round 2: locals are preserved.
+            out.push((state.clone(), P::one()));
         }
     }
 }

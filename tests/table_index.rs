@@ -175,6 +175,118 @@ fn index_is_built_once_and_invalidate_rebuilds() {
 }
 
 #[test]
+fn invalidated_index_agrees_with_linear_scan_after_mutation() {
+    // Property test for the index-invalidation contract: query a model
+    // (forcing the lazy index build), mutate `moves`/`transitions` in
+    // place — prepends, appends, removals, and payload edits, all of
+    // which shift or change positions under existing keys — call
+    // `invalidate_index`, and every re-query must agree with a fresh
+    // front-to-back linear scan of the *mutated* tables. (The original
+    // sweep only covered the initial build.)
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::new(seed.wrapping_mul(0x5851_F42D).wrapping_add(99));
+        let mut model = random_table(seed, seed % 3 == 0);
+
+        // First round of queries builds and exercises the index.
+        for agent in 0..4u32 {
+            for local in 0..5u64 {
+                for time in 0..5u32 {
+                    let got: Vec<(Option<ActionId>, Rational)> =
+                        model.moves(AgentId(agent), &local, time);
+                    assert_eq!(
+                        got,
+                        linear_moves(&model, agent, local, time),
+                        "seed {seed}: pre-mutation moves({agent}, {local}, {time})"
+                    );
+                }
+            }
+        }
+
+        // Mutate: each operation changes what a linear scan would find.
+        for _ in 0..(1 + rng.below(4)) {
+            match rng.below(4) {
+                // Prepend under a (possibly existing) key: shifts every
+                // position and may shadow an old first occurrence.
+                0 => {
+                    let key = (rng.below(3) as u32, rng.below(4), rng.below(4) as u32);
+                    model
+                        .moves
+                        .insert(0, (key, vec![(Some(ActionId(77)), Rational::one())]));
+                }
+                // Remove the first move entry: un-shadows duplicates.
+                1 => {
+                    if !model.moves.is_empty() {
+                        model.moves.remove(0);
+                    }
+                }
+                // Append a transition under a fresh-ish key.
+                2 => {
+                    let key = (rng.below(6), rng.below(5) as u32);
+                    model
+                        .transitions
+                        .push((key, vec![(rng.below(50) + 200, vec![7], Rational::one())]));
+                }
+                // Rewrite an existing transition's payload in place.
+                _ => {
+                    if !model.transitions.is_empty() {
+                        let i = rng.below(model.transitions.len() as u64) as usize;
+                        model.transitions[i].1 =
+                            vec![(rng.below(50) + 300, vec![8], Rational::one())];
+                    }
+                }
+            }
+        }
+        model.invalidate_index();
+
+        // Every re-query must match a fresh linear scan of the mutated
+        // tables — indexed positions from before the mutation would be
+        // stale in a way these payloads make loud.
+        for agent in 0..4u32 {
+            for local in 0..5u64 {
+                for time in 0..5u32 {
+                    let got: Vec<(Option<ActionId>, Rational)> =
+                        model.moves(AgentId(agent), &local, time);
+                    assert_eq!(
+                        got,
+                        linear_moves(&model, agent, local, time),
+                        "seed {seed}: post-mutation moves({agent}, {local}, {time})"
+                    );
+                }
+            }
+        }
+        for env in 0..7u64 {
+            for time in 0..6u32 {
+                let state = SimpleState::new(env, vec![1, 2, 3]);
+                let got: Vec<SimpleState> = model
+                    .transition(&state, &[None, None, None], time)
+                    .into_iter()
+                    .map(|(s, _)| s)
+                    .collect();
+                assert_eq!(
+                    got,
+                    linear_transition(&model, &state, time),
+                    "seed {seed}: post-mutation transition(env={env}, {time})"
+                );
+            }
+        }
+
+        // The `_into` path consults the same rebuilt index.
+        let mut buf: Vec<(Option<ActionId>, Rational)> = Vec::new();
+        for agent in 0..4u32 {
+            for local in 0..5u64 {
+                buf.clear();
+                model.moves_into(AgentId(agent), &local, 0, &mut buf);
+                assert_eq!(
+                    buf,
+                    linear_moves(&model, agent, local, 0),
+                    "seed {seed}: post-mutation moves_into({agent}, {local}, 0)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn standalone_index_matches_table_contents() {
     for seed in 0..20u64 {
         let model = random_table(seed, true);

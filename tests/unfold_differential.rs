@@ -29,10 +29,26 @@
 //! `cells`, `cell_of`, and run ranges, with bit-equal run probabilities,
 //! sequential and threaded.
 //!
+//! Two further production paths are swept against the same references:
+//!
+//! * the **scratch-buffer model API** — the unfolder drives
+//!   [`ProtocolModel`]'s `moves_into`/`transition_into`; wrapping a model
+//!   in [`VecApiModel`] pins every query to the retained `Vec`-returning
+//!   methods (default `_into` impls), and the two unfolds must be
+//!   identical in every observable, bit-equal probabilities included;
+//! * **parallel subtree unfolding** — `unfold_with_options` with
+//!   `parallel_subtrees` on unfolds each depth-1 subtree on a worker with
+//!   its own pool shard and stitches deterministically; the result must
+//!   equal the sequential system *exactly*: same pool ids, same node
+//!   order, same parents/states/times, bit-equal run probabilities,
+//!   identical cells.
+//!
 //! A second battery property-tests [`CartesianMoves`]: across randomized
 //! distribution shapes (including singletons and the zero-agent case) the
 //! joint probabilities must sum exactly to one and enumerate exactly
 //! `∏ |dist_i|` entries.
+
+mod common;
 
 use std::collections::HashMap;
 
@@ -40,8 +56,11 @@ use pak::core::generator::SplitMix64;
 use pak::core::prelude::*;
 use pak::num::Rational;
 use pak::protocol::generator::{random_model, RandomModelConfig};
-use pak::protocol::model::{validate_distribution, ProtocolModel, TableModel};
-use pak::protocol::unfold::{unfold_to_builder, unfold_with, CartesianMoves, UnfoldConfig};
+use pak::protocol::model::{validate_distribution, ProtocolModel, TableModel, VecApiModel};
+use pak::protocol::unfold::{
+    unfold_to_builder, unfold_with, unfold_with_options, CartesianMoves, UnfoldConfig,
+    UnfoldOptions,
+};
 
 /// The pre-refactor merge, retained verbatim as the reference semantics:
 /// successors are merged when their Debug-formatted `(actions, state)`
@@ -302,6 +321,36 @@ fn assert_threaded_build_identical(model: &TableModel<Rational>, ctx: &str) {
     }
 }
 
+/// Unfolds the model twice — sequential and parallel subtree workers —
+/// and asserts the stitched system equals the sequential one *exactly*:
+/// same pool ids in the same order, same node order (parents, state ids,
+/// times), same run arena, bit-equal run probabilities, identical cells.
+fn assert_parallel_unfold_identical(model: &TableModel<Rational>, ctx: &str) {
+    let seq = unfold_with_options(
+        model,
+        &UnfoldConfig::default(),
+        &UnfoldOptions {
+            parallel_subtrees: Some(false),
+            ..UnfoldOptions::default()
+        },
+    )
+    .unwrap();
+    let par = unfold_with_options(
+        model,
+        &UnfoldConfig::default(),
+        &UnfoldOptions {
+            parallel_subtrees: Some(true),
+            ..UnfoldOptions::default()
+        },
+    )
+    .unwrap();
+    // Strict id-level identity — pool ids, node order, runs, cells —
+    // via the shared checker of the differential layer.
+    common::assert_identical_systems(&seq, &par, ctx);
+    // And everything observable, via the shared checker.
+    assert_identical(&par, &seq, &format!("{ctx} [parallel]"));
+}
+
 #[test]
 fn hash_merge_matches_reference_merge_across_sweep() {
     // Sweep agents × horizon × branching; several seeds each. Kept small
@@ -332,6 +381,24 @@ fn hash_merge_matches_reference_merge_across_sweep() {
                     );
                     assert_identical(&got, &want, &ctx);
                     assert!(got.measure(&got.all_runs()).is_one(), "{ctx}: total");
+                    // The scratch-buffer model API vs the retained
+                    // `Vec`-returning path: `TableModel`'s native `_into`
+                    // implementations against the trait's default impls
+                    // (which route every query through `moves`/
+                    // `transition`), on the same unfolder.
+                    let via_vec_api =
+                        unfold_with(&VecApiModel(model.clone()), &UnfoldConfig::default()).unwrap();
+                    assert_identical(&got, &via_vec_api, &format!("{ctx} [vec-api]"));
+                    for run in got.run_ids() {
+                        assert_eq!(
+                            got.run_probability(run),
+                            via_vec_api.run_probability(run),
+                            "{ctx}: vec-api probability of {run}"
+                        );
+                    }
+                    // Parallel subtree unfolding vs the sequential order:
+                    // pool ids, node order, probabilities, cells.
+                    assert_parallel_unfold_identical(&model, &ctx);
                     // The build pass itself: interned/word-filled cells vs
                     // the retained per-node reference, on both the memoized
                     // production tree and the mark-free reference tree, and
