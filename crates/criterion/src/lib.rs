@@ -5,7 +5,8 @@
 //! reachable, so the real `criterion` cannot be used. This vendored shim
 //! implements exactly the surface the `pak-bench` targets need —
 //! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
-//! [`black_box`], [`Throughput`] — with a simple adaptive timing loop, and
+//! [`Bencher::iter_batched`], [`black_box`], [`Throughput`] — with a
+//! simple adaptive timing loop, and
 //! adds one extension the harness uses: [`Criterion::save_json`], which
 //! dumps every recorded measurement as machine-readable JSON so performance
 //! can be tracked across PRs.
@@ -31,6 +32,19 @@ pub enum Throughput {
     Elements(u64),
     /// Number of bytes processed per iteration.
     Bytes(u64),
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; the shim always times one routine call at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// Inputs are cheap; large batches would be fine.
+    #[default]
+    SmallInput,
+    /// Inputs are expensive to hold; prefer small batches.
+    LargeInput,
+    /// Construct exactly one input per routine call.
+    PerIteration,
 }
 
 /// Identifier of a parameterised benchmark: `function_name/parameter`.
@@ -76,6 +90,30 @@ impl Bencher {
             black_box(f());
         }
         self.elapsed = start.elapsed();
+    }
+
+    /// Runs `routine` on a fresh input from `setup` each iteration,
+    /// timing only the routine. This is how a benchmark excludes
+    /// per-iteration preparation (cloning a handle, building an input
+    /// buffer) from the reported cost. The timer starts after `setup`
+    /// returns and stops before the routine's output is dropped, one
+    /// routine call at a time, so `_size` is accepted purely for
+    /// signature compatibility with the real crate.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = black_box(routine(input));
+            total += start.elapsed();
+            drop(out);
+        }
+        self.elapsed = total;
     }
 }
 
@@ -447,6 +485,23 @@ mod tests {
             c.measurements()[0].throughput,
             Some(Throughput::Elements(4))
         );
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup_time() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+            .sample_size(3);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(c.measurements().len(), 1);
+        assert!(c.measurements()[0].median_ns() >= 0.0);
     }
 
     #[test]

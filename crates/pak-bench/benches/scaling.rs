@@ -4,14 +4,16 @@
 //! at the workspace root — the machine-readable perf trail whose medians
 //! are summarised in `ROADMAP.md`.
 
-use criterion::{black_box, BenchmarkId, Criterion};
+use criterion::{black_box, BatchSize, BenchmarkId, Criterion};
 use pak_bench::criterion;
 use pak_core::belief::ActionAnalysis;
 use pak_core::fact::StateFact;
 use pak_core::prelude::*;
 use pak_num::Rational;
 use pak_protocol::generator::{random_model, random_pps, RandomModelConfig};
-use pak_protocol::unfold::{unfold_with, unfold_with_options, UnfoldConfig, UnfoldOptions};
+use pak_protocol::unfold::{
+    unfold_with, unfold_with_options, UnfoldConfig, UnfoldOptions, Unfolder,
+};
 use pak_systems::attack::CoordinatedAttack;
 
 fn cfg(horizon: u32) -> RandomModelConfig {
@@ -71,6 +73,60 @@ fn benches(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+
+    // Incremental horizon extension vs from-scratch rebuild of the same
+    // tree. One fixed model (the horizon-6 workload above, capped via
+    // `UnfoldConfig::horizon`), and for each horizon the two costs are
+    // recorded back to back in the same run so the comparison stays
+    // apples-to-apples: `horizon_h` grows a retained `Unfolder` from
+    // h−1 to h (the handle clone is per-iteration setup, only
+    // `extend_horizon` is timed), `rebuild_horizon_h` unfolds the same
+    // horizon-h tree from scratch. The sweep pair at the end is the
+    // cumulative story: one handle grown 1→6 vs six from-scratch
+    // unfolds at horizons 1..=6.
+    let capped = |h: u32| UnfoldConfig {
+        horizon: Some(h),
+        ..UnfoldConfig::default()
+    };
+    let model = random_model::<Rational>(11, &cfg(6));
+    let mut group = c.benchmark_group("scaling/extend");
+    for horizon in [2u32, 3, 4, 5, 6] {
+        let parked = Unfolder::<_, Rational>::new(&model, capped(horizon - 1)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(format!("horizon_{horizon}"), horizon),
+            &parked,
+            |b, parked| {
+                b.iter_batched(
+                    || parked.clone(),
+                    |mut u| {
+                        u.extend_horizon().unwrap();
+                        u
+                    },
+                    BatchSize::PerIteration,
+                )
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("rebuild_horizon_{horizon}"), horizon),
+            &model,
+            |b, m| b.iter(|| black_box(unfold_with(m, &capped(horizon)).unwrap())),
+        );
+    }
+    group.bench_function("sweep_1_to_6_extend", |b| {
+        b.iter(|| {
+            let mut u = Unfolder::<_, Rational>::new(&model, capped(1)).unwrap();
+            while u.horizon() < 6 && u.extend_horizon().unwrap() {}
+            black_box(u)
+        })
+    });
+    group.bench_function("sweep_1_to_6_scratch", |b| {
+        b.iter(|| {
+            for h in 1..=6u32 {
+                black_box(unfold_with(&model, &capped(h)).unwrap());
+            }
+        })
+    });
     group.finish();
 
     // Belief evaluation cost vs system size.

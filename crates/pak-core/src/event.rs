@@ -145,6 +145,17 @@ impl RunSet {
         }
     }
 
+    /// Resets the event to empty over a (possibly different) universe,
+    /// reusing the block allocation. Equivalent to `*self =
+    /// RunSet::empty(universe)` without the round-trip through the
+    /// allocator — the incremental extension repair resets every retained
+    /// cell's run-set each level, where that round-trip adds up.
+    pub fn reset(&mut self, universe: usize) {
+        self.universe = universe;
+        self.blocks.clear();
+        self.blocks.resize(universe.div_ceil(64), 0);
+    }
+
     /// Removes a run from the event.
     pub fn remove(&mut self, run: RunId) {
         let i = run.index();
@@ -345,6 +356,21 @@ mod tests {
     #[should_panic(expected = "outside universe")]
     fn insert_out_of_universe_panics() {
         RunSet::empty(5).insert(RunId(5));
+    }
+
+    #[test]
+    fn reset_equals_fresh_empty() {
+        // Shrinking, growing, and same-size resets all leave the set
+        // indistinguishable from a freshly allocated empty one.
+        let mut s = set(100, &[0, 63, 64, 99]);
+        for universe in [100usize, 3, 0, 64, 65, 200, 1] {
+            s.reset(universe);
+            assert_eq!(s, RunSet::empty(universe), "universe {universe}");
+            if universe > 0 {
+                s.insert(RunId(universe as u32 - 1));
+                assert_eq!(s.len(), 1);
+            }
+        }
     }
 
     /// Bit-by-bit reference for [`RunSet::insert_range`].

@@ -100,6 +100,26 @@ impl<T: Eq + Hash> RawPool<T> {
         value.hash(&mut hasher);
         hasher.finish()
     }
+
+    /// Drops every value with id `>= len`, unwinding the pool to a prefix.
+    ///
+    /// Ids are handed out densely, so truncating to a past length restores
+    /// the pool to exactly the state it had then: surviving ids keep their
+    /// values, dropped ids are removed from the hash index so the values
+    /// can be re-interned later (possibly under different ids). Cost is
+    /// `O(dropped)` — one re-hash per dropped value.
+    fn truncate(&mut self, len: usize) {
+        for id in len..self.values.len() {
+            let hash = Self::hash_of(&self.values[id]);
+            if let Some(bucket) = self.index.get_mut(&hash) {
+                bucket.retain(|&i| (i as usize) < len);
+                if bucket.is_empty() {
+                    self.index.remove(&hash);
+                }
+            }
+        }
+        self.values.truncate(len);
+    }
 }
 
 /// An arena that stores each distinct value once and hands out copyable
@@ -185,6 +205,16 @@ impl<G: Eq + Hash> StatePool<G> {
             .iter()
             .enumerate()
             .map(|(i, s)| (StateId(i as u32), s))
+    }
+
+    /// Drops every state with id `>= len`, unwinding the pool to a prefix
+    /// of its interning order.
+    ///
+    /// This is the rollback hook for aborted horizon extensions: states
+    /// interned for a level that fails validation are removed so the pool
+    /// matches the retained tree again. Surviving ids are untouched.
+    pub fn truncate(&mut self, len: usize) {
+        self.raw.truncate(len);
     }
 
     /// Consumes the pool, yielding its distinct states in interning order
@@ -385,6 +415,24 @@ mod tests {
         assert_eq!(pool.get(LocalId(99)), None);
         let in_order: Vec<u64> = pool.iter().map(|(_, &l)| l).collect();
         assert_eq!(in_order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn truncate_unwinds_to_a_prefix() {
+        let mut pool = StatePool::new();
+        let a = pool.intern(SimpleState::new(1, vec![]));
+        let b = pool.intern(SimpleState::new(2, vec![]));
+        pool.intern(SimpleState::new(3, vec![]));
+        pool.intern(SimpleState::new(4, vec![]));
+        pool.truncate(2);
+        assert_eq!(pool.len(), 2);
+        // Surviving ids still resolve and dropped states really left the
+        // index: re-interning hands out fresh dense ids again.
+        assert_eq!(pool.lookup(&SimpleState::new(1, vec![])), Some(a));
+        assert_eq!(pool.lookup(&SimpleState::new(3, vec![])), None);
+        let c = pool.intern(SimpleState::new(4, vec![]));
+        assert_eq!(c, StateId(2));
+        assert_eq!(pool.intern(SimpleState::new(2, vec![])), b);
     }
 
     #[test]

@@ -44,7 +44,7 @@
 //! threads when [`BuildOptions`] (or the machine) says so — always
 //! producing bit-identical output.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::error::PpsError;
 use crate::event::RunSet;
@@ -178,6 +178,45 @@ impl<P: Probability> NodeTable<P> {
         self.action_ranges.extend_from_within(range);
         id
     }
+
+    /// Drops every node with id `>= len` and unwinds the probability and
+    /// action arenas to the given watermarks — the rollback hook for an
+    /// aborted horizon extension ([`PpsExtender::abort_level`]). The
+    /// watermarks must have been recorded before the appends being undone.
+    fn truncate(&mut self, len: usize, probs_len: usize, actions_len: usize) {
+        self.parents.truncate(len);
+        self.states.truncate(len);
+        self.depths.truncate(len);
+        self.edge_prob_ids.truncate(len);
+        self.action_ranges.truncate(len);
+        self.probs.truncate(probs_len);
+        self.action_data.truncate(actions_len);
+    }
+}
+
+/// Gathers children into a flat arena by counting sort over a parent
+/// column: one pass counts each parent's arity, a prefix sum turns the
+/// counts into offsets, and a second in-order pass fills the slots —
+/// preserving insertion order with two allocations total instead of one
+/// `Vec` per node. Shared by the build pass and the incremental
+/// horizon-extension repair ([`PpsExtender`]), which must reproduce the
+/// arena bit for bit.
+fn build_child_arena(parents: &[NodeId]) -> (Vec<NodeId>, Vec<u32>) {
+    let mut child_offsets: Vec<u32> = vec![0; parents.len() + 1];
+    for &parent in parents.iter().skip(1) {
+        child_offsets[parent.index() + 1] += 1;
+    }
+    for i in 1..child_offsets.len() {
+        child_offsets[i] += child_offsets[i - 1];
+    }
+    let mut child_nodes: Vec<NodeId> = vec![NodeId::ROOT; parents.len().saturating_sub(1)];
+    let mut cursor: Vec<u32> = child_offsets[..child_offsets.len() - 1].to_vec();
+    for (i, &parent) in parents.iter().enumerate().skip(1) {
+        let slot = &mut cursor[parent.index()];
+        child_nodes[*slot as usize] = NodeId(i as u32);
+        *slot += 1;
+    }
+    (child_nodes, child_offsets)
 }
 
 /// A local-state equivalence cell: all the points agent `agent` cannot
@@ -255,11 +294,14 @@ pub struct Pps<G: GlobalState, P: Probability> {
 pub struct BuildOptions {
     /// Whether to construct the per-agent information-set cells on one
     /// thread per agent (`Some(true)`), strictly sequentially
-    /// (`Some(false)`), or to decide from the machine *and the tree*
-    /// (`None`: threaded when there are at least two agents, two cores,
-    /// and enough nodes — [`PARALLEL_CELLS_MIN_NODES`] — for the per-agent
+    /// (`Some(false)`), or to decide from the tree (`None`: threaded when
+    /// there are at least two agents and enough nodes —
+    /// [`PARALLEL_CELLS_MIN_NODES`] — for the per-agent
     /// work to amortize the thread spawns; small trees pay more for two
-    /// `thread::scope` spawns than their whole cell pass costs). Agents'
+    /// `thread::scope` spawns than their whole cell pass costs). On a
+    /// machine with a single core ([`available_cores`]) every setting —
+    /// including `Some(true)` — builds sequentially: threads cannot
+    /// overlap there, so the spawns would be pure overhead. Agents'
     /// cell sets are mutually independent and each agent's pass is
     /// deterministic, so the threaded path is guaranteed to produce the
     /// same cells, ids, and run-sets as the sequential one.
@@ -797,28 +839,10 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         options: &BuildOptions,
     ) -> Result<Self, PpsError> {
         // The builder's nodes are adopted as-is (no conversion pass);
-        // children are gathered into the flat arena by counting sort: one
-        // pass counts each parent's arity, a prefix sum turns counts into
-        // offsets, and a second in-order pass fills the slots — preserving
-        // insertion order with two allocations total instead of one `Vec`
-        // per node.
+        // children are gathered into the flat arena by counting sort
+        // (see `build_child_arena`).
         let nodes = raw_nodes;
-        let mut child_offsets: Vec<u32> = vec![0; nodes.len() + 1];
-        for &parent in nodes.parents.iter().skip(1) {
-            child_offsets[parent.index() + 1] += 1;
-        }
-        for i in 1..child_offsets.len() {
-            child_offsets[i] += child_offsets[i - 1];
-        }
-        let mut child_nodes: Vec<NodeId> = vec![NodeId::ROOT; nodes.len().saturating_sub(1)];
-        {
-            let mut cursor: Vec<u32> = child_offsets[..child_offsets.len() - 1].to_vec();
-            for (i, &parent) in nodes.parents.iter().enumerate().skip(1) {
-                let slot = &mut cursor[parent.index()];
-                child_nodes[*slot as usize] = NodeId(i as u32);
-                *slot += 1;
-            }
-        }
+        let (child_nodes, child_offsets) = build_child_arena(&nodes.parents);
         let children_of = |i: usize| -> &[NodeId] {
             &child_nodes[child_offsets[i] as usize..child_offsets[i + 1] as usize]
         };
@@ -950,9 +974,10 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         // agent (threaded or not — bit-identical either way). Workers read
         // the node table's state/depth columns and the run intervals
         // directly; no `P` crosses a thread boundary.
-        let parallel = options.parallel_cells.unwrap_or(
-            n_agents > 1 && available_cores() > 1 && nodes.len() >= PARALLEL_CELLS_MIN_NODES,
-        );
+        let parallel = available_cores() > 1
+            && options
+                .parallel_cells
+                .unwrap_or(n_agents > 1 && nodes.len() >= PARALLEL_CELLS_MIN_NODES);
         let per_agent: Vec<AgentCells<G::Local>> = if parallel && n_agents > 1 {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..n_agents)
@@ -1028,8 +1053,10 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
 /// = None`) keeps the cell passes sequential: spawning one scoped thread
 /// per agent costs tens of microseconds, which a small tree's whole cell
 /// pass undercuts (measured: a ~35 µs loss per build on an 800-node tree).
-/// Forcing `Some(true)` still threads unconditionally — the differential
-/// harness uses that to prove bit-identity at every size.
+/// Forcing `Some(true)` threads at every tree size, but never on a
+/// single-core machine (see [`BuildOptions::parallel_cells`]) — the
+/// differential harness uses the force to prove bit-identity at every
+/// size where threads exist at all.
 pub const PARALLEL_CELLS_MIN_NODES: usize = 1 << 15;
 
 /// Capacity cap, in table cells, below which a `rows × cols` key space
@@ -1377,128 +1404,175 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
         id
     }
 
-    /// Grafts another builder's tree under `graft`, consuming the shard:
-    /// the shard must hold exactly one initial node (plus the phantom
-    /// root), whose state equals `graft`'s; every *descendant* of that
-    /// initial node is appended to this builder, re-parented so the
-    /// shard's initial node becomes `graft`.
+    /// Grafts the trees of `shards.len()` worker builders under the
+    /// matching `grafts` nodes, consuming the shards: each shard must hold
+    /// exactly one initial node (plus the phantom root), whose state
+    /// equals its graft's, and each graft must be an initial (depth-1)
+    /// node of this builder; every *descendant* of a shard's initial node
+    /// is appended, re-parented so the shard's initial node becomes its
+    /// graft.
     ///
     /// This is the stitching half of parallel subtree unfolding: each
     /// worker unfolds one depth-1 subtree into a private shard (own
-    /// [`StatePool`], own node table), and the shards are absorbed back in
-    /// the order the sequential pass would have emitted them. Everything
-    /// is remapped deterministically —
+    /// [`StatePool`], own node table), and the shards are interleaved back
+    /// *level by level* — for each depth, every shard's nodes of that
+    /// depth in shard order — which is exactly the order the sequential
+    /// level-order pass would have emitted them. Everything is remapped
+    /// deterministically:
     ///
-    /// * the shard's pool is re-interned into this builder's pool in
-    ///   interning order, so state ids come out exactly as the sequential
-    ///   pass would have assigned them;
-    /// * node ids are offset to append after this builder's nodes, with
-    ///   parents inside the shard following and parents at the shard's
-    ///   initial node becoming `graft`;
-    /// * depths are shifted by `graft`'s depth (zero when `graft` is an
-    ///   initial node, the parallel-unfold case);
+    /// * shard states are re-interned **lazily, in merged emission
+    ///   order** — a shard state enters this builder's pool the first
+    ///   time a merged node carries it — so state ids come out exactly as
+    ///   the sequential pass would have assigned them;
+    /// * node ids are assigned in merged emission order, with parents
+    ///   inside a shard following along and parents at a shard's initial
+    ///   node becoming its graft;
     /// * [`PpsBuilder::mark_children_shared`] marks transfer with their
-    ///   state ids remapped, including the shard initial node's mark,
-    ///   which lands on `graft`.
+    ///   state ids remapped, including each shard initial node's mark,
+    ///   which lands on its graft.
     ///
-    /// Edge probabilities and action labels move without copies (the
-    /// shard's action arena is appended wholesale). Per-edge invariants
-    /// were already enforced by the shard's own builder, so no
-    /// re-validation happens here; the distribution-sum invariants are
-    /// checked as usual by [`PpsBuilder::build`].
+    /// Edge probabilities and action labels move without copies or
+    /// re-validation (each shard's arenas are appended wholesale and its
+    /// nodes re-point into them by base offset); arena *layout* is not
+    /// part of the bit-identity contract — only node-level values are —
+    /// so wholesale appends are safe even though the sequential pass
+    /// interleaves its arenas differently. The distribution-sum
+    /// invariants are checked as usual by [`PpsBuilder::build`].
     ///
     /// # Panics
     ///
-    /// Panics if the agent counts differ, `graft` is the root or unknown,
-    /// the shard has no initial node or more than one, or the shard's
-    /// initial state differs from `graft`'s.
-    pub fn absorb_subtree(&mut self, graft: NodeId, shard: PpsBuilder<G, P>) {
+    /// Panics if the lengths of `grafts` and `shards` differ, agent counts
+    /// differ, a graft is not an initial node of this builder, a shard
+    /// does not hold exactly one initial node, a shard's initial state
+    /// differs from its graft's, or a shard's nodes are not in level
+    /// order (non-decreasing depth — true of every unfolder shard).
+    pub fn absorb_subtrees(&mut self, grafts: &[NodeId], shards: Vec<PpsBuilder<G, P>>) {
         assert_eq!(
-            self.n_agents, shard.n_agents,
-            "absorb_subtree: agent counts differ"
+            grafts.len(),
+            shards.len(),
+            "absorb_subtrees: one graft per shard"
         );
-        assert!(
-            graft != NodeId::ROOT && graft.index() < self.nodes.len(),
-            "absorb_subtree: unknown graft node {graft}"
-        );
-        assert!(
-            shard.nodes.len() >= 2 && shard.nodes.parents[1] == NodeId::ROOT,
-            "absorb_subtree: shard must hold exactly one initial node"
-        );
-        assert!(
-            shard.nodes.parents[2..].iter().all(|&p| p != NodeId::ROOT),
-            "absorb_subtree: shard must hold exactly one initial node"
-        );
-        let shard_initial_sid = shard.nodes.states[1].expect("initial node has a state");
-        let graft_sid = self.nodes.states[graft.index()].expect("graft is not the root");
+        let mut parts: Vec<ShardCursor<G>> = Vec::with_capacity(shards.len());
+        for (&graft, shard) in grafts.iter().zip(shards) {
+            assert_eq!(
+                self.n_agents, shard.n_agents,
+                "absorb_subtrees: agent counts differ"
+            );
+            assert!(
+                graft != NodeId::ROOT && graft.index() < self.nodes.len(),
+                "absorb_subtrees: unknown graft node {graft}"
+            );
+            assert_eq!(
+                self.nodes.depths[graft.index()],
+                1,
+                "absorb_subtrees: graft {graft} is not an initial node"
+            );
+            assert!(
+                shard.nodes.len() >= 2 && shard.nodes.parents[1] == NodeId::ROOT,
+                "absorb_subtrees: shard must hold exactly one initial node"
+            );
+            assert!(
+                shard.nodes.parents[2..].iter().all(|&p| p != NodeId::ROOT),
+                "absorb_subtrees: shard must hold exactly one initial node"
+            );
+            let shard_initial_sid = shard.nodes.states[1].expect("initial node has a state");
+            let graft_sid = self.nodes.states[graft.index()].expect("graft is not the root");
 
-        // Re-intern the shard's pool in interning order; `remap[k]` is the
-        // id in this builder of the shard's `StateId(k)`.
-        let remap: Vec<StateId> = shard
-            .pool
-            .into_states()
-            .map(|state| self.pool.intern(state))
-            .collect();
-        assert_eq!(
-            remap[shard_initial_sid.index()],
-            graft_sid,
-            "absorb_subtree: shard initial state differs from the graft node's"
-        );
-
-        let base_node = self.nodes.len() as u32;
-        let base_action = self.nodes.action_data.len() as u32;
-        let depth_shift = self.nodes.depths[graft.index()] - 1;
-        // A `(state, time)` mark is only meaningful when node times are
-        // preserved; grafting deeper than depth 1 shifts times, so marks
-        // are dropped there and the affected nodes validate per-node.
-        let keep_marks = depth_shift == 0;
-        if keep_marks {
-            if let Some((sid, time)) = shard.expansion_of[1] {
-                self.expansion_of[graft.index()] = Some((remap[sid.index()], time));
-            }
-        }
-        let base_prob = self.nodes.probs.len() as u32;
-        let NodeTable {
-            parents,
-            states,
-            depths,
-            edge_prob_ids,
-            probs,
-            action_ranges,
-            action_data,
-        } = shard.nodes;
-        self.nodes.action_data.extend(action_data);
-        // The shard's probability pool is appended wholesale (values move,
-        // no clones); its ids shift by the pool base. Shared-id structure
-        // — replayed nodes pointing at one entry — survives the move.
-        self.nodes.probs.extend(probs);
-        let appended = parents
-            .into_iter()
-            .zip(states)
-            .zip(depths)
-            .zip(edge_prob_ids)
-            .zip(action_ranges)
-            .zip(shard.expansion_of)
-            .skip(2);
-        for (((((parent, state), depth), prob_id), (lo, hi)), mark) in appended {
-            let parent = if parent == NodeId(1) {
-                graft
-            } else {
-                NodeId(base_node + parent.0 - 2)
+            let base_prob = self.nodes.probs.len() as u32;
+            let base_action = self.nodes.action_data.len() as u32;
+            let NodeTable {
+                parents,
+                states,
+                depths,
+                edge_prob_ids,
+                probs,
+                action_ranges,
+                action_data,
+            } = shard.nodes;
+            // Arenas move wholesale (values, not clones); shard ids
+            // re-point into them by base offset. Shared-id structure —
+            // replayed nodes pointing at one entry — survives the move.
+            self.nodes.probs.extend(probs);
+            self.nodes.action_data.extend(action_data);
+            // States leave the shard pool by value but enter this
+            // builder's pool lazily, on each id's first use in merged
+            // emission order (the sequential interning order).
+            let state_vals: Vec<Option<G>> = shard.pool.into_states().map(Some).collect();
+            let mut part = ShardCursor {
+                parents,
+                states,
+                depths,
+                edge_prob_ids,
+                action_ranges,
+                marks: shard.expansion_of,
+                state_vals,
+                state_remap: vec![INDEX_NONE; 0],
+                node_remap: vec![0; 0],
+                base_prob,
+                base_action,
+                cursor: 2,
             };
-            let state = remap[state.expect("non-root node has a state").index()];
-            self.nodes.parents.push(parent);
-            self.nodes.states.push(Some(state));
-            self.nodes.depths.push(depth + depth_shift);
-            self.nodes.edge_prob_ids.push(base_prob + prob_id);
-            self.nodes
-                .action_ranges
-                .push((lo + base_action, hi + base_action));
-            self.expansion_of.push(if keep_marks {
-                mark.map(|(sid, time)| (remap[sid.index()], time))
-            } else {
-                None
-            });
+            part.state_remap = vec![INDEX_NONE; part.state_vals.len()];
+            part.node_remap = vec![0; part.parents.len()];
+            assert_eq!(
+                part.state_vals[shard_initial_sid.index()].as_ref(),
+                Some(&self.pool[graft_sid]),
+                "absorb_subtrees: shard initial state differs from the graft node's"
+            );
+            // The shard's initial state already lives in this builder's
+            // pool as the graft's state — pre-seed the remap so lazy
+            // interning never re-adds it.
+            part.state_remap[shard_initial_sid.index()] = graft_sid.0;
+            part.node_remap[1] = graft.0;
+            if let Some((sid, time)) = part.marks[1] {
+                self.expansion_of[graft.index()] =
+                    Some((part.remap_state(sid, &mut self.pool), time));
+            }
+            parts.push(part);
+        }
+
+        // Interleave: for each depth, each shard's contiguous segment of
+        // that depth, in shard order. Per-shard depth columns are
+        // non-decreasing (level-order shards), so a cursor per shard
+        // walks each segment exactly once; the loop ends at the first
+        // depth where no shard emits (levels are contiguous per shard,
+        // so nothing can remain beyond it).
+        let mut depth = 2u32;
+        loop {
+            let mut emitted = false;
+            for part in &mut parts {
+                while part.cursor < part.parents.len() && part.depths[part.cursor] == depth {
+                    let j = part.cursor;
+                    part.cursor += 1;
+                    emitted = true;
+                    let parent = NodeId(part.node_remap[part.parents[j].index()]);
+                    let sid_local = part.states[j].expect("non-root node has a state");
+                    let sid = part.remap_state(sid_local, &mut self.pool);
+                    let (lo, hi) = part.action_ranges[j];
+                    let id = self.nodes.push_shared(
+                        parent,
+                        sid,
+                        depth,
+                        part.base_prob + part.edge_prob_ids[j],
+                        (lo + part.base_action, hi + part.base_action),
+                    );
+                    part.node_remap[j] = id.0;
+                    let mark = part.marks[j];
+                    self.expansion_of
+                        .push(mark.map(|(s, t)| (part.remap_state(s, &mut self.pool), t)));
+                }
+            }
+            if !emitted {
+                break;
+            }
+            depth += 1;
+        }
+        for part in &parts {
+            assert_eq!(
+                part.cursor,
+                part.parents.len(),
+                "absorb_subtrees: shard nodes must be in level order"
+            );
         }
     }
 
@@ -1592,6 +1666,43 @@ impl<G: GlobalState, P: Probability> PpsBuilder<G, P> {
     }
 }
 
+/// One shard's in-flight state during [`PpsBuilder::absorb_subtrees`]:
+/// its node columns, its lazily consumed state values, and the id remaps
+/// built up as merged nodes are emitted.
+struct ShardCursor<G> {
+    parents: Vec<NodeId>,
+    states: Vec<Option<StateId>>,
+    depths: Vec<u32>,
+    edge_prob_ids: Vec<u32>,
+    action_ranges: Vec<(u32, u32)>,
+    marks: Vec<Option<(StateId, Time)>>,
+    /// Shard states by value, taken out on first use.
+    state_vals: Vec<Option<G>>,
+    /// Shard state id → merged state id; `INDEX_NONE` = not yet interned.
+    state_remap: Vec<u32>,
+    /// Shard node id → merged node id (filled as nodes are emitted).
+    node_remap: Vec<u32>,
+    base_prob: u32,
+    base_action: u32,
+    /// Next shard node to emit (0 is the root, 1 the initial node).
+    cursor: usize,
+}
+
+impl<G: GlobalState> ShardCursor<G> {
+    /// The merged id of a shard state, interning its value on first use —
+    /// merged emission order *is* the sequential interning order.
+    fn remap_state(&mut self, local: StateId, pool: &mut StatePool<G>) -> StateId {
+        let slot = &mut self.state_remap[local.index()];
+        if *slot == INDEX_NONE {
+            let state = self.state_vals[local.index()]
+                .take()
+                .expect("each shard state is interned exactly once");
+            *slot = pool.intern(state).0;
+        }
+        StateId(*slot)
+    }
+}
+
 impl<G: GlobalState, P: Probability> Default for PpsBuilder<G, P> {
     fn default() -> Self {
         PpsBuilder {
@@ -1601,6 +1712,650 @@ impl<G: GlobalState, P: Probability> Default for PpsBuilder<G, P> {
             expansion_of: vec![None],
             action_names: HashMap::new(),
         }
+    }
+}
+
+/// Append-only growth of a finished [`Pps`], one frontier level at a
+/// time — the chassis of incremental horizon extension
+/// (`Unfolder::extend_horizon` in `pak-protocol`).
+///
+/// A finished system is immutable; the extender owns one and re-opens it
+/// for strictly append-shaped edits through a level protocol:
+/// [`PpsExtender::begin_level`] opens a level, [`PpsExtender::append_child`]
+/// / [`PpsExtender::append_children_replayed`] add children under leaves of
+/// the current maximal depth (each parent's children in one contiguous
+/// block), and [`PpsExtender::commit_level`] validates the new
+/// distributions and *incrementally repairs* every derived index:
+///
+/// * the child arena is rebuilt by the same counting sort the build pass
+///   uses (the parent column is its only input);
+/// * runs are re-rooted at the old leaves — an unextended run's path and
+///   probability move over verbatim, an extended run becomes one run per
+///   appended child with the old probability (the from-scratch prefix
+///   product at that leaf) multiplied by the new edge, so every
+///   probability is produced by the exact operand sequence the full DFS
+///   would have used;
+/// * per-node run intervals are renumbered through the old-run → new-run
+///   map (intervals stay contiguous), and each new leaf gets its unit
+///   interval;
+/// * information-set cells are extended with the new `time × local` rows
+///   only — all new nodes share one fresh time, so they can never join an
+///   old cell — spliced per agent behind that agent's existing cells, and
+///   every old cell's run-set is refilled from its members' renumbered
+///   intervals (canonical bitsets, so the widened sets are bit-identical
+///   to freshly built ones). The per-agent [`LocalPool`]s are retained
+///   across levels, so local ids keep their first-appearance order.
+///
+/// The result after each commit is **bit-identical** to what a
+/// from-scratch build of the grown tree would produce — same pool ids,
+/// node order, run arena, probabilities, and cells — provided the grown
+/// tree appends level by level (the order the level-order unfolder
+/// emits). The differential harness enforces this contract.
+///
+/// [`PpsExtender::abort_level`] (or a failed commit) unwinds the open
+/// level completely; the retained system stays valid and queryable.
+#[derive(Debug, Clone)]
+pub struct PpsExtender<G: GlobalState, P: Probability> {
+    pps: Pps<G, P>,
+    /// Per-agent local pools, kept alive across levels so new local
+    /// states intern in the same first-appearance order the original
+    /// cell pass established.
+    locals: Vec<LocalPool<G::Local>>,
+    /// `local_of[agent][sid]`, extended lazily as the state pool grows.
+    local_of: Vec<Vec<LocalId>>,
+    /// How many cells each agent currently owns (cells are grouped by
+    /// agent), for splicing new cells behind each agent's block.
+    agent_cell_counts: Vec<usize>,
+    /// Depth of the current leaf frontier — the maximal depth in the
+    /// table; extended parents must sit exactly there.
+    frontier_depth: u32,
+    level: Option<LevelState>,
+}
+
+/// One extended parent's appended child block, in extension order:
+/// `(parent, first child, count, expansion mark)`.
+type LevelEntry = (NodeId, u32, u32, Option<(StateId, Time)>);
+
+/// Bookkeeping for one open extension level.
+#[derive(Debug, Clone)]
+struct LevelState {
+    /// Rollback watermarks, recorded at `begin_level`.
+    old_nodes: usize,
+    old_probs: usize,
+    old_actions: usize,
+    old_pool: usize,
+    /// Appended children per extended parent; see [`LevelEntry`].
+    entries: Vec<LevelEntry>,
+    /// Whether every parent so far arrived in strictly increasing id
+    /// order — the order the level-order unfolder extends in. While this
+    /// holds, a new parent greater than the last one provably has no
+    /// earlier block, so the contiguity check is a single comparison and
+    /// `closed` stays empty; it also certifies the shape the incremental
+    /// child-arena append relies on.
+    in_order: bool,
+    /// Parents whose child block has ended — appending to one again
+    /// would break the contiguity the run repair relies on. Populated
+    /// lazily, only once a parent arrives out of order.
+    closed: HashSet<u32, FxBuildHasher>,
+}
+
+impl<G: GlobalState, P: Probability> PpsExtender<G, P> {
+    /// Wraps a finished system for incremental growth. The per-agent
+    /// local pools are re-derived from the state pool in id order —
+    /// exactly the interning order the original cell pass used.
+    #[must_use]
+    pub fn new(pps: Pps<G, P>) -> Self {
+        let n_agents = pps.n_agents as usize;
+        let mut locals = Vec::with_capacity(n_agents);
+        let mut local_of = Vec::with_capacity(n_agents);
+        for a in 0..pps.n_agents {
+            let agent = AgentId(a);
+            let mut pool: LocalPool<G::Local> = LocalPool::default();
+            let of: Vec<LocalId> = pps
+                .pool
+                .iter()
+                .map(|(_, state)| pool.intern(state.local(agent)))
+                .collect();
+            locals.push(pool);
+            local_of.push(of);
+        }
+        let mut agent_cell_counts = vec![0usize; n_agents];
+        for cell in &pps.cells {
+            agent_cell_counts[cell.agent.index()] += 1;
+        }
+        let frontier_depth = pps.nodes.depths.iter().copied().max().unwrap_or(0);
+        PpsExtender {
+            pps,
+            locals,
+            local_of,
+            agent_cell_counts,
+            frontier_depth,
+            level: None,
+        }
+    }
+
+    /// The wrapped system (always valid — an open level's appends become
+    /// visible only after [`PpsExtender::commit_level`]; use between
+    /// levels to query the tree grown so far).
+    #[must_use]
+    pub fn pps(&self) -> &Pps<G, P> {
+        &self.pps
+    }
+
+    /// Unwraps the system, dropping the extension state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a level is open.
+    #[must_use]
+    pub fn into_pps(self) -> Pps<G, P> {
+        assert!(self.level.is_none(), "into_pps: a level is still open");
+        self.pps
+    }
+
+    /// The depth of the current leaf frontier (node time plus one);
+    /// children appended in the next level land at this depth plus one.
+    #[must_use]
+    pub fn frontier_depth(&self) -> u32 {
+        self.frontier_depth
+    }
+
+    /// Opens an extension level: records the rollback watermarks and
+    /// admits [`PpsExtender::append_child`] /
+    /// [`PpsExtender::append_children_replayed`] calls until
+    /// [`PpsExtender::commit_level`] or [`PpsExtender::abort_level`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a level is already open.
+    pub fn begin_level(&mut self) {
+        assert!(self.level.is_none(), "begin_level: a level is already open");
+        self.level = Some(LevelState {
+            old_nodes: self.pps.nodes.len(),
+            old_probs: self.pps.nodes.probs.len(),
+            old_actions: self.pps.nodes.action_data.len(),
+            old_pool: self.pps.pool.len(),
+            entries: Vec::new(),
+            in_order: true,
+            closed: HashSet::default(),
+        });
+    }
+
+    /// Interns a global state into the retained pool (rolled back if the
+    /// level aborts), returning its id — the extension sibling of
+    /// [`PpsBuilder::intern`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is open (interned states outside a level could
+    /// not be rolled back, and an unused pool entry would break the
+    /// bit-identity contract).
+    pub fn intern(&mut self, state: G) -> StateId {
+        assert!(self.level.is_some(), "intern outside an open level");
+        self.pps.pool.intern(state)
+    }
+
+    /// Resolves an id handed out by [`PpsExtender::intern`] or carried by
+    /// a node of the wrapped system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn state(&self, id: StateId) -> &G {
+        &self.pps.pool[id]
+    }
+
+    /// Appends a child of frontier leaf `parent` — the extension sibling
+    /// of [`PpsBuilder::child_interned`], with the same per-edge
+    /// validation. All of a parent's children must be appended in one
+    /// contiguous block.
+    ///
+    /// # Errors
+    ///
+    /// As [`PpsBuilder::child_interned`]: unknown state, non-positive or
+    /// above-one probability, out-of-range agent, duplicate agent action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is open, `parent` is not a pre-level node, is
+    /// the root, is not at the frontier depth, already had children
+    /// before the level, or was already extended earlier in this level.
+    pub fn append_child(
+        &mut self,
+        parent: NodeId,
+        state: StateId,
+        prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> Result<NodeId, PpsError> {
+        let id = NodeId(self.pps.nodes.len() as u32);
+        if self.pps.pool.get(state).is_none() {
+            return Err(PpsError::UnknownState { state });
+        }
+        if !prob.at_least(&P::zero()) || prob.is_zero() {
+            return Err(PpsError::NonPositiveProbability { node: id });
+        }
+        if !P::one().at_least(&prob) {
+            return Err(PpsError::ProbabilityAboveOne { node: id });
+        }
+        for (idx, &(agent, _)) in actions.iter().enumerate() {
+            if agent.0 >= self.pps.n_agents {
+                return Err(PpsError::AgentOutOfRange {
+                    agent,
+                    n_agents: self.pps.n_agents,
+                });
+            }
+            if actions[..idx].iter().any(|&(a, _)| a == agent) {
+                return Err(PpsError::DuplicateAgentAction { node: id, agent });
+            }
+        }
+        self.note_extension(parent, 1);
+        let depth = self.frontier_depth + 1;
+        self.pps.nodes.push(parent, state, depth, prob, actions);
+        Ok(id)
+    }
+
+    /// Bulk-appends `count` children of frontier leaf `parent` replaying
+    /// the contiguous template range starting at `first_template` — the
+    /// extension sibling of [`PpsBuilder::children_replayed`]. Returns
+    /// the id of the first appended child.
+    ///
+    /// # Panics
+    ///
+    /// As [`PpsExtender::append_child`] for `parent`, plus if the
+    /// template range is empty, out of bounds, or touches the root.
+    pub fn append_children_replayed(
+        &mut self,
+        parent: NodeId,
+        first_template: NodeId,
+        count: usize,
+    ) -> NodeId {
+        assert!(count > 0, "append_children_replayed: empty template range");
+        assert!(
+            first_template != NodeId::ROOT,
+            "templates must not include the root"
+        );
+        assert!(
+            first_template.index() + count <= self.pps.nodes.len(),
+            "template range out of bounds"
+        );
+        self.note_extension(parent, count as u32);
+        self.pps
+            .nodes
+            .replay_range(parent, first_template.index(), count)
+    }
+
+    /// Declares that the children just appended under `node` replay the
+    /// memoized expansion keyed `(state, time)` — the extension sibling
+    /// of [`PpsBuilder::mark_children_shared`], with the same contract:
+    /// [`PpsExtender::commit_level`] validates the outgoing distribution
+    /// of one node per distinct key and reuses the verdict for the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is open or `node` is not the most recently
+    /// extended parent.
+    pub fn mark_level_children_shared(&mut self, node: NodeId, state: StateId, time: Time) {
+        let level = self
+            .level
+            .as_mut()
+            .expect("mark_level_children_shared outside an open level");
+        let entry = level
+            .entries
+            .last_mut()
+            .expect("mark_level_children_shared before any children");
+        assert_eq!(
+            entry.0, node,
+            "mark_level_children_shared: mark must follow the node's children"
+        );
+        entry.3 = Some((state, time));
+    }
+
+    /// Validates `parent` as an extendable frontier leaf and records
+    /// `count` children appended under it (contiguity bookkeeping).
+    fn note_extension(&mut self, parent: NodeId, count: u32) {
+        let level = self
+            .level
+            .as_mut()
+            .expect("appending children outside an open level");
+        assert!(
+            parent != NodeId::ROOT,
+            "cannot extend the root — initial states are fixed at build time"
+        );
+        assert!(
+            parent.index() < level.old_nodes,
+            "extended parent {parent} was appended in this level"
+        );
+        assert_eq!(
+            self.pps.nodes.depths[parent.index()],
+            self.frontier_depth,
+            "extended parent {parent} is not on the leaf frontier"
+        );
+        assert_eq!(
+            self.pps.child_offsets[parent.index()],
+            self.pps.child_offsets[parent.index() + 1],
+            "extended parent {parent} already has children"
+        );
+        let first = self.pps.nodes.len() as u32;
+        match level.entries.last_mut() {
+            Some(entry) if entry.0 == parent => entry.2 += count,
+            _ => {
+                match level.entries.last() {
+                    Some(&(prev, ..)) if level.in_order && parent.0 > prev.0 => {
+                        // Strictly increasing: `parent` cannot have an
+                        // earlier block, no bookkeeping needed.
+                    }
+                    Some(&(prev, ..)) => {
+                        if level.in_order {
+                            // First out-of-order parent: materialise the
+                            // closed set the fast path skipped.
+                            level.in_order = false;
+                            level.closed.extend(level.entries.iter().map(|e| e.0 .0));
+                        } else {
+                            level.closed.insert(prev.0);
+                        }
+                        assert!(
+                            !level.closed.contains(&parent.0),
+                            "parent {parent} extended non-contiguously"
+                        );
+                    }
+                    None => {}
+                }
+                level.entries.push((parent, first, count, None));
+            }
+        }
+    }
+
+    /// Discards the open level: appended nodes, their arena entries, and
+    /// states interned during the level are all unwound, restoring the
+    /// system exactly as it was at [`PpsExtender::begin_level`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is open.
+    pub fn abort_level(&mut self) {
+        let level = self.level.take().expect("abort_level: no level open");
+        self.pps
+            .nodes
+            .truncate(level.old_nodes, level.old_probs, level.old_actions);
+        self.pps.pool.truncate(level.old_pool);
+    }
+
+    /// Validates the open level and repairs every derived index (see the
+    /// type docs for what is appended vs repaired). On success the
+    /// wrapped system is the grown tree, bit-identical to a from-scratch
+    /// build; on error the level is aborted and the system is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PpsError::BadDistribution`] if an extended parent's new
+    /// outgoing probabilities do not sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no level is open.
+    pub fn commit_level(&mut self) -> Result<(), PpsError> {
+        // ---- Validation: distribution sums, memoized by mark key (the
+        // same one-check-per-distinct-expansion discipline as the build
+        // pass). Nothing is mutated before validation passes.
+        let mut bad: Option<(NodeId, f64)> = None;
+        {
+            let level = self.level.as_ref().expect("commit_level: no level open");
+            if level.entries.is_empty() {
+                // An empty level is a no-op; abort to unwind any states
+                // interned without a node.
+                self.abort_level();
+                return Ok(());
+            }
+            let mut seen: HashMap<(StateId, Time), u32, FxBuildHasher> = HashMap::default();
+            for &(parent, first, count, mark) in &level.entries {
+                if let Some(key) = mark {
+                    match seen.get(&key) {
+                        Some(&arity) if arity == count => continue,
+                        Some(_) => {}
+                        None => {
+                            seen.insert(key, count);
+                        }
+                    }
+                }
+                let mut sum = P::zero();
+                for child in first..first + count {
+                    sum.add_assign(self.pps.nodes.edge_prob(child as usize));
+                }
+                if !sum.is_one() {
+                    bad = Some((parent, sum.to_f64()));
+                    break;
+                }
+            }
+        }
+        if let Some((node, sum)) = bad {
+            self.abort_level();
+            return Err(PpsError::BadDistribution { node, sum });
+        }
+        let level = self.level.take().expect("commit_level: no level open");
+        let old_nodes = level.old_nodes;
+        let n_new = self.pps.nodes.len() - old_nodes;
+        // All new nodes share one fresh time — the key fact behind both
+        // the run repair (only extended leaves' runs change) and the cell
+        // repair (no new node can join an old cell).
+        let new_time = self.frontier_depth;
+
+        // ---- Child arena. Under level-order growth — parents strictly
+        // increasing, and nothing but childless frontier leaves from the
+        // first extended parent onwards — the old arena is a strict
+        // prefix of the new one: the appended children are already
+        // grouped by parent in id order (each parent's block is
+        // contiguous, parents arrive ascending), which is exactly where
+        // the counting sort would place them. So the new entries append,
+        // offsets up to the first extended parent stand, and the rest
+        // shift by the running count of appended children. Any other
+        // shape (hand-driven out-of-order appends) falls back to the
+        // full counting-sort rebuild the build pass uses.
+        let p0 = level.entries[0].0.index();
+        let old_arena = self.pps.child_nodes.len();
+        if level.in_order && self.pps.child_offsets[p0] as usize == old_arena {
+            self.pps.child_nodes.reserve(n_new);
+            for &(_, first, count, _) in &level.entries {
+                self.pps
+                    .child_nodes
+                    .extend((first..first + count).map(NodeId));
+            }
+            let mut add = 0u32;
+            let mut e = 0usize;
+            for i in p0 + 1..=old_nodes {
+                while e < level.entries.len() && level.entries[e].0.index() < i {
+                    add += level.entries[e].2;
+                    e += 1;
+                }
+                self.pps.child_offsets[i] = old_arena as u32 + add;
+            }
+            let total = (old_arena + n_new) as u32;
+            self.pps.child_offsets.resize(old_nodes + n_new + 1, total);
+        } else {
+            let (child_nodes, child_offsets) = build_child_arena(&self.pps.nodes.parents);
+            self.pps.child_nodes = child_nodes;
+            self.pps.child_offsets = child_offsets;
+        }
+
+        // ---- Run repair: walk the old runs in order; each maps to
+        // itself (leaf unextended — path and probability move verbatim)
+        // or to one new run per appended child, in child-insertion order
+        // — exactly the sequence the from-scratch DFS would emit, since
+        // run order depends only on structure and per-parent insertion
+        // order.
+        let old_run_offsets = std::mem::take(&mut self.pps.run_offsets);
+        let old_run_nodes = std::mem::take(&mut self.pps.run_nodes);
+        let old_run_probs = std::mem::take(&mut self.pps.run_probs);
+        let n_old_runs = old_run_probs.len();
+        let mut run_nodes: Vec<NodeId> = Vec::with_capacity(old_run_nodes.len() + 2 * n_new);
+        let mut run_offsets: Vec<u32> = Vec::with_capacity(n_old_runs + n_new + 1);
+        run_offsets.push(0);
+        let mut run_probs: Vec<P> = Vec::with_capacity(n_old_runs + n_new);
+        // `run_map[r]` is the new index of the first run replacing old
+        // run `r`; the sentinel `run_map[n_old_runs]` is the final count,
+        // so an old interval `(lo, hi)` renumbers to
+        // `(run_map[lo], run_map[hi])`.
+        let mut run_map: Vec<u32> = Vec::with_capacity(n_old_runs + 1);
+        // Unit run interval per new node, filled as its run is emitted.
+        let mut new_ranges: Vec<(u32, u32)> = vec![(0, 0); n_new];
+        for (r, prob) in old_run_probs.into_iter().enumerate() {
+            run_map.push(run_probs.len() as u32);
+            let lo = old_run_offsets[r] as usize;
+            let hi = old_run_offsets[r + 1] as usize;
+            let path = &old_run_nodes[lo..hi];
+            let leaf = path[path.len() - 1];
+            let clo = self.pps.child_offsets[leaf.index()] as usize;
+            let chi = self.pps.child_offsets[leaf.index() + 1] as usize;
+            if clo == chi {
+                run_nodes.extend_from_slice(path);
+                run_offsets.push(run_nodes.len() as u32);
+                run_probs.push(prob);
+            } else {
+                for &child in &self.pps.child_nodes[clo..chi] {
+                    let slot = &mut new_ranges[child.index() - old_nodes];
+                    slot.0 = run_probs.len() as u32;
+                    slot.1 = slot.0 + 1;
+                    run_nodes.extend_from_slice(path);
+                    run_nodes.push(child);
+                    run_offsets.push(run_nodes.len() as u32);
+                    let edge = self.pps.nodes.edge_prob(child.index());
+                    // The old run probability *is* the from-scratch
+                    // prefix product at the leaf, so extending it
+                    // multiplies in the same operand the full DFS would
+                    // — bit-identical, including the `p · 1` copy fast
+                    // path.
+                    run_probs.push(if edge.is_one() {
+                        prob.clone()
+                    } else {
+                        prob.mul(edge)
+                    });
+                }
+            }
+        }
+        run_map.push(run_probs.len() as u32);
+        let n_runs = run_probs.len();
+        for range in &mut self.pps.run_ranges {
+            range.0 = run_map[range.0 as usize];
+            range.1 = run_map[range.1 as usize];
+        }
+        self.pps.run_ranges.extend(new_ranges);
+        self.pps.run_nodes = run_nodes;
+        self.pps.run_offsets = run_offsets;
+        self.pps.run_probs = run_probs;
+
+        // ---- Cell repair. New local states intern behind the retained
+        // pools in pool-id order (the order the original pass used), then
+        // each agent gains cells for the fresh `(new_time, local)` keys
+        // only, spliced behind its existing block; every old cell's
+        // run-set is refilled from its members' renumbered intervals.
+        let mut cells = std::mem::take(&mut self.pps.cells);
+        for cell in &mut cells {
+            cell.runs.reset(n_runs);
+            // Members are in node-id order, so their (renumbered) run
+            // intervals are sorted and frequently abut — coalesce before
+            // filling to cut the per-member word-op overhead.
+            let (mut lo, mut hi) = (0u32, 0u32);
+            for &member in &cell.nodes {
+                let (mlo, mhi) = self.pps.run_ranges[member.index()];
+                if mlo == hi {
+                    hi = mhi;
+                } else {
+                    cell.runs.insert_range(lo as usize..hi as usize);
+                    (lo, hi) = (mlo, mhi);
+                }
+            }
+            cell.runs.insert_range(lo as usize..hi as usize);
+        }
+        let n_agents = self.pps.n_agents as usize;
+        // Hoisted out of the per-agent pass: state ids of the appended
+        // nodes, in node order.
+        let new_sids: Vec<StateId> = self.pps.nodes.states[old_nodes..]
+            .iter()
+            .map(|s| s.expect("non-root node has a state"))
+            .collect();
+        let mut new_agent_cells: Vec<AgentCells<G::Local>> = Vec::with_capacity(n_agents);
+        for (a, (agent_pool, of)) in self
+            .locals
+            .iter_mut()
+            .zip(self.local_of.iter_mut())
+            .enumerate()
+        {
+            let agent = AgentId(a as u32);
+            for (_, state) in self.pps.pool.iter().skip(of.len()) {
+                of.push(agent_pool.intern(state.local(agent)));
+            }
+            let mut agent_cells: Vec<Cell<G::Local>> = Vec::new();
+            let mut cell_of: Vec<CellId> = Vec::with_capacity(n_new);
+            let mut slot_of: Vec<u32> = vec![INDEX_NONE; agent_pool.len()];
+            for (k, &sid) in new_sids.iter().enumerate() {
+                let i = old_nodes + k;
+                let local = of[sid.index()];
+                let mut slot = slot_of[local.index()];
+                if slot == INDEX_NONE {
+                    slot = agent_cells.len() as u32;
+                    slot_of[local.index()] = slot;
+                    agent_cells.push(Cell {
+                        agent,
+                        time: new_time,
+                        data: agent_pool[local].clone(),
+                        nodes: Vec::new(),
+                        runs: RunSet::empty(n_runs),
+                    });
+                }
+                let cell = &mut agent_cells[slot as usize];
+                cell.nodes.push(NodeId(i as u32));
+                // Every appended node is a leaf on exactly one run.
+                let (lo, _) = self.pps.run_ranges[i];
+                cell.runs.insert(RunId(lo));
+                cell_of.push(CellId(slot));
+            }
+            new_agent_cells.push(AgentCells {
+                cells: agent_cells,
+                cell_of,
+            });
+        }
+        // Splice: per agent, old cells then new cells — the id order a
+        // from-scratch merge would emit, because the fresh keys appear
+        // after all of an agent's old keys in first-occurrence order.
+        let mut delta: Vec<u32> = Vec::with_capacity(n_agents); // Σ new counts of agents before a
+        let mut new_first: Vec<u32> = Vec::with_capacity(n_agents); // merged id of a's first new cell
+        {
+            let mut acc_old = 0u32;
+            let mut acc_new = 0u32;
+            for (a, agent_new) in new_agent_cells.iter().enumerate() {
+                delta.push(acc_new);
+                new_first.push(acc_old + acc_new + self.agent_cell_counts[a] as u32);
+                acc_old += self.agent_cell_counts[a] as u32;
+                acc_new += agent_new.cells.len() as u32;
+            }
+        }
+        for (a, column) in self.pps.cell_of.iter_mut().enumerate() {
+            // `delta[0]` is always zero (no agent precedes agent 0), and
+            // later agents' deltas are zero whenever earlier agents
+            // gained no cells — skip the no-op renumber walk.
+            if delta[a] != 0 {
+                for cell in column.iter_mut() {
+                    cell.0 += delta[a];
+                }
+            }
+            column.extend(
+                new_agent_cells[a]
+                    .cell_of
+                    .iter()
+                    .map(|c| CellId(new_first[a] + c.0)),
+            );
+        }
+        let total_new: usize = new_agent_cells.iter().map(|c| c.cells.len()).sum();
+        let mut merged: Vec<Cell<G::Local>> = Vec::with_capacity(cells.len() + total_new);
+        let mut old_iter = cells.into_iter();
+        for (a, agent_new) in new_agent_cells.into_iter().enumerate() {
+            merged.extend(old_iter.by_ref().take(self.agent_cell_counts[a]));
+            self.agent_cell_counts[a] += agent_new.cells.len();
+            merged.extend(agent_new.cells);
+        }
+        self.pps.cells = merged;
+        self.frontier_depth += 1;
+        Ok(())
     }
 }
 

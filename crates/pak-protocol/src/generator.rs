@@ -182,6 +182,7 @@ pub fn random_pps<P: Probability>(
         &UnfoldConfig {
             max_nodes: 1 << 18,
             max_depth: Some(cfg.horizon + 1),
+            horizon: None,
         },
     )
 }

@@ -40,7 +40,13 @@
 //! * it must be **pure**: a function of its arguments only, so that the
 //!   unfolder's `(state, time)` expansion memo and the parallel subtree
 //!   unfolding of [`mod@crate::unfold`] may call it once and replay the
-//!   result anywhere.
+//!   result anywhere. Purity outlives a single unfold: a retained
+//!   [`Unfolder`](crate::unfold::Unfolder) keeps the memo alive across
+//!   [`extend_horizon`](crate::unfold::Unfolder::extend_horizon) calls,
+//!   so an expansion computed while building horizon `h` may be replayed
+//!   verbatim while growing to `h + 1` and beyond — a model whose answers
+//!   drifted between calls would silently diverge from its own earlier
+//!   tree.
 //!
 //! # The `Hash + Eq` merge contract
 //!

@@ -49,6 +49,24 @@
 //! distinct expansion's outgoing distribution once instead of re-checking
 //! every replayed node with exact arithmetic.
 //!
+//! # Level-order emission and incremental horizon extension
+//!
+//! The frontier is processed in **level order**: every node of time `t`
+//! is expanded before any node of time `t + 1`. This makes the
+//! horizon-`h` tree a strict *prefix* of the horizon-`h + 1` tree — node
+//! ids, pool ids, arenas and all — which is what lets a tree **grow**
+//! instead of being rebuilt: a retained [`Unfolder`] handle keeps the
+//! model, the `(state, time)` memo, the scratch buffers, and the frontier
+//! alive between calls, and [`Unfolder::extend_horizon`] expands just the
+//! previous leaf frontier, appending through a
+//! [`PpsExtender`] that incrementally repairs the run and cell indexes.
+//! The purity contract is what makes retained-memo replay across
+//! extensions sound, and the grown tree is bit-identical to a
+//! from-scratch unfold capped at the same horizon
+//! ([`UnfoldConfig::horizon`]) — proved by the incremental-vs-scratch
+//! sweep in `tests/unfold_differential.rs` and on every `pak-systems`
+//! scenario by `tests/systems_unfold_smoke.rs`.
+//!
 //! # Determinism and parallel unfolding
 //!
 //! Purity is also what makes the depth-1 subtrees of the tree — one per
@@ -57,12 +75,12 @@
 //! [`UnfoldOptions::parallel_subtrees`], unfolding each subtree on a
 //! worker with its own scratch state, memo, and
 //! [`StatePool`](pak_core::intern::StatePool) shard, then stitching the
-//! shards back ([`PpsBuilder::absorb_subtree`]) in the exact order the
-//! sequential frontier would have emitted them. The guarantee is strict
-//! determinism, not mere equivalence: same pool ids, same node order,
-//! bit-equal probabilities, identical cells — proved across the seeded
-//! sweep by `tests/unfold_differential.rs` and on every `pak-systems`
-//! scenario by `tests/systems_unfold_smoke.rs`.
+//! shards back level-interleaved ([`PpsBuilder::absorb_subtrees`]) in the
+//! exact order the sequential level-order frontier would have emitted
+//! them. The guarantee is strict determinism, not mere equivalence: same
+//! pool ids, same node order, bit-equal probabilities, identical cells —
+//! proved across the seeded sweep by `tests/unfold_differential.rs` and
+//! on every `pak-systems` scenario by `tests/systems_unfold_smoke.rs`.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -70,8 +88,8 @@ use std::hash::{Hash, Hasher};
 
 use pak_core::error::PpsError;
 use pak_core::hash::{FxBuildHasher, FxHasher};
-use pak_core::ids::{ActionId, AgentId, NodeId, StateId};
-use pak_core::pps::{available_cores, BuildOptions, Pps, PpsBuilder};
+use pak_core::ids::{ActionId, AgentId, NodeId, StateId, Time};
+use pak_core::pps::{available_cores, BuildOptions, Pps, PpsBuilder, PpsExtender};
 use pak_core::prob::Probability;
 use pak_core::state::GlobalState;
 
@@ -92,6 +110,16 @@ pub struct UnfoldConfig {
     /// Optional hard cap on depth (a safety net for models whose
     /// `is_terminal` never fires). `None` trusts the model.
     pub max_depth: Option<u32>,
+    /// Optional truncating horizon: expansion stops once the frontier
+    /// reaches this time, keeping the nodes there as leaves even where the
+    /// model is not yet terminal (`Some(0)` yields just the prior).
+    /// Unlike [`UnfoldConfig::max_depth`] — a safety net whose violation
+    /// is an *error* — hitting the horizon is a normal, successful stop:
+    /// it is how a from-scratch unfold reproduces the intermediate trees
+    /// of incremental growth ([`Unfolder::extend_horizon`]), which is
+    /// exactly what the differential harness compares. `None` (the
+    /// default) trusts [`ProtocolModel::is_terminal`] alone.
+    pub horizon: Option<Time>,
 }
 
 impl Default for UnfoldConfig {
@@ -99,6 +127,7 @@ impl Default for UnfoldConfig {
         UnfoldConfig {
             max_nodes: 1 << 20,
             max_depth: Some(64),
+            horizon: None,
         }
     }
 }
@@ -126,7 +155,10 @@ pub struct UnfoldOptions {
     /// unknown before unfolding, and on the workloads measured so far
     /// thread-spawn overhead exceeds the win. Pass `Some(true)` to opt in
     /// on workloads/machines where the subtrees are large enough to
-    /// amortize the workers.
+    /// amortize the workers. On a **single-core machine** even
+    /// `Some(true)` runs sequentially: workers that cannot overlap are
+    /// pure overhead, and the stitching contract makes the fallback
+    /// observationally identical anyway.
     ///
     /// On *erroring* models the parallel path returns an error whenever
     /// the sequential one does, but when several subtrees violate
@@ -268,10 +300,10 @@ where
 }
 
 /// The shared sequential pass over a pre-validated prior: seeds one
-/// [`Unfolder`] with every initial state and expands to exhaustion. Both
-/// [`unfold_to_builder`] and the declined-parallelism path of
-/// [`unfold_to_builder_with_options`] run exactly this, so the two entry
-/// points cannot drift apart.
+/// [`ExpansionCore`] with every initial state and expands level by level
+/// to exhaustion (or to `config.horizon`). Both [`unfold_to_builder`] and
+/// the declined-parallelism path of [`unfold_to_builder_with_options`]
+/// run exactly this, so the two entry points cannot drift apart.
 fn unfold_sequential<M, P>(
     model: &M,
     n_agents: u32,
@@ -287,15 +319,11 @@ where
             max_nodes: config.max_nodes,
         });
     }
-    let mut unfolder = Unfolder::new(model, n_agents);
-    for (state, p) in initial {
-        let sid = unfolder.builder.intern(state);
-        let id = unfolder.builder.initial_interned(sid, p)?;
-        unfolder.node_count += 1;
-        unfolder.push_frontier(id, sid, 0);
-    }
-    unfolder.run(config)?;
-    Ok(unfolder.builder)
+    let mut core = ExpansionCore::new(model, n_agents);
+    let mut builder = PpsBuilder::new(n_agents);
+    core.seed(&mut builder, initial)?;
+    core.run_levels(&mut builder, 0, config.horizon, config)?;
+    Ok(builder)
 }
 
 /// Unfolds a protocol model with explicit limits *and* execution options:
@@ -306,8 +334,8 @@ where
 /// independent: the purity contract makes every expansion a function of
 /// `(state, time)` alone, so each subtree can be unfolded by a worker with
 /// its own scratch state, [`StatePool`](pak_core::intern::StatePool)
-/// shard, and memo, and the shards stitched back
-/// ([`PpsBuilder::absorb_subtree`]) in the exact order the sequential
+/// shard, and memo, and the shards stitched back level-interleaved
+/// ([`PpsBuilder::absorb_subtrees`]) in the exact order the sequential
 /// frontier would have emitted them. The stitched system is **identical**
 /// to the sequential one — same pool ids, same node order, bit-equal
 /// probabilities — which `tests/unfold_differential.rs` proves across the
@@ -357,11 +385,12 @@ where
     // `None` resolves to sequential (see `UnfoldOptions::parallel_subtrees`
     // — pre-unfold there is no tree-size signal to gate on, and spawn
     // overhead beats the win on every workload measured so far).
-    // `Some(true)` *forces* the worker path whenever there are two
-    // subtrees to partition — even on one core — exactly like
-    // `BuildOptions::parallel_cells`: that is what lets the differential
-    // harness prove the stitched result bit-identical on any machine.
-    let parallel = options.parallel_subtrees.unwrap_or(false);
+    // `Some(true)` opts into the worker path whenever there are two
+    // subtrees to partition *and* more than one core to run them on — on
+    // a single core the workers cannot overlap and are pure overhead, so
+    // the sequential pass (bit-identical by the stitching contract) runs
+    // instead.
+    let parallel = available_cores() > 1 && options.parallel_subtrees.unwrap_or(false);
     if !parallel || initial.len() < 2 {
         // Nothing to partition (or parallelism declined): run the
         // sequential pass on the already-validated prior.
@@ -424,21 +453,24 @@ where
         }
     });
 
-    // Stitch in the sequential emission order: the frontier is a stack, so
-    // the *last* initial state's subtree is unfolded first. The running
-    // node total re-imposes the global `max_nodes` cap that each worker
-    // only saw locally.
+    // Stitch in the sequential emission order: the frontier is processed
+    // level by level, subtrees in prior order within each level, which is
+    // exactly the interleaving `absorb_subtrees` reproduces from forward
+    // shard order. The running node total re-imposes the global
+    // `max_nodes` cap that each worker only saw locally.
     let mut total = n_initial;
-    for i in (0..n_initial).rev() {
-        let (shard, descendants) = shards[i].take().expect("every shard was produced")?;
+    let mut collected = Vec::with_capacity(n_initial);
+    for shard in &mut shards {
+        let (shard, descendants) = shard.take().expect("every shard was produced")?;
         total += descendants;
         if total > config.max_nodes {
             return Err(UnfoldError::TooLarge {
                 max_nodes: config.max_nodes,
             });
         }
-        builder.absorb_subtree(graft_points[i], shard);
+        collected.push(shard);
     }
+    builder.absorb_subtrees(&graft_points, collected);
     Ok(builder)
 }
 
@@ -456,27 +488,132 @@ where
     M: ProtocolModel<P>,
     P: Probability,
 {
-    let mut unfolder = Unfolder::new(model, n_agents);
-    let sid = unfolder.builder.intern(state);
-    let id = unfolder.builder.initial_interned(sid, prob)?;
+    let mut core = ExpansionCore::new(model, n_agents);
+    let mut builder = PpsBuilder::new(n_agents);
+    let sid = builder.intern(state);
+    let id = builder.initial_interned(sid, prob)?;
     // Count as if every initial node were already emitted (the sequential
     // pass has emitted all of them before expanding any subtree).
-    unfolder.node_count = n_initial;
-    unfolder.push_frontier(id, sid, 0);
-    unfolder.run(config)?;
-    Ok((unfolder.builder, unfolder.node_count - n_initial))
+    core.node_count = n_initial;
+    if !model.is_terminal(builder.state(sid), 0) {
+        core.frontier.push((id, sid));
+    }
+    core.run_levels(&mut builder, 0, config.horizon, config)?;
+    Ok((builder, core.node_count - n_initial))
 }
 
-/// Sentinel for "no memoized expansion" in [`Unfolder`]'s dense memo rows.
+/// Sentinel for "no memoized expansion" in [`ExpansionCore`]'s dense memo
+/// rows.
 const EXPANSION_NONE: u32 = u32::MAX;
 /// Total-cell budget across the dense memo rows; keys past it spill into
-/// an ordinary hash map (see [`Unfolder::memo_insert`]).
+/// an ordinary hash map (see [`ExpansionCore::memo_insert`]).
 const DENSE_MEMO_BUDGET: usize = 1 << 20;
 
-/// One unfolding pass: the builder being filled plus every reusable
-/// buffer of the expansion loop. The sequential entry points run a single
-/// pass over the whole frontier; the parallel path runs one pass per
-/// depth-1 subtree.
+/// The append sink of the expansion loop. Both tree-construction modes —
+/// the initial unfold filling a [`PpsBuilder`] and incremental horizon
+/// growth appending through a [`PpsExtender`] — receive nodes through
+/// this interface, so one expansion engine ([`ExpansionCore`]) serves
+/// both and the two cannot drift apart.
+trait ExpandTarget<G: GlobalState, P: Probability> {
+    /// Interns a global state (see [`PpsBuilder::intern`]).
+    fn intern(&mut self, state: G) -> StateId;
+    /// Resolves an interned state id.
+    fn state(&self, id: StateId) -> &G;
+    /// Appends one child of `parent` (see [`PpsBuilder::child_interned`]).
+    fn child_interned(
+        &mut self,
+        parent: NodeId,
+        state: StateId,
+        prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> Result<NodeId, PpsError>;
+    /// Bulk-appends `count` children replayed from a contiguous template
+    /// range (see [`PpsBuilder::children_replayed`]).
+    fn children_replayed(&mut self, parent: NodeId, first_template: NodeId, count: usize)
+        -> NodeId;
+    /// Marks a node's children as a memoized `(state, time)` replay (see
+    /// [`PpsBuilder::mark_children_shared`]).
+    fn mark_children_shared(&mut self, node: NodeId, state: StateId, time: Time);
+}
+
+impl<G: GlobalState, P: Probability> ExpandTarget<G, P> for PpsBuilder<G, P> {
+    fn intern(&mut self, state: G) -> StateId {
+        PpsBuilder::intern(self, state)
+    }
+
+    fn state(&self, id: StateId) -> &G {
+        PpsBuilder::state(self, id)
+    }
+
+    fn child_interned(
+        &mut self,
+        parent: NodeId,
+        state: StateId,
+        prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> Result<NodeId, PpsError> {
+        PpsBuilder::child_interned(self, parent, state, prob, actions)
+    }
+
+    fn children_replayed(
+        &mut self,
+        parent: NodeId,
+        first_template: NodeId,
+        count: usize,
+    ) -> NodeId {
+        PpsBuilder::children_replayed(self, parent, first_template, count)
+    }
+
+    fn mark_children_shared(&mut self, node: NodeId, state: StateId, time: Time) {
+        PpsBuilder::mark_children_shared(self, node, state, time);
+    }
+}
+
+impl<G: GlobalState, P: Probability> ExpandTarget<G, P> for PpsExtender<G, P> {
+    fn intern(&mut self, state: G) -> StateId {
+        PpsExtender::intern(self, state)
+    }
+
+    fn state(&self, id: StateId) -> &G {
+        PpsExtender::state(self, id)
+    }
+
+    fn child_interned(
+        &mut self,
+        parent: NodeId,
+        state: StateId,
+        prob: P,
+        actions: &[(AgentId, ActionId)],
+    ) -> Result<NodeId, PpsError> {
+        self.append_child(parent, state, prob, actions)
+    }
+
+    fn children_replayed(
+        &mut self,
+        parent: NodeId,
+        first_template: NodeId,
+        count: usize,
+    ) -> NodeId {
+        self.append_children_replayed(parent, first_template, count)
+    }
+
+    fn mark_children_shared(&mut self, node: NodeId, state: StateId, time: Time) {
+        self.mark_level_children_shared(node, state, time);
+    }
+}
+
+/// The expansion engine: the frontier and every reusable buffer of the
+/// expansion loop, kept separate from the tree being filled (the
+/// [`ExpandTarget`] sink) so the same engine can drive both an initial
+/// unfold and later incremental growth. The sequential entry points run
+/// one engine over the whole frontier; the parallel path runs one per
+/// depth-1 subtree; a retained [`Unfolder`] keeps its engine — memo,
+/// scratch, frontier and all — alive across horizon extensions.
+///
+/// The frontier is processed strictly in **level order** (all of time `t`
+/// before any of time `t + 1`), which makes every horizon-`h` tree a
+/// prefix of the horizon-`h + 1` tree and is what grounds the
+/// grown-equals-rebuilt bit-identity contract.
 ///
 /// Interning makes repeated work *visible*: two frontier nodes carrying
 /// the same `(StateId, time)` expand to bit-identical successor lists
@@ -485,25 +622,28 @@ const DENSE_MEMO_BUDGET: usize = 1 << 20;
 /// every further node that reaches it. Unfolded trees revisit states
 /// heavily — merging and environment branching both funnel into shared
 /// states — which makes this the main saving of the interned pipeline.
-/// Alongside each successor list the memo keeps the builder nodes of
-/// the *first* emission: replays go through the builder's
-/// `child_replayed` fast path (state, probability, and actions shared
+/// Alongside each successor list the memo keeps the sink nodes of
+/// the *first* emission: replays go through the sink's
+/// `children_replayed` fast path (state, probability, and actions shared
 /// from the template node — no per-edge re-validation, no copies).
 /// Memo keys are dense (`time × StateId`), so the memo is a grown-on-demand
 /// flat table probed with two array reads per node, not a hash map —
 /// bounded by a total-cell budget so deep, state-diverse models (where
 /// `time × states` is quadratic in tree size) cannot blow up memory:
 /// keys past the budget spill into an ordinary hash map.
-struct Unfolder<'m, M: ProtocolModel<P>, P: Probability> {
+struct ExpansionCore<'m, M: ProtocolModel<P>, P: Probability> {
     model: &'m M,
     n_agents: u32,
-    builder: PpsBuilder<M::Global, P>,
     /// State nodes emitted so far (the phantom root is not counted).
     node_count: usize,
-    /// Nodes still to expand: (builder node, interned state, time).
-    /// States live once in the builder's pool; the frontier carries
-    /// copyable ids, never clones.
-    frontier: Vec<(NodeId, StateId, u32)>,
+    /// The current level's nodes still to expand, all at one time:
+    /// (sink node, interned state). States live once in the sink's pool;
+    /// the frontier carries copyable ids, never clones. Only non-terminal
+    /// nodes ever enter (their `is_terminal` is consulted exactly once,
+    /// when they are pushed).
+    frontier: Vec<(NodeId, StateId)>,
+    /// The next level's frontier, filled while the current one expands.
+    next: Vec<(NodeId, StateId)>,
     // --- `(state, time)` expansion memo ---
     expansion_rows: Vec<Vec<u32>>,
     expansion_spill: HashMap<(StateId, u32), u32, FxBuildHasher>,
@@ -513,6 +653,10 @@ struct Unfolder<'m, M: ProtocolModel<P>, P: Probability> {
     /// inserted back to back, so `(first, successors.len())` names the
     /// whole contiguous template range for bulk replay).
     expansions: Vec<(Successors<P>, NodeId)>,
+    /// Memo keys inserted during the level currently expanding — the undo
+    /// log that lets a failed extension level roll the memo back
+    /// ([`ExpansionCore::rollback_level`]).
+    memo_added: Vec<(StateId, u32)>,
     // --- per-expansion scratch, cleared (not reallocated) per miss ---
     /// Each agent's move distribution, filled through
     /// [`ProtocolModel::moves_into`].
@@ -530,22 +674,50 @@ struct Unfolder<'m, M: ProtocolModel<P>, P: Probability> {
     outcomes: Vec<(M::Global, P)>,
 }
 
-impl<'m, M, P> Unfolder<'m, M, P>
+impl<M, P> Clone for ExpansionCore<'_, M, P>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    fn clone(&self) -> Self {
+        ExpansionCore {
+            model: self.model,
+            n_agents: self.n_agents,
+            node_count: self.node_count,
+            frontier: self.frontier.clone(),
+            next: self.next.clone(),
+            expansion_rows: self.expansion_rows.clone(),
+            expansion_spill: self.expansion_spill.clone(),
+            dense_memo_cells: self.dense_memo_cells,
+            expansions: self.expansions.clone(),
+            memo_added: self.memo_added.clone(),
+            per_agent: self.per_agent.clone(),
+            index: self.index.clone(),
+            joint: self.joint.clone(),
+            counters: self.counters.clone(),
+            actions: self.actions.clone(),
+            outcomes: self.outcomes.clone(),
+        }
+    }
+}
+
+impl<'m, M, P> ExpansionCore<'m, M, P>
 where
     M: ProtocolModel<P>,
     P: Probability,
 {
     fn new(model: &'m M, n_agents: u32) -> Self {
-        Unfolder {
+        ExpansionCore {
             model,
             n_agents,
-            builder: PpsBuilder::new(n_agents),
             node_count: 0,
             frontier: Vec::new(),
+            next: Vec::new(),
             expansion_rows: Vec::new(),
             expansion_spill: HashMap::default(),
             dense_memo_cells: 0,
             expansions: Vec::new(),
+            memo_added: Vec::new(),
             per_agent: (0..n_agents).map(|_| Vec::new()).collect(),
             index: HashMap::default(),
             joint: Vec::with_capacity(n_agents as usize),
@@ -553,6 +725,24 @@ where
             actions: Vec::new(),
             outcomes: Vec::new(),
         }
+    }
+
+    /// Seeds a pre-validated prior into a fresh builder and the level-0
+    /// frontier.
+    fn seed(
+        &mut self,
+        builder: &mut PpsBuilder<M::Global, P>,
+        initial: Vec<(M::Global, P)>,
+    ) -> Result<(), UnfoldError> {
+        for (state, p) in initial {
+            let sid = builder.intern(state);
+            let id = builder.initial_interned(sid, p)?;
+            self.node_count += 1;
+            if !self.model.is_terminal(builder.state(sid), 0) {
+                self.frontier.push((id, sid));
+            }
+        }
+        Ok(())
     }
 
     fn memo_get(&self, sid: StateId, time: u32) -> u32 {
@@ -573,6 +763,7 @@ where
     }
 
     fn memo_insert(&mut self, sid: StateId, time: u32, slot: u32) {
+        self.memo_added.push((sid, time));
         if self.expansion_rows.len() <= time as usize {
             self.expansion_rows.resize_with(time as usize + 1, Vec::new);
         }
@@ -591,28 +782,51 @@ where
         }
     }
 
-    /// Seeds `node` into the frontier unless its state is terminal —
-    /// terminal nodes are leaves with nothing to expand, so they never
-    /// enter the frontier at all (on deep trees, leaves are the majority
-    /// of nodes; this spares each one a push/pop cycle). `is_terminal`
-    /// is still consulted exactly once per node.
-    fn push_frontier(&mut self, node: NodeId, sid: StateId, time: u32) {
-        if !self.model.is_terminal(self.builder.state(sid), time) {
-            self.frontier.push((node, sid, time));
-        }
-    }
-
-    /// Expands the frontier to exhaustion, enforcing the node budget and
-    /// depth cap of `config`. Every frontier entry is non-terminal by
-    /// construction ([`Unfolder::push_frontier`]).
-    fn run(&mut self, config: &UnfoldConfig) -> Result<(), UnfoldError> {
-        while let Some((node, sid, time)) = self.frontier.pop() {
-            if let Some(cap) = config.max_depth {
-                if time >= cap {
-                    return Err(UnfoldError::DepthExceeded { max_depth: cap });
+    /// Expands level by level until the frontier empties or `cap` is
+    /// reached, returning the time the frontier stopped at. Entered with
+    /// the frontier sitting at `time`; every level is expanded atomically
+    /// ([`ExpansionCore::expand_level`]).
+    fn run_levels<T: ExpandTarget<M::Global, P>>(
+        &mut self,
+        sink: &mut T,
+        mut time: Time,
+        cap: Option<Time>,
+        config: &UnfoldConfig,
+    ) -> Result<Time, UnfoldError> {
+        while !self.frontier.is_empty() && cap != Some(time) {
+            if let Some(d) = config.max_depth {
+                if time >= d {
+                    return Err(UnfoldError::DepthExceeded { max_depth: d });
                 }
             }
+            self.expand_level(sink, time, config)?;
+            self.promote_level();
+            time += 1;
+        }
+        Ok(time)
+    }
 
+    /// Expands every node of the current frontier (all at `time`) into
+    /// `sink`, collecting the next level's frontier in `self.next`. The
+    /// current frontier is left intact in both outcomes — the caller
+    /// promotes the new level ([`ExpansionCore::promote_level`]) once the
+    /// sink has accepted it, which is what lets a failed
+    /// [`PpsExtender::commit_level`] roll back without a frontier
+    /// snapshot. On error the caller rolls the engine back
+    /// ([`ExpansionCore::rollback_level`]); the sink is the caller's to
+    /// unwind.
+    fn expand_level<T: ExpandTarget<M::Global, P>>(
+        &mut self,
+        sink: &mut T,
+        time: Time,
+        config: &UnfoldConfig,
+    ) -> Result<(), UnfoldError> {
+        debug_assert!(self.next.is_empty());
+        self.memo_added.clear();
+        let mut i = 0;
+        while i < self.frontier.len() {
+            let (node, sid) = self.frontier[i];
+            i += 1;
             let memo_slot = self.memo_get(sid, time);
             if memo_slot != EXPANSION_NONE {
                 let (successors, first_template) = &self.expansions[memo_slot as usize];
@@ -625,32 +839,64 @@ where
                 }
                 // One bulk column copy for the whole expansion instead of
                 // `count` interleaved pushes.
-                let base = self.builder.children_replayed(node, *first_template, count);
-                for (i, (succ_id, _, _)) in successors.iter().enumerate() {
-                    if !self
-                        .model
-                        .is_terminal(self.builder.state(*succ_id), time + 1)
-                    {
-                        self.frontier
-                            .push((NodeId(base.0 + i as u32), *succ_id, time + 1));
+                let base = sink.children_replayed(node, *first_template, count);
+                for (k, (succ_id, _, _)) in successors.iter().enumerate() {
+                    if !self.model.is_terminal(sink.state(*succ_id), time + 1) {
+                        self.next.push((NodeId(base.0 + k as u32), *succ_id));
                     }
                 }
             } else {
-                self.expand(node, sid, time, config)?;
+                self.expand(sink, node, sid, time, config)?;
             }
             // Every expanded node's children are (re)played from the
             // memoized `(state, time)` successor list, so the build pass
             // validates the outgoing distribution once per distinct pair
             // instead of once per node.
-            self.builder.mark_children_shared(node, sid, time);
+            sink.mark_children_shared(node, sid, time);
         }
         Ok(())
     }
 
+    /// Retires the expanded frontier and installs the level
+    /// [`ExpansionCore::expand_level`] collected in its place.
+    fn promote_level(&mut self) {
+        self.frontier.clear();
+        std::mem::swap(&mut self.frontier, &mut self.next);
+    }
+
+    /// Rolls the engine back to the state it held before the failed (or
+    /// sink-rejected) [`ExpansionCore::expand_level`]: discards the
+    /// half-built next level (the expanded frontier is still in place —
+    /// it only retires at [`ExpansionCore::promote_level`]), unwinds the
+    /// unwinds the memo via the per-level undo log, truncates the
+    /// expansion arena (inserts and pushes are 1:1), and restores the
+    /// node count. Dense memo rows keep their grown capacity; only the
+    /// slots are cleared.
+    fn rollback_level(&mut self, node_count: usize) {
+        self.next.clear();
+        self.node_count = node_count;
+        let kept = self.expansions.len() - self.memo_added.len();
+        self.expansions.truncate(kept);
+        for &(sid, time) in &self.memo_added {
+            let dense = self
+                .expansion_rows
+                .get_mut(time as usize)
+                .and_then(|row| row.get_mut(sid.index()));
+            match dense {
+                Some(slot) if *slot != EXPANSION_NONE => *slot = EXPANSION_NONE,
+                _ => {
+                    self.expansion_spill.remove(&(sid, time));
+                }
+            }
+        }
+        self.memo_added.clear();
+    }
+
     /// Computes a fresh expansion of `(sid, time)`, emits its children
     /// under `node`, and memoizes the successor list.
-    fn expand(
+    fn expand<T: ExpandTarget<M::Global, P>>(
         &mut self,
+        sink: &mut T,
         node: NodeId,
         sid: StateId,
         time: u32,
@@ -660,7 +906,7 @@ where
         // state, into the per-agent scratch buffers.
         for a in 0..self.n_agents {
             let agent = AgentId(a);
-            let local = self.builder.state(sid).local(agent);
+            let local = sink.state(sid).local(agent);
             let dist = &mut self.per_agent[a as usize];
             dist.clear();
             self.model.moves_into(agent, &local, time, dist);
@@ -696,12 +942,8 @@ where
                 p_joint = p_joint.mul(p);
             }
             self.outcomes.clear();
-            self.model.transition_into(
-                self.builder.state(sid),
-                &self.joint,
-                time,
-                &mut self.outcomes,
-            );
+            self.model
+                .transition_into(sink.state(sid), &self.joint, time, &mut self.outcomes);
             validate_distribution(&self.outcomes).map_err(|detail| {
                 UnfoldError::BadModelDistribution {
                     origin: "transition",
@@ -710,7 +952,7 @@ where
             })?;
             for (succ, p_env) in self.outcomes.drain(..) {
                 let p = p_joint.mul(&p_env);
-                let succ_id = self.builder.intern(succ);
+                let succ_id = sink.intern(succ);
                 let mut hasher = FxHasher::default();
                 self.actions.hash(&mut hasher);
                 succ_id.hash(&mut hasher);
@@ -732,7 +974,7 @@ where
             let mut i = 0;
             loop {
                 if i == self.counters.len() {
-                    return self.finish_expansion(node, sid, time, successors, config);
+                    return self.finish_expansion(sink, node, sid, time, successors, config);
                 }
                 self.counters[i] += 1;
                 if self.counters[i] < self.per_agent[i].len() {
@@ -745,8 +987,9 @@ where
     }
 
     /// Emits the merged successor list under `node` and memoizes it.
-    fn finish_expansion(
+    fn finish_expansion<T: ExpandTarget<M::Global, P>>(
         &mut self,
+        sink: &mut T,
         node: NodeId,
         sid: StateId,
         time: u32,
@@ -761,18 +1004,203 @@ where
                     max_nodes: config.max_nodes,
                 });
             }
-            let child = self
-                .builder
-                .child_interned(node, *succ_id, p.clone(), actions)?;
+            let child = sink.child_interned(node, *succ_id, p.clone(), actions)?;
             if i == 0 {
                 first_child = child;
             }
-            self.push_frontier(child, *succ_id, time + 1);
+            if !self.model.is_terminal(sink.state(*succ_id), time + 1) {
+                self.next.push((child, *succ_id));
+            }
         }
         let slot = self.expansions.len() as u32;
         self.memo_insert(sid, time, slot);
         self.expansions.push((successors, first_child));
         Ok(())
+    }
+}
+
+/// A retained unfolding session supporting **incremental horizon
+/// extension**: the model, the `(state, time)` expansion memo, the
+/// scratch buffers, the [`StatePool`](pak_core::intern::StatePool), the
+/// per-agent local pools, and the leaf frontier all stay alive across
+/// calls, so growing a tree from horizon `h` to `h + 1`
+/// ([`Unfolder::extend_horizon`]) expands only the previous leaf frontier
+/// and incrementally repairs the derived run/cell indexes through a
+/// [`PpsExtender`] — instead of re-running the whole unfold + build
+/// pipeline.
+///
+/// The grown system is **bit-identical** — pool ids, node order, run
+/// probabilities, cells, action events — to a from-scratch unfold of the
+/// same model capped at the same horizon
+/// (`UnfoldConfig { horizon: Some(h), .. }`): a contract the differential
+/// harness proves across the seeded sweep and every `pak-systems`
+/// protocol. On error, `extend_horizon` rolls both the engine and the
+/// tree back to the previous horizon and the handle stays usable.
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::model::CoinModel;
+/// use pak_protocol::unfold::{UnfoldConfig, Unfolder};
+/// use pak_num::Rational;
+///
+/// let m = CoinModel { heads_num: 1, heads_den: 2 };
+/// // Build just the prior (horizon 0), then grow one level at a time.
+/// let cfg = UnfoldConfig { horizon: Some(0), ..UnfoldConfig::default() };
+/// let mut u = Unfolder::<_, Rational>::new(&m, cfg).unwrap();
+/// assert_eq!(u.pps().num_nodes(), 3); // root λ + the two initial states
+/// assert!(u.extend_horizon().unwrap());
+/// assert_eq!(u.pps().num_nodes(), 5); // the coin resolves at time 1
+/// assert!(!u.extend_horizon().unwrap()); // every path has terminated
+/// assert_eq!(u.horizon(), 1);
+/// ```
+pub struct Unfolder<'m, M: ProtocolModel<P>, P: Probability> {
+    config: UnfoldConfig,
+    core: ExpansionCore<'m, M, P>,
+    extender: PpsExtender<M::Global, P>,
+    /// The time the retained frontier sits at: every level strictly below
+    /// it has been expanded.
+    horizon: Time,
+}
+
+impl<M, P> Clone for Unfolder<'_, M, P>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    fn clone(&self) -> Self {
+        Unfolder {
+            config: self.config.clone(),
+            core: self.core.clone(),
+            extender: self.extender.clone(),
+            horizon: self.horizon,
+        }
+    }
+}
+
+impl<M, P> fmt::Debug for Unfolder<'_, M, P>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Unfolder")
+            .field("horizon", &self.horizon)
+            .field("num_nodes", &self.extender.pps().num_nodes())
+            .field("frontier", &self.core.frontier.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'m, M, P> Unfolder<'m, M, P>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    /// Unfolds `model` up to `config.horizon` (or to exhaustion when it is
+    /// `None`) and retains everything needed to grow further.
+    ///
+    /// # Errors
+    ///
+    /// See [`UnfoldError`].
+    pub fn new(model: &'m M, config: UnfoldConfig) -> Result<Self, UnfoldError> {
+        let n_agents = model.n_agents();
+        let initial = model.initial_states();
+        validate_distribution(&initial).map_err(|detail| UnfoldError::BadModelDistribution {
+            origin: "initial_states",
+            detail,
+        })?;
+        if initial.len() > config.max_nodes {
+            return Err(UnfoldError::TooLarge {
+                max_nodes: config.max_nodes,
+            });
+        }
+        let mut core = ExpansionCore::new(model, n_agents);
+        let mut builder = PpsBuilder::new(n_agents);
+        core.seed(&mut builder, initial)?;
+        let horizon = core.run_levels(&mut builder, 0, config.horizon, &config)?;
+        let pps = builder.build()?;
+        Ok(Unfolder {
+            config,
+            core,
+            extender: PpsExtender::new(pps),
+            horizon,
+        })
+    }
+
+    /// The system unfolded so far. Valid (and queryable) after every
+    /// successful call — extension repairs the indexes level by level.
+    pub fn pps(&self) -> &Pps<M::Global, P> {
+        self.extender.pps()
+    }
+
+    /// The horizon the tree currently stands at: the time of the retained
+    /// frontier. Every level strictly below it is fully expanded; equals
+    /// the final frontier time once growth is exhausted.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Whether the tree can still grow: true while the retained frontier
+    /// is non-empty, false once every path has terminated.
+    pub fn can_extend(&self) -> bool {
+        !self.core.frontier.is_empty()
+    }
+
+    /// Grows the tree by one level: expands the retained leaf frontier
+    /// (reusing the live `(state, time)` expansion memo), appends the new
+    /// nodes, and incrementally repairs the run and cell indexes. Returns
+    /// `Ok(true)` if a level was added, `Ok(false)` if every path had
+    /// already terminated (the tree is complete; calling again stays
+    /// `Ok(false)`).
+    ///
+    /// The result after `extend_horizon` is bit-identical to a
+    /// from-scratch unfold capped one level deeper — see the type-level
+    /// docs for the exactness contract.
+    ///
+    /// # Errors
+    ///
+    /// [`UnfoldError::TooLarge`], [`UnfoldError::DepthExceeded`],
+    /// [`UnfoldError::BadModelDistribution`], or [`UnfoldError::Pps`],
+    /// exactly as the equivalent from-scratch unfold would report them.
+    /// On error the half-built level is rolled back — nodes, pool
+    /// entries, memo inserts, frontier — and the handle remains usable at
+    /// its previous horizon.
+    pub fn extend_horizon(&mut self) -> Result<bool, UnfoldError> {
+        if self.core.frontier.is_empty() {
+            return Ok(false);
+        }
+        if let Some(d) = self.config.max_depth {
+            if self.horizon >= d {
+                return Err(UnfoldError::DepthExceeded { max_depth: d });
+            }
+        }
+        let node_count = self.core.node_count;
+        self.extender.begin_level();
+        if let Err(e) = self
+            .core
+            .expand_level(&mut self.extender, self.horizon, &self.config)
+        {
+            self.extender.abort_level();
+            self.core.rollback_level(node_count);
+            return Err(e);
+        }
+        if let Err(e) = self.extender.commit_level() {
+            // Validation failure: commit_level has already unwound the
+            // appended level; the old frontier is still in place (levels
+            // promote only after a successful commit), so rolling back
+            // the engine restores everything.
+            self.core.rollback_level(node_count);
+            return Err(UnfoldError::Pps(e));
+        }
+        self.core.promote_level();
+        self.horizon += 1;
+        Ok(true)
+    }
+
+    /// Consumes the handle, returning the grown system.
+    pub fn into_pps(self) -> Pps<M::Global, P> {
+        self.extender.into_pps()
     }
 }
 
@@ -964,6 +1392,7 @@ mod tests {
         let cfg = UnfoldConfig {
             max_nodes: 2,
             max_depth: None,
+            horizon: None,
         };
         let err = unfold_with::<_, Rational>(&m, &cfg).unwrap_err();
         assert!(matches!(err, UnfoldError::TooLarge { max_nodes: 2 }));
@@ -983,6 +1412,7 @@ mod tests {
             &UnfoldConfig {
                 max_nodes: 4,
                 max_depth: None,
+                horizon: None,
             },
         )
         .unwrap();
@@ -992,6 +1422,7 @@ mod tests {
             &UnfoldConfig {
                 max_nodes: 3,
                 max_depth: None,
+                horizon: None,
             },
         )
         .unwrap_err();
@@ -1011,6 +1442,7 @@ mod tests {
             &UnfoldConfig {
                 max_nodes: 1,
                 max_depth: None,
+                horizon: None,
             },
         )
         .unwrap_err();
@@ -1052,6 +1484,7 @@ mod tests {
         let cfg = UnfoldConfig {
             max_nodes: 1 << 20,
             max_depth: Some(8),
+            horizon: None,
         };
         let err = unfold_with::<_, Rational>(&Forever, &cfg).unwrap_err();
         assert!(matches!(err, UnfoldError::DepthExceeded { max_depth: 8 }));
@@ -1160,6 +1593,7 @@ mod tests {
                 &UnfoldConfig {
                     max_nodes: budget,
                     max_depth: None,
+                    horizon: None,
                 },
                 &UnfoldOptions {
                     parallel_subtrees: Some(true),
@@ -1178,6 +1612,7 @@ mod tests {
             &UnfoldConfig {
                 max_nodes: 4,
                 max_depth: None,
+                horizon: None,
             },
             &UnfoldOptions {
                 parallel_subtrees: Some(true),
@@ -1186,6 +1621,134 @@ mod tests {
         )
         .unwrap();
         assert_eq!(pps.num_nodes(), 5);
+    }
+
+    #[test]
+    fn horizon_cap_truncates_cleanly() {
+        // A 3-step table model capped at horizon 1 keeps the time-1 nodes
+        // as leaves and still builds a valid (queryable) system.
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 1,
+            initial: vec![(0, vec![0], Rational::one())],
+            horizon: 3,
+            moves: vec![],
+            transitions: vec![],
+            ..TableModel::default()
+        };
+        let full = unfold::<_, Rational>(&m).unwrap();
+        let capped = unfold_with::<_, Rational>(
+            &m,
+            &UnfoldConfig {
+                horizon: Some(1),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(capped.horizon(), 1);
+        assert!(full.horizon() > capped.horizon());
+        assert!(capped.measure(&capped.all_runs()).is_one());
+    }
+
+    #[test]
+    fn extend_horizon_matches_scratch_unfold() {
+        // Grow 0 → exhaustion one level at a time; at each step the grown
+        // system must match a from-scratch unfold capped at that horizon.
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 2,
+            initial: vec![
+                (0, vec![0, 0], Rational::from_ratio(1, 3)),
+                (1, vec![1, 0], Rational::from_ratio(2, 3)),
+            ],
+            horizon: 3,
+            moves: vec![],
+            transitions: vec![],
+            ..TableModel::default()
+        };
+        let mut u = Unfolder::<_, Rational>::new(
+            &m,
+            UnfoldConfig {
+                horizon: Some(0),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        let mut h = 0;
+        loop {
+            let scratch = unfold_with::<_, Rational>(
+                &m,
+                &UnfoldConfig {
+                    horizon: Some(h),
+                    ..UnfoldConfig::default()
+                },
+            )
+            .unwrap();
+            let grown = u.pps();
+            assert_eq!(grown.num_nodes(), scratch.num_nodes(), "h={h}");
+            assert_eq!(grown.num_runs(), scratch.num_runs(), "h={h}");
+            assert_eq!(grown.num_cells(), scratch.num_cells(), "h={h}");
+            for run in scratch.run_ids() {
+                assert_eq!(grown.nodes_of(run), scratch.nodes_of(run), "h={h}: {run}");
+                assert_eq!(
+                    grown.run_probability(run),
+                    scratch.run_probability(run),
+                    "h={h}: {run}"
+                );
+            }
+            if !u.extend_horizon().unwrap() {
+                break;
+            }
+            h += 1;
+        }
+        assert_eq!(u.horizon(), 3);
+        assert!(!u.can_extend());
+    }
+
+    #[test]
+    fn extend_horizon_respects_node_budget() {
+        // Growing past the cap fails cleanly and leaves the handle usable
+        // at its previous horizon.
+        let m = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let mut u = Unfolder::<_, Rational>::new(
+            &m,
+            UnfoldConfig {
+                max_nodes: 2,
+                max_depth: None,
+                horizon: Some(0),
+            },
+        )
+        .unwrap();
+        let nodes_before = u.pps().num_nodes();
+        let err = u.extend_horizon().unwrap_err();
+        assert!(matches!(err, UnfoldError::TooLarge { max_nodes: 2 }));
+        assert_eq!(u.horizon(), 0);
+        assert_eq!(u.pps().num_nodes(), nodes_before);
+        // The same failed extension is still reported on retry…
+        assert!(u.extend_horizon().is_err());
+        // …and the retained tree still answers queries.
+        assert!(u.pps().measure(&u.pps().all_runs()).is_one());
+    }
+
+    #[test]
+    fn extend_horizon_respects_depth_cap() {
+        let m = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let mut u = Unfolder::<_, Rational>::new(
+            &m,
+            UnfoldConfig {
+                max_depth: Some(0),
+                horizon: Some(0),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        let err = u.extend_horizon().unwrap_err();
+        assert!(matches!(err, UnfoldError::DepthExceeded { max_depth: 0 }));
+        assert_eq!(u.horizon(), 0);
     }
 
     #[test]

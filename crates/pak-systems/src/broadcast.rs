@@ -135,6 +135,7 @@ impl<P: Probability> Broadcast<P> {
             &UnfoldConfig {
                 max_nodes: 1 << 18,
                 max_depth: Some(self.rounds + 2),
+                horizon: None,
             },
         )?;
         for a in 0..self.n_agents {

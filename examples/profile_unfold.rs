@@ -12,8 +12,12 @@
 //!
 //! The build share is the number to watch PR over PR: it is what the
 //! interned build pass (validation memoization, `LocalId` cells,
-//! word-filled run-sets) is meant to keep from dominating. Useful for
-//! eyeballing perf work without running the whole bench suite:
+//! word-filled run-sets) is meant to keep from dominating. The **extend**
+//! column puts incremental growth next to the rebuild: the cost of
+//! growing a retained `Unfolder` from `horizon − 1` to `horizon` (one
+//! frontier expansion + index repair) vs re-unfolding the whole horizon
+//! tree from scratch. Useful for eyeballing perf work without running
+//! the whole bench suite:
 //!
 //! ```text
 //! cargo run --release --example profile_unfold
@@ -24,7 +28,7 @@ use std::time::{Duration, Instant};
 use pak::num::Rational;
 use pak::protocol::generator::{random_model, RandomModelConfig};
 use pak::protocol::unfold::{
-    unfold_to_builder, unfold_with, unfold_with_options, UnfoldConfig, UnfoldOptions,
+    unfold_to_builder, unfold_with, unfold_with_options, UnfoldConfig, UnfoldOptions, Unfolder,
 };
 
 fn main() {
@@ -89,12 +93,38 @@ fn main() {
         }
         let threaded = t.elapsed() / iters;
 
+        // Incremental growth: the cost of the final extend(h−1 → h) on a
+        // retained handle, measured on clones of the horizon-(h−1) handle
+        // with the clone cost subtracted — against `full`, the from-scratch
+        // rebuild of the same horizon-h tree.
+        let parked = Unfolder::<_, Rational>::new(
+            &model,
+            UnfoldConfig {
+                horizon: Some(horizon - 1),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(parked.clone());
+        }
+        let handle_clone = t.elapsed() / iters;
+        let t = Instant::now();
+        for _ in 0..iters {
+            let mut u = parked.clone();
+            u.extend_horizon().unwrap();
+            std::hint::black_box(u);
+        }
+        let extend = (t.elapsed() / iters).saturating_sub(handle_clone);
+
         let build = full.saturating_sub(tree);
         let share = |d: Duration| 100.0 * d.as_secs_f64() / full.as_secs_f64().max(1e-12);
         println!(
-            "horizon {horizon}: {full:>9.2?}/unfold = tree {tree:>8.2?} ({:>4.1}%) + build {build:>8.2?} ({:>4.1}%, direct {build_direct:.2?}) | threaded {threaded:>8.2?} | nodes={:<5} runs={:<4} distinct states={:<3} ({}x shared)",
+            "horizon {horizon}: {full:>9.2?}/unfold = tree {tree:>8.2?} ({:>4.1}%) + build {build:>8.2?} ({:>4.1}%, direct {build_direct:.2?}) | threaded {threaded:>8.2?} | extend {extend:>8.2?} ({:>4.1}% of rebuild) | nodes={:<5} runs={:<4} distinct states={:<3} ({}x shared)",
             share(tree),
             share(build),
+            share(extend),
             pps.num_nodes(),
             pps.num_runs(),
             pps.num_distinct_states(),

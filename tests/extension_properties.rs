@@ -1,14 +1,21 @@
 //! Property tests for the extension modules: belief dynamics, common
-//! belief, policy prediction, and the broadcast family.
+//! belief, policy prediction, and the broadcast family — plus the
+//! interleaving behaviour of incremental horizon extension (growing a
+//! retained [`Unfolder`] between queries, double extension, clean failure
+//! past the node budget, and growing hand-built trees through
+//! [`PpsExtender`] directly).
 //!
 //! The case grids are deterministic (fixed seed strides, no external
 //! property-testing dependency), so every failure replays exactly.
+
+mod common;
 
 use pak::core::prelude::*;
 use pak::core::trace::{belief_envelope, BeliefTrace};
 use pak::logic::common::{believes_set, common_belief, fact_points};
 use pak::num::Rational;
-use pak::protocol::generator::{random_pps, RandomModelConfig};
+use pak::protocol::generator::{random_model, random_pps, RandomModelConfig};
+use pak::protocol::unfold::{unfold_with, UnfoldConfig, UnfoldError, Unfolder};
 use pak::systems::broadcast::Broadcast;
 use pak::systems::firing_squad::FiringSquad;
 use pak::systems::policy::sweep_policies;
@@ -164,6 +171,130 @@ fn broadcast_matches_closed_form() {
             }
         }
     }
+}
+
+/// Interleaving queries with growth: a retained [`Unfolder`] answers
+/// queries at every horizon, keeps growing after them, and after two
+/// further extensions still equals the from-scratch unfold capped at the
+/// horizon it reports.
+#[test]
+fn extension_interleaves_with_queries() {
+    for seed in seeds(8, 50) {
+        let model = random_model::<Rational>(seed, &cfg(seed));
+        let mut u = Unfolder::new(
+            &model,
+            UnfoldConfig {
+                horizon: Some(1),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        // Query at horizon 1 (the truncated tree is a complete, valid
+        // system)…
+        assert!(u.pps().measure(&u.pps().all_runs()).is_one(), "seed {seed}");
+        // …extend, query again, extend again…
+        if u.extend_horizon().unwrap() {
+            assert!(u.pps().measure(&u.pps().all_runs()).is_one(), "seed {seed}");
+        }
+        u.extend_horizon().unwrap();
+        // …and the grown tree is bit-identical to a from-scratch unfold
+        // at whatever horizon the handle now stands at.
+        let scratch = unfold_with(
+            &model,
+            &UnfoldConfig {
+                horizon: Some(u.horizon()),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        common::assert_identical_systems(&scratch, u.pps(), &format!("seed {seed}"));
+    }
+}
+
+/// Growing past `max_nodes` fails with the same error a from-scratch
+/// unfold reports, and rolls back completely: the handle stays at its
+/// previous horizon, still queryable, still bit-identical to the capped
+/// from-scratch unfold.
+#[test]
+fn extension_past_node_cap_rolls_back_cleanly() {
+    let model = random_model::<Rational>(3, &cfg(3));
+    // Budget exactly the horizon-1 tree: the handle builds, the first
+    // extension must overflow.
+    let h1 = unfold_with(
+        &model,
+        &UnfoldConfig {
+            horizon: Some(1),
+            ..UnfoldConfig::default()
+        },
+    )
+    .unwrap();
+    let cap = h1.num_nodes() - 1; // state nodes only: the root λ is not budgeted
+    let mut u = Unfolder::new(
+        &model,
+        UnfoldConfig {
+            max_nodes: cap,
+            horizon: Some(1),
+            ..UnfoldConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(u.can_extend(), "cfg(3) trees are deeper than one level");
+    let err = u.extend_horizon().unwrap_err();
+    assert!(matches!(err, UnfoldError::TooLarge { max_nodes } if max_nodes == cap));
+    assert_eq!(u.horizon(), 1, "failed extension must not advance");
+    common::assert_identical_systems(&h1, u.pps(), "after failed extension");
+    // The handle still refuses (the budget has not grown), and still
+    // answers queries at its old horizon.
+    assert!(u.extend_horizon().is_err());
+    assert!(u.pps().measure(&u.pps().all_runs()).is_one());
+}
+
+/// Trees assembled by hand — no protocol model at all — grow too: a
+/// prior-only tree built through [`PpsBuilder`] (and therefore
+/// `Pps::from_parts`) is extended one level through [`PpsExtender`]
+/// directly, and the result is bit-identical to hand-building the full
+/// two-level tree in the same level order.
+#[test]
+fn hand_built_tree_extends_via_extender() {
+    let act = ActionId(0);
+    let heads0 = SimpleState::new(1, vec![0]);
+    let tails0 = SimpleState::new(0, vec![0]);
+    let heads1 = SimpleState::new(1, vec![1]);
+    let tails1 = SimpleState::new(0, vec![2]);
+
+    let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+    let h = b
+        .initial(heads0.clone(), Rational::from_ratio(1, 3))
+        .unwrap();
+    let t = b
+        .initial(tails0.clone(), Rational::from_ratio(2, 3))
+        .unwrap();
+    let mut ext = PpsExtender::new(b.build().unwrap());
+    assert_eq!(ext.frontier_depth(), 1);
+    ext.begin_level();
+    let sid_h = ext.intern(heads1.clone());
+    let sid_t = ext.intern(tails1.clone());
+    ext.append_child(h, sid_h, Rational::one(), &[(AgentId(0), act)])
+        .unwrap();
+    ext.append_child(t, sid_t, Rational::one(), &[]).unwrap();
+    ext.commit_level().unwrap();
+    assert_eq!(ext.frontier_depth(), 2);
+    let grown = ext.into_pps();
+
+    // The same two-level tree, hand-built from scratch in level order.
+    let mut b2 = PpsBuilder::<SimpleState, Rational>::new(1);
+    let h2 = b2.initial(heads0, Rational::from_ratio(1, 3)).unwrap();
+    let t2 = b2.initial(tails0, Rational::from_ratio(2, 3)).unwrap();
+    b2.child(h2, heads1, Rational::one(), &[(AgentId(0), act)])
+        .unwrap();
+    b2.child(t2, tails1, Rational::one(), &[]).unwrap();
+    let want = b2.build().unwrap();
+
+    common::assert_identical_systems(&want, &grown, "hand-built extension");
+    assert_eq!(grown.horizon(), 1);
+    assert!(grown
+        .measure(&grown.action_event(AgentId(0), act))
+        .eq(&Rational::from_ratio(1, 3)));
 }
 
 #[test]

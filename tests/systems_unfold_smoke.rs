@@ -20,9 +20,12 @@
 //! of that, exact-sum checks (`µ(R_T) = 1` and every internal node's
 //! outgoing distribution summing exactly to one) hold on each result,
 //! parallel subtree unfolding reproduces the sequential system
-//! node-for-node, and scenarios with a hand-built [`PpsBuilder`] twin are
-//! proved observably equivalent to it (same run multiset with exact
-//! probabilities, same action-event measures, same analysis quantities).
+//! node-for-node, **incremental horizon growth** (a retained `Unfolder`
+//! extended 0→1→…→h) reproduces the from-scratch capped unfold
+//! bit-identically at every intermediate horizon, and scenarios with a
+//! hand-built [`PpsBuilder`] twin are proved observably equivalent to it
+//! (same run multiset with exact probabilities, same action-event
+//! measures, same analysis quantities).
 
 mod common;
 
@@ -30,7 +33,9 @@ use common::assert_identical_systems;
 use pak::core::prelude::*;
 use pak::num::Rational;
 use pak::protocol::model::{ProtocolModel, VecApiModel};
-use pak::protocol::unfold::{unfold_with, unfold_with_options, UnfoldConfig, UnfoldOptions};
+use pak::protocol::unfold::{
+    unfold_with, unfold_with_options, UnfoldConfig, UnfoldOptions, Unfolder,
+};
 use pak::systems::attack::CoordinatedAttack;
 use pak::systems::broadcast::Broadcast;
 use pak::systems::figure1::{figure1, Figure1Model};
@@ -127,9 +132,10 @@ fn assert_equivalent<G: GlobalState>(got: &Pps<G, Rational>, want: &Pps<G, Ratio
 }
 
 /// The full battery for one protocol model: native `_into` unfold vs the
-/// `Vec`-API default path, exact sums on both, and parallel-vs-sequential
-/// subtree unfolding. Returns the native unfold for scenario-specific
-/// checks.
+/// `Vec`-API default path, exact sums on both, parallel-vs-sequential
+/// subtree unfolding, and incremental horizon growth vs from-scratch
+/// capped unfolds at every intermediate horizon. Returns the native
+/// unfold for scenario-specific checks.
 fn check_model<M>(model: M, ctx: &str) -> Pps<M::Global, Rational>
 where
     M: ProtocolModel<Rational> + Clone + Sync,
@@ -149,6 +155,36 @@ where
     )
     .unwrap();
     assert_identical_systems(&native, &parallel, &format!("{ctx} [parallel]"));
+    // Incremental horizon growth: grow from the bare prior one level at a
+    // time; at every step the grown system must be bit-identical — pool
+    // ids, node order, runs, cells — to a from-scratch unfold capped at
+    // the same horizon (depth-0 models extend zero times and must already
+    // match at h = 0).
+    let mut grown = Unfolder::<_, Rational>::new(
+        &model,
+        UnfoldConfig {
+            horizon: Some(0),
+            ..UnfoldConfig::default()
+        },
+    )
+    .unwrap();
+    let mut h = 0u32;
+    loop {
+        let scratch = unfold_with(
+            &model,
+            &UnfoldConfig {
+                horizon: Some(h),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        assert_identical_systems(&scratch, grown.pps(), &format!("{ctx} [grown h={h}]"));
+        if !grown.extend_horizon().unwrap() {
+            break;
+        }
+        h += 1;
+    }
+    assert_identical_systems(&native, grown.pps(), &format!("{ctx} [grown full]"));
     native
 }
 

@@ -59,7 +59,7 @@ use pak::protocol::generator::{random_model, RandomModelConfig};
 use pak::protocol::model::{validate_distribution, ProtocolModel, TableModel, VecApiModel};
 use pak::protocol::unfold::{
     unfold_to_builder, unfold_with, unfold_with_options, CartesianMoves, UnfoldConfig,
-    UnfoldOptions,
+    UnfoldOptions, Unfolder,
 };
 
 /// The pre-refactor merge, retained verbatim as the reference semantics:
@@ -349,6 +349,81 @@ fn assert_parallel_unfold_identical(model: &TableModel<Rational>, ctx: &str) {
     common::assert_identical_systems(&seq, &par, ctx);
     // And everything observable, via the shared checker.
     assert_identical(&par, &seq, &format!("{ctx} [parallel]"));
+}
+
+/// Grows the model's tree one horizon at a time through a retained
+/// [`Unfolder`] handle, asserting at every intermediate horizon that the
+/// grown system is **bit-identical** to a from-scratch unfold capped at
+/// that horizon: same pool ids in the same order, same node order
+/// (parents, state ids, times), same runs with bit-equal probabilities,
+/// cells id-for-id, same action events.
+fn assert_extension_matches_scratch(model: &TableModel<Rational>, ctx: &str) {
+    let mut unfolder = Unfolder::<_, Rational>::new(
+        model,
+        UnfoldConfig {
+            horizon: Some(1),
+            ..UnfoldConfig::default()
+        },
+    )
+    .unwrap();
+    let mut h = 1u32;
+    loop {
+        let scratch = unfold_with(
+            model,
+            &UnfoldConfig {
+                horizon: Some(h),
+                ..UnfoldConfig::default()
+            },
+        )
+        .unwrap();
+        let step = format!("{ctx} [grown h={h}]");
+        // Strict id-level identity (pool ids, node order, runs, cells)…
+        common::assert_identical_systems(&scratch, unfolder.pps(), &step);
+        // …and every theory-level observable, action events included.
+        assert_identical(unfolder.pps(), &scratch, &step);
+        if !unfolder.extend_horizon().unwrap() {
+            break;
+        }
+        h += 1;
+    }
+    // Fully grown equals the uncapped unfold of the same model.
+    let full = unfold_with(model, &UnfoldConfig::default()).unwrap();
+    common::assert_identical_systems(&full, unfolder.pps(), &format!("{ctx} [grown full]"));
+}
+
+#[test]
+fn incremental_extension_matches_scratch_across_sweep() {
+    // The same grid as the merge sweep below: a tree grown 1→2→…→h via
+    // `extend_horizon` must be bit-identical to a from-scratch horizon-h
+    // unfold at *every* step, across >100 seeded configurations.
+    let mut cases = 0usize;
+    for n_agents in 1..=3u32 {
+        for horizon in 1..=4u32 {
+            for max_env_branching in [1u32, 2, 3] {
+                if n_agents == 3 && horizon == 4 {
+                    continue; // joint-move branching is exponential in agents
+                }
+                for seed in 0..4u64 {
+                    let cfg = RandomModelConfig {
+                        n_agents,
+                        initial_states: 1 + (seed as u32 % 3),
+                        horizon,
+                        envs: 3,
+                        max_env_branching,
+                        local_values: 2,
+                        actions_per_agent: 2,
+                    };
+                    let model = random_model::<Rational>(seed * 101 + 7, &cfg);
+                    let ctx = format!(
+                        "agents={n_agents} horizon={horizon} branch={max_env_branching} seed={seed}"
+                    );
+                    assert_extension_matches_scratch(&model, &ctx);
+                    cases += 1;
+                }
+            }
+        }
+    }
+    assert!(cases >= 100, "sweep shrank unexpectedly: {cases} cases");
 }
 
 #[test]
