@@ -9,6 +9,9 @@ use pak_bench::criterion;
 use pak_core::belief::ActionAnalysis;
 use pak_core::fact::StateFact;
 use pak_core::prelude::*;
+use pak_engine::Evaluator;
+use pak_logic::generator::{random_formula, RandomFormulaConfig};
+use pak_logic::{Formula, ModelChecker};
 use pak_num::Rational;
 use pak_protocol::generator::{random_model, random_pps, RandomModelConfig};
 use pak_protocol::unfold::{
@@ -125,6 +128,58 @@ fn benches(c: &mut Criterion) {
             for h in 1..=6u32 {
                 black_box(unfold_with(&model, &capped(h)).unwrap());
             }
+        })
+    });
+    group.finish();
+
+    // The query engine: 100 mixed formulas (every constructor, nesting
+    // depth ≤ 3, seeded) against one cached horizon-6 tree. `batched` is
+    // a cold `Evaluator` per iteration — interning plus every truth
+    // bitset plus 100 verdicts; `naive` is 100 `ModelChecker::valid`
+    // walks over the same tree. Both run in this same session, back to
+    // back, so the ratio in BENCH_scaling.json is apples-to-apples; the
+    // agreement assert below keeps the two sides answering the same
+    // question.
+    let query_tree = unfold_with::<_, Rational>(&model, &capped(6)).unwrap();
+    let query_formulas: Vec<Formula<SimpleState, Rational>> = (0..100u64)
+        .map(|k| {
+            let fcfg = RandomFormulaConfig {
+                max_depth: (k % 4) as u32,
+                n_agents: 2,
+                n_actions: 2,
+                env_values: 3,
+                local_values: 2,
+            };
+            random_formula::<Rational>(k * 131 + 17, &fcfg)
+        })
+        .collect();
+    let naive_count = {
+        let mc = ModelChecker::new(&query_tree);
+        query_formulas.iter().filter(|f| mc.valid(f)).count()
+    };
+    let batched_count = Evaluator::new(&query_tree)
+        .evaluate_batch(&query_formulas)
+        .iter()
+        .filter(|v| v.valid)
+        .count();
+    assert_eq!(naive_count, batched_count, "engines disagree on validity");
+    let mut group = c.benchmark_group("scaling/query");
+    group.bench_function("batched_100_formulas", |b| {
+        b.iter(|| {
+            let mut ev = Evaluator::new(&query_tree);
+            black_box(ev.evaluate_batch(&query_formulas))
+        })
+    });
+    group.bench_function("naive_100_valid_walks", |b| {
+        let mc = ModelChecker::new(&query_tree);
+        b.iter(|| {
+            let mut valid = 0usize;
+            for f in &query_formulas {
+                if mc.valid(f) {
+                    valid += 1;
+                }
+            }
+            black_box(valid)
         })
     });
     group.finish();

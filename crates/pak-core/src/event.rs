@@ -201,6 +201,20 @@ impl RunSet {
         self.zip_with(other, |a, b| a & !b)
     }
 
+    /// In-place union: `self ∪= other`. The allocation-free companion of
+    /// [`RunSet::union`] for accumulation loops (e.g. OR-ing cell run-sets
+    /// into a verdict event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &Self) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
     /// Complement within the universe (negation of the event).
     #[must_use]
     pub fn complement(&self) -> Self {
@@ -328,6 +342,25 @@ mod tests {
             s.insert(RunId(r));
         }
         s
+    }
+
+    #[test]
+    fn union_with_matches_union() {
+        let a0 = set(130, &[0, 63, 64, 129]);
+        let b = set(130, &[1, 63, 100]);
+        let mut a = a0.clone();
+        a.union_with(&b);
+        assert_eq!(a, a0.union(&b));
+        let mut e = RunSet::empty(0);
+        e.union_with(&RunSet::empty(0));
+        assert_eq!(e, RunSet::empty(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn union_with_rejects_universe_mismatch() {
+        let mut a = set(10, &[1]);
+        a.union_with(&set(11, &[1]));
     }
 
     #[test]

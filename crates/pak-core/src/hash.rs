@@ -86,6 +86,44 @@ impl Hasher for FxHasher {
     }
 }
 
+/// A 64-bit structural fingerprint, used as a cache key: two values with
+/// equal fingerprints are treated as identical by caches keyed on it
+/// (e.g. `pak-engine`'s `(model fingerprint, horizon)` tree cache).
+///
+/// Fingerprints are [`FxHasher`] digests: deterministic within a process
+/// and across processes (the hasher is unkeyed), but *not*
+/// collision-resistant against adversarial inputs — key caches on them
+/// only for data the program itself produced.
+///
+/// # Examples
+///
+/// ```
+/// use pak_core::hash::Fingerprint;
+///
+/// let a = Fingerprint::of(&("coin", 2u32));
+/// let b = Fingerprint::of(&("coin", 2u32));
+/// assert_eq!(a, b);
+/// assert_ne!(a, Fingerprint::of(&("coin", 3u32)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl Fingerprint {
+    /// Fingerprints any hashable value.
+    #[must_use]
+    pub fn of<T: std::hash::Hash + ?Sized>(value: &T) -> Self {
+        let mut h = FxHasher::default();
+        value.hash(&mut h);
+        Fingerprint(h.finish())
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

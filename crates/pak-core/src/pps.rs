@@ -391,6 +391,27 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         self.nodes.states[node.index()].map(|id| &self.pool[id])
     }
 
+    /// Whether `point` is a *live* point of the system: its run exists and
+    /// has not ended before `point.time`.
+    ///
+    /// The set of live points is exactly [`Pps::points`]; formula
+    /// evaluation (`pak-logic` / `pak-engine`) is defined at live points
+    /// and nowhere else. Unlike [`Pps::state_at`], this accepts arbitrary
+    /// run ids without panicking, so callers can probe points they did not
+    /// obtain from this system.
+    #[must_use]
+    pub fn is_live(&self, point: Point) -> bool {
+        point.run.index() < self.num_runs() && (point.time as usize) < self.run_len(point.run)
+    }
+
+    /// The runs still alive at `time` — those of length `> time` — as an
+    /// event. Equivalently, the runs `r` for which `(r, time)` is a live
+    /// point.
+    #[must_use]
+    pub fn live_runs_at(&self, time: Time) -> RunSet {
+        RunSet::from_predicate(self.num_runs(), |r| (time as usize) < self.run_len(r))
+    }
+
     /// The global state carried by a (non-root) node.
     ///
     /// # Panics

@@ -1,0 +1,363 @@
+//! The shared-tree cache: `Arc`-immutable [`Pps`] trees keyed by
+//! `(model fingerprint, horizon)`.
+//!
+//! The query service's unit of work is "evaluate formulas against model
+//! `M` unfolded to horizon `h`". Unfolding dominates, so [`PpsCache`]
+//! keeps finished trees behind `Arc`s for concurrent readers, and
+//! [`CachedUnfolder`] fills misses *incrementally*: it retains PR 6's
+//! [`Unfolder`] handle, so serving horizon `h` and then `h + 1` grows the
+//! existing tree by one level ([`Unfolder::extend_horizon`]) instead of
+//! re-unfolding from scratch — the horizon-`h` work seeds `h + 1`.
+//!
+//! Cache keys come from [`ModelFingerprint`]: a structural digest whose
+//! equality must imply identical unfoldings, so two sessions over equal
+//! models share trees.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pak_core::hash::{Fingerprint, FxBuildHasher};
+use pak_core::ids::Time;
+use pak_core::pps::Pps;
+use pak_core::prob::Probability;
+use pak_core::state::GlobalState;
+use pak_protocol::model::{ModelFingerprint, ProtocolModel};
+use pak_protocol::unfold::{UnfoldConfig, UnfoldError, Unfolder};
+
+/// A concurrent cache of immutable unfolded trees.
+///
+/// Lookups clone an `Arc` out under a brief mutex; the trees themselves
+/// are never locked (everything in a [`Pps`] is `Send + Sync`), so any
+/// number of evaluators can read one cached tree at once. Hit/miss
+/// counters make cache behaviour observable in tests and services.
+///
+/// Eviction is the caller's policy for now: [`PpsCache::len`] and
+/// [`PpsCache::clear`] are the hooks, an LRU layer can wrap this type
+/// later without touching the keying contract.
+///
+/// # Examples
+///
+/// ```
+/// use pak_engine::{CachedUnfolder, PpsCache};
+/// use pak_protocol::model::CoinModel;
+/// use pak_protocol::unfold::UnfoldConfig;
+/// use pak_num::Rational;
+///
+/// let cache = PpsCache::new();
+/// let model = CoinModel { heads_num: 1, heads_den: 2 };
+/// let mut session = CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default())?;
+/// let t1 = session.pps_at(&cache, 1)?;          // miss: unfolds
+/// let t1_again = session.pps_at(&cache, 1)?;    // hit: same Arc
+/// assert!(std::sync::Arc::ptr_eq(&t1, &t1_again));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), pak_protocol::unfold::UnfoldError>(())
+/// ```
+pub struct PpsCache<G: GlobalState, P: Probability> {
+    map: Mutex<TreeMap<G, P>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The cache's index: `(model fingerprint, horizon) → shared tree`.
+type TreeMap<G, P> = HashMap<(Fingerprint, Time), Arc<Pps<G, P>>, FxBuildHasher>;
+
+impl<G: GlobalState, P: Probability> Default for PpsCache<G, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<G: GlobalState, P: Probability> PpsCache<G, P> {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        PpsCache {
+            map: Mutex::new(HashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the tree for `(fingerprint, horizon)`, counting a hit or
+    /// miss.
+    #[must_use]
+    pub fn get(&self, fingerprint: Fingerprint, horizon: Time) -> Option<Arc<Pps<G, P>>> {
+        let found = self
+            .map
+            .lock()
+            .expect("pps cache poisoned")
+            .get(&(fingerprint, horizon))
+            .cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a tree under `(fingerprint, horizon)`, replacing any
+    /// previous entry.
+    pub fn insert(&self, fingerprint: Fingerprint, horizon: Time, pps: Arc<Pps<G, P>>) {
+        self.map
+            .lock()
+            .expect("pps cache poisoned")
+            .insert((fingerprint, horizon), pps);
+    }
+
+    /// The deepest cached horizon `≤ horizon` for this fingerprint, with
+    /// its tree — what an extension-based fill uses as a starting point
+    /// when the exact horizon misses. Does not touch the hit/miss
+    /// counters.
+    #[must_use]
+    pub fn best_at_most(
+        &self,
+        fingerprint: Fingerprint,
+        horizon: Time,
+    ) -> Option<(Time, Arc<Pps<G, P>>)> {
+        let map = self.map.lock().expect("pps cache poisoned");
+        map.iter()
+            .filter(|((fp, h), _)| *fp == fingerprint && *h <= horizon)
+            .max_by_key(|((_, h), _)| *h)
+            .map(|((_, h), pps)| (*h, Arc::clone(pps)))
+    }
+
+    /// The number of cached trees.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("pps cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached tree (readers holding `Arc`s are unaffected).
+    pub fn clear(&self) {
+        self.map.lock().expect("pps cache poisoned").clear();
+    }
+
+    /// How many [`PpsCache::get`] calls found their tree.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many [`PpsCache::get`] calls missed.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// A cache-filling unfold session for one model: retains an [`Unfolder`]
+/// handle so successive horizons are served by *growing* the previous
+/// tree, not rebuilding it.
+///
+/// The handle is the seed: after `pps_at(cache, h)`, the internal tree
+/// stands at horizon `h`, so `pps_at(cache, h + 1)` costs one
+/// [`Unfolder::extend_horizon`] level. Snapshots handed to the cache are
+/// `Arc`-wrapped clones, immutable by construction — later growth of the
+/// handle never mutates a served tree. If a *shallower* horizon than the
+/// handle's is requested on a cache miss, it is served by a capped
+/// from-scratch unfold (the handle cannot shrink); the level-order
+/// emission contract guarantees both routes produce bit-identical trees.
+pub struct CachedUnfolder<'m, M: ProtocolModel<P>, P: Probability> {
+    unfolder: Unfolder<'m, M, P>,
+    config: UnfoldConfig,
+    model: &'m M,
+    fingerprint: Fingerprint,
+}
+
+impl<'m, M, P> CachedUnfolder<'m, M, P>
+where
+    M: ProtocolModel<P> + ModelFingerprint,
+    P: Probability,
+{
+    /// Opens a session on `model`. `config` governs every unfold the
+    /// session performs (`max_nodes`, `max_depth`); its `horizon` field is
+    /// ignored — horizons come per [`CachedUnfolder::pps_at`] call.
+    ///
+    /// # Errors
+    ///
+    /// See [`UnfoldError`] (the initial-states level is built here).
+    pub fn new(model: &'m M, config: UnfoldConfig) -> Result<Self, UnfoldError> {
+        let fingerprint = model.fingerprint();
+        let start = UnfoldConfig {
+            horizon: Some(0),
+            ..config.clone()
+        };
+        Ok(CachedUnfolder {
+            unfolder: Unfolder::new(model, start)?,
+            config,
+            model,
+            fingerprint,
+        })
+    }
+
+    /// The model's cache key.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// The horizon the retained tree currently stands at.
+    #[must_use]
+    pub fn horizon(&self) -> Time {
+        self.unfolder.horizon()
+    }
+
+    /// The tree for `horizon`: a cache hit returns the shared `Arc`; a
+    /// miss grows the retained handle level by level up to `horizon`
+    /// (stopping early if every path terminates first), snapshots the
+    /// result into the cache, and returns it.
+    ///
+    /// # Errors
+    ///
+    /// See [`UnfoldError`] — size caps and model mishaps surface here; a
+    /// failed growth step leaves the handle valid at its previous horizon
+    /// (the [`Unfolder`] rollback contract).
+    pub fn pps_at(
+        &mut self,
+        cache: &PpsCache<M::Global, P>,
+        horizon: Time,
+    ) -> Result<Arc<Pps<M::Global, P>>, UnfoldError> {
+        if let Some(hit) = cache.get(self.fingerprint, horizon) {
+            return Ok(hit);
+        }
+        let snapshot = if self.unfolder.horizon() > horizon {
+            // The handle has already grown past this horizon; a capped
+            // from-scratch unfold serves the shallower tree.
+            let capped = UnfoldConfig {
+                horizon: Some(horizon),
+                ..self.config.clone()
+            };
+            Arc::new(Unfolder::new(self.model, capped)?.into_pps())
+        } else {
+            while self.unfolder.horizon() < horizon && self.unfolder.extend_horizon()? {}
+            Arc::new(self.unfolder.pps().clone())
+        };
+        cache.insert(self.fingerprint, horizon, Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_core::ids::AgentId;
+    use pak_num::Rational;
+    use pak_protocol::generator::{random_model, RandomModelConfig};
+    use pak_protocol::model::CoinModel;
+    use pak_protocol::unfold::unfold_with;
+
+    fn cfg(horizon: u32) -> RandomModelConfig {
+        RandomModelConfig {
+            n_agents: 2,
+            initial_states: 2,
+            horizon,
+            envs: 3,
+            max_env_branching: 2,
+            local_values: 2,
+            actions_per_agent: 2,
+        }
+    }
+
+    #[test]
+    fn hits_share_and_misses_grow_incrementally() {
+        let cache = PpsCache::new();
+        let model = random_model::<Rational>(19, &cfg(5));
+        let mut session = CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default())
+            .expect("session opens");
+        let t3 = session.pps_at(&cache, 3).expect("unfold to 3");
+        assert_eq!(session.horizon(), 3);
+        // Growing to 4 extends the same handle; the cached 3-tree is a
+        // distinct immutable snapshot.
+        let t4 = session.pps_at(&cache, 4).expect("extend to 4");
+        assert_eq!(session.horizon(), 4);
+        assert_eq!(t3.horizon(), 3);
+        assert_eq!(t4.horizon(), 4);
+        let t3_again = session.pps_at(&cache, 3).expect("hit");
+        assert!(Arc::ptr_eq(&t3, &t3_again));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn grown_snapshots_match_from_scratch_unfolds() {
+        let cache = PpsCache::new();
+        let model = random_model::<Rational>(23, &cfg(4));
+        let mut session = CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default())
+            .expect("session opens");
+        for h in [2u32, 4, 1] {
+            let grown = session.pps_at(&cache, h).expect("serve");
+            let scratch = unfold_with::<_, Rational>(
+                &model,
+                &UnfoldConfig {
+                    horizon: Some(h),
+                    ..UnfoldConfig::default()
+                },
+            )
+            .expect("scratch unfold");
+            assert_eq!(grown.num_runs(), scratch.num_runs());
+            assert_eq!(grown.num_nodes(), scratch.num_nodes());
+            for run in grown.run_ids() {
+                assert_eq!(grown.run_probability(run), scratch.run_probability(run));
+                assert_eq!(grown.run_len(run), scratch.run_len(run));
+            }
+            assert_eq!(grown.num_cells(), scratch.num_cells());
+        }
+    }
+
+    #[test]
+    fn requests_past_exhaustion_reuse_the_complete_tree() {
+        let cache = PpsCache::new();
+        let model = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let mut session = CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default())
+            .expect("session opens");
+        // The coin model terminates at time 1; deeper requests stop early.
+        let t9 = session.pps_at(&cache, 9).expect("serve");
+        assert_eq!(t9.horizon(), 1);
+        assert!(t9.is_proper(AgentId(0), pak_protocol::model::COIN_ACT));
+    }
+
+    #[test]
+    fn distinct_models_never_share_trees() {
+        let cache = PpsCache::new();
+        let a = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let b = CoinModel {
+            heads_num: 1,
+            heads_den: 3,
+        };
+        let mut sa = CachedUnfolder::<_, Rational>::new(&a, UnfoldConfig::default()).unwrap();
+        let mut sb = CachedUnfolder::<_, Rational>::new(&b, UnfoldConfig::default()).unwrap();
+        assert_ne!(sa.fingerprint(), sb.fingerprint());
+        let ta = sa.pps_at(&cache, 1).unwrap();
+        let tb = sb.pps_at(&cache, 1).unwrap();
+        assert!(!Arc::ptr_eq(&ta, &tb));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn best_at_most_finds_the_deepest_prefix() {
+        let cache = PpsCache::new();
+        let model = random_model::<Rational>(7, &cfg(5));
+        let mut session =
+            CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default()).unwrap();
+        session.pps_at(&cache, 1).unwrap();
+        session.pps_at(&cache, 3).unwrap();
+        let fp = session.fingerprint();
+        assert_eq!(cache.best_at_most(fp, 4).map(|(h, _)| h), Some(3));
+        assert_eq!(cache.best_at_most(fp, 2).map(|(h, _)| h), Some(1));
+        assert_eq!(cache.best_at_most(fp, 0).map(|(h, _)| h), None);
+    }
+}

@@ -1,0 +1,354 @@
+//! Subformula interning (structural hashing).
+//!
+//! Batched evaluation computes one truth bitset per *distinct* subformula
+//! per time, so the first step of every query is folding the formula tree
+//! into a [`FormulaInterner`]: a post-order arena of [`Shape`]s — one
+//! [`Formula`] constructor each, with children replaced by [`SubId`]s —
+//! deduplicated by structural hash. Interning `K_0 (a ∧ b)` and later
+//! `¬(a ∧ b)` yields arenas sharing the `a`, `b` and `a ∧ b` entries, so
+//! their bitsets are computed once for both queries.
+//!
+//! Two non-obvious identification rules:
+//!
+//! * **Atoms are identified by `Arc` identity**, not by comparing
+//!   predicates (closures have no equality). Cloned formulas share their
+//!   atom `Arc`s, so the common case — one formula referenced from many
+//!   places, or built from shared atom values — dedupes fully; two
+//!   *independently constructed* but extensionally equal atoms are kept
+//!   distinct, which costs sharing, never correctness.
+//! * **Belief thresholds are compared, not hashed** ([`Probability`] has
+//!   no `Hash`): `B_i^{≥p} ϕ` hashes on `(i, ϕ)` only and confirms `p`
+//!   by `PartialEq` within the bucket.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pak_core::fact::Fact;
+use pak_core::hash::{FxBuildHasher, FxHasher};
+use pak_core::ids::{ActionId, AgentId};
+use pak_core::prob::Probability;
+use pak_core::state::GlobalState;
+use pak_logic::Formula;
+
+/// Index of an interned subformula in a [`FormulaInterner`].
+///
+/// Ids are assigned post-order: every child's id is strictly smaller than
+/// its parent's, so iterating ids in ascending order visits children
+/// before parents — the evaluation order the batched evaluator relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubId(pub u32);
+
+impl SubId {
+    /// The id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One interned subformula: a [`Formula`] constructor with children
+/// replaced by [`SubId`]s into the same interner.
+#[derive(Clone)]
+pub enum Shape<G: GlobalState, P: Probability> {
+    /// `⊤`.
+    True,
+    /// `⊥`.
+    False,
+    /// An atomic fact, shared with the interned formula.
+    Atom(Arc<dyn Fact<G, P> + Send + Sync>),
+    /// `¬ϕ`.
+    Not(SubId),
+    /// `ϕ ∧ ψ`.
+    And(SubId, SubId),
+    /// `ϕ ∨ ψ`.
+    Or(SubId, SubId),
+    /// `ϕ → ψ`.
+    Implies(SubId, SubId),
+    /// `does_i(α)`.
+    Does(AgentId, ActionId),
+    /// `K_i ϕ`.
+    Knows(AgentId, SubId),
+    /// `B_i^{≥p} ϕ`.
+    BelievesAtLeast(AgentId, SubId, P),
+    /// `◇ϕ`.
+    Eventually(SubId),
+    /// `□ϕ`.
+    Always(SubId),
+}
+
+impl<G: GlobalState, P: Probability> Shape<G, P> {
+    /// The structural hash: discriminant plus operands, with atoms
+    /// identified by `Arc` data-pointer address and belief thresholds
+    /// *excluded* (no `P: Hash`; they are confirmed by `PartialEq` in the
+    /// bucket instead).
+    fn hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = FxHasher::default();
+        match self {
+            Shape::True => h.write_u8(0),
+            Shape::False => h.write_u8(1),
+            Shape::Atom(a) => {
+                h.write_u8(2);
+                h.write_usize(atom_addr(a));
+            }
+            Shape::Not(x) => {
+                h.write_u8(3);
+                h.write_u32(x.0);
+            }
+            Shape::And(a, b) => {
+                h.write_u8(4);
+                h.write_u32(a.0);
+                h.write_u32(b.0);
+            }
+            Shape::Or(a, b) => {
+                h.write_u8(5);
+                h.write_u32(a.0);
+                h.write_u32(b.0);
+            }
+            Shape::Implies(a, b) => {
+                h.write_u8(6);
+                h.write_u32(a.0);
+                h.write_u32(b.0);
+            }
+            Shape::Does(i, act) => {
+                h.write_u8(7);
+                h.write_u32(i.0);
+                h.write_u32(act.0);
+            }
+            Shape::Knows(i, x) => {
+                h.write_u8(8);
+                h.write_u32(i.0);
+                h.write_u32(x.0);
+            }
+            Shape::BelievesAtLeast(i, x, _p) => {
+                h.write_u8(9);
+                h.write_u32(i.0);
+                h.write_u32(x.0);
+            }
+            Shape::Eventually(x) => {
+                h.write_u8(10);
+                h.write_u32(x.0);
+            }
+            Shape::Always(x) => {
+                h.write_u8(11);
+                h.write_u32(x.0);
+            }
+        }
+        h.finish()
+    }
+
+    fn same_as(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Shape::True, Shape::True) | (Shape::False, Shape::False) => true,
+            (Shape::Atom(a), Shape::Atom(b)) => atom_addr(a) == atom_addr(b),
+            (Shape::Not(a), Shape::Not(b))
+            | (Shape::Eventually(a), Shape::Eventually(b))
+            | (Shape::Always(a), Shape::Always(b)) => a == b,
+            (Shape::And(a1, b1), Shape::And(a2, b2))
+            | (Shape::Or(a1, b1), Shape::Or(a2, b2))
+            | (Shape::Implies(a1, b1), Shape::Implies(a2, b2)) => a1 == a2 && b1 == b2,
+            (Shape::Does(i1, a1), Shape::Does(i2, a2)) => i1 == i2 && a1 == a2,
+            (Shape::Knows(i1, x1), Shape::Knows(i2, x2)) => i1 == i2 && x1 == x2,
+            (Shape::BelievesAtLeast(i1, x1, p1), Shape::BelievesAtLeast(i2, x2, p2)) => {
+                i1 == i2 && x1 == x2 && p1 == p2
+            }
+            _ => false,
+        }
+    }
+}
+
+/// The thin data-pointer address of an atom's `Arc` allocation: the
+/// identity under which atoms are deduplicated.
+fn atom_addr<G: GlobalState, P: Probability>(a: &Arc<dyn Fact<G, P> + Send + Sync>) -> usize {
+    Arc::as_ptr(a).cast::<()>() as usize
+}
+
+/// A deduplicating arena of [`Shape`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pak_engine::intern::FormulaInterner;
+/// use pak_logic::Formula;
+/// use pak_core::prelude::*;
+/// use pak_num::Rational;
+///
+/// let a: Formula<SimpleState, Rational> =
+///     Formula::atom(StateFact::new("a", |g: &SimpleState| g.env == 1));
+/// let f = a.clone().and(a.clone().not());
+/// let g = Formula::knows(AgentId(0), a.clone().and(a.clone().not()));
+/// let mut interner = FormulaInterner::new();
+/// let fid = interner.intern(&f);
+/// let gid = interner.intern(&g);
+/// // `g` reuses every subformula of `f` — only `K_0 …` itself is new —
+/// // because the formulas share their atom `Arc`s.
+/// assert_eq!(gid.index(), fid.index() + 1);
+/// assert_eq!(interner.len(), 4); // a, ¬a, a ∧ ¬a, K_0 (a ∧ ¬a)
+/// ```
+pub struct FormulaInterner<G: GlobalState, P: Probability> {
+    shapes: Vec<Shape<G, P>>,
+    /// Structural hash → candidate ids (usually a singleton; collisions
+    /// and equal-hash belief variants share a bucket).
+    buckets: HashMap<u64, Vec<u32>, FxBuildHasher>,
+}
+
+impl<G: GlobalState, P: Probability> Default for FormulaInterner<G, P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<G: GlobalState, P: Probability> FormulaInterner<G, P> {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        FormulaInterner {
+            shapes: Vec::new(),
+            buckets: HashMap::default(),
+        }
+    }
+
+    /// The number of distinct subformulas interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// The shape stored under an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this interner.
+    #[must_use]
+    pub fn shape(&self, id: SubId) -> &Shape<G, P> {
+        &self.shapes[id.index()]
+    }
+
+    /// Interns a formula and all its subformulas, returning the root's id.
+    ///
+    /// Children are interned before parents, so the returned id is the
+    /// largest in the formula's tree and ascending id order is bottom-up
+    /// across everything ever interned here.
+    pub fn intern(&mut self, f: &Formula<G, P>) -> SubId {
+        let shape = match f {
+            Formula::True => Shape::True,
+            Formula::False => Shape::False,
+            Formula::Atom(a) => Shape::Atom(Arc::clone(a)),
+            Formula::Not(x) => Shape::Not(self.intern(x)),
+            Formula::And(a, b) => Shape::And(self.intern(a), self.intern(b)),
+            Formula::Or(a, b) => Shape::Or(self.intern(a), self.intern(b)),
+            Formula::Implies(a, b) => Shape::Implies(self.intern(a), self.intern(b)),
+            Formula::Does(i, act) => Shape::Does(*i, *act),
+            Formula::Knows(i, x) => Shape::Knows(*i, self.intern(x)),
+            Formula::BelievesAtLeast(i, x, p) => {
+                Shape::BelievesAtLeast(*i, self.intern(x), p.clone())
+            }
+            Formula::Eventually(x) => Shape::Eventually(self.intern(x)),
+            Formula::Always(x) => Shape::Always(self.intern(x)),
+        };
+        let hash = shape.hash();
+        if let Some(candidates) = self.buckets.get(&hash) {
+            for &c in candidates {
+                if self.shapes[c as usize].same_as(&shape) {
+                    return SubId(c);
+                }
+            }
+        }
+        let id = u32::try_from(self.shapes.len()).expect("more than u32::MAX subformulas");
+        self.shapes.push(shape);
+        self.buckets.entry(hash).or_default().push(id);
+        SubId(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_core::fact::StateFact;
+    use pak_core::ids::AgentId;
+    use pak_core::state::SimpleState;
+    use pak_num::Rational;
+
+    fn atom(label: &str) -> Formula<SimpleState, Rational> {
+        Formula::atom(StateFact::new(label.to_string(), |g: &SimpleState| {
+            g.env == 1
+        }))
+    }
+
+    #[test]
+    fn shared_arcs_dedupe_and_ids_are_postorder() {
+        let a = atom("a");
+        let f = a.clone().and(a.clone());
+        let mut i = FormulaInterner::<SimpleState, Rational>::new();
+        let root = i.intern(&f);
+        // a, a ∧ a — the two conjunct occurrences are one entry.
+        assert_eq!(i.len(), 2);
+        assert_eq!(root, SubId(1));
+        // Re-interning anything already seen is a pure lookup.
+        assert_eq!(i.intern(&a), SubId(0));
+        assert_eq!(i.intern(&f), root);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn distinct_atom_allocations_stay_distinct() {
+        let mut i = FormulaInterner::<SimpleState, Rational>::new();
+        let a1 = i.intern(&atom("a"));
+        let a2 = i.intern(&atom("a"));
+        assert_ne!(a1, a2, "extensionally equal atoms are not identified");
+    }
+
+    #[test]
+    fn belief_thresholds_discriminate_without_hashing() {
+        let a = atom("a");
+        let mut i = FormulaInterner::<SimpleState, Rational>::new();
+        let half = i.intern(&Formula::believes_at_least(
+            AgentId(0),
+            a.clone(),
+            Rational::from_ratio(1, 2),
+        ));
+        let third = i.intern(&Formula::believes_at_least(
+            AgentId(0),
+            a.clone(),
+            Rational::from_ratio(1, 3),
+        ));
+        let half_again = i.intern(&Formula::believes_at_least(
+            AgentId(0),
+            a.clone(),
+            Rational::from_ratio(2, 4),
+        ));
+        assert_ne!(half, third);
+        assert_eq!(half, half_again, "equal thresholds unify (1/2 = 2/4)");
+    }
+
+    #[test]
+    fn children_precede_parents() {
+        let a = atom("a");
+        let f = Formula::knows(AgentId(0), a.clone().not().or(a.clone()))
+            .implies(a.clone())
+            .eventually();
+        let mut i = FormulaInterner::<SimpleState, Rational>::new();
+        let root = i.intern(&f);
+        assert_eq!(root.index(), i.len() - 1);
+        for (id, shape) in (0..i.len()).map(|k| (SubId(k as u32), i.shape(SubId(k as u32)))) {
+            let check = |c: &SubId| assert!(*c < id, "child {c:?} not before parent {id:?}");
+            match shape {
+                Shape::Not(x) | Shape::Eventually(x) | Shape::Always(x) | Shape::Knows(_, x) => {
+                    check(x);
+                }
+                Shape::BelievesAtLeast(_, x, _) => check(x),
+                Shape::And(x, y) | Shape::Or(x, y) | Shape::Implies(x, y) => {
+                    check(x);
+                    check(y);
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # pak-engine — the batched epistemic query engine
+//!
+//! The serving layer of the workspace (ROADMAP item 1): where `pak-logic`
+//! answers one formula by walking the tree per point, this crate answers
+//! *many* formulas against *cached* trees:
+//!
+//! * [`Evaluator`] — batched bottom-up evaluation. Each distinct
+//!   subformula (deduplicated by [`intern::FormulaInterner`]) gets one
+//!   [`RunSet`](pak_core::event::RunSet) truth bitset per time;
+//!   `K_i`/`B_i^{≥p}` are decided once per information cell instead of
+//!   once per point, temporal operators by one backward pass.
+//!   [`Evaluator::evaluate_batch`] shares those bitsets across a whole
+//!   query batch (and across earlier queries on the same evaluator).
+//! * [`PpsCache`] + [`CachedUnfolder`] — `Arc`-shared immutable
+//!   [`Pps`](pak_core::pps::Pps) trees keyed by
+//!   `(model fingerprint, horizon)`
+//!   ([`ModelFingerprint`](pak_protocol::model::ModelFingerprint)); a
+//!   miss at horizon `h + 1` grows the session's retained
+//!   [`Unfolder`](pak_protocol::unfold::Unfolder) from its horizon-`h`
+//!   tree instead of unfolding from scratch.
+//!
+//! Everything rests on the point-semantics contract stated at
+//! [`Formula::eval_at`](pak_logic::Formula::eval_at): truth is defined
+//! exactly at live points, uniformly absent at dead ones. The batched
+//! evaluator is proved bit-identical to the naive recursive checker over
+//! more than 100 seeded systems and every formula shape in
+//! `tests/engine_differential.rs`.
+//!
+//! # Example: a query session over a cached tree
+//!
+//! ```
+//! use pak_engine::{CachedUnfolder, Evaluator, PpsCache};
+//! use pak_logic::Formula;
+//! use pak_protocol::model::{CoinModel, COIN_ACT};
+//! use pak_protocol::unfold::UnfoldConfig;
+//! use pak_core::prelude::*;
+//! use pak_num::Rational;
+//!
+//! let cache = PpsCache::new();
+//! let model = CoinModel { heads_num: 3, heads_den: 4 };
+//! let mut session = CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default())?;
+//! let tree = session.pps_at(&cache, 1)?;
+//!
+//! let heads = Formula::atom(StateFact::new("heads", |g: &CoinState| g.heads));
+//! let mut ev = Evaluator::new(&tree);
+//! let verdicts = ev.evaluate_batch(&[
+//!     heads.clone(),
+//!     Formula::believes_at_least(AgentId(0), heads, Rational::from_ratio(3, 4)),
+//! ]);
+//! assert!(!verdicts[0].valid && verdicts[0].satisfiable);
+//! assert!(verdicts[1].valid); // the blind agent's prior belief is exactly 3/4
+//! # use pak_protocol::model::CoinState;
+//! # Ok::<(), pak_protocol::unfold::UnfoldError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod eval;
+pub mod intern;
+
+pub use cache::{CachedUnfolder, PpsCache};
+pub use eval::{Evaluator, Verdict};
+pub use intern::{FormulaInterner, SubId};

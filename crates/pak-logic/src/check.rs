@@ -53,19 +53,21 @@ impl<'a, G: GlobalState, P: Probability> ModelChecker<'a, G, P> {
         self.pps
     }
 
-    /// Whether the formula holds at every point of the system.
+    /// Whether the formula holds at every *live* point of the system
+    /// ([`Pps::points`]) — the quantification the paper's validity notion
+    /// uses. Dead points carry no truth value and are not consulted.
     #[must_use]
     pub fn valid(&self, f: &Formula<G, P>) -> bool {
         self.pps.points().all(|pt| f.holds_at(self.pps, pt))
     }
 
-    /// Whether the formula holds at some point.
+    /// Whether the formula holds at some live point.
     #[must_use]
     pub fn satisfiable(&self, f: &Formula<G, P>) -> bool {
         self.pps.points().any(|pt| f.holds_at(self.pps, pt))
     }
 
-    /// All points at which the formula holds.
+    /// All live points at which the formula holds, in `(run, time)` order.
     #[must_use]
     pub fn satisfying_points(&self, f: &Formula<G, P>) -> Vec<Point> {
         self.pps
@@ -74,21 +76,31 @@ impl<'a, G: GlobalState, P: Probability> ModelChecker<'a, G, P> {
             .collect()
     }
 
-    /// A counterexample point, if the formula is not valid.
+    /// A counterexample point, if the formula is not valid: the first live
+    /// point in `(run, time)` order at which the formula fails.
     #[must_use]
     pub fn counterexample(&self, f: &Formula<G, P>) -> Option<Point> {
         self.pps.points().find(|&pt| !f.holds_at(self.pps, pt))
     }
 
     /// The event `{r : (T, r, t) |= ϕ}` for a fixed time.
+    ///
+    /// Quantifies over *live* points only: a run that has ended before
+    /// `time` has no point there, so it is excluded from the event — it
+    /// can neither satisfy `ϕ` nor count toward the measure. (Formulas
+    /// are uniformly false at dead points, so the liveness guard also
+    /// skips evaluating them there at all.)
     #[must_use]
     pub fn event_at_time(&self, f: &Formula<G, P>, time: u32) -> RunSet {
         RunSet::from_predicate(self.pps.num_runs(), |run| {
-            f.holds_at(self.pps, Point { run, time })
+            (time as usize) < self.pps.run_len(run) && f.holds_at(self.pps, Point { run, time })
         })
     }
 
-    /// The measure `µ_T({r : (T, r, t) |= ϕ})`.
+    /// The measure `µ_T({r : (T, r, t) |= ϕ})`, over the runs still alive
+    /// at `time` (see [`ModelChecker::event_at_time`]). In systems with
+    /// uneven run lengths this is *not* 1 for `⊤` at late times: the mass
+    /// of runs that have already ended is gone from the event.
     #[must_use]
     pub fn measure_at_time(&self, f: &Formula<G, P>, time: u32) -> P {
         self.pps.measure(&self.event_at_time(f, time))
@@ -208,5 +220,60 @@ mod tests {
         let pps = kop_system();
         let mc = ModelChecker::new(&pps);
         assert_eq!(mc.pps().num_runs(), 2);
+    }
+
+    /// Uneven run lengths: run 0 (µ = ⅔) lasts two steps, run 1 (µ = ⅓)
+    /// ends after its initial state.
+    fn uneven_system() -> Pps<SimpleState, Rational> {
+        let mut b = PpsBuilder::<SimpleState, Rational>::new(1);
+        let long = b.initial(SimpleState::new(1, vec![0]), r(2, 3)).unwrap();
+        let _short = b.initial(SimpleState::new(0, vec![0]), r(1, 3)).unwrap();
+        b.child(long, SimpleState::new(1, vec![1]), Rational::one(), &[])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn events_and_measures_quantify_live_runs_only() {
+        // Regression for the overcounting bug: at a time where some runs
+        // have already ended, the event for *any* formula — `⊤` and
+        // dead-point-false connectives included — contains only the runs
+        // still alive, and the measure is their mass, not 1.
+        let pps = uneven_system();
+        let mc = ModelChecker::new(&pps);
+        assert_eq!(pps.run_len(RunId(0)), 2);
+        assert_eq!(pps.run_len(RunId(1)), 1);
+
+        // At time 0 both runs are alive and ⊤ has full measure.
+        assert_eq!(mc.measure_at_time(&Formula::True, 0), Rational::one());
+        // At time 1 only run 0 exists; the ended run contributes nothing.
+        let top_at_1 = mc.event_at_time(&Formula::True, 1);
+        assert_eq!(top_at_1, pps.live_runs_at(1));
+        assert!(top_at_1.contains(RunId(0)));
+        assert!(!top_at_1.contains(RunId(1)));
+        assert_eq!(mc.measure_at_time(&Formula::True, 1), r(2, 3));
+
+        // Connectives that were once vacuously true at dead points must
+        // not resurrect the ended run either.
+        let vacuous = Formula::False.implies(Formula::False);
+        assert_eq!(mc.event_at_time(&vacuous, 1), pps.live_runs_at(1));
+        assert_eq!(mc.measure_at_time(&vacuous, 1), r(2, 3));
+        let negated = ok().not().or(ok());
+        assert_eq!(mc.measure_at_time(&negated, 1), r(2, 3));
+
+        // Past every run's end the event is empty and the measure zero.
+        assert!(mc.event_at_time(&Formula::True, 2).is_empty());
+        assert!(mc.measure_at_time(&Formula::True, 2).is_zero());
+    }
+
+    #[test]
+    fn validity_ignores_dead_points_on_uneven_systems() {
+        // `⊤` is valid (all *live* points satisfy it) even though the
+        // short run has no point at time 1.
+        let pps = uneven_system();
+        let mc = ModelChecker::new(&pps);
+        assert!(mc.valid(&Formula::True));
+        assert!(!mc.satisfiable(&Formula::False));
+        assert_eq!(mc.satisfying_points(&Formula::True).len(), 3);
     }
 }

@@ -136,16 +136,46 @@ impl<G: GlobalState, P: Probability> Formula<G, P> {
         Formula::Always(Arc::new(self))
     }
 
-    /// Evaluates the formula at a point of a pps.
+    /// Evaluates the formula at a point of a pps, as a Boolean.
     ///
-    /// Points past the end of a run satisfy no formula (not even `⊤`),
-    /// matching the core convention for facts.
+    /// This is the two-valued view of [`Formula::eval_at`], which states
+    /// the point-semantics contract: a formula has a truth value exactly
+    /// at the *live* points of the system ([`Pps::is_live`]). At a dead
+    /// point — the run does not exist, or ends before `point.time` —
+    /// `holds_at` reports `false` *uniformly for every formula*, `⊤`
+    /// included, matching the core convention for facts. Because the rule
+    /// is uniform (both sides of any equivalence are `false` there), every
+    /// propositional identity — De Morgan, material implication
+    /// `a → b ≡ ¬a ∨ b`, double negation — holds pointwise at **every**
+    /// point, dead or live. Never panics, for any point.
     #[must_use]
     pub fn holds_at(&self, pps: &Pps<G, P>, point: Point) -> bool {
-        if pps.state_at(point).is_none() {
-            return false;
+        self.eval_at(pps, point) == Some(true)
+    }
+
+    /// Evaluates the formula at a point of a pps, three-valued.
+    ///
+    /// **The point-semantics contract.** Truth is defined exactly at the
+    /// *live* points of the system ([`Pps::is_live`]): pairs `(r, t)`
+    /// where run `r` exists and `t` is within its length — the set the
+    /// paper's validity and measure notions quantify over. At a live
+    /// point every connective and modality has its textbook meaning, and
+    /// every quantifier inside the formula ranges over live points only:
+    /// `K_i` over the agent's information cell (cells contain live points
+    /// by construction), `B_i^{≥p}` over the conditional measure of the
+    /// cell, `◇`/`□` over the remainder of the run. At a dead point there
+    /// is no state, no cell and no belief, so there is no truth value:
+    /// the result is `None` — for `⊤` and `⊥` as much as for any other
+    /// formula — and evaluation never panics, even for out-of-range run
+    /// ids.
+    #[must_use]
+    pub fn eval_at(&self, pps: &Pps<G, P>, point: Point) -> Option<bool> {
+        if !pps.is_live(point) {
+            return None;
         }
-        match self {
+        // From here on `point` is live, and every point evaluation below
+        // stays within live points, so plain `holds_at` recursion is exact.
+        let value = match self {
             Formula::True => true,
             Formula::False => false,
             Formula::Atom(f) => f.holds(pps, point),
@@ -155,17 +185,13 @@ impl<G: GlobalState, P: Probability> Formula<G, P> {
             Formula::Implies(a, b) => !a.holds_at(pps, point) || b.holds_at(pps, point),
             Formula::Does(agent, action) => pps.does(*agent, *action, point),
             Formula::Knows(agent, inner) => {
-                let cell = pps
-                    .cell_at(*agent, point)
-                    .expect("point has a state, hence a cell");
+                let cell = pps.cell_at(*agent, point)?;
                 let c = pps.cell(cell);
                 pps.cell_points(c).all(|pt| inner.holds_at(pps, pt))
             }
             Formula::BelievesAtLeast(agent, inner, p) => {
                 let fact = FormulaFact(inner.as_ref().clone());
-                let belief = pps
-                    .belief(*agent, &fact, point)
-                    .expect("point has a state, hence a belief");
+                let belief = pps.belief(*agent, &fact, point)?;
                 belief.at_least(p)
             }
             Formula::Eventually(inner) => {
@@ -192,7 +218,8 @@ impl<G: GlobalState, P: Probability> Formula<G, P> {
                     )
                 })
             }
-        }
+        };
+        Some(value)
     }
 }
 
@@ -424,6 +451,110 @@ mod tests {
         };
         assert!(!Formula::<SimpleState, Rational>::True.holds_at(&pps, beyond));
         assert!(!heads().not().holds_at(&pps, beyond));
+    }
+
+    /// One formula per constructor of the language, exercising every
+    /// evaluation arm.
+    fn every_constructor() -> Vec<Formula<SimpleState, Rational>> {
+        vec![
+            Formula::True,
+            Formula::False,
+            heads(),
+            heads().not(),
+            heads().and(Formula::True),
+            heads().or(Formula::False),
+            Formula::True.implies(heads()),
+            Formula::does(AgentId(0), ActionId(0)),
+            Formula::knows(AgentId(0), heads()),
+            Formula::believes_at_least(AgentId(0), heads(), r(1, 2)),
+            heads().eventually(),
+            heads().always(),
+        ]
+    }
+
+    #[test]
+    fn every_constructor_is_undefined_at_dead_points() {
+        // The regression for the `BelievesAtLeast` panic path: at a dead
+        // point every constructor (the belief and knowledge modalities
+        // included) must return `None` from `eval_at` and `false` from
+        // `holds_at`, never panic. Both kinds of dead point are covered:
+        // past a run's end, and an out-of-range run id.
+        let pps = reveal_system();
+        let dead = [
+            Point {
+                run: RunId(0),
+                time: 2,
+            },
+            Point {
+                run: RunId(1),
+                time: 42,
+            },
+            Point {
+                run: RunId(99),
+                time: 0,
+            },
+        ];
+        for f in every_constructor() {
+            for pt in dead {
+                assert!(!pps.is_live(pt));
+                assert_eq!(f.eval_at(&pps, pt), None, "{f} at {pt:?}");
+                assert!(!f.holds_at(&pps, pt), "{f} at {pt:?}");
+            }
+        }
+        // And at live points eval_at is two-valued, agreeing with holds_at.
+        for f in every_constructor() {
+            for pt in pps.points().collect::<Vec<_>>() {
+                assert_eq!(f.eval_at(&pps, pt), Some(f.holds_at(&pps, pt)));
+            }
+        }
+    }
+
+    #[test]
+    fn propositional_identities_hold_at_every_point() {
+        // Material implication and De Morgan, pointwise — including dead
+        // points, where the uniform-falsity rule makes both sides false.
+        let pps = reveal_system();
+        let k = Formula::knows(AgentId(0), heads());
+        let pairs: Vec<(
+            Formula<SimpleState, Rational>,
+            Formula<SimpleState, Rational>,
+        )> = vec![
+            (heads().implies(k.clone()), heads().not().or(k.clone())),
+            (
+                Formula::True.implies(heads()),
+                Formula::True.not().or(heads()),
+            ),
+            (
+                heads().and(k.clone()).not(),
+                heads().not().or(k.clone().not()),
+            ),
+            (
+                heads().or(k.clone()).not(),
+                heads().not().and(k.clone().not()),
+            ),
+            (heads().not().not(), heads()),
+        ];
+        let mut probe: Vec<Point> = pps.points().collect();
+        probe.extend([
+            Point {
+                run: RunId(0),
+                time: 7,
+            },
+            Point {
+                run: RunId(5),
+                time: 0,
+            },
+        ]);
+        for (lhs, rhs) in pairs {
+            for &pt in &probe {
+                assert_eq!(
+                    lhs.holds_at(&pps, pt),
+                    rhs.holds_at(&pps, pt),
+                    "{lhs} vs {rhs} at {pt:?}"
+                );
+                assert_eq!(lhs.eval_at(&pps, pt), rhs.eval_at(&pps, pt));
+            }
+        }
     }
 
     #[test]

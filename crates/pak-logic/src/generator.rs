@@ -1,0 +1,239 @@
+//! Seeded random formula generation.
+//!
+//! The differential suites and the query benches need *many* formulas of
+//! every shape — all twelve [`Formula`] constructors, nested to a bounded
+//! depth — generated deterministically so failures replay from a seed.
+//! [`random_formula`] mirrors `pak_protocol::generator::random_model`: a
+//! [`SplitMix64`] stream drives the choice of constructor at every node,
+//! and atoms are predicates over [`SimpleState`] (the state type the
+//! random models produce).
+//!
+//! # Examples
+//!
+//! ```
+//! use pak_logic::generator::{random_formula, RandomFormulaConfig};
+//! use pak_num::Rational;
+//!
+//! let cfg = RandomFormulaConfig::default();
+//! let f = random_formula::<Rational>(7, &cfg);
+//! let again = random_formula::<Rational>(7, &cfg);
+//! assert_eq!(f.to_string(), again.to_string()); // same seed, same formula
+//! ```
+
+use pak_core::fact::StateFact;
+use pak_core::generator::SplitMix64;
+use pak_core::ids::{ActionId, AgentId};
+use pak_core::prob::Probability;
+use pak_core::state::SimpleState;
+
+use crate::formula::Formula;
+
+/// Shape parameters for [`random_formula`]. Keep the value ranges in sync
+/// with the `RandomModelConfig` used to build the system under test, so
+/// that atoms and `does`/`K_i`/`B_i` operands actually discriminate
+/// between its states.
+#[derive(Debug, Clone)]
+pub struct RandomFormulaConfig {
+    /// Maximum nesting depth (0 generates only leaves).
+    pub max_depth: u32,
+    /// Agents referenced by `does`, `K_i` and `B_i^{≥p}`: `0..n_agents`.
+    pub n_agents: u32,
+    /// Actions referenced by `does`: `0..n_actions`.
+    pub n_actions: u32,
+    /// Environment atoms compare `env` against `0..env_values`.
+    pub env_values: u64,
+    /// Local atoms compare an agent's local against `0..local_values`.
+    pub local_values: u64,
+}
+
+impl Default for RandomFormulaConfig {
+    fn default() -> Self {
+        RandomFormulaConfig {
+            max_depth: 3,
+            n_agents: 2,
+            n_actions: 2,
+            env_values: 3,
+            local_values: 2,
+        }
+    }
+}
+
+/// Generates a deterministic pseudo-random formula from a seed.
+///
+/// Every constructor of the language can appear: leaves are `⊤`, `⊥`,
+/// environment/local atoms and `does_i(α)`; interior nodes draw uniformly
+/// from `¬ ∧ ∨ → K_i B_i^{≥p} ◇ □` until `max_depth` is exhausted.
+/// Belief thresholds are `k/4` for `k ∈ 1..=4`, exactly representable in
+/// both `Rational` and `f64` so sweeps over both types see the same
+/// formulas.
+pub fn random_formula<P: Probability>(
+    seed: u64,
+    cfg: &RandomFormulaConfig,
+) -> Formula<SimpleState, P> {
+    let mut rng = SplitMix64::new(seed ^ 0xf0e1_d2c3_b4a5_9687);
+    gen(&mut rng, cfg, cfg.max_depth)
+}
+
+fn gen<P: Probability>(
+    rng: &mut SplitMix64,
+    cfg: &RandomFormulaConfig,
+    depth: u32,
+) -> Formula<SimpleState, P> {
+    let agent = |rng: &mut SplitMix64| AgentId(rng.next_u64() as u32 % cfg.n_agents.max(1));
+    if depth == 0 {
+        return match rng.next_u64() % 5 {
+            0 => Formula::True,
+            1 => Formula::False,
+            2 => {
+                let v = rng.next_u64() % cfg.env_values.max(1);
+                Formula::atom(StateFact::new(
+                    format!("env={v}"),
+                    move |g: &SimpleState| g.env == v,
+                ))
+            }
+            3 => {
+                let i = agent(rng);
+                let v = rng.next_u64() % cfg.local_values.max(1);
+                Formula::atom(StateFact::new(
+                    format!("local{}={v}", i.0),
+                    move |g: &SimpleState| g.locals.get(i.index()).copied().unwrap_or(0) == v,
+                ))
+            }
+            _ => {
+                let i = agent(rng);
+                let a = ActionId(rng.next_u64() as u32 % cfg.n_actions.max(1));
+                Formula::does(i, a)
+            }
+        };
+    }
+    match rng.next_u64() % 8 {
+        0 => gen(rng, cfg, depth - 1).not(),
+        1 => gen::<P>(rng, cfg, depth - 1).and(gen(rng, cfg, depth - 1)),
+        2 => gen::<P>(rng, cfg, depth - 1).or(gen(rng, cfg, depth - 1)),
+        3 => gen::<P>(rng, cfg, depth - 1).implies(gen(rng, cfg, depth - 1)),
+        4 => Formula::knows(agent(rng), gen(rng, cfg, depth - 1)),
+        5 => {
+            let i = agent(rng);
+            let k = 1 + rng.next_u64() % 4;
+            Formula::believes_at_least(i, gen(rng, cfg, depth - 1), P::from_ratio(k, 4))
+        }
+        6 => gen(rng, cfg, depth - 1).eventually(),
+        _ => gen(rng, cfg, depth - 1).always(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_num::Rational;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = RandomFormulaConfig::default();
+        for seed in 0..32 {
+            let a = random_formula::<Rational>(seed, &cfg);
+            let b = random_formula::<Rational>(seed, &cfg);
+            assert_eq!(a.to_string(), b.to_string());
+        }
+    }
+
+    #[test]
+    fn rational_and_f64_streams_agree_on_shape() {
+        let cfg = RandomFormulaConfig::default();
+        for seed in 0..32 {
+            let a = random_formula::<Rational>(seed, &cfg);
+            let b = random_formula::<f64>(seed, &cfg);
+            // Thresholds are k/4 in both types; displays differ only in
+            // number formatting, so compare structure via the parser-free
+            // route: same constructor sequence implies same shape.
+            assert_eq!(shape_string(&a), shape_string(&b));
+        }
+    }
+
+    #[test]
+    fn every_constructor_appears_across_seeds() {
+        let cfg = RandomFormulaConfig::default();
+        let mut seen = [false; 12];
+        for seed in 0..256 {
+            mark::<Rational>(&random_formula(seed, &cfg), &mut seen);
+        }
+        assert!(seen.iter().all(|&s| s), "constructor coverage: {seen:?}");
+    }
+
+    #[test]
+    fn depth_zero_generates_leaves_only() {
+        let cfg = RandomFormulaConfig {
+            max_depth: 0,
+            ..RandomFormulaConfig::default()
+        };
+        for seed in 0..64 {
+            let f = random_formula::<Rational>(seed, &cfg);
+            let mut seen = [false; 12];
+            mark(&f, &mut seen);
+            // Leaves are ⊤/⊥/atom/does (indices 0–2 and 7); no connective
+            // or modality may appear at depth 0.
+            assert!(!seen[3..7].iter().any(|&s| s) && !seen[8..12].iter().any(|&s| s));
+        }
+    }
+
+    fn shape_string<P: Probability>(f: &Formula<SimpleState, P>) -> String {
+        match f {
+            Formula::True => "T".into(),
+            Formula::False => "F".into(),
+            Formula::Atom(a) => a.label(),
+            Formula::Not(x) => format!("!{}", shape_string(x)),
+            Formula::And(a, b) => format!("({}&{})", shape_string(a), shape_string(b)),
+            Formula::Or(a, b) => format!("({}|{})", shape_string(a), shape_string(b)),
+            Formula::Implies(a, b) => format!("({}>{})", shape_string(a), shape_string(b)),
+            Formula::Does(i, a) => format!("does{}_{}", i.0, a.0),
+            Formula::Knows(i, x) => format!("K{} {}", i.0, shape_string(x)),
+            Formula::BelievesAtLeast(i, x, _) => format!("B{} {}", i.0, shape_string(x)),
+            Formula::Eventually(x) => format!("<>{}", shape_string(x)),
+            Formula::Always(x) => format!("[]{}", shape_string(x)),
+        }
+    }
+
+    fn mark<P: Probability>(f: &Formula<SimpleState, P>, seen: &mut [bool; 12]) {
+        match f {
+            Formula::True => seen[0] = true,
+            Formula::False => seen[1] = true,
+            Formula::Atom(_) => seen[2] = true,
+            Formula::Not(x) => {
+                seen[3] = true;
+                mark(x, seen);
+            }
+            Formula::And(a, b) => {
+                seen[4] = true;
+                mark(a, seen);
+                mark(b, seen);
+            }
+            Formula::Or(a, b) => {
+                seen[5] = true;
+                mark(a, seen);
+                mark(b, seen);
+            }
+            Formula::Implies(a, b) => {
+                seen[6] = true;
+                mark(a, seen);
+                mark(b, seen);
+            }
+            Formula::Does(..) => seen[7] = true,
+            Formula::Knows(_, x) => {
+                seen[8] = true;
+                mark(x, seen);
+            }
+            Formula::BelievesAtLeast(_, x, _) => {
+                seen[9] = true;
+                mark(x, seen);
+            }
+            Formula::Eventually(x) => {
+                seen[10] = true;
+                mark(x, seen);
+            }
+            Formula::Always(x) => {
+                seen[11] = true;
+                mark(x, seen);
+            }
+        }
+    }
+}

@@ -49,6 +49,7 @@
 pub mod check;
 pub mod common;
 pub mod formula;
+pub mod generator;
 pub mod parser;
 
 pub use check::ModelChecker;
@@ -56,4 +57,5 @@ pub use common::{
     common_belief, common_belief_report, everyone_believes, CommonBeliefReport, PointSet,
 };
 pub use formula::{Formula, FormulaFact};
+pub use generator::{random_formula, RandomFormulaConfig};
 pub use parser::{FormulaParser, ParseFormulaError};

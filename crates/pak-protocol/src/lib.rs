@@ -42,5 +42,5 @@ pub mod unfold;
 
 pub use adversary::AdversaryFamily;
 pub use messaging::{AgentMove, LossyMessagingModel, Message, MessageProtocol, MsgGlobal};
-pub use model::ProtocolModel;
+pub use model::{ModelFingerprint, ProtocolModel};
 pub use unfold::{unfold, unfold_with, CartesianMoves, UnfoldConfig, UnfoldError};

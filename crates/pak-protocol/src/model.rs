@@ -61,11 +61,11 @@
 //! probability, local state, or action event.
 
 use core::fmt::Debug;
-use core::hash::Hash;
+use core::hash::{Hash, Hasher};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use pak_core::hash::FxBuildHasher;
+use pak_core::hash::{Fingerprint, FxBuildHasher, FxHasher};
 use pak_core::ids::{ActionId, AgentId, Time};
 use pak_core::prob::Probability;
 use pak_core::state::GlobalState;
@@ -478,6 +478,81 @@ impl<P: Probability> ProtocolModel<P> for TableModel<P> {
             })),
             None => out.push((state.clone(), P::one())),
         }
+    }
+}
+
+/// Models that can identify themselves structurally, for tree caching.
+///
+/// `pak-engine` keys its cache of unfolded [`Pps`](pak_core::pps::Pps)
+/// trees on `(model fingerprint, horizon)`: two models with equal
+/// fingerprints are served the same cached tree. An implementation must
+/// therefore digest **everything** its `ProtocolModel` answers depend on
+/// — priors, move tables, transition tables, horizon — so that equal
+/// fingerprints really do imply identical unfoldings. Probabilities are
+/// digested through their `Display` form, which is exact for `Rational`
+/// and round-trips `f64` (Rust's shortest-representation formatting).
+///
+/// # Examples
+///
+/// ```
+/// use pak_protocol::model::{CoinModel, ModelFingerprint};
+///
+/// let a = CoinModel { heads_num: 3, heads_den: 4 };
+/// let b = CoinModel { heads_num: 3, heads_den: 4 };
+/// assert_eq!(a.fingerprint(), b.fingerprint());
+/// assert_ne!(
+///     a.fingerprint(),
+///     CoinModel { heads_num: 1, heads_den: 4 }.fingerprint(),
+/// );
+/// ```
+pub trait ModelFingerprint {
+    /// A structural digest of the model: equal fingerprints must imply
+    /// identical unfolded trees at every horizon.
+    fn fingerprint(&self) -> Fingerprint;
+}
+
+impl ModelFingerprint for CoinModel {
+    fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of(&("coin", self.heads_num, self.heads_den))
+    }
+}
+
+impl<P: Probability> ModelFingerprint for TableModel<P> {
+    fn fingerprint(&self) -> Fingerprint {
+        let mut h = FxHasher::default();
+        "table".hash(&mut h);
+        self.n_agents.hash(&mut h);
+        self.horizon.hash(&mut h);
+        self.initial.len().hash(&mut h);
+        for (env, locals, p) in &self.initial {
+            (env, locals).hash(&mut h);
+            p.to_string().hash(&mut h);
+        }
+        self.moves.len().hash(&mut h);
+        for (key, row) in &self.moves {
+            key.hash(&mut h);
+            row.len().hash(&mut h);
+            for (action, p) in row {
+                action.hash(&mut h);
+                p.to_string().hash(&mut h);
+            }
+        }
+        self.transitions.len().hash(&mut h);
+        for (key, row) in &self.transitions {
+            key.hash(&mut h);
+            row.len().hash(&mut h);
+            for (env, locals, p) in row {
+                (env, locals).hash(&mut h);
+                p.to_string().hash(&mut h);
+            }
+        }
+        Fingerprint(h.finish())
+    }
+}
+
+impl<M: ModelFingerprint> ModelFingerprint for VecApiModel<M> {
+    fn fingerprint(&self) -> Fingerprint {
+        self.0.fingerprint()
     }
 }
 

@@ -14,6 +14,9 @@
 //!   functions.
 //! * [`logic`] — an epistemic-probabilistic formula language and model
 //!   checker.
+//! * [`engine`] — the batched query engine: interned subformulas, per-time
+//!   truth bitsets, and an `Arc`-shared tree cache keyed by
+//!   `(model fingerprint, horizon)`.
 //! * [`protocol`] — protocols `P_i : L_i → Δ(Act_i)`, joint protocols, the
 //!   synchronous lossy-messaging substrate, and bounded-horizon unfolding
 //!   into a pps.
@@ -43,6 +46,7 @@
 //! ```
 
 pub use pak_core as core;
+pub use pak_engine as engine;
 pub use pak_logic as logic;
 pub use pak_num as num;
 pub use pak_protocol as protocol;
