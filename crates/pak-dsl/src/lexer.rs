@@ -1,0 +1,287 @@
+//! The tokenizer for the protocol language.
+//!
+//! The alphabet is deliberately small: identifiers, decimal integers, the
+//! punctuation `{ } ( ) [ ] , ; : / = _` and the arrow `->`. Whitespace
+//! separates tokens and `#` starts a comment running to the end of the
+//! line. Every token carries a [`Span`] with its byte offset and 1-based
+//! line/column, which the parser and validator thread through to
+//! diagnostics.
+
+use crate::error::{DslError, DslErrorKind, Span};
+
+/// A lexical token kind. Keywords are not distinguished here — the parser
+/// matches [`TokenKind::Ident`] text contextually (`protocol`, `agents`,
+/// `at`, `from`, `when`, `skip`, `fail`, …), so protocol/state/action
+/// names only collide with the few truly reserved words the validator
+/// rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier: `[A-Za-z][A-Za-z0-9_]*` (or `_`-led with more
+    /// characters; a lone `_` lexes as [`TokenKind::Underscore`]).
+    Ident(String),
+    /// A decimal integer fitting `u64`.
+    Int(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `->`
+    Arrow,
+    /// A lone `_` (the wildcard move pattern).
+    Underscore,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human rendering used in "expected …, found …" diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Int(n) => format!("integer {n}"),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Semi => "`;`".to_string(),
+            TokenKind::Colon => "`:`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::Arrow => "`->`".to_string(),
+            TokenKind::Underscore => "`_`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind (and payload, for identifiers and integers).
+    pub kind: TokenKind,
+    /// Where the token sits in the source.
+    pub span: Span,
+}
+
+/// Tokenizes `src`, appending a trailing [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a spanned [`DslError`] on a character outside the alphabet or
+/// an integer literal exceeding `u64`.
+pub fn lex(src: &str) -> Result<Vec<Token>, DslError> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let (sline, scol) = (line, col);
+        let span1 = |len: usize| Span {
+            offset: start,
+            len,
+            line: sline,
+            col: scol,
+        };
+        let c = src[i..].chars().next().expect("in-bounds char");
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                i += c.len_utf8();
+                col += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                // Column bookkeeping resumes at the newline branch.
+                col += 1;
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ',' | ';' | ':' | '/' | '=' => {
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semi,
+                    ':' => TokenKind::Colon,
+                    '/' => TokenKind::Slash,
+                    _ => TokenKind::Eq,
+                };
+                tokens.push(Token {
+                    kind,
+                    span: span1(1),
+                });
+                i += 1;
+                col += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        span: span1(2),
+                    });
+                    i += 2;
+                    col += 2;
+                } else {
+                    return Err(DslError::new(span1(1), DslErrorKind::UnexpectedChar('-')));
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut value: u64 = 0;
+                let mut len = 0;
+                while i + len < bytes.len() && bytes[i + len].is_ascii_digit() {
+                    let digit = u64::from(bytes[i + len] - b'0');
+                    value = value
+                        .checked_mul(10)
+                        .and_then(|v| v.checked_add(digit))
+                        .ok_or_else(|| {
+                            // Swallow the rest of the digits for the span.
+                            let mut l = len;
+                            while i + l < bytes.len() && bytes[i + l].is_ascii_digit() {
+                                l += 1;
+                            }
+                            DslError::new(span1(l), DslErrorKind::NumberTooLarge)
+                        })?;
+                    len += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    span: span1(len),
+                });
+                i += len;
+                col += u32::try_from(len).unwrap_or(u32::MAX);
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut len = 0;
+                while i + len < bytes.len()
+                    && (bytes[i + len].is_ascii_alphanumeric() || bytes[i + len] == b'_')
+                {
+                    len += 1;
+                }
+                let text = &src[i..i + len];
+                let kind = if text == "_" {
+                    TokenKind::Underscore
+                } else {
+                    TokenKind::Ident(text.to_string())
+                };
+                tokens.push(Token {
+                    kind,
+                    span: span1(len),
+                });
+                i += len;
+                col += u32::try_from(len).unwrap_or(u32::MAX);
+            }
+            other => {
+                return Err(DslError::new(
+                    span1(other.len_utf8()),
+                    DslErrorKind::UnexpectedChar(other),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span {
+            offset: src.len(),
+            len: 0,
+            line,
+            col,
+        },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_line_and_column() {
+        let toks = lex("protocol p {\n  horizon 2;\n}").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &TokenKind::Ident("protocol".into()),
+                &TokenKind::Ident("p".into()),
+                &TokenKind::LBrace,
+                &TokenKind::Ident("horizon".into()),
+                &TokenKind::Int(2),
+                &TokenKind::Semi,
+                &TokenKind::RBrace,
+                &TokenKind::Eof,
+            ]
+        );
+        let horizon = &toks[3];
+        assert_eq!((horizon.span.line, horizon.span.col), (2, 3));
+        assert_eq!(horizon.span.offset, 15);
+    }
+
+    #[test]
+    fn comments_and_arrow_and_underscore() {
+        let toks = lex("a -> _ # comment -> ignored\n;").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                &TokenKind::Ident("a".into()),
+                &TokenKind::Arrow,
+                &TokenKind::Underscore,
+                &TokenKind::Semi,
+                &TokenKind::Eof,
+            ]
+        );
+        assert_eq!(toks[3].span.line, 2);
+    }
+
+    #[test]
+    fn bad_character_is_spanned() {
+        let err = lex("agents a$;").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnexpectedChar('$'));
+        assert_eq!((err.span.line, err.span.col), (1, 9));
+    }
+
+    #[test]
+    fn huge_number_rejected() {
+        let err = lex("horizon 99999999999999999999;").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::NumberTooLarge);
+        assert_eq!(err.span.col, 9);
+    }
+
+    #[test]
+    fn lone_minus_rejected() {
+        let err = lex("a - b").unwrap_err();
+        assert_eq!(err.kind, DslErrorKind::UnexpectedChar('-'));
+    }
+}

@@ -1,0 +1,415 @@
+//! The semantic validation pass.
+//!
+//! [`Program::validate`] checks everything the grammar cannot: names
+//! resolve, declarations are unique, tuple arities match the agent count,
+//! distributions have positive weights summing to exactly one (computed
+//! in exact rational arithmetic, so `1/3 + 1/3 + 1/3` passes and
+//! `1/2 + 1/3` fails with the actual sum in the message), rule keys are
+//! unique, and rule times fall before the horizon. The first violation
+//! (in declaration order) is reported, spanned at the offending name or
+//! number.
+//!
+//! The invariants established here are exactly what
+//! [`crate::compile()`] relies on: a validated program always compiles, and
+//! the compiled [`TableModel`](pak_protocol::model::TableModel) always
+//! satisfies the unfolder's distribution contract
+//! ([`pak_protocol::model::validate_distribution`]).
+
+use std::collections::{HashMap, HashSet};
+
+use pak_core::prob::Probability;
+use pak_num::Rational;
+
+use crate::ast::{GuardPat, MoveArm, Program, Spanned, TransRule, Weight};
+use crate::error::{DslError, DslErrorKind};
+
+/// Names that double as keywords of the grammar: declaring an agent,
+/// action, state, or adversary under one of these would make it
+/// unreferenceable, so validation rejects them.
+pub const RESERVED: &[&str] = &[
+    "protocol",
+    "agents",
+    "horizon",
+    "action",
+    "state",
+    "init",
+    "moves",
+    "transitions",
+    "adversary",
+    "at",
+    "from",
+    "when",
+    "skip",
+    "fail",
+];
+
+fn check_name(name: &Spanned<String>) -> Result<(), DslError> {
+    if RESERVED.contains(&name.value.as_str()) {
+        return Err(DslError::new(
+            name.span,
+            DslErrorKind::ReservedName(name.value.clone()),
+        ));
+    }
+    Ok(())
+}
+
+fn weight_rational(w: Weight) -> Rational {
+    <Rational as Probability>::from_ratio(w.num, w.den)
+}
+
+/// Checks that `weights` are all positive and sum to exactly one;
+/// `spans[i]` locates weight `i`. The sum error anchors at the first
+/// weight, whose arm usually needs the adjustment.
+fn check_distribution(arms: &[(Weight, crate::error::Span)]) -> Result<(), DslError> {
+    let mut sum = Rational::zero();
+    for (w, span) in arms {
+        if w.num == 0 {
+            return Err(DslError::new(*span, DslErrorKind::ZeroWeight));
+        }
+        sum.add_assign(&weight_rational(*w));
+    }
+    if !sum.is_one() {
+        return Err(DslError::new(
+            arms[0].1,
+            DslErrorKind::WeightSum(sum.to_string()),
+        ));
+    }
+    Ok(())
+}
+
+impl Program {
+    /// Validates the program (see the module docs for the full list of
+    /// invariants).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation, spanned at the offending token.
+    pub fn validate(&self) -> Result<(), DslError> {
+        // Agents: present, unique, not reserved.
+        if self.agents.is_empty() {
+            return Err(DslError::new(
+                self.name.span,
+                DslErrorKind::MissingDecl("agents"),
+            ));
+        }
+        let mut agent_ids: HashMap<&str, usize> = HashMap::new();
+        for (i, a) in self.agents.iter().enumerate() {
+            check_name(a)?;
+            if agent_ids.insert(a.value.as_str(), i).is_some() {
+                return Err(DslError::new(
+                    a.span,
+                    DslErrorKind::DuplicateAgent(a.value.clone()),
+                ));
+            }
+        }
+        let n_agents = self.agents.len();
+
+        // Horizon: present and representable as a `Time`.
+        let horizon = match &self.horizon {
+            None => {
+                return Err(DslError::new(
+                    self.name.span,
+                    DslErrorKind::MissingDecl("horizon"),
+                ))
+            }
+            Some(h) => {
+                if h.value > u64::from(u32::MAX) {
+                    return Err(DslError::new(
+                        h.span,
+                        DslErrorKind::IntOutOfRange {
+                            what: "horizon",
+                            max: u64::from(u32::MAX),
+                        },
+                    ));
+                }
+                h.value
+            }
+        };
+
+        // Actions: unique names, unique ids, ids fit `ActionId`.
+        let mut actions: HashSet<&str> = HashSet::new();
+        let mut action_ids: HashSet<u64> = HashSet::new();
+        for a in &self.actions {
+            check_name(&a.name)?;
+            if !actions.insert(a.name.value.as_str()) {
+                return Err(DslError::new(
+                    a.name.span,
+                    DslErrorKind::DuplicateAction(a.name.value.clone()),
+                ));
+            }
+            if a.id.value > u64::from(u32::MAX) {
+                return Err(DslError::new(
+                    a.id.span,
+                    DslErrorKind::IntOutOfRange {
+                        what: "action id",
+                        max: u64::from(u32::MAX),
+                    },
+                ));
+            }
+            if !action_ids.insert(a.id.value) {
+                return Err(DslError::new(
+                    a.id.span,
+                    DslErrorKind::DuplicateActionId(a.id.value),
+                ));
+            }
+        }
+
+        // States: unique names, tuple arity = 1 + n_agents.
+        let mut states: HashSet<&str> = HashSet::new();
+        for s in &self.states {
+            check_name(&s.name)?;
+            if !states.insert(s.name.value.as_str()) {
+                return Err(DslError::new(
+                    s.name.span,
+                    DslErrorKind::DuplicateState(s.name.value.clone()),
+                ));
+            }
+            if s.locals.len() != n_agents {
+                return Err(DslError::new(
+                    s.name.span,
+                    DslErrorKind::ArityMismatch {
+                        expected: n_agents,
+                        found: s.locals.len(),
+                    },
+                ));
+            }
+        }
+
+        // Init: present, states resolve, weights positive and summing to 1.
+        if self.init.is_empty() {
+            return Err(DslError::new(
+                self.name.span,
+                DslErrorKind::MissingDecl("init"),
+            ));
+        }
+        for arm in &self.init {
+            if !states.contains(arm.state.value.as_str()) {
+                return Err(DslError::new(
+                    arm.state.span,
+                    DslErrorKind::UnknownState(arm.state.value.clone()),
+                ));
+            }
+        }
+        check_distribution(
+            &self
+                .init
+                .iter()
+                .map(|a| (a.weight.value, a.weight.span))
+                .collect::<Vec<_>>(),
+        )?;
+
+        // Moves: agents resolve, rule keys unique per agent, times before
+        // the horizon, actions resolve, distributions well formed.
+        let mut move_keys: HashSet<(usize, u64, u64)> = HashSet::new();
+        for block in &self.moves {
+            let Some(&agent) = agent_ids.get(block.agent.value.as_str()) else {
+                return Err(DslError::new(
+                    block.agent.span,
+                    DslErrorKind::UnknownAgent(block.agent.value.clone()),
+                ));
+            };
+            for rule in &block.rules {
+                if rule.time.value >= horizon {
+                    return Err(DslError::new(
+                        rule.time.span,
+                        DslErrorKind::TimeBeyondHorizon {
+                            time: rule.time.value,
+                            horizon,
+                        },
+                    ));
+                }
+                if !move_keys.insert((agent, rule.local.value, rule.time.value)) {
+                    return Err(DslError::new(
+                        rule.local.span,
+                        DslErrorKind::DuplicateRule(format!(
+                            "agent `{}` at ({}, {})",
+                            block.agent.value, rule.local.value, rule.time.value
+                        )),
+                    ));
+                }
+                for arm in &rule.dist {
+                    if let crate::ast::MoveAction::Named(name) = &arm.action.value {
+                        if !actions.contains(name.as_str()) {
+                            return Err(DslError::new(
+                                arm.action.span,
+                                DslErrorKind::UnknownAction(name.clone()),
+                            ));
+                        }
+                    }
+                }
+                check_move_dist(&rule.dist)?;
+            }
+        }
+
+        // Base transitions, then each adversary's overrides (each block
+        // keeps its own duplicate-key space: an adversary *shadowing* a
+        // base rule is the point).
+        check_trans_rules(&self.transitions, &states, &actions, n_agents, horizon)?;
+        let mut adversaries: HashSet<&str> = HashSet::new();
+        for adv in &self.adversaries {
+            check_name(&adv.name)?;
+            if !adversaries.insert(adv.name.value.as_str()) {
+                return Err(DslError::new(
+                    adv.name.span,
+                    DslErrorKind::DuplicateAdversary(adv.name.value.clone()),
+                ));
+            }
+            check_trans_rules(&adv.rules, &states, &actions, n_agents, horizon)?;
+        }
+        Ok(())
+    }
+}
+
+fn check_move_dist(dist: &[MoveArm]) -> Result<(), DslError> {
+    check_distribution(
+        &dist
+            .iter()
+            .map(|a| (a.weight.value, a.weight.span))
+            .collect::<Vec<_>>(),
+    )
+}
+
+fn check_trans_rules(
+    rules: &[TransRule],
+    states: &HashSet<&str>,
+    actions: &HashSet<&str>,
+    n_agents: usize,
+    horizon: u64,
+) -> Result<(), DslError> {
+    let mut keys: HashSet<(String, u64, Option<Vec<GuardPat>>)> = HashSet::new();
+    for rule in rules {
+        if !states.contains(rule.from.value.as_str()) {
+            return Err(DslError::new(
+                rule.from.span,
+                DslErrorKind::UnknownState(rule.from.value.clone()),
+            ));
+        }
+        if rule.time.value >= horizon {
+            return Err(DslError::new(
+                rule.time.span,
+                DslErrorKind::TimeBeyondHorizon {
+                    time: rule.time.value,
+                    horizon,
+                },
+            ));
+        }
+        if let Some(pats) = &rule.guard {
+            if pats.len() != n_agents {
+                return Err(DslError::new(
+                    pats[0].span,
+                    DslErrorKind::ArityMismatch {
+                        expected: n_agents,
+                        found: pats.len(),
+                    },
+                ));
+            }
+            for p in pats {
+                if let GuardPat::Named(name) = &p.value {
+                    if !actions.contains(name.as_str()) {
+                        return Err(DslError::new(
+                            p.span,
+                            DslErrorKind::UnknownAction(name.clone()),
+                        ));
+                    }
+                }
+            }
+        }
+        let key = (
+            rule.from.value.clone(),
+            rule.time.value,
+            rule.guard
+                .as_ref()
+                .map(|ps| ps.iter().map(|p| p.value.clone()).collect()),
+        );
+        if !keys.insert(key) {
+            let guard_note = if rule.guard.is_some() {
+                " with this guard"
+            } else {
+                ""
+            };
+            return Err(DslError::new(
+                rule.from.span,
+                DslErrorKind::DuplicateRule(format!(
+                    "`from {} at {}`{}",
+                    rule.from.value, rule.time.value, guard_note
+                )),
+            ));
+        }
+        for arm in &rule.dist {
+            if !states.contains(arm.state.value.as_str()) {
+                return Err(DslError::new(
+                    arm.state.span,
+                    DslErrorKind::UnknownState(arm.state.value.clone()),
+                ));
+            }
+        }
+        check_distribution(
+            &rule
+                .dist
+                .iter()
+                .map(|a| (a.weight.value, a.weight.span))
+                .collect::<Vec<_>>(),
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    #[test]
+    fn a_full_program_validates() {
+        let p = parse(
+            "protocol demo {
+                agents a, b;
+                horizon 2;
+                action go = 0;
+                state s0 = (0, 0, 0);
+                state s1 = (1, 1, 1) fail;
+                init { 1/3: s0; 2/3: s1; }
+                moves a { at (0, 0) -> { 1/2: go; 1/2: skip; }; }
+                transitions {
+                    from s0 at 0 when [go, _] -> s1;
+                    from s0 at 0 -> s0;
+                }
+                adversary crash { from s0 at 0 -> { 1: s1; }; }
+            }",
+        )
+        .unwrap();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn exact_rational_sums_are_accepted() {
+        let p = parse(
+            "protocol thirds {
+                agents a;
+                horizon 1;
+                state s = (0, 0);
+                init { 1/3: s; 1/3: s; 1/3: s; }
+            }",
+        )
+        .unwrap();
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn guard_shadowing_in_adversary_is_allowed() {
+        // The same (state, time, guard) key may appear in the base block
+        // and again in an adversary block — that is how overrides work.
+        let p = parse(
+            "protocol shadow {
+                agents a;
+                horizon 1;
+                state s = (0, 0);
+                state t = (1, 0);
+                init { 1: s; }
+                transitions { from s at 0 -> s; }
+                adversary adv { from s at 0 -> t; }
+            }",
+        )
+        .unwrap();
+        p.validate().unwrap();
+    }
+}

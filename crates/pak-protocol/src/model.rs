@@ -249,16 +249,80 @@ impl<P: Probability> ProtocolModel<P> for CoinModel {
     }
 }
 
+/// Per-agent constraint on one slot of a joint move, used by the guards of
+/// [`StateTransition`] rules.
+///
+/// A guard is a vector of patterns, one per agent; the rule fires only when
+/// every pattern matches the corresponding agent's move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MovePattern {
+    /// Matches any move (wildcard).
+    Any,
+    /// Matches only a skip (`None` — no recorded action).
+    Skip,
+    /// Matches only the given action being performed.
+    Do(ActionId),
+}
+
+impl MovePattern {
+    /// Whether this pattern matches a concrete move.
+    #[must_use]
+    pub fn matches(&self, mv: &Option<ActionId>) -> bool {
+        match self {
+            MovePattern::Any => true,
+            MovePattern::Skip => mv.is_none(),
+            MovePattern::Do(a) => *mv == Some(*a),
+        }
+    }
+}
+
+/// A guarded, state-keyed transition rule of a [`TableModel`].
+///
+/// Unlike the coarse `(env, time)`-keyed [`TableModel::transitions`] table,
+/// a state rule matches on the *entire* source state — environment part
+/// **and** every agent's local data — and may additionally be guarded on
+/// the joint move the agents just performed. This is what lets a table
+/// express environments whose successor depends on agents' local states or
+/// on which actions were taken (message loss towards an informed agent,
+/// observable coin flips, …) — protocols that previously required a
+/// hand-written [`ProtocolModel`] implementation.
+///
+/// Resolution order (see [`TableModel`]): among rules whose
+/// `(env, locals, time)` equal the source state's, the first one **in
+/// declaration order** whose guard matches the joint move fires; if none
+/// fires, the `(env, time)` table is consulted; if that is also absent, the
+/// state is copied unchanged.
+#[derive(Debug, Clone)]
+pub struct StateTransition<P> {
+    /// Environment part of the source state.
+    pub env: u64,
+    /// Per-agent local data of the source state (length = `n_agents`).
+    pub locals: Vec<u64>,
+    /// The time at which this rule applies.
+    pub time: Time,
+    /// Guard over the joint move: empty means unconditional; otherwise one
+    /// pattern per agent, all of which must match.
+    pub guard: Vec<MovePattern>,
+    /// Successor distribution: `(new_env, new_locals, probability)`.
+    #[allow(clippy::type_complexity)]
+    pub outcomes: Vec<(u64, Vec<u64>, P)>,
+}
+
 /// A table-driven protocol model over [`pak_core::state::SimpleState`],
 /// convenient for spelling out small systems (counterexamples, exercises)
-/// without writing a trait implementation.
+/// without writing a trait implementation — and the compile target of the
+/// `pak-dsl` protocol language.
 ///
 /// The tables map `(agent local data, time)` to move distributions and
-/// `(env, joint action pattern, time)` to successor distributions; entries
-/// default to "skip" / "stay" when absent. Lookups go through a prebuilt
-/// [`TableIndex`] (two hash maps, built lazily on first use) rather than
-/// scanning the tables linearly; see [`TableModel::index`] for the
-/// contract this places on table mutation.
+/// source states to successor distributions; entries default to "skip" /
+/// "stay" when absent. Transitions resolve in two tiers: the fine-grained
+/// [`TableModel::state_transitions`] rules (keyed on the whole state, with
+/// optional guards on the joint move — see [`StateTransition`]) are
+/// consulted first, then the coarse `(env, time)`-keyed
+/// [`TableModel::transitions`] table. Lookups go through a prebuilt
+/// [`TableIndex`] (hash maps plus a sorted position array, built lazily on
+/// first use) rather than scanning the tables linearly; see
+/// [`TableModel::index`] for the contract this places on table mutation.
 ///
 /// # Examples
 ///
@@ -306,6 +370,11 @@ pub struct TableModel<P> {
     /// when absent the state is copied unchanged.
     #[allow(clippy::type_complexity)]
     pub transitions: Vec<((u64, Time), Vec<(u64, Vec<u64>, P)>)>,
+    /// Guarded, state-keyed transition rules, consulted *before*
+    /// `transitions`: the first rule (in declaration order) matching the
+    /// full source state, time, and joint move fires. See
+    /// [`StateTransition`].
+    pub state_transitions: Vec<StateTransition<P>>,
     /// Lazily built lookup index over `moves` and `transitions` (see
     /// [`TableModel::index`]). Initialise with `OnceLock::new()` — or
     /// simply spread `..TableModel::default()` into a struct literal.
@@ -323,6 +392,7 @@ impl<P> Default for TableModel<P> {
             horizon: 0,
             moves: Vec::new(),
             transitions: Vec::new(),
+            state_transitions: Vec::new(),
             index: OnceLock::new(),
         }
     }
@@ -341,6 +411,12 @@ impl<P> Default for TableModel<P> {
 pub struct TableIndex {
     moves: HashMap<(u32, u64, Time), usize, FxBuildHasher>,
     transitions: HashMap<(u64, Time), usize, FxBuildHasher>,
+    /// Positions into `state_transitions`, stably sorted by
+    /// `(env, locals, time)` so all rules for one source state are a
+    /// contiguous range (found by binary search) while preserving
+    /// declaration order within the range — the order guard matching
+    /// depends on.
+    state_order: Vec<u32>,
 }
 
 impl TableIndex {
@@ -356,7 +432,42 @@ impl TableIndex {
         for (i, (key, _)) in model.transitions.iter().enumerate() {
             transitions.entry(*key).or_insert(i);
         }
-        TableIndex { moves, transitions }
+        #[allow(clippy::cast_possible_truncation)]
+        let mut state_order: Vec<u32> = (0..model.state_transitions.len() as u32).collect();
+        // A *stable* sort: rules with equal keys keep declaration order,
+        // which first-match guard resolution relies on.
+        state_order.sort_by(|&a, &b| {
+            let ra = &model.state_transitions[a as usize];
+            let rb = &model.state_transitions[b as usize];
+            (ra.env, &ra.locals, ra.time).cmp(&(rb.env, &rb.locals, rb.time))
+        });
+        TableIndex {
+            moves,
+            transitions,
+            state_order,
+        }
+    }
+
+    /// The positions (into `state_transitions`, in declaration order) of
+    /// all rules keyed on exactly `(env, locals, time)` — an empty slice
+    /// when no rule matches that source state. Zero-allocation: two binary
+    /// searches over the prebuilt sorted position array.
+    #[must_use]
+    pub fn state_rules<'a, P>(
+        &'a self,
+        model: &TableModel<P>,
+        env: u64,
+        locals: &[u64],
+        time: Time,
+    ) -> &'a [u32] {
+        let key = (env, locals, time);
+        let cmp = |pos: &u32| {
+            let r = &model.state_transitions[*pos as usize];
+            (r.env, r.locals.as_slice(), r.time).cmp(&key)
+        };
+        let lo = self.state_order.partition_point(|p| cmp(p).is_lt());
+        let hi = self.state_order.partition_point(|p| cmp(p).is_le());
+        &self.state_order[lo..hi]
     }
 
     /// The position in `moves` holding the distribution for
@@ -389,9 +500,35 @@ impl<P> TableModel<P> {
     }
 
     /// Drops the cached [`TableIndex`] so the next lookup rebuilds it.
-    /// Call this after mutating `moves` or `transitions` in place.
+    /// Call this after mutating `moves`, `transitions`, or
+    /// `state_transitions` in place.
     pub fn invalidate_index(&mut self) {
         self.index = OnceLock::new();
+    }
+}
+
+impl<P: Probability> TableModel<P> {
+    /// The first state-keyed rule (declaration order) matching `state`,
+    /// `time`, and the joint move `moves`, if any — the top tier of the
+    /// transition resolution order documented on [`TableModel`].
+    fn state_rule(
+        &self,
+        state: &pak_core::state::SimpleState,
+        moves: &[Option<ActionId>],
+        time: Time,
+    ) -> Option<&StateTransition<P>> {
+        if self.state_transitions.is_empty() {
+            return None;
+        }
+        self.index()
+            .state_rules(self, state.env, &state.locals, time)
+            .iter()
+            .map(|&pos| &self.state_transitions[pos as usize])
+            .find(|rule| {
+                rule.guard.is_empty()
+                    || (rule.guard.len() == moves.len()
+                        && rule.guard.iter().zip(moves).all(|(g, mv)| g.matches(mv)))
+            })
     }
 }
 
@@ -442,33 +579,32 @@ impl<P: Probability> ProtocolModel<P> for TableModel<P> {
     fn transition(
         &self,
         state: &Self::Global,
-        _moves: &[Self::Move],
+        moves: &[Self::Move],
         time: Time,
     ) -> Vec<(Self::Global, P)> {
-        self.index().transition_entry(state.env, time).map_or_else(
-            || vec![(state.clone(), P::one())],
-            |i| {
-                self.transitions[i]
-                    .1
-                    .iter()
-                    .map(|(env, locals, p)| {
-                        (
-                            pak_core::state::SimpleState::new(*env, locals.clone()),
-                            p.clone(),
-                        )
-                    })
-                    .collect()
-            },
-        )
+        let mut out = Vec::new();
+        self.transition_into(state, moves, time, &mut out);
+        out
     }
 
     fn transition_into(
         &self,
         state: &Self::Global,
-        _moves: &[Self::Move],
+        moves: &[Self::Move],
         time: Time,
         out: &mut Vec<(Self::Global, P)>,
     ) {
+        // Resolution order: state-keyed guarded rules, then the coarse
+        // (env, time) table, then copy-unchanged.
+        if let Some(rule) = self.state_rule(state, moves, time) {
+            out.extend(rule.outcomes.iter().map(|(env, locals, p)| {
+                (
+                    pak_core::state::SimpleState::new(*env, locals.clone()),
+                    p.clone(),
+                )
+            }));
+            return;
+        }
         match self.index().transition_entry(state.env, time) {
             Some(i) => out.extend(self.transitions[i].1.iter().map(|(env, locals, p)| {
                 (
@@ -542,6 +678,16 @@ impl<P: Probability> ModelFingerprint for TableModel<P> {
             key.hash(&mut h);
             row.len().hash(&mut h);
             for (env, locals, p) in row {
+                (env, locals).hash(&mut h);
+                p.to_string().hash(&mut h);
+            }
+        }
+        self.state_transitions.len().hash(&mut h);
+        for rule in &self.state_transitions {
+            (rule.env, &rule.locals, rule.time).hash(&mut h);
+            rule.guard.hash(&mut h);
+            rule.outcomes.len().hash(&mut h);
+            for (env, locals, p) in &rule.outcomes {
                 (env, locals).hash(&mut h);
                 p.to_string().hash(&mut h);
             }
@@ -719,5 +865,152 @@ mod tests {
         let tr = m.transition(&st, &[None], 0);
         assert_eq!(tr.len(), 1);
         assert_eq!(tr[0].0, st);
+    }
+
+    #[test]
+    fn move_pattern_matching() {
+        assert!(MovePattern::Any.matches(&None));
+        assert!(MovePattern::Any.matches(&Some(ActionId(3))));
+        assert!(MovePattern::Skip.matches(&None));
+        assert!(!MovePattern::Skip.matches(&Some(ActionId(3))));
+        assert!(MovePattern::Do(ActionId(3)).matches(&Some(ActionId(3))));
+        assert!(!MovePattern::Do(ActionId(3)).matches(&Some(ActionId(4))));
+        assert!(!MovePattern::Do(ActionId(3)).matches(&None));
+    }
+
+    /// Guarded state rules: declaration order decides among same-key rules,
+    /// guards select on the joint move, and unmatched states fall through
+    /// to the coarse `(env, time)` table, then to copy-unchanged.
+    #[test]
+    fn state_transitions_resolve_in_declaration_order() {
+        let st = |env, locals: &[u64]| pak_core::state::SimpleState::new(env, locals.to_vec());
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 2,
+            initial: vec![(0, vec![0, 0], Rational::one())],
+            horizon: 2,
+            transitions: vec![((7, 0), vec![(8, vec![0, 0], Rational::one())])],
+            state_transitions: vec![
+                StateTransition {
+                    env: 0,
+                    locals: vec![0, 0],
+                    time: 0,
+                    guard: vec![MovePattern::Do(ActionId(1)), MovePattern::Any],
+                    outcomes: vec![(1, vec![1, 0], Rational::one())],
+                },
+                StateTransition {
+                    env: 0,
+                    locals: vec![0, 0],
+                    time: 0,
+                    guard: vec![],
+                    outcomes: vec![(2, vec![0, 0], Rational::one())],
+                },
+            ],
+            ..TableModel::default()
+        };
+        // Guard matches → first rule fires.
+        let tr = m.transition(&st(0, &[0, 0]), &[Some(ActionId(1)), None], 0);
+        assert_eq!(tr, vec![(st(1, &[1, 0]), Rational::one())]);
+        // Guard fails → unconditional fallback rule fires.
+        let tr = m.transition(&st(0, &[0, 0]), &[None, None], 0);
+        assert_eq!(tr, vec![(st(2, &[0, 0]), Rational::one())]);
+        // Different locals → no state rule; env 7 hits the (env, time) table.
+        let tr = m.transition(&st(7, &[0, 1]), &[None, None], 0);
+        assert_eq!(tr, vec![(st(8, &[0, 0]), Rational::one())]);
+        // No rule anywhere → copy unchanged.
+        let tr = m.transition(&st(3, &[0, 1]), &[None, None], 1);
+        assert_eq!(tr, vec![(st(3, &[0, 1]), Rational::one())]);
+        // The `_into` path agrees entry-for-entry.
+        let mut out = Vec::new();
+        m.transition_into(&st(0, &[0, 0]), &[Some(ActionId(1)), None], 0, &mut out);
+        assert_eq!(out, vec![(st(1, &[1, 0]), Rational::one())]);
+    }
+
+    /// The sorted-position binary search agrees with a naive linear scan on
+    /// every (state, move, time) probe of a model with duplicate and
+    /// adjacent keys.
+    #[test]
+    fn state_rule_index_matches_linear_scan() {
+        let rules: Vec<StateTransition<Rational>> = (0..24)
+            .map(|i| StateTransition {
+                env: u64::from(i % 3),
+                locals: vec![u64::from(i % 2), u64::from((i / 3) % 2)],
+                time: i % 2,
+                guard: match i % 4 {
+                    0 => vec![],
+                    1 => vec![MovePattern::Skip, MovePattern::Any],
+                    2 => vec![MovePattern::Do(ActionId(i)), MovePattern::Any],
+                    _ => vec![MovePattern::Any, MovePattern::Do(ActionId(i))],
+                },
+                outcomes: vec![(u64::from(100 + i), vec![0, 0], Rational::one())],
+            })
+            .collect();
+        let m: TableModel<Rational> = TableModel {
+            n_agents: 2,
+            initial: vec![(0, vec![0, 0], Rational::one())],
+            horizon: 2,
+            state_transitions: rules,
+            ..TableModel::default()
+        };
+        let joint_moves: Vec<Vec<Option<ActionId>>> = vec![
+            vec![None, None],
+            vec![Some(ActionId(2)), None],
+            vec![None, Some(ActionId(7))],
+            vec![Some(ActionId(1)), Some(ActionId(3))],
+        ];
+        for env in 0..4u64 {
+            for l0 in 0..2u64 {
+                for l1 in 0..3u64 {
+                    for time in 0..3u32 {
+                        let state = pak_core::state::SimpleState::new(env, vec![l0, l1]);
+                        for mv in &joint_moves {
+                            let linear = m.state_transitions.iter().find(|r| {
+                                r.env == env
+                                    && r.locals == [l0, l1]
+                                    && r.time == time
+                                    && (r.guard.is_empty()
+                                        || r.guard.iter().zip(mv).all(|(g, m)| g.matches(m)))
+                            });
+                            let expected = linear.map_or_else(
+                                || vec![(state.clone(), Rational::one())],
+                                |r| {
+                                    r.outcomes
+                                        .iter()
+                                        .map(|(e, ls, p)| {
+                                            (
+                                                pak_core::state::SimpleState::new(*e, ls.clone()),
+                                                p.clone(),
+                                            )
+                                        })
+                                        .collect()
+                                },
+                            );
+                            assert_eq!(m.transition(&state, mv, time), expected);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_covers_state_transitions() {
+        let base: TableModel<Rational> = TableModel {
+            n_agents: 1,
+            initial: vec![(0, vec![0], Rational::one())],
+            horizon: 1,
+            ..TableModel::default()
+        };
+        let mut guarded = base.clone();
+        guarded.state_transitions.push(StateTransition {
+            env: 0,
+            locals: vec![0],
+            time: 0,
+            guard: vec![MovePattern::Skip],
+            outcomes: vec![(1, vec![0], Rational::one())],
+        });
+        assert_ne!(base.fingerprint(), guarded.fingerprint());
+        let mut reguarded = guarded.clone();
+        reguarded.state_transitions[0].guard = vec![MovePattern::Any];
+        assert_ne!(guarded.fingerprint(), reguarded.fingerprint());
     }
 }

@@ -10,6 +10,11 @@
 //!   `α`, yet `µ(ψ@α | α) = 0`.
 //! * **§6 (the expectation equality fails without independence)**: for
 //!   `ϕ = does_i(α)`, `µ(ϕ@α | α) = 1` yet `E[β_i(ϕ)@α | α] = ½`.
+//!
+//! The construction has a DSL twin, [`crate::dsl_twins::FIGURE1_TWIN`],
+//! carrying a proof obligation: the compiled program must unfold
+//! bit-identically to [`Figure1Model`] (discharged by
+//! `tests/dsl_differential.rs`).
 
 use pak_core::fact::{DoesFact, NotFact};
 use pak_core::ids::{ActionId, AgentId, Time};
@@ -77,9 +82,12 @@ pub fn figure1<P: Probability>() -> Pps<SimpleState, P> {
 /// `tests/systems_unfold_smoke.rs`).
 ///
 /// The transition genuinely depends on the joint move (the environment
-/// records which action was drawn), which a table-driven model cannot
-/// express — this is the workspace's minimal custom model with a
-/// move-dependent environment.
+/// records which action was drawn) — the workspace's minimal model with a
+/// move-dependent environment. A table model expresses the same
+/// dependence with guarded state-transition rules
+/// ([`pak_protocol::model::StateTransition`]); the DSL twin
+/// [`crate::dsl_twins::FIGURE1_TWIN`] does exactly that and unfolds
+/// bit-identically to this model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Figure1Model;
 

@@ -20,6 +20,11 @@
 //!   bounded by `1 − τ`;
 //! * Theorem 6.2: the expected posterior at conviction equals the actual
 //!   conviction accuracy.
+//!
+//! The majority-rule instance (prior ½, accuracy 9/10, 3 pieces, convict
+//! at 2) has a DSL twin, [`crate::dsl_twins::JUDGE_TWIN`], carrying a
+//! proof obligation: the compiled program must unfold bit-identically to
+//! this hand-written model (discharged by `tests/dsl_differential.rs`).
 
 use pak_core::belief::ActionAnalysis;
 use pak_core::error::AnalysisError;

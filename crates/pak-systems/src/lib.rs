@@ -15,12 +15,18 @@
 //!
 //! All systems are parameterised and generic over the probability type; the
 //! paper's exact numbers are reproduced with [`pak_num::Rational`].
+//!
+//! [`dsl_twins`] re-specifies the judge, threshold, Figure 1, and flat
+//! scenarios as `pak-dsl` programs at fixed paper parameters; the twin
+//! tests in `tests/dsl_differential.rs` prove each compiled program
+//! unfolds bit-identically to its hand-written model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attack;
 pub mod broadcast;
+pub mod dsl_twins;
 pub mod figure1;
 pub mod firing_squad;
 pub mod flat;

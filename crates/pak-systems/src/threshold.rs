@@ -16,6 +16,11 @@
 //! * `i`'s belief when acting is `(p − ε)/(1 − ε) < p` in the merged
 //!   `m`-state (measure `1 − ε`), and `1` in the `m′`-state (measure `ε`),
 //! * hence `µ(β_i(ϕ)@α ≥ p | α) = ε` exactly.
+//!
+//! The `p = 3/4, ε = 1/4` instance has a DSL twin,
+//! [`crate::dsl_twins::THRESHOLD_TWIN`], carrying a proof obligation: the
+//! compiled program must unfold bit-identically to this hand-written
+//! model (discharged by `tests/dsl_differential.rs`).
 
 use pak_core::belief::ActionAnalysis;
 use pak_core::fact::StateFact;

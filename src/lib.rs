@@ -14,6 +14,10 @@
 //!   functions.
 //! * [`logic`] — an epistemic-probabilistic formula language and model
 //!   checker.
+//! * [`dsl`] — a textual protocol-description language (named states,
+//!   per-agent move tables, guarded probabilistic transitions, adversary
+//!   blocks) compiled to `protocol` table models, plus a grammar-driven
+//!   program fuzzer.
 //! * [`engine`] — the batched query engine: interned subformulas, per-time
 //!   truth bitsets, and an `Arc`-shared tree cache keyed by
 //!   `(model fingerprint, horizon)`.
@@ -46,6 +50,7 @@
 //! ```
 
 pub use pak_core as core;
+pub use pak_dsl as dsl;
 pub use pak_engine as engine;
 pub use pak_logic as logic;
 pub use pak_num as num;
