@@ -4,19 +4,24 @@
 //! at the workspace root — the machine-readable perf trail whose medians
 //! are summarised in `ROADMAP.md`.
 
+use std::sync::Arc;
+
 use criterion::{black_box, BatchSize, BenchmarkId, Criterion};
 use pak_bench::criterion;
 use pak_core::belief::ActionAnalysis;
 use pak_core::fact::StateFact;
+use pak_core::failpoint::{self, FailPlan, Fault};
 use pak_core::prelude::*;
 use pak_engine::Evaluator;
 use pak_logic::generator::{random_formula, RandomFormulaConfig};
 use pak_logic::{Formula, ModelChecker};
 use pak_num::Rational;
 use pak_protocol::generator::{random_model, random_pps, RandomModelConfig};
+use pak_protocol::model::TableModel;
 use pak_protocol::unfold::{
     unfold_with, unfold_with_options, UnfoldConfig, UnfoldOptions, Unfolder,
 };
+use pak_server::{PakServer, Query, ServerConfig};
 use pak_systems::attack::CoordinatedAttack;
 
 fn cfg(horizon: u32) -> RandomModelConfig {
@@ -220,6 +225,72 @@ fn benches(c: &mut Criterion) {
     group.bench_function("attack4_f64", |b| {
         let s = CoordinatedAttack::new(0.1f64, 0.5, 4);
         b.iter(|| black_box(s.build_pps().unwrap().analyze()))
+    });
+    group.finish();
+
+    // The serving layer end to end: a 1000-query mixed replay (measures
+    // and verdict batches over horizons 1–4) through the full service —
+    // bounded queue, two workers, shared tree cache — measured clean and
+    // under a deterministic fault storm (every 7th cache insert dropped,
+    // every 23rd request cancelled at the worker). The gap between the
+    // two rows is the price of fault handling: skipped inserts force
+    // tree rebuilds, cancellations waste partial work.
+    let service_model = Arc::new(random_model::<Rational>(11, &cfg(4)));
+    let service_query = |i: usize| -> Query<SimpleState, Rational> {
+        let horizon = (1 + i % 4) as u32;
+        let even = || {
+            Formula::atom(StateFact::new("env even", |g: &SimpleState| {
+                g.env.is_multiple_of(2)
+            }))
+        };
+        match i % 3 {
+            0 => Query::Measure {
+                horizon,
+                time: (i % (horizon as usize + 1)) as u32,
+                formula: even().eventually(),
+            },
+            1 => Query::Verdicts {
+                horizon,
+                formulas: vec![even().eventually(), Formula::knows(AgentId(0), even())],
+            },
+            _ => Query::Verdicts {
+                horizon,
+                formulas: vec![even().not().always()],
+            },
+        }
+    };
+    let run_replay = |model: &Arc<TableModel<Rational>>| {
+        let server = PakServer::start(
+            Arc::clone(model),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 1024,
+                ..ServerConfig::default()
+            },
+        );
+        let tickets: Vec<_> = (0..1000)
+            .map(|i| {
+                server
+                    .submit(service_query(i))
+                    .expect("queue sized for the whole replay")
+            })
+            .collect();
+        for t in tickets {
+            let _ = t.wait();
+        }
+        server.shutdown()
+    };
+    let mut group = c.benchmark_group("scaling/service");
+    group.bench_function("replay_1000_mixed", |b| {
+        b.iter(|| black_box(run_replay(&service_model)))
+    });
+    group.bench_function("replay_1000_mixed_faulty", |b| {
+        let _faults = failpoint::install(
+            FailPlan::new()
+                .fail_every("cache.insert", 7, Fault::Error)
+                .fail_every("server.worker", 23, Fault::Cancel),
+        );
+        b.iter(|| black_box(run_replay(&service_model)))
     });
     group.finish();
 }

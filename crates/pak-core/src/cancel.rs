@@ -1,0 +1,128 @@
+//! Cooperative cancellation with optional deadlines.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! requester and the code doing the work. The worker polls
+//! [`CancelToken::is_cancelled`] at safe boundaries (level commits in the
+//! unfolder, subformula boundaries in the evaluator) and unwinds through
+//! its normal error path when the token trips. Cancellation is therefore
+//! *cooperative*: nothing is interrupted mid-mutation, and every
+//! consumer documents the state it guarantees after a cancelled call.
+//!
+//! Tokens trip in two ways: explicitly via [`CancelToken::cancel`], or
+//! implicitly once a wall-clock deadline set at construction passes.
+//! Both are sticky — a tripped token never untrips.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable cancellation token with an optional wall-clock deadline.
+///
+/// Clones share state: cancelling any clone cancels them all. The
+/// default token has no deadline and never trips unless
+/// [`CancelToken::cancel`] is called.
+///
+/// ```
+/// use pak_core::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// let clone = token.clone();
+/// clone.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; trips only via [`CancelToken::cancel`].
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that trips automatically once `budget` has elapsed from
+    /// now (and can still be tripped earlier via
+    /// [`CancelToken::cancel`]).
+    #[must_use]
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(budget),
+            }),
+        }
+    }
+
+    /// Trips the token. Idempotent; all clones observe the trip.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been cancelled or its deadline has passed.
+    ///
+    /// Cost: one atomic load, plus one clock read when a deadline was
+    /// set. Cheap enough for per-node polling in the unfolder.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch the deadline so later polls skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The absolute deadline, if one was set at construction.
+    #[must_use]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_never_trips() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_none());
+    }
+
+    #[test]
+    fn cancel_is_shared_and_sticky() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+        assert!(u.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let t = CancelToken::with_deadline(Duration::from_secs(0));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn long_deadline_does_not_trip() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+        assert!(t.deadline().is_some());
+    }
+}

@@ -87,6 +87,13 @@ impl RunSet {
         self.blocks.iter().map(|b| b.count_ones() as usize).sum()
     }
 
+    /// The bytes this event occupies: the struct plus its bit blocks.
+    /// Feeds [`Pps::memory_footprint`](crate::pps::Pps::memory_footprint).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.blocks.len() * std::mem::size_of::<u64>()
+    }
+
     /// Returns `true` if the event contains no runs.
     #[must_use]
     pub fn is_empty(&self) -> bool {

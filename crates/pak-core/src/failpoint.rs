@@ -1,0 +1,330 @@
+//! Deterministic, seed-driven fault injection for chaos testing.
+//!
+//! A *failpoint* is a named site in library code where a test can inject
+//! a fault: a model-style error, a forced cancellation, or a panic
+//! (simulating spurious worker death). Sites are compiled in
+//! unconditionally but cost a single relaxed atomic load when no plan is
+//! installed, so they are safe on hot paths.
+//!
+//! The registry is **process-global** (not thread-local) because the
+//! primary consumer is `pak-server`, whose worker threads must observe
+//! plans installed by a test thread. To keep runs deterministic:
+//!
+//! - [`install`] returns a [`FailGuard`] that holds a process-wide
+//!   serialization lock for its lifetime, so two plans can never be
+//!   active at once. Tests that interleave fault-free phases with
+//!   injected phases should additionally serialize whole test bodies
+//!   (integration-test binaries run `#[test]` fns concurrently).
+//! - Faults fire on exact hit counts ([`FailPlan::fail_at`]) or fixed
+//!   periods ([`FailPlan::fail_every`]); there is no randomness inside
+//!   the registry. Seed-driven sweeps derive plans from seeds via
+//!   [`FailPlan::from_seed`] so the full plan is a pure function of the
+//!   seed.
+//!
+//! ## Sites
+//!
+//! The canonical site names (see [`SITES`]) and the fault semantics each
+//! consumer documents:
+//!
+//! | site | location | `Error` | `Cancel` | `Panic` |
+//! |---|---|---|---|---|
+//! | `unfold.expand` | per fresh node expansion | bad-distribution error | cancelled error | panics |
+//! | `extend.level` | `extend_horizon` level boundary | bad-distribution error | cancelled error | panics |
+//! | `eval.subformula` | batched evaluator, per subformula (cancellable paths only) | cancelled error | cancelled error | panics |
+//! | `cache.insert` | `PpsCache::insert` | insert silently skipped | insert silently skipped | panics |
+//! | `server.worker` | `pak-server` worker, per request | no-op | cancels the request token | panics (worker survives via isolation) |
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Every named failpoint site in the workspace, for sweep-style tests.
+pub const SITES: &[&str] = &[
+    "unfold.expand",
+    "extend.level",
+    "eval.subformula",
+    "cache.insert",
+    "server.worker",
+];
+
+/// The kind of fault a site injects when its arm fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Surface a model-style error through the site's error path.
+    Error,
+    /// Force a cancellation through the site's cancellation path.
+    Cancel,
+    /// Panic at the site (simulates spurious worker death).
+    Panic,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum When {
+    /// Fire exactly once, on the `n`-th hit (0-based) of the site.
+    AtHit(u64),
+    /// Fire on every `n`-th hit: hits `n-1, 2n-1, 3n-1, …` (0-based).
+    Every(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Arm {
+    site: String,
+    when: When,
+    fault: Fault,
+}
+
+/// A deterministic fault-injection plan: a set of arms, each naming a
+/// site, a firing schedule over that site's hit counter, and a fault.
+///
+/// Plans are inert until passed to [`install`].
+#[derive(Debug, Clone, Default)]
+pub struct FailPlan {
+    arms: Vec<Arm>,
+}
+
+impl FailPlan {
+    /// An empty plan (no arms fire).
+    #[must_use]
+    pub fn new() -> Self {
+        FailPlan::default()
+    }
+
+    /// Adds an arm firing `fault` exactly once, on the `hit`-th time
+    /// (0-based) execution reaches `site`.
+    #[must_use]
+    pub fn fail_at(mut self, site: &str, hit: u64, fault: Fault) -> Self {
+        self.arms.push(Arm {
+            site: site.to_owned(),
+            when: When::AtHit(hit),
+            fault,
+        });
+        self
+    }
+
+    /// Adds an arm firing `fault` on every `period`-th hit of `site`
+    /// (the `period-1`-th, `2·period-1`-th, … hits, 0-based). A period
+    /// of zero never fires.
+    #[must_use]
+    pub fn fail_every(mut self, site: &str, period: u64, fault: Fault) -> Self {
+        self.arms.push(Arm {
+            site: site.to_owned(),
+            when: When::Every(period),
+            fault,
+        });
+        self
+    }
+
+    /// Derives a single-arm plan for `site` as a pure function of
+    /// `seed`: the hit index is drawn from `0..8` and the fault cycles
+    /// through `Error`/`Cancel`/`Panic`. Sweeping many seeds therefore
+    /// covers early, mid, and late hits with every fault kind.
+    ///
+    /// Callers that cannot tolerate panics (direct handle-level tests
+    /// with no isolation boundary) should use
+    /// [`FailPlan::from_seed_no_panic`] instead.
+    #[must_use]
+    pub fn from_seed(site: &str, seed: u64) -> Self {
+        let mix = splitmix(seed);
+        let hit = mix % 8;
+        let fault = match (mix >> 8) % 3 {
+            0 => Fault::Error,
+            1 => Fault::Cancel,
+            _ => Fault::Panic,
+        };
+        FailPlan::new().fail_at(site, hit, fault)
+    }
+
+    /// As [`FailPlan::from_seed`], but the fault alternates only between
+    /// `Error` and `Cancel`.
+    #[must_use]
+    pub fn from_seed_no_panic(site: &str, seed: u64) -> Self {
+        let mix = splitmix(seed);
+        let hit = mix % 8;
+        let fault = if (mix >> 8).is_multiple_of(2) {
+            Fault::Error
+        } else {
+            Fault::Cancel
+        };
+        FailPlan::new().fail_at(site, hit, fault)
+    }
+}
+
+fn splitmix(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Default)]
+struct Active {
+    plan: FailPlan,
+    hits: HashMap<String, u64>,
+    fired: HashMap<String, u64>,
+}
+
+static ANY_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static Mutex<Option<Active>> {
+    static REGISTRY: OnceLock<Mutex<Option<Active>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+fn serializer() -> &'static Mutex<()> {
+    static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+    SERIAL.get_or_init(|| Mutex::new(()))
+}
+
+fn lock_registry() -> MutexGuard<'static, Option<Active>> {
+    // An injected panic can poison these locks (the panic unwinds
+    // through frames that held them transitively in the test harness);
+    // the data is always left consistent, so poison is ignored.
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An RAII guard keeping a [`FailPlan`] installed. Dropping it clears
+/// the plan and releases the process-wide serialization lock.
+///
+/// The guard is not `Send`; it must be dropped on the installing thread.
+#[derive(Debug)]
+pub struct FailGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for FailGuard {
+    fn drop(&mut self) {
+        *lock_registry() = None;
+        ANY_ACTIVE.store(false, Ordering::Release);
+    }
+}
+
+/// Installs `plan` as the process's active fault-injection plan,
+/// resetting all hit counters. Blocks until any previously installed
+/// plan's [`FailGuard`] is dropped.
+#[must_use]
+pub fn install(plan: FailPlan) -> FailGuard {
+    let serial = serializer().lock().unwrap_or_else(PoisonError::into_inner);
+    *lock_registry() = Some(Active {
+        plan,
+        hits: HashMap::new(),
+        fired: HashMap::new(),
+    });
+    ANY_ACTIVE.store(true, Ordering::Release);
+    FailGuard { _serial: serial }
+}
+
+/// Records a hit on `site` and returns the fault to inject, if any arm
+/// fires on this hit. The no-plan fast path is one relaxed atomic load.
+///
+/// Library code calls this at its named sites; it never panics itself —
+/// the *caller* converts [`Fault::Panic`] into a panic so the panic
+/// message names the site.
+#[must_use]
+pub fn check(site: &str) -> Option<Fault> {
+    if !ANY_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    let mut guard = lock_registry();
+    let active = guard.as_mut()?;
+    let hit = active.hits.entry(site.to_owned()).or_insert(0);
+    let n = *hit;
+    *hit += 1;
+    let fault = active.plan.arms.iter().find_map(|arm| {
+        if arm.site != site {
+            return None;
+        }
+        let fires = match arm.when {
+            When::AtHit(h) => n == h,
+            When::Every(0) => false,
+            When::Every(p) => (n + 1) % p == 0,
+        };
+        fires.then_some(arm.fault)
+    });
+    if fault.is_some() {
+        *active.fired.entry(site.to_owned()).or_insert(0) += 1;
+    }
+    fault
+}
+
+/// Total hits recorded on `site` under the currently installed plan
+/// (zero when no plan is installed).
+#[must_use]
+pub fn hits(site: &str) -> u64 {
+    lock_registry()
+        .as_ref()
+        .and_then(|a| a.hits.get(site).copied())
+        .unwrap_or(0)
+}
+
+/// Number of times an arm actually fired on `site` under the currently
+/// installed plan (zero when no plan is installed).
+#[must_use]
+pub fn fired(site: &str) -> u64 {
+    lock_registry()
+        .as_ref()
+        .and_then(|a| a.fired.get(site).copied())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_without_plan() {
+        // Hold the serializer so no sibling test has a plan installed.
+        let _s = serializer().lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(check("unfold.expand"), None);
+        assert_eq!(hits("unfold.expand"), 0);
+    }
+
+    #[test]
+    fn at_hit_fires_once_and_counts() {
+        let _g = install(FailPlan::new().fail_at("extend.level", 2, Fault::Error));
+        assert_eq!(check("extend.level"), None);
+        assert_eq!(check("extend.level"), None);
+        assert_eq!(check("extend.level"), Some(Fault::Error));
+        assert_eq!(check("extend.level"), None);
+        assert_eq!(hits("extend.level"), 4);
+        assert_eq!(fired("extend.level"), 1);
+        assert_eq!(check("eval.subformula"), None);
+    }
+
+    #[test]
+    fn every_fires_periodically() {
+        let _g = install(FailPlan::new().fail_every("cache.insert", 3, Fault::Cancel));
+        let pattern: Vec<bool> = (0..9).map(|_| check("cache.insert").is_some()).collect();
+        assert_eq!(
+            pattern,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(fired("cache.insert"), 3);
+    }
+
+    #[test]
+    fn guard_drop_clears_plan() {
+        {
+            let _g = install(FailPlan::new().fail_at("server.worker", 0, Fault::Panic));
+            assert_eq!(check("server.worker"), Some(Fault::Panic));
+        }
+        assert_eq!(check("server.worker"), None);
+    }
+
+    #[test]
+    fn seed_derivation_is_pure() {
+        for seed in 0..64 {
+            let a = FailPlan::from_seed("unfold.expand", seed);
+            let b = FailPlan::from_seed("unfold.expand", seed);
+            assert_eq!(a.arms.len(), 1);
+            assert_eq!(a.arms[0].when, b.arms[0].when);
+            assert_eq!(a.arms[0].fault, b.arms[0].fault);
+        }
+        let faults: std::collections::HashSet<Fault> = (0..64)
+            .map(|s| FailPlan::from_seed("x", s).arms[0].fault)
+            .collect();
+        assert_eq!(faults.len(), 3, "seed sweep covers all fault kinds");
+        let no_panic =
+            (0..64).all(|s| FailPlan::from_seed_no_panic("x", s).arms[0].fault != Fault::Panic);
+        assert!(no_panic);
+    }
+}

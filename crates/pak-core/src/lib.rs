@@ -51,10 +51,12 @@
 #![warn(missing_docs)]
 
 pub mod belief;
+pub mod cancel;
 pub mod constraint;
 pub mod error;
 pub mod event;
 pub mod fact;
+pub mod failpoint;
 pub mod generator;
 pub mod hash;
 pub mod ids;

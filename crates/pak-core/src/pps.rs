@@ -449,6 +449,46 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
         self.pool.len()
     }
 
+    /// An estimate of this system's resident size in bytes: the sum of
+    /// the arena, pool, and cell allocations by `size_of` of their
+    /// element types, plus the struct itself.
+    ///
+    /// This is a *lower bound*, not an exact accounting: heap data owned
+    /// by `G`, `G::Local`, or `P` elements (e.g. a `Rational`'s limb
+    /// vector) is counted at `size_of` only, and allocator slack is
+    /// ignored. It is cheap (no traversal of element contents), stable
+    /// for a given tree, and monotone in tree size — which is all the
+    /// cache's memory-budget eviction needs.
+    #[must_use]
+    pub fn memory_footprint(&self) -> usize {
+        use std::mem::size_of;
+        let nodes = &self.nodes;
+        let mut bytes = size_of::<Self>();
+        bytes += nodes.parents.len() * size_of::<NodeId>();
+        bytes += nodes.states.len() * size_of::<Option<StateId>>();
+        bytes += nodes.depths.len() * size_of::<u32>();
+        bytes += nodes.edge_prob_ids.len() * size_of::<u32>();
+        bytes += nodes.probs.len() * size_of::<P>();
+        bytes += nodes.action_ranges.len() * size_of::<(u32, u32)>();
+        bytes += nodes.action_data.len() * size_of::<(AgentId, ActionId)>();
+        bytes += self.run_ranges.len() * size_of::<(u32, u32)>();
+        bytes += self.child_nodes.len() * size_of::<NodeId>();
+        bytes += self.child_offsets.len() * size_of::<u32>();
+        bytes += self.run_nodes.len() * size_of::<NodeId>();
+        bytes += self.run_offsets.len() * size_of::<u32>();
+        bytes += self.run_probs.len() * size_of::<P>();
+        bytes += self.pool.len() * size_of::<G>();
+        for per_agent in &self.cell_of {
+            bytes += per_agent.len() * size_of::<CellId>();
+        }
+        for cell in &self.cells {
+            bytes += size_of::<Cell<G::Local>>();
+            bytes += cell.nodes.len() * size_of::<NodeId>();
+            bytes += cell.runs.memory_bytes();
+        }
+        bytes
+    }
+
     /// The time of a non-root node (its depth minus one).
     ///
     /// # Panics

@@ -303,6 +303,10 @@ pub fn compile<P: Probability>(program: &Program) -> Result<CompiledProtocol<P>,
                 horizon,
                 moves: moves.clone(),
                 state_transitions: rules,
+                // An adversary block whose overrides happen to coincide
+                // with the base rules would otherwise fingerprint (and
+                // therefore cache) identically to the base protocol.
+                variant_tag: Some(format!("{}::{}", program.name.value, adv.name.value)),
                 ..TableModel::default()
             };
             (adv.name.value.clone(), variant)

@@ -1,5 +1,5 @@
 //! The shared-tree cache: `Arc`-immutable [`Pps`] trees keyed by
-//! `(model fingerprint, horizon)`.
+//! `(model fingerprint, horizon)`, with LRU + memory-budget eviction.
 //!
 //! The query service's unit of work is "evaluate formulas against model
 //! `M` unfolded to horizon `h`". Unfolding dominates, so [`PpsCache`]
@@ -11,12 +11,22 @@
 //!
 //! Cache keys come from [`ModelFingerprint`]: a structural digest whose
 //! equality must imply identical unfoldings, so two sessions over equal
-//! models share trees.
+//! models share trees. DSL adversary variants carry a `variant_tag` in
+//! their `TableModel`, so a variant never aliases its base protocol even
+//! when their tables coincide.
+//!
+//! Eviction is least-recently-used, driven by an optional
+//! [`CacheBudget`] (entry count and/or a byte budget over
+//! [`Pps::memory_footprint`]). Eviction only drops the cache's own
+//! `Arc`: readers holding a tree keep it alive — an evicted tree is
+//! never invalidated under an in-flight query.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use pak_core::cancel::CancelToken;
+use pak_core::failpoint::{self, Fault};
 use pak_core::hash::{Fingerprint, FxBuildHasher};
 use pak_core::ids::Time;
 use pak_core::pps::Pps;
@@ -25,16 +35,58 @@ use pak_core::state::GlobalState;
 use pak_protocol::model::{ModelFingerprint, ProtocolModel};
 use pak_protocol::unfold::{UnfoldConfig, UnfoldError, Unfolder};
 
+/// Optional bounds driving [`PpsCache`] eviction. The default is
+/// unbounded (no eviction), matching the pre-eviction cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Evict down to at most this many cached trees.
+    pub max_entries: Option<usize>,
+    /// Evict until the summed [`Pps::memory_footprint`] of cached trees
+    /// is at most this many bytes. The most recently inserted tree is
+    /// never evicted, so a single tree larger than the budget stays
+    /// cached alone rather than thrashing.
+    pub max_bytes: Option<usize>,
+}
+
+/// A point-in-time snapshot of a [`PpsCache`]'s observable behaviour —
+/// the service reports one in its shutdown summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// How many [`PpsCache::get`] calls found their tree.
+    pub hits: u64,
+    /// How many [`PpsCache::get`] calls missed.
+    pub misses: u64,
+    /// How many trees the budget has evicted so far.
+    pub evictions: u64,
+    /// Trees currently cached.
+    pub entries: usize,
+    /// Summed [`Pps::memory_footprint`] of the current entries.
+    pub bytes: usize,
+}
+
+struct Entry<G: GlobalState, P: Probability> {
+    pps: Arc<Pps<G, P>>,
+    bytes: usize,
+    /// Logical LRU clock value of the last get/insert/best_at_most touch.
+    last_use: u64,
+}
+
+struct Inner<G: GlobalState, P: Probability> {
+    map: HashMap<(Fingerprint, Time), Entry<G, P>, FxBuildHasher>,
+    tick: u64,
+    total_bytes: usize,
+}
+
 /// A concurrent cache of immutable unfolded trees.
 ///
 /// Lookups clone an `Arc` out under a brief mutex; the trees themselves
 /// are never locked (everything in a [`Pps`] is `Send + Sync`), so any
-/// number of evaluators can read one cached tree at once. Hit/miss
-/// counters make cache behaviour observable in tests and services.
+/// number of evaluators can read one cached tree at once. Hit/miss/
+/// eviction counters ([`PpsCache::stats`]) make cache behaviour
+/// observable in tests and services.
 ///
-/// Eviction is the caller's policy for now: [`PpsCache::len`] and
-/// [`PpsCache::clear`] are the hooks, an LRU layer can wrap this type
-/// later without touching the keying contract.
+/// [`PpsCache::new`] is unbounded; [`PpsCache::with_budget`] enables
+/// LRU eviction against a [`CacheBudget`].
 ///
 /// # Examples
 ///
@@ -54,13 +106,12 @@ use pak_protocol::unfold::{UnfoldConfig, UnfoldError, Unfolder};
 /// # Ok::<(), pak_protocol::unfold::UnfoldError>(())
 /// ```
 pub struct PpsCache<G: GlobalState, P: Probability> {
-    map: Mutex<TreeMap<G, P>>,
+    inner: Mutex<Inner<G, P>>,
+    budget: CacheBudget,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
-
-/// The cache's index: `(model fingerprint, horizon) → shared tree`.
-type TreeMap<G, P> = HashMap<(Fingerprint, Time), Arc<Pps<G, P>>, FxBuildHasher>;
 
 impl<G: GlobalState, P: Probability> Default for PpsCache<G, P> {
     fn default() -> Self {
@@ -69,26 +120,47 @@ impl<G: GlobalState, P: Probability> Default for PpsCache<G, P> {
 }
 
 impl<G: GlobalState, P: Probability> PpsCache<G, P> {
-    /// An empty cache.
+    /// An empty, unbounded cache (nothing is ever evicted).
     #[must_use]
     pub fn new() -> Self {
+        Self::with_budget(CacheBudget::default())
+    }
+
+    /// An empty cache that evicts least-recently-used trees whenever
+    /// `budget` is exceeded after an insert.
+    #[must_use]
+    pub fn with_budget(budget: CacheBudget) -> Self {
         PpsCache {
-            map: Mutex::new(HashMap::default()),
+            inner: Mutex::new(Inner {
+                map: HashMap::default(),
+                tick: 0,
+                total_bytes: 0,
+            }),
+            budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
+    /// The budget this cache evicts against.
+    #[must_use]
+    pub fn budget(&self) -> CacheBudget {
+        self.budget
+    }
+
     /// Looks up the tree for `(fingerprint, horizon)`, counting a hit or
-    /// miss.
+    /// miss. A hit refreshes the entry's LRU position.
     #[must_use]
     pub fn get(&self, fingerprint: Fingerprint, horizon: Time) -> Option<Arc<Pps<G, P>>> {
-        let found = self
-            .map
-            .lock()
-            .expect("pps cache poisoned")
-            .get(&(fingerprint, horizon))
-            .cloned();
+        let mut inner = self.inner.lock().expect("pps cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let found = inner.map.get_mut(&(fingerprint, horizon)).map(|entry| {
+            entry.last_use = tick;
+            Arc::clone(&entry.pps)
+        });
+        drop(inner);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -97,35 +169,94 @@ impl<G: GlobalState, P: Probability> PpsCache<G, P> {
     }
 
     /// Stores a tree under `(fingerprint, horizon)`, replacing any
-    /// previous entry.
+    /// previous entry, then evicts least-recently-used entries (never
+    /// the one just inserted) until the budget is respected again.
+    ///
+    /// Carries the `cache.insert` failpoint: an injected `Error` or
+    /// `Cancel` fault silently skips the insert — the degraded mode a
+    /// service sheds load into — and `Panic` panics.
     pub fn insert(&self, fingerprint: Fingerprint, horizon: Time, pps: Arc<Pps<G, P>>) {
-        self.map
-            .lock()
-            .expect("pps cache poisoned")
-            .insert((fingerprint, horizon), pps);
+        match failpoint::check("cache.insert") {
+            None => {}
+            Some(Fault::Error | Fault::Cancel) => return,
+            Some(Fault::Panic) => panic!("failpoint cache.insert: injected panic"),
+        }
+        let bytes = pps.memory_footprint();
+        let key = (fingerprint, horizon);
+        let mut inner = self.inner.lock().expect("pps cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.insert(
+            key,
+            Entry {
+                pps,
+                bytes,
+                last_use: tick,
+            },
+        ) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.total_bytes += bytes;
+        let evicted = self.evict_over_budget(&mut inner, key);
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops LRU entries (excluding `protect`) until the budget holds.
+    /// Returns how many entries were evicted.
+    fn evict_over_budget(&self, inner: &mut Inner<G, P>, protect: (Fingerprint, Time)) -> u64 {
+        let over = |inner: &Inner<G, P>| {
+            self.budget.max_entries.is_some_and(|m| inner.map.len() > m)
+                || self.budget.max_bytes.is_some_and(|m| inner.total_bytes > m)
+        };
+        let mut evicted = 0;
+        while over(inner) {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(key, _)| **key != protect)
+                .min_by_key(|(_, entry)| entry.last_use)
+                .map(|(key, _)| *key);
+            let Some(victim) = victim else { break };
+            if let Some(entry) = inner.map.remove(&victim) {
+                inner.total_bytes -= entry.bytes;
+                evicted += 1;
+            }
+        }
+        evicted
     }
 
     /// The deepest cached horizon `≤ horizon` for this fingerprint, with
     /// its tree — what an extension-based fill uses as a starting point
-    /// when the exact horizon misses. Does not touch the hit/miss
-    /// counters.
+    /// when the exact horizon misses. Refreshes the returned entry's LRU
+    /// position but does not touch the hit/miss counters.
     #[must_use]
     pub fn best_at_most(
         &self,
         fingerprint: Fingerprint,
         horizon: Time,
     ) -> Option<(Time, Arc<Pps<G, P>>)> {
-        let map = self.map.lock().expect("pps cache poisoned");
-        map.iter()
+        let mut inner = self.inner.lock().expect("pps cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let best = inner
+            .map
+            .iter()
             .filter(|((fp, h), _)| *fp == fingerprint && *h <= horizon)
             .max_by_key(|((_, h), _)| *h)
-            .map(|((_, h), pps)| (*h, Arc::clone(pps)))
+            .map(|((_, h), _)| (fingerprint, *h));
+        let (fp, h) = best?;
+        let entry = inner.map.get_mut(&(fp, h))?;
+        entry.last_use = tick;
+        Some((h, Arc::clone(&entry.pps)))
     }
 
     /// The number of cached trees.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.lock().expect("pps cache poisoned").len()
+        self.inner.lock().expect("pps cache poisoned").map.len()
     }
 
     /// Whether the cache is empty.
@@ -135,8 +266,11 @@ impl<G: GlobalState, P: Probability> PpsCache<G, P> {
     }
 
     /// Drops every cached tree (readers holding `Arc`s are unaffected).
+    /// Counters keep accumulating across a clear.
     pub fn clear(&self) {
-        self.map.lock().expect("pps cache poisoned").clear();
+        let mut inner = self.inner.lock().expect("pps cache poisoned");
+        inner.map.clear();
+        inner.total_bytes = 0;
     }
 
     /// How many [`PpsCache::get`] calls found their tree.
@@ -149,6 +283,31 @@ impl<G: GlobalState, P: Probability> PpsCache<G, P> {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// How many trees the budget has evicted so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Summed [`Pps::memory_footprint`] of the current entries.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("pps cache poisoned").total_bytes
+    }
+
+    /// A consistent snapshot of the cache's counters and occupancy.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("pps cache poisoned");
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.total_bytes,
+        }
     }
 }
 
@@ -224,10 +383,37 @@ where
         cache: &PpsCache<M::Global, P>,
         horizon: Time,
     ) -> Result<Arc<Pps<M::Global, P>>, UnfoldError> {
+        self.pps_at_with(cache, horizon, &CancelToken::new())
+    }
+
+    /// As [`CachedUnfolder::pps_at`], polling `cancel` at every level
+    /// boundary (and per frontier node) of the incremental growth path.
+    ///
+    /// The shallower-than-handle path (a capped from-scratch unfold of
+    /// an already-grown prefix) checks the token once up front but is
+    /// not interruptible mid-unfold; it rebuilds a tree the handle has
+    /// already paid for, so its latency is bounded by work the caller
+    /// has previously accepted.
+    ///
+    /// # Errors
+    ///
+    /// As [`CachedUnfolder::pps_at`], plus [`UnfoldError::Cancelled`]
+    /// when the token trips. On cancellation the handle stays valid at
+    /// the last fully committed horizon, and that prefix is *kept*: a
+    /// retry resumes from it rather than starting over.
+    pub fn pps_at_with(
+        &mut self,
+        cache: &PpsCache<M::Global, P>,
+        horizon: Time,
+        cancel: &CancelToken,
+    ) -> Result<Arc<Pps<M::Global, P>>, UnfoldError> {
         if let Some(hit) = cache.get(self.fingerprint, horizon) {
             return Ok(hit);
         }
         let snapshot = if self.unfolder.horizon() > horizon {
+            if cancel.is_cancelled() {
+                return Err(UnfoldError::Cancelled);
+            }
             // The handle has already grown past this horizon; a capped
             // from-scratch unfold serves the shallower tree.
             let capped = UnfoldConfig {
@@ -236,7 +422,7 @@ where
             };
             Arc::new(Unfolder::new(self.model, capped)?.into_pps())
         } else {
-            while self.unfolder.horizon() < horizon && self.unfolder.extend_horizon()? {}
+            while self.unfolder.horizon() < horizon && self.unfolder.extend_horizon_with(cancel)? {}
             Arc::new(self.unfolder.pps().clone())
         };
         cache.insert(self.fingerprint, horizon, Arc::clone(&snapshot));
@@ -359,5 +545,71 @@ mod tests {
         assert_eq!(cache.best_at_most(fp, 4).map(|(h, _)| h), Some(3));
         assert_eq!(cache.best_at_most(fp, 2).map(|(h, _)| h), Some(1));
         assert_eq!(cache.best_at_most(fp, 0).map(|(h, _)| h), None);
+    }
+
+    #[test]
+    fn entry_budget_evicts_least_recently_used() {
+        let cache = PpsCache::with_budget(CacheBudget {
+            max_entries: Some(2),
+            max_bytes: None,
+        });
+        let model = random_model::<Rational>(31, &cfg(6));
+        let mut session =
+            CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default()).unwrap();
+        let fp = session.fingerprint();
+        session.pps_at(&cache, 1).unwrap();
+        session.pps_at(&cache, 2).unwrap();
+        // Touch horizon 1 so horizon 2 is the LRU victim.
+        assert!(cache.get(fp, 1).is_some());
+        session.pps_at(&cache, 3).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        let remaining: Vec<bool> = (1..=3).map(|h| cache.get(fp, h).is_some()).collect();
+        assert_eq!(remaining, [true, false, true]);
+    }
+
+    #[test]
+    fn byte_budget_evicts_but_never_invalidates_readers() {
+        // A 1-byte budget forces every insert over budget; the newest
+        // entry is protected, so the cache holds exactly one tree.
+        let cache = PpsCache::with_budget(CacheBudget {
+            max_entries: None,
+            max_bytes: Some(1),
+        });
+        let model = random_model::<Rational>(47, &cfg(6));
+        let mut session =
+            CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default()).unwrap();
+        let t2 = session.pps_at(&cache, 2).unwrap();
+        let t3 = session.pps_at(&cache, 3).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 1);
+        // The evicted horizon-2 tree is still fully usable through the
+        // Arc handed out before eviction.
+        assert_eq!(t2.horizon(), 2);
+        assert!(t2.num_runs() > 0);
+        assert_eq!(t2.measure(&t2.live_runs_at(0)), Rational::one());
+        assert!(t3.memory_footprint() > 1);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.bytes, t3.memory_footprint());
+    }
+
+    #[test]
+    fn stats_snapshot_matches_counters() {
+        let cache = PpsCache::new();
+        let model = random_model::<Rational>(11, &cfg(4));
+        let mut session =
+            CachedUnfolder::<_, Rational>::new(&model, UnfoldConfig::default()).unwrap();
+        session.pps_at(&cache, 2).unwrap();
+        session.pps_at(&cache, 2).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, cache.hits());
+        assert_eq!(stats.misses, cache.misses());
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
     }
 }

@@ -25,7 +25,9 @@
 //! the horizon. Everything is proved bit-identical to the naive checker
 //! by `tests/engine_differential.rs`.
 
+use pak_core::cancel::CancelToken;
 use pak_core::event::RunSet;
+use pak_core::failpoint::{self, Fault};
 use pak_core::ids::{CellId, Point, Time};
 use pak_core::pps::Pps;
 use pak_core::prob::Probability;
@@ -33,6 +35,26 @@ use pak_core::state::GlobalState;
 use pak_logic::Formula;
 
 use crate::intern::{FormulaInterner, Shape, SubId};
+
+/// Error returned by the cancellable evaluator entry points
+/// ([`Evaluator::evaluate_batch_with`],
+/// [`Evaluator::measure_at_time_with`]) when the [`CancelToken`] trips
+/// before the query's truth tables are complete.
+///
+/// Cancellation is clean: every truth table computed before the trip
+/// stays valid and memoized, so retrying the same query on the same
+/// evaluator resumes where it stopped and returns bit-identical results
+/// to an uninterrupted run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "evaluation was cancelled (deadline or explicit cancel)")
+    }
+}
+
+impl std::error::Error for Cancelled {}
 
 /// The summary a batched evaluation returns per formula — the answers
 /// [`ModelChecker`](pak_logic::ModelChecker) gives through `valid`,
@@ -138,6 +160,28 @@ impl<'p, G: GlobalState, P: Probability> Evaluator<'p, G, P> {
             self.truth.push(table);
         }
         root
+    }
+
+    /// As [`Evaluator::ensure`], polling `cancel` (and the
+    /// `eval.subformula` failpoint) once per subformula — the boundary
+    /// at which a table is either fully computed or not started, so a
+    /// trip never leaves a partial table behind.
+    fn ensure_with(&mut self, f: &Formula<G, P>, cancel: &CancelToken) -> Result<SubId, Cancelled> {
+        let root = self.interner.intern(f);
+        while self.truth.len() < self.interner.len() {
+            match failpoint::check("eval.subformula") {
+                None => {}
+                Some(Fault::Error | Fault::Cancel) => return Err(Cancelled),
+                Some(Fault::Panic) => panic!("failpoint eval.subformula: injected panic"),
+            }
+            if cancel.is_cancelled() {
+                return Err(Cancelled);
+            }
+            let id = SubId(self.truth.len() as u32);
+            let table = self.compute(id);
+            self.truth.push(table);
+        }
+        Ok(root)
     }
 
     /// Computes the per-time truth table of one subformula. All strictly
@@ -342,6 +386,10 @@ impl<'p, G: GlobalState, P: Probability> Evaluator<'p, G, P> {
     /// Evaluates one formula to a [`Verdict`].
     pub fn evaluate(&mut self, f: &Formula<G, P>) -> Verdict {
         let id = self.ensure(f);
+        self.verdict_of(id)
+    }
+
+    fn verdict_of(&self, id: SubId) -> Verdict {
         let table = &self.truth[id.index()];
         let valid = table.iter().zip(&self.live).all(|(t, l)| t == l);
         let satisfying_points: usize = table.iter().map(RunSet::len).sum();
@@ -367,6 +415,47 @@ impl<'p, G: GlobalState, P: Probability> Evaluator<'p, G, P> {
     /// matter how many formulas contain it.
     pub fn evaluate_batch(&mut self, formulas: &[Formula<G, P>]) -> Vec<Verdict> {
         formulas.iter().map(|f| self.evaluate(f)).collect()
+    }
+
+    /// As [`Evaluator::evaluate_batch`], polling `cancel` at every
+    /// subformula boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token trips mid-batch. Tables computed up
+    /// to that point stay memoized and valid, so re-running the same
+    /// batch (on this evaluator or a fresh one over the same tree)
+    /// yields verdicts bit-identical to an uninterrupted call.
+    pub fn evaluate_batch_with(
+        &mut self,
+        formulas: &[Formula<G, P>],
+        cancel: &CancelToken,
+    ) -> Result<Vec<Verdict>, Cancelled> {
+        formulas
+            .iter()
+            .map(|f| self.ensure_with(f, cancel).map(|id| self.verdict_of(id)))
+            .collect()
+    }
+
+    /// As [`Evaluator::measure_at_time`], polling `cancel` at every
+    /// subformula boundary.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] when the token trips; partial progress stays
+    /// memoized exactly as for [`Evaluator::evaluate_batch_with`].
+    pub fn measure_at_time_with(
+        &mut self,
+        f: &Formula<G, P>,
+        time: Time,
+        cancel: &CancelToken,
+    ) -> Result<P, Cancelled> {
+        let id = self.ensure_with(f, cancel)?;
+        let event = match self.truth[id.index()].get(time as usize) {
+            Some(set) => set.clone(),
+            None => RunSet::empty(self.pps.num_runs()),
+        };
+        Ok(self.pps.measure(&event))
     }
 }
 

@@ -60,6 +60,6 @@ pub mod cache;
 pub mod eval;
 pub mod intern;
 
-pub use cache::{CachedUnfolder, PpsCache};
-pub use eval::{Evaluator, Verdict};
+pub use cache::{CacheBudget, CacheStats, CachedUnfolder, PpsCache};
+pub use eval::{Cancelled, Evaluator, Verdict};
 pub use intern::{FormulaInterner, SubId};

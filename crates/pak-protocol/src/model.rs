@@ -375,6 +375,16 @@ pub struct TableModel<P> {
     /// full source state, time, and joint move fires. See
     /// [`StateTransition`].
     pub state_transitions: Vec<StateTransition<P>>,
+    /// An opaque variant label mixed into the model's
+    /// [`ModelFingerprint`]. Two models with identical tables but
+    /// different tags fingerprint differently — this is how DSL
+    /// adversary variants (which may coincide table-for-table with
+    /// their base protocol) are kept distinct in [`PpsCache`] keys.
+    /// `None` (the default) adds nothing to the digest, so existing
+    /// hand-written models keep their fingerprints.
+    ///
+    /// [`PpsCache`]: https://docs.rs/pak-engine
+    pub variant_tag: Option<String>,
     /// Lazily built lookup index over `moves` and `transitions` (see
     /// [`TableModel::index`]). Initialise with `OnceLock::new()` — or
     /// simply spread `..TableModel::default()` into a struct literal.
@@ -393,6 +403,7 @@ impl<P> Default for TableModel<P> {
             moves: Vec::new(),
             transitions: Vec::new(),
             state_transitions: Vec::new(),
+            variant_tag: None,
             index: OnceLock::new(),
         }
     }
@@ -657,6 +668,7 @@ impl<P: Probability> ModelFingerprint for TableModel<P> {
     fn fingerprint(&self) -> Fingerprint {
         let mut h = FxHasher::default();
         "table".hash(&mut h);
+        self.variant_tag.hash(&mut h);
         self.n_agents.hash(&mut h);
         self.horizon.hash(&mut h);
         self.initial.len().hash(&mut h);

@@ -86,7 +86,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
+use pak_core::cancel::CancelToken;
 use pak_core::error::PpsError;
+use pak_core::failpoint::{self, Fault};
 use pak_core::hash::{FxBuildHasher, FxHasher};
 use pak_core::ids::{ActionId, AgentId, NodeId, StateId, Time};
 use pak_core::pps::{available_cores, BuildOptions, Pps, PpsBuilder, PpsExtender};
@@ -194,6 +196,11 @@ pub enum UnfoldError {
     /// well-formed models; indicates a model bug such as f64 distributions
     /// drifting outside tolerance).
     Pps(PpsError),
+    /// A [`CancelToken`] tripped (explicit cancellation or a blown
+    /// deadline). The unfolder handle remains valid at the horizon of
+    /// the last *committed* level — see
+    /// [`Unfolder::extend_horizon_with`].
+    Cancelled,
 }
 
 impl fmt::Display for UnfoldError {
@@ -215,6 +222,9 @@ impl fmt::Display for UnfoldError {
                 )
             }
             UnfoldError::Pps(e) => write!(f, "unfolded tree failed validation: {e}"),
+            UnfoldError::Cancelled => {
+                write!(f, "unfolding was cancelled (deadline or explicit cancel)")
+            }
         }
     }
 }
@@ -799,7 +809,7 @@ where
                     return Err(UnfoldError::DepthExceeded { max_depth: d });
                 }
             }
-            self.expand_level(sink, time, config)?;
+            self.expand_level(sink, time, config, None)?;
             self.promote_level();
             time += 1;
         }
@@ -814,17 +824,25 @@ where
     /// [`PpsExtender::commit_level`] roll back without a frontier
     /// snapshot. On error the caller rolls the engine back
     /// ([`ExpansionCore::rollback_level`]); the sink is the caller's to
-    /// unwind.
+    /// unwind. When `cancel` is set, the token is polled once per
+    /// frontier node and trips through the same error path as a model
+    /// failure ([`UnfoldError::Cancelled`]).
     fn expand_level<T: ExpandTarget<M::Global, P>>(
         &mut self,
         sink: &mut T,
         time: Time,
         config: &UnfoldConfig,
+        cancel: Option<&CancelToken>,
     ) -> Result<(), UnfoldError> {
         debug_assert!(self.next.is_empty());
         self.memo_added.clear();
         let mut i = 0;
         while i < self.frontier.len() {
+            if let Some(token) = cancel {
+                if token.is_cancelled() {
+                    return Err(UnfoldError::Cancelled);
+                }
+            }
             let (node, sid) = self.frontier[i];
             i += 1;
             let memo_slot = self.memo_get(sid, time);
@@ -902,6 +920,17 @@ where
         time: u32,
         config: &UnfoldConfig,
     ) -> Result<(), UnfoldError> {
+        match failpoint::check("unfold.expand") {
+            None => {}
+            Some(Fault::Error) => {
+                return Err(UnfoldError::BadModelDistribution {
+                    origin: "failpoint",
+                    detail: "injected fault at unfold.expand".to_owned(),
+                });
+            }
+            Some(Fault::Cancel) => return Err(UnfoldError::Cancelled),
+            Some(Fault::Panic) => panic!("failpoint unfold.expand: injected panic"),
+        }
         // Gather each agent's mixed move distribution from its local
         // state, into the per-agent scratch buffers.
         for a in 0..self.n_agents {
@@ -1167,8 +1196,43 @@ where
     /// entries, memo inserts, frontier — and the handle remains usable at
     /// its previous horizon.
     pub fn extend_horizon(&mut self) -> Result<bool, UnfoldError> {
+        self.extend_inner(None)
+    }
+
+    /// As [`Unfolder::extend_horizon`], polling `cancel` at the level
+    /// boundary and once per frontier node inside the level.
+    ///
+    /// # Errors
+    ///
+    /// As [`Unfolder::extend_horizon`], plus [`UnfoldError::Cancelled`]
+    /// when the token trips. Cancellation takes the same rollback path
+    /// as a model error: the half-built level is unwound via the
+    /// extender's level-abort protocol and the handle remains a valid,
+    /// bit-identical tree at its pre-call horizon — a later retry (with
+    /// a fresh token) reproduces the uninterrupted extension exactly.
+    pub fn extend_horizon_with(&mut self, cancel: &CancelToken) -> Result<bool, UnfoldError> {
+        self.extend_inner(Some(cancel))
+    }
+
+    fn extend_inner(&mut self, cancel: Option<&CancelToken>) -> Result<bool, UnfoldError> {
         if self.core.frontier.is_empty() {
             return Ok(false);
+        }
+        match failpoint::check("extend.level") {
+            None => {}
+            Some(Fault::Error) => {
+                return Err(UnfoldError::BadModelDistribution {
+                    origin: "failpoint",
+                    detail: "injected fault at extend.level".to_owned(),
+                });
+            }
+            Some(Fault::Cancel) => return Err(UnfoldError::Cancelled),
+            Some(Fault::Panic) => panic!("failpoint extend.level: injected panic"),
+        }
+        if let Some(token) = cancel {
+            if token.is_cancelled() {
+                return Err(UnfoldError::Cancelled);
+            }
         }
         if let Some(d) = self.config.max_depth {
             if self.horizon >= d {
@@ -1177,9 +1241,9 @@ where
         }
         let node_count = self.core.node_count;
         self.extender.begin_level();
-        if let Err(e) = self
-            .core
-            .expand_level(&mut self.extender, self.horizon, &self.config)
+        if let Err(e) =
+            self.core
+                .expand_level(&mut self.extender, self.horizon, &self.config, cancel)
         {
             self.extender.abort_level();
             self.core.rollback_level(node_count);

@@ -1,0 +1,37 @@
+//! # pak-server — a fault-tolerant epistemic query service
+//!
+//! A long-lived serving layer over `pak-engine`: worker threads behind a
+//! bounded queue answer [`Query`]s (batched verdicts, exact measures)
+//! against cached unfolded trees, under per-request deadlines.
+//!
+//! The robustness contract, end to end:
+//!
+//! - **Admission control** — a full queue rejects at submission
+//!   ([`ServiceError::Overloaded`]); accepted requests are never
+//!   silently dropped, even across shutdown.
+//! - **Deadlines & cancellation** — every request carries a
+//!   `CancelToken`; unfolding polls it at level boundaries (aborting
+//!   via the engine's level rollback, so partial work never corrupts a
+//!   handle) and evaluation polls at subformula boundaries (completed
+//!   truth tables stay memoized, so retries don't repeat work).
+//! - **Graceful degradation** — a deadline-blown *measure* query over
+//!   an epistemic-free formula can fall back to the `pak-sim`
+//!   Monte-Carlo tier, answering [`Answer::Approximate`] with a Wilson
+//!   confidence interval instead of failing.
+//! - **Panic isolation** — a panicking request is answered
+//!   ([`ServiceError::WorkerPanicked`]) and the worker keeps serving
+//!   with a fresh session; the shared tree cache is unaffected.
+//! - **Bounded memory** — the shared `PpsCache` evicts least-recently
+//!   used trees over its byte/entry budget; in-flight readers hold
+//!   `Arc`s and are never invalidated.
+//!
+//! See [`PakServer`] for a usage example.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+mod types;
+
+pub use service::{PakServer, Ticket};
+pub use types::{Answer, FallbackConfig, Query, ServerConfig, ServiceError, ShutdownSummary};

@@ -1,0 +1,235 @@
+//! The approximate tier: Monte-Carlo estimation of formula measures.
+//!
+//! When exact evaluation blows its latency budget (huge horizon, slow
+//! model), a service can *degrade* instead of failing: sample `n` trials
+//! forward from the model, evaluate the formula on each sampled
+//! trajectory, and report the success fraction with a Wilson confidence
+//! interval. This module is that tier.
+//!
+//! Each sampled [`Trial`] is lifted into a **single-run chain [`Pps`]**
+//! (one probability-one edge per step, carrying the trial's joint
+//! actions), and the formula is evaluated at the chain's point
+//! `(run 0, t)` via [`Formula::eval_at`]. Propositional, action, and
+//! temporal operators all have their exact semantics on a chain — a
+//! single run *is* its own future. What a chain cannot represent are
+//! the **epistemic** operators (`K_i`, `B_i^{≥p}`): their information
+//! cells degenerate to singletons on a single-run system, which would
+//! silently conflate belief with truth. [`formula_is_sampleable`]
+//! rejects such formulas, and [`estimate_formula_measure`] returns
+//! [`NotSampleable`] instead of a wrong answer. Atoms must likewise be
+//! point-local (state/action predicates — every fact in `pak-core`
+//! qualifies); a custom fact that inspects other runs of the tree is
+//! outside this tier's contract.
+//!
+//! The estimated quantity matches the exact engine's
+//! `Evaluator::measure_at_time`: the *unconditional* measure
+//! `µ_T({r : (r, t) live and (T, r, t) |= ϕ})` — trials that have
+//! terminated before `t` count as failures, exactly as dead points
+//! carry no truth.
+
+use pak_core::ids::{Point, RunId, Time};
+use pak_core::pps::{Pps, PpsBuilder};
+use pak_core::prob::Probability;
+use pak_core::state::GlobalState;
+use pak_logic::Formula;
+use pak_protocol::model::ProtocolModel;
+
+use crate::stats::Proportion;
+use crate::trial::{Simulator, Trial};
+
+/// Error returned when a formula contains epistemic operators and
+/// therefore cannot be estimated on sampled single-run chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotSampleable;
+
+impl std::fmt::Display for NotSampleable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "formula contains epistemic operators (K_i / B_i) and cannot \
+             be estimated on sampled single-run trajectories"
+        )
+    }
+}
+
+impl std::error::Error for NotSampleable {}
+
+/// Whether `f` can be estimated by per-trial evaluation: true exactly
+/// when no subformula is `Knows` or `BelievesAtLeast`.
+#[must_use]
+pub fn formula_is_sampleable<G: GlobalState, P: Probability>(f: &Formula<G, P>) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_) | Formula::Does(_, _) => true,
+        Formula::Not(x) | Formula::Eventually(x) | Formula::Always(x) => formula_is_sampleable(x),
+        Formula::And(x, y) | Formula::Or(x, y) | Formula::Implies(x, y) => {
+            formula_is_sampleable(x) && formula_is_sampleable(y)
+        }
+        Formula::Knows(_, _) | Formula::BelievesAtLeast(_, _, _) => false,
+    }
+}
+
+/// Lifts one sampled trajectory into a single-run chain system:
+/// `trial.states[t]` at depth `t + 1`, every edge probability one, the
+/// trial's joint actions on the edges. The chain has exactly one run,
+/// live precisely for `t < trial.len()`.
+///
+/// # Panics
+///
+/// Panics if the trial is empty or its states disagree with `n_agents`
+/// (cannot happen for trials sampled from a well-formed model with that
+/// agent count).
+#[must_use]
+pub fn trial_chain_pps<G: GlobalState, P: Probability>(
+    trial: &Trial<G>,
+    n_agents: u32,
+) -> Pps<G, P> {
+    let mut b = PpsBuilder::<G, P>::new(n_agents);
+    let mut node = b
+        .initial(trial.states[0].clone(), P::one())
+        .expect("chain initial state");
+    for t in 1..trial.len() {
+        node = b
+            .child(
+                node,
+                trial.states[t].clone(),
+                P::one(),
+                &trial.actions[t - 1],
+            )
+            .expect("chain step");
+    }
+    b.build().expect("single-run chain always validates")
+}
+
+/// The result of a Monte-Carlo formula-measure estimate: the success
+/// proportion over all sampled trials, ready for Wilson intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproxMeasure {
+    /// Successes over trials; `proportion.point()` is the estimate of
+    /// `µ_T(ϕ at time ∧ live)`, and `proportion.wilson(z)` its interval.
+    pub proportion: Proportion,
+    /// The time the formula was evaluated at.
+    pub time: Time,
+}
+
+/// Estimates `µ_T({r : (r, time) live and (T, r, time) |= ϕ})` from `n`
+/// forward-sampled trials, deterministically seeded.
+///
+/// Matching `Evaluator::measure_at_time` exactly, a trial counts as a
+/// success iff it is still live at `time` *and* satisfies `f` there;
+/// the denominator is always `n`.
+///
+/// # Errors
+///
+/// [`NotSampleable`] if `f` contains epistemic operators (see
+/// [`formula_is_sampleable`]).
+///
+/// # Panics
+///
+/// Panics if the model emits an empty distribution (a model bug), as
+/// [`Simulator::sample`] does.
+pub fn estimate_formula_measure<M, P>(
+    model: &M,
+    seed: u64,
+    n: u64,
+    f: &Formula<M::Global, P>,
+    time: Time,
+) -> Result<ApproxMeasure, NotSampleable>
+where
+    M: ProtocolModel<P>,
+    P: Probability,
+{
+    if !formula_is_sampleable(f) {
+        return Err(NotSampleable);
+    }
+    let n_agents = model.n_agents();
+    let mut sim = Simulator::<M, P>::new(model, seed);
+    let mut successes = 0;
+    for _ in 0..n {
+        let trial = sim.sample();
+        if (time as usize) >= trial.len() {
+            continue; // dead at `time`: carries no truth, counts as failure
+        }
+        let chain = trial_chain_pps::<M::Global, P>(&trial, n_agents);
+        let point = Point {
+            run: RunId(0),
+            time,
+        };
+        if f.eval_at(&chain, point) == Some(true) {
+            successes += 1;
+        }
+    }
+    Ok(ApproxMeasure {
+        proportion: Proportion::new(successes, n),
+        time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pak_core::fact::StateFact;
+    use pak_core::ids::AgentId;
+    use pak_protocol::model::{CoinModel, CoinState, COIN_ACT};
+
+    fn heads() -> Formula<CoinState, f64> {
+        Formula::atom(StateFact::<CoinState>::new("heads", |g| g.heads))
+    }
+
+    #[test]
+    fn sampleability_is_epistemic_freedom() {
+        let f = heads()
+            .and(Formula::does(AgentId(0), COIN_ACT))
+            .eventually();
+        assert!(formula_is_sampleable(&f));
+        let g = Formula::knows(AgentId(0), heads());
+        assert!(!formula_is_sampleable(&g));
+        let h = Formula::believes_at_least(AgentId(0), heads(), 0.5).not();
+        assert!(!formula_is_sampleable(&h));
+    }
+
+    #[test]
+    fn epistemic_formula_is_rejected() {
+        let model = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let g = Formula::knows(AgentId(0), heads());
+        assert_eq!(
+            estimate_formula_measure(&model, 1, 10, &g, 0),
+            Err(NotSampleable)
+        );
+    }
+
+    #[test]
+    fn chain_preserves_actions_and_liveness() {
+        let model = CoinModel {
+            heads_num: 1,
+            heads_den: 2,
+        };
+        let mut sim = Simulator::<_, f64>::new(&model, 7);
+        let trial = sim.sample();
+        let chain = trial_chain_pps::<CoinState, f64>(&trial, 1);
+        assert_eq!(chain.num_runs(), 1);
+        assert_eq!(chain.horizon() as usize + 1, trial.len());
+        let p0 = Point {
+            run: RunId(0),
+            time: 0,
+        };
+        assert!(chain.does(AgentId(0), COIN_ACT, p0));
+        assert_eq!(*chain.run_probability(RunId(0)), 1.0);
+    }
+
+    #[test]
+    fn estimate_converges_to_the_exact_measure() {
+        // P(heads) = 3/4; the estimate's 99% interval must contain it.
+        let model = CoinModel {
+            heads_num: 3,
+            heads_den: 4,
+        };
+        let est = estimate_formula_measure(&model, 42, 4000, &heads(), 0).unwrap();
+        assert_eq!(est.proportion.trials, 4000);
+        assert!(est.proportion.contains(0.75, 2.576));
+        let (lo, hi) = est.proportion.wilson(2.576);
+        assert!(lo > 0.5 && hi < 1.0, "interval ({lo}, {hi}) is informative");
+    }
+}

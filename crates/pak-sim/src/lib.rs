@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod estimate;
 pub mod rng;
 pub mod stats;
 pub mod trial;
 
+pub use approx::{estimate_formula_measure, ApproxMeasure, NotSampleable};
 pub use estimate::{
     estimate_constraint, estimate_expected_belief, estimate_threshold_measure, BeliefTable,
 };

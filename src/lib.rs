@@ -25,7 +25,12 @@
 //!   synchronous lossy-messaging substrate, and bounded-horizon unfolding
 //!   into a pps.
 //! * [`sim`] — Monte-Carlo simulation and statistics for cross-validating
-//!   exact analyses.
+//!   exact analyses, including the approximate formula-measure tier the
+//!   server degrades to under deadline pressure.
+//! * [`server`] — a fault-tolerant query service: bounded work queue with
+//!   admission control, worker threads with panic isolation, per-request
+//!   deadlines threaded into unfolding and evaluation, LRU cache eviction,
+//!   and graceful degradation to Monte-Carlo answers.
 //! * [`systems`] — the paper's concrete systems: the `FS` firing-squad
 //!   protocol of Example 1, the Figure 1 counterexamples, the Theorem 5.2
 //!   construction, and additional scenarios (mutual exclusion, coordinated
@@ -55,5 +60,6 @@ pub use pak_engine as engine;
 pub use pak_logic as logic;
 pub use pak_num as num;
 pub use pak_protocol as protocol;
+pub use pak_server as server;
 pub use pak_sim as sim;
 pub use pak_systems as systems;

@@ -7,8 +7,11 @@
 //! everything.
 
 use pak::core::prelude::*;
+use pak::engine::Evaluator;
+use pak::logic::Formula;
 use pak::num::Rational;
 use pak::protocol::messaging::LossyMessagingModel;
+use pak::protocol::unfold::{unfold_with, UnfoldConfig};
 use pak::sim::estimate::estimate_constraint;
 use pak::systems::firing_squad::{FiringSquad, ALICE, BOB, FIRE_A, FIRE_B};
 use pak::systems::threshold::ThresholdConstruction;
@@ -95,6 +98,40 @@ fn tampered_beliefs_break_the_expectation_identity() {
         "squared beliefs must not satisfy the identity"
     );
     assert_eq!(analysis.expected_belief(), mu, "honest beliefs must");
+}
+
+#[test]
+fn engine_verdicts_detect_a_miscalibrated_model() {
+    // The engine layer must *see* a perturbed model: unfold the paper's FS
+    // under the correct channel (loss 1/10) and a miscalibrated one (loss
+    // 1/5), sweep belief thresholds k/100 through the batched evaluator,
+    // and require at least one verdict to flip between the two trees.
+    // µ(Bob eventually fires | Alice's information) sits at different
+    // heights in the two systems, so thresholds between them separate.
+    let correct = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 10));
+    let perturbed = LossyMessagingModel::new(FiringSquad::paper(), Rational::from_ratio(1, 5));
+    let tree_ok = unfold_with::<_, Rational>(&correct, &UnfoldConfig::default()).unwrap();
+    let tree_bad = unfold_with::<_, Rational>(&perturbed, &UnfoldConfig::default()).unwrap();
+    let formulas: Vec<_> = (1..100)
+        .map(|k| {
+            Formula::believes_at_least(
+                ALICE,
+                Formula::does(BOB, FIRE_B).eventually(),
+                Rational::from_ratio(k, 100),
+            )
+        })
+        .collect();
+    let v_ok = Evaluator::new(&tree_ok).evaluate_batch(&formulas);
+    let v_bad = Evaluator::new(&tree_bad).evaluate_batch(&formulas);
+    let flips = v_ok.iter().zip(&v_bad).filter(|(a, b)| a != b).count();
+    assert!(
+        flips > 0,
+        "a 2× loss miscalibration must flip at least one batched verdict"
+    );
+    // And identical inputs must not flip anything (the detector is not
+    // trigger-happy).
+    let v_again = Evaluator::new(&tree_ok).evaluate_batch(&formulas);
+    assert_eq!(v_ok, v_again);
 }
 
 #[test]
