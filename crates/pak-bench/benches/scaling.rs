@@ -216,7 +216,12 @@ fn benches(c: &mut Criterion) {
     }
     group.finish();
 
-    // Rational vs f64 ablation on a fixed workload (attack, 4 rounds).
+    // Rational vs f64 ablation on a fixed workload (attack, 4 rounds),
+    // plus representation-tier microbenches: a product chain of k copies
+    // of p keeps every intermediate denominator in a known tier of
+    // BigUint's inline/fixed/heap lattice, isolating what each tier
+    // costs. The attack rows are measured back to back in this same
+    // session, so their ratio in BENCH_scaling.json is apples-to-apples.
     let mut group = c.benchmark_group("scaling/numeric_ablation");
     group.bench_function("attack4_rational", |b| {
         let s = CoordinatedAttack::new(Rational::from_ratio(1, 10), Rational::from_ratio(1, 2), 4);
@@ -225,6 +230,30 @@ fn benches(c: &mut Criterion) {
     group.bench_function("attack4_f64", |b| {
         let s = CoordinatedAttack::new(0.1f64, 0.5, 4);
         b.iter(|| black_box(s.build_pps().unwrap().analyze()))
+    });
+    let chain = |p: &Rational, k: usize| {
+        let mut acc = Rational::one();
+        for _ in 0..k {
+            acc *= p;
+        }
+        acc
+    };
+    // Denominator 2^48: word-sized throughout (inline tier only).
+    group.bench_function("chain_mul_48_inline", |b| {
+        let half = Rational::from_ratio(1, 2);
+        b.iter(|| black_box(chain(&half, 48)))
+    });
+    // Denominator 20^40 ≈ 2^172.9: crosses u64::MAX early and then stays
+    // inside the fixed [u64; 3] tier — no allocation if the tier works.
+    group.bench_function("chain_mul_40_fixed", |b| {
+        let p = Rational::from_ratio(19, 20);
+        b.iter(|| black_box(chain(&p, 40)))
+    });
+    // Denominator 20^120 ≈ 2^518.7: escalates through fixed to the heap
+    // tier; the gap to the fixed row is the price of Vec limbs.
+    group.bench_function("chain_mul_120_heap", |b| {
+        let p = Rational::from_ratio(19, 20);
+        b.iter(|| black_box(chain(&p, 120)))
     });
     group.finish();
 

@@ -567,11 +567,16 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// The measure `µ_T(Q)` of an event, accumulated in place.
     #[must_use]
     pub fn measure(&self, event: &RunSet) -> P {
-        let mut acc = P::zero();
+        // Seed the sum from the first run instead of adding into zero.
+        let mut acc: Option<P> = None;
         for r in event.iter() {
-            acc.add_assign(&self.run_probs[r.index()]);
+            let p = &self.run_probs[r.index()];
+            match &mut acc {
+                Some(m) => m.add_assign(p),
+                None => acc = Some(p.clone()),
+            }
         }
-        acc
+        acc.unwrap_or_else(P::zero)
     }
 
     /// The conditional measure `µ_T(A | B)`.
@@ -582,15 +587,41 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
     /// no intermediate event is materialised.
     #[must_use]
     pub fn conditional(&self, a: &RunSet, b: &RunSet) -> Option<P> {
-        let mb = self.measure(b);
-        if mb.is_zero() {
-            return None;
+        // Count runs alongside the sums: when the intersection is empty
+        // or covers all of `b` the answer is exactly 0 or 1 and neither
+        // sum nor quotient is needed — singleton cells (the common case
+        // in small trees) never touch the arithmetic at all.
+        let mut mb: Option<P> = None;
+        let mut nb = 0usize;
+        for r in b.iter() {
+            nb += 1;
+            let p = &self.run_probs[r.index()];
+            match &mut mb {
+                Some(m) => m.add_assign(p),
+                None => mb = Some(p.clone()),
+            }
         }
-        let mut mab = P::zero();
+        let mb = match mb {
+            Some(m) if !m.is_zero() => m,
+            _ => return None,
+        };
+        let mut mab: Option<P> = None;
+        let mut nab = 0usize;
         for r in a.iter_and(b) {
-            mab.add_assign(&self.run_probs[r.index()]);
+            nab += 1;
+            let p = &self.run_probs[r.index()];
+            match &mut mab {
+                Some(m) => m.add_assign(p),
+                None => mab = Some(p.clone()),
+            }
         }
-        Some(mab.div(&mb))
+        match mab {
+            None => Some(P::zero()),
+            // a ∩ b = b: both sums range over the same runs in the same
+            // ascending order, so they are identical values; µ(A|B) = 1.
+            Some(_) if nab == nb => Some(P::one()),
+            Some(mab) => Some(mab.div(&mb)),
+        }
     }
 
     /// The full event `R_T`.
@@ -946,6 +977,17 @@ impl<G: GlobalState, P: Probability> Pps<G, P> {
                         validated.set(state.index(), time as usize, children.len() as u32);
                     }
                 }
+            }
+            // A single (deterministic) child must carry probability one
+            // exactly; only branching nodes need the accumulator loop.
+            if let [c] = children {
+                if !nodes.edge_prob(c.index()).is_one() {
+                    return Err(PpsError::BadDistribution {
+                        node: NodeId(i as u32),
+                        sum: nodes.edge_prob(c.index()).to_f64(),
+                    });
+                }
+                continue;
             }
             let mut sum = P::zero();
             for &c in children {
@@ -2178,6 +2220,16 @@ impl<G: GlobalState, P: Probability> PpsExtender<G, P> {
                             seen.insert(key, count);
                         }
                     }
+                }
+                // Same single-child specialisation as the build pass: a
+                // deterministic edge must be exactly one, no sum needed.
+                if count == 1 {
+                    let p = self.pps.nodes.edge_prob(first as usize);
+                    if !p.is_one() {
+                        bad = Some((parent, p.to_f64()));
+                        break;
+                    }
+                    continue;
                 }
                 let mut sum = P::zero();
                 for child in first..first + count {

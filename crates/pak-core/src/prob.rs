@@ -235,6 +235,13 @@ impl Probability for Rational {
     fn to_f64(&self) -> f64 {
         Rational::to_f64(self)
     }
+
+    fn one_minus(&self) -> Self {
+        // The inherent method has a dedicated word path ((b ∓ a)/b is
+        // already reduced); the trait default would route through a
+        // generic subtraction instead.
+        Rational::one_minus(self)
+    }
 }
 
 /// Sums an iterator of probabilities, accumulating in place.

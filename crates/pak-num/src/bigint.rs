@@ -26,6 +26,7 @@ impl Sign {
     /// Multiplies two signs.
     #[must_use]
     #[allow(clippy::should_implement_trait)] // sign algebra, not numeric Mul
+    #[inline]
     pub fn mul(self, other: Sign) -> Sign {
         match (self, other) {
             (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
@@ -37,6 +38,7 @@ impl Sign {
     /// Negates the sign.
     #[must_use]
     #[allow(clippy::should_implement_trait)] // sign algebra, not numeric Neg
+    #[inline]
     pub fn neg(self) -> Sign {
         match self {
             Sign::Negative => Sign::Positive,
@@ -67,6 +69,7 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     #[must_use]
+    #[inline]
     pub fn zero() -> Self {
         BigInt {
             sign: Sign::Zero,
@@ -76,6 +79,7 @@ impl BigInt {
 
     /// The value `1`.
     #[must_use]
+    #[inline]
     pub fn one() -> Self {
         BigInt {
             sign: Sign::Positive,
@@ -85,6 +89,7 @@ impl BigInt {
 
     /// Builds a value from a sign and magnitude, normalising zero.
     #[must_use]
+    #[inline]
     pub fn from_sign_magnitude(sign: Sign, magnitude: BigUint) -> Self {
         if magnitude.is_zero() {
             BigInt::zero()
@@ -100,30 +105,35 @@ impl BigInt {
 
     /// The sign of the value.
     #[must_use]
+    #[inline]
     pub fn sign(&self) -> Sign {
         self.sign
     }
 
     /// The magnitude (absolute value) of the value.
     #[must_use]
+    #[inline]
     pub fn magnitude(&self) -> &BigUint {
         &self.magnitude
     }
 
     /// Returns `true` if the value is zero.
     #[must_use]
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.sign == Sign::Zero
     }
 
     /// Returns `true` if the value is strictly positive.
     #[must_use]
+    #[inline]
     pub fn is_positive(&self) -> bool {
         self.sign == Sign::Positive
     }
 
     /// Returns `true` if the value is strictly negative.
     #[must_use]
+    #[inline]
     pub fn is_negative(&self) -> bool {
         self.sign == Sign::Negative
     }
@@ -136,6 +146,7 @@ impl BigInt {
 
     /// Lossy conversion to `f64`.
     #[must_use]
+    #[inline]
     pub fn to_f64(&self) -> f64 {
         let m = self.magnitude.to_f64();
         match self.sign {
@@ -256,6 +267,7 @@ impl PartialOrd for BigInt {
 
 impl Neg for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn neg(self) -> BigInt {
         BigInt {
             sign: self.sign.neg(),
@@ -306,6 +318,7 @@ impl Sub for &BigInt {
 
 impl Mul for &BigInt {
     type Output = BigInt;
+    #[inline]
     fn mul(self, rhs: &BigInt) -> BigInt {
         BigInt::from_sign_magnitude(self.sign.mul(rhs.sign), &self.magnitude * &rhs.magnitude)
     }
@@ -316,6 +329,7 @@ impl Mul<&BigUint> for &BigInt {
     /// Scales by an unsigned value without round-tripping it through a
     /// signed wrapper — the hot cross-multiplication in `Rational` uses
     /// this to stay clone-free.
+    #[inline]
     fn mul(self, rhs: &BigUint) -> BigInt {
         if rhs.is_zero() {
             return BigInt::zero();

@@ -5,26 +5,43 @@ use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
 use core::str::FromStr;
 
+use crate::fixed::{self, FixedUint, FIXED_LIMBS};
 use crate::parse::ParseNumberError;
 
 /// An unsigned arbitrary-precision integer.
 ///
 /// # Representation
 ///
-/// The value is stored in one of two variants:
+/// The value is stored in one of three variants — a lattice of tiers
+/// ordered by magnitude:
 ///
 /// * **Inline** — any value that fits in a `u64` is held directly in the
 ///   enum, with no heap allocation. All arithmetic between inline values
 ///   runs on machine words (widening to `u128` where needed) and never
 ///   touches the allocator.
-/// * **Heap** — values strictly greater than `u64::MAX` are stored as
+/// * **Fixed** — values in `(u64::MAX, 2^FIXED_BITS)` are held in a
+///   stack-resident `[u64; 3]` little-endian limb array
+///   ([`BigUint::FIXED_BITS`] is `192`). Additions, subtractions,
+///   multiplications, divisions, and gcds between inline/fixed operands
+///   stay entirely on the stack; only results crossing `2^FIXED_BITS`
+///   escalate.
+/// * **Heap** — values of at least `2^FIXED_BITS` are stored as
 ///   little-endian base-2³² limbs with no trailing zero limbs (so the limb
-///   vector always has at least three limbs).
+///   vector always has at least seven limbs).
 ///
 /// The representation is **canonical**: a given value has exactly one
-/// representation, so the derived `PartialEq`/`Hash` are value equality and
-/// every heap result that shrinks back into word range is re-inlined by
-/// the internal `from_limbs` normaliser. All arithmetic is exact.
+/// representation, so the derived `PartialEq`/`Hash` are value equality,
+/// `Display` prints identical digits whichever tier a value came from, and
+/// every result that shrinks across a tier boundary is normalised back
+/// down (heap → fixed → inline) by the internal constructors. All
+/// arithmetic is exact.
+///
+/// # Panics
+///
+/// `Sub`/`SubAssign` panic on underflow (`rhs > self`), since an unsigned
+/// integer cannot represent the difference; use [`BigUint::checked_sub`]
+/// when the ordering of the operands is not known. No other operator
+/// panics, except division by zero.
 ///
 /// # Examples
 ///
@@ -40,23 +57,27 @@ pub struct BigUint {
     repr: Repr,
 }
 
-/// The two storage variants. Invariant: `Heap` holds only values greater
-/// than `u64::MAX`, as normalised little-endian limbs (≥ 3 limbs, no
-/// trailing zeros); everything else is `Inline`.
+/// The three storage variants. Invariants: `Fixed` holds only values
+/// strictly greater than `u64::MAX` (so its significant-limb count is
+/// always ≥ 2), `Heap` holds only values of at least `2^(64·FIXED_LIMBS)`,
+/// as normalised little-endian limbs (≥ `2·FIXED_LIMBS + 1` limbs, no
+/// trailing zeros); everything word-sized is `Inline`. The variants are
+/// therefore strictly ordered by value range, which `Ord` exploits.
 #[derive(Clone, PartialEq, Eq, Hash)]
 enum Repr {
     Inline(u64),
+    Fixed(FixedUint<FIXED_LIMBS>),
     Heap(Vec<u32>),
 }
 
 const LIMB_BITS: u32 = 32;
 
-/// A stack-resident view of a value's limbs: inline values materialise at
-/// most two limbs in a local buffer, heap values borrow their vector. This
-/// is what lets the mixed inline/heap code paths share one set of limb
-/// algorithms without allocating.
+/// A stack-resident view of a value's limbs: inline and fixed values
+/// materialise their limbs in a local buffer, heap values borrow their
+/// vector. This is what lets the mixed-representation code paths share one
+/// set of limb algorithms without allocating.
 struct LimbView<'a> {
-    buf: [u32; 2],
+    buf: [u32; 2 * FIXED_LIMBS],
     len: usize,
     heap: Option<&'a [u32]>,
 }
@@ -79,6 +100,7 @@ impl BigUint {
     /// assert!(BigUint::zero().is_zero());
     /// ```
     #[must_use]
+    #[inline]
     pub fn zero() -> Self {
         BigUint {
             repr: Repr::Inline(0),
@@ -92,6 +114,7 @@ impl BigUint {
     /// assert_eq!(BigUint::one(), BigUint::from(1u32));
     /// ```
     #[must_use]
+    #[inline]
     pub fn one() -> Self {
         BigUint {
             repr: Repr::Inline(1),
@@ -108,23 +131,16 @@ impl BigUint {
     fn from_u128_value(v: u128) -> Self {
         match u64::try_from(v) {
             Ok(w) => Self::from_u64(w),
-            Err(_) => {
-                let mut limbs = Vec::with_capacity(4);
-                let mut rest = v;
-                while rest != 0 {
-                    limbs.push((rest & 0xFFFF_FFFF) as u32);
-                    rest >>= 32;
-                }
-                debug_assert!(limbs.len() >= 3);
-                BigUint {
-                    repr: Repr::Heap(limbs),
-                }
-            }
+            Err(_) => BigUint {
+                repr: Repr::Fixed(FixedUint::from_u128(v)),
+            },
         }
     }
 
-    /// Creates a value from little-endian limbs, normalising trailing zeros
-    /// and re-inlining word-sized results.
+    /// Creates a value from little-endian limbs, normalising trailing
+    /// zeros and dropping the result into the lowest tier it fits:
+    /// inline for word-sized values, fixed up to `2 × FIXED_LIMBS` limbs,
+    /// heap beyond.
     #[must_use]
     pub(crate) fn from_limbs(mut limbs: Vec<u32>) -> Self {
         while limbs.last() == Some(&0) {
@@ -134,11 +150,74 @@ impl BigUint {
             0 => Self::zero(),
             1 => Self::from_u64(u64::from(limbs[0])),
             2 => Self::from_u64(u64::from(limbs[0]) | (u64::from(limbs[1]) << 32)),
+            n if n <= 2 * FIXED_LIMBS => {
+                let mut words = [0u64; FIXED_LIMBS];
+                for (i, chunk) in limbs.chunks(2).enumerate() {
+                    let hi = chunk.get(1).map_or(0, |&h| u64::from(h));
+                    words[i] = u64::from(chunk[0]) | (hi << 32);
+                }
+                BigUint {
+                    repr: Repr::Fixed(FixedUint::new(words)),
+                }
+            }
             _ => BigUint {
                 repr: Repr::Heap(limbs),
             },
         }
     }
+
+    /// Creates a value from `FIXED_LIMBS` little-endian 64-bit words,
+    /// canonicalising word-sized results down to the inline tier.
+    #[inline]
+    pub(crate) fn from_words(words: [u64; FIXED_LIMBS]) -> Self {
+        match fixed::sig_words(&words) {
+            0 => Self::zero(),
+            1 => Self::from_u64(words[0]),
+            _ => BigUint {
+                repr: Repr::Fixed(FixedUint::new(words)),
+            },
+        }
+    }
+
+    /// Canonicalises a wide little-endian 64-bit word buffer (at most
+    /// `2 × FIXED_LIMBS` words, e.g. a full fixed-tier product): inline if
+    /// word-sized, fixed if it fits `FIXED_LIMBS` words, heap otherwise.
+    fn from_wide_words(words: &[u64]) -> Self {
+        let sig = fixed::sig_words(words);
+        if sig <= FIXED_LIMBS {
+            let mut w = [0u64; FIXED_LIMBS];
+            w[..sig].copy_from_slice(&words[..sig]);
+            return Self::from_words(w);
+        }
+        let mut limbs = Vec::with_capacity(sig * 2);
+        for &w in &words[..sig] {
+            limbs.push((w & 0xFFFF_FFFF) as u32);
+            limbs.push((w >> 32) as u32);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// The value as zero-padded fixed-tier words, unless it is
+    /// heap-resident.
+    #[inline]
+    fn to_fixed_words(&self) -> Option<[u64; FIXED_LIMBS]> {
+        match &self.repr {
+            Repr::Inline(v) => {
+                let mut w = [0u64; FIXED_LIMBS];
+                w[0] = *v;
+                Some(w)
+            }
+            Repr::Fixed(fx) => Some(*fx.limbs()),
+            Repr::Heap(_) => None,
+        }
+    }
+
+    /// Width of the fixed stack tier in bits (`64 × FIXED_LIMBS`).
+    ///
+    /// Values in `(u64::MAX, 2^FIXED_BITS)` live in the stack-resident
+    /// fixed tier; values `≥ 2^FIXED_BITS` are heap-resident. Exposed so
+    /// representation-boundary tests can target the lattice edges.
+    pub const FIXED_BITS: u64 = 64 * FIXED_LIMBS as u64;
 
     /// Returns `true` if the value is held inline (fits in a `u64`).
     ///
@@ -149,6 +228,26 @@ impl BigUint {
         matches!(self.repr, Repr::Inline(_))
     }
 
+    /// Returns `true` if the value is held in the fixed stack tier
+    /// (greater than `u64::MAX`, less than `2^FIXED_BITS`).
+    ///
+    /// Exposed for representation-canonicality tests, like
+    /// [`BigUint::is_inline`].
+    #[must_use]
+    pub fn is_fixed(&self) -> bool {
+        matches!(self.repr, Repr::Fixed(_))
+    }
+
+    /// Returns `true` if the value is heap-resident (at least
+    /// `2^FIXED_BITS`).
+    ///
+    /// Exposed for representation-canonicality tests, like
+    /// [`BigUint::is_inline`].
+    #[must_use]
+    pub fn is_heap(&self) -> bool {
+        matches!(self.repr, Repr::Heap(_))
+    }
+
     /// The limbs of the value as a borrowable stack view.
     #[inline]
     fn view(&self) -> LimbView<'_> {
@@ -157,14 +256,33 @@ impl BigUint {
                 let lo = (*v & 0xFFFF_FFFF) as u32;
                 let hi = (*v >> 32) as u32;
                 let len = if hi != 0 { 2 } else { usize::from(lo != 0) };
+                let mut buf = [0u32; 2 * FIXED_LIMBS];
+                buf[0] = lo;
+                buf[1] = hi;
                 LimbView {
-                    buf: [lo, hi],
+                    buf,
+                    len,
+                    heap: None,
+                }
+            }
+            Repr::Fixed(fx) => {
+                let mut buf = [0u32; 2 * FIXED_LIMBS];
+                for (i, &w) in fx.limbs().iter().enumerate() {
+                    buf[2 * i] = (w & 0xFFFF_FFFF) as u32;
+                    buf[2 * i + 1] = (w >> 32) as u32;
+                }
+                let mut len = 2 * FIXED_LIMBS;
+                while len > 0 && buf[len - 1] == 0 {
+                    len -= 1;
+                }
+                LimbView {
+                    buf,
                     len,
                     heap: None,
                 }
             }
             Repr::Heap(limbs) => LimbView {
-                buf: [0, 0],
+                buf: [0; 2 * FIXED_LIMBS],
                 len: limbs.len(),
                 heap: Some(limbs),
             },
@@ -173,12 +291,14 @@ impl BigUint {
 
     /// Returns `true` if the value is zero.
     #[must_use]
+    #[inline]
     pub fn is_zero(&self) -> bool {
         matches!(self.repr, Repr::Inline(0))
     }
 
     /// Returns `true` if the value is one.
     #[must_use]
+    #[inline]
     pub fn is_one(&self) -> bool {
         matches!(self.repr, Repr::Inline(1))
     }
@@ -192,9 +312,11 @@ impl BigUint {
     /// assert_eq!(BigUint::from(256u32).bits(), 9);
     /// ```
     #[must_use]
+    #[inline]
     pub fn bits(&self) -> u64 {
         match &self.repr {
             Repr::Inline(v) => u64::from(64 - v.leading_zeros()),
+            Repr::Fixed(fx) => fx.bits(),
             Repr::Heap(limbs) => {
                 let top = *limbs.last().expect("heap repr is non-empty");
                 (limbs.len() as u64 - 1) * u64::from(LIMB_BITS)
@@ -205,51 +327,74 @@ impl BigUint {
 
     /// Returns the value as `u64` if it fits.
     #[must_use]
+    #[inline]
     pub fn to_u64(&self) -> Option<u64> {
         match &self.repr {
             Repr::Inline(v) => Some(*v),
-            Repr::Heap(_) => None,
+            Repr::Fixed(_) | Repr::Heap(_) => None,
         }
     }
 
     /// Returns the value as `u128` if it fits.
     #[must_use]
+    #[inline]
     pub fn to_u128(&self) -> Option<u128> {
         match &self.repr {
             Repr::Inline(v) => Some(u128::from(*v)),
-            Repr::Heap(limbs) => {
-                if limbs.len() > 4 {
-                    return None;
-                }
-                let mut out: u128 = 0;
-                for (i, &l) in limbs.iter().enumerate() {
-                    out |= u128::from(l) << (32 * i);
-                }
-                Some(out)
-            }
+            Repr::Fixed(fx) => fx.to_u128(),
+            // Heap values are at least 2^FIXED_BITS > u128::MAX.
+            Repr::Heap(_) => None,
         }
     }
 
-    /// Lossy conversion to `f64`.
+    /// Lossy conversion to `f64`, rounded to nearest, ties to even — the
+    /// same rounding the hardware applies, so the result is always the
+    /// `f64` closest to the exact value.
     ///
     /// Values larger than `f64::MAX` convert to `f64::INFINITY`.
     #[must_use]
     pub fn to_f64(&self) -> f64 {
         if let Repr::Inline(v) = self.repr {
-            #[allow(clippy::cast_precision_loss)]
+            #[allow(clippy::cast_precision_loss)] // u64→f64 rounds to nearest even
             return v as f64;
         }
+        // Wide value (≥ 65 bits): extract the exact top 64 bits plus a
+        // sticky bit recording whether anything below them is non-zero,
+        // then round that window to f64's 53-bit mantissa, ties to even.
+        // Truncating here instead (the old behaviour) biased every
+        // conversion toward zero by up to one ulp.
         let bits = self.bits();
-        // Take the top 64 bits as the mantissa and scale by the remaining exponent.
-        let shift = bits - 64;
-        let top = (self >> shift).to_u64().expect("shifted to 64 bits");
-        #[allow(clippy::cast_precision_loss)]
-        let mantissa = top as f64;
+        let view = self.view();
+        let limbs = view.as_slice();
+        let k = limbs.len(); // ≥ 3 by the representation invariant
+        let hi3 = (u128::from(limbs[k - 1]) << 64)
+            | (u128::from(limbs[k - 2]) << 32)
+            | u128::from(limbs[k - 3]);
+        // The top three limbs carry `bits − 32·(k − 3)` significant bits,
+        // which is in (64, 96]; all but the top 64 feed the sticky bit
+        // along with every lower limb.
+        #[allow(clippy::cast_possible_truncation)]
+        let excess = (bits - 32 * (k as u64 - 3) - 64) as u32; // 1..=32
+        #[allow(clippy::cast_possible_truncation)]
+        let top = (hi3 >> excess) as u64;
+        let sticky = hi3 & ((1u128 << excess) - 1) != 0 || limbs[..k - 3].iter().any(|&l| l != 0);
+
+        let mut mantissa = top >> 11;
+        let round = (top >> 10) & 1 == 1;
+        let lower = (top & 0x3FF) != 0 || sticky;
+        let mut exp = bits - 64 + 11; // value ≈ mantissa × 2^exp
+        if round && (lower || mantissa & 1 == 1) {
+            mantissa += 1;
+            if mantissa == 1u64 << 53 {
+                mantissa >>= 1;
+                exp += 1;
+            }
+        }
         #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
         {
             // Clamp to i32::MAX (not u32::MAX, which would wrap negative);
             // powi saturates to INFINITY well before the clamp engages.
-            mantissa * 2f64.powi(shift.min(i32::MAX as u64) as i32)
+            (mantissa as f64) * 2f64.powi(exp.min(i32::MAX as u64) as i32)
         }
     }
 
@@ -280,8 +425,16 @@ impl BigUint {
     pub fn checked_sub(&self, other: &Self) -> Option<Self> {
         match (&self.repr, &other.repr) {
             (Repr::Inline(a), Repr::Inline(b)) => a.checked_sub(*b).map(Self::from_u64),
-            (Repr::Inline(_), Repr::Heap(_)) => None, // heap values exceed u64
-            _ => {
+            // A subtrahend from a higher tier strictly exceeds the minuend.
+            (Repr::Inline(_), Repr::Fixed(_) | Repr::Heap(_)) | (Repr::Fixed(_), Repr::Heap(_)) => {
+                None
+            }
+            (Repr::Fixed(a), _) => {
+                let bw = other.to_fixed_words().expect("rhs is inline or fixed");
+                a.checked_sub(&FixedUint::new(bw))
+                    .map(|d| Self::from_words(*d.limbs()))
+            }
+            (Repr::Heap(_), _) => {
                 let (av, bv) = (self.view(), other.view());
                 Self::sub_slices(av.as_slice(), bv.as_slice())
             }
@@ -331,9 +484,19 @@ impl BigUint {
         assert!(!divisor.is_zero(), "division by zero BigUint");
         match (&self.repr, &divisor.repr) {
             (Repr::Inline(a), Repr::Inline(b)) => (Self::from_u64(a / b), Self::from_u64(a % b)),
-            // A heap value is strictly greater than any inline value.
-            (Repr::Inline(_), Repr::Heap(_)) => (Self::zero(), self.clone()),
-            _ => {
+            // A divisor from a higher tier strictly exceeds the dividend.
+            (Repr::Inline(_), Repr::Fixed(_) | Repr::Heap(_)) | (Repr::Fixed(_), Repr::Heap(_)) => {
+                (Self::zero(), self.clone())
+            }
+            (Repr::Fixed(a), Repr::Inline(d)) => {
+                let (q, r) = a.div_rem_word(*d);
+                (Self::from_words(*q.limbs()), Self::from_u64(r))
+            }
+            (Repr::Fixed(a), Repr::Fixed(b)) => {
+                let (q, r) = a.div_rem(b);
+                (Self::from_words(*q.limbs()), Self::from_words(*r.limbs()))
+            }
+            (Repr::Heap(_), _) => {
                 let (uv, dv) = (self.view(), divisor.view());
                 let (u, d) = (uv.as_slice(), dv.as_slice());
                 match Self::cmp_limbs(u, d) {
@@ -450,9 +613,10 @@ impl BigUint {
 
     /// Greatest common divisor.
     ///
-    /// Word-sized operands run Euclid's algorithm entirely on `u64`s; a
-    /// larger operand is first reduced modulo the smaller, which lands in
-    /// the word-sized loop after at most one multi-limb division.
+    /// Operands up to two words run the binary gcd entirely on machine
+    /// words; larger operands reduce by Euclid steps (division stays on
+    /// the stack throughout the fixed tier) until both fit, which takes at
+    /// most a few multi-limb divisions.
     ///
     /// `gcd(0, 0) == 0` by convention.
     ///
@@ -463,30 +627,19 @@ impl BigUint {
     /// ```
     #[must_use]
     pub fn gcd(&self, other: &Self) -> Self {
-        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &other.repr) {
-            return Self::from_u64(Self::gcd_u64(*a, *b));
-        }
         let mut a = self.clone();
         let mut b = other.clone();
-        while !b.is_zero() {
-            if let (Repr::Inline(x), Repr::Inline(y)) = (&a.repr, &b.repr) {
-                return Self::from_u64(Self::gcd_u64(*x, *y));
+        loop {
+            if let (Some(x), Some(y)) = (a.to_u128(), b.to_u128()) {
+                return Self::from_u128_value(fixed::gcd_u128(x, y));
+            }
+            if b.is_zero() {
+                return a;
             }
             let (_, r) = a.div_rem(&b);
             a = b;
             b = r;
         }
-        a
-    }
-
-    /// Euclid's algorithm on machine words; never allocates.
-    fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
-        while b != 0 {
-            let r = a % b;
-            a = b;
-            b = r;
-        }
-        a
     }
 
     /// Raises the value to the power `exp` by binary exponentiation.
@@ -515,9 +668,11 @@ impl BigUint {
 
     /// Returns `true` if the value is even.
     #[must_use]
+    #[inline]
     pub fn is_even(&self) -> bool {
         match &self.repr {
             Repr::Inline(v) => v & 1 == 0,
+            Repr::Fixed(fx) => fx.is_even(),
             Repr::Heap(limbs) => limbs[0] & 1 == 0,
         }
     }
@@ -615,10 +770,12 @@ impl Ord for BigUint {
     fn cmp(&self, other: &Self) -> Ordering {
         match (&self.repr, &other.repr) {
             (Repr::Inline(a), Repr::Inline(b)) => a.cmp(b),
-            // Heap values are strictly greater than u64::MAX by invariant.
-            (Repr::Inline(_), Repr::Heap(_)) => Ordering::Less,
-            (Repr::Heap(_), Repr::Inline(_)) => Ordering::Greater,
+            (Repr::Fixed(a), Repr::Fixed(b)) => a.cmp_words(b),
             (Repr::Heap(a), Repr::Heap(b)) => Self::cmp_limbs(a, b),
+            // Mixed tiers: the canonical invariant orders the variants'
+            // value ranges strictly (Inline < Fixed < Heap).
+            (Repr::Inline(_), _) | (Repr::Fixed(_), Repr::Heap(_)) => Ordering::Less,
+            (Repr::Heap(_), _) | (Repr::Fixed(_), Repr::Inline(_)) => Ordering::Greater,
         }
     }
 }
@@ -641,6 +798,17 @@ impl Add for &BigUint {
                 Some(s) => BigUint::from_u64(s),
                 None => BigUint::from_u128_value(u128::from(*a) + u128::from(*b)),
             };
+        }
+        if let (Some(aw), Some(bw)) = (self.to_fixed_words(), rhs.to_fixed_words()) {
+            let (s, carry) = FixedUint::new(aw).overflowing_add(&FixedUint::new(bw));
+            if !carry {
+                return BigUint::from_words(*s.limbs());
+            }
+            // The sum crossed 2^FIXED_BITS: widen by the carry word.
+            let mut wide = [0u64; FIXED_LIMBS + 1];
+            wide[..FIXED_LIMBS].copy_from_slice(s.limbs());
+            wide[FIXED_LIMBS] = 1;
+            return BigUint::from_wide_words(&wide);
         }
         let (av, bv) = (self.view(), rhs.view());
         BigUint::add_slices(av.as_slice(), bv.as_slice())
@@ -666,6 +834,11 @@ impl Mul for &BigUint {
         }
         if self.is_zero() || rhs.is_zero() {
             return BigUint::zero();
+        }
+        if let (Some(aw), Some(bw)) = (self.to_fixed_words(), rhs.to_fixed_words()) {
+            let mut wide = [0u64; 2 * FIXED_LIMBS];
+            FixedUint::new(aw).mul_wide(&FixedUint::new(bw), &mut wide);
+            return BigUint::from_wide_words(&wide);
         }
         let (av, bv) = (self.view(), rhs.view());
         BigUint::mul_slices(av.as_slice(), bv.as_slice())
@@ -804,13 +977,14 @@ impl AddAssign<&BigUint> for BigUint {
 }
 
 impl SubAssign<&BigUint> for BigUint {
+    /// # Panics
+    ///
+    /// Panics if `rhs > self`; use [`BigUint::checked_sub`] when the
+    /// operand ordering is not known.
     fn sub_assign(&mut self, rhs: &BigUint) {
-        if let (Repr::Inline(a), Repr::Inline(b)) = (&self.repr, &rhs.repr) {
-            let d = a.checked_sub(*b).expect("BigUint subtraction underflow");
-            self.repr = Repr::Inline(d);
-            return;
-        }
-        *self = &*self - rhs;
+        *self = self
+            .checked_sub(rhs)
+            .expect("BigUint subtraction underflow");
     }
 }
 
@@ -832,11 +1006,28 @@ impl MulAssign<&BigUint> for BigUint {
 
 impl fmt::Display for BigUint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Decimal output is representation-independent: all three tiers
+        // print identical digits for the same value. `ModelFingerprint`
+        // digests probabilities through `Display`, so this is a stability
+        // contract the engine cache depends on, not just cosmetics.
         match &self.repr {
             Repr::Inline(v) => write!(f, "{v}"),
+            Repr::Fixed(fx) => {
+                // Divide down by 10^9 on the stack words.
+                let mut chunks: Vec<u32> = Vec::new();
+                let mut cur = *fx;
+                while cur.sig_limbs() != 0 {
+                    let (q, r) = cur.div_rem_word(1_000_000_000);
+                    chunks.push(r as u32);
+                    cur = q;
+                }
+                write_decimal_chunks(f, &chunks)
+            }
             Repr::Heap(_) => {
                 // Repeatedly divide by 10^9 (the largest power of ten
-                // fitting a limb).
+                // fitting a limb). The quotient chain is free to fall
+                // through the tiers as it shrinks; the view covers all of
+                // them.
                 let mut chunks: Vec<u32> = Vec::new();
                 let mut cur = self.clone();
                 while !cur.is_zero() {
@@ -845,18 +1036,23 @@ impl fmt::Display for BigUint {
                     chunks.push(r);
                     cur = q;
                 }
-                let mut s = String::new();
-                for (i, chunk) in chunks.iter().rev().enumerate() {
-                    if i == 0 {
-                        s.push_str(&chunk.to_string());
-                    } else {
-                        s.push_str(&format!("{chunk:09}"));
-                    }
-                }
-                f.write_str(&s)
+                write_decimal_chunks(f, &chunks)
             }
         }
     }
+}
+
+/// Writes little-endian base-10⁹ chunks as decimal digits.
+fn write_decimal_chunks(f: &mut fmt::Formatter<'_>, chunks: &[u32]) -> fmt::Result {
+    let mut s = String::new();
+    for (i, chunk) in chunks.iter().rev().enumerate() {
+        if i == 0 {
+            s.push_str(&chunk.to_string());
+        } else {
+            s.push_str(&format!("{chunk:09}"));
+        }
+    }
+    f.write_str(&s)
 }
 
 impl fmt::Debug for BigUint {
@@ -916,7 +1112,8 @@ mod tests {
 
     #[test]
     fn representation_is_canonical() {
-        // Word-sized values are inline; anything above u64::MAX is heap.
+        // Word-sized values are inline; anything above u64::MAX leaves
+        // the inline tier.
         assert!(b(0).is_inline());
         assert!(b(u128::from(u64::MAX)).is_inline());
         assert!(!b(u128::from(u64::MAX) + 1).is_inline());
@@ -928,6 +1125,60 @@ mod tests {
         // Inline results of inline ops never leave the word path.
         assert!((&b(1) << 63u64).is_inline());
         assert!(!(&b(1) << 64u64).is_inline());
+    }
+
+    #[test]
+    fn representation_lattice_tiers() {
+        // Inline ≤ u64::MAX < Fixed < 2^FIXED_BITS ≤ Heap, with exact
+        // boundary values on the correct side of each edge.
+        assert!(b(u128::from(u64::MAX)).is_inline());
+        let fixed_lo = b(u128::from(u64::MAX) + 1);
+        assert!(fixed_lo.is_fixed());
+        let heap_lo = &b(1) << BigUint::FIXED_BITS;
+        let fixed_hi = &heap_lo - &b(1);
+        assert!(fixed_hi.is_fixed());
+        assert!(heap_lo.is_heap());
+        // Escalation: a fixed × fixed product crossing 2^FIXED_BITS lands
+        // on the heap…
+        let prod = &fixed_hi * &fixed_hi;
+        assert!(prod.is_heap());
+        // …and division shrinks back down through both boundaries.
+        let (q, r) = prod.div_rem(&fixed_hi);
+        assert_eq!(q, fixed_hi);
+        assert!(r.is_zero() && q.is_fixed());
+        assert!((&heap_lo - &b(1)).is_fixed());
+        assert!(fixed_lo.checked_sub(&b(1)).unwrap().is_inline());
+        // Addition escalates fixed → heap exactly at the carry out.
+        assert!((&fixed_hi + &b(1)).is_heap());
+        assert_eq!(&fixed_hi + &b(1), heap_lo);
+        // Ordering is consistent across all tier pairs.
+        assert!(b(7) < fixed_lo && fixed_lo < fixed_hi && fixed_hi < heap_lo);
+        assert!(heap_lo > fixed_hi && fixed_lo > b(7));
+    }
+
+    #[test]
+    fn fixed_tier_mixed_ops_match_u128() {
+        // Two-word values stay exactly representable in u128, so every
+        // mixed inline/fixed op has a machine-checked reference.
+        let a = (1u128 << 100) + 12345;
+        let c = (1u128 << 90) + 7;
+        let w = 0xDEAD_BEEFu128;
+        assert_eq!(&b(a) + &b(c), b(a + c));
+        assert_eq!(&b(a) - &b(c), b(a - c));
+        assert_eq!(&b(a) + &b(w), b(a + w));
+        assert_eq!(b(a).checked_sub(&b(w)), Some(b(a - w)));
+        assert_eq!(&b(c) * &b(w), b(c * w));
+        // A fixed × fixed product exceeds u128; check it by the division
+        // identity instead.
+        let p = &b(a) * &b(c);
+        let (q, r) = p.div_rem(&b(c));
+        assert_eq!((q, r), (b(a), BigUint::zero()));
+        let (q, r) = b(a).div_rem(&b(c));
+        assert_eq!((q, r), (b(a / c), b(a % c)));
+        let (q, r) = b(a).div_rem(&b(w));
+        assert_eq!((q, r), (b(a / w), b(a % w)));
+        assert_eq!(b(a).gcd(&b(c)), b(1));
+        assert_eq!(b(1u128 << 100).gcd(&b(1u128 << 90)), b(1u128 << 90));
     }
 
     #[test]
@@ -1130,9 +1381,47 @@ mod tests {
     fn to_f64_small_and_large() {
         assert_eq!(b(0).to_f64(), 0.0);
         assert_eq!(b(1u128 << 70).to_f64(), 2f64.powi(70));
-        let big = BigUint::from(10u32).pow(30);
-        let rel = (big.to_f64() - 1e30).abs() / 1e30;
-        assert!(rel < 1e-12);
+        // Exactly-rounded conversion means the decimal literal (itself the
+        // nearest double to 10^30) matches bit for bit.
+        assert_eq!(BigUint::from(10u32).pow(30).to_f64(), 1e30);
+        assert_eq!(BigUint::from(10u32).pow(40).to_f64(), 1e40);
+    }
+
+    #[test]
+    fn to_f64_rounds_to_nearest_even_at_half_ulp() {
+        // For values in [2^70, 2^71) one ulp is 2^18, so 2^17 is exactly
+        // half. These live in the fixed tier (71 bits).
+        let base = 1u128 << 70;
+        // Tie with even mantissa: rounds down.
+        assert_eq!(b(base + (1 << 17)).to_f64(), 2f64.powi(70));
+        // Just above the tie: rounds up (the old truncation got this wrong).
+        assert_eq!(
+            b(base + (1 << 17) + 1).to_f64(),
+            2f64.powi(70) + 2f64.powi(18)
+        );
+        // Just below the tie: rounds down.
+        assert_eq!(b(base + (1 << 17) - 1).to_f64(), 2f64.powi(70));
+        // Tie with odd mantissa: rounds up to even.
+        assert_eq!(
+            b(base + (1 << 18) + (1 << 17)).to_f64(),
+            2f64.powi(70) + 2f64.powi(19)
+        );
+        // Mantissa overflow on round-up: 2^71 − 1 is all ones → 2^71.
+        assert_eq!(b((1u128 << 71) - 1).to_f64(), 2f64.powi(71));
+    }
+
+    #[test]
+    fn to_f64_sticky_bit_spans_low_limbs() {
+        // Heap tier: ulp in [2^200, 2^201) is 2^148. The +1 lives limbs
+        // below the 64-bit extraction window and must flip the tie via
+        // the sticky bit.
+        let base = &b(1) << 200u64;
+        let tie = &base + &(&b(1) << 147u64);
+        assert_eq!(tie.to_f64(), 2f64.powi(200)); // even mantissa, tie → down
+        let above = &tie + &b(1);
+        assert_eq!(above.to_f64(), 2f64.powi(200) + 2f64.powi(148));
+        // u64::MAX stays exact through the inline path's hardware rounding.
+        assert_eq!(b(u128::from(u64::MAX)).to_f64(), 2f64.powi(64));
     }
 
     #[test]

@@ -1,0 +1,643 @@
+//! Fixed-width stack-allocated magnitude arithmetic.
+//!
+//! [`FixedUint<N>`] is a const-generic little-endian `[u64; N]` magnitude —
+//! the middle tier of [`BigUint`](crate::BigUint)'s representation lattice
+//! (`Inline(u64)` → `Fixed` → `Heap(Vec<u32>)`). Values that overflow a
+//! single machine word but fit `N` words live here, so the common case of
+//! exact-probability chains (products and gcd normalisations of
+//! word-to-few-word numerators and denominators) never touches the
+//! allocator.
+//!
+//! All arithmetic is carry-exact: additions and subtractions propagate
+//! carries/borrows through `u128` widening (the stable-Rust spelling of
+//! `carrying_add`/`borrowing_sub`), multiplication produces the full
+//! `2 × N`-word product into a caller buffer, and division is Knuth
+//! Algorithm D ported to 64-bit limbs with `u128` intermediates. Overflow
+//! past `N` words is always *reported* (a carry flag or a widened buffer),
+//! never silently wrapped — the caller escalates to the heap tier.
+//!
+//! The type is deliberately dumb about canonical form: it stores whatever
+//! words it is given (zero-padded at the top). `BigUint` enforces the
+//! lattice invariant that a `Fixed` value is strictly greater than
+//! `u64::MAX`, and canonicalises shrunken results back down.
+
+use core::cmp::Ordering;
+
+/// Number of 64-bit limbs in [`BigUint`](crate::BigUint)'s fixed tier.
+///
+/// Three words keep the `Repr` enum the same size as its `Vec<u32>` heap
+/// variant (24 bytes + discriminant), so adding the tier does not enlarge
+/// every probability in the workspace, while covering magnitudes up to
+/// `2^192 − 1` — enough for products of two-word numerators/denominators
+/// with room for a carry word.
+pub(crate) const FIXED_LIMBS: usize = 3;
+
+/// Hard cap on `N` for the stack scratch buffers used by division
+/// (`N + 1` normalised dividend words plus a spare).
+const MAX_LIMBS: usize = 7;
+
+/// A fixed-width unsigned integer: `N` little-endian 64-bit limbs on the
+/// stack, zero-padded at the top.
+///
+/// Equality and hashing are derived over the full array; because the
+/// padding is always zero, two `FixedUint`s holding the same value are
+/// bitwise identical, so the derived impls are value equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub(crate) struct FixedUint<const N: usize> {
+    limbs: [u64; N],
+}
+
+impl<const N: usize> FixedUint<N> {
+    /// Wraps raw little-endian words (zero-padded at the top).
+    #[inline]
+    pub(crate) fn new(limbs: [u64; N]) -> Self {
+        debug_assert!(N >= 2 && N <= MAX_LIMBS);
+        FixedUint { limbs }
+    }
+
+    /// Builds from a `u128` value (uses the low two limbs).
+    #[inline]
+    pub(crate) fn from_u128(v: u128) -> Self {
+        let mut limbs = [0u64; N];
+        limbs[0] = v as u64;
+        limbs[1] = (v >> 64) as u64;
+        FixedUint { limbs }
+    }
+
+    /// The raw little-endian words.
+    #[inline]
+    pub(crate) fn limbs(&self) -> &[u64; N] {
+        &self.limbs
+    }
+
+    /// Number of significant limbs (0 for the value zero).
+    #[inline]
+    pub(crate) fn sig_limbs(&self) -> usize {
+        sig_words(&self.limbs)
+    }
+
+    /// Number of significant bits (0 for the value zero).
+    pub(crate) fn bits(&self) -> u64 {
+        let sig = self.sig_limbs();
+        if sig == 0 {
+            return 0;
+        }
+        (sig as u64 - 1) * 64 + u64::from(64 - self.limbs[sig - 1].leading_zeros())
+    }
+
+    /// Returns the value as `u128` if it fits in two limbs.
+    pub(crate) fn to_u128(self) -> Option<u128> {
+        if self.sig_limbs() > 2 {
+            return None;
+        }
+        Some(u128::from(self.limbs[0]) | (u128::from(self.limbs[1]) << 64))
+    }
+
+    /// Returns `true` if the value is even.
+    #[inline]
+    pub(crate) fn is_even(&self) -> bool {
+        self.limbs[0] & 1 == 0
+    }
+
+    /// `self + rhs` as wrapped `N`-limb words plus the carry out of the
+    /// top limb. The caller escalates to a wider representation when the
+    /// carry is set.
+    pub(crate) fn overflowing_add(&self, rhs: &Self) -> (Self, bool) {
+        let mut out = [0u64; N];
+        let mut carry: u128 = 0;
+        for ((o, &a), &b) in out.iter_mut().zip(&self.limbs).zip(&rhs.limbs) {
+            let s = u128::from(a) + u128::from(b) + carry;
+            *o = s as u64;
+            carry = s >> 64;
+        }
+        (FixedUint { limbs: out }, carry != 0)
+    }
+
+    /// `self + rhs`, or `None` if the sum needs more than `N` limbs.
+    #[allow(dead_code)] // production code branches on `overflowing_add`
+    pub(crate) fn checked_add(&self, rhs: &Self) -> Option<Self> {
+        match self.overflowing_add(rhs) {
+            (s, false) => Some(s),
+            (_, true) => None,
+        }
+    }
+
+    /// `self − rhs`, or `None` on underflow.
+    pub(crate) fn checked_sub(&self, rhs: &Self) -> Option<Self> {
+        let mut out = [0u64; N];
+        let mut borrow: u64 = 0;
+        for ((o, &a), &b) in out.iter_mut().zip(&self.limbs).zip(&rhs.limbs) {
+            // i128 window: lhs − rhs − borrow ∈ (−2^64, 2^64).
+            let d = i128::from(a) - i128::from(b) - i128::from(borrow);
+            if d < 0 {
+                *o = (d + (1i128 << 64)) as u64;
+                borrow = 1;
+            } else {
+                *o = d as u64;
+                borrow = 0;
+            }
+        }
+        if borrow != 0 {
+            return None;
+        }
+        Some(FixedUint { limbs: out })
+    }
+
+    /// Magnitude comparison.
+    pub(crate) fn cmp_words(&self, rhs: &Self) -> Ordering {
+        for i in (0..N).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Full `2 × N`-word product into `out` (schoolbook, `u128` carries).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `out.len() != 2 * N`.
+    pub(crate) fn mul_wide(&self, rhs: &Self, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), 2 * N);
+        out.fill(0);
+        for (i, &x) in self.limbs.iter().enumerate() {
+            if x == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for (j, &y) in rhs.limbs.iter().enumerate() {
+                let cur = u128::from(out[i + j]) + u128::from(x) * u128::from(y) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + N] = carry as u64;
+        }
+    }
+
+    /// Short division by a single word: `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub(crate) fn div_rem_word(&self, d: u64) -> (Self, u64) {
+        assert!(d != 0, "division by zero word");
+        let mut out = [0u64; N];
+        let mut rem: u128 = 0;
+        for i in (0..N).rev() {
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(d)) as u64;
+            rem = cur % u128::from(d);
+        }
+        (FixedUint { limbs: out }, rem as u64)
+    }
+
+    /// Division with remainder on fixed words: `(quotient, remainder)` with
+    /// `remainder < divisor`. Knuth Algorithm D (TAOCP Vol. 2, 4.3.1) on
+    /// 64-bit limbs with `u128` intermediates; single-word divisors take
+    /// the short-division path. Never allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub(crate) fn div_rem(&self, divisor: &Self) -> (Self, Self) {
+        let n = divisor.sig_limbs();
+        assert!(n > 0, "division by zero FixedUint");
+        if n == 1 {
+            let (q, r) = self.div_rem_word(divisor.limbs[0]);
+            let mut rl = [0u64; N];
+            rl[0] = r;
+            return (q, FixedUint { limbs: rl });
+        }
+        match self.cmp_words(divisor) {
+            Ordering::Less => return (FixedUint { limbs: [0; N] }, *self),
+            Ordering::Equal => {
+                let mut one = [0u64; N];
+                one[0] = 1;
+                return (FixedUint { limbs: one }, FixedUint { limbs: [0; N] });
+            }
+            Ordering::Greater => {}
+        }
+        let m_total = self.sig_limbs(); // > n ≥ 2 here, or == n with larger value
+        let m = m_total - n;
+
+        // Normalise so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs[n - 1].leading_zeros();
+        let mut un = [0u64; MAX_LIMBS + 1];
+        let mut vn = [0u64; MAX_LIMBS];
+        shl_words_into(&self.limbs[..m_total], shift, &mut un);
+        shl_words_into(&divisor.limbs[..n], shift, &mut vn);
+        let v_top = vn[n - 1];
+        let v_next = vn[n - 2];
+
+        let mut q = [0u64; N];
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two dividend words.
+            let num = (u128::from(un[j + n]) << 64) | u128::from(un[j + n - 1]);
+            let mut qhat = num / u128::from(v_top);
+            let mut rhat = num % u128::from(v_top);
+            while qhat >= (1u128 << 64)
+                || qhat * u128::from(v_next) > ((rhat << 64) | u128::from(un[j + n - 2]))
+            {
+                qhat -= 1;
+                rhat += u128::from(v_top);
+                if rhat >= (1u128 << 64) {
+                    break;
+                }
+            }
+            // Multiply-and-subtract: un[j..j+n+1] -= qhat * vn.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let p = qhat * u128::from(vn[i]) + carry;
+                carry = p >> 64;
+                let t = i128::from(un[i + j]) - borrow - i128::from(p as u64);
+                if t < 0 {
+                    un[i + j] = (t + (1i128 << 64)) as u64;
+                    borrow = 1;
+                } else {
+                    un[i + j] = t as u64;
+                    borrow = 0;
+                }
+            }
+            let t = i128::from(un[j + n]) - borrow - i128::try_from(carry).expect("carry < 2^64");
+            if t < 0 {
+                // q̂ was one too large: add the divisor back.
+                un[j + n] = (t + (1i128 << 64)) as u64;
+                qhat -= 1;
+                let mut carry2: u128 = 0;
+                for i in 0..n {
+                    let s = u128::from(un[i + j]) + u128::from(vn[i]) + carry2;
+                    un[i + j] = s as u64;
+                    carry2 = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry2 as u64);
+            } else {
+                un[j + n] = t as u64;
+            }
+            if j < N {
+                q[j] = qhat as u64;
+            } else {
+                debug_assert_eq!(qhat, 0, "quotient exceeds N limbs");
+            }
+        }
+
+        // Denormalise the remainder: un[..n] >> shift.
+        let mut r = [0u64; N];
+        if shift == 0 {
+            r[..n].copy_from_slice(&un[..n]);
+        } else {
+            for i in 0..n {
+                let hi = if i + 1 < n { un[i + 1] } else { 0 };
+                r[i] = (un[i] >> shift) | (hi << (64 - shift));
+            }
+        }
+        (FixedUint { limbs: q }, FixedUint { limbs: r })
+    }
+}
+
+/// Number of significant little-endian words in a slice.
+#[inline]
+pub(crate) fn sig_words(words: &[u64]) -> usize {
+    let mut len = words.len();
+    while len > 0 && words[len - 1] == 0 {
+        len -= 1;
+    }
+    len
+}
+
+/// `src << shift` (shift < 64) into `dst`, which must hold
+/// `src.len() + 1` words; the remainder of `dst` is zeroed.
+fn shl_words_into(src: &[u64], shift: u32, dst: &mut [u64]) {
+    debug_assert!(shift < 64);
+    debug_assert!(dst.len() > src.len());
+    dst.fill(0);
+    if shift == 0 {
+        dst[..src.len()].copy_from_slice(src);
+        return;
+    }
+    let mut carry: u64 = 0;
+    for (i, &w) in src.iter().enumerate() {
+        dst[i] = (w << shift) | carry;
+        carry = w >> (64 - shift);
+    }
+    dst[src.len()] = carry;
+}
+
+/// Binary (Stein) gcd on machine words. Substantially faster than Euclid's
+/// division loop for the word-sized operands that dominate probability
+/// normalisation: each step costs a subtract and a shift instead of a
+/// hardware divide.
+#[inline]
+pub(crate) fn gcd_u64(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    // Probability reduction calls this mostly with a unit numerator or
+    // equal denominators; both answers are immediate.
+    if a == 1 || b == 1 {
+        return 1;
+    }
+    if a == b {
+        return a;
+    }
+    let az = a.trailing_zeros();
+    let bz = b.trailing_zeros();
+    let shift = az.min(bz);
+    let mut a = a >> az;
+    let mut b = b >> bz;
+    while a != b {
+        if a > b {
+            a -= b;
+            a >>= a.trailing_zeros();
+        } else {
+            b -= a;
+            b >>= b.trailing_zeros();
+        }
+    }
+    a << shift
+}
+
+/// Binary gcd on `u128`, avoiding the libcall-per-iteration cost of
+/// Euclid's `%` on double words.
+#[inline]
+pub(crate) fn gcd_u128(a: u128, b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    if let (Ok(a64), Ok(b64)) = (u64::try_from(a), u64::try_from(b)) {
+        return u128::from(gcd_u64(a64, b64));
+    }
+    let az = a.trailing_zeros();
+    let bz = b.trailing_zeros();
+    let shift = az.min(bz);
+    let mut a = a >> az;
+    let mut b = b >> bz;
+    while a != b {
+        if a > b {
+            a -= b;
+            a >>= a.trailing_zeros();
+        } else {
+            b -= a;
+            b >>= b.trailing_zeros();
+        }
+    }
+    a << shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// splitmix64 — the same deterministic generator as the integration
+    /// property suite.
+    struct Rng(u64);
+    impl Rng {
+        fn u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, bound: u64) -> u64 {
+            ((u128::from(self.u64()) * u128::from(bound)) >> 64) as u64
+        }
+    }
+
+    /// Random N-word value with a random number of significant limbs,
+    /// dwelling on all-ones / power-of-two carry edges.
+    fn rand_fixed<const N: usize>(rng: &mut Rng) -> FixedUint<N> {
+        let sig = rng.below(N as u64 + 1) as usize;
+        let mut limbs = [0u64; N];
+        for (i, l) in limbs.iter_mut().enumerate().take(sig) {
+            *l = match rng.below(4) {
+                0 => u64::MAX,
+                1 => 1u64 << rng.below(64),
+                2 => (1u64 << rng.below(63)).wrapping_sub(1) | 1,
+                _ => rng.u64(),
+            };
+            if i == sig - 1 && *l == 0 {
+                *l = 1;
+            }
+        }
+        FixedUint::new(limbs)
+    }
+
+    /// Reference conversion through a 4-word u128-chunk big integer.
+    fn to_u256<const N: usize>(v: &FixedUint<N>) -> (u128, u128) {
+        assert!(N <= 4);
+        let l = v.limbs();
+        let lo = u128::from(l[0]) | (u128::from(l[1]) << 64);
+        let hi = if N > 2 {
+            u128::from(l[2]) | if N > 3 { u128::from(l[3]) << 64 } else { 0 }
+        } else {
+            0
+        };
+        (lo, hi)
+    }
+
+    fn add_u256(a: (u128, u128), b: (u128, u128)) -> Option<(u128, u128)> {
+        let (lo, c) = a.0.overflowing_add(b.0);
+        let hi = a.1.checked_add(b.1)?.checked_add(u128::from(c))?;
+        Some((lo, hi))
+    }
+
+    fn sub_u256(a: (u128, u128), b: (u128, u128)) -> Option<(u128, u128)> {
+        let (lo, borrow) = a.0.overflowing_sub(b.0);
+        let hi = a.1.checked_sub(b.1)?.checked_sub(u128::from(borrow))?;
+        Some((lo, hi))
+    }
+
+    fn cmp_u256(a: (u128, u128), b: (u128, u128)) -> Ordering {
+        a.1.cmp(&b.1).then(a.0.cmp(&b.0))
+    }
+
+    #[test]
+    fn add_sub_cmp_match_u256_reference() {
+        let mut rng = Rng(0xF1D0);
+        for case in 0..4000 {
+            let a = rand_fixed::<4>(&mut rng);
+            let b = rand_fixed::<4>(&mut rng);
+            let (ra, rb) = (to_u256(&a), to_u256(&b));
+            match (a.checked_add(&b), add_u256(ra, rb)) {
+                (Some(s), Some(rs)) => assert_eq!(to_u256(&s), rs, "add, case {case}"),
+                (None, None) => {}
+                (got, reference) => panic!(
+                    "add overflow disagreement, case {case}: got {:?}, reference {:?}",
+                    got.is_some(),
+                    reference.is_some()
+                ),
+            }
+            match (a.checked_sub(&b), sub_u256(ra, rb)) {
+                (Some(d), Some(rd)) => assert_eq!(to_u256(&d), rd, "sub, case {case}"),
+                (None, None) => {}
+                _ => panic!("sub underflow disagreement, case {case}"),
+            }
+            assert_eq!(a.cmp_words(&b), cmp_u256(ra, rb), "cmp, case {case}");
+        }
+    }
+
+    #[test]
+    fn mul_wide_matches_shifted_adds() {
+        let mut rng = Rng(0xAB5);
+        for case in 0..2000 {
+            let a = rand_fixed::<3>(&mut rng);
+            let b = rand_fixed::<3>(&mut rng);
+            let mut out = [0u64; 6];
+            a.mul_wide(&b, &mut out);
+            // Reference: accumulate a * each limb of b via u128 partials.
+            let mut reference = [0u64; 6];
+            for (j, &y) in b.limbs().iter().enumerate() {
+                let mut carry: u128 = 0;
+                for (i, &x) in a.limbs().iter().enumerate() {
+                    let cur = u128::from(reference[i + j]) + u128::from(x) * u128::from(y) + carry;
+                    reference[i + j] = cur as u64;
+                    carry = cur >> 64;
+                }
+                let mut k = j + 3;
+                while carry != 0 {
+                    let cur = u128::from(reference[k]) + carry;
+                    reference[k] = cur as u64;
+                    carry = cur >> 64;
+                    k += 1;
+                }
+            }
+            assert_eq!(out, reference, "mul_wide, case {case}");
+        }
+    }
+
+    #[test]
+    fn div_rem_satisfies_division_identity() {
+        let mut rng = Rng(0xD117);
+        let mut multi_limb_divisors = 0usize;
+        for case in 0..4000 {
+            let a = rand_fixed::<3>(&mut rng);
+            let b = rand_fixed::<3>(&mut rng);
+            if b.sig_limbs() == 0 {
+                continue;
+            }
+            if b.sig_limbs() > 1 {
+                multi_limb_divisors += 1;
+            }
+            let (q, r) = a.div_rem(&b);
+            assert_eq!(
+                r.cmp_words(&b),
+                Ordering::Less,
+                "remainder bound, case {case}"
+            );
+            // q*b + r == a, via mul_wide and checked_add on the wide buffer.
+            let mut prod = [0u64; 6];
+            q.mul_wide(&b, &mut prod);
+            assert_eq!(sig_words(&prod[3..]), 0, "q*b fits 3 limbs, case {case}");
+            let qb = FixedUint::<3>::new([prod[0], prod[1], prod[2]]);
+            let back = qb.checked_add(&r).expect("q*b + r fits");
+            assert_eq!(back, a, "division identity, case {case}");
+        }
+        assert!(
+            multi_limb_divisors > 500,
+            "sweep must exercise the Knuth path, got {multi_limb_divisors}"
+        );
+    }
+
+    #[test]
+    fn div_rem_knuth_addback_edge() {
+        // Divisor with top limb exactly 2^63 forces maximal q̂ estimates;
+        // (2^191 − 1) << 64-ish dividends hit the correction branches.
+        let u = FixedUint::<3>::new([u64::MAX, u64::MAX, u64::MAX]);
+        let v = FixedUint::<3>::new([1, 1u64 << 63, 0]);
+        let (q, r) = u.div_rem(&v);
+        let mut prod = [0u64; 6];
+        q.mul_wide(&v, &mut prod);
+        let qb = FixedUint::<3>::new([prod[0], prod[1], prod[2]]);
+        assert_eq!(qb.checked_add(&r), Some(u));
+        assert_eq!(r.cmp_words(&v), Ordering::Less);
+    }
+
+    #[test]
+    fn div_rem_word_matches_u128() {
+        let mut rng = Rng(0xD1);
+        for case in 0..2000 {
+            let v = rng.u64() as u128 | ((rng.u64() as u128) << 64);
+            let d = rng.u64().max(1);
+            let a = FixedUint::<3>::from_u128(v);
+            let (q, r) = a.div_rem_word(d);
+            assert_eq!(
+                q.to_u128(),
+                Some(v / u128::from(d)),
+                "quotient, case {case}"
+            );
+            assert_eq!(u128::from(r), v % u128::from(d), "remainder, case {case}");
+        }
+    }
+
+    #[test]
+    fn bits_and_parity() {
+        assert_eq!(FixedUint::<3>::from_u128(0).bits(), 0);
+        assert_eq!(FixedUint::<3>::from_u128(1).bits(), 1);
+        assert_eq!(FixedUint::<3>::from_u128(u128::MAX).bits(), 128);
+        assert_eq!(FixedUint::<3>::new([0, 0, 1]).bits(), 129);
+        assert!(FixedUint::<3>::from_u128(4).is_even());
+        assert!(!FixedUint::<3>::new([1, 7, 0]).is_even());
+    }
+
+    #[test]
+    fn works_at_other_widths() {
+        // The limb algorithms are width-generic; spot-check N = 2 and N = 5.
+        let a = FixedUint::<2>::from_u128(u128::MAX - 4);
+        let b = FixedUint::<2>::from_u128(5);
+        assert!(a.checked_add(&b).is_none(), "N=2 add overflow reported");
+        assert_eq!(
+            a.checked_sub(&b).and_then(|d| d.to_u128()),
+            Some(u128::MAX - 9)
+        );
+        let c = FixedUint::<5>::new([u64::MAX; 5]);
+        let d = FixedUint::<5>::new([2, 0, 0, 0, 0]);
+        let (q, r) = c.div_rem(&d);
+        // (2^320 − 1) / 2: quotient 2^319 − 1 pattern, remainder 1.
+        assert_eq!(q.limbs()[4], u64::MAX >> 1);
+        assert_eq!(r.limbs()[0], 1);
+        assert_eq!(sig_words(r.limbs()), 1);
+    }
+
+    #[test]
+    fn binary_gcds_match_euclid() {
+        let mut rng = Rng(0x9CD9);
+        let euclid64 = |mut a: u64, mut b: u64| {
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            a
+        };
+        let euclid128 = |mut a: u128, mut b: u128| {
+            while b != 0 {
+                let r = a % b;
+                a = b;
+                b = r;
+            }
+            a
+        };
+        for case in 0..4000 {
+            let (a, b) = (rng.u64() >> rng.below(64), rng.u64() >> rng.below(64));
+            assert_eq!(gcd_u64(a, b), euclid64(a, b), "gcd_u64, case {case}");
+            let (x, y) = (
+                u128::from(rng.u64()) * u128::from(rng.u64()),
+                u128::from(rng.u64()) * u128::from(rng.u64()),
+            );
+            assert_eq!(gcd_u128(x, y), euclid128(x, y), "gcd_u128, case {case}");
+        }
+        assert_eq!(gcd_u64(0, 0), 0);
+        assert_eq!(gcd_u64(0, 7), 7);
+        assert_eq!(gcd_u128(0, 0), 0);
+        assert_eq!(gcd_u128(u128::MAX, 0), u128::MAX);
+    }
+}

@@ -18,32 +18,47 @@
 //!
 //! # Representation invariants
 //!
-//! `BigUint` uses a **two-variant layout** tuned for the workspace's hot
-//! path, where almost every probability numerator and denominator is
-//! word-sized:
+//! `BigUint` uses a **three-tier layout** tuned for the workspace's hot
+//! path, where almost every probability numerator and denominator is at
+//! most a few words:
 //!
 //! * **Inline(`u64`)** holds every value `≤ u64::MAX` directly in the
 //!   enum. Arithmetic between inline values (`add`/`sub`/`mul`/
 //!   `div_rem`/`gcd`/`cmp`/shifts) runs on machine words, widening to
 //!   `u128` where a product or carry demands it, and **never touches the
 //!   allocator**.
-//! * **Heap(`Vec<u32>`)** holds values `> u64::MAX` as little-endian
+//! * **Fixed(`[u64; 3]`)** holds values in `(u64::MAX, 2^192)` in a
+//!   stack-resident fixed-limb array. All arithmetic between inline and
+//!   fixed operands — including Knuth division and gcd normalisation —
+//!   stays on the stack; only results crossing `2^192` escalate.
+//! * **Heap(`Vec<u32>`)** holds values `≥ 2^192` as little-endian
 //!   base-2³² limbs with no trailing zero limbs (so the vector always has
-//!   at least three limbs).
+//!   at least seven limbs).
 //!
 //! The representation is **canonical**: every value has exactly one
-//! representation, heap results that shrink back into word range are
-//! re-inlined on normalisation, and therefore the derived
-//! `PartialEq`/`Ord`-consistent `Hash` is value hashing. The invariant is
-//! checked by differential property tests
-//! (`crates/pak-num/tests/properties.rs`) that pit the inline path against
-//! the limb path around the `u64::MAX` and limb-carry boundaries.
+//! representation, results that shrink across a tier boundary are
+//! normalised back down (heap → fixed → inline), and therefore the derived
+//! `PartialEq`/`Ord`-consistent `Hash` is value hashing and `Display`
+//! prints identical digits whichever tier a value was computed in. The
+//! invariant is checked by differential property tests
+//! (`crates/pak-num/tests/properties.rs`) that pit the word and fixed
+//! paths against the limb path around every tier boundary (`u64::MAX`,
+//! `2^192`, and the limb-carry edges in between).
 //!
 //! `Rational` layers word fast paths on top: comparison cross-multiplies
 //! through `u128` when both sides are word-sized, addition and
-//! multiplication normalise word-sized operands via `u64`/`u128` gcds
-//! without constructing intermediate big integers, and in-place
+//! multiplication normalise word-sized operands via binary `u64`/`u128`
+//! gcds without constructing intermediate big integers, and in-place
 //! `AddAssign`/`MulAssign` let accumulation loops avoid temporaries.
+//!
+//! # Panics
+//!
+//! The unsigned types keep the conventional operator contracts: `BigUint`
+//! subtraction (`Sub`/`SubAssign`) panics when the result would be
+//! negative, and division panics on a zero divisor. Use
+//! [`BigUint::checked_sub`] where the operand ordering is not statically
+//! known. Signed and rational arithmetic never panics except for division
+//! by zero.
 //!
 //! # Examples
 //!
@@ -63,6 +78,7 @@
 mod bigint;
 mod biguint;
 mod decimal;
+mod fixed;
 mod parse;
 mod rational;
 

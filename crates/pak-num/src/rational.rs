@@ -8,25 +8,8 @@ use core::str::FromStr;
 
 use crate::bigint::{BigInt, Sign};
 use crate::biguint::BigUint;
+use crate::fixed::gcd_u64;
 use crate::parse::ParseNumberError;
-
-fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
-    while b != 0 {
-        let r = a % b;
-        a = b;
-        b = r;
-    }
-    a
-}
-
-fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
-    while b != 0 {
-        let r = a % b;
-        a = b;
-        b = r;
-    }
-    a
-}
 
 /// An exact rational number.
 ///
@@ -61,6 +44,7 @@ pub struct Rational {
 impl Rational {
     /// The value `0`.
     #[must_use]
+    #[inline]
     pub fn zero() -> Self {
         Rational {
             num: BigInt::zero(),
@@ -70,6 +54,7 @@ impl Rational {
 
     /// The value `1`.
     #[must_use]
+    #[inline]
     pub fn one() -> Self {
         Rational {
             num: BigInt::one(),
@@ -157,6 +142,7 @@ impl Rational {
     }
 
     /// Builds a rational from an already-reduced sign/num/den triple.
+    #[inline]
     fn from_reduced_u128(sign: Sign, num: u128, den: u128) -> Rational {
         debug_assert!(den > 0);
         if num == 0 {
@@ -171,18 +157,88 @@ impl Rational {
     /// `self + rhs` entirely on machine words, or `None` if an operand or
     /// an intermediate exceeds the word fast path.
     fn add_fast(&self, rhs: &Rational) -> Option<Rational> {
+        self.combine_fast(rhs, false)
+    }
+
+    /// `self - rhs` entirely on machine words — the same cross-product
+    /// combine as [`Rational::add_fast`] with `rhs`'s sign flipped, so
+    /// subtraction does not have to clone and negate its operand.
+    fn sub_fast(&self, rhs: &Rational) -> Option<Rational> {
+        self.combine_fast(rhs, true)
+    }
+
+    /// Shared word-path body of [`Rational::add_fast`] /
+    /// [`Rational::sub_fast`].
+    fn combine_fast(&self, rhs: &Rational, negate_rhs: bool) -> Option<Rational> {
         let (an, ad, asign) = self.as_words()?;
-        let (bn, bd, bsign) = rhs.as_words()?;
+        let (bn, bd, mut bsign) = rhs.as_words()?;
+        if negate_rhs {
+            bsign = bsign.neg();
+        }
         if an == 0 {
-            return Some(rhs.clone());
+            return Some(Rational {
+                num: BigInt::from_sign_magnitude(bsign, rhs.num.magnitude().clone()),
+                den: rhs.den.clone(),
+            });
         }
         if bn == 0 {
             return Some(self.clone());
         }
-        // a/b + c/d = (a·d ± c·b) / (b·d), reduced by the gcd afterwards.
-        let p1 = u128::from(an) * u128::from(bd);
-        let p2 = u128::from(bn) * u128::from(ad);
-        let den = u128::from(ad) * u128::from(bd);
+        // Small-operand path: numerators in 31 bits and denominators in
+        // 32 keep every cross product and the unreduced sum inside a u64,
+        // so the tail reduction runs on native 64-bit `%`/`/` instead of
+        // the u128 long-division libcalls the general path needs — the
+        // dominant cost for the word-sized probabilities the unfolder
+        // churns through.
+        if (an | bn) >> 31 == 0 && (ad | bd) >> 32 == 0 {
+            let g0 = gcd_u64(ad, bd);
+            let (adg, bdg) = if g0 == 1 {
+                (ad, bd)
+            } else {
+                (ad / g0, bd / g0)
+            };
+            let p1 = an * bdg;
+            let p2 = bn * adg;
+            let den = ad * bdg;
+            let (sign, mag) = if asign == bsign {
+                (asign, p1 + p2)
+            } else {
+                match p1.cmp(&p2) {
+                    Ordering::Equal => return Some(Rational::zero()),
+                    Ordering::Greater => (asign, p1 - p2),
+                    Ordering::Less => (bsign, p2 - p1),
+                }
+            };
+            if g0 > 1 {
+                let g1 = gcd_u64(mag % g0, g0);
+                if g1 > 1 {
+                    return Some(Rational::from_reduced_u128(
+                        sign,
+                        (mag / g1).into(),
+                        (den / g1).into(),
+                    ));
+                }
+            }
+            return Some(Rational::from_reduced_u128(sign, mag.into(), den.into()));
+        }
+        // a/b + c/d with g₀ = gcd(b, d), b = g₀·b′, d = g₀·d′:
+        // the sum is (a·d′ ± c·b′) / (b·d′). Because both operands are in
+        // lowest terms, the numerator t is coprime to b′ and d′ — a prime
+        // p | b′ dividing t would divide a·d′, and p ∤ a (gcd(a, b) = 1)
+        // forces p | d′, contradicting gcd(b′, d′) = 1. So only factors
+        // of g₀ can cancel: when g₀ == 1 the result is already reduced,
+        // and otherwise a single word-sized gcd(t mod g₀, g₀) finishes
+        // the job — far cheaper than the 128-bit gcd of numerator and
+        // denominator this used to compute.
+        let g0 = gcd_u64(ad, bd);
+        let (adg, bdg) = if g0 == 1 {
+            (ad, bd)
+        } else {
+            (ad / g0, bd / g0)
+        };
+        let p1 = u128::from(an) * u128::from(bdg);
+        let p2 = u128::from(bn) * u128::from(adg);
+        let den = u128::from(ad) * u128::from(bdg);
         let (sign, mag) = if asign == bsign {
             (asign, p1.checked_add(p2)?)
         } else {
@@ -192,8 +248,16 @@ impl Rational {
                 Ordering::Less => (bsign, p2 - p1),
             }
         };
-        let g = gcd_u128(mag, den);
-        Some(Rational::from_reduced_u128(sign, mag / g, den / g))
+        if g0 == 1 {
+            return Some(Rational::from_reduced_u128(sign, mag, den));
+        }
+        #[allow(clippy::cast_possible_truncation)] // mod g₀ < g₀ ≤ u64::MAX
+        let g1 = gcd_u64((mag % u128::from(g0)) as u64, g0);
+        if g1 == 1 {
+            return Some(Rational::from_reduced_u128(sign, mag, den));
+        }
+        let g1 = u128::from(g1);
+        Some(Rational::from_reduced_u128(sign, mag / g1, den / g1))
     }
 
     /// `self * rhs` entirely on machine words. Because both operands are
@@ -205,45 +269,63 @@ impl Rational {
         if an == 0 || bn == 0 {
             return Some(Rational::zero());
         }
+        // Coprime cross pairs (the common case) skip the hardware divides:
+        // dividing by a runtime 1 still costs a full 64-bit division.
         let g1 = gcd_u64(an, bd);
         let g2 = gcd_u64(bn, ad);
-        let num = u128::from(an / g1) * u128::from(bn / g2);
-        let den = u128::from(ad / g2) * u128::from(bd / g1);
+        let (an, bd) = if g1 == 1 {
+            (an, bd)
+        } else {
+            (an / g1, bd / g1)
+        };
+        let (bn, ad) = if g2 == 1 {
+            (bn, ad)
+        } else {
+            (bn / g2, ad / g2)
+        };
+        let num = u128::from(an) * u128::from(bn);
+        let den = u128::from(ad) * u128::from(bd);
         Some(Rational::from_reduced_u128(asign.mul(bsign), num, den))
     }
 
     /// The numerator (carries the sign).
     #[must_use]
+    #[inline]
     pub fn numer(&self) -> &BigInt {
         &self.num
     }
 
     /// The denominator (always strictly positive).
     #[must_use]
+    #[inline]
     pub fn denom(&self) -> &BigUint {
         &self.den
     }
 
     /// Returns `true` if the value is zero.
     #[must_use]
+    #[inline]
     pub fn is_zero(&self) -> bool {
         self.num.is_zero()
     }
 
     /// Returns `true` if the value is one.
     #[must_use]
+    #[inline]
     pub fn is_one(&self) -> bool {
         self.den.is_one() && self.num == BigInt::one()
     }
 
     /// Returns `true` if the value is strictly negative.
     #[must_use]
+    #[inline]
     pub fn is_negative(&self) -> bool {
         self.num.is_negative()
     }
 
     /// Returns `true` if the value is strictly positive.
     #[must_use]
+    #[inline]
     pub fn is_positive(&self) -> bool {
         self.num.is_positive()
     }
@@ -270,6 +352,27 @@ impl Rational {
     /// ```
     #[must_use]
     pub fn one_minus(&self) -> Rational {
+        // For word-sized a/b the complement is (b ∓ a)/b, and it is already
+        // in lowest terms: gcd(b ± a, b) = gcd(a, b) = 1. No gcd needed.
+        if let Some((n, d, sign)) = self.as_words() {
+            return match sign {
+                Sign::Zero => Rational::one(),
+                Sign::Negative => Rational::from_reduced_u128(
+                    Sign::Positive,
+                    u128::from(d) + u128::from(n),
+                    d.into(),
+                ),
+                Sign::Positive => match d.cmp(&n) {
+                    Ordering::Equal => Rational::zero(),
+                    Ordering::Greater => {
+                        Rational::from_reduced_u128(Sign::Positive, (d - n).into(), d.into())
+                    }
+                    Ordering::Less => {
+                        Rational::from_reduced_u128(Sign::Negative, (n - d).into(), d.into())
+                    }
+                },
+            };
+        }
         &Rational::one() - self
     }
 
@@ -445,6 +548,14 @@ impl PartialOrd for Rational {
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, rhs: &Rational) -> Rational {
+        // Accumulators start at zero (e.g. measure sums), so skip the
+        // word decomposition for the identity outright.
+        if self.is_zero() {
+            return rhs.clone();
+        }
+        if rhs.is_zero() {
+            return self.clone();
+        }
         if let Some(fast) = self.add_fast(rhs) {
             return fast;
         }
@@ -458,6 +569,12 @@ impl Add for &Rational {
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, rhs: &Rational) -> Rational {
+        if rhs.is_zero() {
+            return self.clone();
+        }
+        if let Some(fast) = self.sub_fast(rhs) {
+            return fast;
+        }
         self + &(-rhs)
     }
 }
@@ -465,6 +582,16 @@ impl Sub for &Rational {
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, rhs: &Rational) -> Rational {
+        // Probability pipelines chain products seeded with one (joint-move
+        // accumulators, path weights), so the identity is by far the most
+        // common operand: return the other side before paying for the
+        // word decomposition and gcds.
+        if self.is_one() {
+            return rhs.clone();
+        }
+        if rhs.is_one() {
+            return self.clone();
+        }
         if let Some(fast) = self.mul_fast(rhs) {
             return fast;
         }
@@ -493,6 +620,33 @@ impl Div for &Rational {
     /// Panics if `rhs` is zero.
     #[allow(clippy::suspicious_arithmetic_impl)] // division IS multiplication by the reciprocal
     fn div(self, rhs: &Rational) -> Rational {
+        assert!(!rhs.is_zero(), "cannot take reciprocal of zero");
+        if rhs.is_one() {
+            return self.clone();
+        }
+        // Word path: (a/b) / (c/d) = (a·d) / (b·c). Cross-cancelling
+        // gcd(a, c) and gcd(b, d) leaves the quotient reduced (both
+        // operands are in lowest terms), without materialising `recip`.
+        if let (Some((an, ad, asign)), Some((bn, bd, bsign))) = (self.as_words(), rhs.as_words()) {
+            if an == 0 {
+                return Rational::zero();
+            }
+            let g1 = gcd_u64(an, bn);
+            let g2 = gcd_u64(ad, bd);
+            let (an, bn) = if g1 == 1 {
+                (an, bn)
+            } else {
+                (an / g1, bn / g1)
+            };
+            let (ad, bd) = if g2 == 1 {
+                (ad, bd)
+            } else {
+                (ad / g2, bd / g2)
+            };
+            let num = u128::from(an) * u128::from(bd);
+            let den = u128::from(ad) * u128::from(bn);
+            return Rational::from_reduced_u128(asign.mul(bsign), num, den);
+        }
         self * &rhs.recip()
     }
 }
@@ -682,6 +836,69 @@ mod tests {
         let _ = Rational::from_ratio(1, 0);
     }
 
+    /// Cross-multiplied BigInt reference for `a + b`, bypassing every
+    /// word fast path.
+    fn add_via_bigint(a: &Rational, b: &Rational) -> Rational {
+        let num = a.numer() * &BigInt::from(b.denom().clone())
+            + b.numer() * &BigInt::from(a.denom().clone());
+        let den = BigInt::from(a.denom() * b.denom());
+        Rational::new(num, den).unwrap()
+    }
+
+    #[test]
+    fn add_overflow_fallback_matches_bigint_reference() {
+        // u64::MAX is odd, so gcd(M, M−1) = gcd(M, M−2) = 1 and both
+        // operands below are already in lowest terms with coprime
+        // denominators (gcd(M−1, M−2) = 1): the fast path's numerator
+        // cross-products are the full a·d and c·b.
+        let m = u64::MAX;
+        let p1 = u128::from(m) * u128::from(m - 2);
+        let p2 = u128::from(m) * u128::from(m - 1);
+        assert!(
+            p1.checked_add(p2).is_none(),
+            "precondition: this case must overflow the u128 fast path"
+        );
+        let a = Rational::new(BigInt::from(m), BigInt::from(m - 1)).unwrap();
+        let b = Rational::new(BigInt::from(m), BigInt::from(m - 2)).unwrap();
+        assert_eq!(&a + &b, add_via_bigint(&a, &b));
+        // The mixed-sign branch subtracts instead of adding, so the same
+        // magnitudes stay on the fast path; check it against the same
+        // reference.
+        let neg_b = -&b;
+        assert_eq!(&a + &neg_b, add_via_bigint(&a, &neg_b));
+        // A hair below the boundary stays on the fast path and must agree
+        // with the reference too.
+        let c = Rational::new(BigInt::from(1u64 << 63), BigInt::from(m - 1)).unwrap();
+        let d = Rational::new(BigInt::from((1u64 << 63) + 1), BigInt::from(m - 2)).unwrap();
+        assert!(
+            (u128::from(1u64 << 63) * u128::from(m - 2))
+                .checked_add(u128::from((1u64 << 63) + 1) * u128::from(m - 1))
+                .is_some(),
+            "precondition: this case must stay on the u128 fast path"
+        );
+        assert_eq!(&c + &d, add_via_bigint(&c, &d));
+    }
+
+    #[test]
+    fn add_shared_denominator_factor_reduces_fully() {
+        // g₀ > 1 exercises the single-word tail gcd: denominators 2^63
+        // and 2^62 share g₀ = 2^62, and the odd numerators keep both
+        // operands in lowest terms.
+        let a = Rational::new(BigInt::from(3u64), BigInt::from(1u64 << 63)).unwrap();
+        let b = Rational::new(BigInt::from(5u64), BigInt::from(1u64 << 62)).unwrap();
+        let sum = &a + &b;
+        assert_eq!(sum, add_via_bigint(&a, &b));
+        // 3/2^63 + 5/2^62 = 13/2^63 — already reduced.
+        assert_eq!(
+            sum,
+            Rational::new(BigInt::from(13u64), BigInt::from(1u64 << 63)).unwrap()
+        );
+        // A cancelling case: 1/6 + 1/3 = 1/2 must shed the factor 3.
+        let e = &Rational::from_ratio(1, 6) + &Rational::from_ratio(1, 3);
+        assert_eq!(e, Rational::from_ratio(1, 2));
+        assert_eq!(e.denom(), &BigUint::from(2u32));
+    }
+
     #[test]
     fn field_arithmetic() {
         assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
@@ -710,6 +927,33 @@ mod tests {
         assert!(r(-1, 2) < r(-1, 3));
         assert!(r(99, 100) < Rational::one());
         assert_eq!(r(3, 6).cmp(&r(1, 2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn cmp_fallback_above_word_boundary() {
+        // Operands above u64::MAX can't use the u128 cross-multiply fast
+        // path; this pins the big-magnitude branch (and the mixed
+        // word/big case) against hand-computed orderings. 2^64+1 and
+        // 2^64+3 are consecutive odd numbers, so both fractions below
+        // are in lowest terms, and k/(k+2) = 1 − 2/(k+2) is strictly
+        // increasing in k.
+        let k = BigUint::from(1u32) << 64u64; // 2^64
+        let k1 = &k + &BigUint::from(1u32);
+        let k3 = &k + &BigUint::from(3u32);
+        let k5 = &k + &BigUint::from(5u32);
+        let a = Rational::new(BigInt::from(k1), BigInt::from(k3.clone())).unwrap();
+        let b = Rational::new(BigInt::from(k3), BigInt::from(k5)).unwrap();
+        assert!(a < b, "k/(k+2) is increasing");
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(-&a > -&b, "negation reverses the big branch");
+        // Mixed word/big operands also take the fallback: with M =
+        // u64::MAX, (M−1)/M vs (2^64+1)/(2^64+3) cross-multiplies to
+        // 2^128 + 2^64 − 6 vs 2^128 − 1, so the word-sized side is
+        // larger.
+        let m = u64::MAX;
+        let w = Rational::new(BigInt::from(m - 1), BigInt::from(m)).unwrap();
+        assert!(w > a);
+        assert!(a < w);
     }
 
     #[test]

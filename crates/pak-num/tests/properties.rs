@@ -10,12 +10,15 @@
 //! the assertion message carries the case index; rerun with the same code
 //! to replay it.
 //!
-//! Since `BigUint` gained a small-value inline representation, this file
-//! also carries **differential tests** pitting the inline `u64` fast paths
-//! against the multi-limb heap paths on the same values: machine-checkable
-//! references (`u128` arithmetic, decimal-string round-trips) arbitrate,
-//! and the generators deliberately dwell on the `u64::MAX` and limb-carry
-//! boundaries where representation switches happen.
+//! Since `BigUint` gained its tiered representation (inline `u64` →
+//! fixed `[u64; 3]` stack words → heap `Vec<u32>` limbs), this file also
+//! carries **differential tests** pitting the word and fixed-limb fast
+//! paths against the multi-limb heap paths on the same values:
+//! machine-checkable references (`u128` arithmetic, decimal-string
+//! round-trips, algebraic identities) arbitrate, and the generators
+//! deliberately dwell on every boundary of the lattice — `u64::MAX`
+//! (inline↔fixed), `2^FIXED_BITS` (fixed↔heap), and the limb-carry edges
+//! in between — where representation switches happen.
 
 use pak_num::{BigInt, BigUint, Rational};
 
@@ -47,12 +50,35 @@ impl Rng {
     /// A `BigUint` spanning zero through multi-limb magnitudes, biased
     /// toward representation boundaries.
     fn big_uint(&mut self) -> BigUint {
-        match self.below(5) {
+        match self.below(6) {
             0 => BigUint::from(self.u64()),
             1 => BigUint::from(self.u128()),
             2 => BigUint::from(self.u128()) << self.below(200),
             3 => BigUint::from(self.boundary_u64()),
+            4 => self.boundary_fixed_heap(),
             _ => BigUint::from(self.boundary_u128()),
+        }
+    }
+
+    /// Values hugging the fixed↔heap edge at `2^FIXED_BITS`, plus the
+    /// word-boundary edges inside the fixed tier, with small random
+    /// offsets so carries propagate across the boundary in both
+    /// directions.
+    fn boundary_fixed_heap(&mut self) -> BigUint {
+        let anchor_bits = [
+            BigUint::FIXED_BITS - 1,
+            BigUint::FIXED_BITS,
+            BigUint::FIXED_BITS + 1,
+            128,
+            129,
+            191,
+        ];
+        let anchor = BigUint::from(1u32) << anchor_bits[self.below(6) as usize];
+        let offset = BigUint::from(self.below(3));
+        if self.u64() & 1 == 0 {
+            anchor + offset
+        } else {
+            &anchor - &offset.min(anchor.clone())
         }
     }
 
@@ -374,6 +400,192 @@ fn differential_pow_crosses_representation_boundary() {
         }
         assert_eq!(base.pow(e), acc, "pow vs repeated mul, case {case}");
     }
+}
+
+/// The tier of a value is a function of its magnitude alone: the three
+/// representation predicates partition every value exactly as the bit
+/// length dictates, whatever arithmetic route produced it.
+#[test]
+fn representation_tier_matches_bit_length() {
+    let mut rng = Rng::new(0x71E2);
+    let mut seen = [0usize; 3]; // inline, fixed, heap
+    for case in 0..CASES * 4 {
+        let v = rng.big_uint();
+        let tier = (v.is_inline(), v.is_fixed(), v.is_heap());
+        let expect = if v.bits() <= 64 {
+            seen[0] += 1;
+            (true, false, false)
+        } else if v.bits() <= BigUint::FIXED_BITS {
+            seen[1] += 1;
+            (false, true, false)
+        } else {
+            seen[2] += 1;
+            (false, false, true)
+        };
+        assert_eq!(tier, expect, "tier vs bits, case {case}: {v}");
+        // Round-tripping through the decimal string lands on the same tier.
+        let back: BigUint = v.to_string().parse().unwrap();
+        assert_eq!(
+            (back.is_inline(), back.is_fixed(), back.is_heap()),
+            expect,
+            "tier after string round-trip, case {case}"
+        );
+    }
+    assert!(
+        seen.iter().all(|&n| n > 50),
+        "generator must populate all three tiers, got {seen:?}"
+    );
+}
+
+/// Ops whose operands straddle each boundary of the representation
+/// lattice (inline↔fixed, fixed↔fixed, fixed↔heap, heap↔heap) satisfy the
+/// ring identities and stay canonical. The `u128`-reference differential
+/// tests cannot see past two words, so these identities — plus the string
+/// round-trip — arbitrate the fixed- and heap-tier paths.
+#[test]
+fn differential_tier_boundary_ops() {
+    let mut rng = Rng::new(0xF1D3);
+    for case in 0..CASES * 2 {
+        let a = rng.big_uint();
+        let b = rng.boundary_fixed_heap();
+        for (x, y) in [(&a, &b), (&b, &a)] {
+            let sum = x + y;
+            assert_eq!(&sum - y, *x, "add/sub round-trip, case {case}");
+            assert!(sum >= *x && sum >= *y, "add grows, case {case}");
+            let prod = x * y;
+            if !y.is_zero() {
+                let (q, r) = prod.div_rem(y);
+                assert_eq!(q, *x, "mul/div round-trip, case {case}");
+                assert!(r.is_zero(), "exact product division, case {case}");
+                let g = x.gcd(y);
+                assert!(
+                    (x % &g).is_zero() && (y % &g).is_zero(),
+                    "gcd divides, case {case}"
+                );
+            }
+            let s = rng.below(200);
+            assert_eq!(&(x << s) >> s, *x, "shift round-trip, case {case}");
+            let back: BigUint = x.to_string().parse().unwrap();
+            assert_eq!(back, *x, "string round-trip, case {case}");
+        }
+    }
+}
+
+/// The exact value of a finite non-negative `f64` as a rational.
+fn exact_rational_of_f64(d: f64) -> Rational {
+    assert!(d.is_finite() && d >= 0.0);
+    let bits = d.to_bits();
+    let exp = (bits >> 52) & 0x7FF;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e) = if exp == 0 {
+        (frac, -1074i64)
+    } else {
+        (frac | (1 << 52), exp as i64 - 1075)
+    };
+    if e >= 0 {
+        Rational::from(BigUint::from(m) << e as u64)
+    } else {
+        Rational::new(
+            BigInt::from(m),
+            BigInt::from(BigUint::from(1u32) << (-e) as u64),
+        )
+        .unwrap()
+    }
+}
+
+/// `BigUint::to_f64` returns the double nearest the exact value: by exact
+/// `Rational` arithmetic, no neighbouring double is strictly closer, and
+/// ties go to the even mantissa.
+#[test]
+fn to_f64_is_nearest_double_by_exact_distance() {
+    let mut rng = Rng::new(0xF64D);
+    for case in 0..CASES * 2 {
+        let v = rng.big_uint();
+        let d = v.to_f64();
+        if !d.is_finite() {
+            continue;
+        }
+        let exact_v = Rational::from(v.clone());
+        let dist = |cand: f64| (&exact_v - &exact_rational_of_f64(cand)).abs();
+        let d_dist = dist(d);
+        for neighbour in [d.next_up(), d.next_down()] {
+            if !neighbour.is_finite() || neighbour < 0.0 {
+                continue;
+            }
+            let n_dist = dist(neighbour);
+            assert!(
+                d_dist <= n_dist,
+                "case {case}: {v} → {d:e}, but neighbour {neighbour:e} is closer"
+            );
+            if d_dist == n_dist {
+                // Exact tie: the chosen double must be the even one.
+                assert_eq!(
+                    d.to_bits() & 1,
+                    0,
+                    "case {case}: tie must round to even mantissa"
+                );
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rational word-path boundaries
+// ----------------------------------------------------------------------
+
+/// Cross-multiplied BigInt reference for `a + b`, bypassing every word
+/// fast path.
+fn add_via_bigint(a: &Rational, b: &Rational) -> Rational {
+    let num =
+        a.numer() * &BigInt::from(b.denom().clone()) + b.numer() * &BigInt::from(a.denom().clone());
+    let den = BigInt::from(a.denom() * b.denom());
+    Rational::new(num, den).unwrap()
+}
+
+/// Addition with numerators and denominators near `u64::MAX`: the sweep
+/// provably drives the `checked_add` overflow fallback (the precondition
+/// is recomputed here, mirroring `add_fast`'s reduced cross-products) and
+/// every result — fast path or fallback — must match the BigInt
+/// cross-multiply reference.
+#[test]
+fn rational_add_near_u64_max_matches_bigint_reference() {
+    let mut rng = Rng::new(0xADD0);
+    let mut overflowed = 0usize;
+    let mut stayed_fast = 0usize;
+    for case in 0..CASES * 2 {
+        let near_max = |rng: &mut Rng| u64::MAX - rng.below(6);
+        let (n1, d1) = (near_max(&mut rng), near_max(&mut rng));
+        let (n2, d2) = (near_max(&mut rng), near_max(&mut rng));
+        let mut a = Rational::new(BigInt::from(n1), BigInt::from(d1)).unwrap();
+        let b = Rational::new(BigInt::from(n2), BigInt::from(d2)).unwrap();
+        if case % 3 == 0 {
+            a = -a;
+        }
+        // Mirror add_fast's reduced cross-products to classify the case.
+        let (ra, rda) = (a.numer().magnitude().to_u64(), a.denom().to_u64());
+        let (rb, rdb) = (b.numer().magnitude().to_u64(), b.denom().to_u64());
+        if let (Some(an), Some(ad), Some(bn), Some(bd)) = (ra, rda, rb, rdb) {
+            let g0 = BigUint::from(ad).gcd(&BigUint::from(bd)).to_u64().unwrap();
+            let p1 = u128::from(an) * u128::from(bd / g0);
+            let p2 = u128::from(bn) * u128::from(ad / g0);
+            let same_sign = a.is_negative() == b.is_negative();
+            if same_sign && p1.checked_add(p2).is_none() {
+                overflowed += 1;
+            } else {
+                stayed_fast += 1;
+            }
+        }
+        assert_eq!(&a + &b, add_via_bigint(&a, &b), "add, case {case}");
+        assert_eq!(&a - &b, add_via_bigint(&a, &(-&b)), "sub, case {case}");
+    }
+    assert!(
+        overflowed > 20,
+        "sweep must exercise the overflow fallback, got {overflowed}"
+    );
+    assert!(
+        stayed_fast > 20,
+        "sweep must also exercise the fast path, got {stayed_fast}"
+    );
 }
 
 fn gcd_u128(mut a: u128, mut b: u128) -> u128 {

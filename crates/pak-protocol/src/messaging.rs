@@ -252,16 +252,22 @@ impl<MP, P: Probability> LossyMessagingModel<MP, P> {
         let mut out = Vec::with_capacity(1 << n);
         for mask in 0u32..(1 << n) {
             let mut delivered = Vec::new();
-            let mut p = P::one();
+            // Seed the accumulator from the first factor instead of
+            // multiplying into `P::one()`; saves a mul per mask.
+            let mut p: Option<P> = None;
             for (i, msg) in messages.iter().enumerate() {
-                if (mask >> i) & 1 == 1 {
+                let f = if (mask >> i) & 1 == 1 {
                     delivered.push(*msg);
-                    p = p.mul(&deliver);
+                    &deliver
                 } else {
-                    p = p.mul(&self.loss);
-                }
+                    &self.loss
+                };
+                p = Some(match p {
+                    None => f.clone(),
+                    Some(q) => q.mul(f),
+                });
             }
-            out.push((delivered, p));
+            out.push((delivered, p.unwrap_or_else(P::one)));
         }
         out
     }
@@ -401,16 +407,22 @@ where
         let mut delivered: Vec<Message> = Vec::with_capacity(n);
         for mask in 0u32..(1 << n) {
             delivered.clear();
-            let mut p = P::one();
+            // Seed the accumulator from the first factor instead of
+            // multiplying into `P::one()`; saves a mul per mask.
+            let mut p: Option<P> = None;
             for (i, msg) in sent.iter().enumerate() {
-                if (mask >> i) & 1 == 1 {
+                let f = if (mask >> i) & 1 == 1 {
                     delivered.push(*msg);
-                    p = p.mul(&deliver);
+                    &deliver
                 } else {
-                    p = p.mul(&self.loss);
-                }
+                    &self.loss
+                };
+                p = Some(match p {
+                    None => f.clone(),
+                    Some(q) => q.mul(f),
+                });
             }
-            out.push((next_state(&delivered, &mut inbox), p));
+            out.push((next_state(&delivered, &mut inbox), p.unwrap_or_else(P::one)));
         }
     }
 }

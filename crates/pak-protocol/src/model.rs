@@ -796,6 +796,15 @@ pub fn validate_distribution<T, P: Probability>(dist: &[(T, P)]) -> Result<(), S
     if dist.is_empty() {
         return Err("distribution is empty".to_string());
     }
+    // A deterministic (single-entry) distribution — the common case for
+    // protocol moves — is valid iff its probability is exactly one; skip
+    // the accumulator loop.
+    if let [(_, p)] = dist {
+        if !p.is_one() {
+            return Err(format!("distribution sums to {p}, expected 1"));
+        }
+        return Ok(());
+    }
     let mut sum = P::zero();
     for (_, p) in dist {
         if !p.at_least(&P::zero()) || p.is_zero() {

@@ -961,14 +961,22 @@ where
         loop {
             self.joint.clear();
             self.actions.clear();
-            let mut p_joint = P::one();
+            // Deterministic moves (probability one — the common case)
+            // leave the accumulator untouched instead of paying a
+            // multiply-by-one per agent per joint move.
+            let mut p_joint: Option<P> = None;
             for (i, &c) in self.counters.iter().enumerate() {
                 let (mv, p) = &self.per_agent[i][c];
                 if let Some(act) = self.model.action_of(mv) {
                     self.actions.push((AgentId(i as u32), act));
                 }
                 self.joint.push(mv.clone());
-                p_joint = p_joint.mul(p);
+                if !p.is_one() {
+                    p_joint = Some(match p_joint {
+                        None => p.clone(),
+                        Some(q) => q.mul(p),
+                    });
+                }
             }
             self.outcomes.clear();
             self.model
@@ -980,7 +988,12 @@ where
                 }
             })?;
             for (succ, p_env) in self.outcomes.drain(..) {
-                let p = p_joint.mul(&p_env);
+                // `p_env` is owned here, so the all-deterministic case
+                // forwards it without a clone or a multiply.
+                let p = match &p_joint {
+                    None => p_env,
+                    Some(q) => q.mul(&p_env),
+                };
                 let succ_id = sink.intern(succ);
                 let mut hasher = FxHasher::default();
                 self.actions.hash(&mut hasher);
